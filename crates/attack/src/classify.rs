@@ -1,0 +1,109 @@
+//! Verdict classification: mapping measured attack success rates onto the
+//! paper's Defend / Mitigate / No Protection labels (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Protection verdict for one (mechanism, attack, core-mode) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Attack success is statistically indistinguishable from chance.
+    Defend,
+    /// Attack success is significantly degraded but above chance.
+    Mitigate,
+    /// Attack success is close to the unprotected baseline.
+    NoProtection,
+}
+
+impl Verdict {
+    /// Label matching the paper's Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Defend => "Defend",
+            Verdict::Mitigate => "Mitigate",
+            Verdict::NoProtection => "No Protection",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of an attack campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Fraction of trials in which the adversary achieved its goal.
+    pub success_rate: f64,
+    /// Success rate of blind guessing for this attack.
+    pub chance: f64,
+    /// Number of trials run.
+    pub trials: u64,
+}
+
+impl AttackOutcome {
+    /// Advantage over blind guessing, clamped at 0.
+    pub fn advantage(&self) -> f64 {
+        (self.success_rate - self.chance).max(0.0)
+    }
+
+    /// Classifies the outcome.
+    ///
+    /// Thresholds: advantage below 7 % of the possible headroom → Defend;
+    /// below 60 % → Mitigate; otherwise No Protection. "Headroom" is
+    /// `1 - chance`, so the rule adapts to both inference attacks
+    /// (chance 0.5) and injection attacks (chance ≈ 0).
+    pub fn verdict(&self) -> Verdict {
+        let headroom = (1.0 - self.chance).max(1e-9);
+        let rel = self.advantage() / headroom;
+        if rel < 0.07 {
+            Verdict::Defend
+        } else if rel < 0.60 {
+            Verdict::Mitigate
+        } else {
+            Verdict::NoProtection
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(success: f64, chance: f64) -> AttackOutcome {
+        AttackOutcome { success_rate: success, chance, trials: 1000 }
+    }
+
+    #[test]
+    fn chance_level_defends() {
+        assert_eq!(outcome(0.50, 0.5).verdict(), Verdict::Defend);
+        assert_eq!(outcome(0.52, 0.5).verdict(), Verdict::Defend);
+        assert_eq!(outcome(0.005, 0.0).verdict(), Verdict::Defend);
+    }
+
+    #[test]
+    fn baseline_level_is_no_protection() {
+        assert_eq!(outcome(0.97, 0.5).verdict(), Verdict::NoProtection);
+        assert_eq!(outcome(0.95, 0.0).verdict(), Verdict::NoProtection);
+    }
+
+    #[test]
+    fn intermediate_is_mitigate() {
+        assert_eq!(outcome(0.65, 0.5).verdict(), Verdict::Mitigate);
+        assert_eq!(outcome(0.3, 0.0).verdict(), Verdict::Mitigate);
+    }
+
+    #[test]
+    fn advantage_clamps_at_zero() {
+        assert_eq!(outcome(0.4, 0.5).advantage(), 0.0);
+        assert_eq!(outcome(0.4, 0.5).verdict(), Verdict::Defend);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Verdict::Defend.to_string(), "Defend");
+        assert_eq!(Verdict::Mitigate.to_string(), "Mitigate");
+        assert_eq!(Verdict::NoProtection.to_string(), "No Protection");
+    }
+}

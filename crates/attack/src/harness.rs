@@ -1,0 +1,267 @@
+//! The attack harness: an attacker and a victim sharing a predictor
+//! front-end.
+//!
+//! In **single-threaded** mode (the FPGA PoC scenario) both parties run on
+//! hardware thread 0 and every party change is a context switch — the
+//! trigger for flush/rekey mechanisms. In **SMT** mode the attacker runs
+//! concurrently on hardware thread 1 with no switches, which is exactly
+//! why flush-based mechanisms lose protection there (paper Table 1).
+//!
+//! The attacker's only real-world sensor is time; [`AttackHarness::exec`]
+//! returns the modeled branch latency with configurable measurement noise
+//! (standing in for the paper's Flush+Reload channel, including its false
+//! positives — footnote 1 of the paper).
+
+use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
+use sbp_predictors::PredictorKind;
+use sbp_sim::{execute_branch, CoreConfig};
+use sbp_types::rng::Xoshiro256;
+use sbp_types::{BranchInfo, BranchRecord, CoreEvent, Pc, PredictionStats, ThreadId};
+
+/// The two parties of an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// The adversary.
+    Attacker,
+    /// The process holding the secret.
+    Victim,
+}
+
+/// What the attacker can observe about one executed branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Modeled latency in cycles, including measurement noise.
+    pub latency: f64,
+    /// Ground truth (not attacker-visible; used by tests).
+    pub mispredicted: bool,
+}
+
+impl Observation {
+    /// The attacker's decision rule: latency above `threshold` means the
+    /// branch was slow (mispredicted / missed).
+    pub fn is_slow(&self, threshold: f64) -> bool {
+        self.latency > threshold
+    }
+}
+
+/// An attacker/victim pair sharing one [`SecureFrontend`].
+pub struct AttackHarness {
+    fe: SecureFrontend,
+    cfg: CoreConfig,
+    smt: bool,
+    current: Party,
+    noise: f64,
+    rng: Xoshiro256,
+    switches: u64,
+}
+
+impl std::fmt::Debug for AttackHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackHarness")
+            .field("mechanism", &self.fe.mechanism())
+            .field("smt", &self.smt)
+            .field("switches", &self.switches)
+            .finish()
+    }
+}
+
+impl AttackHarness {
+    /// Creates a harness.
+    ///
+    /// * `predictor` — the direction predictor under attack (PHT attacks
+    ///   use [`PredictorKind::Gshare`]'s table or a bimodal-like region;
+    ///   the BTB is always present);
+    /// * `smt` — concurrent attacker (true) or time-sliced (false);
+    /// * `noise` — measurement noise amplitude in cycles.
+    pub fn new(
+        predictor: PredictorKind,
+        mechanism: Mechanism,
+        smt: bool,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        let cfg = if smt { CoreConfig::gem5() } else { CoreConfig::fpga() };
+        let fe_cfg = FrontendConfig {
+            predictor,
+            btb: cfg.btb,
+            ras_depth: cfg.ras_depth,
+            threads: if smt { 2 } else { 1 },
+            mechanism,
+            key_seed: sbp_types::rng::SplitMix64::derive(seed, 0xa77a),
+        };
+        AttackHarness {
+            fe: SecureFrontend::new(fe_cfg),
+            cfg,
+            smt,
+            current: Party::Attacker,
+            noise,
+            rng: Xoshiro256::new(seed ^ 0x0bad_5eed),
+            switches: 0,
+        }
+    }
+
+    /// Creates a harness whose direction predictor is a plain bimodal PHT.
+    ///
+    /// BranchScope-style attacks target the per-address bimodal predictor
+    /// (no history in the index), so the PoCs use this harness for
+    /// deterministic entry collisions; owner tags are enabled when the
+    /// mechanism requires them.
+    pub fn with_bimodal(mechanism: Mechanism, smt: bool, noise: f64, seed: u64) -> Self {
+        let cfg = if smt { CoreConfig::gem5() } else { CoreConfig::fpga() };
+        let threads = if smt { 2 } else { 1 };
+        let fe_cfg = FrontendConfig {
+            predictor: PredictorKind::Gshare, // ignored by with_direction_predictor
+            btb: cfg.btb,
+            ras_depth: cfg.ras_depth,
+            threads,
+            mechanism,
+            key_seed: sbp_types::rng::SplitMix64::derive(seed, 0xa77a),
+        };
+        let bimodal = sbp_predictors::Bimodal::new(4096, 2);
+        let dir: Box<dyn sbp_types::DirectionPredictor + Send> = if mechanism.needs_owner_tags() {
+            Box::new(bimodal.with_owner_tags())
+        } else {
+            Box::new(bimodal)
+        };
+        AttackHarness {
+            fe: SecureFrontend::with_direction_predictor(dir, fe_cfg),
+            cfg,
+            smt,
+            current: Party::Attacker,
+            noise,
+            rng: Xoshiro256::new(seed ^ 0x0bad_5eed),
+            switches: 0,
+        }
+    }
+
+    /// Hardware thread a party runs on.
+    pub fn hw(&self, party: Party) -> ThreadId {
+        if self.smt {
+            match party {
+                Party::Victim => ThreadId::new(0),
+                Party::Attacker => ThreadId::new(1),
+            }
+        } else {
+            ThreadId::new(0)
+        }
+    }
+
+    /// Switches execution to `party`. On a single-threaded core this is a
+    /// context switch (mechanism trigger); on SMT it is a no-op.
+    pub fn switch_to(&mut self, party: Party) {
+        if !self.smt && party != self.current {
+            self.fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+            self.switches += 1;
+        }
+        self.current = party;
+    }
+
+    /// Executes one branch as `party` and returns the timing observation.
+    pub fn exec(&mut self, party: Party, rec: &BranchRecord) -> Observation {
+        self.switch_to(party);
+        let hw = self.hw(party);
+        let mut stats = PredictionStats::new();
+        let cycles = execute_branch(&mut self.fe, &self.cfg, hw, rec, &mut stats);
+        let jitter = (self.rng.next_f64() - 0.5) * 2.0 * self.noise;
+        Observation {
+            latency: (cycles + jitter).max(0.0),
+            mispredicted: stats.cond_mispredicts + stats.indirect_mispredicts + stats.ras_mispredicts
+                > 0,
+        }
+    }
+
+    /// Predicted direction for a branch of `party` *without* training
+    /// (models a timed conditional whose outcome the attacker chooses to
+    /// match the prediction, i.e. a pure read).
+    pub fn probe_direction(&mut self, party: Party, pc: Pc) -> bool {
+        self.switch_to(party);
+        let info =
+            BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::Conditional);
+        self.fe.predict_direction(info)
+    }
+
+    /// Predicted target for a branch of `party` (a timed indirect jump).
+    pub fn probe_target(&mut self, party: Party, pc: Pc) -> Option<Pc> {
+        self.switch_to(party);
+        let info =
+            BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::IndirectJump);
+        self.fe.predict_target(info)
+    }
+
+    /// A latency threshold separating "fast" (predicted correctly) from
+    /// "slow" on this core.
+    pub fn threshold(&self) -> f64 {
+        self.cfg.mispredict_penalty as f64 * 0.5
+    }
+
+    /// The configured mechanism.
+    pub fn mechanism(&self) -> Mechanism {
+        self.fe.mechanism()
+    }
+
+    /// Whether this is the SMT scenario.
+    pub fn is_smt(&self) -> bool {
+        self.smt
+    }
+
+    /// Context switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Draws from the harness RNG (for attack trial randomization).
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::BranchKind;
+
+    #[test]
+    fn single_thread_switches_fire_events() {
+        let mut h = AttackHarness::new(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+            false,
+            0.0,
+            1,
+        );
+        h.switch_to(Party::Victim);
+        h.switch_to(Party::Attacker);
+        h.switch_to(Party::Attacker); // no-op
+        assert_eq!(h.switches(), 2);
+    }
+
+    #[test]
+    fn smt_mode_never_switches() {
+        let mut h =
+            AttackHarness::new(PredictorKind::Gshare, Mechanism::CompleteFlush, true, 0.0, 1);
+        h.switch_to(Party::Victim);
+        h.switch_to(Party::Attacker);
+        assert_eq!(h.switches(), 0);
+        assert_ne!(h.hw(Party::Attacker), h.hw(Party::Victim));
+    }
+
+    #[test]
+    fn exec_observes_latency_difference() {
+        let mut h = AttackHarness::new(PredictorKind::Gshare, Mechanism::Baseline, false, 0.0, 2);
+        let ind = BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x3000), 0);
+        let cold = h.exec(Party::Attacker, &ind);
+        let warm = h.exec(Party::Attacker, &ind);
+        assert!(cold.latency > warm.latency, "cold {} warm {}", cold.latency, warm.latency);
+        assert!(cold.is_slow(h.threshold()));
+        assert!(!warm.is_slow(h.threshold()));
+    }
+
+    #[test]
+    fn noise_perturbs_latency() {
+        let mut a = AttackHarness::new(PredictorKind::Gshare, Mechanism::Baseline, false, 2.0, 3);
+        let rec = BranchRecord::not_taken(Pc::new(0x100), 0);
+        let o1 = a.exec(Party::Attacker, &rec);
+        let o2 = a.exec(Party::Attacker, &rec);
+        assert_ne!(o1.latency, o2.latency);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sbp-attack
+//!
+//! Proof-of-concept attacks on branch predictors and the classification
+//! machinery behind the paper's Table 1:
+//!
+//! * [`spectre_v2`] — malicious BTB training (reuse, Listing 1);
+//! * [`branchscope`] — PHT direction perception (reuse, Listing 2), plus
+//!   the scenario-4 reference-branch variant that breaks plain XOR-PHT;
+//! * [`shadowing`] — branch-shadowing BTB reuse;
+//! * [`sbpa`] — BTB contention (eviction sensing) and Jump-over-ASLR;
+//! * [`classify`] — Defend / Mitigate / No Protection verdicts.
+//!
+//! All attacks run against the same [`sbp_core::SecureFrontend`] the
+//! performance experiments use, in either the time-sliced (FPGA PoC) or
+//! concurrent SMT scenario.
+//!
+//! ```
+//! use sbp_attack::{classify::Verdict, spectre_v2::SpectreV2};
+//! use sbp_core::Mechanism;
+//!
+//! let baseline = SpectreV2::new(Mechanism::Baseline, false).run(300, 1);
+//! let defended = SpectreV2::new(Mechanism::noisy_xor_bp(), false).run(300, 1);
+//! assert!(baseline.success_rate > defended.success_rate);
+//! assert_eq!(defended.verdict(), Verdict::Defend);
+//! ```
+
+pub mod branchscope;
+pub mod classify;
+pub mod harness;
+pub mod sbpa;
+pub mod shadowing;
+pub mod spectre_v2;
+
+pub use branchscope::{BranchScope, ReferenceBranchScope};
+pub use classify::{AttackOutcome, Verdict};
+pub use harness::{AttackHarness, Observation, Party};
+pub use sbpa::{JumpAslr, Sbpa};
+pub use shadowing::BranchShadowing;
+pub use spectre_v2::SpectreV2;

@@ -1,0 +1,39 @@
+//! Ablation: the reversible codec (paper §5.4 — "adding shifting and/or
+//! scrambling in the process, or using small lookup tables are all
+//! possible options").
+//!
+//! Expectation: the *performance* overhead is identical for every codec —
+//! residual state is equally unreadable after a rekey — so the codec can
+//! be chosen purely on hardware-cost / strength grounds.
+
+use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_core::{Mechanism, XorConfig};
+use sbp_predictors::PredictorKind;
+use sbp_sim::{single_overhead, CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::cases_single;
+use sbp_types::Codec;
+
+fn main() {
+    header("Ablation", "content codec: XOR vs shift-scramble vs 4-bit LUT");
+    let codecs =
+        [("XOR", Codec::Xor), ("ShiftScramble", Codec::ShiftScramble), ("LUT", Codec::Lut)];
+    let cases = cases_single();
+    let budget = WorkBudget::single_default();
+    for (label, codec) in codecs {
+        let mech = Mechanism::Xor(XorConfig { codec, ..XorConfig::full() });
+        let overheads = parallel_map(cases.len(), |c| {
+            single_overhead(
+                &cases[c],
+                CoreConfig::fpga(),
+                PredictorKind::Gshare,
+                mech,
+                SwitchInterval::M8,
+                budget,
+                0xab1e_0000 + c as u64,
+            )
+            .expect("run")
+        });
+        println!("Noisy-XOR-BP with {label:<14} avg overhead {}", pct(mean(&overheads)));
+    }
+    println!("expectation: all three within noise of each other");
+}

@@ -1,0 +1,39 @@
+//! Ablation: rekey triggers. The paper rekeys on context switches *and*
+//! privilege switches; Table 4 shows privilege switches are 20–90× more
+//! frequent, so they dominate the overhead. Rekeying on context switches
+//! only (insecure across privilege levels!) isolates that cost.
+
+use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_core::{Mechanism, XorConfig};
+use sbp_predictors::PredictorKind;
+use sbp_sim::{single_overhead, CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::cases_single;
+
+fn main() {
+    header("Ablation", "rekey on ctx+priv switches (paper) vs ctx switches only");
+    let policies = [
+        ("ctx+priv (paper)", Mechanism::noisy_xor_bp()),
+        (
+            "ctx only (insecure)",
+            Mechanism::Xor(XorConfig { rekey_on_privilege: false, ..XorConfig::full() }),
+        ),
+    ];
+    let cases = cases_single();
+    let budget = WorkBudget::single_default();
+    for (label, mech) in policies {
+        let overheads = parallel_map(cases.len(), |c| {
+            single_overhead(
+                &cases[c],
+                CoreConfig::fpga(),
+                PredictorKind::Gshare,
+                mech,
+                SwitchInterval::M8,
+                budget,
+                0xab2e_0000 + c as u64,
+            )
+            .expect("run")
+        });
+        println!("{label:<22} avg overhead {}", pct(mean(&overheads)));
+    }
+    println!("expectation: most of Noisy-XOR-BP's (small) cost comes from privilege rekeys");
+}

@@ -1,0 +1,55 @@
+//! Ablation: the residual-state effect behind Figure 7's outliers.
+//!
+//! For each single-core case this prints the baseline BTB hit rate of the
+//! target benchmark next to its XOR-BTB overhead: cases that harvest many
+//! residual BTB entries across switches (case 6) lose the most from
+//! rekeying, while cases whose warm predictions were often *wrong*
+//! (case 2) can even speed up.
+
+use sbp_bench::{header, parallel_map, pct};
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{run_single_case, single_overhead, CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::cases_single;
+
+fn main() {
+    header("Ablation", "residual BTB reuse vs XOR-BTB overhead per case");
+    let cases = cases_single();
+    let budget = WorkBudget::single_default();
+    let rows = parallel_map(cases.len(), |c| {
+        let base = run_single_case(
+            &cases[c],
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            Mechanism::Baseline,
+            SwitchInterval::M8,
+            budget,
+            0xab3e_0000 + c as u64,
+        )
+        .expect("run");
+        let overhead = single_overhead(
+            &cases[c],
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            Mechanism::xor_btb(),
+            SwitchInterval::M8,
+            budget,
+            0xab3e_0000 + c as u64,
+        )
+        .expect("run");
+        (base.btb_hit_rate(), base.cond_accuracy(), overhead)
+    });
+    println!("{:<8} {:>12} {:>12} {:>16}", "case", "BTB hit", "cond acc", "XOR-BTB ovh");
+    for (c, case) in cases.iter().enumerate() {
+        let (hit, acc, ovh) = rows[c];
+        println!(
+            "{:<8} {:>11.1}% {:>11.1}% {:>16}",
+            case.id,
+            hit * 100.0,
+            acc * 100.0,
+            pct(ovh)
+        );
+    }
+    println!("expectation: the highest-hit-rate cases pay the most; low-accuracy");
+    println!("cases can show negative overhead (the paper's case2 effect)");
+}

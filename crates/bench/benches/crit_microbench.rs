@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks: per-branch cost of each predictor with and
+//! without the Noisy-XOR overlay. The software analogue of Table 5's
+//! claim: the encode/decode path adds only marginal per-access work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
+use sbp_predictors::PredictorKind;
+use sbp_sim::{execute_branch, CoreConfig};
+use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+use sbp_types::{PredictionStats, ThreadId};
+
+fn bench_predictors(c: &mut Criterion) {
+    let profile = WorkloadProfile::by_name("gcc").expect("profile");
+    let records: Vec<_> = TraceGenerator::new(&profile, 0x1000_0000, 99)
+        .filter_map(|e| match e {
+            TraceEvent::Branch(r) => Some(r),
+            TraceEvent::PrivilegeSwitch(_) => None,
+        })
+        .take(10_000)
+        .collect();
+    let cfg = CoreConfig::fpga();
+
+    let mut group = c.benchmark_group("per_branch");
+    for kind in [PredictorKind::Gshare, PredictorKind::TageScL] {
+        for (mech_label, mech) in
+            [("baseline", Mechanism::Baseline), ("noisy_xor", Mechanism::noisy_xor_bp())]
+        {
+            group.bench_function(format!("{}/{mech_label}", kind.label()), |b| {
+                let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(kind, mech));
+                let mut stats = PredictionStats::new();
+                let mut i = 0;
+                b.iter(|| {
+                    let rec = &records[i % records.len()];
+                    i += 1;
+                    std::hint::black_box(execute_branch(
+                        &mut fe,
+                        &cfg,
+                        ThreadId::new(0),
+                        rec,
+                        &mut stats,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_predictors
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7: performance overhead of XOR-BTB and Noisy-XOR-BTB on the
+//! single-threaded (FPGA-class) core, per case and switch interval.
+//!
+//! Paper result: average loss < 0.2 %; worst case ≈ 1 % (case 6,
+//! gobmk+libquantum, many useful residual BTB entries); case 2
+//! (milc+povray) slightly *negative* — losing the BTB overturns wrong
+//! taken-predictions via fall-through.
+
+use sbp_bench::{header, run_single_figure};
+use sbp_core::Mechanism;
+
+fn main() {
+    header("Figure 7", "XOR-BTB and Noisy-XOR-BTB overhead, single-threaded core");
+    let avgs = run_single_figure(
+        &[("XOR-BTB", Mechanism::xor_btb()), ("Noisy-XOR-BTB", Mechanism::noisy_xor_btb())],
+        0xf167_0000,
+    );
+    println!("paper: averages < 0.2 %; max ≈ 1.0 % (case6); case2 can be negative");
+    println!(
+        "check: Noisy adds no extra loss over XOR ({} vs {})",
+        sbp_bench::pct(avgs[3..6].iter().sum::<f64>() / 3.0),
+        sbp_bench::pct(avgs[0..3].iter().sum::<f64>() / 3.0)
+    );
+}

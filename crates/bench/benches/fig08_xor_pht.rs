@@ -1,0 +1,22 @@
+//! Figure 8: performance overhead of XOR-PHT (Enhanced) and Noisy-XOR-PHT
+//! on the single-threaded core.
+//!
+//! Paper result: average < 1.1 %, decreasing with the switch interval;
+//! worst case is case 1 (gcc+calculix: high conditional ratio, accurate
+//! PHT), case 7 (gromacs+GemsFDTD) barely affected.
+
+use sbp_bench::{header, run_single_figure};
+use sbp_core::Mechanism;
+
+fn main() {
+    header("Figure 8", "XOR-PHT and Noisy-XOR-PHT overhead, single-threaded core");
+    let avgs = run_single_figure(
+        &[
+            ("XOR-PHT", Mechanism::enhanced_xor_pht()),
+            ("Noisy-XOR-PHT", Mechanism::noisy_xor_pht()),
+        ],
+        0xf168_0000,
+    );
+    println!("paper: averages < 1.1 %; case1 is the worst; case7 barely affected");
+    let _ = avgs;
+}

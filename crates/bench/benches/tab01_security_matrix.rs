@@ -1,0 +1,107 @@
+//! Table 1: the security comparison matrix — Defend / Mitigate /
+//! No Protection per (structure, mechanism, attack class, core mode).
+//!
+//! Reuse attacks: branch shadowing + Spectre-v2 training (BTB),
+//! BranchScope + the scenario-4 reference variant (PHT). Contention
+//! attacks: SBPA (BTB); the PHT has no eviction channel, so contention is
+//! structurally defended (paper §2.1).
+
+use sbp_attack::{BranchScope, BranchShadowing, ReferenceBranchScope, Sbpa, SpectreV2, Verdict};
+use sbp_bench::header;
+use sbp_core::Mechanism;
+
+const TRIALS: u64 = 1500;
+
+/// Worst verdict of two outcomes, with a variant-capped rule: if the
+/// primary PoC is defended but a specialized variant succeeds, the cell is
+/// at best Mitigate (the paper's XOR-PHT reasoning).
+fn combine(primary: Verdict, variant_succeeds: bool) -> Verdict {
+    match (primary, variant_succeeds) {
+        (Verdict::NoProtection, _) => Verdict::NoProtection,
+        (_, true) => Verdict::Mitigate,
+        (v, false) => v,
+    }
+}
+
+fn btb_row(label: &str, mech: Mechanism, paper: [&str; 4]) {
+    let reuse_st = {
+        let a = BranchShadowing::new(mech, false).run(TRIALS, 11).verdict();
+        let b = SpectreV2::new(mech, false).run(TRIALS, 12).verdict();
+        a.max_severity(b)
+    };
+    let cont_st = Sbpa::new(mech, false).run(TRIALS, 13).verdict();
+    let reuse_smt = {
+        let a = BranchShadowing::new(mech, true).run(TRIALS, 14).verdict();
+        let b = SpectreV2::new(mech, true).run(TRIALS, 15).verdict();
+        a.max_severity(b)
+    };
+    let cont_smt = Sbpa::new(mech, true).run(TRIALS, 16).verdict();
+    print_row("BTB", label, [reuse_st, cont_st, reuse_smt, cont_smt], paper);
+}
+
+fn pht_row(label: &str, mech: Mechanism, paper: [&str; 4]) {
+    let reuse = |smt: bool, seed: u64| {
+        let primary = BranchScope::new(mech, smt).run(TRIALS, seed).verdict();
+        let variant = ReferenceBranchScope::new(mech, smt).run(TRIALS, seed + 1);
+        combine(primary, variant.advantage() > 0.35)
+    };
+    let reuse_st = reuse(false, 21);
+    let reuse_smt = reuse(true, 23);
+    // No eviction channel exists in a PHT: contention is defended by
+    // construction for every mechanism (paper §2.1).
+    print_row(
+        "PHT",
+        label,
+        [reuse_st, Verdict::Defend, reuse_smt, Verdict::Defend],
+        paper,
+    );
+}
+
+trait MaxSeverity {
+    fn max_severity(self, other: Verdict) -> Verdict;
+}
+
+impl MaxSeverity for Verdict {
+    fn max_severity(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (NoProtection, _) | (_, NoProtection) => NoProtection,
+            (Mitigate, _) | (_, Mitigate) => Mitigate,
+            _ => Defend,
+        }
+    }
+}
+
+fn print_row(structure: &str, label: &str, v: [Verdict; 4], paper: [&str; 4]) {
+    println!(
+        "{structure:<4} {label:<18} | ST reuse {:<14} (paper {:<14}) | ST cont {:<14} (paper {:<14})",
+        v[0].label(),
+        paper[0],
+        v[1].label(),
+        paper[1]
+    );
+    println!(
+        "{:<23} | SMT reuse {:<13} (paper {:<14}) | SMT cont {:<13} (paper {:<14})",
+        "",
+        v[2].label(),
+        paper[2],
+        v[3].label(),
+        paper[3]
+    );
+}
+
+fn main() {
+    header("Table 1", "Security comparison (Defend / Mitigate / No Protection)");
+    println!("-- BTB mechanisms --");
+    btb_row("Complete Flush", Mechanism::CompleteFlush, ["Defend", "Defend", "No Protection", "No Protection"]);
+    btb_row("Precise Flush", Mechanism::PreciseFlush, ["Defend", "Defend", "Defend", "No Protection"]);
+    btb_row("XOR-BTB", Mechanism::xor_btb(), ["Defend", "Defend", "Mitigate", "No Protection"]);
+    btb_row("Noisy-XOR-BTB", Mechanism::noisy_xor_btb(), ["Defend", "Defend", "Defend", "Mitigate"]);
+    println!("-- PHT mechanisms --");
+    pht_row("Complete Flush", Mechanism::CompleteFlush, ["Defend", "Defend", "No Protection", "Defend"]);
+    pht_row("Precise Flush", Mechanism::PreciseFlush, ["Defend", "Defend", "Defend", "No Protection*"]);
+    pht_row("XOR-PHT", Mechanism::xor_pht(), ["Mitigate", "Defend", "No Protection", "Defend"]);
+    pht_row("Enhanced-XOR-PHT", Mechanism::enhanced_xor_pht(), ["Defend", "Defend", "Mitigate", "Defend"]);
+    pht_row("Noisy-XOR-PHT", Mechanism::noisy_xor_pht(), ["Defend", "Defend", "Mitigate", "Defend"]);
+    println!("(* the paper's PF/PHT SMT-contention cell concerns thread-ID cost, see §4.1)");
+}

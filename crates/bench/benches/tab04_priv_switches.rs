@@ -1,0 +1,46 @@
+//! Table 4: privilege switches per million cycles under Noisy-XOR-BP-12M,
+//! compared to the (much rarer) timer context switches.
+//!
+//! Paper: case1 ≈ 4.9 ... case6 ≈ 1.6 privilege switches per Mcycle;
+//! context switches ≈ 0.08 per Mcycle — privilege changes dominate the
+//! rekey rate, so the timer interval barely matters for XOR-BP.
+
+use sbp_bench::{header, parallel_map};
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{run_single_case, CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::cases_single;
+
+const PAPER: [f64; 12] = [4.9, 7.0, 1.9, 2.0, 1.7, 1.6, 1.7, 2.0, 1.8, 2.7, 3.5, 1.9];
+
+fn main() {
+    header("Table 4", "Privilege switches per million cycles (Noisy-XOR-BP-12M)");
+    let cases = cases_single();
+    let budget = WorkBudget::single_default();
+    let stats = parallel_map(cases.len(), |c| {
+        run_single_case(
+            &cases[c],
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+            SwitchInterval::M12,
+            budget,
+            0x7ab4_0000 + c as u64,
+        )
+        .expect("run")
+    });
+    println!(
+        "{:<8} {:>18} {:>10} {:>18}",
+        "case", "priv/Mcycle", "paper", "ctx-sw/Mcycle"
+    );
+    for (c, case) in cases.iter().enumerate() {
+        println!(
+            "{:<8} {:>18.2} {:>10.1} {:>18.3}",
+            case.id,
+            stats[c].priv_switches_per_mcycle(),
+            PAPER[c],
+            stats[c].ctx_switches_per_mcycle(),
+        );
+    }
+    println!("(paper: context switches ≈ 0.08/Mcycle — privilege switches dominate)");
+}

@@ -1,0 +1,19 @@
+//! Table 5: area and timing overhead of Noisy-XOR-BP at RTL (TSMC 28 nm in
+//! the paper; analytical gate/SRAM model here — see `sbp-hwcost`).
+
+use sbp_bench::header;
+use sbp_hwcost::{table5_btb_rows, table5_pht_rows};
+
+fn main() {
+    header("Table 5", "Area and timing overhead of Noisy-XOR-BP");
+    println!("-- BTB (2-way, entries per way) --");
+    for row in table5_btb_rows() {
+        println!("{}", row.format());
+    }
+    println!("-- PHT (TAGE tagged tables, entries per table) --");
+    for row in table5_pht_rows() {
+        println!("{}", row.format());
+    }
+    println!("(model constants calibrated on the BTB 2w256 / PHT 2048 rows;");
+    println!(" trends — timing grows, area shrinks with size — are model output)");
+}

@@ -1,0 +1,457 @@
+//! The secure branch-prediction front-end.
+//!
+//! [`SecureFrontend`] bundles a direction predictor, a BTB and a RAS behind
+//! one interface and applies the configured [`Mechanism`]:
+//!
+//! * it derives the correct [`KeyCtx`] for every access (content keys for
+//!   XOR-BP, index keys for Noisy-XOR-BP, owner tracking for Precise
+//!   Flush);
+//! * it reacts to [`CoreEvent`]s — flushing for the flush mechanisms,
+//!   re-keying for the XOR family.
+//!
+//! The simulator (`sbp-sim`) drives one `SecureFrontend` per core; the
+//! attack framework (`sbp-attack`) drives one directly, playing attacker
+//! and victim.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_predictors::{Btb, BtbConfig, PredictorKind, Ras};
+use sbp_types::{
+    BranchInfo, CoreEvent, DirectionPredictor, KeyCtx, Pc, TargetPredictor, ThreadId,
+};
+
+use crate::keys::KeyManager;
+use crate::mechanism::Mechanism;
+
+/// Counters of isolation actions taken by the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IsolationStats {
+    /// Complete flushes performed.
+    pub complete_flushes: u64,
+    /// Precise (per-thread) flushes performed.
+    pub precise_flushes: u64,
+    /// Key refreshes performed.
+    pub rekeys: u64,
+}
+
+/// Configuration for [`SecureFrontend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    /// Direction predictor family.
+    pub predictor: PredictorKind,
+    /// BTB geometry.
+    pub btb: BtbConfig,
+    /// RAS depth per thread.
+    pub ras_depth: usize,
+    /// Hardware thread contexts.
+    pub threads: usize,
+    /// Isolation mechanism.
+    pub mechanism: Mechanism,
+    /// Seed for the hardware key RNG.
+    pub key_seed: u64,
+}
+
+impl FrontendConfig {
+    /// The paper's FPGA BOOM single-thread configuration.
+    pub fn paper_fpga(predictor: PredictorKind, mechanism: Mechanism) -> Self {
+        FrontendConfig {
+            predictor,
+            btb: BtbConfig::paper_fpga(),
+            ras_depth: 16,
+            threads: 1,
+            mechanism,
+            key_seed: 0x5eed_5eed,
+        }
+    }
+
+    /// The paper's gem5 Sunny-Cove-like SMT configuration.
+    pub fn paper_gem5(predictor: PredictorKind, mechanism: Mechanism, threads: usize) -> Self {
+        FrontendConfig {
+            predictor,
+            btb: BtbConfig::paper_gem5(),
+            ras_depth: 32,
+            threads,
+            mechanism,
+            key_seed: 0x5eed_5eed,
+        }
+    }
+}
+
+/// A branch-prediction front-end with a pluggable isolation mechanism.
+pub struct SecureFrontend {
+    dir: Box<dyn DirectionPredictor + Send>,
+    btb: Btb,
+    ras: Ras,
+    mechanism: Mechanism,
+    keys: KeyManager,
+    stats: IsolationStats,
+}
+
+impl std::fmt::Debug for SecureFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureFrontend")
+            .field("predictor", &self.dir.name())
+            .field("mechanism", &self.mechanism)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SecureFrontend {
+    /// Builds a front-end from a configuration.
+    pub fn new(cfg: FrontendConfig) -> Self {
+        let owner_tags = cfg.mechanism.needs_owner_tags();
+        let dir = if owner_tags {
+            cfg.predictor.build_with_owner_tags(cfg.threads)
+        } else {
+            cfg.predictor.build(cfg.threads)
+        };
+        let btb = if owner_tags {
+            Btb::new(cfg.btb).with_owner_tags()
+        } else {
+            Btb::new(cfg.btb)
+        };
+        SecureFrontend {
+            dir,
+            btb,
+            ras: Ras::new(cfg.ras_depth, cfg.threads),
+            mechanism: cfg.mechanism,
+            keys: KeyManager::new(cfg.threads, cfg.key_seed),
+            stats: IsolationStats::default(),
+        }
+    }
+
+    /// Builds a front-end around a caller-provided direction predictor
+    /// (ablation / custom-predictor entry point).
+    ///
+    /// The caller is responsible for enabling owner tags on the predictor
+    /// when `mechanism` is [`Mechanism::PreciseFlush`].
+    pub fn with_direction_predictor(
+        dir: Box<dyn DirectionPredictor + Send>,
+        cfg: FrontendConfig,
+    ) -> Self {
+        let btb = if cfg.mechanism.needs_owner_tags() {
+            Btb::new(cfg.btb).with_owner_tags()
+        } else {
+            Btb::new(cfg.btb)
+        };
+        SecureFrontend {
+            dir,
+            btb,
+            ras: Ras::new(cfg.ras_depth, cfg.threads),
+            mechanism: cfg.mechanism,
+            keys: KeyManager::new(cfg.threads, cfg.key_seed),
+            stats: IsolationStats::default(),
+        }
+    }
+
+    /// The configured mechanism.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// Isolation action counters.
+    pub fn stats(&self) -> IsolationStats {
+        self.stats
+    }
+
+    /// The [`KeyCtx`] used for direction-predictor (PHT) accesses by
+    /// `thread`.
+    pub fn pht_ctx(&self, thread: ThreadId) -> KeyCtx {
+        let mut ctx = KeyCtx::disabled(thread);
+        // Precise Flush tags PHT entries to target the flush, but does NOT
+        // read-filter them: per-entry thread-ID matching on 2-bit counters
+        // is the cost the paper's footnote 2 deems impractical.
+        ctx.owner_tracking = self.mechanism.needs_owner_tags();
+        if let Mechanism::Xor(x) = self.mechanism {
+            if x.protect_pht {
+                ctx.keys = self.keys.keys(thread);
+                ctx.content_enabled = true;
+                ctx.index_enabled = x.index_encoding;
+                ctx.enhanced = x.enhanced_pht;
+                ctx.codec = x.codec;
+            }
+        }
+        ctx
+    }
+
+    /// The [`KeyCtx`] used for BTB accesses by `thread`.
+    pub fn btb_ctx(&self, thread: ThreadId) -> KeyCtx {
+        let mut ctx = KeyCtx::disabled(thread);
+        ctx.owner_tracking = self.mechanism.needs_owner_tags();
+        // In a tagged structure the thread ID acts as a tag extension:
+        // another thread's entries cannot hit (Table 1, footnote 1).
+        ctx.owner_read_filter = ctx.owner_tracking;
+        if let Mechanism::Xor(x) = self.mechanism {
+            if x.protect_btb {
+                ctx.keys = self.keys.keys(thread);
+                ctx.content_enabled = true;
+                ctx.index_enabled = x.index_encoding;
+                ctx.enhanced = true;
+                ctx.codec = x.codec;
+            }
+        }
+        ctx
+    }
+
+    /// Predicts the direction of a conditional branch.
+    pub fn predict_direction(&mut self, info: BranchInfo) -> bool {
+        let ctx = self.pht_ctx(info.thread);
+        self.dir.predict(info, &ctx)
+    }
+
+    /// Trains the direction predictor with the resolved outcome.
+    pub fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
+        let ctx = self.pht_ctx(info.thread);
+        self.dir.update(info, taken, predicted, &ctx);
+    }
+
+    /// Looks up the BTB for a predicted target.
+    pub fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
+        let ctx = self.btb_ctx(info.thread);
+        self.btb.lookup(info, &ctx)
+    }
+
+    /// Installs/refreshes the BTB mapping after a taken branch resolves.
+    pub fn update_target(&mut self, info: BranchInfo, target: Pc) {
+        let ctx = self.btb_ctx(info.thread);
+        self.btb.update(info, target, &ctx);
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn ras_push(&mut self, thread: ThreadId, return_addr: Pc) {
+        self.ras.push(thread, return_addr);
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn ras_pop(&mut self, thread: ThreadId) -> Option<Pc> {
+        self.ras.pop(thread)
+    }
+
+    /// Applies the mechanism's reaction to a core event.
+    pub fn handle_event(&mut self, event: CoreEvent) {
+        match event {
+            CoreEvent::ContextSwitch { hw_thread } => {
+                // The RAS content belongs to the departing software
+                // context in every scheme.
+                self.ras.clear_thread(hw_thread);
+                match self.mechanism {
+                    Mechanism::Baseline => {}
+                    Mechanism::CompleteFlush => {
+                        self.dir.flush_all();
+                        self.btb.flush_all();
+                        self.stats.complete_flushes += 1;
+                    }
+                    Mechanism::PreciseFlush => {
+                        self.dir.flush_thread(hw_thread);
+                        self.btb.flush_thread(hw_thread);
+                        self.stats.precise_flushes += 1;
+                    }
+                    Mechanism::Xor(_) => {
+                        self.keys.rekey(hw_thread);
+                        self.stats.rekeys += 1;
+                    }
+                }
+            }
+            CoreEvent::PrivilegeSwitch { hw_thread, .. } => {
+                if self.mechanism.rekeys_on_privilege_switch() {
+                    self.keys.rekey(hw_thread);
+                    self.stats.rekeys += 1;
+                }
+            }
+        }
+    }
+
+    /// Read access to the BTB (observability for tests/attacks).
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+
+    /// Mutable access to the direction predictor (ablations).
+    pub fn direction_predictor_mut(&mut self) -> &mut (dyn DirectionPredictor + Send) {
+        self.dir.as_mut()
+    }
+
+    /// Total predictor storage in bits (direction + BTB + RAS).
+    pub fn storage_bits(&self) -> u64 {
+        self.dir.storage_bits() + self.btb.storage_bits() + self.ras.storage_bits()
+    }
+
+    /// Name of the direction predictor.
+    pub fn predictor_name(&self) -> &'static str {
+        self.dir.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, Privilege};
+
+    fn cond(thread: u8, pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(thread), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    fn ind(thread: u8, pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(thread), Pc::new(pc), BranchKind::IndirectJump)
+    }
+
+    fn train_taken(fe: &mut SecureFrontend, info: BranchInfo, n: usize) {
+        for _ in 0..n {
+            let p = fe.predict_direction(info);
+            fe.update_direction(info, true, p);
+        }
+    }
+
+    #[test]
+    fn baseline_state_survives_context_switch() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::Baseline,
+        ));
+        let i = cond(0, 0x400);
+        // Train past GHR saturation (13 history bits) so the last updates
+        // repeatedly hit the same PHT entry.
+        train_taken(&mut fe, i, 20);
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert!(fe.predict_direction(i), "baseline must keep residual state");
+    }
+
+    #[test]
+    fn complete_flush_wipes_on_context_switch() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::CompleteFlush,
+        ));
+        let i = cond(0, 0x400);
+        train_taken(&mut fe, i, 8);
+        let t = ind(0, 0x800);
+        fe.update_target(t, Pc::new(0x9000));
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert!(!fe.predict_direction(i), "direction state must be flushed");
+        assert_eq!(fe.predict_target(t), None, "BTB must be flushed");
+        assert_eq!(fe.stats().complete_flushes, 1);
+    }
+
+    #[test]
+    fn xor_rekey_invalidates_residual_state() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+        ));
+        let t = ind(0, 0x800);
+        fe.update_target(t, Pc::new(0x9000));
+        assert_eq!(fe.predict_target(t), Some(Pc::new(0x9000)));
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert_ne!(
+            fe.predict_target(t),
+            Some(Pc::new(0x9000)),
+            "rekey must hide the stored target"
+        );
+        assert_eq!(fe.stats().rekeys, 1);
+    }
+
+    #[test]
+    fn xor_rekeys_on_privilege_switch_flush_does_not() {
+        let mut xor = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+        ));
+        let mut cf = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::CompleteFlush,
+        ));
+        let ev = CoreEvent::PrivilegeSwitch { hw_thread: ThreadId::new(0), to: Privilege::Kernel };
+        xor.handle_event(ev);
+        cf.handle_event(ev);
+        assert_eq!(xor.stats().rekeys, 1);
+        assert_eq!(cf.stats().complete_flushes, 0);
+    }
+
+    #[test]
+    fn precise_flush_spares_other_threads() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
+            PredictorKind::Gshare,
+            Mechanism::PreciseFlush,
+            2,
+        ));
+        let t0 = ind(0, 0x1000);
+        let t1 = ind(1, 0x2000);
+        fe.update_target(t0, Pc::new(0xaaa0));
+        fe.update_target(t1, Pc::new(0xbbb0));
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert_eq!(fe.predict_target(t0), None, "thread 0 entries flushed");
+        assert_eq!(fe.predict_target(t1), Some(Pc::new(0xbbb0)), "thread 1 spared");
+        assert_eq!(fe.stats().precise_flushes, 1);
+    }
+
+    #[test]
+    fn complete_flush_hurts_other_threads_on_smt() {
+        // Observation 2 of the paper in miniature.
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
+            PredictorKind::Gshare,
+            Mechanism::CompleteFlush,
+            2,
+        ));
+        let t1 = ind(1, 0x2000);
+        fe.update_target(t1, Pc::new(0xbbb0));
+        // A context switch on hardware thread 0 wipes thread 1's state too.
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert_eq!(fe.predict_target(t1), None);
+    }
+
+    #[test]
+    fn xor_rekey_spares_other_smt_threads() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+            2,
+        ));
+        let t1 = ind(1, 0x2000);
+        fe.update_target(t1, Pc::new(0xbbb0));
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert_eq!(
+            fe.predict_target(t1),
+            Some(Pc::new(0xbbb0)),
+            "rekeying thread 0 must not disturb thread 1"
+        );
+    }
+
+    #[test]
+    fn ras_is_cleared_on_context_switch() {
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::Baseline,
+        ));
+        fe.ras_push(ThreadId::new(0), Pc::new(0x1234));
+        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        assert_eq!(fe.ras_pop(ThreadId::new(0)), None);
+    }
+
+    #[test]
+    fn ctx_derivation_matches_mechanism() {
+        let fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::xor_pht(),
+        ));
+        let pht = fe.pht_ctx(ThreadId::new(0));
+        let btb = fe.btb_ctx(ThreadId::new(0));
+        assert!(pht.content_enabled);
+        assert!(!pht.index_enabled);
+        assert!(!pht.enhanced, "plain XOR-PHT uses a fixed slice");
+        assert!(!btb.content_enabled, "XOR-PHT leaves the BTB unprotected");
+    }
+
+    #[test]
+    fn debug_and_accessors() {
+        let fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Tournament,
+            Mechanism::noisy_xor_bp(),
+        ));
+        let dbg = format!("{fe:?}");
+        assert!(dbg.contains("tournament"));
+        assert!(fe.storage_bits() > 0);
+        assert_eq!(fe.predictor_name(), "tournament");
+        assert!(fe.btb().valid_entries() == 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-hardware-thread key registers and the rekey policy.
+//!
+//! Models the paper's §5.4: "a dedicated hardware register per hardware
+//! thread to record the key. Such a thread private register is invisible to
+//! software. Once a context switch or a privilege switch occurs, a new
+//! random number will be generated and updated to this private register."
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::rng::Xoshiro256;
+use sbp_types::{KeyPair, ThreadId};
+
+/// Key register file: one [`KeyPair`] per hardware thread context, fed by a
+/// modeled hardware RNG.
+///
+/// ```
+/// use sbp_core::keys::KeyManager;
+/// use sbp_types::ThreadId;
+///
+/// let mut km = KeyManager::new(2, 42);
+/// let t0 = ThreadId::new(0);
+/// let before = km.keys(t0);
+/// km.rekey(t0);
+/// assert_ne!(km.keys(t0), before, "rekey must change the register");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyManager {
+    keys: Vec<KeyPair>,
+    rng: Xoshiro256,
+    rekey_count: u64,
+}
+
+impl KeyManager {
+    /// Creates a register file for `threads` hardware contexts, seeding
+    /// each with an initial random key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        assert!(threads > 0, "at least one hardware thread required");
+        let mut rng = Xoshiro256::new(seed);
+        let keys = (0..threads).map(|_| KeyPair::from_random(rng.next_u64())).collect();
+        KeyManager { keys, rng, rekey_count: 0 }
+    }
+
+    /// Current key pair of `thread`.
+    pub fn keys(&self, thread: ThreadId) -> KeyPair {
+        self.keys[thread.index()]
+    }
+
+    /// Generates a fresh random key pair for `thread` (hardware action on a
+    /// context or privilege switch). Returns the new pair.
+    pub fn rekey(&mut self, thread: ThreadId) -> KeyPair {
+        let pair = KeyPair::from_random(self.rng.next_u64());
+        self.keys[thread.index()] = pair;
+        self.rekey_count += 1;
+        pair
+    }
+
+    /// Number of rekey operations performed (observability for tests and
+    /// the Table 4 harness).
+    pub fn rekey_count(&self) -> u64 {
+        self.rekey_count
+    }
+
+    /// Number of hardware thread contexts.
+    pub fn threads(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_keys_differ_across_threads() {
+        let km = KeyManager::new(4, 7);
+        let pairs: Vec<KeyPair> = (0..4).map(|t| km.keys(ThreadId::new(t))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(pairs[i], pairs[j], "threads {i} and {j} share a key");
+            }
+        }
+    }
+
+    #[test]
+    fn rekey_changes_only_target_thread() {
+        let mut km = KeyManager::new(2, 9);
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let k1_before = km.keys(t1);
+        let old = km.keys(t0);
+        let new = km.rekey(t0);
+        assert_ne!(old, new);
+        assert_eq!(km.keys(t0), new);
+        assert_eq!(km.keys(t1), k1_before, "other thread's key must not change");
+        assert_eq!(km.rekey_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = KeyManager::new(1, 5);
+        let mut b = KeyManager::new(1, 5);
+        assert_eq!(a.keys(ThreadId::new(0)), b.keys(ThreadId::new(0)));
+        assert_eq!(a.rekey(ThreadId::new(0)), b.rekey(ThreadId::new(0)));
+        assert_eq!(a.threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hardware thread")]
+    fn zero_threads_panics() {
+        let _ = KeyManager::new(0, 1);
+    }
+}

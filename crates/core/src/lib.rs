@@ -1,0 +1,38 @@
+//! # sbp-core
+//!
+//! The paper's primary contribution: lightweight XOR-based isolation for
+//! branch predictors.
+//!
+//! * [`mechanism`] names every evaluated scheme — Baseline, Complete Flush,
+//!   Precise Flush, and the XOR family (XOR-BTB, XOR-PHT, Enhanced-XOR-PHT,
+//!   Noisy-XOR-BTB, Noisy-XOR-PHT, XOR-BP, Noisy-XOR-BP);
+//! * [`keys`] models the per-hardware-thread key registers refreshed on
+//!   context and privilege switches;
+//! * [`frontend`] bundles a direction predictor, BTB and RAS behind one
+//!   interface and applies the configured mechanism.
+//!
+//! ```
+//! use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
+//! use sbp_predictors::PredictorKind;
+//! use sbp_types::{BranchInfo, BranchKind, CoreEvent, Pc, ThreadId};
+//!
+//! let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+//!     PredictorKind::Gshare,
+//!     Mechanism::noisy_xor_bp(),
+//! ));
+//! let info = BranchInfo::new(ThreadId::new(0), Pc::new(0x800), BranchKind::IndirectJump);
+//! fe.update_target(info, Pc::new(0x9000));
+//! assert_eq!(fe.predict_target(info), Some(Pc::new(0x9000)));
+//!
+//! // A context switch re-keys: the residual entry becomes unreadable.
+//! fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+//! assert_ne!(fe.predict_target(info), Some(Pc::new(0x9000)));
+//! ```
+
+pub mod frontend;
+pub mod keys;
+pub mod mechanism;
+
+pub use frontend::{FrontendConfig, IsolationStats, SecureFrontend};
+pub use keys::KeyManager;
+pub use mechanism::{Mechanism, XorConfig};

@@ -1,0 +1,236 @@
+//! Isolation mechanism configurations.
+//!
+//! This module names every protection scheme the paper evaluates:
+//!
+//! * **Baseline** — conventional shared predictor, no protection;
+//! * **Complete Flush** — flush every table on a context switch;
+//! * **Precise Flush** — thread-ID-tagged tables, flush only the departing
+//!   thread's entries on a context switch;
+//! * **XOR-BP family** — the paper's contribution: content encoding
+//!   (XOR-BTB / XOR-PHT / Enhanced-XOR-PHT) and index encoding
+//!   (Noisy-XOR-*), with keys refreshed on context *and* privilege
+//!   switches.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::Codec;
+
+/// Which predictor structures the XOR mechanism protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorConfig {
+    /// Encode BTB tags and targets.
+    pub protect_btb: bool,
+    /// Encode PHT (direction predictor) contents.
+    pub protect_pht: bool,
+    /// Also randomize table indices (the "Noisy" variants).
+    pub index_encoding: bool,
+    /// Enhanced-XOR-PHT: per-entry key slices for narrow counters. With
+    /// `false` the plain XOR-PHT single fixed key slice is used (weaker,
+    /// paper §5.5 scenario 4).
+    pub enhanced_pht: bool,
+    /// The reversible content codec (paper §5.4 allows alternatives).
+    pub codec: Codec,
+    /// Refresh keys on privilege switches too (the paper's design; turning
+    /// this off is the rekey-policy ablation).
+    pub rekey_on_privilege: bool,
+}
+
+impl XorConfig {
+    /// Full Noisy-XOR-BP protection (both structures, both encodings).
+    pub const fn full() -> Self {
+        XorConfig {
+            protect_btb: true,
+            protect_pht: true,
+            index_encoding: true,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        }
+    }
+}
+
+impl Default for XorConfig {
+    fn default() -> Self {
+        XorConfig::full()
+    }
+}
+
+/// An isolation mechanism, as named in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Mechanism {
+    /// No protection (the paper's `Baseline`).
+    #[default]
+    Baseline,
+    /// Flush all predictor tables on every context switch (`CF`).
+    CompleteFlush,
+    /// Flush only the departing thread's entries (thread-ID tags, `PF`).
+    PreciseFlush,
+    /// The XOR-based content/index encoding family.
+    Xor(XorConfig),
+}
+
+impl Mechanism {
+    /// `XOR-BTB`: content-encode the BTB only.
+    pub const fn xor_btb() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: true,
+            protect_pht: false,
+            index_encoding: false,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `Noisy-XOR-BTB`: content + index encoding of the BTB.
+    pub const fn noisy_xor_btb() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: true,
+            protect_pht: false,
+            index_encoding: true,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `XOR-PHT`: plain content encoding of the direction tables with a
+    /// single fixed key slice (the weak variant of §5.2).
+    pub const fn xor_pht() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: false,
+            protect_pht: true,
+            index_encoding: false,
+            enhanced_pht: false,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `Enhanced-XOR-PHT`: word-granular per-entry key slices.
+    pub const fn enhanced_xor_pht() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: false,
+            protect_pht: true,
+            index_encoding: false,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `Noisy-XOR-PHT`: Enhanced content encoding plus index encoding.
+    pub const fn noisy_xor_pht() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: false,
+            protect_pht: true,
+            index_encoding: true,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `XOR-BP`: content encoding of both BTB and PHT.
+    pub const fn xor_bp() -> Self {
+        Mechanism::Xor(XorConfig {
+            protect_btb: true,
+            protect_pht: true,
+            index_encoding: false,
+            enhanced_pht: true,
+            codec: Codec::Xor,
+            rekey_on_privilege: true,
+        })
+    }
+
+    /// `Noisy-XOR-BP`: the paper's full mechanism.
+    pub const fn noisy_xor_bp() -> Self {
+        Mechanism::Xor(XorConfig::full())
+    }
+
+    /// Whether predictor tables need per-entry owner tags (only Precise
+    /// Flush does).
+    pub const fn needs_owner_tags(self) -> bool {
+        matches!(self, Mechanism::PreciseFlush)
+    }
+
+    /// Whether the mechanism re-keys on privilege switches. Flushing on
+    /// every syscall would be absurdly expensive, so the flush mechanisms
+    /// act on context switches only; the XOR family re-keys on both, which
+    /// is cheap (a register write) — this is why Table 4's privilege-switch
+    /// counts matter for Noisy-XOR-BP.
+    pub const fn rekeys_on_privilege_switch(self) -> bool {
+        matches!(self, Mechanism::Xor(XorConfig { rekey_on_privilege: true, .. }))
+    }
+
+    /// Short label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Baseline => "Baseline",
+            Mechanism::CompleteFlush => "CF",
+            Mechanism::PreciseFlush => "PF",
+            Mechanism::Xor(cfg) => match (cfg.protect_btb, cfg.protect_pht, cfg.index_encoding) {
+                (true, false, false) => "XOR-BTB",
+                (true, false, true) => "Noisy-XOR-BTB",
+                (false, true, false) => {
+                    if cfg.enhanced_pht {
+                        "Enhanced-XOR-PHT"
+                    } else {
+                        "XOR-PHT"
+                    }
+                }
+                (false, true, true) => "Noisy-XOR-PHT",
+                (true, true, false) => "XOR-BP",
+                (true, true, true) => "Noisy-XOR-BP",
+                _ => "XOR-custom",
+            },
+        }
+    }
+}
+
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Mechanism::Baseline.label(), "Baseline");
+        assert_eq!(Mechanism::CompleteFlush.label(), "CF");
+        assert_eq!(Mechanism::PreciseFlush.label(), "PF");
+        assert_eq!(Mechanism::xor_btb().label(), "XOR-BTB");
+        assert_eq!(Mechanism::noisy_xor_btb().label(), "Noisy-XOR-BTB");
+        assert_eq!(Mechanism::xor_pht().label(), "XOR-PHT");
+        assert_eq!(Mechanism::enhanced_xor_pht().label(), "Enhanced-XOR-PHT");
+        assert_eq!(Mechanism::noisy_xor_pht().label(), "Noisy-XOR-PHT");
+        assert_eq!(Mechanism::xor_bp().label(), "XOR-BP");
+        assert_eq!(Mechanism::noisy_xor_bp().label(), "Noisy-XOR-BP");
+    }
+
+    #[test]
+    fn owner_tags_only_for_precise_flush() {
+        assert!(Mechanism::PreciseFlush.needs_owner_tags());
+        assert!(!Mechanism::CompleteFlush.needs_owner_tags());
+        assert!(!Mechanism::noisy_xor_bp().needs_owner_tags());
+    }
+
+    #[test]
+    fn only_xor_rekeys_on_privilege_switch() {
+        assert!(Mechanism::noisy_xor_bp().rekeys_on_privilege_switch());
+        assert!(Mechanism::xor_pht().rekeys_on_privilege_switch());
+        assert!(!Mechanism::CompleteFlush.rekeys_on_privilege_switch());
+        assert!(!Mechanism::Baseline.rekeys_on_privilege_switch());
+    }
+
+    #[test]
+    fn display_delegates_to_label() {
+        assert_eq!(Mechanism::noisy_xor_bp().to_string(), "Noisy-XOR-BP");
+    }
+}

@@ -1,0 +1,27 @@
+//! # sbp-hwcost
+//!
+//! Analytical area and critical-path timing model for the Noisy-XOR-BP
+//! hardware additions (the paper's Table 5, synthesized on TSMC 28 nm).
+//!
+//! The paper reports *relative* overheads of adding the XOR stages and key
+//! registers to a BTB or TAGE PHT macro. We reproduce those ratios with a
+//! standard analytical SRAM model (logic-gate units):
+//!
+//! * **area**: bit cells + row decoder + sense amplifiers vs. the added
+//!   XOR gates (one per read-port data bit plus index bits) and the two
+//!   64-bit key registers;
+//! * **timing**: decoder depth, wordline/bitline RC (∝ √entries), sense
+//!   and compare, vs. one added XOR stage whose drive requirement grows
+//!   with the decoded fan-out (the index XOR feeds the decoder's full
+//!   input load, which is why the paper's timing overhead *grows* with
+//!   table size).
+//!
+//! Constants are in normalized gate-equivalent units, calibrated once
+//! against Table 5's BTB `2w256` row; everything else is model output and
+//! compared against the paper in `EXPERIMENTS.md`.
+
+pub mod model;
+pub mod report;
+
+pub use model::{BtbGeometry, CostBreakdown, PhtGeometry, XorOverlay};
+pub use report::{table5_btb_rows, table5_pht_rows, Table5Row};

@@ -1,0 +1,247 @@
+//! The analytical SRAM + XOR-overlay cost model.
+//!
+//! All quantities are in normalized technology units (gate equivalents for
+//! area, FO4-ish delays for timing); only *ratios* are meaningful, which
+//! is also all the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+// --- Calibrated technology constants (normalized units) ---------------
+
+/// Area of one SRAM bit cell.
+const A_CELL: f64 = 1.0;
+/// Area per decoder row driver.
+const A_DECODE_ROW: f64 = 4.0;
+/// Area per sense amplifier (one per read-port data bit).
+const A_SENSE: f64 = 10.0;
+/// Area per tag comparator bit.
+const A_CMP: f64 = 6.0;
+/// Area of one 2-input XOR gate (read-port overlay).
+const A_XOR: f64 = 0.25;
+/// Area of one key-register flip-flop bit.
+const A_FF: f64 = 0.9;
+
+/// Delay per decoder level (log2 of rows).
+const D_DECODE: f64 = 30.0;
+/// Wire/RC delay coefficient (∝ √(rows × width)).
+const D_WIRE: f64 = 1.0;
+/// Sense amplifier resolution time.
+const D_SENSE: f64 = 50.0;
+/// Tag compare delay.
+const D_CMP: f64 = 40.0;
+/// Intrinsic delay of the added XOR stage.
+const D_XOR: f64 = 1.0;
+/// Extra drive delay of the index-XOR stage, growing with the decoder
+/// fan-out it must drive (∝ √rows).
+const D_XOR_DRIVE: f64 = 3.5 / 16.0;
+
+/// Geometry of a BTB macro.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BtbGeometry {
+    /// Entries per way (rows).
+    pub entries_per_way: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Partial tag bits per entry.
+    pub tag_bits: u32,
+    /// Stored target bits per entry.
+    pub target_bits: u32,
+}
+
+impl BtbGeometry {
+    /// The paper's `2wN` geometries.
+    pub fn two_way(entries_per_way: usize) -> Self {
+        BtbGeometry { entries_per_way, ways: 2, tag_bits: 12, target_bits: 32 }
+    }
+
+    fn entry_bits(&self) -> u32 {
+        self.tag_bits + self.target_bits
+    }
+}
+
+/// Geometry of one TAGE prediction table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhtGeometry {
+    /// Entries (rows).
+    pub entries: usize,
+    /// Bits per entry (ctr + tag + u for a TAGE table).
+    pub entry_bits: u32,
+}
+
+impl PhtGeometry {
+    /// A TAGE tagged-table row of Table 5 (13-bit entries: 3-bit counter,
+    /// 8-bit tag, 2-bit useful).
+    pub fn tage(entries: usize) -> Self {
+        PhtGeometry { entries, entry_bits: 13 }
+    }
+}
+
+/// Base-macro vs. overlay cost decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Base macro area (normalized units).
+    pub base_area: f64,
+    /// Added overlay area.
+    pub added_area: f64,
+    /// Base critical-path delay (normalized units).
+    pub base_delay: f64,
+    /// Added overlay delay.
+    pub added_delay: f64,
+}
+
+impl CostBreakdown {
+    /// Relative area overhead (`added/base`).
+    pub fn area_overhead(&self) -> f64 {
+        self.added_area / self.base_area
+    }
+
+    /// Relative timing overhead.
+    pub fn timing_overhead(&self) -> f64 {
+        self.added_delay / self.base_delay
+    }
+}
+
+/// The Noisy-XOR-BP overlay: content XOR per read-port bit, index XOR per
+/// index bit, and the two 64-bit key registers per hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XorOverlay {
+    /// Hardware thread contexts (key register pairs).
+    pub threads: usize,
+    /// Whether index encoding (Noisy) is included.
+    pub index_encoding: bool,
+}
+
+impl XorOverlay {
+    /// The single-thread Noisy-XOR-BP overlay of Table 5.
+    pub fn noisy(threads: usize) -> Self {
+        XorOverlay { threads, index_encoding: true }
+    }
+
+    fn key_register_area(&self) -> f64 {
+        self.threads as f64 * 128.0 * A_FF
+    }
+
+    /// The key registers are a per-core resource shared by every predictor
+    /// structure; each macro is charged an amortized share (the paper's
+    /// per-macro percentages imply the same accounting).
+    fn amortized_keys(&self, share: f64) -> f64 {
+        self.key_register_area() * share
+    }
+
+    /// Costs of overlaying a BTB macro.
+    pub fn btb_cost(&self, g: &BtbGeometry) -> CostBreakdown {
+        let rows = g.entries_per_way as f64;
+        let width = (g.entry_bits() * g.ways as u32) as f64;
+        let bits = rows * width;
+        let index_bits = (g.entries_per_way as f64).log2();
+
+        let base_area = bits * A_CELL
+            + rows * A_DECODE_ROW
+            + width * A_SENSE
+            + (g.tag_bits * g.ways as u32) as f64 * A_CMP;
+        // Content XOR on each read-port bit + index XOR + key registers
+        // (amortized over ~8 predictor structures sharing them).
+        let mut added_area = width * A_XOR + index_bits * A_XOR + self.amortized_keys(1.0 / 8.0);
+        if !self.index_encoding {
+            added_area -= index_bits * A_XOR;
+        }
+
+        let base_delay =
+            D_DECODE * index_bits + D_WIRE * bits.sqrt() + D_SENSE + D_CMP;
+        let mut added_delay = D_XOR + D_XOR_DRIVE * rows.sqrt();
+        if !self.index_encoding {
+            added_delay = D_XOR;
+        }
+        CostBreakdown { base_area, added_area, base_delay, added_delay }
+    }
+
+    /// Costs of overlaying one PHT/TAGE table macro.
+    pub fn pht_cost(&self, g: &PhtGeometry) -> CostBreakdown {
+        let rows = g.entries as f64;
+        let width = g.entry_bits as f64;
+        let bits = rows * width;
+        let index_bits = rows.log2();
+
+        let base_area = bits * A_CELL + rows * A_DECODE_ROW + width * A_SENSE;
+        // Key registers are shared across the predictor's tables; charge
+        // an amortized 1/6th (six tables in the paper's TAGE) here.
+        let mut added_area =
+            width * A_XOR + index_bits * A_XOR + self.amortized_keys(1.0 / 5.0);
+        if !self.index_encoding {
+            added_area -= index_bits * A_XOR;
+        }
+
+        let base_delay = D_DECODE * index_bits + D_WIRE * bits.sqrt() + D_SENSE;
+        let mut added_delay = D_XOR + D_XOR_DRIVE * rows.sqrt();
+        if !self.index_encoding {
+            added_delay = D_XOR;
+        }
+        CostBreakdown { base_area, added_area, base_delay, added_delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_area_overhead_shrinks_with_size() {
+        let overlay = XorOverlay::noisy(1);
+        let a128 = overlay.btb_cost(&BtbGeometry::two_way(128)).area_overhead();
+        let a256 = overlay.btb_cost(&BtbGeometry::two_way(256)).area_overhead();
+        let a512 = overlay.btb_cost(&BtbGeometry::two_way(512)).area_overhead();
+        assert!(a128 > a256 && a256 > a512, "{a128} {a256} {a512}");
+        // Paper band: 0.13 % – 0.24 %.
+        for a in [a128, a256, a512] {
+            assert!((0.0005..0.005).contains(&a), "area overhead {a}");
+        }
+    }
+
+    #[test]
+    fn btb_timing_overhead_grows_with_size() {
+        let overlay = XorOverlay::noisy(1);
+        let t128 = overlay.btb_cost(&BtbGeometry::two_way(128)).timing_overhead();
+        let t256 = overlay.btb_cost(&BtbGeometry::two_way(256)).timing_overhead();
+        let t512 = overlay.btb_cost(&BtbGeometry::two_way(512)).timing_overhead();
+        assert!(t128 < t256 && t256 < t512, "{t128} {t256} {t512}");
+        // Paper band: 0.70 % – 1.46 %.
+        for t in [t128, t256, t512] {
+            assert!((0.004..0.02).contains(&t), "timing overhead {t}");
+        }
+    }
+
+    #[test]
+    fn pht_timing_is_about_two_percent() {
+        let overlay = XorOverlay::noisy(1);
+        for entries in [1024, 2048, 4096] {
+            let t = overlay.pht_cost(&PhtGeometry::tage(entries)).timing_overhead();
+            assert!((0.01..0.035).contains(&t), "PHT timing overhead {t} @{entries}");
+        }
+    }
+
+    #[test]
+    fn pht_area_overhead_shrinks_with_size() {
+        let overlay = XorOverlay::noisy(1);
+        let a1k = overlay.pht_cost(&PhtGeometry::tage(1024)).area_overhead();
+        let a4k = overlay.pht_cost(&PhtGeometry::tage(4096)).area_overhead();
+        assert!(a1k > a4k, "{a1k} vs {a4k}");
+        assert!((0.0001..0.01).contains(&a1k));
+    }
+
+    #[test]
+    fn content_only_overlay_is_cheaper() {
+        let noisy = XorOverlay::noisy(1);
+        let plain = XorOverlay { threads: 1, index_encoding: false };
+        let g = BtbGeometry::two_way(256);
+        assert!(plain.btb_cost(&g).added_delay < noisy.btb_cost(&g).added_delay);
+        assert!(plain.btb_cost(&g).added_area < noisy.btb_cost(&g).added_area);
+    }
+
+    #[test]
+    fn more_threads_cost_more_key_registers() {
+        let g = BtbGeometry::two_way(256);
+        let one = XorOverlay::noisy(1).btb_cost(&g).added_area;
+        let four = XorOverlay::noisy(4).btb_cost(&g).added_area;
+        assert!(four > one);
+    }
+}

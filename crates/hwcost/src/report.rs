@@ -1,0 +1,103 @@
+//! Table 5 row generation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{BtbGeometry, PhtGeometry, XorOverlay};
+
+/// One row of the Table 5 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Configuration label ("2w256", "2048 entries/table", ...).
+    pub config: String,
+    /// Measured timing overhead (fraction).
+    pub timing: f64,
+    /// Measured area overhead (fraction).
+    pub area: f64,
+    /// The paper's reported timing overhead (fraction).
+    pub paper_timing: f64,
+    /// The paper's reported area overhead (fraction).
+    pub paper_area: f64,
+}
+
+impl Table5Row {
+    /// Formats the row for the harness output.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<22} timing {:>5.2}% (paper {:>5.2}%)   area {:>5.3}% (paper {:>5.3}%)",
+            self.config,
+            self.timing * 100.0,
+            self.paper_timing * 100.0,
+            self.area * 100.0,
+            self.paper_area * 100.0
+        )
+    }
+}
+
+/// The BTB half of Table 5 (2-way BTBs of 128/256/512 entries per way).
+pub fn table5_btb_rows() -> Vec<Table5Row> {
+    let overlay = XorOverlay::noisy(1);
+    let paper = [(128usize, 0.0070, 0.0024), (256, 0.0094, 0.0015), (512, 0.0146, 0.0013)];
+    paper
+        .iter()
+        .map(|&(entries, pt, pa)| {
+            let c = overlay.btb_cost(&BtbGeometry::two_way(entries));
+            Table5Row {
+                config: format!("BTB 2w{entries}"),
+                timing: c.timing_overhead(),
+                area: c.area_overhead(),
+                paper_timing: pt,
+                paper_area: pa,
+            }
+        })
+        .collect()
+}
+
+/// The PHT (TAGE) half of Table 5 (1K/2K/4K entries per table).
+pub fn table5_pht_rows() -> Vec<Table5Row> {
+    let overlay = XorOverlay::noisy(1);
+    let paper = [(1024usize, 0.0210, 0.0011), (2048, 0.0198, 0.0009), (4096, 0.0201, 0.0003)];
+    paper
+        .iter()
+        .map(|&(entries, pt, pa)| {
+            let c = overlay.pht_cost(&PhtGeometry::tage(entries));
+            Table5Row {
+                config: format!("PHT {entries}/table"),
+                timing: c.timing_overhead(),
+                area: c.area_overhead(),
+                paper_timing: pt,
+                paper_area: pa,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_configs() {
+        assert_eq!(table5_btb_rows().len(), 3);
+        assert_eq!(table5_pht_rows().len(), 3);
+    }
+
+    #[test]
+    fn measured_values_are_within_the_papers_band() {
+        for row in table5_btb_rows() {
+            assert!(row.timing > 0.0 && row.timing < 0.03, "{}", row.format());
+            assert!(row.area > 0.0 && row.area < 0.006, "{}", row.format());
+        }
+        for row in table5_pht_rows() {
+            assert!(row.timing > 0.005 && row.timing < 0.04, "{}", row.format());
+            assert!(row.area > 0.0 && row.area < 0.012, "{}", row.format());
+        }
+    }
+
+    #[test]
+    fn formatting_contains_both_values() {
+        let row = &table5_btb_rows()[1];
+        let s = row.format();
+        assert!(s.contains("BTB 2w256"));
+        assert!(s.contains("paper"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Bimodal (per-PC 2-bit counter) direction predictor.
+//!
+//! Used standalone as the simplest PHT and as the base component of TAGE.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::{BranchInfo, DirectionPredictor, KeyCtx, PackedTable, Pc, ThreadId};
+
+use crate::counter::{counter_taken, sat_update, weak_not_taken};
+
+/// A bimodal predictor: a table of `entries` saturating counters of
+/// `ctr_bits`, indexed directly by the branch PC.
+///
+/// ```
+/// use sbp_predictors::bimodal::Bimodal;
+/// use sbp_types::{BranchInfo, BranchKind, DirectionPredictor, KeyCtx, Pc, ThreadId};
+///
+/// let mut p = Bimodal::new(1024, 2);
+/// let ctx = KeyCtx::disabled(ThreadId::new(0));
+/// let info = BranchInfo::new(ThreadId::new(0), Pc::new(0x40), BranchKind::Conditional);
+/// for _ in 0..4 {
+///     let pred = p.predict(info, &ctx);
+///     p.update(info, true, pred, &ctx);
+/// }
+/// assert!(p.predict(info, &ctx)); // trained taken
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bimodal {
+    table: PackedTable,
+    ctr_bits: u32,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters of `ctr_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `ctr_bits` is 0.
+    pub fn new(entries: usize, ctr_bits: u32) -> Self {
+        Bimodal {
+            table: PackedTable::new(entries, ctr_bits, weak_not_taken(ctr_bits)),
+            ctr_bits,
+        }
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.table = self.table.with_owner_tags();
+        self
+    }
+
+    fn index_of(&self, pc: Pc) -> usize {
+        pc.btb_index(self.table.index_bits())
+    }
+
+    /// Reads the raw counter value for `pc` (used by TAGE's base predictor
+    /// and by attack observability helpers).
+    pub fn counter(&self, pc: Pc, ctx: &KeyCtx) -> u64 {
+        self.table.get(self.index_of(pc), ctx)
+    }
+
+    /// Directly sets the counter for `pc` (attack priming helper).
+    pub fn set_counter(&mut self, pc: Pc, value: u64, ctx: &KeyCtx) {
+        self.table.set(self.index_of(pc), value, ctx);
+    }
+
+    /// Counter width in bits.
+    pub fn ctr_bits(&self) -> u32 {
+        self.ctr_bits
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
+        counter_taken(self.counter(info.pc, ctx), self.ctr_bits)
+    }
+
+    fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
+        let bits = self.ctr_bits;
+        self.table.update(self.index_of(info.pc), ctx, |c| sat_update(c, bits, taken));
+    }
+
+    fn flush_all(&mut self) {
+        self.table.flush_all();
+    }
+
+    fn flush_thread(&mut self, thread: ThreadId) {
+        self.table.flush_thread(thread);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, KeyPair};
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        let mut p = Bimodal::new(256, 2);
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        assert!(!p.predict(info(0x100), &ctx));
+    }
+
+    #[test]
+    fn trains_toward_taken_and_back() {
+        let mut p = Bimodal::new(256, 2);
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        let i = info(0x200);
+        for _ in 0..3 {
+            let pr = p.predict(i, &ctx);
+            p.update(i, true, pr, &ctx);
+        }
+        assert!(p.predict(i, &ctx));
+        for _ in 0..3 {
+            let pr = p.predict(i, &ctx);
+            p.update(i, false, pr, &ctx);
+        }
+        assert!(!p.predict(i, &ctx));
+    }
+
+    #[test]
+    fn aliasing_maps_to_same_entry() {
+        let mut p = Bimodal::new(16, 2);
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        // PCs 16 word-entries apart alias in a 16-entry table.
+        let a = info(0x100);
+        let b = info(0x100 + 16 * 4);
+        for _ in 0..3 {
+            p.update(a, true, false, &ctx);
+        }
+        assert!(p.predict(b, &ctx), "aliased entry shares state");
+    }
+
+    #[test]
+    fn rekey_invalidates_residual_state() {
+        let mut p = Bimodal::new(1024, 2);
+        let k1 = KeyCtx::xor(ThreadId::new(0), KeyPair::from_random(1));
+        let mut taken_after = 0;
+        // Train 64 branches strongly taken under key 1.
+        for b in 0..64u64 {
+            let i = info(0x1000 + b * 4);
+            for _ in 0..4 {
+                p.update(i, true, false, &k1);
+            }
+        }
+        // Rekey (context switch); residual counters decode to garbage.
+        let k2 = k1.rekeyed(KeyPair::from_random(2));
+        for b in 0..64u64 {
+            if p.predict(info(0x1000 + b * 4), &k2) {
+                taken_after += 1;
+            }
+        }
+        assert!(taken_after < 55, "residual state survived rekey: {taken_after}/64");
+    }
+
+    #[test]
+    fn storage_and_name() {
+        let p = Bimodal::new(4096, 2);
+        assert_eq!(p.storage_bits(), 8192);
+        assert_eq!(p.name(), "bimodal");
+        assert_eq!(p.ctr_bits(), 2);
+    }
+
+    #[test]
+    fn set_counter_primes_state() {
+        let mut p = Bimodal::new(64, 2);
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        p.set_counter(Pc::new(0x80), 3, &ctx);
+        assert!(p.predict(info(0x80), &ctx));
+        assert_eq!(p.counter(Pc::new(0x80), &ctx), 3);
+    }
+}

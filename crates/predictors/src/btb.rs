@@ -1,0 +1,391 @@
+//! Set-associative Branch Target Buffer.
+//!
+//! Each way is a [`PackedTable`] of `tag | target` words, so XOR-BTB content
+//! encoding covers both the tag and the stored target address — the paper
+//! encodes the tag as well, "lest an attacker could use performance
+//! counters as a covert channel to sense possible resource contention".
+//! Index scrambling (Noisy-XOR-BTB) applies at set selection.
+//!
+//! Targets are stored as 32-bit word addresses (byte address >> 2), which
+//! covers the 16 GiB address range our synthetic workloads live in; real
+//! BTBs similarly store compressed targets.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::{BranchInfo, KeyCtx, PackedTable, Pc, TargetPredictor, ThreadId};
+
+/// Stored target width (word address bits).
+const TARGET_BITS: u32 = 32;
+
+/// Configuration for [`Btb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Partial tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl BtbConfig {
+    /// The paper's FPGA BOOM configuration: 256-set × 2-way.
+    pub fn paper_fpga() -> Self {
+        BtbConfig { sets: 256, ways: 2, tag_bits: 12 }
+    }
+
+    /// The paper's gem5 Sunny-Cove-like configuration: 1024-set × 4-way.
+    pub fn paper_gem5() -> Self {
+        BtbConfig { sets: 1024, ways: 4, tag_bits: 12 }
+    }
+}
+
+impl Default for BtbConfig {
+    fn default() -> Self {
+        BtbConfig::paper_fpga()
+    }
+}
+
+/// A set-associative BTB with per-way encoded `tag | target` storage,
+/// valid bits and LRU replacement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Btb {
+    cfg: BtbConfig,
+    ways: Vec<PackedTable>,
+    valid: Vec<Vec<bool>>,
+    /// Per-set LRU stamps (one per way).
+    lru: Vec<Vec<u32>>,
+    clock: u32,
+    set_bits: u32,
+}
+
+impl Btb {
+    /// Creates a BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is 0.
+    pub fn new(cfg: BtbConfig) -> Self {
+        assert!(cfg.ways > 0, "at least one way required");
+        let entry_bits = cfg.tag_bits + TARGET_BITS;
+        Btb {
+            ways: (0..cfg.ways).map(|_| PackedTable::new(cfg.sets, entry_bits, 0)).collect(),
+            valid: vec![vec![false; cfg.sets]; cfg.ways],
+            lru: vec![vec![0; cfg.ways]; cfg.sets],
+            clock: 0,
+            set_bits: (cfg.sets as u64).trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.ways = self.ways.into_iter().map(PackedTable::with_owner_tags).collect();
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BtbConfig {
+        &self.cfg
+    }
+
+    /// The *logical* set index of a PC (before index-key scrambling).
+    pub fn set_of(&self, pc: Pc) -> usize {
+        pc.btb_index(self.set_bits)
+    }
+
+    /// The partial tag of a PC.
+    pub fn tag_of(&self, pc: Pc) -> u64 {
+        let t = pc.tag(self.set_bits, self.cfg.tag_bits);
+        if t == 0 {
+            1 // 0 is reserved so an all-zero entry can never match
+        } else {
+            t
+        }
+    }
+
+    fn pack(&self, tag: u64, target: Pc) -> u64 {
+        debug_assert!(tag <= mask_u64(self.cfg.tag_bits));
+        (tag << TARGET_BITS) | (target.word() & mask_u64(TARGET_BITS))
+    }
+
+    fn unpack(&self, word: u64) -> (u64, Pc) {
+        let target_word = word & mask_u64(TARGET_BITS);
+        let tag = (word >> TARGET_BITS) & mask_u64(self.cfg.tag_bits);
+        (tag, Pc::new(target_word << 2))
+    }
+
+    fn touch_lru(&mut self, set: usize, way: usize) {
+        self.clock = self.clock.wrapping_add(1);
+        self.lru[set][way] = self.clock;
+    }
+
+    /// Returns the number of valid entries (warm-up observability).
+    pub fn valid_entries(&self) -> usize {
+        self.valid.iter().map(|w| w.iter().filter(|&&v| v).count()).sum()
+    }
+
+    /// Invalidates a specific logical (set, way) — attack helper.
+    pub fn invalidate(&mut self, set: usize, way: usize) {
+        self.valid[way][set] = false;
+    }
+
+    /// Checks whether a specific PC currently hits under `ctx` without
+    /// updating LRU state (attack probe helper).
+    pub fn probe(&self, info: BranchInfo, ctx: &KeyCtx) -> Option<Pc> {
+        let set = self.set_of(info.pc);
+        let tag = self.tag_of(info.pc);
+        for (w, table) in self.ways.iter().enumerate() {
+            let phys = ctx.scramble_index(set, self.set_bits);
+            if !self.valid[w][phys] {
+                continue;
+            }
+            let (stored_tag, target) = self.unpack(table.get(set, ctx));
+            if stored_tag == tag {
+                return Some(target);
+            }
+        }
+        None
+    }
+}
+
+impl TargetPredictor for Btb {
+    fn lookup(&mut self, info: BranchInfo, ctx: &KeyCtx) -> Option<Pc> {
+        let set = self.set_of(info.pc);
+        let tag = self.tag_of(info.pc);
+        let phys = ctx.scramble_index(set, self.set_bits);
+        for w in 0..self.cfg.ways {
+            if !self.valid[w][phys] {
+                continue;
+            }
+            let (stored_tag, target) = self.unpack(self.ways[w].get(set, ctx));
+            if stored_tag == tag {
+                self.touch_lru(phys, w);
+                return Some(target);
+            }
+        }
+        None
+    }
+
+    fn update(&mut self, info: BranchInfo, target: Pc, ctx: &KeyCtx) {
+        let set = self.set_of(info.pc);
+        let tag = self.tag_of(info.pc);
+        let phys = ctx.scramble_index(set, self.set_bits);
+        // Hit on the same (decoded) tag: refresh the target in place.
+        for w in 0..self.cfg.ways {
+            if self.valid[w][phys] {
+                let (stored_tag, _) = self.unpack(self.ways[w].get(set, ctx));
+                if stored_tag == tag {
+                    let word = self.pack(tag, target);
+                    self.ways[w].set(set, word, ctx);
+                    self.touch_lru(phys, w);
+                    return;
+                }
+            }
+        }
+        // Miss: fill an invalid way, else evict LRU.
+        let victim = (0..self.cfg.ways)
+            .find(|&w| !self.valid[w][phys])
+            .unwrap_or_else(|| {
+                (0..self.cfg.ways)
+                    .min_by_key(|&w| self.lru[phys][w])
+                    .expect("ways > 0")
+            });
+        let word = self.pack(tag, target);
+        self.ways[victim].set(set, word, ctx);
+        self.valid[victim][phys] = true;
+        self.touch_lru(phys, victim);
+    }
+
+    fn flush_all(&mut self) {
+        for w in 0..self.cfg.ways {
+            self.ways[w].flush_all();
+            self.valid[w].fill(false);
+        }
+        for set in &mut self.lru {
+            set.fill(0);
+        }
+    }
+
+    fn flush_thread(&mut self, thread: ThreadId) {
+        // Precise Flush: reset owned entries and their valid bits.
+        for w in 0..self.cfg.ways {
+            let table = &mut self.ways[w];
+            if table.has_owner_tags() {
+                table.flush_thread(thread);
+                for set in 0..self.cfg.sets {
+                    if table.read_raw(set) == table.reset_value() {
+                        // Either it was flushed or never written; marking
+                        // invalid is safe in both cases.
+                        self.valid[w][set] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let data: u64 = self.ways.iter().map(PackedTable::storage_bits).sum();
+        // valid bit + 2-bit kind field (paper Figure 4a) per entry.
+        data + (self.cfg.sets * self.cfg.ways) as u64 * 3
+    }
+
+    fn name(&self) -> &'static str {
+        "btb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, KeyPair};
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::IndirectJump)
+    }
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(BtbConfig::paper_fpga());
+        let c = ctx();
+        let i = info(0x8000_4000);
+        assert_eq!(btb.lookup(i, &c), None);
+        btb.update(i, Pc::new(0x4_0bc8), &c);
+        assert_eq!(btb.lookup(i, &c), Some(Pc::new(0x4_0bc8)));
+        assert_eq!(btb.valid_entries(), 1);
+    }
+
+    #[test]
+    fn target_refresh_in_place() {
+        let mut btb = Btb::new(BtbConfig::paper_fpga());
+        let c = ctx();
+        let i = info(0x1000);
+        btb.update(i, Pc::new(0x2000), &c);
+        btb.update(i, Pc::new(0x3000), &c);
+        assert_eq!(btb.lookup(i, &c), Some(Pc::new(0x3000)));
+        assert_eq!(btb.valid_entries(), 1, "refresh must not allocate");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let cfg = BtbConfig { sets: 16, ways: 2, tag_bits: 12 };
+        let mut btb = Btb::new(cfg);
+        let c = ctx();
+        // Three PCs mapping to the same set (stride = sets * 4 bytes).
+        let stride = 16 * 4;
+        let a = info(0x1000);
+        let b = info(0x1000 + stride);
+        let d = info(0x1000 + 2 * stride);
+        btb.update(a, Pc::new(0xa), &c);
+        btb.update(b, Pc::new(0xb0), &c);
+        // Touch a so b becomes LRU.
+        assert!(btb.lookup(a, &c).is_some());
+        btb.update(d, Pc::new(0xd0), &c);
+        assert!(btb.lookup(a, &c).is_some(), "a must survive");
+        assert!(btb.lookup(b, &c).is_none(), "b must be evicted");
+        assert!(btb.lookup(d, &c).is_some());
+    }
+
+    #[test]
+    fn tags_disambiguate_same_set() {
+        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, tag_bits: 12 });
+        let c = ctx();
+        let stride = 16 * 4;
+        let a = info(0x1000);
+        let b = info(0x1000 + stride);
+        btb.update(a, Pc::new(0xaa0), &c);
+        btb.update(b, Pc::new(0xbb0), &c);
+        assert_eq!(btb.lookup(a, &c), Some(Pc::new(0xaa0)));
+        assert_eq!(btb.lookup(b, &c), Some(Pc::new(0xbb0)));
+    }
+
+    #[test]
+    fn rekey_hides_targets_and_tags() {
+        let mut btb = Btb::new(BtbConfig::paper_fpga());
+        let k1 = KeyCtx::noisy_xor(ThreadId::new(0), KeyPair::from_random(1));
+        // Fill many entries under key 1.
+        for n in 0..128u64 {
+            btb.update(info(0x4000 + n * 4), Pc::new(0x8_0000 + n * 16), &k1);
+        }
+        // Same thread, new key: everything misses (tags decode wrong).
+        let k2 = k1.rekeyed(KeyPair::from_random(2));
+        let mut hits = 0;
+        for n in 0..128u64 {
+            if btb.lookup(info(0x4000 + n * 4), &k2).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 4, "residual BTB hits after rekey: {hits}/128");
+    }
+
+    #[test]
+    fn cross_thread_isolation_with_different_keys() {
+        let mut btb = Btb::new(BtbConfig::paper_fpga());
+        let ka = KeyCtx::noisy_xor(ThreadId::new(0), KeyPair::from_random(10));
+        let kb = KeyCtx::noisy_xor(ThreadId::new(1), KeyPair::from_random(20));
+        let victim_branch = info(0x7000);
+        btb.update(victim_branch, Pc::new(0xdead0), &ka);
+        // Attacker (thread 1) looks up the same PC: no usable hit.
+        let leaked = btb.lookup(
+            BranchInfo::new(ThreadId::new(1), Pc::new(0x7000), BranchKind::IndirectJump),
+            &kb,
+        );
+        assert_ne!(leaked, Some(Pc::new(0xdead0)), "target leaked across threads");
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut btb = Btb::new(BtbConfig::paper_fpga());
+        let c = ctx();
+        btb.update(info(0x1234), Pc::new(0x5678), &c);
+        btb.flush_all();
+        assert_eq!(btb.lookup(info(0x1234), &c), None);
+        assert_eq!(btb.valid_entries(), 0);
+    }
+
+    #[test]
+    fn precise_flush_clears_owned_only() {
+        let mut btb = Btb::new(BtbConfig { sets: 64, ways: 2, tag_bits: 12 }).with_owner_tags();
+        let mut ka = KeyCtx::disabled(ThreadId::new(0));
+        ka.owner_tracking = true;
+        let mut kb = KeyCtx::disabled(ThreadId::new(1));
+        kb.owner_tracking = true;
+        let ia = info(0x1000);
+        let ib = BranchInfo::new(ThreadId::new(1), Pc::new(0x2000), BranchKind::IndirectJump);
+        btb.update(ia, Pc::new(0xaaa0), &ka);
+        btb.update(ib, Pc::new(0xbbb0), &kb);
+        btb.flush_thread(ThreadId::new(0));
+        assert_eq!(btb.lookup(ia, &ka), None, "thread 0 entry must be gone");
+        assert_eq!(btb.lookup(ib, &kb), Some(Pc::new(0xbbb0)), "thread 1 entry must stay");
+    }
+
+    #[test]
+    fn storage_bits_paper_config() {
+        let btb = Btb::new(BtbConfig::paper_fpga());
+        // 512 entries × (12 tag + 32 target) + 3 control bits each.
+        assert_eq!(btb.storage_bits(), 512 * 44 + 512 * 3);
+        assert_eq!(btb.name(), "btb");
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, tag_bits: 12 });
+        let c = ctx();
+        let stride = 16 * 4;
+        let a = info(0x1000);
+        let b = info(0x1000 + stride);
+        let d = info(0x1000 + 2 * stride);
+        btb.update(a, Pc::new(0xa0), &c);
+        btb.update(b, Pc::new(0xb0), &c);
+        // probe(a) must NOT refresh a's LRU position.
+        assert!(btb.probe(a, &c).is_some());
+        btb.update(d, Pc::new(0xd0), &c);
+        assert!(btb.lookup(a, &c).is_none(), "a should have been the LRU victim");
+    }
+}

@@ -1,0 +1,163 @@
+//! Saturating counter arithmetic on packed words.
+//!
+//! Prediction tables store counters as raw `width`-bit fields inside
+//! [`sbp_types::PackedTable`] words; these free functions implement the
+//! unsigned and signed (center-biased) saturating update rules used by all
+//! predictors.
+
+use sbp_types::ids::mask_u64;
+
+/// Increments an unsigned `width`-bit saturating counter.
+#[inline]
+pub fn sat_inc(value: u64, width: u32) -> u64 {
+    let max = mask_u64(width);
+    if value >= max {
+        max
+    } else {
+        value + 1
+    }
+}
+
+/// Decrements an unsigned `width`-bit saturating counter.
+#[inline]
+pub fn sat_dec(value: u64) -> u64 {
+    value.saturating_sub(1)
+}
+
+/// Updates an unsigned `width`-bit counter toward `taken`.
+#[inline]
+pub fn sat_update(value: u64, width: u32, taken: bool) -> u64 {
+    if taken {
+        sat_inc(value, width)
+    } else {
+        sat_dec(value)
+    }
+}
+
+/// Whether an unsigned `width`-bit counter predicts taken (MSB set).
+#[inline]
+pub fn counter_taken(value: u64, width: u32) -> bool {
+    value >= (1 << (width - 1))
+}
+
+/// Whether an unsigned `width`-bit counter is at one of its two weak states.
+#[inline]
+pub fn counter_is_weak(value: u64, width: u32) -> bool {
+    let mid = 1u64 << (width - 1);
+    value == mid || value == mid - 1
+}
+
+/// The weakly-taken state of a `width`-bit counter.
+#[inline]
+pub fn weak_taken(width: u32) -> u64 {
+    1 << (width - 1)
+}
+
+/// The weakly-not-taken state of a `width`-bit counter.
+#[inline]
+pub fn weak_not_taken(width: u32) -> u64 {
+    (1 << (width - 1)) - 1
+}
+
+/// Interprets a `width`-bit field as a signed counter in
+/// `[-2^(width-1), 2^(width-1) - 1]` (two's complement).
+#[inline]
+pub fn to_signed(value: u64, width: u32) -> i64 {
+    let sign = 1u64 << (width - 1);
+    if value & sign != 0 {
+        (value | !mask_u64(width)) as i64
+    } else {
+        value as i64
+    }
+}
+
+/// Packs a signed counter back into a `width`-bit field.
+#[inline]
+pub fn from_signed(value: i64, width: u32) -> u64 {
+    (value as u64) & mask_u64(width)
+}
+
+/// Updates a signed `width`-bit saturating counter toward `taken`
+/// (+1 saturating at max, -1 saturating at min).
+#[inline]
+pub fn signed_update(value: u64, width: u32, taken: bool) -> u64 {
+    let v = to_signed(value, width);
+    let max = (1i64 << (width - 1)) - 1;
+    let min = -(1i64 << (width - 1));
+    let nv = if taken { (v + 1).min(max) } else { (v - 1).max(min) };
+    from_signed(nv, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_saturation() {
+        assert_eq!(sat_inc(3, 2), 3);
+        assert_eq!(sat_inc(2, 2), 3);
+        assert_eq!(sat_dec(0), 0);
+        assert_eq!(sat_dec(1), 0);
+        assert_eq!(sat_update(1, 2, true), 2);
+        assert_eq!(sat_update(2, 2, false), 1);
+    }
+
+    #[test]
+    fn taken_threshold_is_msb() {
+        assert!(!counter_taken(0, 2));
+        assert!(!counter_taken(1, 2));
+        assert!(counter_taken(2, 2));
+        assert!(counter_taken(3, 2));
+        assert!(counter_taken(4, 3));
+        assert!(!counter_taken(3, 3));
+    }
+
+    #[test]
+    fn weak_states() {
+        assert!(counter_is_weak(1, 2));
+        assert!(counter_is_weak(2, 2));
+        assert!(!counter_is_weak(0, 2));
+        assert!(!counter_is_weak(3, 2));
+        assert_eq!(weak_taken(2), 2);
+        assert_eq!(weak_not_taken(2), 1);
+        assert_eq!(weak_taken(3), 4);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for w in [2u32, 3, 5, 8] {
+            let min = -(1i64 << (w - 1));
+            let max = (1i64 << (w - 1)) - 1;
+            for v in min..=max {
+                assert_eq!(to_signed(from_signed(v, w), w), v, "w={w} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_saturation() {
+        // 3-bit signed: range [-4, 3].
+        let mut v = from_signed(2, 3);
+        v = signed_update(v, 3, true);
+        assert_eq!(to_signed(v, 3), 3);
+        v = signed_update(v, 3, true);
+        assert_eq!(to_signed(v, 3), 3, "saturates at max");
+        let mut v = from_signed(-3, 3);
+        v = signed_update(v, 3, false);
+        assert_eq!(to_signed(v, 3), -4);
+        v = signed_update(v, 3, false);
+        assert_eq!(to_signed(v, 3), -4, "saturates at min");
+    }
+
+    #[test]
+    fn counter_walks_through_all_states() {
+        let mut c = 0u64;
+        let states: Vec<u64> = (0..5)
+            .map(|_| {
+                c = sat_update(c, 2, true);
+                c
+            })
+            .collect();
+        assert_eq!(states, vec![1, 2, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,157 @@
+//! GEHL components: tables of signed counters indexed by hashed history,
+//! summed by the statistical corrector.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::{KeyCtx, PackedTable, Pc, ThreadId};
+
+use crate::counter::{signed_update, to_signed};
+
+/// One GEHL table: `2^log_entries` signed `ctr_bits` counters indexed by a
+/// hash of the PC and a caller-supplied history value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GehlTable {
+    table: PackedTable,
+    ctr_bits: u32,
+    history_bits: u32,
+}
+
+impl GehlTable {
+    /// Creates a GEHL table using `history_bits` of the supplied history.
+    pub fn new(log_entries: u32, ctr_bits: u32, history_bits: u32) -> Self {
+        GehlTable {
+            table: PackedTable::new(1 << log_entries, ctr_bits, 0),
+            ctr_bits,
+            history_bits,
+        }
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.table = self.table.with_owner_tags();
+        self
+    }
+
+    fn index_of(&self, pc: Pc, history: u64) -> usize {
+        let h = history & mask_u64(self.history_bits);
+        let bits = self.table.index_bits();
+        let v = pc.word() ^ (pc.word() >> 3) ^ h ^ (h >> bits);
+        (v & mask_u64(bits)) as usize
+    }
+
+    /// Signed counter value for this branch/history.
+    pub fn read(&self, pc: Pc, history: u64, ctx: &KeyCtx) -> i64 {
+        to_signed(self.table.get(self.index_of(pc, history), ctx), self.ctr_bits)
+    }
+
+    /// Trains the counter toward `taken`.
+    pub fn train(&mut self, pc: Pc, history: u64, taken: bool, ctx: &KeyCtx) {
+        let bits = self.ctr_bits;
+        self.table.update(self.index_of(pc, history), ctx, |c| signed_update(c, bits, taken));
+    }
+
+    /// Complete Flush.
+    pub fn flush_all(&mut self) {
+        self.table.flush_all();
+    }
+
+    /// Precise Flush.
+    pub fn flush_thread(&mut self, thread: ThreadId) {
+        self.table.flush_thread(thread);
+    }
+
+    /// Storage bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.table.storage_bits()
+    }
+
+    /// History bits consumed.
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{KeyPair, Pc};
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn counters_start_neutral() {
+        let t = GehlTable::new(8, 6, 12);
+        assert_eq!(t.read(Pc::new(0x40), 0, &ctx()), 0);
+    }
+
+    #[test]
+    fn trains_toward_direction() {
+        let mut t = GehlTable::new(8, 6, 12);
+        let c = ctx();
+        for _ in 0..10 {
+            t.train(Pc::new(0x40), 0x5, true, &c);
+        }
+        assert!(t.read(Pc::new(0x40), 0x5, &c) > 5);
+        for _ in 0..25 {
+            t.train(Pc::new(0x40), 0x5, false, &c);
+        }
+        assert!(t.read(Pc::new(0x40), 0x5, &c) < -5);
+    }
+
+    #[test]
+    fn saturates_at_range_limits() {
+        let mut t = GehlTable::new(4, 4, 4);
+        let c = ctx();
+        for _ in 0..100 {
+            t.train(Pc::new(0x8), 1, true, &c);
+        }
+        assert_eq!(t.read(Pc::new(0x8), 1, &c), 7); // 4-bit signed max
+        for _ in 0..100 {
+            t.train(Pc::new(0x8), 1, false, &c);
+        }
+        assert_eq!(t.read(Pc::new(0x8), 1, &c), -8);
+    }
+
+    #[test]
+    fn different_histories_use_different_entries() {
+        let mut t = GehlTable::new(10, 6, 16);
+        let c = ctx();
+        for _ in 0..10 {
+            t.train(Pc::new(0x100), 0xaaaa, true, &c);
+        }
+        // Another history is (almost certainly) a different entry, still 0.
+        assert_eq!(t.read(Pc::new(0x100), 0x5555, &c), 0);
+    }
+
+    #[test]
+    fn encoded_contents_isolate() {
+        let mut t = GehlTable::new(8, 6, 8);
+        let a = KeyCtx::xor(ThreadId::new(0), KeyPair::from_random(21));
+        let b = KeyCtx::xor(ThreadId::new(1), KeyPair::from_random(22));
+        // Under a fresh key the reset entry decodes to an arbitrary value
+        // (that is the isolation), so train to saturation: 6-bit signed
+        // range is [-32, 31], 100 updates always saturate.
+        for _ in 0..100 {
+            t.train(Pc::new(0x200), 3, true, &a);
+        }
+        let own = t.read(Pc::new(0x200), 3, &a);
+        let foreign = t.read(Pc::new(0x200), 3, &b);
+        assert_eq!(own, 31, "owner must see the saturated counter");
+        assert_ne!(own, foreign, "foreign key must not see the true value");
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut t = GehlTable::new(6, 5, 6);
+        let c = ctx();
+        t.train(Pc::new(0x44), 2, true, &c);
+        t.flush_all();
+        assert_eq!(t.read(Pc::new(0x44), 2, &c), 0);
+        assert_eq!(t.storage_bits(), 64 * 5);
+        assert_eq!(t.history_bits(), 6);
+    }
+}

@@ -1,0 +1,196 @@
+//! Gshare direction predictor: PHT indexed by `PC ⊕ global history`.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::{BranchInfo, DirectionPredictor, KeyCtx, PackedTable, ThreadId};
+
+use crate::counter::{counter_taken, sat_update, weak_not_taken};
+use crate::history::GlobalHistory;
+
+/// Gshare: a single table of 2-bit counters indexed by the XOR of the
+/// branch PC and the per-thread global history register.
+///
+/// The paper's FPGA/gem5 configuration is 2 KB = 8192 2-bit counters
+/// ([`Gshare::paper_2kb`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gshare {
+    table: PackedTable,
+    histories: Vec<GlobalHistory>,
+    history_bits: u32,
+    ctr_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor.
+    ///
+    /// * `entries` — number of counters (power of two);
+    /// * `ctr_bits` — counter width (2 in all paper configurations);
+    /// * `threads` — number of hardware thread contexts (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, or `threads` is 0.
+    pub fn new(entries: usize, ctr_bits: u32, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one hardware thread required");
+        let table = PackedTable::new(entries, ctr_bits, weak_not_taken(ctr_bits));
+        // Cap the history at 10 bits: classic gshare sizing that limits
+        // context dilution (and re-warm-up cost after flush/rekey).
+        let history_bits = table.index_bits().min(10);
+        Gshare {
+            table,
+            histories: (0..threads).map(|_| GlobalHistory::new(history_bits.max(1))).collect(),
+            history_bits,
+            ctr_bits,
+        }
+    }
+
+    /// The paper's 2 KB configuration (8192 × 2-bit).
+    pub fn paper_2kb(threads: usize) -> Self {
+        Gshare::new(8192, 2, threads)
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.table = self.table.with_owner_tags();
+        self
+    }
+
+    /// The logical PHT index for a branch: `pc ⊕ ghr` (before any index
+    /// key scrambling, which the table applies internally).
+    pub fn index_of(&self, info: BranchInfo) -> usize {
+        let h = self.histories[info.thread.index()].low_bits(self.history_bits);
+        (info.pc.word() ^ h) as usize & mask_u64(self.table.index_bits()) as usize
+    }
+
+    /// Number of PHT entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
+        let idx = self.index_of(info);
+        counter_taken(self.table.get(idx, ctx), self.ctr_bits)
+    }
+
+    fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
+        let idx = self.index_of(info);
+        let bits = self.ctr_bits;
+        self.table.update(idx, ctx, |c| sat_update(c, bits, taken));
+        self.histories[info.thread.index()].push(taken);
+    }
+
+    fn flush_all(&mut self) {
+        self.table.flush_all();
+    }
+
+    fn flush_thread(&mut self, thread: ThreadId) {
+        self.table.flush_thread(thread);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, KeyPair, Pc};
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Gshare::new(1024, 2, 1);
+        let c = ctx();
+        let i = info(0x4000);
+        let mut correct = 0;
+        for n in 0..200 {
+            let pred = p.predict(i, &c);
+            if pred && n > 10 {
+                correct += 1;
+            }
+            p.update(i, true, pred, &c);
+        }
+        assert!(correct >= 185, "always-taken accuracy too low: {correct}");
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern_via_history() {
+        let mut p = Gshare::new(4096, 2, 1);
+        let c = ctx();
+        let i = info(0x100);
+        let mut correct = 0;
+        let total = 400;
+        for n in 0..total {
+            let taken = n % 2 == 0;
+            let pred = p.predict(i, &c);
+            if n > 50 && pred == taken {
+                correct += 1;
+            }
+            p.update(i, taken, pred, &c);
+        }
+        // With history the alternating pattern becomes near-perfect.
+        assert!(correct as f64 / (total - 50) as f64 > 0.95, "correct={correct}");
+    }
+
+    #[test]
+    fn threads_have_private_histories() {
+        let mut p = Gshare::new(1024, 2, 2);
+        let c0 = ctx();
+        let i0 = BranchInfo::new(ThreadId::new(0), Pc::new(0x40), BranchKind::Conditional);
+        let i1 = BranchInfo::new(ThreadId::new(1), Pc::new(0x40), BranchKind::Conditional);
+        p.update(i0, true, false, &c0);
+        // Thread 1's history must still be empty: same PC maps to the
+        // no-history index.
+        assert_eq!(p.index_of(i1), (0x40u64 >> 2) as usize & 1023);
+        assert_ne!(p.index_of(i0), p.index_of(i1));
+    }
+
+    #[test]
+    fn paper_config_sizes() {
+        let p = Gshare::paper_2kb(1);
+        assert_eq!(p.entries(), 8192);
+        assert_eq!(p.storage_bits(), 8192 * 2); // exactly 2 KB
+        assert_eq!(p.name(), "gshare");
+    }
+
+    #[test]
+    fn flush_all_resets_counters() {
+        let mut p = Gshare::new(256, 2, 1);
+        let c = ctx();
+        let i = info(0x800);
+        for _ in 0..4 {
+            p.update(i, true, false, &c);
+        }
+        p.flush_all();
+        assert!(!p.predict(i, &c));
+    }
+
+    #[test]
+    fn index_scrambling_relocates_entries() {
+        let p = Gshare::new(1024, 2, 1);
+        let plain = ctx();
+        let noisy = KeyCtx::noisy_xor(ThreadId::new(0), KeyPair::from_random(3));
+        let i = info(0x5a0);
+        // The logical index is identical; the physical location differs,
+        // which we can observe through PackedTable's scramble.
+        let logical = p.index_of(i);
+        assert_eq!(plain.scramble_index(logical, 10), logical);
+        assert_ne!(noisy.scramble_index(logical, 10), logical);
+    }
+}

@@ -1,0 +1,388 @@
+//! Branch history registers: global, path, folded and per-PC local
+//! histories.
+//!
+//! Every history structure is *per hardware thread*: commercial SMT cores
+//! keep architectural history registers per thread context, and doing so in
+//! the model isolates the history registers themselves from cross-thread
+//! effects, leaving the *tables* as the shared attack surface the paper
+//! studies.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::{KeyCtx, Pc, PackedTable, ThreadId};
+
+/// A long global branch-direction history register (shift register of
+/// outcomes, newest at position 0), bit-packed.
+///
+/// ```
+/// use sbp_predictors::history::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new(64);
+/// h.push(true);
+/// h.push(false);
+/// assert!(!h.bit(0)); // newest
+/// assert!(h.bit(1));
+/// assert_eq!(h.low_bits(2), 0b10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalHistory {
+    bits: Vec<u64>,
+    capacity: u32,
+}
+
+impl GlobalHistory {
+    /// Creates an all-not-taken history of `capacity` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        GlobalHistory { bits: vec![0; capacity.div_ceil(64) as usize], capacity }
+    }
+
+    /// Shifts in a new outcome (newest at bit 0). Returns the evicted
+    /// oldest bit (at position `capacity`), needed by folded histories.
+    pub fn push(&mut self, taken: bool) -> bool {
+        let evicted = self.bit(self.capacity - 1);
+        let mut carry = taken as u64;
+        for word in &mut self.bits {
+            let out = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = out;
+        }
+        let top = self.capacity % 64;
+        if top != 0 {
+            let last = self.bits.len() - 1;
+            self.bits[last] &= mask_u64(top);
+        }
+        evicted
+    }
+
+    /// The outcome `age` branches ago (0 = newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age >= capacity`.
+    pub fn bit(&self, age: u32) -> bool {
+        assert!(age < self.capacity, "history age out of range");
+        (self.bits[(age / 64) as usize] >> (age % 64)) & 1 == 1
+    }
+
+    /// The newest `n` outcomes as an integer (`n <= 64`).
+    pub fn low_bits(&self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = self.bits[0];
+        if self.bits.len() > 1 && n > 0 {
+            // low word already holds the newest 64 bits.
+        }
+        v &= mask_u64(n.min(self.capacity));
+        v
+    }
+
+    /// History capacity in bits.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Resets all history to not-taken.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+/// A path history register: low bits of recent branch addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathHistory {
+    value: u64,
+    bits: u32,
+}
+
+impl PathHistory {
+    /// Creates a `bits`-wide path history.
+    pub fn new(bits: u32) -> Self {
+        PathHistory { value: 0, bits: bits.min(64) }
+    }
+
+    /// Shifts in one address bit of the branch at `pc`.
+    pub fn push(&mut self, pc: Pc) {
+        self.value = ((self.value << 1) | (pc.word() & 1)) & mask_u64(self.bits);
+    }
+
+    /// Current packed path history.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets the register.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Incrementally folded history (Seznec's circular-shift-register scheme),
+/// compressing an `original_len`-bit history into `compressed_len` bits for
+/// TAGE index/tag computation in O(1) per branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldedHistory {
+    comp: u64,
+    original_len: u32,
+    compressed_len: u32,
+    outpoint: u32,
+}
+
+impl FoldedHistory {
+    /// Creates a fold of an `original_len`-bit history into
+    /// `compressed_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compressed_len` is 0 or > 63.
+    pub fn new(original_len: u32, compressed_len: u32) -> Self {
+        assert!((1..64).contains(&compressed_len), "compressed length must be 1..=63");
+        FoldedHistory {
+            comp: 0,
+            original_len,
+            compressed_len,
+            outpoint: original_len % compressed_len,
+        }
+    }
+
+    /// Updates the fold after the global history pushed `new_bit` and
+    /// evicted `evicted_bit` (the bit that fell off position
+    /// `original_len`).
+    pub fn update(&mut self, new_bit: bool, evicted_bit: bool) {
+        self.comp = (self.comp << 1) | new_bit as u64;
+        self.comp ^= (evicted_bit as u64) << self.outpoint;
+        self.comp ^= self.comp >> self.compressed_len;
+        self.comp &= mask_u64(self.compressed_len);
+    }
+
+    /// Current folded value.
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// Resets the fold (must accompany a [`GlobalHistory::clear`]).
+    pub fn clear(&mut self) {
+        self.comp = 0;
+    }
+
+    /// Recomputes the fold from scratch over `history`; used by tests to
+    /// validate the incremental update.
+    pub fn recompute(&mut self, history: &GlobalHistory) {
+        self.comp = 0;
+        // Fold oldest-to-newest so the incremental and batch versions agree.
+        for age in (0..self.original_len.min(history.capacity())).rev() {
+            let bit = history.bit(age);
+            self.comp = (self.comp << 1) | bit as u64;
+            self.comp ^= self.comp >> self.compressed_len;
+            self.comp &= mask_u64(self.compressed_len);
+        }
+    }
+}
+
+/// A first-level local history table: per-PC pattern registers stored in a
+/// [`PackedTable`] (and therefore subject to content/index encoding).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalHistoryTable {
+    table: PackedTable,
+    pattern_bits: u32,
+}
+
+impl LocalHistoryTable {
+    /// Creates a table of `entries` local histories of `pattern_bits` each.
+    pub fn new(entries: usize, pattern_bits: u32) -> Self {
+        LocalHistoryTable { table: PackedTable::new(entries, pattern_bits, 0), pattern_bits }
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.table = self.table.with_owner_tags();
+        self
+    }
+
+    /// Table index for `pc`.
+    fn index_of(&self, pc: Pc) -> usize {
+        pc.btb_index(self.table.index_bits())
+    }
+
+    /// Reads the local pattern for `pc` under the thread's keys.
+    pub fn pattern(&self, pc: Pc, ctx: &KeyCtx) -> u64 {
+        self.table.get(self.index_of(pc), ctx)
+    }
+
+    /// Shifts the branch outcome into `pc`'s local pattern.
+    pub fn record(&mut self, pc: Pc, taken: bool, ctx: &KeyCtx) {
+        let idx = self.index_of(pc);
+        self.table.update(idx, ctx, |p| {
+            ((p << 1) | taken as u64) & mask_u64(self.pattern_bits)
+        });
+    }
+
+    /// Pattern width in bits.
+    pub fn pattern_bits(&self) -> u32 {
+        self.pattern_bits
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Clears all local histories.
+    pub fn flush_all(&mut self) {
+        self.table.flush_all();
+    }
+
+    /// Clears local histories owned by `thread` (needs owner tags).
+    pub fn flush_thread(&mut self, thread: ThreadId) {
+        self.table.flush_thread(thread);
+    }
+
+    /// Storage bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.table.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::KeyPair;
+
+    #[test]
+    fn global_history_shifts() {
+        let mut h = GlobalHistory::new(8);
+        for taken in [true, false, true, true] {
+            h.push(taken);
+        }
+        // Newest first: T T F T -> bit0=1(bit for last push true)
+        assert!(h.bit(0));
+        assert!(h.bit(1));
+        assert!(!h.bit(2));
+        assert!(h.bit(3));
+        assert_eq!(h.low_bits(4), 0b1011);
+    }
+
+    #[test]
+    fn global_history_eviction_across_words() {
+        let mut h = GlobalHistory::new(130);
+        // Push a single taken then 129 not-taken: the taken bit must ride
+        // to the oldest position and then be evicted.
+        h.push(true);
+        for _ in 0..129 {
+            assert!(!h.push(false));
+        }
+        assert!(h.bit(129));
+        let evicted = h.push(false);
+        assert!(evicted, "the taken bit should fall off the end");
+        assert!(!h.bit(129));
+    }
+
+    #[test]
+    fn global_history_clear() {
+        let mut h = GlobalHistory::new(16);
+        h.push(true);
+        h.clear();
+        assert_eq!(h.low_bits(16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history age out of range")]
+    fn global_history_bounds() {
+        GlobalHistory::new(8).bit(8);
+    }
+
+    #[test]
+    fn path_history_tracks_pc_bits() {
+        let mut p = PathHistory::new(4);
+        p.push(Pc::new(0x4)); // word 0x1, bit 1
+        p.push(Pc::new(0x8)); // word 0x2, bit 0
+        p.push(Pc::new(0xc)); // word 0x3, bit 1
+        assert_eq!(p.value(), 0b101);
+        p.clear();
+        assert_eq!(p.value(), 0);
+    }
+
+    #[test]
+    fn folded_history_matches_batch_recompute() {
+        for (orig, comp) in [(12u32, 10u32), (27, 10), (44, 9), (63, 11), (130, 12)] {
+            let mut h = GlobalHistory::new(orig);
+            let mut inc = FoldedHistory::new(orig, comp);
+            let mut rng = sbp_types::rng::Xoshiro256::new(orig as u64 * 31 + comp as u64);
+            for _ in 0..500 {
+                let bit = rng.chance(0.5);
+                let evicted = h.push(bit);
+                inc.update(bit, evicted);
+            }
+            let mut batch = FoldedHistory::new(orig, comp);
+            batch.recompute(&h);
+            assert_eq!(inc.value(), batch.value(), "orig={orig} comp={comp}");
+        }
+    }
+
+    #[test]
+    fn folded_history_clear() {
+        let mut f = FoldedHistory::new(20, 7);
+        f.update(true, false);
+        assert_ne!(f.value(), 0);
+        f.clear();
+        assert_eq!(f.value(), 0);
+    }
+
+    #[test]
+    fn local_history_table_roundtrip() {
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        let mut lht = LocalHistoryTable::new(1024, 11);
+        let pc = Pc::new(0x1234);
+        lht.record(pc, true, &ctx);
+        lht.record(pc, true, &ctx);
+        lht.record(pc, false, &ctx);
+        assert_eq!(lht.pattern(pc, &ctx), 0b110);
+        assert_eq!(lht.pattern_bits(), 11);
+        assert_eq!(lht.len(), 1024);
+    }
+
+    #[test]
+    fn local_history_encoded_isolation() {
+        let a = KeyCtx::xor(ThreadId::new(0), KeyPair::from_random(5));
+        let b = KeyCtx::xor(ThreadId::new(1), KeyPair::from_random(6));
+        let mut lht = LocalHistoryTable::new(256, 11);
+        let pc = Pc::new(0x888);
+        for _ in 0..11 {
+            lht.record(pc, true, &a);
+        }
+        assert_eq!(lht.pattern(pc, &a), mask_u64(11));
+        // Different key: decorrelated pattern.
+        assert_ne!(lht.pattern(pc, &b), mask_u64(11));
+    }
+
+    #[test]
+    fn local_history_flushes() {
+        let mut ctx = KeyCtx::disabled(ThreadId::new(0));
+        ctx.owner_tracking = true;
+        let mut lht = LocalHistoryTable::new(64, 8).with_owner_tags();
+        let pc = Pc::new(0x40);
+        lht.record(pc, true, &ctx);
+        assert_ne!(lht.pattern(pc, &ctx), 0);
+        lht.flush_thread(ThreadId::new(0));
+        assert_eq!(lht.pattern(pc, &ctx), 0);
+        lht.record(pc, true, &ctx);
+        lht.flush_all();
+        assert_eq!(lht.pattern(pc, &ctx), 0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let lht = LocalHistoryTable::new(2048, 11);
+        assert_eq!(lht.storage_bits(), 2048 * 11);
+    }
+}

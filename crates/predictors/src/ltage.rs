@@ -1,0 +1,201 @@
+//! LTAGE: TAGE plus a loop predictor (Seznec's CBP-2 predictor).
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::{BranchInfo, DirectionPredictor, KeyCtx, ThreadId};
+
+use crate::counter::{sat_dec, sat_inc};
+use crate::loop_pred::LoopPredictor;
+use crate::tage::{Tage, TageConfig};
+
+/// LTAGE: a TAGE core whose prediction can be overridden by a confident
+/// loop predictor, gated by a global `use_loop` confidence counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ltage {
+    tage: Tage,
+    loops: LoopPredictor,
+    /// 7-bit confidence that the loop predictor is worth using.
+    use_loop: u64,
+    last: Option<LastLtage>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LastLtage {
+    thread: u8,
+    pc_word: u64,
+    tage_pred: bool,
+    loop_pred: bool,
+    loop_valid: bool,
+    used_loop: bool,
+}
+
+impl Ltage {
+    /// Creates an LTAGE predictor over a TAGE configuration.
+    pub fn new(cfg: TageConfig) -> Self {
+        Ltage {
+            tage: Tage::new(cfg),
+            loops: LoopPredictor::paper(),
+            use_loop: 64,
+            last: None,
+        }
+    }
+
+    /// The paper's ≈32 KB gem5 configuration.
+    pub fn paper(threads: usize) -> Self {
+        Ltage::new(TageConfig::ltage_32kb(threads))
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.tage = self.tage.with_owner_tags();
+        self.loops = self.loops.with_owner_tags();
+        self
+    }
+
+    /// Access to the underlying TAGE engine (for tests and ablations).
+    pub fn tage(&self) -> &Tage {
+        &self.tage
+    }
+}
+
+impl DirectionPredictor for Ltage {
+    fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
+        let tl = self.tage.lookup(info, ctx);
+        let lp = self.loops.lookup(info, ctx);
+        let used_loop = lp.valid && self.use_loop >= 64;
+        let pred = if used_loop { lp.taken } else { tl.pred };
+        self.last = Some(LastLtage {
+            thread: info.thread.index() as u8,
+            pc_word: info.pc.word(),
+            tage_pred: tl.pred,
+            loop_pred: lp.taken,
+            loop_valid: lp.valid,
+            used_loop,
+        });
+        pred
+    }
+
+    fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
+        let last = self
+            .last
+            .take()
+            .filter(|l| l.thread as usize == info.thread.index() && l.pc_word == info.pc.word());
+        if let Some(l) = last {
+            // Gate training: reward the loop predictor when it disagreed
+            // with TAGE and was right.
+            if l.loop_valid && l.loop_pred != l.tage_pred {
+                self.use_loop = if l.loop_pred == taken {
+                    sat_inc(self.use_loop, 7)
+                } else {
+                    sat_dec(self.use_loop)
+                };
+            }
+        }
+        self.loops.train(info, taken, ctx);
+        self.tage.train(info, taken, ctx);
+    }
+
+    fn flush_all(&mut self) {
+        self.tage.flush_tables();
+        self.loops.flush_all();
+        self.last = None;
+    }
+
+    fn flush_thread(&mut self, thread: ThreadId) {
+        self.tage.flush_thread_tables(thread);
+        self.loops.flush_thread(thread);
+        self.last = None;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.tage.storage_bits() + self.loops.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "ltage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, Pc};
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn paper_config_instantiates() {
+        let p = Ltage::paper(2);
+        let kb = p.storage_bits() as f64 / 8192.0;
+        assert!((20.0..50.0).contains(&kb), "LTAGE size {kb} KB");
+        assert_eq!(p.name(), "ltage");
+    }
+
+    #[test]
+    fn beats_tage_on_long_constant_loop() {
+        // Trip count 50 is beyond the short history tables' reach early on;
+        // the loop predictor nails the exit.
+        let mut ltage = Ltage::paper(1);
+        let c = ctx();
+        let i = info(0x800);
+        let trip = 50u64;
+        let mut exit_errors = 0;
+        let mut exits = 0;
+        for it in 0..60 {
+            for k in 0..trip {
+                let taken = k + 1 < trip;
+                let pred = ltage.predict(i, &c);
+                if !taken && it >= 20 {
+                    exits += 1;
+                    if pred != taken {
+                        exit_errors += 1;
+                    }
+                }
+                ltage.update(i, taken, pred, &c);
+            }
+        }
+        assert!(exits >= 30);
+        assert!(
+            (exit_errors as f64 / exits as f64) < 0.25,
+            "loop exits mispredicted {exit_errors}/{exits}"
+        );
+    }
+
+    #[test]
+    fn flush_resets_everything() {
+        let mut p = Ltage::paper(1);
+        let c = ctx();
+        let i = info(0x300);
+        for _ in 0..200 {
+            let pr = p.predict(i, &c);
+            p.update(i, true, pr, &c);
+        }
+        p.flush_all();
+        // Falls back to the cold not-taken default.
+        assert!(!p.predict(i, &c));
+        p.update(i, true, false, &c);
+    }
+
+    #[test]
+    fn learns_simple_bias_quickly() {
+        let mut p = Ltage::paper(1);
+        let c = ctx();
+        let i = info(0x9000);
+        let mut correct = 0;
+        for n in 0..200 {
+            let pr = p.predict(i, &c);
+            if n >= 20 && pr {
+                correct += 1;
+            }
+            p.update(i, true, pr, &c);
+        }
+        assert!(correct >= 170, "correct={correct}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Return Address Stack.
+//!
+//! Commercial SMT processors already use a thread-private RAS (paper §3),
+//! so the model keeps one circular stack per hardware thread and no
+//! encoding is applied. The structure still participates in flushes so the
+//! flush mechanisms are charged their full cost.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::{Pc, ThreadId};
+
+/// A per-thread circular return address stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ras {
+    stacks: Vec<RasStack>,
+    depth: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct RasStack {
+    entries: Vec<Pc>,
+    top: usize,
+    occupancy: usize,
+}
+
+impl RasStack {
+    fn new(depth: usize) -> Self {
+        RasStack { entries: vec![Pc::new(0); depth], top: 0, occupancy: 0 }
+    }
+
+    fn push(&mut self, addr: Pc) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.occupancy = (self.occupancy + 1).min(self.entries.len());
+    }
+
+    fn pop(&mut self) -> Option<Pc> {
+        if self.occupancy == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.occupancy -= 1;
+        Some(addr)
+    }
+
+    fn clear(&mut self) {
+        self.top = 0;
+        self.occupancy = 0;
+    }
+}
+
+impl Ras {
+    /// Creates per-thread stacks of `depth` entries for `threads` hardware
+    /// contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `threads` is 0.
+    pub fn new(depth: usize, threads: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        assert!(threads > 0, "at least one hardware thread required");
+        Ras { stacks: (0..threads).map(|_| RasStack::new(depth)).collect(), depth }
+    }
+
+    /// Pushes a return address for `thread` (on a call).
+    pub fn push(&mut self, thread: ThreadId, return_addr: Pc) {
+        self.stacks[thread.index()].push(return_addr);
+    }
+
+    /// Pops the predicted return address for `thread` (on a return).
+    /// `None` when the stack is empty (predicts fall-through).
+    pub fn pop(&mut self, thread: ThreadId) -> Option<Pc> {
+        self.stacks[thread.index()].pop()
+    }
+
+    /// Current stack occupancy for `thread`.
+    pub fn occupancy(&self, thread: ThreadId) -> usize {
+        self.stacks[thread.index()].occupancy
+    }
+
+    /// Clears one thread's stack (context switch on that thread).
+    pub fn clear_thread(&mut self, thread: ThreadId) {
+        self.stacks[thread.index()].clear();
+    }
+
+    /// Clears all stacks.
+    pub fn flush_all(&mut self) {
+        for s in &mut self.stacks {
+            s.clear();
+        }
+    }
+
+    /// Stack depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Storage bits (64-bit addresses per entry).
+    pub fn storage_bits(&self) -> u64 {
+        (self.stacks.len() * self.depth) as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(8, 1);
+        let t = ThreadId::new(0);
+        ras.push(t, Pc::new(0x100));
+        ras.push(t, Pc::new(0x200));
+        assert_eq!(ras.pop(t), Some(Pc::new(0x200)));
+        assert_eq!(ras.pop(t), Some(Pc::new(0x100)));
+        assert_eq!(ras.pop(t), None);
+    }
+
+    #[test]
+    fn overflow_wraps_keeping_newest() {
+        let mut ras = Ras::new(4, 1);
+        let t = ThreadId::new(0);
+        for n in 0..6u64 {
+            ras.push(t, Pc::new(0x100 + n * 4));
+        }
+        // Newest 4 survive: 0x114, 0x110, 0x10c, 0x108.
+        assert_eq!(ras.pop(t), Some(Pc::new(0x114)));
+        assert_eq!(ras.pop(t), Some(Pc::new(0x110)));
+        assert_eq!(ras.pop(t), Some(Pc::new(0x10c)));
+        assert_eq!(ras.pop(t), Some(Pc::new(0x108)));
+        assert_eq!(ras.pop(t), None);
+    }
+
+    #[test]
+    fn threads_are_private() {
+        let mut ras = Ras::new(8, 2);
+        ras.push(ThreadId::new(0), Pc::new(0xaaa0));
+        assert_eq!(ras.pop(ThreadId::new(1)), None);
+        assert_eq!(ras.pop(ThreadId::new(0)), Some(Pc::new(0xaaa0)));
+    }
+
+    #[test]
+    fn clears() {
+        let mut ras = Ras::new(8, 2);
+        ras.push(ThreadId::new(0), Pc::new(0x1));
+        ras.push(ThreadId::new(1), Pc::new(0x2));
+        ras.clear_thread(ThreadId::new(0));
+        assert_eq!(ras.pop(ThreadId::new(0)), None);
+        assert_eq!(ras.occupancy(ThreadId::new(1)), 1);
+        ras.flush_all();
+        assert_eq!(ras.pop(ThreadId::new(1)), None);
+    }
+
+    #[test]
+    fn accounting() {
+        let ras = Ras::new(16, 2);
+        assert_eq!(ras.depth(), 16);
+        assert_eq!(ras.storage_bits(), 2 * 16 * 64);
+    }
+}

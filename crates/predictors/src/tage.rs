@@ -1,0 +1,773 @@
+//! TAGE: TAgged GEometric-history-length predictor (Seznec).
+//!
+//! A bimodal base predictor plus a set of partially-tagged tables indexed
+//! with geometrically increasing history lengths. This module provides the
+//! TAGE engine reused by [`crate::ltage::Ltage`] and
+//! [`crate::tage_sc_l::TageScL`].
+//!
+//! Isolation plumbing: counters and tags live in encoded [`PackedTable`]s,
+//! so XOR-BP content encoding and Noisy-XOR index scrambling apply to every
+//! component. The 2-bit usefulness (replacement hint) bits are kept in a
+//! *separate, unencoded* sidecar table: they never contain branch history
+//! content (only replacement age), hardware periodically clears them in
+//! bulk — an operation that is only possible on raw bits — and encoding
+//! them would make the paper's periodic useful-bit reset unimplementable.
+//! This matches the paper's focus on encoding "direction and destination
+//! histories".
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::rng::Xoshiro256;
+use sbp_types::{BranchInfo, DirectionPredictor, KeyCtx, PackedTable, Pc, ThreadId};
+
+use crate::bimodal::Bimodal;
+use crate::counter::{sat_dec, sat_inc, signed_update, to_signed};
+use crate::history::{FoldedHistory, GlobalHistory, PathHistory};
+
+/// Maximum number of tagged tables supported by the fixed-size scratch
+/// buffers.
+pub const MAX_TAGGED: usize = 24;
+
+/// Configuration of one tagged table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaggedTableConfig {
+    /// log2 of the number of entries.
+    pub log_entries: u32,
+    /// Partial tag width in bits.
+    pub tag_bits: u32,
+    /// History length used for indexing/tagging.
+    pub history_len: u32,
+}
+
+/// TAGE configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TageConfig {
+    /// Entries in the bimodal base predictor.
+    pub base_entries: usize,
+    /// Base counter width.
+    pub base_ctr_bits: u32,
+    /// Tagged tables, ordered by increasing history length.
+    pub tagged: Vec<TaggedTableConfig>,
+    /// Signed prediction counter width in tagged entries.
+    pub ctr_bits: u32,
+    /// Usefulness counter width.
+    pub u_bits: u32,
+    /// Hardware thread contexts.
+    pub threads: usize,
+    /// Updates between bulk useful-bit clears.
+    pub u_reset_period: u64,
+}
+
+impl TageConfig {
+    /// The paper's FPGA configuration: 6 tagged tables × 4096 entries with
+    /// history lengths 12, 27, 44, 63, 90, 130 (≈ 33 KB total).
+    pub fn paper_fpga(threads: usize) -> Self {
+        let lens = [12u32, 27, 44, 63, 90, 130];
+        TageConfig {
+            base_entries: 8192,
+            base_ctr_bits: 2,
+            tagged: lens
+                .iter()
+                .enumerate()
+                .map(|(i, &history_len)| TaggedTableConfig {
+                    log_entries: 12,
+                    tag_bits: 8 + (i as u32 / 2),
+                    history_len,
+                })
+                .collect(),
+            ctr_bits: 3,
+            u_bits: 2,
+            threads,
+            u_reset_period: 256 * 1024,
+        }
+    }
+
+    /// A ≈32 KB LTAGE-style TAGE core (gem5 configuration row "LTAGE:
+    /// 32KB").
+    pub fn ltage_32kb(threads: usize) -> Self {
+        let lens = [4u32, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640];
+        TageConfig {
+            base_entries: 16384,
+            base_ctr_bits: 2,
+            tagged: lens
+                .iter()
+                .enumerate()
+                .map(|(i, &history_len)| TaggedTableConfig {
+                    log_entries: 10,
+                    tag_bits: 7 + (i as u32).div_ceil(2),
+                    history_len,
+                })
+                .collect(),
+            ctr_bits: 3,
+            u_bits: 2,
+            threads,
+            u_reset_period: 256 * 1024,
+        }
+    }
+
+    /// Longest history length used.
+    pub fn max_history(&self) -> u32 {
+        self.tagged.iter().map(|t| t.history_len).max().unwrap_or(1)
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration cannot be instantiated.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tagged.is_empty() {
+            return Err("at least one tagged table required".into());
+        }
+        if self.tagged.len() > MAX_TAGGED {
+            return Err(format!("at most {MAX_TAGGED} tagged tables supported"));
+        }
+        if self.threads == 0 {
+            return Err("at least one hardware thread required".into());
+        }
+        if !(2..=6).contains(&self.ctr_bits) {
+            return Err("ctr_bits must be 2..=6".into());
+        }
+        for w in self.tagged.windows(2) {
+            if w[0].history_len >= w[1].history_len {
+                return Err("history lengths must strictly increase".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-thread history state: global history plus per-table folded
+/// histories.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ThreadHist {
+    ghr: GlobalHistory,
+    path: PathHistory,
+    idx_folds: Vec<FoldedHistory>,
+    tag1_folds: Vec<FoldedHistory>,
+    tag2_folds: Vec<FoldedHistory>,
+}
+
+impl ThreadHist {
+    fn new(cfg: &TageConfig) -> Self {
+        let cap = cfg.max_history() + 1;
+        ThreadHist {
+            ghr: GlobalHistory::new(cap),
+            path: PathHistory::new(16),
+            idx_folds: cfg
+                .tagged
+                .iter()
+                .map(|t| FoldedHistory::new(t.history_len, t.log_entries))
+                .collect(),
+            tag1_folds: cfg
+                .tagged
+                .iter()
+                .map(|t| FoldedHistory::new(t.history_len, t.tag_bits))
+                .collect(),
+            tag2_folds: cfg
+                .tagged
+                .iter()
+                .map(|t| FoldedHistory::new(t.history_len, (t.tag_bits - 1).max(1)))
+                .collect(),
+        }
+    }
+
+    /// Records one resolved branch into all history structures.
+    fn push(&mut self, pc: Pc, taken: bool, cfg: &TageConfig) {
+        // Per-fold evicted bits must be sampled before the shift.
+        let mut evicted = [false; MAX_TAGGED];
+        for (slot, t) in evicted.iter_mut().zip(cfg.tagged.iter()) {
+            *slot = self.ghr.bit(t.history_len - 1);
+        }
+        self.ghr.push(taken);
+        self.path.push(pc);
+        let n = cfg.tagged.len();
+        for (((&ev, idx), tag1), tag2) in evicted[..n]
+            .iter()
+            .zip(&mut self.idx_folds)
+            .zip(&mut self.tag1_folds)
+            .zip(&mut self.tag2_folds)
+        {
+            idx.update(taken, ev);
+            tag1.update(taken, ev);
+            tag2.update(taken, ev);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.ghr.clear();
+        self.path.clear();
+        for f in self
+            .idx_folds
+            .iter_mut()
+            .chain(self.tag1_folds.iter_mut())
+            .chain(self.tag2_folds.iter_mut())
+        {
+            f.clear();
+        }
+    }
+}
+
+/// Result of a TAGE lookup, cached between predict and update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TageLookup {
+    thread: u8,
+    pc_word: u64,
+    indices: [u32; MAX_TAGGED],
+    tags: [u32; MAX_TAGGED],
+    /// Provider tagged-table number (None = base predictor provides).
+    pub provider: Option<u8>,
+    /// Alternate prediction source table (None = base).
+    pub alt: Option<u8>,
+    /// Provider component's prediction.
+    pub provider_pred: bool,
+    /// Alternate prediction.
+    pub alt_pred: bool,
+    /// Final TAGE prediction (after USE_ALT_ON_NA).
+    pub pred: bool,
+    /// Provider entry was weak and not useful ("pseudo-new allocation").
+    pub pseudo_new: bool,
+}
+
+/// The TAGE predictor engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tage {
+    cfg: TageConfig,
+    base: Bimodal,
+    /// Tagged entries: packed `ctr | tag` words, content-encoded.
+    tables: Vec<PackedTable>,
+    /// Usefulness sidecar, unencoded (see module docs).
+    useful: Vec<PackedTable>,
+    hist: Vec<ThreadHist>,
+    use_alt_on_na: u64,
+    update_count: u64,
+    rng: Xoshiro256,
+    last: Option<TageLookup>,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TageConfig::validate`].
+    pub fn new(cfg: TageConfig) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid TAGE configuration: {msg}");
+        }
+        let tables = cfg
+            .tagged
+            .iter()
+            .map(|t| PackedTable::new(1 << t.log_entries, cfg.ctr_bits + t.tag_bits, 0))
+            .collect();
+        let useful = cfg
+            .tagged
+            .iter()
+            .map(|t| PackedTable::new(1 << t.log_entries, cfg.u_bits, 0))
+            .collect();
+        Tage {
+            base: Bimodal::new(cfg.base_entries, cfg.base_ctr_bits),
+            tables,
+            useful,
+            hist: (0..cfg.threads).map(|_| ThreadHist::new(&cfg)).collect(),
+            use_alt_on_na: 8,
+            update_count: 0,
+            rng: Xoshiro256::new(0x7a6e_5d4c_3b2a_1908),
+            last: None,
+            cfg,
+        }
+    }
+
+    /// Enables owner tags on all tables for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.base = self.base.with_owner_tags();
+        self.tables = self.tables.into_iter().map(PackedTable::with_owner_tags).collect();
+        self.useful = self.useful.into_iter().map(PackedTable::with_owner_tags).collect();
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+
+    fn table_index(&self, t: usize, pc: Pc, thread: ThreadId) -> usize {
+        let cfg = &self.cfg.tagged[t];
+        let h = &self.hist[thread.index()];
+        let pcw = pc.word();
+        let v = pcw
+            ^ (pcw >> ((cfg.log_entries / 2).max(1)))
+            ^ h.idx_folds[t].value()
+            ^ (h.path.value() & mask_u64(cfg.log_entries.min(16)));
+        (v & mask_u64(cfg.log_entries)) as usize
+    }
+
+    fn table_tag(&self, t: usize, pc: Pc, thread: ThreadId) -> u64 {
+        let cfg = &self.cfg.tagged[t];
+        let h = &self.hist[thread.index()];
+        (pc.word() ^ h.tag1_folds[t].value() ^ (h.tag2_folds[t].value() << 1))
+            & mask_u64(cfg.tag_bits)
+    }
+
+    fn unpack(&self, t: usize, word: u64) -> (u64, u64) {
+        // (ctr, tag)
+        let ctr = word & mask_u64(self.cfg.ctr_bits);
+        let tag = (word >> self.cfg.ctr_bits) & mask_u64(self.cfg.tagged[t].tag_bits);
+        (ctr, tag)
+    }
+
+    fn pack(&self, ctr: u64, tag: u64) -> u64 {
+        ctr | (tag << self.cfg.ctr_bits)
+    }
+
+    fn ctr_taken(&self, ctr: u64) -> bool {
+        to_signed(ctr, self.cfg.ctr_bits) >= 0
+    }
+
+    fn ctr_is_weak(&self, ctr: u64) -> bool {
+        let v = to_signed(ctr, self.cfg.ctr_bits);
+        v == 0 || v == -1
+    }
+
+    /// Performs the full lookup and caches the result for the paired
+    /// update. Returns the final prediction.
+    pub fn lookup(&mut self, info: BranchInfo, ctx: &KeyCtx) -> TageLookup {
+        let nt = self.cfg.tagged.len();
+        let mut indices = [0u32; MAX_TAGGED];
+        let mut tags = [0u32; MAX_TAGGED];
+        let mut matches = [false; MAX_TAGGED];
+        let mut ctrs = [0u64; MAX_TAGGED];
+        for t in 0..nt {
+            let idx = self.table_index(t, info.pc, info.thread);
+            let tag = self.table_tag(t, info.pc, info.thread);
+            indices[t] = idx as u32;
+            tags[t] = tag as u32;
+            let word = self.tables[t].get(idx, ctx);
+            let (ctr, stored_tag) = self.unpack(t, word);
+            if stored_tag == tag {
+                matches[t] = true;
+                ctrs[t] = ctr;
+            }
+        }
+        let base_pred = {
+            let c = self.base.counter(info.pc, ctx);
+            crate::counter::counter_taken(c, self.cfg.base_ctr_bits)
+        };
+        let provider = (0..nt).rev().find(|&t| matches[t]);
+        let alt = provider.and_then(|p| (0..p).rev().find(|&t| matches[t]));
+        let (provider_pred, pseudo_new) = match provider {
+            Some(p) => {
+                let u = self.useful[p].get(indices[p] as usize, &plain_ctx(ctx));
+                (self.ctr_taken(ctrs[p]), u == 0 && self.ctr_is_weak(ctrs[p]))
+            }
+            None => (base_pred, false),
+        };
+        let alt_pred = match (provider, alt) {
+            (Some(_), Some(a)) => self.ctr_taken(ctrs[a]),
+            (Some(_), None) => base_pred,
+            (None, _) => base_pred,
+        };
+        let pred = if provider.is_some() && pseudo_new && self.use_alt_on_na >= 8 {
+            alt_pred
+        } else {
+            provider_pred
+        };
+        let lookup = TageLookup {
+            thread: info.thread.index() as u8,
+            pc_word: info.pc.word(),
+            indices,
+            tags,
+            provider: provider.map(|p| p as u8),
+            alt: alt.map(|a| a as u8),
+            provider_pred,
+            alt_pred,
+            pred,
+            pseudo_new,
+        };
+        self.last = Some(lookup);
+        lookup
+    }
+
+    /// Trains the predictor after the branch resolves. Must follow the
+    /// paired [`Tage::lookup`] for the same branch.
+    pub fn train(&mut self, info: BranchInfo, taken: bool, ctx: &KeyCtx) {
+        let lookup = match self.last.take() {
+            Some(l) if l.thread as usize == info.thread.index() && l.pc_word == info.pc.word() => l,
+            // Missing/mismatched lookup (e.g. after a flush between the
+            // calls): recompute.
+            _ => self.lookup(info, ctx),
+        };
+        let nt = self.cfg.tagged.len();
+        let mispredicted = lookup.pred != taken;
+
+        // USE_ALT_ON_NA training.
+        if lookup.provider.is_some()
+            && lookup.pseudo_new
+            && lookup.provider_pred != lookup.alt_pred
+        {
+            let alt_was_right = lookup.alt_pred == taken;
+            self.use_alt_on_na = if alt_was_right {
+                sat_inc(self.use_alt_on_na, 4)
+            } else {
+                sat_dec(self.use_alt_on_na)
+            };
+        }
+
+        // Allocation on misprediction (provider not the longest table).
+        let provider_rank = lookup.provider.map(|p| p as usize);
+        if mispredicted {
+            let start = provider_rank.map_or(0, |p| p + 1);
+            if start < nt {
+                // Collect allocation candidates with u == 0.
+                let mut list = [0usize; MAX_TAGGED];
+                let mut m = 0;
+                for t in start..nt {
+                    let u = self.useful[t].get(lookup.indices[t] as usize, &plain_ctx(ctx));
+                    if u == 0 {
+                        list[m] = t;
+                        m += 1;
+                    }
+                }
+                if m == 0 {
+                    // Nothing allocatable: age the candidates.
+                    for t in start..nt {
+                        let idx = lookup.indices[t] as usize;
+                        let pctx = plain_ctx(ctx);
+                        self.useful[t].update(idx, &pctx, sat_dec);
+                    }
+                } else {
+                    // Prefer shorter histories (pick among the first two
+                    // candidates with 2:1 odds, Seznec-style).
+                    let pick = if m == 1 || self.rng.next_below(3) != 0 {
+                        list[0]
+                    } else {
+                        list[1.min(m - 1)]
+                    };
+                    let idx = lookup.indices[pick] as usize;
+                    let init_ctr =
+                        crate::counter::from_signed(if taken { 0 } else { -1 }, self.cfg.ctr_bits);
+                    let word = self.pack(init_ctr, lookup.tags[pick] as u64);
+                    self.tables[pick].set(idx, word, ctx);
+                    let pctx = plain_ctx(ctx);
+                    self.useful[pick].set(idx, 0, &pctx);
+                }
+            }
+        }
+
+        // Provider counter update.
+        match provider_rank {
+            Some(p) => {
+                let idx = lookup.indices[p] as usize;
+                let tag = lookup.tags[p] as u64;
+                let ctr_bits = self.cfg.ctr_bits;
+                let word = self.tables[p].get(idx, ctx);
+                let (ctr, stored_tag) = self.unpack(p, word);
+                // The entry may have been reallocated above; only train on
+                // a still-matching tag.
+                if stored_tag == tag {
+                    let new_ctr = signed_update(ctr, ctr_bits, taken);
+                    let packed = self.pack(new_ctr, tag);
+                    self.tables[p].set(idx, packed, ctx);
+                }
+                // Usefulness: provider distinguished itself from alt.
+                if lookup.provider_pred != lookup.alt_pred {
+                    let u_bits = self.cfg.u_bits;
+                    let pctx = plain_ctx(ctx);
+                    self.useful[p].update(idx, &pctx, |u| {
+                        if lookup.provider_pred == taken {
+                            sat_inc(u, u_bits)
+                        } else {
+                            sat_dec(u)
+                        }
+                    });
+                }
+                // Train the base predictor too when the provider is weak,
+                // keeping the fallback warm.
+                if lookup.pseudo_new {
+                    self.base.update(info, taken, lookup.pred, ctx);
+                }
+            }
+            None => {
+                self.base.update(info, taken, lookup.pred, ctx);
+            }
+        }
+
+        // Periodic useful-bit reset (bulk clear of raw bits).
+        self.update_count += 1;
+        if self.update_count.is_multiple_of(self.cfg.u_reset_period) {
+            for u in &mut self.useful {
+                u.flush_all();
+            }
+        }
+
+        // Histories are updated last.
+        let cfg = self.cfg.clone();
+        self.hist[info.thread.index()].push(info.pc, taken, &cfg);
+    }
+
+    /// Clears tables (not per-thread histories — those are architectural
+    /// registers, not shared state).
+    pub fn flush_tables(&mut self) {
+        self.base.flush_all();
+        for t in &mut self.tables {
+            t.flush_all();
+        }
+        for u in &mut self.useful {
+            u.flush_all();
+        }
+        self.last = None;
+    }
+
+    /// Precise Flush of `thread`'s entries.
+    pub fn flush_thread_tables(&mut self, thread: ThreadId) {
+        self.base.flush_thread(thread);
+        for t in &mut self.tables {
+            t.flush_thread(thread);
+        }
+        for u in &mut self.useful {
+            u.flush_thread(thread);
+        }
+        self.last = None;
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.base.storage_bits()
+            + self.tables.iter().map(PackedTable::storage_bits).sum::<u64>()
+            + self.useful.iter().map(PackedTable::storage_bits).sum::<u64>()
+    }
+
+    /// Number of tagged tables.
+    pub fn num_tables(&self) -> usize {
+        self.cfg.tagged.len()
+    }
+
+    /// Clears one thread's history registers (testing / context model).
+    pub fn clear_thread_history(&mut self, thread: ThreadId) {
+        self.hist[thread.index()].clear();
+    }
+}
+
+/// The usefulness sidecar ignores content/index keys but must still honor
+/// owner tracking for Precise Flush.
+fn plain_ctx(ctx: &KeyCtx) -> KeyCtx {
+    let mut p = KeyCtx::disabled(ctx.thread);
+    p.owner_tracking = ctx.owner_tracking;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{BranchKind, KeyPair};
+
+    fn small_cfg() -> TageConfig {
+        TageConfig {
+            base_entries: 1024,
+            base_ctr_bits: 2,
+            tagged: vec![
+                TaggedTableConfig { log_entries: 8, tag_bits: 8, history_len: 5 },
+                TaggedTableConfig { log_entries: 8, tag_bits: 8, history_len: 11 },
+                TaggedTableConfig { log_entries: 8, tag_bits: 9, history_len: 23 },
+                TaggedTableConfig { log_entries: 8, tag_bits: 9, history_len: 47 },
+            ],
+            ctr_bits: 3,
+            u_bits: 2,
+            threads: 1,
+            u_reset_period: 1 << 20,
+        }
+    }
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(small_cfg().validate().is_ok());
+        let mut bad = small_cfg();
+        bad.tagged.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = small_cfg();
+        bad.tagged[1].history_len = 5;
+        assert!(bad.validate().is_err());
+        let mut bad = small_cfg();
+        bad.threads = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn paper_configs_instantiate() {
+        let t = Tage::new(TageConfig::paper_fpga(2));
+        assert_eq!(t.num_tables(), 6);
+        let kb = t.storage_bits() as f64 / 8192.0;
+        assert!((25.0..45.0).contains(&kb), "paper FPGA TAGE size {kb} KB");
+        let t2 = Tage::new(TageConfig::ltage_32kb(1));
+        assert_eq!(t2.num_tables(), 12);
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut t = Tage::new(small_cfg());
+        let c = ctx();
+        let i = info(0x400);
+        let mut correct = 0;
+        for n in 0..300 {
+            let l = t.lookup(i, &c);
+            if n >= 50 && l.pred {
+                correct += 1;
+            }
+            t.train(i, true, &c);
+        }
+        assert!(correct >= 240, "correct={correct}");
+    }
+
+    #[test]
+    fn learns_history_pattern_bimodal_cannot() {
+        // Period-6 pattern TTTNNN: a 2-bit bimodal stays confused, TAGE's
+        // tagged tables resolve it.
+        let mut t = Tage::new(small_cfg());
+        let c = ctx();
+        let i = info(0x7c0);
+        let pattern = [true, true, true, false, false, false];
+        let mut correct = 0;
+        let total = 1200;
+        for n in 0..total {
+            let taken = pattern[n % pattern.len()];
+            let l = t.lookup(i, &c);
+            if n >= 400 && l.pred == taken {
+                correct += 1;
+            }
+            t.train(i, taken, &c);
+        }
+        let acc = correct as f64 / (total - 400) as f64;
+        assert!(acc > 0.9, "pattern accuracy {acc}");
+    }
+
+    #[test]
+    fn allocation_creates_providers() {
+        let mut t = Tage::new(small_cfg());
+        let c = ctx();
+        let i = info(0x123_456 & !3);
+        let mut rng = Xoshiro256::new(17);
+        let mut provider_seen = false;
+        // A noisy branch forces mispredictions and hence allocations.
+        for _ in 0..500 {
+            let taken = rng.chance(0.5);
+            let l = t.lookup(i, &c);
+            if l.provider.is_some() {
+                provider_seen = true;
+            }
+            t.train(i, taken, &c);
+        }
+        assert!(provider_seen, "no tagged provider ever matched");
+    }
+
+    #[test]
+    fn rekey_degrades_tagged_hits() {
+        let cfg = small_cfg();
+        let mut t = Tage::new(cfg);
+        let k1 = KeyCtx::xor(ThreadId::new(0), KeyPair::from_random(11));
+        let pattern = [true, true, false];
+        let i = info(0x80c);
+        for n in 0..600 {
+            let _ = t.lookup(i, &k1);
+            t.train(i, pattern[n % 3], &k1);
+        }
+        // Warmed up: providers match in a solid fraction of lookups.
+        let mut warm_hits = 0;
+        for n in 0..120 {
+            let l = t.lookup(i, &k1);
+            if l.provider.is_some() {
+                warm_hits += 1;
+            }
+            t.train(i, pattern[n % 3], &k1);
+        }
+        assert!(warm_hits > 20, "expected warm providers, got {warm_hits}/120");
+        // After rekey, the residual tags decode to garbage: the first
+        // lookups cannot reuse the warm entries (they miss or false-hit at
+        // the chance level ~ 2^-tag_bits, and re-warm only via fresh
+        // allocations).
+        let k2 = k1.rekeyed(KeyPair::from_random(12));
+        let mut cold_hits = 0;
+        for n in 0..24 {
+            let l = t.lookup(i, &k2);
+            if l.provider.is_some() {
+                cold_hits += 1;
+            }
+            t.train(i, pattern[n % 3], &k2);
+        }
+        assert!(
+            cold_hits < warm_hits.min(24),
+            "residual tagged hits after rekey: {cold_hits}/24 vs warm {warm_hits}/120"
+        );
+    }
+
+    #[test]
+    fn flush_resets_tables() {
+        let mut t = Tage::new(small_cfg());
+        let c = ctx();
+        let i = info(0x111_000);
+        for _ in 0..200 {
+            let _ = t.lookup(i, &c);
+            t.train(i, true, &c);
+        }
+        t.flush_tables();
+        let l = t.lookup(i, &c);
+        assert!(l.provider.is_none(), "flush left a tagged match");
+        t.train(i, true, &c);
+    }
+
+    #[test]
+    fn train_without_lookup_recomputes() {
+        let mut t = Tage::new(small_cfg());
+        let c = ctx();
+        // No panic, falls back to an internal lookup.
+        t.train(info(0x40), true, &c);
+    }
+
+    #[test]
+    fn separate_threads_do_not_share_history() {
+        let mut cfg = small_cfg();
+        cfg.threads = 2;
+        let mut t = Tage::new(cfg);
+        let c0 = ctx();
+        let c1 = KeyCtx::disabled(ThreadId::new(1));
+        let i0 = BranchInfo::new(ThreadId::new(0), Pc::new(0x40), BranchKind::Conditional);
+        let i1 = BranchInfo::new(ThreadId::new(1), Pc::new(0x40), BranchKind::Conditional);
+        for _ in 0..100 {
+            let _ = t.lookup(i0, &c0);
+            t.train(i0, true, &c0);
+        }
+        // Thread 1 has an empty history: its indices must be computed from
+        // clean folds (can't assert equality of predictions easily, but the
+        // lookup must succeed and use fold value 0).
+        let l = t.lookup(i1, &c1);
+        t.train(i1, true, &c1);
+        assert_eq!(l.thread, 1);
+    }
+
+    #[test]
+    fn u_reset_clears_useful_bits() {
+        let mut cfg = small_cfg();
+        cfg.u_reset_period = 64;
+        let mut t = Tage::new(cfg);
+        let c = ctx();
+        let mut rng = Xoshiro256::new(3);
+        for n in 0..256 {
+            let i = info(0x1000 + (n % 16) * 4);
+            let _ = t.lookup(i, &c);
+            t.train(i, rng.chance(0.5), &c);
+        }
+        // All useful tables were bulk-cleared at least once; simply verify
+        // the mechanism ran without corrupting state.
+        let l = t.lookup(info(0x1000), &c);
+        let _ = l;
+    }
+}

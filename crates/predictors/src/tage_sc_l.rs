@@ -1,0 +1,432 @@
+//! TAGE-SC-L: TAGE + Statistical Corrector + Loop predictor (Seznec,
+//! CBP-5).
+//!
+//! This is a faithful-in-structure, simplified-in-detail implementation:
+//! the TAGE core uses 12 tagged tables (the paper's CBP-5 version uses two
+//! bank-interleaved groups of 10 and 20 banks), the loop predictor is the
+//! 256-entry 4-way component, and the statistical corrector sums a bias
+//! table with global-history, path-history, IMLI and local-history GEHL
+//! components, with the usual adaptive update threshold. The simplification
+//! is recorded in `DESIGN.md`; it preserves the property the paper's
+//! evaluation depends on — the most accurate predictor of the set, with the
+//! largest state and therefore the largest warm-up loss under isolation.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::ids::mask_u64;
+use sbp_types::{BranchInfo, DirectionPredictor, KeyCtx, PackedTable, Pc, ThreadId};
+
+use crate::counter::{sat_dec, sat_inc, signed_update, to_signed};
+use crate::gehl::GehlTable;
+use crate::history::LocalHistoryTable;
+use crate::loop_pred::LoopPredictor;
+use crate::tage::{Tage, TageConfig, TaggedTableConfig};
+
+/// Per-thread statistical corrector history inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct ScHistory {
+    /// Recent global outcomes (newest at bit 0).
+    ghist: u64,
+    /// Recent branch address bits.
+    path: u64,
+    /// Inner-most-loop-iteration proxy: consecutive taken streak.
+    imli: u64,
+}
+
+impl ScHistory {
+    fn push(&mut self, pc: Pc, taken: bool) {
+        self.ghist = (self.ghist << 1) | taken as u64;
+        self.path = (self.path << 1) | (pc.word() & 1);
+        self.imli = if taken { (self.imli + 1).min(1023) } else { 0 };
+    }
+
+    /// Resets all SC history inputs (used by ablations and future
+    /// SMT-context-clear extensions).
+    #[allow(dead_code)]
+    fn clear(&mut self) {
+        *self = ScHistory::default();
+    }
+}
+
+/// TAGE-SC-L predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TageScL {
+    tage: Tage,
+    loops: LoopPredictor,
+    use_loop: u64,
+    // Statistical corrector state.
+    bias: PackedTable,
+    gehl_global: Vec<GehlTable>,
+    gehl_path: GehlTable,
+    gehl_imli: GehlTable,
+    gehl_local: Vec<GehlTable>,
+    local_hist: LocalHistoryTable,
+    sc_hist: Vec<ScHistory>,
+    /// Adaptive SC update threshold (O-GEHL style).
+    threshold: i64,
+    threshold_ctr: i64,
+    last: Option<LastScl>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LastScl {
+    thread: u8,
+    pc_word: u64,
+    tage_pred: bool,
+    pre_pred: bool,
+    loop_valid: bool,
+    loop_pred: bool,
+    sum: i64,
+    final_pred: bool,
+}
+
+const BIAS_CTR_BITS: u32 = 6;
+/// Weight given to the TAGE/loop pre-prediction inside the SC sum.
+const PRE_PRED_WEIGHT: i64 = 16;
+
+impl TageScL {
+    /// Creates a TAGE-SC-L predictor for `threads` hardware contexts.
+    pub fn new(threads: usize) -> Self {
+        // 12 tagged tables with geometric lengths 4..640, 1K entries each.
+        let lens = [4u32, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640];
+        let cfg = TageConfig {
+            base_entries: 16384,
+            base_ctr_bits: 2,
+            tagged: lens
+                .iter()
+                .enumerate()
+                .map(|(i, &history_len)| TaggedTableConfig {
+                    log_entries: 10,
+                    tag_bits: 8 + (i as u32 + 1) / 3,
+                    history_len,
+                })
+                .collect(),
+            ctr_bits: 3,
+            u_bits: 2,
+            threads,
+            u_reset_period: 256 * 1024,
+        };
+        TageScL {
+            tage: Tage::new(cfg),
+            loops: LoopPredictor::paper(),
+            use_loop: 64,
+            bias: PackedTable::new(4096, BIAS_CTR_BITS, 0),
+            gehl_global: vec![
+                GehlTable::new(10, 6, 6),
+                GehlTable::new(10, 6, 13),
+                GehlTable::new(10, 6, 27),
+            ],
+            gehl_path: GehlTable::new(10, 6, 16),
+            gehl_imli: GehlTable::new(8, 6, 10),
+            gehl_local: vec![GehlTable::new(10, 6, 11), GehlTable::new(8, 6, 5)],
+            local_hist: LocalHistoryTable::new(256, 11),
+            sc_hist: (0..threads.max(1)).map(|_| ScHistory::default()).collect(),
+            threshold: 20,
+            threshold_ctr: 0,
+            last: None,
+        }
+    }
+
+    /// The paper's gem5 configuration (≈ 66 KB class).
+    pub fn paper(threads: usize) -> Self {
+        TageScL::new(threads)
+    }
+
+    /// Enables owner tags for Precise Flush.
+    #[must_use]
+    pub fn with_owner_tags(mut self) -> Self {
+        self.tage = self.tage.with_owner_tags();
+        self.loops = self.loops.with_owner_tags();
+        self.bias = self.bias.with_owner_tags();
+        self.gehl_global =
+            self.gehl_global.into_iter().map(GehlTable::with_owner_tags).collect();
+        self.gehl_path = self.gehl_path.with_owner_tags();
+        self.gehl_imli = self.gehl_imli.with_owner_tags();
+        self.gehl_local = self.gehl_local.into_iter().map(GehlTable::with_owner_tags).collect();
+        self.local_hist = self.local_hist.with_owner_tags();
+        self
+    }
+
+    fn bias_index(&self, pc: Pc, pre_pred: bool) -> usize {
+        let bits = self.bias.index_bits();
+        ((pc.word() << 1 | pre_pred as u64) & mask_u64(bits)) as usize
+    }
+
+    /// Computes the SC sum (positive = taken) for a branch given the
+    /// TAGE/loop pre-prediction.
+    fn sc_sum(&self, info: BranchInfo, pre_pred: bool, ctx: &KeyCtx) -> i64 {
+        let h = &self.sc_hist[info.thread.index()];
+        let mut sum: i64 = to_signed(
+            self.bias.get(self.bias_index(info.pc, pre_pred), ctx),
+            BIAS_CTR_BITS,
+        ) * 2;
+        for g in &self.gehl_global {
+            sum += 2 * g.read(info.pc, h.ghist, ctx) + 1;
+        }
+        sum += 2 * self.gehl_path.read(info.pc, h.path, ctx) + 1;
+        sum += 2 * self.gehl_imli.read(info.pc, h.imli, ctx) + 1;
+        let local = self.local_hist.pattern(info.pc, ctx);
+        for g in &self.gehl_local {
+            sum += 2 * g.read(info.pc, local, ctx) + 1;
+        }
+        sum + if pre_pred { PRE_PRED_WEIGHT } else { -PRE_PRED_WEIGHT }
+    }
+
+    fn train_sc(&mut self, info: BranchInfo, pre_pred: bool, taken: bool, ctx: &KeyCtx) {
+        let h = self.sc_hist[info.thread.index()];
+        let bidx = self.bias_index(info.pc, pre_pred);
+        self.bias.update(bidx, ctx, |c| signed_update(c, BIAS_CTR_BITS, taken));
+        for g in &mut self.gehl_global {
+            g.train(info.pc, h.ghist, taken, ctx);
+        }
+        self.gehl_path.train(info.pc, h.path, taken, ctx);
+        self.gehl_imli.train(info.pc, h.imli, taken, ctx);
+        let local = self.local_hist.pattern(info.pc, ctx);
+        for g in &mut self.gehl_local {
+            g.train(info.pc, local, taken, ctx);
+        }
+    }
+
+    /// Access to the underlying TAGE engine (tests / ablations).
+    pub fn tage(&self) -> &Tage {
+        &self.tage
+    }
+}
+
+impl DirectionPredictor for TageScL {
+    fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
+        let tl = self.tage.lookup(info, ctx);
+        let lp = self.loops.lookup(info, ctx);
+        let used_loop = lp.valid && self.use_loop >= 64;
+        let pre_pred = if used_loop { lp.taken } else { tl.pred };
+        let sum = self.sc_sum(info, pre_pred, ctx);
+        // The SC overrides the pre-prediction only when confident.
+        let final_pred = if sum.unsigned_abs() as i64 >= self.threshold {
+            sum >= 0
+        } else {
+            pre_pred
+        };
+        self.last = Some(LastScl {
+            thread: info.thread.index() as u8,
+            pc_word: info.pc.word(),
+            tage_pred: tl.pred,
+            pre_pred,
+            loop_valid: lp.valid,
+            loop_pred: lp.taken,
+            sum,
+            final_pred,
+        });
+        final_pred
+    }
+
+    fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
+        let last = self
+            .last
+            .take()
+            .filter(|l| l.thread as usize == info.thread.index() && l.pc_word == info.pc.word());
+        if let Some(l) = last {
+            // Loop gate training.
+            if l.loop_valid && l.loop_pred != l.tage_pred {
+                self.use_loop = if l.loop_pred == taken {
+                    sat_inc(self.use_loop, 7)
+                } else {
+                    sat_dec(self.use_loop)
+                };
+            }
+            // SC training on mispredict or low confidence.
+            let sc_pred = l.sum >= 0;
+            let low_conf = l.sum.unsigned_abs() as i64 <= self.threshold;
+            if sc_pred != taken || low_conf {
+                self.train_sc(info, l.pre_pred, taken, ctx);
+            }
+            // Adaptive threshold (O-GEHL style): balance flips.
+            if sc_pred != l.pre_pred {
+                let sc_right = sc_pred == taken;
+                self.threshold_ctr += if sc_right { -1 } else { 1 };
+                if self.threshold_ctr >= 32 {
+                    self.threshold = (self.threshold + 1).min(127);
+                    self.threshold_ctr = 0;
+                } else if self.threshold_ctr <= -32 {
+                    self.threshold = (self.threshold - 1).max(4);
+                    self.threshold_ctr = 0;
+                }
+            }
+        }
+        self.loops.train(info, taken, ctx);
+        self.tage.train(info, taken, ctx);
+        // Update SC histories last.
+        self.local_hist.record(info.pc, taken, ctx);
+        self.sc_hist[info.thread.index()].push(info.pc, taken);
+    }
+
+    fn flush_all(&mut self) {
+        self.tage.flush_tables();
+        self.loops.flush_all();
+        self.bias.flush_all();
+        for g in &mut self.gehl_global {
+            g.flush_all();
+        }
+        self.gehl_path.flush_all();
+        self.gehl_imli.flush_all();
+        for g in &mut self.gehl_local {
+            g.flush_all();
+        }
+        self.local_hist.flush_all();
+        self.last = None;
+    }
+
+    fn flush_thread(&mut self, thread: ThreadId) {
+        self.tage.flush_thread_tables(thread);
+        self.loops.flush_thread(thread);
+        self.bias.flush_thread(thread);
+        for g in &mut self.gehl_global {
+            g.flush_thread(thread);
+        }
+        self.gehl_path.flush_thread(thread);
+        self.gehl_imli.flush_thread(thread);
+        for g in &mut self.gehl_local {
+            g.flush_thread(thread);
+        }
+        self.local_hist.flush_thread(thread);
+        self.last = None;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.tage.storage_bits()
+            + self.loops.storage_bits()
+            + self.bias.storage_bits()
+            + self.gehl_global.iter().map(GehlTable::storage_bits).sum::<u64>()
+            + self.gehl_path.storage_bits()
+            + self.gehl_imli.storage_bits()
+            + self.gehl_local.iter().map(GehlTable::storage_bits).sum::<u64>()
+            + self.local_hist.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "tage_sc_l"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::BranchKind;
+
+    fn info(pc: u64) -> BranchInfo {
+        BranchInfo::new(ThreadId::new(0), Pc::new(pc), BranchKind::Conditional)
+    }
+
+    fn ctx() -> KeyCtx {
+        KeyCtx::disabled(ThreadId::new(0))
+    }
+
+    #[test]
+    fn instantiates_with_plausible_size() {
+        let p = TageScL::paper(2);
+        let kb = p.storage_bits() as f64 / 8192.0;
+        assert!((20.0..80.0).contains(&kb), "TAGE-SC-L size {kb} KB");
+        assert_eq!(p.name(), "tage_sc_l");
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = TageScL::paper(1);
+        let c = ctx();
+        let i = info(0x600);
+        let mut correct = 0;
+        for n in 0..300 {
+            let pr = p.predict(i, &c);
+            if n >= 50 && pr {
+                correct += 1;
+            }
+            p.update(i, true, pr, &c);
+        }
+        assert!(correct >= 230, "correct={correct}");
+    }
+
+    #[test]
+    fn learns_global_pattern() {
+        let mut p = TageScL::paper(1);
+        let c = ctx();
+        let i = info(0x77c);
+        let pattern = [true, false, false, true, true, false];
+        let mut correct = 0;
+        let total = 1500;
+        for n in 0..total {
+            let taken = pattern[n % pattern.len()];
+            let pr = p.predict(i, &c);
+            if n >= 600 && pr == taken {
+                correct += 1;
+            }
+            p.update(i, taken, pr, &c);
+        }
+        let acc = correct as f64 / (total - 600) as f64;
+        assert!(acc > 0.85, "pattern accuracy {acc}");
+    }
+
+    #[test]
+    fn statistically_biased_branch_uses_sc() {
+        // 85%-taken branch with no pattern: the SC specializes in exactly
+        // this case. Require better-than-bimodal-cold behavior overall.
+        let mut p = TageScL::paper(1);
+        let c = ctx();
+        let i = info(0x1200);
+        let mut rng = sbp_types::rng::Xoshiro256::new(33);
+        let mut correct = 0;
+        let total = 3000;
+        for n in 0..total {
+            let taken = rng.chance(0.85);
+            let pr = p.predict(i, &c);
+            if n >= 500 && pr == taken {
+                correct += 1;
+            }
+            p.update(i, taken, pr, &c);
+        }
+        let acc = correct as f64 / (total - 500) as f64;
+        assert!(acc > 0.78, "biased accuracy {acc}");
+    }
+
+    #[test]
+    fn flushes_cleanly() {
+        let mut p = TageScL::paper(1);
+        let c = ctx();
+        let i = info(0x2000);
+        for _ in 0..300 {
+            let pr = p.predict(i, &c);
+            p.update(i, true, pr, &c);
+        }
+        p.flush_all();
+        let pr = p.predict(i, &c);
+        p.update(i, true, pr, &c);
+        // Also exercise the precise-flush path (no owner tags -> no-op).
+        p.flush_thread(ThreadId::new(0));
+    }
+
+    #[test]
+    fn loop_component_handles_long_loops() {
+        let mut p = TageScL::paper(1);
+        let c = ctx();
+        let i = info(0x3000);
+        let trip = 70u64;
+        let mut exit_errors = 0;
+        let mut exits = 0;
+        for it in 0..50 {
+            for k in 0..trip {
+                let taken = k + 1 < trip;
+                let pr = p.predict(i, &c);
+                if !taken && it >= 25 {
+                    exits += 1;
+                    if pr != taken {
+                        exit_errors += 1;
+                    }
+                }
+                p.update(i, taken, pr, &c);
+            }
+        }
+        assert!(exits >= 20);
+        assert!(
+            exit_errors as f64 / (exits as f64) < 0.35,
+            "long-loop exits mispredicted {exit_errors}/{exits}"
+        );
+    }
+}

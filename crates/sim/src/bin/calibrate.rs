@@ -1,0 +1,65 @@
+//! Calibration report: per-benchmark baseline prediction accuracy, BTB hit
+//! rate and per-predictor MPKI, compared against the anchors the paper
+//! reports (Gshare 8.45 / Tournament 5.17 / LTAGE 4.10 / TAGE-SC-L 3.99
+//! MPKI on SMT-2; gcc PHT 90.1%, gobmk BTB 85.2%, libquantum BTB 99.3%).
+//!
+//! Run with `cargo run -p sbp-sim --bin calibrate --release`.
+
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{run_single_case, run_smt, CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::{cases_single, cases_smt2, BenchmarkCase};
+
+fn main() {
+    let budget = WorkBudget { warmup: 50_000, measure: 400_000 };
+
+    println!("== per-benchmark baseline (single-core, Gshare) ==");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>10}", "benchmark", "condAcc", "btbHit", "MPKI", "IPC");
+    let mut seen = std::collections::BTreeSet::new();
+    for c in cases_single() {
+        for name in [c.target, c.background] {
+            if !seen.insert(name) {
+                continue;
+            }
+            let case = BenchmarkCase { id: "cal", target: name, background: "namd" };
+            let s = run_single_case(
+                &case,
+                CoreConfig::fpga(),
+                PredictorKind::Gshare,
+                Mechanism::Baseline,
+                SwitchInterval::M8,
+                budget,
+                7,
+            )
+            .expect("run");
+            println!(
+                "{:<16} {:>7.1}% {:>7.1}% {:>8.2} {:>10.2}",
+                name,
+                100.0 * s.cond_accuracy(),
+                100.0 * s.btb_hit_rate(),
+                s.mpki(),
+                s.ipc()
+            );
+        }
+    }
+
+    println!("\n== SMT-2 baseline MPKI per predictor (paper: 8.45 / 5.17 / 4.10 / 3.99) ==");
+    for kind in PredictorKind::ALL {
+        let mut total_mpki = 0.0;
+        let n = 4; // subset of cases for speed
+        for c in cases_smt2().iter().take(n) {
+            let r = run_smt(
+                &[c.target, c.background],
+                CoreConfig::gem5(),
+                kind,
+                Mechanism::Baseline,
+                SwitchInterval::M8,
+                WorkBudget { warmup: 100_000, measure: 600_000 },
+                11,
+            )
+            .expect("run");
+            total_mpki += r.mpki();
+        }
+        println!("{:<12} avg MPKI {:>6.2}", kind.label(), total_mpki / n as f64);
+    }
+}

@@ -1,0 +1,20 @@
+//! Quick probe: CF / Noisy overhead on two SMT pairs (fig10 subset).
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
+
+fn main() {
+    let budget = WorkBudget::smt_default();
+    for (t, b) in [("zeusmp", "lbm"), ("gobmk", "h264ref")] {
+        for kind in [PredictorKind::Gshare, PredictorKind::TageScL] {
+            for (label, m, iv) in [
+                ("CF", Mechanism::CompleteFlush, SwitchInterval::M8),
+                ("Noisy", Mechanism::noisy_xor_bp(), SwitchInterval::M8),
+                ("Noisy-off", Mechanism::noisy_xor_bp(), SwitchInterval::Off),
+            ] {
+                let o = smt_overhead(&[t, b], CoreConfig::gem5(), kind, m, iv, budget, 42).unwrap();
+                println!("{t}+{b} {} {label}: {:+.2}%", kind.label(), o * 100.0);
+            }
+        }
+    }
+}

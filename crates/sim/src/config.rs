@@ -1,0 +1,140 @@
+//! Simulated core configurations (the paper's Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use sbp_predictors::BtbConfig;
+
+/// Timing and structure parameters of a simulated core.
+///
+/// The cycle model is penalty-based: `cycles = instructions / base_ipc +
+/// Σ penalties`. Penalties are derived from the pipeline depths in Table 2
+/// (10 stages on the FPGA BOOM, 19 on the gem5 Sunny-Cove-like core).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Configuration name ("fpga" / "gem5").
+    pub name: &'static str,
+    /// Issue-limited IPC with perfect prediction.
+    pub base_ipc: f64,
+    /// Full pipeline refill on a resolved misprediction (≈ pipeline depth).
+    pub mispredict_penalty: u32,
+    /// Front-end re-steer when a direct branch's target comes from the
+    /// decoder instead of the BTB.
+    pub decode_resteer_penalty: u32,
+    /// Trap entry/exit overhead charged per privilege switch.
+    pub trap_overhead: u32,
+    /// Direct cost of a context switch (register save/restore etc.).
+    pub context_switch_overhead: u32,
+    /// BTB geometry.
+    pub btb: BtbConfig,
+    /// RAS depth.
+    pub ras_depth: usize,
+}
+
+impl CoreConfig {
+    /// The FPGA BOOM RISC-V prototype column of Table 2.
+    pub fn fpga() -> Self {
+        CoreConfig {
+            name: "fpga",
+            base_ipc: 2.0,
+            mispredict_penalty: 10,
+            decode_resteer_penalty: 2,
+            trap_overhead: 40,
+            context_switch_overhead: 600,
+            btb: BtbConfig::paper_fpga(),
+            ras_depth: 16,
+        }
+    }
+
+    /// The gem5 Sunny-Cove-like SMT column of Table 2.
+    pub fn gem5() -> Self {
+        CoreConfig {
+            name: "gem5",
+            base_ipc: 3.0,
+            mispredict_penalty: 19,
+            decode_resteer_penalty: 3,
+            trap_overhead: 60,
+            context_switch_overhead: 900,
+            btb: BtbConfig::paper_gem5(),
+            ras_depth: 32,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::fpga()
+    }
+}
+
+/// Context-switch intervals studied by the paper, in cycles.
+///
+/// Standard Linux switches every 4 ms; at 2 GHz that is 8 M cycles
+/// (`flush-8M` / `XOR-BP-8M` in the figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchInterval {
+    /// Never (ablation: isolates steady-state effects from switch events).
+    Off,
+    /// Every 4 million cycles.
+    M4,
+    /// Every 8 million cycles (Linux default at 2 GHz).
+    M8,
+    /// Every 12 million cycles.
+    M12,
+}
+
+impl SwitchInterval {
+    /// All three studied intervals.
+    pub const ALL: [SwitchInterval; 3] = [SwitchInterval::M4, SwitchInterval::M8, SwitchInterval::M12];
+
+    /// Interval length in cycles.
+    pub const fn cycles(self) -> u64 {
+        match self {
+            SwitchInterval::Off => u64::MAX,
+            SwitchInterval::M4 => 4_000_000,
+            SwitchInterval::M8 => 8_000_000,
+            SwitchInterval::M12 => 12_000_000,
+        }
+    }
+
+    /// Figure label suffix ("4M" etc.).
+    pub const fn label(self) -> &'static str {
+        match self {
+            SwitchInterval::Off => "off",
+            SwitchInterval::M4 => "4M",
+            SwitchInterval::M8 => "8M",
+            SwitchInterval::M12 => "12M",
+        }
+    }
+}
+
+impl std::fmt::Display for SwitchInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        let fpga = CoreConfig::fpga();
+        assert_eq!(fpga.mispredict_penalty, 10, "10-stage BOOM pipeline");
+        assert_eq!(fpga.btb.sets, 256);
+        assert_eq!(fpga.btb.ways, 2);
+        let gem5 = CoreConfig::gem5();
+        assert_eq!(gem5.mispredict_penalty, 19, "19-stage Sunny Cove pipeline");
+        assert_eq!(gem5.btb.sets, 1024);
+        assert_eq!(gem5.btb.ways, 4);
+        assert!(gem5.base_ipc > fpga.base_ipc);
+    }
+
+    #[test]
+    fn interval_cycles() {
+        assert_eq!(SwitchInterval::M4.cycles(), 4_000_000);
+        assert_eq!(SwitchInterval::M8.cycles(), 8_000_000);
+        assert_eq!(SwitchInterval::M12.cycles(), 12_000_000);
+        assert_eq!(SwitchInterval::M8.to_string(), "8M");
+    }
+}

@@ -1,0 +1,247 @@
+//! The per-branch timing model.
+//!
+//! Converts one dynamic branch into cycles, consulting and training the
+//! [`SecureFrontend`]. The model follows the paper's FPGA BOOM behaviour:
+//!
+//! * a conditional branch predicted taken needs a BTB target; on a BTB miss
+//!   the front-end **reverts to fall-through** (paper §6.2.1), which is
+//!   precisely what makes flushing occasionally *help* (case 2);
+//! * direct jumps/calls pay a short decoder re-steer when the BTB cannot
+//!   supply the target;
+//! * indirect branches pay the full misprediction penalty when the BTB
+//!   misses or stores a wrong (e.g. stale-key garbage) target;
+//! * returns are predicted by the RAS.
+
+use sbp_core::SecureFrontend;
+use sbp_types::{BranchInfo, BranchKind, BranchRecord, PredictionStats, ThreadId};
+
+use crate::config::CoreConfig;
+
+/// Executes one branch on the front-end and returns the cycles consumed
+/// (base slot time plus penalties), updating `stats`.
+pub fn execute_branch(
+    fe: &mut SecureFrontend,
+    cfg: &CoreConfig,
+    thread: ThreadId,
+    rec: &BranchRecord,
+    stats: &mut PredictionStats,
+) -> f64 {
+    let mut cycles = (rec.gap as f64 + 1.0) / cfg.base_ipc;
+    stats.instructions += rec.instructions();
+    let info = BranchInfo::new(thread, rec.pc, rec.kind);
+
+    match rec.kind {
+        BranchKind::Conditional => {
+            let pht_pred = fe.predict_direction(info);
+            stats.cond_branches += 1;
+            let mut effective = pht_pred;
+            let mut predicted_target = None;
+            if pht_pred {
+                stats.btb_lookups += 1;
+                match fe.predict_target(info) {
+                    Some(t) => predicted_target = Some(t),
+                    None => {
+                        stats.btb_misses += 1;
+                        // No target available: the fetch unit falls through.
+                        effective = false;
+                    }
+                }
+            }
+            if effective != rec.taken {
+                stats.cond_mispredicts += 1;
+                cycles += cfg.mispredict_penalty as f64;
+            } else if effective && predicted_target != Some(rec.target) {
+                // Right direction, wrong target word (stale or encoded
+                // garbage): the decoder recomputes the direct target.
+                stats.btb_wrong_target += 1;
+                cycles += cfg.decode_resteer_penalty as f64;
+            }
+            fe.update_direction(info, rec.taken, pht_pred);
+            // The BTB is updated if and only if the branch is taken (§2.1).
+            if rec.taken {
+                fe.update_target(info, rec.target);
+            }
+        }
+        BranchKind::DirectJump | BranchKind::Call => {
+            stats.btb_lookups += 1;
+            match fe.predict_target(info) {
+                Some(t) if t == rec.target => {}
+                Some(_) => {
+                    stats.btb_wrong_target += 1;
+                    cycles += cfg.decode_resteer_penalty as f64;
+                }
+                None => {
+                    stats.btb_misses += 1;
+                    cycles += cfg.decode_resteer_penalty as f64;
+                }
+            }
+            fe.update_target(info, rec.target);
+            if rec.kind.pushes_ras() {
+                fe.ras_push(thread, rec.pc.fall_through());
+            }
+        }
+        BranchKind::IndirectJump | BranchKind::IndirectCall => {
+            stats.indirect_branches += 1;
+            stats.btb_lookups += 1;
+            match fe.predict_target(info) {
+                Some(t) if t == rec.target => {}
+                Some(_) => {
+                    stats.btb_wrong_target += 1;
+                    stats.indirect_mispredicts += 1;
+                    cycles += cfg.mispredict_penalty as f64;
+                }
+                None => {
+                    stats.btb_misses += 1;
+                    stats.indirect_mispredicts += 1;
+                    cycles += cfg.mispredict_penalty as f64;
+                }
+            }
+            fe.update_target(info, rec.target);
+            if rec.kind.pushes_ras() {
+                fe.ras_push(thread, rec.pc.fall_through());
+            }
+        }
+        BranchKind::Return => {
+            stats.returns += 1;
+            match fe.ras_pop(thread) {
+                Some(addr) if addr == rec.target => {}
+                _ => {
+                    stats.ras_mispredicts += 1;
+                    cycles += cfg.mispredict_penalty as f64;
+                }
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_core::{FrontendConfig, Mechanism};
+    use sbp_predictors::PredictorKind;
+    use sbp_types::Pc;
+
+    fn frontend(mech: Mechanism) -> SecureFrontend {
+        SecureFrontend::new(FrontendConfig::paper_fpga(PredictorKind::Gshare, mech))
+    }
+
+    fn t0() -> ThreadId {
+        ThreadId::new(0)
+    }
+
+    #[test]
+    fn base_cost_is_ipc_limited() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        // A not-taken branch predicted not-taken costs only slot time.
+        let rec = BranchRecord::not_taken(Pc::new(0x400), 9);
+        let cycles = execute_branch(&mut fe, &cfg, t0(), &rec, &mut stats);
+        assert!((cycles - 10.0 / 2.0).abs() < 1e-9, "cycles {cycles}");
+        assert_eq!(stats.cond_mispredicts, 0);
+        assert_eq!(stats.instructions, 10);
+    }
+
+    #[test]
+    fn cold_taken_branch_pays_full_penalty() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let rec = BranchRecord::taken(Pc::new(0x400), BranchKind::Conditional, Pc::new(0x800), 0);
+        let cycles = execute_branch(&mut fe, &cfg, t0(), &rec, &mut stats);
+        // Cold PHT predicts not-taken; actual taken → misprediction.
+        assert_eq!(stats.cond_mispredicts, 1);
+        assert!(cycles >= cfg.mispredict_penalty as f64);
+    }
+
+    #[test]
+    fn warm_conditional_with_btb_is_free_of_penalty() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let rec = BranchRecord::taken(Pc::new(0x400), BranchKind::Conditional, Pc::new(0x800), 0);
+        for _ in 0..30 {
+            execute_branch(&mut fe, &cfg, t0(), &rec, &mut stats);
+        }
+        let mut fresh = PredictionStats::new();
+        let cycles = execute_branch(&mut fe, &cfg, t0(), &rec, &mut fresh);
+        assert_eq!(fresh.cond_mispredicts, 0, "trained branch mispredicted");
+        assert!((cycles - 0.5).abs() < 1e-9, "penalty-free cost, got {cycles}");
+    }
+
+    #[test]
+    fn not_taken_branch_saved_by_btb_miss() {
+        // The case-2 effect: direction mistrained toward taken, BTB cold →
+        // fall-through turns out correct, no penalty. Train past gshare's
+        // 13-bit GHR saturation so the final prediction uses a trained
+        // entry.
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let pc = Pc::new(0x500);
+        for _ in 0..20 {
+            let info = BranchInfo::new(t0(), pc, BranchKind::Conditional);
+            let p = fe.predict_direction(info);
+            fe.update_direction(info, true, p); // direction says taken
+        }
+        // Now execute an actually-not-taken instance: PHT says taken, BTB
+        // misses, fall-through is correct → no mispredict penalty.
+        let rec = BranchRecord::not_taken(pc, 0);
+        let cycles = execute_branch(&mut fe, &cfg, t0(), &rec, &mut stats);
+        assert_eq!(stats.btb_misses, 1, "predicted-taken must consult the BTB");
+        assert_eq!(stats.cond_mispredicts, 0, "fall-through should save this");
+        assert!((cycles - 0.5).abs() < 1e-9, "cycles {cycles}");
+    }
+
+    #[test]
+    fn direct_call_uses_decode_resteer_and_ras() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let call = BranchRecord::taken(Pc::new(0x600), BranchKind::Call, Pc::new(0x2000), 0);
+        let c1 = execute_branch(&mut fe, &cfg, t0(), &call, &mut stats);
+        assert_eq!(stats.btb_misses, 1);
+        assert!((c1 - (0.5 + cfg.decode_resteer_penalty as f64)).abs() < 1e-9);
+        // Second time: BTB hit, no penalty.
+        let c2 = execute_branch(&mut fe, &cfg, t0(), &call, &mut stats);
+        assert!((c2 - 0.5).abs() < 1e-9);
+        // Matching return predicted by the RAS.
+        let ret = BranchRecord::taken(Pc::new(0x2100), BranchKind::Return, Pc::new(0x604), 0);
+        let c3 = execute_branch(&mut fe, &cfg, t0(), &ret, &mut stats);
+        // Two calls pushed two return addresses; the top matches.
+        assert_eq!(stats.ras_mispredicts, 0);
+        assert!((c3 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indirect_miss_pays_full_penalty() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let ind = BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x3000), 0);
+        let c1 = execute_branch(&mut fe, &cfg, t0(), &ind, &mut stats);
+        assert_eq!(stats.indirect_mispredicts, 1);
+        assert!((c1 - (0.5 + cfg.mispredict_penalty as f64)).abs() < 1e-9);
+        // Warm hit.
+        let c2 = execute_branch(&mut fe, &cfg, t0(), &ind, &mut stats);
+        assert_eq!(stats.indirect_mispredicts, 1);
+        assert!((c2 - 0.5).abs() < 1e-9);
+        // Target change: wrong-target misprediction.
+        let ind2 = BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x4000), 0);
+        let c3 = execute_branch(&mut fe, &cfg, t0(), &ind2, &mut stats);
+        assert_eq!(stats.indirect_mispredicts, 2);
+        assert_eq!(stats.btb_wrong_target, 1);
+        assert!(c3 > cfg.mispredict_penalty as f64);
+    }
+
+    #[test]
+    fn empty_ras_mispredicts_return() {
+        let mut fe = frontend(Mechanism::Baseline);
+        let cfg = CoreConfig::fpga();
+        let mut stats = PredictionStats::new();
+        let ret = BranchRecord::taken(Pc::new(0x800), BranchKind::Return, Pc::new(0x604), 0);
+        execute_branch(&mut fe, &cfg, t0(), &ret, &mut stats);
+        assert_eq!(stats.ras_mispredicts, 1);
+    }
+}

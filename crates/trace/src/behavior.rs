@@ -1,0 +1,145 @@
+//! Direction behaviours of synthetic conditional branch sites.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::rng::Xoshiro256;
+
+/// How a conditional branch site decides its direction.
+///
+/// The mix of behaviours in a workload profile controls how predictable the
+/// workload is for each predictor family:
+///
+/// * [`Bernoulli`](BranchBehavior::Bernoulli) with `p` near 0.5 is a noise
+///   floor no predictor learns;
+/// * [`Loop`](BranchBehavior::Loop) is learnable by loop predictors and (for
+///   short trips) by history predictors;
+/// * [`Pattern`](BranchBehavior::Pattern) is learnable by any global-history
+///   predictor whose history covers the period;
+/// * [`Correlated`](BranchBehavior::Correlated) repeats a *recent global
+///   outcome*, learnable only with sufficient history (TAGE shines here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// Taken with probability `p`.
+    Bernoulli {
+        /// Probability of taken.
+        p: f64,
+    },
+    /// Taken `trip - 1` times, then not-taken once (a `for` loop backedge).
+    Loop {
+        /// Loop trip count (≥ 1).
+        trip: u32,
+    },
+    /// A fixed cyclic direction pattern.
+    Pattern {
+        /// The repeating outcome sequence (must be non-empty).
+        bits: Vec<bool>,
+    },
+    /// Repeats the thread's global outcome `lag` branches ago, optionally
+    /// inverted (correlated branch).
+    Correlated {
+        /// How many branches back to look (1..=63).
+        lag: u32,
+        /// Invert the copied outcome.
+        invert: bool,
+    },
+}
+
+impl BranchBehavior {
+    /// Evaluates the next outcome.
+    ///
+    /// `state` is the site's mutable iteration/phase counter; `recent` is
+    /// the thread's recent global outcome history (newest at bit 0).
+    pub fn next(&self, state: &mut u32, recent: u64, rng: &mut Xoshiro256) -> bool {
+        match self {
+            BranchBehavior::Bernoulli { p } => rng.chance(*p),
+            BranchBehavior::Loop { trip } => {
+                let trip = (*trip).max(1);
+                let taken = *state + 1 < trip;
+                *state = if taken { *state + 1 } else { 0 };
+                taken
+            }
+            BranchBehavior::Pattern { bits } => {
+                let taken = bits[*state as usize % bits.len()];
+                *state = state.wrapping_add(1);
+                taken
+            }
+            BranchBehavior::Correlated { lag, invert } => {
+                let bit = (recent >> (*lag).min(63)) & 1 == 1;
+                bit ^ invert
+            }
+        }
+    }
+
+    /// Long-run taken rate (used by tests and workload statistics).
+    pub fn expected_taken_rate(&self) -> f64 {
+        match self {
+            BranchBehavior::Bernoulli { p } => *p,
+            BranchBehavior::Loop { trip } => {
+                let t = (*trip).max(1) as f64;
+                (t - 1.0) / t
+            }
+            BranchBehavior::Pattern { bits } => {
+                bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
+            }
+            BranchBehavior::Correlated { .. } => 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let b = BranchBehavior::Bernoulli { p: 0.8 };
+        let mut rng = Xoshiro256::new(1);
+        let mut st = 0;
+        let n = 50_000;
+        let taken = (0..n).filter(|_| b.next(&mut st, 0, &mut rng)).count();
+        let rate = taken as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate {rate}");
+        assert!((b.expected_taken_rate() - 0.8).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn loop_behaviour_cycles() {
+        let b = BranchBehavior::Loop { trip: 4 };
+        let mut rng = Xoshiro256::new(2);
+        let mut st = 0;
+        let seq: Vec<bool> = (0..8).map(|_| b.next(&mut st, 0, &mut rng)).collect();
+        assert_eq!(seq, vec![true, true, true, false, true, true, true, false]);
+        assert!((b.expected_taken_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_loop_never_taken() {
+        let b = BranchBehavior::Loop { trip: 1 };
+        let mut rng = Xoshiro256::new(3);
+        let mut st = 0;
+        assert!(!b.next(&mut st, 0, &mut rng));
+        assert!(!b.next(&mut st, 0, &mut rng));
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let b = BranchBehavior::Pattern { bits: vec![true, false, false] };
+        let mut rng = Xoshiro256::new(4);
+        let mut st = 0;
+        let seq: Vec<bool> = (0..6).map(|_| b.next(&mut st, 0, &mut rng)).collect();
+        assert_eq!(seq, vec![true, false, false, true, false, false]);
+        assert!((b.expected_taken_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_copies_history_bit() {
+        let b = BranchBehavior::Correlated { lag: 2, invert: false };
+        let mut rng = Xoshiro256::new(5);
+        let mut st = 0;
+        // recent = ...0100: bit 2 is 1.
+        assert!(b.next(&mut st, 0b100, &mut rng));
+        assert!(!b.next(&mut st, 0b011, &mut rng));
+        let inv = BranchBehavior::Correlated { lag: 2, invert: true };
+        assert!(!inv.next(&mut st, 0b100, &mut rng));
+    }
+}

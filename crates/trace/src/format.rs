@@ -1,0 +1,194 @@
+//! Binary trace serialization.
+//!
+//! A compact self-describing format so traces can be captured once and
+//! replayed (or shared) without re-running the generator:
+//!
+//! ```text
+//! magic "SBPT" | u32 version | u64 event count | events...
+//! event: tag u8 (0=branch, 1=priv-switch)
+//!   branch:      pc u64 | kind u8 | taken u8 | target u64 | gap u32
+//!   priv-switch: level u8 (0=user, 1=kernel)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use sbp_types::{BranchKind, BranchRecord, Pc, Privilege, SbpError};
+
+use crate::generator::TraceEvent;
+
+const MAGIC: &[u8; 4] = b"SBPT";
+const VERSION: u32 = 1;
+
+fn kind_to_u8(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::DirectJump => 1,
+        BranchKind::IndirectJump => 2,
+        BranchKind::Call => 3,
+        BranchKind::IndirectCall => 4,
+        BranchKind::Return => 5,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Result<BranchKind, SbpError> {
+    Ok(match v {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::DirectJump,
+        2 => BranchKind::IndirectJump,
+        3 => BranchKind::Call,
+        4 => BranchKind::IndirectCall,
+        5 => BranchKind::Return,
+        _ => return Err(SbpError::trace(format!("unknown branch kind {v}"))),
+    })
+}
+
+/// Serializes events to the binary trace format.
+///
+/// ```
+/// use sbp_trace::format::{decode_trace, encode_trace};
+/// use sbp_trace::TraceEvent;
+/// use sbp_types::{BranchKind, BranchRecord, Pc};
+///
+/// # fn main() -> Result<(), sbp_types::SbpError> {
+/// let events = vec![TraceEvent::Branch(BranchRecord::taken(
+///     Pc::new(0x400), BranchKind::Call, Pc::new(0x800), 3,
+/// ))];
+/// let bytes = encode_trace(&events);
+/// assert_eq!(decode_trace(&bytes)?, events);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_trace(events: &[TraceEvent]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + events.len() * 23);
+    buf.put_slice(MAGIC);
+    buf.put_u32(VERSION);
+    buf.put_u64(events.len() as u64);
+    for ev in events {
+        match ev {
+            TraceEvent::Branch(r) => {
+                buf.put_u8(0);
+                buf.put_u64(r.pc.addr());
+                buf.put_u8(kind_to_u8(r.kind));
+                buf.put_u8(r.taken as u8);
+                buf.put_u64(r.target.addr());
+                buf.put_u32(r.gap);
+            }
+            TraceEvent::PrivilegeSwitch(p) => {
+                buf.put_u8(1);
+                buf.put_u8(matches!(p, Privilege::Kernel) as u8);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a binary trace.
+///
+/// # Errors
+///
+/// Returns [`SbpError::TraceFormat`] on a bad magic, version, truncated
+/// input or unknown enum tag.
+pub fn decode_trace(mut data: &[u8]) -> Result<Vec<TraceEvent>, SbpError> {
+    if data.remaining() < 16 {
+        return Err(SbpError::trace("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SbpError::trace("bad magic"));
+    }
+    let version = data.get_u32();
+    if version != VERSION {
+        return Err(SbpError::trace(format!("unsupported version {version}")));
+    }
+    let count = data.get_u64() as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 24));
+    for i in 0..count {
+        if data.remaining() < 1 {
+            return Err(SbpError::trace(format!("truncated at event {i}")));
+        }
+        match data.get_u8() {
+            0 => {
+                if data.remaining() < 22 {
+                    return Err(SbpError::trace(format!("truncated branch at event {i}")));
+                }
+                let pc = Pc::new(data.get_u64());
+                let kind = kind_from_u8(data.get_u8())?;
+                let taken = data.get_u8() != 0;
+                let target = Pc::new(data.get_u64());
+                let gap = data.get_u32();
+                events.push(TraceEvent::Branch(BranchRecord { pc, kind, taken, target, gap }));
+            }
+            1 => {
+                if data.remaining() < 1 {
+                    return Err(SbpError::trace(format!("truncated switch at event {i}")));
+                }
+                let p = if data.get_u8() != 0 { Privilege::Kernel } else { Privilege::User };
+                events.push(TraceEvent::PrivilegeSwitch(p));
+            }
+            t => return Err(SbpError::trace(format!("unknown event tag {t}"))),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+    use crate::TraceGenerator;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let p = WorkloadProfile::by_name("povray").unwrap();
+        let events: Vec<TraceEvent> =
+            TraceGenerator::new(&p, 0x2000_0000, 9).take(10_000).collect();
+        let bytes = encode_trace(&events);
+        let decoded = decode_trace(&bytes).expect("decode");
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode_trace(b"NOPE00000000000000000000").unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let p = WorkloadProfile::by_name("gcc").unwrap();
+        let events: Vec<TraceEvent> = TraceGenerator::new(&p, 0x1000_0000, 1).take(50).collect();
+        let bytes = encode_trace(&events);
+        let err = decode_trace(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = encode_trace(&[]).to_vec();
+        bytes[4..8].copy_from_slice(&99u32.to_be_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(decode_trace(&encode_trace(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        use sbp_types::BranchKind::*;
+        let events: Vec<TraceEvent> = [Conditional, DirectJump, IndirectJump, Call, IndirectCall, Return]
+            .iter()
+            .map(|&k| {
+                TraceEvent::Branch(BranchRecord::taken(Pc::new(0x10), k, Pc::new(0x20), 1))
+            })
+            .chain([
+                TraceEvent::PrivilegeSwitch(Privilege::Kernel),
+                TraceEvent::PrivilegeSwitch(Privilege::User),
+            ])
+            .collect();
+        assert_eq!(decode_trace(&encode_trace(&events)).unwrap(), events);
+    }
+}

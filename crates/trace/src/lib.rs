@@ -1,0 +1,36 @@
+//! # sbp-trace
+//!
+//! Synthetic workload substrate: SPEC CPU 2006 stand-in profiles, the
+//! program model that turns a profile into a deterministic branch stream,
+//! syscall/kernel-mode generation, and a binary trace format.
+//!
+//! The paper runs SPEC CPU 2006 pairs (Table 3) on an FPGA and on gem5; we
+//! replace each benchmark with a calibrated [`WorkloadProfile`] (see
+//! `DESIGN.md` for the substitution argument).
+//!
+//! ```
+//! use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+//!
+//! # fn main() -> Result<(), sbp_types::SbpError> {
+//! let profile = WorkloadProfile::by_name("libquantum")?;
+//! let mut stream = TraceGenerator::new(&profile, 0x1000_0000, 7);
+//! let branches = (0..1000)
+//!     .filter(|_| matches!(stream.next_event(), TraceEvent::Branch(_)))
+//!     .count();
+//! assert!(branches > 900);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod behavior;
+pub mod format;
+pub mod generator;
+pub mod profile;
+pub mod program;
+
+pub use behavior::BranchBehavior;
+pub use generator::{TraceEvent, TraceGenerator};
+pub use profile::{
+    cases_single, cases_smt2, cases_smt4, BehaviorMix, BenchmarkCase, WorkloadProfile,
+};
+pub use program::ProgramModel;

@@ -1,0 +1,357 @@
+//! Per-benchmark workload profiles: the SPEC CPU 2006 stand-ins.
+//!
+//! The paper evaluates on SPEC CPU 2006 pairs (Table 3). We cannot ship
+//! SPEC, so each benchmark is replaced by a *workload profile*: a
+//! parameterization of the synthetic program model (static branch counts,
+//! direction-behaviour mix, indirect/call structure, branch density,
+//! syscall rate). Parameters are chosen per benchmark from its published
+//! branch characteristics and the figures the paper itself reports (static
+//! conditional branch ratios, PHT/BTB accuracies, residual BTB entries,
+//! Table 4 privilege-switch rates), so that the *relative* behaviour of the
+//! twelve cases matches the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of conditional sites per behaviour class (must sum to ≈ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorMix {
+    /// Nearly-always-taken sites (`p = 0.98`).
+    pub always: f64,
+    /// Biased sites (`p ∈ [0.80, 0.95]`).
+    pub biased: f64,
+    /// Noise-floor sites (`p ∈ [0.40, 0.65]`), unlearnable.
+    pub random: f64,
+    /// Loop backedges (trip counts drawn from `loop_trips`).
+    pub loops: f64,
+    /// Cyclic patterns of period 4–32 (global-history learnable).
+    pub pattern: f64,
+    /// Correlated sites copying a recent global outcome (long-history
+    /// learnable — TAGE territory).
+    pub correlated: f64,
+}
+
+impl BehaviorMix {
+    /// Validates that the fractions form a distribution.
+    pub fn is_normalized(&self) -> bool {
+        let sum = self.always + self.biased + self.random + self.loops + self.pattern
+            + self.correlated;
+        (sum - 1.0).abs() < 1e-6
+            && [self.always, self.biased, self.random, self.loops, self.pattern, self.correlated]
+                .iter()
+                .all(|&f| (0.0..=1.0).contains(&f))
+    }
+}
+
+/// A complete benchmark stand-in description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name (matches Table 3 spelling).
+    pub name: &'static str,
+    /// Static conditional branch sites.
+    pub cond_sites: usize,
+    /// Behaviour class fractions.
+    pub mix: BehaviorMix,
+    /// Loop trip count range (inclusive).
+    pub loop_trips: (u32, u32),
+    /// Static indirect jump/call sites.
+    pub indirect_sites: usize,
+    /// Distinct targets per indirect site.
+    pub targets_per_indirect: usize,
+    /// Static direct call sites.
+    pub call_sites: usize,
+    /// Fraction of dynamic branches that are conditional.
+    pub cond_fraction: f64,
+    /// Fraction that are indirect jumps/calls.
+    pub indirect_fraction: f64,
+    /// Fraction that are direct calls (a matched return follows later).
+    pub call_fraction: f64,
+    /// Mean non-branch instructions between branches.
+    pub mean_gap: f64,
+    /// Syscalls per million instructions (drives Table 4).
+    pub syscalls_per_minstr: f64,
+    /// Zipf-like skew of site popularity (0 = uniform, 1 = strongly
+    /// skewed toward a hot subset).
+    pub locality: f64,
+    /// Instructions spent in the kernel per syscall (min, max).
+    pub kernel_span: (u32, u32),
+}
+
+impl WorkloadProfile {
+    /// Looks up a profile by benchmark name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sbp_types::SbpError::UnknownWorkload`] for unknown names.
+    pub fn by_name(name: &str) -> Result<WorkloadProfile, sbp_types::SbpError> {
+        registry()
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| sbp_types::SbpError::UnknownWorkload(name.to_owned()))
+    }
+
+    /// The synthetic kernel-mode workload executed inside syscalls.
+    pub fn kernel() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "kernel",
+            cond_sites: 600,
+            mix: BehaviorMix {
+                always: 0.30,
+                biased: 0.30,
+                random: 0.15,
+                loops: 0.10,
+                pattern: 0.10,
+                correlated: 0.05,
+            },
+            loop_trips: (3, 24),
+            indirect_sites: 40,
+            targets_per_indirect: 4,
+            call_sites: 60,
+            cond_fraction: 0.78,
+            indirect_fraction: 0.05,
+            call_fraction: 0.085,
+            mean_gap: 4.5,
+            syscalls_per_minstr: 0.0,
+            locality: 0.7,
+            kernel_span: (0, 0),
+        }
+    }
+}
+
+/// Builds one profile row. The long positional list is private to this
+/// module; the public surface is the struct.
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    name: &'static str,
+    cond_sites: usize,
+    mix: BehaviorMix,
+    loop_trips: (u32, u32),
+    indirect_sites: usize,
+    targets_per_indirect: usize,
+    cond_instr_ratio: f64,
+    syscalls_per_minstr: f64,
+    locality: f64,
+) -> WorkloadProfile {
+    // cond_instr_ratio = cond_fraction / (mean_gap + 1)
+    //
+    // Syscall calibration: the registry's per-benchmark rates are scaled so
+    // that the *measured* privilege switches per million cycles (each
+    // syscall = entry + exit, at the simulated IPC) land on Table 4's
+    // per-case values; see the tab04 harness.
+    const SYSCALL_CAL: f64 = 0.2;
+    let cond_fraction = 0.80;
+    let indirect_fraction = 0.04;
+    let call_fraction = 0.08;
+    let mean_gap = (cond_fraction / cond_instr_ratio - 1.0).max(0.5);
+    WorkloadProfile {
+        name,
+        cond_sites,
+        mix,
+        loop_trips,
+        indirect_sites,
+        targets_per_indirect,
+        call_sites: (cond_sites / 12).max(4),
+        cond_fraction,
+        indirect_fraction,
+        call_fraction,
+        mean_gap,
+        syscalls_per_minstr: syscalls_per_minstr * SYSCALL_CAL,
+        locality,
+        kernel_span: (400, 4000),
+    }
+}
+
+fn mix(
+    always: f64,
+    biased: f64,
+    random: f64,
+    loops: f64,
+    pattern: f64,
+    correlated: f64,
+) -> BehaviorMix {
+    BehaviorMix { always, biased, random, loops, pattern, correlated }
+}
+
+/// All benchmark profiles (Table 3 population).
+///
+/// Salient calibration targets (from the paper's own text):
+/// * `gcc` 12.1% / `calculix` 8.1% static conditional ratio, PHT accuracy
+///   90.1% / 94.0% — drives the largest XOR-PHT loss (case 1);
+/// * `gromacs` 4.8% / `GemsFDTD` 7.6% conditional ratio, gromacs PHT
+///   accuracy 88.9% — tiny XOR-PHT impact (case 7);
+/// * `gobmk`/`libquantum` leave 500–800 residual BTB entries and have BTB
+///   accuracy 85.2% / 99.3% — the largest XOR-BTB loss (case 6);
+/// * `milc`+`povray` (case 2) shows *negative* flush overhead: povray's
+///   frequently-wrong-taken predictions are corrected by fall-through
+///   after a BTB/PHT reset, so its profile is rich in low-`p` Bernoulli
+///   sites that a warm predictor mistrains;
+/// * Table 4 privilege-switch rates: per-benchmark syscall rates are set
+///   so each pair's average approximates the reported per-case value.
+pub fn registry() -> Vec<WorkloadProfile> {
+    vec![
+        //       name            sites  mix(always biased random loops pattern corr)  trips    ind tgt  cond%   sys/Mi  loc
+        profile("gcc", 2600, mix(0.26, 0.26, 0.10, 0.12, 0.13, 0.13), (3, 40), 90, 5, 0.121, 10.0, 0.55),
+        profile("calculix", 1400, mix(0.32, 0.26, 0.06, 0.16, 0.10, 0.10), (4, 60), 40, 3, 0.081, 6.6, 0.65),
+        profile("milc", 420, mix(0.32, 0.18, 0.04, 0.30, 0.08, 0.08), (8, 120), 24, 3, 0.070, 5.1, 0.75),
+        profile("povray", 1500, mix(0.18, 0.26, 0.14, 0.10, 0.16, 0.16), (3, 24), 110, 6, 0.110, 18.7, 0.55),
+        profile("bzip2_source", 700, mix(0.24, 0.30, 0.10, 0.12, 0.13, 0.11), (4, 48), 18, 2, 0.115, 3.1, 0.70),
+        profile("soplex", 1000, mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11), (4, 60), 40, 4, 0.095, 3.3, 0.65),
+        profile("namd", 500, mix(0.40, 0.24, 0.04, 0.20, 0.06, 0.06), (8, 100), 20, 2, 0.055, 2.6, 0.75),
+        profile("sphinx3", 900, mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11), (4, 40), 34, 3, 0.090, 4.2, 0.65),
+        profile("hmmer", 480, mix(0.32, 0.28, 0.05, 0.20, 0.09, 0.06), (6, 80), 14, 2, 0.078, 2.7, 0.75),
+        profile("GemsFDTD", 520, mix(0.36, 0.22, 0.05, 0.22, 0.09, 0.06), (10, 140), 16, 2, 0.076, 3.0, 0.75),
+        profile("gobmk", 2400, mix(0.20, 0.26, 0.14, 0.10, 0.14, 0.16), (3, 24), 130, 6, 0.118, 2.8, 0.45),
+        profile("libquantum", 140, mix(0.42, 0.12, 0.02, 0.34, 0.06, 0.04), (16, 200), 6, 2, 0.130, 2.6, 0.85),
+        profile("gromacs", 520, mix(0.26, 0.24, 0.12, 0.12, 0.13, 0.13), (4, 48), 20, 2, 0.048, 2.7, 0.70),
+        profile("mcf", 320, mix(0.24, 0.26, 0.12, 0.12, 0.13, 0.13), (4, 40), 10, 2, 0.105, 3.8, 0.75),
+        profile("astar", 420, mix(0.26, 0.28, 0.11, 0.12, 0.12, 0.11), (4, 40), 12, 2, 0.100, 3.2, 0.70),
+        profile("perlbench", 1900, mix(0.24, 0.26, 0.09, 0.10, 0.15, 0.16), (3, 32), 150, 8, 0.120, 8.2, 0.50),
+        profile("bwaves", 380, mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05), (12, 160), 10, 2, 0.065, 3.6, 0.80),
+        profile("zeusmp", 460, mix(0.36, 0.22, 0.05, 0.24, 0.07, 0.06), (10, 120), 14, 2, 0.070, 3.0, 0.75),
+        profile("lbm", 160, mix(0.44, 0.16, 0.03, 0.28, 0.05, 0.04), (20, 240), 6, 2, 0.045, 2.4, 0.85),
+        profile("dealII", 1100, mix(0.28, 0.26, 0.07, 0.14, 0.13, 0.12), (4, 48), 70, 5, 0.105, 3.4, 0.60),
+        profile("leslie3d", 420, mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05), (12, 140), 10, 2, 0.060, 2.9, 0.80),
+        profile("sjeng", 1300, mix(0.22, 0.26, 0.13, 0.10, 0.14, 0.15), (3, 28), 60, 5, 0.112, 3.3, 0.55),
+        profile("h264ref", 1500, mix(0.26, 0.28, 0.08, 0.14, 0.13, 0.11), (4, 40), 80, 5, 0.095, 3.5, 0.60),
+        profile("omnetpp", 1200, mix(0.24, 0.24, 0.10, 0.10, 0.16, 0.16), (3, 32), 90, 6, 0.115, 4.4, 0.55),
+    ]
+}
+
+/// A benchmark pairing from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkCase {
+    /// "case1" .. "case12".
+    pub id: &'static str,
+    /// Foreground (measured) benchmark.
+    pub target: &'static str,
+    /// Background / co-running benchmark.
+    pub background: &'static str,
+}
+
+/// Table 3, single-threaded column: target + background context-switch
+/// pairs for the FPGA experiments.
+pub fn cases_single() -> [BenchmarkCase; 12] {
+    [
+        BenchmarkCase { id: "case1", target: "gcc", background: "calculix" },
+        BenchmarkCase { id: "case2", target: "milc", background: "povray" },
+        BenchmarkCase { id: "case3", target: "bzip2_source", background: "soplex" },
+        BenchmarkCase { id: "case4", target: "namd", background: "sphinx3" },
+        BenchmarkCase { id: "case5", target: "hmmer", background: "GemsFDTD" },
+        BenchmarkCase { id: "case6", target: "gobmk", background: "libquantum" },
+        BenchmarkCase { id: "case7", target: "gromacs", background: "GemsFDTD" },
+        BenchmarkCase { id: "case8", target: "mcf", background: "astar" },
+        BenchmarkCase { id: "case9", target: "soplex", background: "hmmer" },
+        BenchmarkCase { id: "case10", target: "libquantum", background: "calculix" },
+        BenchmarkCase { id: "case11", target: "mcf", background: "perlbench" },
+        BenchmarkCase { id: "case12", target: "bwaves", background: "namd" },
+    ]
+}
+
+/// Table 3, SMT-2 column: concurrently running pairs for the gem5-style
+/// experiments.
+pub fn cases_smt2() -> [BenchmarkCase; 12] {
+    [
+        BenchmarkCase { id: "case1", target: "zeusmp", background: "lbm" },
+        BenchmarkCase { id: "case2", target: "zeusmp", background: "dealII" },
+        BenchmarkCase { id: "case3", target: "bwaves", background: "milc" },
+        BenchmarkCase { id: "case4", target: "leslie3d", background: "gromacs" },
+        BenchmarkCase { id: "case5", target: "dealII", background: "sjeng" },
+        BenchmarkCase { id: "case6", target: "gromacs", background: "astar" },
+        BenchmarkCase { id: "case7", target: "gobmk", background: "h264ref" },
+        BenchmarkCase { id: "case8", target: "libquantum", background: "milc" },
+        BenchmarkCase { id: "case9", target: "gobmk", background: "gromacs" },
+        BenchmarkCase { id: "case10", target: "milc", background: "bzip2_source" },
+        BenchmarkCase { id: "case11", target: "libquantum", background: "omnetpp" },
+        BenchmarkCase { id: "case12", target: "zeusmp", background: "gobmk" },
+    ]
+}
+
+/// SMT-4 quads (the paper plots SMT-4 in Figure 2 without listing sets; we
+/// combine consecutive SMT-2 pairs).
+pub fn cases_smt4() -> [[&'static str; 4]; 6] {
+    let p = cases_smt2();
+    [
+        [p[0].target, p[0].background, p[1].target, p[1].background],
+        [p[2].target, p[2].background, p[3].target, p[3].background],
+        [p[4].target, p[4].background, p[5].target, p[5].background],
+        [p[6].target, p[6].background, p[7].target, p[7].background],
+        [p[8].target, p[8].background, p[9].target, p[9].background],
+        [p[10].target, p[10].background, p[11].target, p[11].background],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_profiles_are_well_formed() {
+        for p in registry() {
+            assert!(p.mix.is_normalized(), "{}: mix not normalized", p.name);
+            assert!(p.cond_sites > 0, "{}", p.name);
+            assert!(p.mean_gap > 0.0, "{}", p.name);
+            assert!(p.cond_fraction + p.indirect_fraction + p.call_fraction < 1.0, "{}", p.name);
+            assert!(p.loop_trips.0 >= 1 && p.loop_trips.0 <= p.loop_trips.1, "{}", p.name);
+            assert!(p.targets_per_indirect >= 1, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let reg = registry();
+        for (i, a) in reg.iter().enumerate() {
+            for b in &reg[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_case_benchmarks_resolve() {
+        for c in cases_single().iter().chain(cases_smt2().iter()) {
+            assert!(WorkloadProfile::by_name(c.target).is_ok(), "{}", c.target);
+            assert!(WorkloadProfile::by_name(c.background).is_ok(), "{}", c.background);
+        }
+        for quad in cases_smt4() {
+            for name in quad {
+                assert!(WorkloadProfile::by_name(name).is_ok(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = WorkloadProfile::by_name("not-a-benchmark").unwrap_err();
+        assert!(matches!(err, sbp_types::SbpError::UnknownWorkload(_)));
+    }
+
+    #[test]
+    fn kernel_profile_is_well_formed() {
+        let k = WorkloadProfile::kernel();
+        assert!(k.mix.is_normalized());
+        assert_eq!(k.syscalls_per_minstr, 0.0, "the kernel itself makes no syscalls");
+    }
+
+    #[test]
+    fn paper_cited_ratios_are_encoded() {
+        let gcc = WorkloadProfile::by_name("gcc").unwrap();
+        let gromacs = WorkloadProfile::by_name("gromacs").unwrap();
+        // gcc's conditional instruction ratio (12.1%) >> gromacs' (4.8%).
+        let ratio = |p: &WorkloadProfile| p.cond_fraction / (p.mean_gap + 1.0);
+        assert!(ratio(&gcc) > 2.0 * ratio(&gromacs));
+    }
+
+    #[test]
+    fn case2_pairs_high_syscall_povray() {
+        // Table 4: case2 has the highest privilege-switch rate (7.0/Mcyc).
+        let povray = WorkloadProfile::by_name("povray").unwrap();
+        for p in registry() {
+            if p.name != "povray" {
+                assert!(
+                    povray.syscalls_per_minstr >= p.syscalls_per_minstr,
+                    "povray must have the top syscall rate, {} beats it",
+                    p.name
+                );
+            }
+        }
+    }
+}

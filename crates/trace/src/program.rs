@@ -1,0 +1,388 @@
+//! The synthetic program model: turns a [`WorkloadProfile`] into an
+//! infinite, deterministic branch stream.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::rng::Xoshiro256;
+use sbp_types::{BranchKind, BranchRecord, Pc};
+
+use crate::behavior::BranchBehavior;
+use crate::profile::WorkloadProfile;
+
+/// Maximum modeled call depth.
+const MAX_CALL_DEPTH: usize = 8;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CondSite {
+    pc: Pc,
+    target: Pc,
+    behavior: BranchBehavior,
+    state: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndirectSite {
+    pc: Pc,
+    targets: Vec<Pc>,
+    current: usize,
+    /// Probability of staying on the current target per execution.
+    stickiness: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CallSite {
+    pc: Pc,
+    entry: Pc,
+}
+
+/// A running synthetic program: an infinite iterator of [`BranchRecord`]s.
+///
+/// Control flow is structured as **paths** — fixed sequences of
+/// conditional sites modeling compiled basic-block traces. Execution
+/// follows the current path in order and usually loops back onto it,
+/// occasionally jumping to another path. This preserves the sequence
+/// regularity real predictors exploit (global-history correlation, BTB
+/// working-set locality); a uniformly random site walk would make every
+/// workload look pathologically unpredictable.
+///
+/// Construction is deterministic from `(profile, base address, seed)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramModel {
+    cond: Vec<CondSite>,
+    indirect: Vec<IndirectSite>,
+    calls: Vec<CallSite>,
+    /// Fixed site sequences (basic-block traces).
+    paths: Vec<Vec<u32>>,
+    /// Cumulative popularity weights over paths.
+    path_cdf: Vec<f64>,
+    current_path: usize,
+    path_pos: usize,
+    /// Probability of re-running the current path at its end (loopiness).
+    path_stickiness: f64,
+    mean_gap: f64,
+    cond_fraction: f64,
+    indirect_fraction: f64,
+    call_fraction: f64,
+    rng: Xoshiro256,
+    /// Recent global outcomes (newest at bit 0) feeding correlated sites.
+    recent: u64,
+    /// (return address, branches remaining in the callee) stack.
+    call_stack: Vec<(Pc, u32)>,
+}
+
+impl ProgramModel {
+    /// Instantiates a program model for `profile` in the 256 MiB code
+    /// region starting at `base`, seeded deterministically.
+    pub fn new(profile: &WorkloadProfile, base: u64, seed: u64) -> Self {
+        let mut rng = Xoshiro256::new(seed ^ 0x70c0_ffee);
+        let mut next_pc = base & !3;
+        let mut alloc_pc = |rng: &mut Xoshiro256| {
+            let pc = next_pc;
+            next_pc += 4 + 4 * rng.next_below(48);
+            Pc::new(pc)
+        };
+
+        let mut cond = Vec::with_capacity(profile.cond_sites);
+        for _ in 0..profile.cond_sites {
+            let pc = alloc_pc(&mut rng);
+            // Branch targets: mostly short forward/backward skips.
+            let delta = 8 + 4 * rng.next_below(64) as i64;
+            let backward = rng.chance(0.45);
+            let target = pc.offset(if backward { -delta } else { delta });
+            let behavior = draw_behavior(profile, &mut rng);
+            cond.push(CondSite { pc, target, behavior, state: 0 });
+        }
+
+        let mut indirect = Vec::with_capacity(profile.indirect_sites);
+        for _ in 0..profile.indirect_sites {
+            let pc = alloc_pc(&mut rng);
+            let n = 1 + rng.next_below(profile.targets_per_indirect.max(1) as u64) as usize;
+            let targets = (0..n).map(|_| alloc_pc(&mut rng)).collect();
+            indirect.push(IndirectSite {
+                pc,
+                targets,
+                current: 0,
+                stickiness: 0.55 + 0.4 * rng.next_f64(),
+            });
+        }
+
+        let calls = (0..profile.call_sites.max(1))
+            .map(|_| CallSite { pc: alloc_pc(&mut rng), entry: alloc_pc(&mut rng) })
+            .collect();
+
+        // Zipf-ish popularity over sites: weight(rank) = 1/(rank+1)^loc.
+        let mut site_cdf = Vec::with_capacity(cond.len());
+        let mut acc = 0.0;
+        for rank in 0..cond.len() {
+            acc += 1.0 / ((rank + 1) as f64).powf(profile.locality);
+            site_cdf.push(acc);
+        }
+        let pick_site = |rng: &mut Xoshiro256| {
+            let total = *site_cdf.last().expect("non-empty site list");
+            let x = rng.next_f64() * total;
+            site_cdf.partition_point(|&c| c < x).min(cond.len() - 1) as u32
+        };
+
+        // Build basic-block traces ("paths"). The count and hop rate set
+        // the dynamic warm-up footprint, i.e. how much a predictor loses
+        // to a flush/rekey (calibrated against the paper's Figure 10).
+        let n_paths = (cond.len() / 8).clamp(4, 500);
+        let paths: Vec<Vec<u32>> = (0..n_paths)
+            .map(|_| {
+                let len = 8 + rng.next_below(40) as usize;
+                (0..len).map(|_| pick_site(&mut rng)).collect()
+            })
+            .collect();
+        // Path popularity is sharply skewed: hot loops dominate runtime.
+        let mut path_cdf = Vec::with_capacity(paths.len());
+        let mut acc = 0.0;
+        for rank in 0..paths.len() {
+            acc += 1.0 / ((rank + 1) as f64).powf(0.75 + 0.5 * profile.locality);
+            path_cdf.push(acc);
+        }
+
+        ProgramModel {
+            cond,
+            indirect,
+            calls,
+            paths,
+            path_cdf,
+            current_path: 0,
+            path_pos: 0,
+            path_stickiness: 0.4 + 0.45 * profile.locality,
+            mean_gap: profile.mean_gap,
+            cond_fraction: profile.cond_fraction,
+            indirect_fraction: profile.indirect_fraction,
+            call_fraction: profile.call_fraction,
+            rng: Xoshiro256::new(seed ^ 0x5eed_cafe),
+            recent: 0,
+            call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
+        }
+    }
+
+    /// Number of static conditional sites.
+    pub fn cond_sites(&self) -> usize {
+        self.cond.len()
+    }
+
+    /// Next conditional site: follow the current path, looping or hopping
+    /// at its end.
+    fn pick_cond(&mut self) -> usize {
+        let path = &self.paths[self.current_path];
+        let site = path[self.path_pos] as usize;
+        self.path_pos += 1;
+        if self.path_pos >= path.len() {
+            self.path_pos = 0;
+            if !self.rng.chance(self.path_stickiness) {
+                let total = *self.path_cdf.last().expect("non-empty path list");
+                let x = self.rng.next_f64() * total;
+                self.current_path =
+                    self.path_cdf.partition_point(|&c| c < x).min(self.paths.len() - 1);
+            }
+        }
+        site
+    }
+
+    /// Emits the next dynamic branch.
+    pub fn next_branch(&mut self) -> BranchRecord {
+        let gap = self.rng.gap(self.mean_gap, 0, 255);
+
+        // A pending return fires once the callee's branch budget is spent.
+        if let Some(&(ret_addr, remaining)) = self.call_stack.last() {
+            if remaining == 0 {
+                self.call_stack.pop();
+                // Synthetic return PC: just below the return address.
+                let pc = ret_addr.offset(32 + 4 * self.rng.next_below(16) as i64);
+                return BranchRecord::taken(pc, BranchKind::Return, ret_addr, gap);
+            }
+        }
+        if let Some(top) = self.call_stack.last_mut() {
+            top.1 -= 1;
+        }
+
+        let x = self.rng.next_f64();
+        if x < self.cond_fraction {
+            let idx = self.pick_cond();
+            let site = &mut self.cond[idx];
+            let taken = site.behavior.next(&mut site.state, self.recent, &mut self.rng);
+            self.recent = (self.recent << 1) | taken as u64;
+            
+            if taken {
+                BranchRecord::taken(site.pc, BranchKind::Conditional, site.target, gap)
+            } else {
+                BranchRecord::not_taken(site.pc, gap)
+            }
+        } else if x < self.cond_fraction + self.indirect_fraction && !self.indirect.is_empty() {
+            let idx = self.rng.pick_index(self.indirect.len());
+            let site = &mut self.indirect[idx];
+            if !self.rng.chance(site.stickiness) {
+                site.current = self.rng.pick_index(site.targets.len());
+            }
+            let target = site.targets[site.current];
+            BranchRecord::taken(site.pc, BranchKind::IndirectJump, target, gap)
+        } else if x < self.cond_fraction + self.indirect_fraction + self.call_fraction
+            && self.call_stack.len() < MAX_CALL_DEPTH
+        {
+            let site = self.calls[self.rng.pick_index(self.calls.len())];
+            let body_branches = 2 + self.rng.next_below(24) as u32;
+            self.call_stack.push((site.pc.fall_through(), body_branches));
+            BranchRecord::taken(site.pc, BranchKind::Call, site.entry, gap)
+        } else {
+            // Direct jump filler.
+            let site = self.calls[self.rng.pick_index(self.calls.len())];
+            BranchRecord::taken(site.pc.offset(-8), BranchKind::DirectJump, site.entry, gap)
+        }
+    }
+}
+
+impl Iterator for ProgramModel {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        Some(self.next_branch())
+    }
+}
+
+fn draw_behavior(profile: &WorkloadProfile, rng: &mut Xoshiro256) -> BranchBehavior {
+    let m = &profile.mix;
+    let x = rng.next_f64();
+    // Branch *polarity* is mixed: real programs contain both strongly-taken
+    // and strongly-not-taken branches (≈55/45). Without this, cross-thread
+    // aliasing in shared tables is "accidentally constructive" (foreign
+    // counters mostly agree via the global taken bias), which would
+    // overstate the steady-state cost of content encoding on SMT.
+    let flip = |p: f64, rng: &mut Xoshiro256| if rng.chance(0.20) { 1.0 - p } else { p };
+    let mut acc = m.always;
+    if x < acc {
+        let p = flip(0.995, rng);
+        return BranchBehavior::Bernoulli { p };
+    }
+    acc += m.biased;
+    if x < acc {
+        let p = flip(0.88 + 0.10 * rng.next_f64(), rng);
+        return BranchBehavior::Bernoulli { p };
+    }
+    acc += m.random;
+    if x < acc {
+        let p = flip(0.55 + 0.20 * rng.next_f64(), rng);
+        return BranchBehavior::Bernoulli { p };
+    }
+    acc += m.loops;
+    if x < acc {
+        let (lo, hi) = profile.loop_trips;
+        let trip = lo + rng.next_below((hi - lo + 1) as u64) as u32;
+        return BranchBehavior::Loop { trip };
+    }
+    acc += m.pattern;
+    if x < acc {
+        let period = 3 + rng.next_below(10) as usize;
+        let bits = (0..period).map(|_| rng.chance(0.5)).collect();
+        return BranchBehavior::Pattern { bits };
+    }
+    BranchBehavior::Correlated { lag: 1 + rng.next_below(8) as u32, invert: rng.chance(0.5) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn model(name: &str, seed: u64) -> ProgramModel {
+        let p = WorkloadProfile::by_name(name).expect("profile");
+        ProgramModel::new(&p, 0x1000_0000, seed)
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a: Vec<BranchRecord> = model("gcc", 7).take(500).collect();
+        let b: Vec<BranchRecord> = model("gcc", 7).take(500).collect();
+        assert_eq!(a, b);
+        let c: Vec<BranchRecord> = model("gcc", 8).take(500).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn branch_kind_fractions_are_close_to_profile() {
+        let p = WorkloadProfile::by_name("gcc").unwrap();
+        let recs: Vec<BranchRecord> = model("gcc", 3).take(50_000).collect();
+        let cond = recs.iter().filter(|r| r.kind == BranchKind::Conditional).count();
+        let frac = cond as f64 / recs.len() as f64;
+        assert!((frac - p.cond_fraction).abs() < 0.06, "cond fraction {frac}");
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let recs: Vec<BranchRecord> = model("perlbench", 5).take(100_000).collect();
+        let calls = recs.iter().filter(|r| r.kind.pushes_ras()).count() as i64;
+        let rets = recs.iter().filter(|r| r.kind.pops_ras()).count() as i64;
+        assert!(calls > 100, "calls={calls}");
+        assert!((calls - rets).abs() <= MAX_CALL_DEPTH as i64, "calls={calls} rets={rets}");
+    }
+
+    #[test]
+    fn returns_target_their_call_site() {
+        let mut m = model("gcc", 11);
+        let mut stack = Vec::new();
+        for _ in 0..50_000 {
+            let r = m.next_branch();
+            if r.kind.pushes_ras() {
+                stack.push(r.pc.fall_through());
+            } else if r.kind.pops_ras() {
+                let expect = stack.pop().expect("return without call");
+                assert_eq!(r.target, expect, "return target mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn gap_mean_tracks_profile() {
+        let p = WorkloadProfile::by_name("gromacs").unwrap();
+        let recs: Vec<BranchRecord> = model("gromacs", 9).take(50_000).collect();
+        let mean = recs.iter().map(|r| r.gap as f64).sum::<f64>() / recs.len() as f64;
+        assert!(
+            (mean - p.mean_gap).abs() / p.mean_gap < 0.25,
+            "mean gap {mean} vs profile {}",
+            p.mean_gap
+        );
+    }
+
+    #[test]
+    fn pcs_stay_in_32bit_range() {
+        for r in model("gobmk", 13).take(20_000) {
+            assert!(r.pc.addr() < (1 << 32), "pc {r:?}");
+            assert!(r.target.addr() < (1 << 32), "target {r:?}");
+        }
+    }
+
+    #[test]
+    fn taken_rate_is_plausible() {
+        // Conditional branches in real integer code are taken ~60-75% of
+        // the time; our mixes should land in a sane band.
+        let recs: Vec<BranchRecord> = model("gcc", 17).take(50_000).collect();
+        let cond: Vec<&BranchRecord> =
+            recs.iter().filter(|r| r.kind == BranchKind::Conditional).collect();
+        let taken = cond.iter().filter(|r| r.taken).count() as f64 / cond.len() as f64;
+        assert!((0.45..0.9).contains(&taken), "taken rate {taken}");
+    }
+
+    #[test]
+    fn hot_sites_dominate_with_high_locality() {
+        let mut m = model("libquantum", 21);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let r = m.next_branch();
+            if r.kind == BranchKind::Conditional {
+                *counts.entry(r.pc.addr()).or_insert(0u32) += 1;
+            }
+        }
+        let total: u32 = counts.values().sum();
+        let mut sorted: Vec<u32> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = sorted.iter().take(10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.25,
+            "top-10 sites carry only {}",
+            top10 as f64 / total as f64
+        );
+    }
+}

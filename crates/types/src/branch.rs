@@ -1,0 +1,182 @@
+//! Branch records: the unit of work consumed by the trace-driven simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Pc;
+
+/// The control-flow class of a branch instruction.
+///
+/// The class determines which predictor structures are consulted:
+/// conditional branches use the direction predictor (PHT) and, when
+/// predicted taken, the BTB; indirect jumps/calls use the BTB; returns use
+/// the RAS; direct jumps/calls only need the BTB for zero-bubble fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// A conditional direct branch (`beq`, `bne`, ...).
+    Conditional,
+    /// An unconditional direct jump (`j`).
+    DirectJump,
+    /// An unconditional indirect jump (`jr`), e.g. through a function pointer.
+    IndirectJump,
+    /// A direct call (`jal`). Pushes a return address.
+    Call,
+    /// An indirect call (`jalr`). Pushes a return address.
+    IndirectCall,
+    /// A function return (`ret`). Pops the RAS.
+    Return,
+}
+
+impl BranchKind {
+    /// Whether the branch direction is data dependent (needs the PHT).
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+
+    /// Whether the branch target is data dependent (needs the BTB or RAS).
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return
+        )
+    }
+
+    /// Whether this branch pushes a return address onto the RAS.
+    pub const fn pushes_ras(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall)
+    }
+
+    /// Whether this branch pops the RAS.
+    pub const fn pops_ras(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+
+    /// A short lowercase mnemonic for reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::DirectJump => "jump",
+            BranchKind::IndirectJump => "ijump",
+            BranchKind::Call => "call",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One dynamic branch instance in a trace.
+///
+/// `gap` is the number of non-branch instructions *preceding* this branch
+/// since the previous branch; the timing model converts gaps into base
+/// execution cycles.
+///
+/// ```
+/// use sbp_types::{BranchKind, BranchRecord, Pc};
+///
+/// let b = BranchRecord::taken(Pc::new(0x400), BranchKind::Conditional, Pc::new(0x800), 7);
+/// assert!(b.taken);
+/// assert_eq!(b.gap, 7);
+/// assert_eq!(b.next_pc(), Pc::new(0x800));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Address of the branch instruction.
+    pub pc: Pc,
+    /// Control-flow class.
+    pub kind: BranchKind,
+    /// Actual direction (always `true` for unconditional branches).
+    pub taken: bool,
+    /// Actual target address when taken.
+    pub target: Pc,
+    /// Non-branch instructions executed since the previous branch.
+    pub gap: u32,
+}
+
+impl BranchRecord {
+    /// Creates a taken branch record.
+    pub const fn taken(pc: Pc, kind: BranchKind, target: Pc, gap: u32) -> Self {
+        BranchRecord { pc, kind, taken: true, target, gap }
+    }
+
+    /// Creates a not-taken conditional branch record.
+    pub const fn not_taken(pc: Pc, gap: u32) -> Self {
+        BranchRecord {
+            pc,
+            kind: BranchKind::Conditional,
+            taken: false,
+            target: pc.fall_through(),
+            gap,
+        }
+    }
+
+    /// The address control flow actually continues at.
+    pub const fn next_pc(&self) -> Pc {
+        if self.taken {
+            self.target
+        } else {
+            self.pc.fall_through()
+        }
+    }
+
+    /// Total instructions this record accounts for (gap + the branch itself).
+    pub const fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(BranchKind::Conditional.is_conditional());
+        assert!(!BranchKind::Call.is_conditional());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(!BranchKind::DirectJump.is_indirect());
+        assert!(BranchKind::Call.pushes_ras());
+        assert!(BranchKind::IndirectCall.pushes_ras());
+        assert!(!BranchKind::Return.pushes_ras());
+        assert!(BranchKind::Return.pops_ras());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = [
+            BranchKind::Conditional,
+            BranchKind::DirectJump,
+            BranchKind::IndirectJump,
+            BranchKind::Call,
+            BranchKind::IndirectCall,
+            BranchKind::Return,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.mnemonic(), b.mnemonic());
+            }
+        }
+    }
+
+    #[test]
+    fn not_taken_falls_through() {
+        let b = BranchRecord::not_taken(Pc::new(0x100), 3);
+        assert!(!b.taken);
+        assert_eq!(b.next_pc(), Pc::new(0x104));
+        assert_eq!(b.instructions(), 4);
+    }
+
+    #[test]
+    fn taken_goes_to_target() {
+        let b = BranchRecord::taken(Pc::new(0x100), BranchKind::Call, Pc::new(0x9000), 0);
+        assert_eq!(b.next_pc(), Pc::new(0x9000));
+        assert_eq!(b.instructions(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `secure-bp` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SbpError {
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(String),
+    /// A serialized trace was malformed.
+    TraceFormat(String),
+    /// An experiment references an unknown benchmark or case name.
+    UnknownWorkload(String),
+}
+
+impl SbpError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        SbpError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for trace format errors.
+    pub fn trace(msg: impl Into<String>) -> Self {
+        SbpError::TraceFormat(msg.into())
+    }
+}
+
+impl fmt::Display for SbpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbpError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            SbpError::TraceFormat(m) => write!(f, "malformed trace: {m}"),
+            SbpError::UnknownWorkload(m) => write!(f, "unknown workload: {m}"),
+        }
+    }
+}
+
+impl Error for SbpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SbpError::config("bad width").to_string(),
+            "invalid configuration: bad width"
+        );
+        assert_eq!(SbpError::trace("eof").to_string(), "malformed trace: eof");
+        assert_eq!(
+            SbpError::UnknownWorkload("foo".into()).to_string(),
+            "unknown workload: foo"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SbpError>();
+    }
+}

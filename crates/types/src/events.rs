@@ -1,0 +1,60 @@
+//! Core events that trigger isolation actions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Privilege, ThreadId};
+
+/// An event observed by the predictor front-end that the isolation
+/// mechanism may react to (rekey, flush, ...).
+///
+/// The paper's trigger set is exactly: a context switch (a new software
+/// context is scheduled onto a hardware thread) and a privilege switch
+/// (syscall/exception entry or exit on a hardware thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreEvent {
+    /// A new software context was switched onto `hw_thread` (timer tick,
+    /// scheduler decision). The previous context's predictor state becomes
+    /// residual.
+    ContextSwitch {
+        /// Hardware thread the switch happened on.
+        hw_thread: ThreadId,
+    },
+    /// `hw_thread` transitioned to privilege level `to` (syscall entry,
+    /// exception, or return to user).
+    PrivilegeSwitch {
+        /// Hardware thread the transition happened on.
+        hw_thread: ThreadId,
+        /// The privilege level after the transition.
+        to: Privilege,
+    },
+}
+
+impl CoreEvent {
+    /// The hardware thread this event concerns.
+    pub const fn hw_thread(&self) -> ThreadId {
+        match self {
+            CoreEvent::ContextSwitch { hw_thread } => *hw_thread,
+            CoreEvent::PrivilegeSwitch { hw_thread, .. } => *hw_thread,
+        }
+    }
+
+    /// Whether this is a context switch.
+    pub const fn is_context_switch(&self) -> bool {
+        matches!(self, CoreEvent::ContextSwitch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let cs = CoreEvent::ContextSwitch { hw_thread: ThreadId::new(1) };
+        assert_eq!(cs.hw_thread(), ThreadId::new(1));
+        assert!(cs.is_context_switch());
+        let ps = CoreEvent::PrivilegeSwitch { hw_thread: ThreadId::new(0), to: Privilege::Kernel };
+        assert_eq!(ps.hw_thread(), ThreadId::new(0));
+        assert!(!ps.is_context_switch());
+    }
+}

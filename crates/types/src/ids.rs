@@ -1,0 +1,226 @@
+//! Hardware thread, privilege level and program counter newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware thread context identifier.
+///
+/// The paper allocates one private key register pair per *hardware* thread
+/// context (SMT way); software threads inherit whichever hardware context
+/// they are scheduled on.
+///
+/// ```
+/// use sbp_types::ThreadId;
+///
+/// let t = ThreadId::new(1);
+/// assert_eq!(t.index(), 1);
+/// assert_eq!(format!("{t}"), "T1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ThreadId(u8);
+
+impl ThreadId {
+    /// Creates a thread id from a raw hardware context index.
+    pub const fn new(index: u8) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the raw hardware context index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u8> for ThreadId {
+    fn from(v: u8) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// Processor privilege level.
+///
+/// The isolation mechanisms refresh the thread-private keys on every
+/// privilege transition so that user and kernel execution of the *same*
+/// software thread cannot observe each other's predictor state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum Privilege {
+    /// User mode.
+    #[default]
+    User,
+    /// Supervisor / kernel mode.
+    Kernel,
+}
+
+impl Privilege {
+    /// Returns the other privilege level.
+    ///
+    /// ```
+    /// use sbp_types::Privilege;
+    /// assert_eq!(Privilege::User.flipped(), Privilege::Kernel);
+    /// ```
+    pub const fn flipped(self) -> Self {
+        match self {
+            Privilege::User => Privilege::Kernel,
+            Privilege::Kernel => Privilege::User,
+        }
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Privilege::User => f.write_str("user"),
+            Privilege::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+/// A program counter (instruction address).
+///
+/// Instructions are assumed 4-byte aligned (RISC-V RV64 without compressed
+/// instructions, matching the paper's BOOM prototype), so index extraction
+/// helpers drop the two low bits first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter from a raw address.
+    pub const fn new(addr: u64) -> Self {
+        Pc(addr)
+    }
+
+    /// Returns the raw address.
+    pub const fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Word-aligned address (instruction index): address with the two
+    /// byte-offset bits removed.
+    pub const fn word(self) -> u64 {
+        self.0 >> 2
+    }
+
+    /// Low `bits` bits of the word-aligned address, the conventional
+    /// set-index input of a BTB or PHT.
+    ///
+    /// ```
+    /// use sbp_types::Pc;
+    /// assert_eq!(Pc::new(0x1234).btb_index(4), (0x1234u64 >> 2) as usize & 0xf);
+    /// ```
+    pub const fn btb_index(self, bits: u32) -> usize {
+        (self.word() & mask_u64(bits)) as usize
+    }
+
+    /// High bits of the word address above `index_bits`, truncated to
+    /// `tag_bits`: the conventional partial tag of a tagged structure.
+    pub const fn tag(self, index_bits: u32, tag_bits: u32) -> u64 {
+        (self.word() >> index_bits) & mask_u64(tag_bits)
+    }
+
+    /// Address of the sequential (fall-through) instruction.
+    pub const fn fall_through(self) -> Pc {
+        Pc(self.0.wrapping_add(4))
+    }
+
+    /// Offsets the address by `delta` bytes (may be negative).
+    pub const fn offset(self, delta: i64) -> Pc {
+        Pc(self.0.wrapping_add_signed(delta))
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(v: u64) -> Self {
+        Pc(v)
+    }
+}
+
+impl From<Pc> for u64 {
+    fn from(pc: Pc) -> u64 {
+        pc.0
+    }
+}
+
+/// A `bits`-wide all-ones mask (`bits` may be 0..=64).
+pub const fn mask_u64(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        let t = ThreadId::new(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(ThreadId::from(3u8), t);
+        assert_eq!(t.to_string(), "T3");
+    }
+
+    #[test]
+    fn privilege_flip_is_involution() {
+        assert_eq!(Privilege::User.flipped().flipped(), Privilege::User);
+        assert_eq!(Privilege::Kernel.flipped(), Privilege::User);
+        assert_eq!(Privilege::Kernel.to_string(), "kernel");
+    }
+
+    #[test]
+    fn pc_indexing_drops_byte_offset() {
+        let pc = Pc::new(0x8000_4004);
+        assert_eq!(pc.word(), 0x8000_4004 >> 2);
+        assert_eq!(pc.btb_index(8), ((0x8000_4004u64 >> 2) & 0xff) as usize);
+    }
+
+    #[test]
+    fn pc_tag_uses_bits_above_index() {
+        let pc = Pc::new(0xdead_beef);
+        let idx_bits = 10;
+        let tag_bits = 12;
+        assert_eq!(pc.tag(idx_bits, tag_bits), (pc.word() >> idx_bits) & 0xfff);
+    }
+
+    #[test]
+    fn pc_fall_through_and_offset() {
+        let pc = Pc::new(0x1000);
+        assert_eq!(pc.fall_through(), Pc::new(0x1004));
+        assert_eq!(pc.offset(-16), Pc::new(0xff0));
+        assert_eq!(pc.offset(16), Pc::new(0x1010));
+    }
+
+    #[test]
+    fn mask_limits() {
+        assert_eq!(mask_u64(0), 0);
+        assert_eq!(mask_u64(1), 1);
+        assert_eq!(mask_u64(64), u64::MAX);
+        assert_eq!(mask_u64(12), 0xfff);
+    }
+
+    #[test]
+    fn pc_display_is_hex() {
+        assert_eq!(Pc::new(0xabc).to_string(), "0xabc");
+        assert_eq!(format!("{:x}", Pc::new(0xabc)), "abc");
+    }
+}

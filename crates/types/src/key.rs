@@ -1,0 +1,422 @@
+//! Thread-private keys and the content/index encoding mechanics.
+//!
+//! The paper's mechanism hinges on two thread-private random numbers:
+//!
+//! * the **content key** encodes every word written to a predictor table and
+//!   decodes every word read back (XOR-BP);
+//! * the **index key** is XORed into the table index on every lookup
+//!   (Noisy-XOR-BP), disrupting the PC-to-entry correspondence.
+//!
+//! [`KeyCtx`] bundles the active hardware thread's keys with the enabled
+//! feature set; it is threaded through every table access of every
+//! predictor. A *disabled* context is the baseline: it performs no
+//! transformation at all, so the unprotected predictors are bit-identical to
+//! conventional designs.
+//!
+//! The encoding operation only needs to be cheaply reversible (paper §5.4);
+//! [`Codec`] offers plain XOR plus the shift-scrambling and small-LUT
+//! alternatives the paper mentions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{mask_u64, ThreadId};
+
+/// A content/index key register pair, one per hardware thread context.
+///
+/// In hardware these are software-invisible registers refreshed from a
+/// dedicated RNG on every context switch and privilege switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KeyPair {
+    /// Key used to encode table contents (tags, targets, counters).
+    pub content: u64,
+    /// Key used to randomize table indices.
+    pub index: u64,
+}
+
+impl KeyPair {
+    /// Creates a key pair from explicit values.
+    pub const fn new(content: u64, index: u64) -> Self {
+        KeyPair { content, index }
+    }
+
+    /// Derives both keys from a single hardware random number, as the paper
+    /// suggests ("different (possibly overlapping) portions" of one random
+    /// number). The word is mixed first so that even low-entropy inputs
+    /// (e.g. counters in tests) yield full-width keys.
+    pub fn from_random(word: u64) -> Self {
+        let mut sm = crate::rng::SplitMix64::new(word);
+        let content = sm.next_u64();
+        let index = sm.next_u64();
+        KeyPair { content, index }
+    }
+
+    /// The all-zero pair used by the baseline (encoding with zero keys is
+    /// the identity for every codec).
+    pub const fn zero() -> Self {
+        KeyPair { content: 0, index: 0 }
+    }
+}
+
+/// Reversible encoding operation applied to table contents.
+///
+/// All codecs are bijective on the `width`-bit value space for any fixed
+/// key, which is the only property the mechanism requires (paper §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Codec {
+    /// Plain XOR with the key slice (the paper's main proposal).
+    #[default]
+    Xor,
+    /// XOR followed by a key-dependent bit rotation within the word.
+    ShiftScramble,
+    /// XOR followed by a fixed 4-bit S-box substitution per nibble.
+    Lut,
+}
+
+/// PRESENT cipher S-box: a well-studied 4-bit bijection.
+const SBOX: [u8; 16] = [0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2];
+/// Inverse of [`SBOX`].
+const SBOX_INV: [u8; 16] = [5, 0xE, 0xF, 8, 0xC, 1, 2, 0xD, 0xB, 4, 6, 3, 0, 7, 9, 0xA];
+
+impl Codec {
+    /// Encodes a `width`-bit word with the given key slice.
+    pub fn encode(self, word: u64, key: u64, width: u32) -> u64 {
+        let m = mask_u64(width);
+        let x = (word ^ key) & m;
+        match self {
+            Codec::Xor => x,
+            Codec::ShiftScramble => rotate_within(x, rot_amount(key, width), width),
+            Codec::Lut => substitute(x, width, &SBOX),
+        }
+    }
+
+    /// Decodes a `width`-bit word with the given key slice.
+    pub fn decode(self, word: u64, key: u64, width: u32) -> u64 {
+        let m = mask_u64(width);
+        let x = word & m;
+        match self {
+            Codec::Xor => (x ^ key) & m,
+            Codec::ShiftScramble => {
+                let r = rot_amount(key, width);
+                (rotate_within(x, width - (r % width.max(1)), width) ^ key) & m
+            }
+            Codec::Lut => (substitute(x, width, &SBOX_INV) ^ key) & m,
+        }
+    }
+}
+
+/// Key-derived rotation amount in `[0, width)`.
+fn rot_amount(key: u64, width: u32) -> u32 {
+    if width <= 1 {
+        return 0;
+    }
+    ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as u32) % width
+}
+
+/// Rotates the low `width` bits of `x` left by `r` (bits above `width` are
+/// zeroed).
+fn rotate_within(x: u64, r: u32, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let r = r % width;
+    let m = mask_u64(width);
+    if r == 0 {
+        x & m
+    } else {
+        ((x << r) | ((x & m) >> (width - r))) & m
+    }
+}
+
+/// Applies a 4-bit S-box to every full nibble of the low `width` bits; a
+/// partial top nibble is left as-is (it was already XOR-whitened).
+fn substitute(x: u64, width: u32, sbox: &[u8; 16]) -> u64 {
+    let full_nibbles = width / 4;
+    let mut out = x;
+    for n in 0..full_nibbles {
+        let shift = n * 4;
+        let nib = ((x >> shift) & 0xf) as usize;
+        out = (out & !(0xfu64 << shift)) | ((sbox[nib] as u64) << shift);
+    }
+    out & mask_u64(width)
+}
+
+/// The per-access encoding context: the active thread's keys plus the
+/// enabled transformations.
+///
+/// Every table access in every predictor receives a `&KeyCtx`. The baseline
+/// uses [`KeyCtx::disabled`], which performs no work.
+///
+/// ```
+/// use sbp_types::{KeyCtx, KeyPair, ThreadId};
+///
+/// let ctx = KeyCtx::noisy_xor(ThreadId::new(0), KeyPair::new(0xAA55, 0x3C));
+/// // Index scrambling is an involution: applying it twice returns the index.
+/// let idx = ctx.scramble_index(0x12, 8);
+/// assert_eq!(ctx.scramble_index(idx, 8), 0x12);
+/// // Content encoding round-trips.
+/// let enc = ctx.encode_word(0x2, 7, 2);
+/// assert_eq!(ctx.decode_word(enc, 7, 2), 0x2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyCtx {
+    /// Hardware thread performing the access (used for owner tagging).
+    pub thread: ThreadId,
+    /// The thread's current key registers.
+    pub keys: KeyPair,
+    /// Whether table contents are encoded (XOR-BP).
+    pub content_enabled: bool,
+    /// Whether table indices are scrambled (Noisy-XOR-BP).
+    pub index_enabled: bool,
+    /// Enhanced mode: each entry derives its own key slice from the key
+    /// register (Enhanced-XOR-PHT). Plain mode uses one fixed slice, which
+    /// is weaker for narrow entries (paper §5.5 scenario 4).
+    pub enhanced: bool,
+    /// The reversible encoding operation.
+    pub codec: Codec,
+    /// Whether tables should record per-entry owner tags (Precise Flush).
+    pub owner_tracking: bool,
+    /// Whether reads of entries owned by another thread return the reset
+    /// value. This is the thread-ID *tag-extension* semantic; feasible for
+    /// tagged structures (BTB), impractically expensive for 2-bit PHT
+    /// entries (paper Table 1, footnote 2).
+    pub owner_read_filter: bool,
+}
+
+impl KeyCtx {
+    /// Baseline context: no encoding, no scrambling, no owner tracking.
+    pub const fn disabled(thread: ThreadId) -> Self {
+        KeyCtx {
+            thread,
+            keys: KeyPair::zero(),
+            content_enabled: false,
+            index_enabled: false,
+            enhanced: false,
+            codec: Codec::Xor,
+            owner_tracking: false,
+            owner_read_filter: false,
+        }
+    }
+
+    /// XOR-BP context: content encoding only (enhanced per-entry slices).
+    pub const fn xor(thread: ThreadId, keys: KeyPair) -> Self {
+        KeyCtx {
+            thread,
+            keys,
+            content_enabled: true,
+            index_enabled: false,
+            enhanced: true,
+            codec: Codec::Xor,
+            owner_tracking: false,
+            owner_read_filter: false,
+        }
+    }
+
+    /// Noisy-XOR-BP context: content *and* index encoding.
+    pub const fn noisy_xor(thread: ThreadId, keys: KeyPair) -> Self {
+        KeyCtx {
+            thread,
+            keys,
+            content_enabled: true,
+            index_enabled: true,
+            enhanced: true,
+            codec: Codec::Xor,
+            owner_tracking: false,
+            owner_read_filter: false,
+        }
+    }
+
+    /// Scrambles a table index with the index key (an involution).
+    ///
+    /// `index_bits` is the table's index width; the result stays in range.
+    #[inline]
+    pub fn scramble_index(&self, index: usize, index_bits: u32) -> usize {
+        if self.index_enabled {
+            index ^ (self.keys.index as usize & mask_u64(index_bits) as usize)
+        } else {
+            index
+        }
+    }
+
+    /// The key slice used for a `width`-bit entry at physical index
+    /// `entry_index`.
+    #[inline]
+    pub fn key_slice(&self, entry_index: usize, width: u32) -> u64 {
+        if !self.content_enabled {
+            return 0;
+        }
+        if self.enhanced {
+            let rot = ((entry_index as u32).wrapping_mul(width.max(1))) % 64;
+            self.keys.content.rotate_left(rot) & mask_u64(width)
+        } else {
+            self.keys.content & mask_u64(width)
+        }
+    }
+
+    /// Encodes a `width`-bit word for storage at physical index
+    /// `entry_index`.
+    #[inline]
+    pub fn encode_word(&self, word: u64, entry_index: usize, width: u32) -> u64 {
+        if !self.content_enabled {
+            return word & mask_u64(width);
+        }
+        self.codec.encode(word, self.key_slice(entry_index, width), width)
+    }
+
+    /// Decodes a `width`-bit word read from physical index `entry_index`.
+    #[inline]
+    pub fn decode_word(&self, word: u64, entry_index: usize, width: u32) -> u64 {
+        if !self.content_enabled {
+            return word & mask_u64(width);
+        }
+        self.codec.decode(word, self.key_slice(entry_index, width), width)
+    }
+
+    /// Returns a copy with fresh keys (the rekey operation performed by
+    /// hardware on context/privilege switches).
+    #[must_use]
+    pub fn rekeyed(mut self, keys: KeyPair) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Returns a copy bound to a different hardware thread.
+    #[must_use]
+    pub fn for_thread(mut self, thread: ThreadId) -> Self {
+        self.thread = thread;
+        self
+    }
+}
+
+impl Default for KeyCtx {
+    fn default() -> Self {
+        KeyCtx::disabled(ThreadId::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIDTHS: [u32; 8] = [1, 2, 3, 4, 8, 12, 32, 64];
+
+    #[test]
+    fn sbox_tables_are_inverse() {
+        for i in 0..16u8 {
+            assert_eq!(SBOX_INV[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn codecs_round_trip() {
+        let mut rng = crate::rng::Xoshiro256::new(42);
+        for codec in [Codec::Xor, Codec::ShiftScramble, Codec::Lut] {
+            for &w in &WIDTHS {
+                for _ in 0..200 {
+                    let word = rng.next_u64() & mask_u64(w);
+                    let key = rng.next_u64();
+                    let enc = codec.encode(word, key, w);
+                    assert!(enc <= mask_u64(w));
+                    assert_eq!(codec.decode(enc, key, w), word, "{codec:?} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_key_xor_is_identity() {
+        for &w in &WIDTHS {
+            assert_eq!(Codec::Xor.encode(0x5a5a_5a5a & mask_u64(w), 0, w), 0x5a5a_5a5a & mask_u64(w));
+        }
+    }
+
+    #[test]
+    fn wrong_key_does_not_round_trip() {
+        // Decoding with a different key must (almost always) give garbage —
+        // this is the content-isolation property.
+        let mut mismatches = 0;
+        for i in 0..64u64 {
+            let enc = Codec::Xor.encode(0x3, 0xdead ^ i, 8);
+            if Codec::Xor.decode(enc, 0xbeef, 8) != 0x3 {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches > 60);
+    }
+
+    #[test]
+    fn disabled_ctx_is_identity() {
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        assert_eq!(ctx.scramble_index(123, 10), 123);
+        assert_eq!(ctx.encode_word(0xabcd, 5, 16), 0xabcd);
+        assert_eq!(ctx.decode_word(0xabcd, 5, 16), 0xabcd);
+        assert_eq!(ctx.key_slice(9, 16), 0);
+    }
+
+    #[test]
+    fn scramble_index_is_involution_and_in_range() {
+        let ctx = KeyCtx::noisy_xor(ThreadId::new(1), KeyPair::new(1, 0xffff_ffff));
+        for bits in [4u32, 8, 10, 12] {
+            for idx in 0..(1usize << bits.min(8)) {
+                let s = ctx.scramble_index(idx, bits);
+                assert!(s < (1 << bits));
+                assert_eq!(ctx.scramble_index(s, bits), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn enhanced_slices_differ_per_entry() {
+        let ctx = KeyCtx::xor(ThreadId::new(0), KeyPair::new(0x0123_4567_89ab_cdef, 0));
+        let slices: Vec<u64> = (0..16).map(|i| ctx.key_slice(i, 2)).collect();
+        // With a non-degenerate key, not all 2-bit slices can be equal.
+        assert!(slices.windows(2).any(|w| w[0] != w[1]), "{slices:?}");
+    }
+
+    #[test]
+    fn plain_mode_uses_fixed_slice() {
+        let mut ctx = KeyCtx::xor(ThreadId::new(0), KeyPair::new(0x0123_4567_89ab_cdef, 0));
+        ctx.enhanced = false;
+        for i in 0..32 {
+            assert_eq!(ctx.key_slice(i, 2), 0x0123_4567_89ab_cdef & 0x3);
+        }
+    }
+
+    #[test]
+    fn different_keys_decode_to_garbage() {
+        let a = KeyCtx::xor(ThreadId::new(0), KeyPair::new(0x1111_2222_3333_4444, 0));
+        let b = KeyCtx::xor(ThreadId::new(1), KeyPair::new(0x5555_6666_7777_8888, 0));
+        let enc = a.encode_word(0x2, 3, 2);
+        // b's decode differs from the true value for this key pair.
+        assert_ne!(b.decode_word(enc, 3, 2), 0x2);
+    }
+
+    #[test]
+    fn from_random_spreads_keys() {
+        let kp = KeyPair::from_random(0xdead_beef_cafe_f00d);
+        assert_ne!(kp.content, kp.index);
+        assert_eq!(KeyPair::zero(), KeyPair::default());
+    }
+
+    #[test]
+    fn rekeyed_and_for_thread() {
+        let ctx = KeyCtx::noisy_xor(ThreadId::new(0), KeyPair::new(1, 2));
+        let ctx2 = ctx.rekeyed(KeyPair::new(3, 4)).for_thread(ThreadId::new(1));
+        assert_eq!(ctx2.keys, KeyPair::new(3, 4));
+        assert_eq!(ctx2.thread, ThreadId::new(1));
+        assert!(ctx2.content_enabled && ctx2.index_enabled);
+    }
+
+    #[test]
+    fn shift_scramble_differs_from_xor_for_wide_words() {
+        // For >1-bit words the scramble usually permutes bits differently.
+        let mut diffs = 0;
+        for key in 1..64u64 {
+            let x = Codec::Xor.encode(0x00ff, key, 16);
+            let s = Codec::ShiftScramble.encode(0x00ff, key, 16);
+            if x != s {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 32, "{diffs}");
+    }
+}

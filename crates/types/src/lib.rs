@@ -1,0 +1,43 @@
+//! # sbp-types
+//!
+//! Common vocabulary for the `secure-bp` workspace: hardware thread and
+//! privilege identifiers, branch records, a deterministic pseudo random
+//! number generator (modeling the paper's dedicated hardware RNG), the
+//! per-thread key context consumed by every predictor table, packed table
+//! storage with content/index encoding hooks, predictor traits, and
+//! prediction statistics.
+//!
+//! This crate is the bottom of the dependency stack; it has no dependency on
+//! the predictor implementations or the isolation mechanism policy layer.
+//!
+//! ```
+//! use sbp_types::{Pc, ThreadId, KeyCtx, rng::SplitMix64};
+//!
+//! let pc = Pc::new(0x8000_4000);
+//! assert_eq!(pc.btb_index(8), (0x8000_4000u64 >> 2) as usize & 0xff);
+//!
+//! // A disabled key context leaves indices and contents untouched.
+//! let ctx = KeyCtx::disabled(ThreadId::new(0));
+//! assert_eq!(ctx.scramble_index(42, 10), 42);
+//! assert_eq!(ctx.encode_word(0xdead, 0, 16), 0xdead);
+//! let _ = SplitMix64::new(7).next_u64();
+//! ```
+
+pub mod branch;
+pub mod error;
+pub mod events;
+pub mod ids;
+pub mod key;
+pub mod metrics;
+pub mod predictor;
+pub mod rng;
+pub mod table;
+
+pub use branch::{BranchKind, BranchRecord};
+pub use error::SbpError;
+pub use events::CoreEvent;
+pub use ids::{Pc, Privilege, ThreadId};
+pub use key::{Codec, KeyCtx, KeyPair};
+pub use metrics::PredictionStats;
+pub use predictor::{BranchInfo, DirectionPredictor, TargetPredictor};
+pub use table::{OwnerTags, PackedTable};

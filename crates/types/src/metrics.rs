@@ -1,0 +1,175 @@
+//! Prediction statistics collected by the simulator.
+
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate prediction statistics for one simulation run (or one thread of
+/// a run).
+///
+/// ```
+/// use sbp_types::PredictionStats;
+///
+/// let mut s = PredictionStats::default();
+/// s.instructions = 1_000_000;
+/// s.cond_branches = 100_000;
+/// s.cond_mispredicts = 5_000;
+/// assert!((s.cond_accuracy() - 0.95).abs() < 1e-9);
+/// assert!((s.mpki() - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PredictionStats {
+    /// Total committed instructions (branches + gaps).
+    pub instructions: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Conditional direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// BTB lookups performed.
+    pub btb_lookups: u64,
+    /// BTB lookups that missed.
+    pub btb_misses: u64,
+    /// BTB hits that supplied a wrong target.
+    pub btb_wrong_target: u64,
+    /// Indirect branches (jumps + calls, excluding returns).
+    pub indirect_branches: u64,
+    /// Indirect branch target mispredictions.
+    pub indirect_mispredicts: u64,
+    /// Return instructions.
+    pub returns: u64,
+    /// Return address mispredictions.
+    pub ras_mispredicts: u64,
+    /// Context switches observed.
+    pub context_switches: u64,
+    /// Privilege switches observed.
+    pub privilege_switches: u64,
+    /// Total cycles charged by the timing model.
+    pub cycles: u64,
+}
+
+impl PredictionStats {
+    /// Creates an empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Conditional direction prediction accuracy in `[0, 1]` (1.0 when no
+    /// conditional branches were seen).
+    pub fn cond_accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Conditional mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// BTB hit rate in `[0, 1]` (1.0 when no lookups were performed).
+    pub fn btb_hit_rate(&self) -> f64 {
+        if self.btb_lookups == 0 {
+            1.0
+        } else {
+            1.0 - self.btb_misses as f64 / self.btb_lookups as f64
+        }
+    }
+
+    /// Instructions per cycle under the timing model.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Privilege switches per million cycles (Table 4's metric).
+    pub fn priv_switches_per_mcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.privilege_switches as f64 * 1.0e6 / self.cycles as f64
+        }
+    }
+
+    /// Context switches per million cycles.
+    pub fn ctx_switches_per_mcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.context_switches as f64 * 1.0e6 / self.cycles as f64
+        }
+    }
+}
+
+impl AddAssign for PredictionStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.instructions += rhs.instructions;
+        self.cond_branches += rhs.cond_branches;
+        self.cond_mispredicts += rhs.cond_mispredicts;
+        self.btb_lookups += rhs.btb_lookups;
+        self.btb_misses += rhs.btb_misses;
+        self.btb_wrong_target += rhs.btb_wrong_target;
+        self.indirect_branches += rhs.indirect_branches;
+        self.indirect_mispredicts += rhs.indirect_mispredicts;
+        self.returns += rhs.returns;
+        self.ras_mispredicts += rhs.ras_mispredicts;
+        self.context_switches += rhs.context_switches;
+        self.privilege_switches += rhs.privilege_switches;
+        self.cycles += rhs.cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_safe_ratios() {
+        let s = PredictionStats::new();
+        assert_eq!(s.cond_accuracy(), 1.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.btb_hit_rate(), 1.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.priv_switches_per_mcycle(), 0.0);
+        assert_eq!(s.ctx_switches_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = PredictionStats {
+            instructions: 2_000_000,
+            cond_branches: 200_000,
+            cond_mispredicts: 10_000,
+            btb_lookups: 50_000,
+            btb_misses: 5_000,
+            cycles: 1_000_000,
+            privilege_switches: 5,
+            context_switches: 2,
+            ..Default::default()
+        };
+        assert!((s.cond_accuracy() - 0.95).abs() < 1e-12);
+        assert!((s.mpki() - 5.0).abs() < 1e-12);
+        assert!((s.btb_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.priv_switches_per_mcycle() - 5.0).abs() < 1e-12);
+        assert!((s.ctx_switches_per_mcycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = PredictionStats { instructions: 10, cond_branches: 2, ..Default::default() };
+        let b = PredictionStats { instructions: 5, cond_mispredicts: 1, ..Default::default() };
+        a += b;
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.cond_branches, 2);
+        assert_eq!(a.cond_mispredicts, 1);
+    }
+}

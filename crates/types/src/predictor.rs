@@ -1,0 +1,105 @@
+//! Predictor traits implemented by the substrate crates.
+
+use crate::branch::BranchKind;
+use crate::ids::{Pc, ThreadId};
+use crate::key::KeyCtx;
+
+/// Static information about the branch being predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Hardware thread executing the branch.
+    pub thread: ThreadId,
+    /// Branch instruction address.
+    pub pc: Pc,
+    /// Control-flow class.
+    pub kind: BranchKind,
+}
+
+impl BranchInfo {
+    /// Creates branch info.
+    pub const fn new(thread: ThreadId, pc: Pc, kind: BranchKind) -> Self {
+        BranchInfo { thread, pc, kind }
+    }
+}
+
+/// A conditional-branch direction predictor (PHT family).
+///
+/// # Contract
+///
+/// For every dynamic branch the simulator calls [`predict`] and then
+/// [`update`] with the actual outcome *before* the next `predict` on the
+/// same predictor. Implementations may cache lookup metadata (e.g. TAGE's
+/// provider component) between the paired calls.
+///
+/// All table accesses must flow through the supplied [`KeyCtx`], which makes
+/// every implementation automatically support content and index encoding.
+///
+/// [`predict`]: DirectionPredictor::predict
+/// [`update`]: DirectionPredictor::update
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `info.pc`.
+    fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool;
+
+    /// Trains the predictor with the actual outcome. `predicted` is the
+    /// value returned by the paired `predict` call.
+    fn update(&mut self, info: BranchInfo, taken: bool, predicted: bool, ctx: &KeyCtx);
+
+    /// Complete Flush: clears all prediction state (all threads).
+    fn flush_all(&mut self);
+
+    /// Precise Flush: clears state attributable to `thread` (no-op unless
+    /// owner tags are enabled).
+    fn flush_thread(&mut self, thread: ThreadId);
+
+    /// Total storage in bits (used by the hardware cost model).
+    fn storage_bits(&self) -> u64;
+
+    /// Short predictor name for reports ("gshare", "tage_sc_l", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// A branch target predictor (BTB family).
+///
+/// The same predict-then-update contract as [`DirectionPredictor`] applies.
+pub trait TargetPredictor {
+    /// Looks up the predicted target for the branch at `info.pc`.
+    /// `None` models a BTB miss (fetch falls through).
+    fn lookup(&mut self, info: BranchInfo, ctx: &KeyCtx) -> Option<Pc>;
+
+    /// Installs / corrects the mapping `info.pc -> target` after a taken
+    /// branch resolves.
+    fn update(&mut self, info: BranchInfo, target: Pc, ctx: &KeyCtx);
+
+    /// Complete Flush: clears all entries.
+    fn flush_all(&mut self);
+
+    /// Precise Flush: clears entries attributable to `thread`.
+    fn flush_thread(&mut self, thread: ThreadId);
+
+    /// Total storage in bits.
+    fn storage_bits(&self) -> u64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_info_construction() {
+        let info = BranchInfo::new(ThreadId::new(1), Pc::new(0x400), BranchKind::Conditional);
+        assert_eq!(info.thread, ThreadId::new(1));
+        assert_eq!(info.pc, Pc::new(0x400));
+        assert_eq!(info.kind, BranchKind::Conditional);
+    }
+
+    // Object safety: both traits must be usable as trait objects, because
+    // the simulator stores heterogeneous predictor bundles.
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_dir(_: &mut dyn DirectionPredictor) {}
+        fn _takes_tgt(_: &mut dyn TargetPredictor) {}
+    }
+}

@@ -1,0 +1,60 @@
+//! Overhead sweep: measure the performance cost of every isolation
+//! mechanism on one benchmark pair, single-threaded and SMT-2.
+//!
+//! A miniature of the paper's Figures 7–10 on a single case; run with
+//! `cargo run --example overhead_sweep --release [-- <target> <background>]`.
+
+use secure_bp::isolation::Mechanism;
+use secure_bp::predictors::PredictorKind;
+use secure_bp::sim::{single_overhead, smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
+use secure_bp::trace::BenchmarkCase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let target = args.get(1).map(String::as_str).unwrap_or("gcc").to_owned();
+    let background = args.get(2).map(String::as_str).unwrap_or("calculix").to_owned();
+    let case = BenchmarkCase {
+        id: "custom",
+        target: Box::leak(target.into_boxed_str()),
+        background: Box::leak(background.into_boxed_str()),
+    };
+    let budget = WorkBudget { warmup: 200_000, measure: 2_000_000 };
+    let mechanisms = [
+        Mechanism::CompleteFlush,
+        Mechanism::PreciseFlush,
+        Mechanism::xor_btb(),
+        Mechanism::enhanced_xor_pht(),
+        Mechanism::xor_bp(),
+        Mechanism::noisy_xor_bp(),
+    ];
+
+    println!("single-threaded core (gshare), {}+{}:", case.target, case.background);
+    for mech in mechanisms {
+        let o = single_overhead(
+            &case,
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            mech,
+            SwitchInterval::M8,
+            budget,
+            1,
+        )?;
+        println!("  {:<18} {:+.2}%", mech.label(), o * 100.0);
+    }
+
+    println!("SMT-2 core (TAGE-SC-L), {} co-running with {}:", case.target, case.background);
+    let smt_budget = WorkBudget { warmup: 2_000_000, measure: 40_000_000 };
+    for mech in [Mechanism::CompleteFlush, Mechanism::PreciseFlush, Mechanism::noisy_xor_bp()] {
+        let o = smt_overhead(
+            &[case.target, case.background],
+            CoreConfig::gem5(),
+            PredictorKind::TageScL,
+            mech,
+            SwitchInterval::M8,
+            smt_budget,
+            1,
+        )?;
+        println!("  {:<18} {:+.2}%", mech.label(), o * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Trace tooling: generate a synthetic benchmark trace, serialize it to
+//! the binary format, read it back and replay it against two predictors.
+//!
+//! Run with `cargo run --example trace_tools --release`.
+
+use secure_bp::isolation::{FrontendConfig, Mechanism, SecureFrontend};
+use secure_bp::predictors::PredictorKind;
+use secure_bp::sim::{execute_branch, CoreConfig};
+use secure_bp::trace::format::{decode_trace, encode_trace};
+use secure_bp::trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+use secure_bp::types::{CoreEvent, PredictionStats, ThreadId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Capture 300k events of 'libquantum'.
+    let profile = WorkloadProfile::by_name("libquantum")?;
+    let events: Vec<TraceEvent> =
+        TraceGenerator::new(&profile, 0x1000_0000, 2026).take(300_000).collect();
+
+    // 2. Serialize + reload through the binary trace format.
+    let bytes = encode_trace(&events);
+    println!("captured {} events -> {} bytes on disk", events.len(), bytes.len());
+    let path = std::env::temp_dir().join("libquantum.sbpt");
+    std::fs::write(&path, &bytes)?;
+    let reloaded = decode_trace(&std::fs::read(&path)?)?;
+    assert_eq!(reloaded, events, "binary round trip must be lossless");
+    println!("round-trip through {} verified", path.display());
+
+    // 3. Replay the same trace against two predictors.
+    let core = CoreConfig::fpga();
+    for kind in [PredictorKind::Gshare, PredictorKind::TageScL] {
+        let mut fe =
+            SecureFrontend::new(FrontendConfig::paper_fpga(kind, Mechanism::Baseline));
+        let mut stats = PredictionStats::new();
+        let mut cycles = 0.0;
+        let t0 = ThreadId::new(0);
+        for ev in &reloaded {
+            match ev {
+                TraceEvent::Branch(rec) => {
+                    cycles += execute_branch(&mut fe, &core, t0, rec, &mut stats);
+                }
+                TraceEvent::PrivilegeSwitch(to) => {
+                    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t0, to: *to });
+                }
+            }
+        }
+        stats.cycles = cycles as u64;
+        println!(
+            "{:<10} accuracy {:.2}%  MPKI {:.2}  IPC {:.2}",
+            kind.label(),
+            100.0 * stats.cond_accuracy(),
+            stats.mpki(),
+            stats.ipc()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! # secure-bp
+//!
+//! Umbrella crate for the reproduction of *"A Lightweight Isolation
+//! Mechanism for Secure Branch Predictors"* (Zhao et al., DAC 2021).
+//!
+//! Re-exports the workspace crates under stable module names. See the
+//! repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use sbp_attack as attack;
+pub use sbp_core as isolation;
+pub use sbp_hwcost as hwcost;
+pub use sbp_predictors as predictors;
+pub use sbp_sim as sim;
+pub use sbp_trace as trace;
+pub use sbp_types as types;

@@ -1,0 +1,129 @@
+//! The paper's headline claims, asserted end-to-end with fast budgets.
+//! (The full-fidelity versions are the bench harnesses; these tests pin
+//! the *directions* so a regression cannot silently invert a conclusion.)
+
+use secure_bp::attack::{SpectreV2, Verdict};
+use secure_bp::hwcost::{table5_btb_rows, table5_pht_rows};
+use secure_bp::isolation::{FrontendConfig, Mechanism, SecureFrontend};
+use secure_bp::predictors::PredictorKind;
+use secure_bp::sim::{run_single_case, CoreConfig, SwitchInterval, WorkBudget};
+use secure_bp::trace::cases_single;
+use secure_bp::types::{CoreEvent, Privilege, ThreadId};
+
+/// "Overall, the average performance loss is less than 1.3%" (Fig. 9) and
+/// the conclusion's "less than 5% slowdown on average": Noisy-XOR-BP must
+/// stay a small-single-digit cost on the single-threaded core.
+#[test]
+fn noisy_xor_bp_average_cost_is_small() {
+    let budget = WorkBudget { warmup: 80_000, measure: 900_000 };
+    let mut overheads = Vec::new();
+    for (i, case) in cases_single().iter().enumerate().step_by(3) {
+        let base = run_single_case(
+            case,
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            Mechanism::Baseline,
+            SwitchInterval::M8,
+            budget,
+            40 + i as u64,
+        )
+        .expect("run");
+        let mech = run_single_case(
+            case,
+            CoreConfig::fpga(),
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+            SwitchInterval::M8,
+            budget,
+            40 + i as u64,
+        )
+        .expect("run");
+        overheads.push(mech.cycles as f64 / base.cycles as f64 - 1.0);
+    }
+    let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    assert!(avg < 0.05, "Noisy-XOR-BP average overhead {avg} breaks the <5% claim");
+    assert!(avg > -0.01, "Noisy-XOR-BP cannot be a speedup on average: {avg}");
+}
+
+/// The rekey operation is strictly per-thread: one thread's context switch
+/// must never disturb another hardware thread's key (the SMT advantage
+/// over Complete Flush, Observation 2 inverted).
+#[test]
+fn rekey_blast_radius_is_one_thread() {
+    use secure_bp::types::{BranchInfo, BranchKind, Pc};
+    let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
+        PredictorKind::Gshare,
+        Mechanism::noisy_xor_bp(),
+        4,
+    ));
+    // Plant one BTB entry per hardware thread.
+    let entries: Vec<BranchInfo> = (0..4)
+        .map(|t| {
+            BranchInfo::new(
+                ThreadId::new(t),
+                Pc::new(0x10_0000 + t as u64 * 0x1000),
+                BranchKind::IndirectJump,
+            )
+        })
+        .collect();
+    for (t, info) in entries.iter().enumerate() {
+        fe.update_target(*info, Pc::new(0xaaaa_0000 + t as u64 * 0x100));
+    }
+    // Rekey thread 2 only.
+    fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(2) });
+    for (t, info) in entries.iter().enumerate() {
+        let expected = Some(Pc::new(0xaaaa_0000 + t as u64 * 0x100));
+        let got = fe.predict_target(*info);
+        if t == 2 {
+            assert_ne!(got, expected, "thread 2's state must be unreadable after its rekey");
+        } else {
+            assert_eq!(got, expected, "thread {t}'s state must survive thread 2's rekey");
+        }
+    }
+}
+
+/// Privilege switches rekey XOR mechanisms in both directions (user→kernel
+/// and kernel→user), so a syscall round trip costs two key refreshes.
+#[test]
+fn syscall_round_trip_rekeys_twice() {
+    let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
+        PredictorKind::Gshare,
+        Mechanism::xor_bp(),
+    ));
+    let t = ThreadId::new(0);
+    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t, to: Privilege::Kernel });
+    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t, to: Privilege::User });
+    assert_eq!(fe.stats().rekeys, 2);
+}
+
+/// Table 5's headline: the hardware overlay is sub-2.5% timing and
+/// sub-0.5% area everywhere.
+#[test]
+fn hardware_overlay_is_lightweight() {
+    for row in table5_btb_rows().iter().chain(table5_pht_rows().iter()) {
+        assert!(row.timing < 0.025, "{}", row.format());
+        assert!(row.area < 0.005, "{}", row.format());
+    }
+}
+
+/// The abstract's security claim in one line: the same mechanism that
+/// costs almost nothing stops the flagship attack cold.
+#[test]
+fn flagship_attack_is_defended_at_negligible_cost() {
+    let attack = SpectreV2::new(Mechanism::noisy_xor_bp(), false).run(800, 99);
+    assert_eq!(attack.verdict(), Verdict::Defend, "rate {}", attack.success_rate);
+}
+
+/// Storage sanity across the Table 2 configurations: the four predictors
+/// instantiate at their paper-scale sizes and order by size.
+#[test]
+fn predictor_sizes_scale_as_in_table_2() {
+    let sizes: Vec<u64> = PredictorKind::ALL
+        .iter()
+        .map(|k| k.build(1).storage_bits())
+        .collect();
+    // Gshare (2KB) < Tournament (~7KB) < LTAGE (~30KB class).
+    assert!(sizes[0] < sizes[1], "{sizes:?}");
+    assert!(sizes[1] < sizes[2], "{sizes:?}");
+    assert_eq!(sizes[0], 16384, "gshare must be exactly 2 KB of counters");
+}
