@@ -29,7 +29,11 @@ pub struct BranchScope {
 impl BranchScope {
     /// The paper's PoC setup.
     pub fn new(mechanism: Mechanism, smt: bool) -> Self {
-        BranchScope { mechanism, smt, disturbance: 0.028 }
+        BranchScope {
+            mechanism,
+            smt,
+            disturbance: 0.028,
+        }
     }
 
     /// Runs `trials` prime-probe rounds with random secret directions and
@@ -77,7 +81,11 @@ impl BranchScope {
                 correct += 1;
             }
         }
-        AttackOutcome { success_rate: correct as f64 / trials as f64, chance: 0.5, trials }
+        AttackOutcome {
+            success_rate: correct as f64 / trials as f64,
+            chance: 0.5,
+            trials,
+        }
     }
 }
 
@@ -105,9 +113,8 @@ impl ReferenceBranchScope {
     pub fn run(&self, trials: u64, seed: u64) -> AttackOutcome {
         let mut h = AttackHarness::with_bimodal(self.mechanism, self.smt, 0.0, seed);
         let mut correct = 0u64;
-        let taken = |pc: Pc| {
-            BranchRecord::taken(pc, sbp_types::BranchKind::Conditional, pc.offset(64), 0)
-        };
+        let taken =
+            |pc: Pc| BranchRecord::taken(pc, sbp_types::BranchKind::Conditional, pc.offset(64), 0);
         for _ in 0..trials {
             let secret = h.rng().chance(0.5);
             // Victim saturates both counters in one scheduling window: the
@@ -131,7 +138,11 @@ impl ReferenceBranchScope {
                 correct += 1;
             }
         }
-        AttackOutcome { success_rate: correct as f64 / trials as f64, chance: 0.5, trials }
+        AttackOutcome {
+            success_rate: correct as f64 / trials as f64,
+            chance: 0.5,
+            trials,
+        }
     }
 }
 

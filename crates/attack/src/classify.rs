@@ -72,7 +72,11 @@ mod tests {
     use super::*;
 
     fn outcome(success: f64, chance: f64) -> AttackOutcome {
-        AttackOutcome { success_rate: success, chance, trials: 1000 }
+        AttackOutcome {
+            success_rate: success,
+            chance,
+            trials: 1000,
+        }
     }
 
     #[test]

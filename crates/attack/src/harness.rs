@@ -80,7 +80,11 @@ impl AttackHarness {
         noise: f64,
         seed: u64,
     ) -> Self {
-        let cfg = if smt { CoreConfig::gem5() } else { CoreConfig::fpga() };
+        let cfg = if smt {
+            CoreConfig::gem5()
+        } else {
+            CoreConfig::fpga()
+        };
         let fe_cfg = FrontendConfig {
             predictor,
             btb: cfg.btb,
@@ -107,7 +111,11 @@ impl AttackHarness {
     /// deterministic entry collisions; owner tags are enabled when the
     /// mechanism requires them.
     pub fn with_bimodal(mechanism: Mechanism, smt: bool, noise: f64, seed: u64) -> Self {
-        let cfg = if smt { CoreConfig::gem5() } else { CoreConfig::fpga() };
+        let cfg = if smt {
+            CoreConfig::gem5()
+        } else {
+            CoreConfig::fpga()
+        };
         let threads = if smt { 2 } else { 1 };
         let fe_cfg = FrontendConfig {
             predictor: PredictorKind::Gshare, // ignored by with_direction_predictor
@@ -150,7 +158,9 @@ impl AttackHarness {
     /// context switch (mechanism trigger); on SMT it is a no-op.
     pub fn switch_to(&mut self, party: Party) {
         if !self.smt && party != self.current {
-            self.fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+            self.fe.handle_event(CoreEvent::ContextSwitch {
+                hw_thread: ThreadId::new(0),
+            });
             self.switches += 1;
         }
         self.current = party;
@@ -165,7 +175,9 @@ impl AttackHarness {
         let jitter = (self.rng.next_f64() - 0.5) * 2.0 * self.noise;
         Observation {
             latency: (cycles + jitter).max(0.0),
-            mispredicted: stats.cond_mispredicts + stats.indirect_mispredicts + stats.ras_mispredicts
+            mispredicted: stats.cond_mispredicts
+                + stats.indirect_mispredicts
+                + stats.ras_mispredicts
                 > 0,
         }
     }
@@ -175,16 +187,14 @@ impl AttackHarness {
     /// match the prediction, i.e. a pure read).
     pub fn probe_direction(&mut self, party: Party, pc: Pc) -> bool {
         self.switch_to(party);
-        let info =
-            BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::Conditional);
+        let info = BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::Conditional);
         self.fe.predict_direction(info)
     }
 
     /// Predicted target for a branch of `party` (a timed indirect jump).
     pub fn probe_target(&mut self, party: Party, pc: Pc) -> Option<Pc> {
         self.switch_to(party);
-        let info =
-            BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::IndirectJump);
+        let info = BranchInfo::new(self.hw(party), pc, sbp_types::BranchKind::IndirectJump);
         self.fe.predict_target(info)
     }
 
@@ -237,8 +247,13 @@ mod tests {
 
     #[test]
     fn smt_mode_never_switches() {
-        let mut h =
-            AttackHarness::new(PredictorKind::Gshare, Mechanism::CompleteFlush, true, 0.0, 1);
+        let mut h = AttackHarness::new(
+            PredictorKind::Gshare,
+            Mechanism::CompleteFlush,
+            true,
+            0.0,
+            1,
+        );
         h.switch_to(Party::Victim);
         h.switch_to(Party::Attacker);
         assert_eq!(h.switches(), 0);
@@ -251,7 +266,12 @@ mod tests {
         let ind = BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x3000), 0);
         let cold = h.exec(Party::Attacker, &ind);
         let warm = h.exec(Party::Attacker, &ind);
-        assert!(cold.latency > warm.latency, "cold {} warm {}", cold.latency, warm.latency);
+        assert!(
+            cold.latency > warm.latency,
+            "cold {} warm {}",
+            cold.latency,
+            warm.latency
+        );
         assert!(cold.is_slow(h.threshold()));
         assert!(!warm.is_slow(h.threshold()));
     }

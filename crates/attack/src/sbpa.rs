@@ -44,8 +44,9 @@ impl Sbpa {
             (cfg.sets as u64, cfg.ways)
         };
         let stride = sets * 4;
-        let prime_pcs: Vec<Pc> =
-            (1..=ways as u64).map(|i| Pc::new(TARGET_PC.addr() + i * stride)).collect();
+        let prime_pcs: Vec<Pc> = (1..=ways as u64)
+            .map(|i| Pc::new(TARGET_PC.addr() + i * stride))
+            .collect();
         let mut correct = 0u64;
         for _ in 0..trials {
             let secret = h.rng().chance(0.5);
@@ -61,12 +62,7 @@ impl Sbpa {
             }
             // Victim executes its secret-dependent branch once.
             let rec = if secret {
-                BranchRecord::taken(
-                    TARGET_PC,
-                    BranchKind::Conditional,
-                    TARGET_PC.offset(128),
-                    0,
-                )
+                BranchRecord::taken(TARGET_PC, BranchKind::Conditional, TARGET_PC.offset(128), 0)
             } else {
                 BranchRecord::not_taken(TARGET_PC, 0)
             };
@@ -83,7 +79,11 @@ impl Sbpa {
                 correct += 1;
             }
         }
-        AttackOutcome { success_rate: correct as f64 / trials as f64, chance: 0.5, trials }
+        AttackOutcome {
+            success_rate: correct as f64 / trials as f64,
+            chance: 0.5,
+            trials,
+        }
     }
 }
 
@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn baseline_contention_works_single_thread() {
         let out = Sbpa::new(Mechanism::Baseline, false).run(600, 3);
-        assert!(out.success_rate > 0.9, "baseline SBPA accuracy {}", out.success_rate);
+        assert!(
+            out.success_rate > 0.9,
+            "baseline SBPA accuracy {}",
+            out.success_rate
+        );
         assert_eq!(out.verdict(), Verdict::NoProtection);
     }
 
@@ -198,7 +202,12 @@ mod tests {
         // Content encoding does not hide *evictions*: Table 1 marks
         // XOR-BTB SMT contention as No Protection.
         let out = Sbpa::new(Mechanism::xor_btb(), true).run(600, 5);
-        assert_eq!(out.verdict(), Verdict::NoProtection, "got {}", out.success_rate);
+        assert_eq!(
+            out.verdict(),
+            Verdict::NoProtection,
+            "got {}",
+            out.success_rate
+        );
     }
 
     #[test]
@@ -221,19 +230,32 @@ mod tests {
         // always misses → inference collapses. On SMT there are no
         // switches and contention persists.
         let out = Sbpa::new(Mechanism::PreciseFlush, true).run(600, 9);
-        assert_eq!(out.verdict(), Verdict::NoProtection, "got {}", out.success_rate);
+        assert_eq!(
+            out.verdict(),
+            Verdict::NoProtection,
+            "got {}",
+            out.success_rate
+        );
     }
 
     #[test]
     fn jump_aslr_recovers_address_on_baseline() {
         let out = JumpAslr::new(Mechanism::Baseline).run(30, 11);
-        assert!(out.success_rate > 0.9, "ASLR bypass rate {}", out.success_rate);
+        assert!(
+            out.success_rate > 0.9,
+            "ASLR bypass rate {}",
+            out.success_rate
+        );
     }
 
     #[test]
     fn jump_aslr_fails_under_noisy_xor() {
         let out = JumpAslr::new(Mechanism::noisy_xor_btb()).run(30, 11);
-        assert!(out.success_rate < 0.2, "ASLR bypass rate {}", out.success_rate);
+        assert!(
+            out.success_rate < 0.2,
+            "ASLR bypass rate {}",
+            out.success_rate
+        );
         assert_eq!(out.verdict(), Verdict::Defend);
     }
 }

@@ -72,7 +72,11 @@ impl BranchShadowing {
                 correct += 1;
             }
         }
-        AttackOutcome { success_rate: correct as f64 / trials as f64, chance: 0.5, trials }
+        AttackOutcome {
+            success_rate: correct as f64 / trials as f64,
+            chance: 0.5,
+            trials,
+        }
     }
 }
 
@@ -103,6 +107,11 @@ mod tests {
     #[test]
     fn complete_flush_fails_smt_shadowing() {
         let out = BranchShadowing::new(Mechanism::CompleteFlush, true).run(800, 7);
-        assert_eq!(out.verdict(), Verdict::NoProtection, "got {}", out.success_rate);
+        assert_eq!(
+            out.verdict(),
+            Verdict::NoProtection,
+            "got {}",
+            out.success_rate
+        );
     }
 }

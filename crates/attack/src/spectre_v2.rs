@@ -51,10 +51,8 @@ impl SpectreV2 {
 
     /// Runs `trials` iterations and reports the training accuracy.
     pub fn run(&self, trials: u64, seed: u64) -> AttackOutcome {
-        let mut h =
-            AttackHarness::new(PredictorKind::Gshare, self.mechanism, self.smt, 0.0, seed);
-        let train =
-            BranchRecord::taken(SHARED_PC, BranchKind::IndirectCall, MALICIOUS, 0);
+        let mut h = AttackHarness::new(PredictorKind::Gshare, self.mechanism, self.smt, 0.0, seed);
+        let train = BranchRecord::taken(SHARED_PC, BranchKind::IndirectCall, MALICIOUS, 0);
         let legit = BranchRecord::taken(SHARED_PC, BranchKind::IndirectCall, LEGIT, 0);
         let mut successes = 0u64;
         for _ in 0..trials {
@@ -105,14 +103,22 @@ mod tests {
     #[test]
     fn xor_btb_defends_single_thread() {
         let out = SpectreV2::new(Mechanism::xor_btb(), false).run(2000, 42);
-        assert!(out.success_rate < 0.02, "defended accuracy {}", out.success_rate);
+        assert!(
+            out.success_rate < 0.02,
+            "defended accuracy {}",
+            out.success_rate
+        );
         assert_eq!(out.verdict(), Verdict::Defend);
     }
 
     #[test]
     fn noisy_xor_btb_defends_smt() {
         let out = SpectreV2::new(Mechanism::noisy_xor_btb(), true).run(2000, 7);
-        assert!(out.success_rate < 0.02, "SMT defended accuracy {}", out.success_rate);
+        assert!(
+            out.success_rate < 0.02,
+            "SMT defended accuracy {}",
+            out.success_rate
+        );
         assert_eq!(out.verdict(), Verdict::Defend);
     }
 

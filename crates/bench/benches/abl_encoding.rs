@@ -14,13 +14,22 @@ use sbp_trace::cases_single;
 use sbp_types::Codec;
 
 fn main() {
-    header("Ablation", "content codec: XOR vs shift-scramble vs 4-bit LUT");
-    let codecs =
-        [("XOR", Codec::Xor), ("ShiftScramble", Codec::ShiftScramble), ("LUT", Codec::Lut)];
+    header(
+        "Ablation",
+        "content codec: XOR vs shift-scramble vs 4-bit LUT",
+    );
+    let codecs = [
+        ("XOR", Codec::Xor),
+        ("ShiftScramble", Codec::ShiftScramble),
+        ("LUT", Codec::Lut),
+    ];
     let cases = cases_single();
     let budget = WorkBudget::single_default();
     for (label, codec) in codecs {
-        let mech = Mechanism::Xor(XorConfig { codec, ..XorConfig::full() });
+        let mech = Mechanism::Xor(XorConfig {
+            codec,
+            ..XorConfig::full()
+        });
         let overheads = parallel_map(cases.len(), |c| {
             single_overhead(
                 &cases[c],
@@ -33,7 +42,10 @@ fn main() {
             )
             .expect("run")
         });
-        println!("Noisy-XOR-BP with {label:<14} avg overhead {}", pct(mean(&overheads)));
+        println!(
+            "Noisy-XOR-BP with {label:<14} avg overhead {}",
+            pct(mean(&overheads))
+        );
     }
     println!("expectation: all three within noise of each other");
 }

@@ -10,12 +10,18 @@ use sbp_sim::{single_overhead, CoreConfig, SwitchInterval, WorkBudget};
 use sbp_trace::cases_single;
 
 fn main() {
-    header("Ablation", "rekey on ctx+priv switches (paper) vs ctx switches only");
+    header(
+        "Ablation",
+        "rekey on ctx+priv switches (paper) vs ctx switches only",
+    );
     let policies = [
         ("ctx+priv (paper)", Mechanism::noisy_xor_bp()),
         (
             "ctx only (insecure)",
-            Mechanism::Xor(XorConfig { rekey_on_privilege: false, ..XorConfig::full() }),
+            Mechanism::Xor(XorConfig {
+                rekey_on_privilege: false,
+                ..XorConfig::full()
+            }),
         ),
     ];
     let cases = cases_single();

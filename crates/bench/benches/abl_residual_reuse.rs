@@ -13,7 +13,10 @@ use sbp_sim::{run_single_case, single_overhead, CoreConfig, SwitchInterval, Work
 use sbp_trace::cases_single;
 
 fn main() {
-    header("Ablation", "residual BTB reuse vs XOR-BTB overhead per case");
+    header(
+        "Ablation",
+        "residual BTB reuse vs XOR-BTB overhead per case",
+    );
     let cases = cases_single();
     let budget = WorkBudget::single_default();
     let rows = parallel_map(cases.len(), |c| {
@@ -39,7 +42,10 @@ fn main() {
         .expect("run");
         (base.btb_hit_rate(), base.cond_accuracy(), overhead)
     });
-    println!("{:<8} {:>12} {:>12} {:>16}", "case", "BTB hit", "cond acc", "XOR-BTB ovh");
+    println!(
+        "{:<8} {:>12} {:>12} {:>16}",
+        "case", "BTB hit", "cond acc", "XOR-BTB ovh"
+    );
     for (c, case) in cases.iter().enumerate() {
         let (hit, acc, ovh) = rows[c];
         println!(

@@ -23,9 +23,10 @@ fn bench_predictors(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("per_branch");
     for kind in [PredictorKind::Gshare, PredictorKind::TageScL] {
-        for (mech_label, mech) in
-            [("baseline", Mechanism::Baseline), ("noisy_xor", Mechanism::noisy_xor_bp())]
-        {
+        for (mech_label, mech) in [
+            ("baseline", Mechanism::Baseline),
+            ("noisy_xor", Mechanism::noisy_xor_bp()),
+        ] {
             group.bench_function(format!("{}/{mech_label}", kind.label()), |b| {
                 let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(kind, mech));
                 let mut stats = PredictionStats::new();

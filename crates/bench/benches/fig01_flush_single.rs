@@ -30,14 +30,25 @@ fn main() {
         .expect("run")
     });
 
-    println!("{:<8} {:>12} {:>12} {:>12}", "case", "flush-4M", "flush-8M", "flush-12M");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "case", "flush-4M", "flush-8M", "flush-12M"
+    );
     for (c, case) in cases.iter().enumerate() {
         let row: Vec<f64> = (0..3).map(|k| overheads[c * 3 + k]).collect();
-        println!("{:<8} {:>12} {:>12} {:>12}", case.id, pct(row[0]), pct(row[1]), pct(row[2]));
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            case.id,
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2])
+        );
     }
     for (k, iv) in SwitchInterval::ALL.iter().enumerate() {
         let avg = mean(
-            &(0..cases.len()).map(|c| overheads[c * 3 + k]).collect::<Vec<_>>(),
+            &(0..cases.len())
+                .map(|c| overheads[c * 3 + k])
+                .collect::<Vec<_>>(),
         );
         println!("average flush-{iv}: {}   (paper: < 1%)", pct(avg));
     }

@@ -44,11 +44,20 @@ fn main() {
     });
 
     for (i, c) in pairs.iter().enumerate() {
-        println!("SMT-2 {:<8} ({:<12}+{:<12}) {}", c.id, c.target, c.background, pct(smt2[i]));
+        println!(
+            "SMT-2 {:<8} ({:<12}+{:<12}) {}",
+            c.id,
+            c.target,
+            c.background,
+            pct(smt2[i])
+        );
     }
     for (i, q) in quads.iter().enumerate() {
         println!("SMT-4 quad{:<3} ({:?}) {}", i + 1, q, pct(smt4[i]));
     }
     println!("average SMT-2: {}   (paper: ≈6–8 %)", pct(mean(&smt2)));
-    println!("average SMT-4: {}   (paper: ≈10–13 %, worse than SMT-2)", pct(mean(&smt4)));
+    println!(
+        "average SMT-4: {}   (paper: ≈10–13 %, worse than SMT-2)",
+        pct(mean(&smt4))
+    );
 }

@@ -15,7 +15,9 @@ fn main() {
     let pairs = cases_smt2();
     let jobs: Vec<(usize, Mechanism)> = (0..pairs.len())
         .flat_map(|i| {
-            [Mechanism::CompleteFlush, Mechanism::PreciseFlush].into_iter().map(move |m| (i, m))
+            [Mechanism::CompleteFlush, Mechanism::PreciseFlush]
+                .into_iter()
+                .map(move |m| (i, m))
         })
         .collect();
     let overheads = parallel_map(jobs.len(), |j| {
@@ -33,7 +35,10 @@ fn main() {
     });
     let cf: Vec<f64> = (0..pairs.len()).map(|i| overheads[i * 2]).collect();
     let pf: Vec<f64> = (0..pairs.len()).map(|i| overheads[i * 2 + 1]).collect();
-    println!("{:<8} {:>14} {:>14}", "case", "CompleteFlush", "PreciseFlush");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "case", "CompleteFlush", "PreciseFlush"
+    );
     for (i, c) in pairs.iter().enumerate() {
         println!("{:<8} {:>14} {:>14}", c.id, pct(cf[i]), pct(pf[i]));
     }

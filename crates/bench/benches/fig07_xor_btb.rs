@@ -10,9 +10,15 @@ use sbp_bench::{header, run_single_figure};
 use sbp_core::Mechanism;
 
 fn main() {
-    header("Figure 7", "XOR-BTB and Noisy-XOR-BTB overhead, single-threaded core");
+    header(
+        "Figure 7",
+        "XOR-BTB and Noisy-XOR-BTB overhead, single-threaded core",
+    );
     let avgs = run_single_figure(
-        &[("XOR-BTB", Mechanism::xor_btb()), ("Noisy-XOR-BTB", Mechanism::noisy_xor_btb())],
+        &[
+            ("XOR-BTB", Mechanism::xor_btb()),
+            ("Noisy-XOR-BTB", Mechanism::noisy_xor_btb()),
+        ],
         0xf167_0000,
     );
     println!("paper: averages < 0.2 %; max ≈ 1.0 % (case6); case2 can be negative");

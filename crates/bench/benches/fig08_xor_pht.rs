@@ -9,7 +9,10 @@ use sbp_bench::{header, run_single_figure};
 use sbp_core::Mechanism;
 
 fn main() {
-    header("Figure 8", "XOR-PHT and Noisy-XOR-PHT overhead, single-threaded core");
+    header(
+        "Figure 8",
+        "XOR-PHT and Noisy-XOR-PHT overhead, single-threaded core",
+    );
     let avgs = run_single_figure(
         &[
             ("XOR-PHT", Mechanism::enhanced_xor_pht()),

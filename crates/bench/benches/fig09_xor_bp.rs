@@ -9,9 +9,15 @@ use sbp_bench::{header, pct, run_single_figure};
 use sbp_core::Mechanism;
 
 fn main() {
-    header("Figure 9", "XOR-BP and Noisy-XOR-BP overhead, single-threaded core");
+    header(
+        "Figure 9",
+        "XOR-BP and Noisy-XOR-BP overhead, single-threaded core",
+    );
     let avgs = run_single_figure(
-        &[("XOR-BP", Mechanism::xor_bp()), ("Noisy-XOR-BP", Mechanism::noisy_xor_bp())],
+        &[
+            ("XOR-BP", Mechanism::xor_bp()),
+            ("Noisy-XOR-BP", Mechanism::noisy_xor_bp()),
+        ],
         0xf169_0000,
     );
     println!("paper: averages < 1.3 %; max ≈ 2.5 % (case1)");
@@ -20,5 +26,8 @@ fn main() {
         .zip(&avgs[0..3])
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!("check: index encoding adds ≈ nothing (max avg delta {})", pct(spread));
+    println!(
+        "check: index encoding adds ≈ nothing (max avg delta {})",
+        pct(spread)
+    );
 }

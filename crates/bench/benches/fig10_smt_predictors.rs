@@ -13,7 +13,10 @@ use sbp_sim::{smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
 use sbp_trace::cases_smt2;
 
 fn main() {
-    header("Figure 10", "CF / PF / Noisy-XOR-BP across predictors, SMT-2");
+    header(
+        "Figure 10",
+        "CF / PF / Noisy-XOR-BP across predictors, SMT-2",
+    );
     let budget = WorkBudget::smt_default();
     let pairs = cases_smt2();
     let mechs = [
@@ -58,14 +61,22 @@ fn main() {
     }
 
     println!("--- averages ---");
-    println!("{:<12} {:>10} {:>10} {:>14}", "predictor", "CF", "PF", "Noisy-XOR-BP");
+    println!(
+        "{:<12} {:>10} {:>10} {:>14}",
+        "predictor", "CF", "PF", "Noisy-XOR-BP"
+    );
     let mut noisy_avgs = Vec::new();
     for (k, kind) in kinds.iter().enumerate() {
-        let avg =
-            |m: usize| mean(&(0..pairs.len()).map(|c| at(k, m, c)).collect::<Vec<_>>());
+        let avg = |m: usize| mean(&(0..pairs.len()).map(|c| at(k, m, c)).collect::<Vec<_>>());
         let (cf, pf, noisy) = (avg(0), avg(1), avg(2));
         noisy_avgs.push(noisy);
-        println!("{:<12} {:>10} {:>10} {:>14}", kind.label(), pct(cf), pct(pf), pct(noisy));
+        println!(
+            "{:<12} {:>10} {:>10} {:>14}",
+            kind.label(),
+            pct(cf),
+            pct(pf),
+            pct(noisy)
+        );
         if cf > 0.0 {
             println!(
                 "   Noisy-XOR-BP vs CF: {:.0}% lower (paper: 26–37% lower)",

@@ -36,7 +36,12 @@ fn btb_row(label: &str, mech: Mechanism, paper: [&str; 4]) {
         a.max_severity(b)
     };
     let cont_smt = Sbpa::new(mech, true).run(TRIALS, 16).verdict();
-    print_row("BTB", label, [reuse_st, cont_st, reuse_smt, cont_smt], paper);
+    print_row(
+        "BTB",
+        label,
+        [reuse_st, cont_st, reuse_smt, cont_smt],
+        paper,
+    );
 }
 
 fn pht_row(label: &str, mech: Mechanism, paper: [&str; 4]) {
@@ -91,17 +96,56 @@ fn print_row(structure: &str, label: &str, v: [Verdict; 4], paper: [&str; 4]) {
 }
 
 fn main() {
-    header("Table 1", "Security comparison (Defend / Mitigate / No Protection)");
+    header(
+        "Table 1",
+        "Security comparison (Defend / Mitigate / No Protection)",
+    );
     println!("-- BTB mechanisms --");
-    btb_row("Complete Flush", Mechanism::CompleteFlush, ["Defend", "Defend", "No Protection", "No Protection"]);
-    btb_row("Precise Flush", Mechanism::PreciseFlush, ["Defend", "Defend", "Defend", "No Protection"]);
-    btb_row("XOR-BTB", Mechanism::xor_btb(), ["Defend", "Defend", "Mitigate", "No Protection"]);
-    btb_row("Noisy-XOR-BTB", Mechanism::noisy_xor_btb(), ["Defend", "Defend", "Defend", "Mitigate"]);
+    btb_row(
+        "Complete Flush",
+        Mechanism::CompleteFlush,
+        ["Defend", "Defend", "No Protection", "No Protection"],
+    );
+    btb_row(
+        "Precise Flush",
+        Mechanism::PreciseFlush,
+        ["Defend", "Defend", "Defend", "No Protection"],
+    );
+    btb_row(
+        "XOR-BTB",
+        Mechanism::xor_btb(),
+        ["Defend", "Defend", "Mitigate", "No Protection"],
+    );
+    btb_row(
+        "Noisy-XOR-BTB",
+        Mechanism::noisy_xor_btb(),
+        ["Defend", "Defend", "Defend", "Mitigate"],
+    );
     println!("-- PHT mechanisms --");
-    pht_row("Complete Flush", Mechanism::CompleteFlush, ["Defend", "Defend", "No Protection", "Defend"]);
-    pht_row("Precise Flush", Mechanism::PreciseFlush, ["Defend", "Defend", "Defend", "No Protection*"]);
-    pht_row("XOR-PHT", Mechanism::xor_pht(), ["Mitigate", "Defend", "No Protection", "Defend"]);
-    pht_row("Enhanced-XOR-PHT", Mechanism::enhanced_xor_pht(), ["Defend", "Defend", "Mitigate", "Defend"]);
-    pht_row("Noisy-XOR-PHT", Mechanism::noisy_xor_pht(), ["Defend", "Defend", "Mitigate", "Defend"]);
+    pht_row(
+        "Complete Flush",
+        Mechanism::CompleteFlush,
+        ["Defend", "Defend", "No Protection", "Defend"],
+    );
+    pht_row(
+        "Precise Flush",
+        Mechanism::PreciseFlush,
+        ["Defend", "Defend", "Defend", "No Protection*"],
+    );
+    pht_row(
+        "XOR-PHT",
+        Mechanism::xor_pht(),
+        ["Mitigate", "Defend", "No Protection", "Defend"],
+    );
+    pht_row(
+        "Enhanced-XOR-PHT",
+        Mechanism::enhanced_xor_pht(),
+        ["Defend", "Defend", "Mitigate", "Defend"],
+    );
+    pht_row(
+        "Noisy-XOR-PHT",
+        Mechanism::noisy_xor_pht(),
+        ["Defend", "Defend", "Mitigate", "Defend"],
+    );
     println!("(* the paper's PF/PHT SMT-contention cell concerns thread-ID cost, see §4.1)");
 }

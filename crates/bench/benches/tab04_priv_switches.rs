@@ -14,7 +14,10 @@ use sbp_trace::cases_single;
 const PAPER: [f64; 12] = [4.9, 7.0, 1.9, 2.0, 1.7, 1.6, 1.7, 2.0, 1.8, 2.7, 3.5, 1.9];
 
 fn main() {
-    header("Table 4", "Privilege switches per million cycles (Noisy-XOR-BP-12M)");
+    header(
+        "Table 4",
+        "Privilege switches per million cycles (Noisy-XOR-BP-12M)",
+    );
     let cases = cases_single();
     let budget = WorkBudget::single_default();
     let stats = parallel_map(cases.len(), |c| {

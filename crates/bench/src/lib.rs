@@ -16,7 +16,10 @@ where
     let results: Vec<parking_lot::Mutex<Option<T>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -28,14 +31,20 @@ where
             });
         }
     });
-    results.into_iter().map(|m| m.into_inner().expect("worker completed")).collect()
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker completed"))
+        .collect()
 }
 
 /// Prints the standard harness header.
 pub fn header(exp: &str, title: &str) {
     println!("=============================================================");
     println!("{exp}: {title}");
-    println!("scale: SBP_SCALE={} (set higher for tighter estimates)", sbp_sim::scale());
+    println!(
+        "scale: SBP_SCALE={} (set higher for tighter estimates)",
+        sbp_sim::scale()
+    );
     println!("=============================================================");
 }
 
@@ -74,9 +83,8 @@ pub fn run_single_figure(mechs: &[(&str, sbp_core::Mechanism)], seed_base: u64) 
         )
         .expect("run")
     });
-    let at = |m: usize, iv: usize, c: usize| {
-        overheads[(m * intervals.len() + iv) * cases.len() + c]
-    };
+    let at =
+        |m: usize, iv: usize, c: usize| overheads[(m * intervals.len() + iv) * cases.len() + c];
 
     print!("{:<8}", "case");
     for (label, _) in mechs {

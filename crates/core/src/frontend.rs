@@ -16,9 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use sbp_predictors::{Btb, BtbConfig, PredictorKind, Ras};
-use sbp_types::{
-    BranchInfo, CoreEvent, DirectionPredictor, KeyCtx, Pc, TargetPredictor, ThreadId,
-};
+use sbp_types::{BranchInfo, CoreEvent, DirectionPredictor, KeyCtx, Pc, TargetPredictor, ThreadId};
 
 use crate::keys::KeyManager;
 use crate::mechanism::Mechanism;
@@ -313,7 +311,9 @@ mod tests {
         // Train past GHR saturation (13 history bits) so the last updates
         // repeatedly hit the same PHT entry.
         train_taken(&mut fe, i, 20);
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert!(fe.predict_direction(i), "baseline must keep residual state");
     }
 
@@ -327,7 +327,9 @@ mod tests {
         train_taken(&mut fe, i, 8);
         let t = ind(0, 0x800);
         fe.update_target(t, Pc::new(0x9000));
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert!(!fe.predict_direction(i), "direction state must be flushed");
         assert_eq!(fe.predict_target(t), None, "BTB must be flushed");
         assert_eq!(fe.stats().complete_flushes, 1);
@@ -342,7 +344,9 @@ mod tests {
         let t = ind(0, 0x800);
         fe.update_target(t, Pc::new(0x9000));
         assert_eq!(fe.predict_target(t), Some(Pc::new(0x9000)));
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert_ne!(
             fe.predict_target(t),
             Some(Pc::new(0x9000)),
@@ -361,7 +365,10 @@ mod tests {
             PredictorKind::Gshare,
             Mechanism::CompleteFlush,
         ));
-        let ev = CoreEvent::PrivilegeSwitch { hw_thread: ThreadId::new(0), to: Privilege::Kernel };
+        let ev = CoreEvent::PrivilegeSwitch {
+            hw_thread: ThreadId::new(0),
+            to: Privilege::Kernel,
+        };
         xor.handle_event(ev);
         cf.handle_event(ev);
         assert_eq!(xor.stats().rekeys, 1);
@@ -379,9 +386,15 @@ mod tests {
         let t1 = ind(1, 0x2000);
         fe.update_target(t0, Pc::new(0xaaa0));
         fe.update_target(t1, Pc::new(0xbbb0));
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert_eq!(fe.predict_target(t0), None, "thread 0 entries flushed");
-        assert_eq!(fe.predict_target(t1), Some(Pc::new(0xbbb0)), "thread 1 spared");
+        assert_eq!(
+            fe.predict_target(t1),
+            Some(Pc::new(0xbbb0)),
+            "thread 1 spared"
+        );
         assert_eq!(fe.stats().precise_flushes, 1);
     }
 
@@ -396,7 +409,9 @@ mod tests {
         let t1 = ind(1, 0x2000);
         fe.update_target(t1, Pc::new(0xbbb0));
         // A context switch on hardware thread 0 wipes thread 1's state too.
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert_eq!(fe.predict_target(t1), None);
     }
 
@@ -409,7 +424,9 @@ mod tests {
         ));
         let t1 = ind(1, 0x2000);
         fe.update_target(t1, Pc::new(0xbbb0));
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert_eq!(
             fe.predict_target(t1),
             Some(Pc::new(0xbbb0)),
@@ -424,7 +441,9 @@ mod tests {
             Mechanism::Baseline,
         ));
         fe.ras_push(ThreadId::new(0), Pc::new(0x1234));
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         assert_eq!(fe.ras_pop(ThreadId::new(0)), None);
     }
 

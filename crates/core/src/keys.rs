@@ -40,8 +40,14 @@ impl KeyManager {
     pub fn new(threads: usize, seed: u64) -> Self {
         assert!(threads > 0, "at least one hardware thread required");
         let mut rng = Xoshiro256::new(seed);
-        let keys = (0..threads).map(|_| KeyPair::from_random(rng.next_u64())).collect();
-        KeyManager { keys, rng, rekey_count: 0 }
+        let keys = (0..threads)
+            .map(|_| KeyPair::from_random(rng.next_u64()))
+            .collect();
+        KeyManager {
+            keys,
+            rng,
+            rekey_count: 0,
+        }
     }
 
     /// Current key pair of `thread`.

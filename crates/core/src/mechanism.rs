@@ -56,8 +56,7 @@ impl Default for XorConfig {
 }
 
 /// An isolation mechanism, as named in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Mechanism {
     /// No protection (the paper's `Baseline`).
     #[default]
@@ -161,7 +160,13 @@ impl Mechanism {
     /// is cheap (a register write) — this is why Table 4's privilege-switch
     /// counts matter for Noisy-XOR-BP.
     pub const fn rekeys_on_privilege_switch(self) -> bool {
-        matches!(self, Mechanism::Xor(XorConfig { rekey_on_privilege: true, .. }))
+        matches!(
+            self,
+            Mechanism::Xor(XorConfig {
+                rekey_on_privilege: true,
+                ..
+            })
+        )
     }
 
     /// Short label matching the paper's figures.
@@ -188,7 +193,6 @@ impl Mechanism {
         }
     }
 }
-
 
 impl std::fmt::Display for Mechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -51,7 +51,12 @@ pub struct BtbGeometry {
 impl BtbGeometry {
     /// The paper's `2wN` geometries.
     pub fn two_way(entries_per_way: usize) -> Self {
-        BtbGeometry { entries_per_way, ways: 2, tag_bits: 12, target_bits: 32 }
+        BtbGeometry {
+            entries_per_way,
+            ways: 2,
+            tag_bits: 12,
+            target_bits: 32,
+        }
     }
 
     fn entry_bits(&self) -> u32 {
@@ -72,7 +77,10 @@ impl PhtGeometry {
     /// A TAGE tagged-table row of Table 5 (13-bit entries: 3-bit counter,
     /// 8-bit tag, 2-bit useful).
     pub fn tage(entries: usize) -> Self {
-        PhtGeometry { entries, entry_bits: 13 }
+        PhtGeometry {
+            entries,
+            entry_bits: 13,
+        }
     }
 }
 
@@ -114,7 +122,10 @@ pub struct XorOverlay {
 impl XorOverlay {
     /// The single-thread Noisy-XOR-BP overlay of Table 5.
     pub fn noisy(threads: usize) -> Self {
-        XorOverlay { threads, index_encoding: true }
+        XorOverlay {
+            threads,
+            index_encoding: true,
+        }
     }
 
     fn key_register_area(&self) -> f64 {
@@ -146,13 +157,17 @@ impl XorOverlay {
             added_area -= index_bits * A_XOR;
         }
 
-        let base_delay =
-            D_DECODE * index_bits + D_WIRE * bits.sqrt() + D_SENSE + D_CMP;
+        let base_delay = D_DECODE * index_bits + D_WIRE * bits.sqrt() + D_SENSE + D_CMP;
         let mut added_delay = D_XOR + D_XOR_DRIVE * rows.sqrt();
         if !self.index_encoding {
             added_delay = D_XOR;
         }
-        CostBreakdown { base_area, added_area, base_delay, added_delay }
+        CostBreakdown {
+            base_area,
+            added_area,
+            base_delay,
+            added_delay,
+        }
     }
 
     /// Costs of overlaying one PHT/TAGE table macro.
@@ -165,8 +180,7 @@ impl XorOverlay {
         let base_area = bits * A_CELL + rows * A_DECODE_ROW + width * A_SENSE;
         // Key registers are shared across the predictor's tables; charge
         // an amortized 1/6th (six tables in the paper's TAGE) here.
-        let mut added_area =
-            width * A_XOR + index_bits * A_XOR + self.amortized_keys(1.0 / 5.0);
+        let mut added_area = width * A_XOR + index_bits * A_XOR + self.amortized_keys(1.0 / 5.0);
         if !self.index_encoding {
             added_area -= index_bits * A_XOR;
         }
@@ -176,7 +190,12 @@ impl XorOverlay {
         if !self.index_encoding {
             added_delay = D_XOR;
         }
-        CostBreakdown { base_area, added_area, base_delay, added_delay }
+        CostBreakdown {
+            base_area,
+            added_area,
+            base_delay,
+            added_delay,
+        }
     }
 }
 
@@ -200,9 +219,15 @@ mod tests {
     #[test]
     fn btb_timing_overhead_grows_with_size() {
         let overlay = XorOverlay::noisy(1);
-        let t128 = overlay.btb_cost(&BtbGeometry::two_way(128)).timing_overhead();
-        let t256 = overlay.btb_cost(&BtbGeometry::two_way(256)).timing_overhead();
-        let t512 = overlay.btb_cost(&BtbGeometry::two_way(512)).timing_overhead();
+        let t128 = overlay
+            .btb_cost(&BtbGeometry::two_way(128))
+            .timing_overhead();
+        let t256 = overlay
+            .btb_cost(&BtbGeometry::two_way(256))
+            .timing_overhead();
+        let t512 = overlay
+            .btb_cost(&BtbGeometry::two_way(512))
+            .timing_overhead();
         assert!(t128 < t256 && t256 < t512, "{t128} {t256} {t512}");
         // Paper band: 0.70 % – 1.46 %.
         for t in [t128, t256, t512] {
@@ -214,8 +239,13 @@ mod tests {
     fn pht_timing_is_about_two_percent() {
         let overlay = XorOverlay::noisy(1);
         for entries in [1024, 2048, 4096] {
-            let t = overlay.pht_cost(&PhtGeometry::tage(entries)).timing_overhead();
-            assert!((0.01..0.035).contains(&t), "PHT timing overhead {t} @{entries}");
+            let t = overlay
+                .pht_cost(&PhtGeometry::tage(entries))
+                .timing_overhead();
+            assert!(
+                (0.01..0.035).contains(&t),
+                "PHT timing overhead {t} @{entries}"
+            );
         }
     }
 
@@ -231,7 +261,10 @@ mod tests {
     #[test]
     fn content_only_overlay_is_cheaper() {
         let noisy = XorOverlay::noisy(1);
-        let plain = XorOverlay { threads: 1, index_encoding: false };
+        let plain = XorOverlay {
+            threads: 1,
+            index_encoding: false,
+        };
         let g = BtbGeometry::two_way(256);
         assert!(plain.btb_cost(&g).added_delay < noisy.btb_cost(&g).added_delay);
         assert!(plain.btb_cost(&g).added_area < noisy.btb_cost(&g).added_area);

@@ -36,7 +36,11 @@ impl Table5Row {
 /// The BTB half of Table 5 (2-way BTBs of 128/256/512 entries per way).
 pub fn table5_btb_rows() -> Vec<Table5Row> {
     let overlay = XorOverlay::noisy(1);
-    let paper = [(128usize, 0.0070, 0.0024), (256, 0.0094, 0.0015), (512, 0.0146, 0.0013)];
+    let paper = [
+        (128usize, 0.0070, 0.0024),
+        (256, 0.0094, 0.0015),
+        (512, 0.0146, 0.0013),
+    ];
     paper
         .iter()
         .map(|&(entries, pt, pa)| {
@@ -55,7 +59,11 @@ pub fn table5_btb_rows() -> Vec<Table5Row> {
 /// The PHT (TAGE) half of Table 5 (1K/2K/4K entries per table).
 pub fn table5_pht_rows() -> Vec<Table5Row> {
     let overlay = XorOverlay::noisy(1);
-    let paper = [(1024usize, 0.0210, 0.0011), (2048, 0.0198, 0.0009), (4096, 0.0201, 0.0003)];
+    let paper = [
+        (1024usize, 0.0210, 0.0011),
+        (2048, 0.0198, 0.0009),
+        (4096, 0.0201, 0.0003),
+    ];
     paper
         .iter()
         .map(|&(entries, pt, pa)| {

@@ -78,7 +78,8 @@ impl DirectionPredictor for Bimodal {
 
     fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
         let bits = self.ctr_bits;
-        self.table.update(self.index_of(info.pc), ctx, |c| sat_update(c, bits, taken));
+        self.table
+            .update(self.index_of(info.pc), ctx, |c| sat_update(c, bits, taken));
     }
 
     fn flush_all(&mut self) {
@@ -163,7 +164,10 @@ mod tests {
                 taken_after += 1;
             }
         }
-        assert!(taken_after < 55, "residual state survived rekey: {taken_after}/64");
+        assert!(
+            taken_after < 55,
+            "residual state survived rekey: {taken_after}/64"
+        );
     }
 
     #[test]

@@ -32,12 +32,20 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// The paper's FPGA BOOM configuration: 256-set × 2-way.
     pub fn paper_fpga() -> Self {
-        BtbConfig { sets: 256, ways: 2, tag_bits: 12 }
+        BtbConfig {
+            sets: 256,
+            ways: 2,
+            tag_bits: 12,
+        }
     }
 
     /// The paper's gem5 Sunny-Cove-like configuration: 1024-set × 4-way.
     pub fn paper_gem5() -> Self {
-        BtbConfig { sets: 1024, ways: 4, tag_bits: 12 }
+        BtbConfig {
+            sets: 1024,
+            ways: 4,
+            tag_bits: 12,
+        }
     }
 }
 
@@ -70,7 +78,9 @@ impl Btb {
         assert!(cfg.ways > 0, "at least one way required");
         let entry_bits = cfg.tag_bits + TARGET_BITS;
         Btb {
-            ways: (0..cfg.ways).map(|_| PackedTable::new(cfg.sets, entry_bits, 0)).collect(),
+            ways: (0..cfg.ways)
+                .map(|_| PackedTable::new(cfg.sets, entry_bits, 0))
+                .collect(),
             valid: vec![vec![false; cfg.sets]; cfg.ways],
             lru: vec![vec![0; cfg.ways]; cfg.sets],
             clock: 0,
@@ -82,7 +92,11 @@ impl Btb {
     /// Enables owner tags for Precise Flush.
     #[must_use]
     pub fn with_owner_tags(mut self) -> Self {
-        self.ways = self.ways.into_iter().map(PackedTable::with_owner_tags).collect();
+        self.ways = self
+            .ways
+            .into_iter()
+            .map(PackedTable::with_owner_tags)
+            .collect();
         self
     }
 
@@ -124,7 +138,10 @@ impl Btb {
 
     /// Returns the number of valid entries (warm-up observability).
     pub fn valid_entries(&self) -> usize {
-        self.valid.iter().map(|w| w.iter().filter(|&&v| v).count()).sum()
+        self.valid
+            .iter()
+            .map(|w| w.iter().filter(|&&v| v).count())
+            .sum()
     }
 
     /// Invalidates a specific logical (set, way) — attack helper.
@@ -274,7 +291,11 @@ mod tests {
 
     #[test]
     fn lru_eviction_within_set() {
-        let cfg = BtbConfig { sets: 16, ways: 2, tag_bits: 12 };
+        let cfg = BtbConfig {
+            sets: 16,
+            ways: 2,
+            tag_bits: 12,
+        };
         let mut btb = Btb::new(cfg);
         let c = ctx();
         // Three PCs mapping to the same set (stride = sets * 4 bytes).
@@ -294,7 +315,11 @@ mod tests {
 
     #[test]
     fn tags_disambiguate_same_set() {
-        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, tag_bits: 12 });
+        let mut btb = Btb::new(BtbConfig {
+            sets: 16,
+            ways: 2,
+            tag_bits: 12,
+        });
         let c = ctx();
         let stride = 16 * 4;
         let a = info(0x1000);
@@ -336,7 +361,11 @@ mod tests {
             BranchInfo::new(ThreadId::new(1), Pc::new(0x7000), BranchKind::IndirectJump),
             &kb,
         );
-        assert_ne!(leaked, Some(Pc::new(0xdead0)), "target leaked across threads");
+        assert_ne!(
+            leaked,
+            Some(Pc::new(0xdead0)),
+            "target leaked across threads"
+        );
     }
 
     #[test]
@@ -351,7 +380,12 @@ mod tests {
 
     #[test]
     fn precise_flush_clears_owned_only() {
-        let mut btb = Btb::new(BtbConfig { sets: 64, ways: 2, tag_bits: 12 }).with_owner_tags();
+        let mut btb = Btb::new(BtbConfig {
+            sets: 64,
+            ways: 2,
+            tag_bits: 12,
+        })
+        .with_owner_tags();
         let mut ka = KeyCtx::disabled(ThreadId::new(0));
         ka.owner_tracking = true;
         let mut kb = KeyCtx::disabled(ThreadId::new(1));
@@ -362,7 +396,11 @@ mod tests {
         btb.update(ib, Pc::new(0xbbb0), &kb);
         btb.flush_thread(ThreadId::new(0));
         assert_eq!(btb.lookup(ia, &ka), None, "thread 0 entry must be gone");
-        assert_eq!(btb.lookup(ib, &kb), Some(Pc::new(0xbbb0)), "thread 1 entry must stay");
+        assert_eq!(
+            btb.lookup(ib, &kb),
+            Some(Pc::new(0xbbb0)),
+            "thread 1 entry must stay"
+        );
     }
 
     #[test]
@@ -375,7 +413,11 @@ mod tests {
 
     #[test]
     fn probe_does_not_disturb_lru() {
-        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, tag_bits: 12 });
+        let mut btb = Btb::new(BtbConfig {
+            sets: 16,
+            ways: 2,
+            tag_bits: 12,
+        });
         let c = ctx();
         let stride = 16 * 4;
         let a = info(0x1000);
@@ -386,6 +428,9 @@ mod tests {
         // probe(a) must NOT refresh a's LRU position.
         assert!(btb.probe(a, &c).is_some());
         btb.update(d, Pc::new(0xd0), &c);
-        assert!(btb.lookup(a, &c).is_none(), "a should have been the LRU victim");
+        assert!(
+            btb.lookup(a, &c).is_none(),
+            "a should have been the LRU victim"
+        );
     }
 }

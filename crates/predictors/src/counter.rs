@@ -84,7 +84,11 @@ pub fn signed_update(value: u64, width: u32, taken: bool) -> u64 {
     let v = to_signed(value, width);
     let max = (1i64 << (width - 1)) - 1;
     let min = -(1i64 << (width - 1));
-    let nv = if taken { (v + 1).min(max) } else { (v - 1).max(min) };
+    let nv = if taken {
+        (v + 1).min(max)
+    } else {
+        (v - 1).max(min)
+    };
     from_signed(nv, width)
 }
 

@@ -43,13 +43,18 @@ impl GehlTable {
 
     /// Signed counter value for this branch/history.
     pub fn read(&self, pc: Pc, history: u64, ctx: &KeyCtx) -> i64 {
-        to_signed(self.table.get(self.index_of(pc, history), ctx), self.ctr_bits)
+        to_signed(
+            self.table.get(self.index_of(pc, history), ctx),
+            self.ctr_bits,
+        )
     }
 
     /// Trains the counter toward `taken`.
     pub fn train(&mut self, pc: Pc, history: u64, taken: bool, ctx: &KeyCtx) {
         let bits = self.ctr_bits;
-        self.table.update(self.index_of(pc, history), ctx, |c| signed_update(c, bits, taken));
+        self.table.update(self.index_of(pc, history), ctx, |c| {
+            signed_update(c, bits, taken)
+        });
     }
 
     /// Complete Flush.

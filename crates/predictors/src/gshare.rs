@@ -39,7 +39,9 @@ impl Gshare {
         let history_bits = table.index_bits().min(10);
         Gshare {
             table,
-            histories: (0..threads).map(|_| GlobalHistory::new(history_bits.max(1))).collect(),
+            histories: (0..threads)
+                .map(|_| GlobalHistory::new(history_bits.max(1)))
+                .collect(),
             history_bits,
             ctr_bits,
         }
@@ -145,7 +147,10 @@ mod tests {
             p.update(i, taken, pred, &c);
         }
         // With history the alternating pattern becomes near-perfect.
-        assert!(correct as f64 / (total - 50) as f64 > 0.95, "correct={correct}");
+        assert!(
+            correct as f64 / (total - 50) as f64 > 0.95,
+            "correct={correct}"
+        );
     }
 
     #[test]

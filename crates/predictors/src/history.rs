@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use sbp_types::ids::mask_u64;
-use sbp_types::{KeyCtx, Pc, PackedTable, ThreadId};
+use sbp_types::{KeyCtx, PackedTable, Pc, ThreadId};
 
 /// A long global branch-direction history register (shift register of
 /// outcomes, newest at position 0), bit-packed.
@@ -39,7 +39,10 @@ impl GlobalHistory {
     /// Panics if `capacity` is 0.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "history capacity must be positive");
-        GlobalHistory { bits: vec![0; capacity.div_ceil(64) as usize], capacity }
+        GlobalHistory {
+            bits: vec![0; capacity.div_ceil(64) as usize],
+            capacity,
+        }
     }
 
     /// Shifts in a new outcome (newest at bit 0). Returns the evicted
@@ -102,7 +105,10 @@ pub struct PathHistory {
 impl PathHistory {
     /// Creates a `bits`-wide path history.
     pub fn new(bits: u32) -> Self {
-        PathHistory { value: 0, bits: bits.min(64) }
+        PathHistory {
+            value: 0,
+            bits: bits.min(64),
+        }
     }
 
     /// Shifts in one address bit of the branch at `pc`.
@@ -140,7 +146,10 @@ impl FoldedHistory {
     ///
     /// Panics if `compressed_len` is 0 or > 63.
     pub fn new(original_len: u32, compressed_len: u32) -> Self {
-        assert!((1..64).contains(&compressed_len), "compressed length must be 1..=63");
+        assert!(
+            (1..64).contains(&compressed_len),
+            "compressed length must be 1..=63"
+        );
         FoldedHistory {
             comp: 0,
             original_len,
@@ -194,7 +203,10 @@ pub struct LocalHistoryTable {
 impl LocalHistoryTable {
     /// Creates a table of `entries` local histories of `pattern_bits` each.
     pub fn new(entries: usize, pattern_bits: u32) -> Self {
-        LocalHistoryTable { table: PackedTable::new(entries, pattern_bits, 0), pattern_bits }
+        LocalHistoryTable {
+            table: PackedTable::new(entries, pattern_bits, 0),
+            pattern_bits,
+        }
     }
 
     /// Enables owner tags for Precise Flush.

@@ -42,7 +42,12 @@ impl LoopEntry {
         let current_count = w & mask_u64(COUNT_BITS);
         w >>= COUNT_BITS;
         let confidence = w & mask_u64(CONF_BITS);
-        LoopEntry { tag, past_count, current_count, confidence }
+        LoopEntry {
+            tag,
+            past_count,
+            current_count,
+            confidence,
+        }
     }
 
     fn pack(self) -> u64 {
@@ -84,7 +89,9 @@ impl LoopPredictor {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(ways > 0, "at least one way required");
         LoopPredictor {
-            ways: (0..ways).map(|_| PackedTable::new(sets, ENTRY_BITS, 0)).collect(),
+            ways: (0..ways)
+                .map(|_| PackedTable::new(sets, ENTRY_BITS, 0))
+                .collect(),
             sets_bits: (sets as u64).trailing_zeros(),
             last: None,
         }
@@ -98,7 +105,11 @@ impl LoopPredictor {
     /// Enables owner tags for Precise Flush.
     #[must_use]
     pub fn with_owner_tags(mut self) -> Self {
-        self.ways = self.ways.into_iter().map(PackedTable::with_owner_tags).collect();
+        self.ways = self
+            .ways
+            .into_iter()
+            .map(PackedTable::with_owner_tags)
+            .collect();
         self
     }
 
@@ -132,15 +143,16 @@ impl LoopPredictor {
             }
         }
         self.last = Some((info.thread.index() as u8, info.pc.word(), set, None));
-        LoopPrediction { taken: true, valid: false }
+        LoopPrediction {
+            taken: true,
+            valid: false,
+        }
     }
 
     /// Trains the loop predictor with the resolved direction.
     pub fn train(&mut self, info: BranchInfo, taken: bool, ctx: &KeyCtx) {
         let (set, way) = match self.last.take() {
-            Some((t, w, set, way))
-                if t as usize == info.thread.index() && w == info.pc.word() =>
-            {
+            Some((t, w, set, way)) if t as usize == info.thread.index() && w == info.pc.word() => {
                 (set, way)
             }
             _ => {
@@ -260,7 +272,12 @@ mod tests {
 
     #[test]
     fn entry_packing_roundtrip() {
-        let e = LoopEntry { tag: 0x2aa, past_count: 1234, current_count: 777, confidence: 5 };
+        let e = LoopEntry {
+            tag: 0x2aa,
+            past_count: 1234,
+            current_count: 777,
+            confidence: 5,
+        };
         assert_eq!(LoopEntry::unpack(e.pack()), e);
     }
 
@@ -290,7 +307,10 @@ mod tests {
             }
             p.train(i, taken, &c);
         }
-        assert!(confident < 60, "random branch got confident {confident} times");
+        assert!(
+            confident < 60,
+            "random branch got confident {confident} times"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ struct RasStack {
 
 impl RasStack {
     fn new(depth: usize) -> Self {
-        RasStack { entries: vec![Pc::new(0); depth], top: 0, occupancy: 0 }
+        RasStack {
+            entries: vec![Pc::new(0); depth],
+            top: 0,
+            occupancy: 0,
+        }
     }
 
     fn push(&mut self, addr: Pc) {
@@ -60,7 +64,10 @@ impl Ras {
     pub fn new(depth: usize, threads: usize) -> Self {
         assert!(depth > 0, "RAS depth must be positive");
         assert!(threads > 0, "at least one hardware thread required");
-        Ras { stacks: (0..threads).map(|_| RasStack::new(depth)).collect(), depth }
+        Ras {
+            stacks: (0..threads).map(|_| RasStack::new(depth)).collect(),
+            depth,
+        }
     }
 
     /// Pushes a return address for `thread` (on a call).

@@ -283,8 +283,16 @@ impl Tage {
     #[must_use]
     pub fn with_owner_tags(mut self) -> Self {
         self.base = self.base.with_owner_tags();
-        self.tables = self.tables.into_iter().map(PackedTable::with_owner_tags).collect();
-        self.useful = self.useful.into_iter().map(PackedTable::with_owner_tags).collect();
+        self.tables = self
+            .tables
+            .into_iter()
+            .map(PackedTable::with_owner_tags)
+            .collect();
+        self.useful = self
+            .useful
+            .into_iter()
+            .map(PackedTable::with_owner_tags)
+            .collect();
         self
     }
 
@@ -403,9 +411,7 @@ impl Tage {
         let mispredicted = lookup.pred != taken;
 
         // USE_ALT_ON_NA training.
-        if lookup.provider.is_some()
-            && lookup.pseudo_new
-            && lookup.provider_pred != lookup.alt_pred
+        if lookup.provider.is_some() && lookup.pseudo_new && lookup.provider_pred != lookup.alt_pred
         {
             let alt_was_right = lookup.alt_pred == taken;
             self.use_alt_on_na = if alt_was_right {
@@ -535,8 +541,16 @@ impl Tage {
     /// Total storage in bits.
     pub fn storage_bits(&self) -> u64 {
         self.base.storage_bits()
-            + self.tables.iter().map(PackedTable::storage_bits).sum::<u64>()
-            + self.useful.iter().map(PackedTable::storage_bits).sum::<u64>()
+            + self
+                .tables
+                .iter()
+                .map(PackedTable::storage_bits)
+                .sum::<u64>()
+            + self
+                .useful
+                .iter()
+                .map(PackedTable::storage_bits)
+                .sum::<u64>()
     }
 
     /// Number of tagged tables.
@@ -568,10 +582,26 @@ mod tests {
             base_entries: 1024,
             base_ctr_bits: 2,
             tagged: vec![
-                TaggedTableConfig { log_entries: 8, tag_bits: 8, history_len: 5 },
-                TaggedTableConfig { log_entries: 8, tag_bits: 8, history_len: 11 },
-                TaggedTableConfig { log_entries: 8, tag_bits: 9, history_len: 23 },
-                TaggedTableConfig { log_entries: 8, tag_bits: 9, history_len: 47 },
+                TaggedTableConfig {
+                    log_entries: 8,
+                    tag_bits: 8,
+                    history_len: 5,
+                },
+                TaggedTableConfig {
+                    log_entries: 8,
+                    tag_bits: 8,
+                    history_len: 11,
+                },
+                TaggedTableConfig {
+                    log_entries: 8,
+                    tag_bits: 9,
+                    history_len: 23,
+                },
+                TaggedTableConfig {
+                    log_entries: 8,
+                    tag_bits: 9,
+                    history_len: 47,
+                },
             ],
             ctr_bits: 3,
             u_bits: 2,
@@ -689,7 +719,10 @@ mod tests {
             }
             t.train(i, pattern[n % 3], &k1);
         }
-        assert!(warm_hits > 20, "expected warm providers, got {warm_hits}/120");
+        assert!(
+            warm_hits > 20,
+            "expected warm providers, got {warm_hits}/120"
+        );
         // After rekey, the residual tags decode to garbage: the first
         // lookups cannot reuse the warm entries (they miss or false-hit at
         // the chance level ~ 2^-tag_bits, and re-warm only via fresh

@@ -138,11 +138,18 @@ impl TageScL {
         self.tage = self.tage.with_owner_tags();
         self.loops = self.loops.with_owner_tags();
         self.bias = self.bias.with_owner_tags();
-        self.gehl_global =
-            self.gehl_global.into_iter().map(GehlTable::with_owner_tags).collect();
+        self.gehl_global = self
+            .gehl_global
+            .into_iter()
+            .map(GehlTable::with_owner_tags)
+            .collect();
         self.gehl_path = self.gehl_path.with_owner_tags();
         self.gehl_imli = self.gehl_imli.with_owner_tags();
-        self.gehl_local = self.gehl_local.into_iter().map(GehlTable::with_owner_tags).collect();
+        self.gehl_local = self
+            .gehl_local
+            .into_iter()
+            .map(GehlTable::with_owner_tags)
+            .collect();
         self.local_hist = self.local_hist.with_owner_tags();
         self
     }
@@ -169,13 +176,18 @@ impl TageScL {
         for g in &self.gehl_local {
             sum += 2 * g.read(info.pc, local, ctx) + 1;
         }
-        sum + if pre_pred { PRE_PRED_WEIGHT } else { -PRE_PRED_WEIGHT }
+        sum + if pre_pred {
+            PRE_PRED_WEIGHT
+        } else {
+            -PRE_PRED_WEIGHT
+        }
     }
 
     fn train_sc(&mut self, info: BranchInfo, pre_pred: bool, taken: bool, ctx: &KeyCtx) {
         let h = self.sc_hist[info.thread.index()];
         let bidx = self.bias_index(info.pc, pre_pred);
-        self.bias.update(bidx, ctx, |c| signed_update(c, BIAS_CTR_BITS, taken));
+        self.bias
+            .update(bidx, ctx, |c| signed_update(c, BIAS_CTR_BITS, taken));
         for g in &mut self.gehl_global {
             g.train(info.pc, h.ghist, taken, ctx);
         }
@@ -295,10 +307,18 @@ impl DirectionPredictor for TageScL {
         self.tage.storage_bits()
             + self.loops.storage_bits()
             + self.bias.storage_bits()
-            + self.gehl_global.iter().map(GehlTable::storage_bits).sum::<u64>()
+            + self
+                .gehl_global
+                .iter()
+                .map(GehlTable::storage_bits)
+                .sum::<u64>()
             + self.gehl_path.storage_bits()
             + self.gehl_imli.storage_bits()
-            + self.gehl_local.iter().map(GehlTable::storage_bits).sum::<u64>()
+            + self
+                .gehl_local
+                .iter()
+                .map(GehlTable::storage_bits)
+                .sum::<u64>()
             + self.local_hist.storage_bits()
     }
 

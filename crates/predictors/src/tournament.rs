@@ -80,7 +80,10 @@ impl Tournament {
         let local_pred_entries = 1usize << cfg.local_history_bits;
         let global_index_bits = (cfg.global_entries as u64).trailing_zeros();
         Tournament {
-            local_history: LocalHistoryTable::new(cfg.local_history_entries, cfg.local_history_bits),
+            local_history: LocalHistoryTable::new(
+                cfg.local_history_entries,
+                cfg.local_history_bits,
+            ),
             local_pred: PackedTable::new(
                 local_pred_entries,
                 cfg.local_ctr_bits,
@@ -96,7 +99,9 @@ impl Tournament {
                 cfg.global_ctr_bits,
                 weak_not_taken(cfg.global_ctr_bits),
             ),
-            ghr: (0..cfg.threads).map(|_| GlobalHistory::new(global_index_bits.max(1))).collect(),
+            ghr: (0..cfg.threads)
+                .map(|_| GlobalHistory::new(global_index_bits.max(1)))
+                .collect(),
             global_index_bits,
             cfg,
             last_components: None,
@@ -161,18 +166,21 @@ impl DirectionPredictor for Tournament {
                 let gidx = self.global_index(info.thread);
                 let bits = self.cfg.global_ctr_bits;
                 let global_was_right = l.global_taken == taken;
-                self.chooser.update(gidx, ctx, |c| sat_update(c, bits, global_was_right));
+                self.chooser
+                    .update(gidx, ctx, |c| sat_update(c, bits, global_was_right));
             }
         }
 
         // Train both component tables.
         let pattern = self.local_history.pattern(info.pc, ctx) as usize;
         let lbits = self.cfg.local_ctr_bits;
-        self.local_pred.update(pattern, ctx, |c| sat_update(c, lbits, taken));
+        self.local_pred
+            .update(pattern, ctx, |c| sat_update(c, lbits, taken));
 
         let gidx = self.global_index(info.thread);
         let gbits = self.cfg.global_ctr_bits;
-        self.global_pred.update(gidx, ctx, |c| sat_update(c, gbits, taken));
+        self.global_pred
+            .update(gidx, ctx, |c| sat_update(c, gbits, taken));
 
         // Update histories last (they feed the *next* prediction).
         self.local_history.record(info.pc, taken, ctx);
@@ -308,7 +316,10 @@ mod tests {
         }
         assert!(p.predict(i, &c));
         p.flush_all();
-        assert!(!p.predict(i, &c), "flushed predictor should fall back to not-taken");
+        assert!(
+            !p.predict(i, &c),
+            "flushed predictor should fall back to not-taken"
+        );
     }
 
     #[test]

@@ -11,17 +11,27 @@ use sbp_sim::{run_single_case, run_smt, CoreConfig, SwitchInterval, WorkBudget};
 use sbp_trace::{cases_single, cases_smt2, BenchmarkCase};
 
 fn main() {
-    let budget = WorkBudget { warmup: 50_000, measure: 400_000 };
+    let budget = WorkBudget {
+        warmup: 50_000,
+        measure: 400_000,
+    };
 
     println!("== per-benchmark baseline (single-core, Gshare) ==");
-    println!("{:<16} {:>8} {:>8} {:>8} {:>10}", "benchmark", "condAcc", "btbHit", "MPKI", "IPC");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10}",
+        "benchmark", "condAcc", "btbHit", "MPKI", "IPC"
+    );
     let mut seen = std::collections::BTreeSet::new();
     for c in cases_single() {
         for name in [c.target, c.background] {
             if !seen.insert(name) {
                 continue;
             }
-            let case = BenchmarkCase { id: "cal", target: name, background: "namd" };
+            let case = BenchmarkCase {
+                id: "cal",
+                target: name,
+                background: "namd",
+            };
             let s = run_single_case(
                 &case,
                 CoreConfig::fpga(),
@@ -54,12 +64,19 @@ fn main() {
                 kind,
                 Mechanism::Baseline,
                 SwitchInterval::M8,
-                WorkBudget { warmup: 100_000, measure: 600_000 },
+                WorkBudget {
+                    warmup: 100_000,
+                    measure: 600_000,
+                },
                 11,
             )
             .expect("run");
             total_mpki += r.mpki();
         }
-        println!("{:<12} avg MPKI {:>6.2}", kind.label(), total_mpki / n as f64);
+        println!(
+            "{:<12} avg MPKI {:>6.2}",
+            kind.label(),
+            total_mpki / n as f64
+        );
     }
 }

@@ -84,7 +84,8 @@ pub enum SwitchInterval {
 
 impl SwitchInterval {
     /// All three studied intervals.
-    pub const ALL: [SwitchInterval; 3] = [SwitchInterval::M4, SwitchInterval::M8, SwitchInterval::M12];
+    pub const ALL: [SwitchInterval; 3] =
+        [SwitchInterval::M4, SwitchInterval::M8, SwitchInterval::M12];
 
     /// Interval length in cycles.
     pub const fn cycles(self) -> u64 {

@@ -60,7 +60,9 @@ impl SingleCoreSim {
         seed: u64,
     ) -> Result<Self, SbpError> {
         if workloads.len() < 2 {
-            return Err(SbpError::config("need a target and at least one background workload"));
+            return Err(SbpError::config(
+                "need a target and at least one background workload",
+            ));
         }
         let contexts = workloads
             .iter()
@@ -109,13 +111,19 @@ impl SingleCoreSim {
         let ev = self.contexts[idx].gen.next_event();
         match ev {
             TraceEvent::Branch(rec) => {
-                let cycles =
-                    execute_branch(&mut self.fe, &self.cfg, hw, &rec, &mut self.contexts[idx].stats);
+                let cycles = execute_branch(
+                    &mut self.fe,
+                    &self.cfg,
+                    hw,
+                    &rec,
+                    &mut self.contexts[idx].stats,
+                );
                 self.clock += cycles;
                 (idx, true)
             }
             TraceEvent::PrivilegeSwitch(to) => {
-                self.fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
+                self.fe
+                    .handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
                 self.contexts[idx].stats.privilege_switches += 1;
                 self.clock += self.cfg.trap_overhead as f64;
                 (idx, false)
@@ -125,7 +133,8 @@ impl SingleCoreSim {
 
     fn context_switch(&mut self) {
         let hw = ThreadId::new(0);
-        self.fe.handle_event(CoreEvent::ContextSwitch { hw_thread: hw });
+        self.fe
+            .handle_event(CoreEvent::ContextSwitch { hw_thread: hw });
         self.current = (self.current + 1) % self.contexts.len();
         self.contexts[self.current].stats.context_switches += 1;
         self.clock += self.cfg.context_switch_overhead as f64;
@@ -213,7 +222,11 @@ mod tests {
         assert!(stats.instructions > 200_000);
         assert!(stats.cond_branches > 100_000);
         assert!(stats.cycles > 0);
-        assert!(stats.cond_accuracy() > 0.68, "accuracy {}", stats.cond_accuracy());
+        assert!(
+            stats.cond_accuracy() > 0.68,
+            "accuracy {}",
+            stats.cond_accuracy()
+        );
     }
 
     #[test]

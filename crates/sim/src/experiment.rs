@@ -45,7 +45,10 @@ impl WorkBudget {
 
     /// A small budget for fast tests.
     pub fn quick() -> Self {
-        WorkBudget { warmup: 20_000, measure: 200_000 }
+        WorkBudget {
+            warmup: 20_000,
+            measure: 200_000,
+        }
     }
 }
 
@@ -99,7 +102,15 @@ pub fn single_overhead(
     budget: WorkBudget,
     seed: u64,
 ) -> Result<f64, SbpError> {
-    let base = run_single_case(case, core, predictor, Mechanism::Baseline, interval, budget, seed)?;
+    let base = run_single_case(
+        case,
+        core,
+        predictor,
+        Mechanism::Baseline,
+        interval,
+        budget,
+        seed,
+    )?;
     let mech = run_single_case(case, core, predictor, mechanism, interval, budget, seed)?;
     Ok(mech.cycles as f64 / base.cycles as f64 - 1.0)
 }
@@ -136,8 +147,18 @@ pub fn smt_overhead(
     budget: WorkBudget,
     seed: u64,
 ) -> Result<f64, SbpError> {
-    let base = run_smt(workloads, core, predictor, Mechanism::Baseline, interval, budget, seed)?;
-    let mech = run_smt(workloads, core, predictor, mechanism, interval, budget, seed)?;
+    let base = run_smt(
+        workloads,
+        core,
+        predictor,
+        Mechanism::Baseline,
+        interval,
+        budget,
+        seed,
+    )?;
+    let mech = run_smt(
+        workloads, core, predictor, mechanism, interval, budget, seed,
+    )?;
     Ok(mech.cycles / base.cycles - 1.0)
 }
 
@@ -155,7 +176,11 @@ mod tests {
 
     #[test]
     fn budgets_are_positive() {
-        for b in [WorkBudget::single_default(), WorkBudget::smt_default(), WorkBudget::quick()] {
+        for b in [
+            WorkBudget::single_default(),
+            WorkBudget::smt_default(),
+            WorkBudget::quick(),
+        ] {
             assert!(b.measure > 0);
         }
     }

@@ -34,8 +34,6 @@ pub mod timing;
 
 pub use config::{CoreConfig, SwitchInterval};
 pub use core::SingleCoreSim;
-pub use experiment::{
-    run_single_case, run_smt, scale, single_overhead, smt_overhead, WorkBudget,
-};
+pub use experiment::{run_single_case, run_smt, scale, single_overhead, smt_overhead, WorkBudget};
 pub use smt::{SmtResult, SmtSim};
 pub use timing::execute_branch;

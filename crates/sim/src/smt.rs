@@ -85,7 +85,9 @@ impl SmtSim {
         seed: u64,
     ) -> Result<Self, SbpError> {
         if workloads.len() < 2 {
-            return Err(SbpError::config("an SMT core needs at least two hardware threads"));
+            return Err(SbpError::config(
+                "an SMT core needs at least two hardware threads",
+            ));
         }
         let threads = workloads
             .iter()
@@ -106,8 +108,7 @@ impl SmtSim {
                     // real timer interrupts are not synchronized between
                     // hardware threads, and coinciding flushes would
                     // under-charge Complete Flush.
-                    next_switch: interval.cycles() as f64 * (i + 1) as f64
-                        / workloads.len() as f64,
+                    next_switch: interval.cycles() as f64 * (i + 1) as f64 / workloads.len() as f64,
                 })
             })
             .collect::<Result<Vec<_>, SbpError>>()?;
@@ -140,7 +141,8 @@ impl SmtSim {
 
         // Timer interrupt on this hardware thread.
         if self.interval != u64::MAX && self.threads[idx].clock >= self.threads[idx].next_switch {
-            self.fe.handle_event(CoreEvent::ContextSwitch { hw_thread: hw });
+            self.fe
+                .handle_event(CoreEvent::ContextSwitch { hw_thread: hw });
             self.threads[idx].stats.context_switches += 1;
             self.threads[idx].clock += self.cfg.context_switch_overhead as f64;
             let iv = self.interval as f64;
@@ -156,7 +158,8 @@ impl SmtSim {
                 t.stats.instructions - before
             }
             TraceEvent::PrivilegeSwitch(to) => {
-                self.fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
+                self.fe
+                    .handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
                 let t = &mut self.threads[idx];
                 t.stats.privilege_switches += 1;
                 t.clock += self.cfg.trap_overhead as f64;

@@ -167,7 +167,10 @@ mod tests {
         let mut fresh = PredictionStats::new();
         let cycles = execute_branch(&mut fe, &cfg, t0(), &rec, &mut fresh);
         assert_eq!(fresh.cond_mispredicts, 0, "trained branch mispredicted");
-        assert!((cycles - 0.5).abs() < 1e-9, "penalty-free cost, got {cycles}");
+        assert!(
+            (cycles - 0.5).abs() < 1e-9,
+            "penalty-free cost, got {cycles}"
+        );
     }
 
     #[test]
@@ -228,7 +231,8 @@ mod tests {
         assert_eq!(stats.indirect_mispredicts, 1);
         assert!((c2 - 0.5).abs() < 1e-9);
         // Target change: wrong-target misprediction.
-        let ind2 = BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x4000), 0);
+        let ind2 =
+            BranchRecord::taken(Pc::new(0x700), BranchKind::IndirectJump, Pc::new(0x4000), 0);
         let c3 = execute_branch(&mut fe, &cfg, t0(), &ind2, &mut stats);
         assert_eq!(stats.indirect_mispredicts, 2);
         assert_eq!(stats.btb_wrong_target, 1);

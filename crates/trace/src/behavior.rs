@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn pattern_repeats() {
-        let b = BranchBehavior::Pattern { bits: vec![true, false, false] };
+        let b = BranchBehavior::Pattern {
+            bits: vec![true, false, false],
+        };
         let mut rng = Xoshiro256::new(4);
         let mut st = 0;
         let seq: Vec<bool> = (0..6).map(|_| b.next(&mut st, 0, &mut rng)).collect();
@@ -133,13 +135,19 @@ mod tests {
 
     #[test]
     fn correlated_copies_history_bit() {
-        let b = BranchBehavior::Correlated { lag: 2, invert: false };
+        let b = BranchBehavior::Correlated {
+            lag: 2,
+            invert: false,
+        };
         let mut rng = Xoshiro256::new(5);
         let mut st = 0;
         // recent = ...0100: bit 2 is 1.
         assert!(b.next(&mut st, 0b100, &mut rng));
         assert!(!b.next(&mut st, 0b011, &mut rng));
-        let inv = BranchBehavior::Correlated { lag: 2, invert: true };
+        let inv = BranchBehavior::Correlated {
+            lag: 2,
+            invert: true,
+        };
         assert!(!inv.next(&mut st, 0b100, &mut rng));
     }
 }

@@ -117,13 +117,23 @@ pub fn decode_trace(mut data: &[u8]) -> Result<Vec<TraceEvent>, SbpError> {
                 let taken = data.get_u8() != 0;
                 let target = Pc::new(data.get_u64());
                 let gap = data.get_u32();
-                events.push(TraceEvent::Branch(BranchRecord { pc, kind, taken, target, gap }));
+                events.push(TraceEvent::Branch(BranchRecord {
+                    pc,
+                    kind,
+                    taken,
+                    target,
+                    gap,
+                }));
             }
             1 => {
                 if data.remaining() < 1 {
                     return Err(SbpError::trace(format!("truncated switch at event {i}")));
                 }
-                let p = if data.get_u8() != 0 { Privilege::Kernel } else { Privilege::User };
+                let p = if data.get_u8() != 0 {
+                    Privilege::Kernel
+                } else {
+                    Privilege::User
+                };
                 events.push(TraceEvent::PrivilegeSwitch(p));
             }
             t => return Err(SbpError::trace(format!("unknown event tag {t}"))),
@@ -141,8 +151,9 @@ mod tests {
     #[test]
     fn roundtrip_generated_trace() {
         let p = WorkloadProfile::by_name("povray").unwrap();
-        let events: Vec<TraceEvent> =
-            TraceGenerator::new(&p, 0x2000_0000, 9).take(10_000).collect();
+        let events: Vec<TraceEvent> = TraceGenerator::new(&p, 0x2000_0000, 9)
+            .take(10_000)
+            .collect();
         let bytes = encode_trace(&events);
         let decoded = decode_trace(&bytes).expect("decode");
         assert_eq!(decoded, events);
@@ -179,16 +190,21 @@ mod tests {
     #[test]
     fn all_kinds_roundtrip() {
         use sbp_types::BranchKind::*;
-        let events: Vec<TraceEvent> = [Conditional, DirectJump, IndirectJump, Call, IndirectCall, Return]
-            .iter()
-            .map(|&k| {
-                TraceEvent::Branch(BranchRecord::taken(Pc::new(0x10), k, Pc::new(0x20), 1))
-            })
-            .chain([
-                TraceEvent::PrivilegeSwitch(Privilege::Kernel),
-                TraceEvent::PrivilegeSwitch(Privilege::User),
-            ])
-            .collect();
+        let events: Vec<TraceEvent> = [
+            Conditional,
+            DirectJump,
+            IndirectJump,
+            Call,
+            IndirectCall,
+            Return,
+        ]
+        .iter()
+        .map(|&k| TraceEvent::Branch(BranchRecord::taken(Pc::new(0x10), k, Pc::new(0x20), 1)))
+        .chain([
+            TraceEvent::PrivilegeSwitch(Privilege::Kernel),
+            TraceEvent::PrivilegeSwitch(Privilege::User),
+        ])
+        .collect();
         assert_eq!(decode_trace(&encode_trace(&events)).unwrap(), events);
     }
 }

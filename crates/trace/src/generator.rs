@@ -201,7 +201,11 @@ mod tests {
                 TraceEvent::PrivilegeSwitch(Privilege::User) => in_kernel = false,
                 TraceEvent::Branch(r) if in_kernel => {
                     seen_kernel_branches += 1;
-                    assert!(r.pc.addr() >= 0x8000_0000, "kernel branch at {:#x}", r.pc.addr());
+                    assert!(
+                        r.pc.addr() >= 0x8000_0000,
+                        "kernel branch at {:#x}",
+                        r.pc.addr()
+                    );
                 }
                 TraceEvent::Branch(_) => {}
             }

@@ -33,12 +33,19 @@ pub struct BehaviorMix {
 impl BehaviorMix {
     /// Validates that the fractions form a distribution.
     pub fn is_normalized(&self) -> bool {
-        let sum = self.always + self.biased + self.random + self.loops + self.pattern
-            + self.correlated;
+        let sum =
+            self.always + self.biased + self.random + self.loops + self.pattern + self.correlated;
         (sum - 1.0).abs() < 1e-6
-            && [self.always, self.biased, self.random, self.loops, self.pattern, self.correlated]
-                .iter()
-                .all(|&f| (0.0..=1.0).contains(&f))
+            && [
+                self.always,
+                self.biased,
+                self.random,
+                self.loops,
+                self.pattern,
+                self.correlated,
+            ]
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f))
     }
 }
 
@@ -168,7 +175,14 @@ fn mix(
     pattern: f64,
     correlated: f64,
 ) -> BehaviorMix {
-    BehaviorMix { always, biased, random, loops, pattern, correlated }
+    BehaviorMix {
+        always,
+        biased,
+        random,
+        loops,
+        pattern,
+        correlated,
+    }
 }
 
 /// All benchmark profiles (Table 3 population).
@@ -189,30 +203,270 @@ fn mix(
 pub fn registry() -> Vec<WorkloadProfile> {
     vec![
         //       name            sites  mix(always biased random loops pattern corr)  trips    ind tgt  cond%   sys/Mi  loc
-        profile("gcc", 2600, mix(0.26, 0.26, 0.10, 0.12, 0.13, 0.13), (3, 40), 90, 5, 0.121, 10.0, 0.55),
-        profile("calculix", 1400, mix(0.32, 0.26, 0.06, 0.16, 0.10, 0.10), (4, 60), 40, 3, 0.081, 6.6, 0.65),
-        profile("milc", 420, mix(0.32, 0.18, 0.04, 0.30, 0.08, 0.08), (8, 120), 24, 3, 0.070, 5.1, 0.75),
-        profile("povray", 1500, mix(0.18, 0.26, 0.14, 0.10, 0.16, 0.16), (3, 24), 110, 6, 0.110, 18.7, 0.55),
-        profile("bzip2_source", 700, mix(0.24, 0.30, 0.10, 0.12, 0.13, 0.11), (4, 48), 18, 2, 0.115, 3.1, 0.70),
-        profile("soplex", 1000, mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11), (4, 60), 40, 4, 0.095, 3.3, 0.65),
-        profile("namd", 500, mix(0.40, 0.24, 0.04, 0.20, 0.06, 0.06), (8, 100), 20, 2, 0.055, 2.6, 0.75),
-        profile("sphinx3", 900, mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11), (4, 40), 34, 3, 0.090, 4.2, 0.65),
-        profile("hmmer", 480, mix(0.32, 0.28, 0.05, 0.20, 0.09, 0.06), (6, 80), 14, 2, 0.078, 2.7, 0.75),
-        profile("GemsFDTD", 520, mix(0.36, 0.22, 0.05, 0.22, 0.09, 0.06), (10, 140), 16, 2, 0.076, 3.0, 0.75),
-        profile("gobmk", 2400, mix(0.20, 0.26, 0.14, 0.10, 0.14, 0.16), (3, 24), 130, 6, 0.118, 2.8, 0.45),
-        profile("libquantum", 140, mix(0.42, 0.12, 0.02, 0.34, 0.06, 0.04), (16, 200), 6, 2, 0.130, 2.6, 0.85),
-        profile("gromacs", 520, mix(0.26, 0.24, 0.12, 0.12, 0.13, 0.13), (4, 48), 20, 2, 0.048, 2.7, 0.70),
-        profile("mcf", 320, mix(0.24, 0.26, 0.12, 0.12, 0.13, 0.13), (4, 40), 10, 2, 0.105, 3.8, 0.75),
-        profile("astar", 420, mix(0.26, 0.28, 0.11, 0.12, 0.12, 0.11), (4, 40), 12, 2, 0.100, 3.2, 0.70),
-        profile("perlbench", 1900, mix(0.24, 0.26, 0.09, 0.10, 0.15, 0.16), (3, 32), 150, 8, 0.120, 8.2, 0.50),
-        profile("bwaves", 380, mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05), (12, 160), 10, 2, 0.065, 3.6, 0.80),
-        profile("zeusmp", 460, mix(0.36, 0.22, 0.05, 0.24, 0.07, 0.06), (10, 120), 14, 2, 0.070, 3.0, 0.75),
-        profile("lbm", 160, mix(0.44, 0.16, 0.03, 0.28, 0.05, 0.04), (20, 240), 6, 2, 0.045, 2.4, 0.85),
-        profile("dealII", 1100, mix(0.28, 0.26, 0.07, 0.14, 0.13, 0.12), (4, 48), 70, 5, 0.105, 3.4, 0.60),
-        profile("leslie3d", 420, mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05), (12, 140), 10, 2, 0.060, 2.9, 0.80),
-        profile("sjeng", 1300, mix(0.22, 0.26, 0.13, 0.10, 0.14, 0.15), (3, 28), 60, 5, 0.112, 3.3, 0.55),
-        profile("h264ref", 1500, mix(0.26, 0.28, 0.08, 0.14, 0.13, 0.11), (4, 40), 80, 5, 0.095, 3.5, 0.60),
-        profile("omnetpp", 1200, mix(0.24, 0.24, 0.10, 0.10, 0.16, 0.16), (3, 32), 90, 6, 0.115, 4.4, 0.55),
+        profile(
+            "gcc",
+            2600,
+            mix(0.26, 0.26, 0.10, 0.12, 0.13, 0.13),
+            (3, 40),
+            90,
+            5,
+            0.121,
+            10.0,
+            0.55,
+        ),
+        profile(
+            "calculix",
+            1400,
+            mix(0.32, 0.26, 0.06, 0.16, 0.10, 0.10),
+            (4, 60),
+            40,
+            3,
+            0.081,
+            6.6,
+            0.65,
+        ),
+        profile(
+            "milc",
+            420,
+            mix(0.32, 0.18, 0.04, 0.30, 0.08, 0.08),
+            (8, 120),
+            24,
+            3,
+            0.070,
+            5.1,
+            0.75,
+        ),
+        profile(
+            "povray",
+            1500,
+            mix(0.18, 0.26, 0.14, 0.10, 0.16, 0.16),
+            (3, 24),
+            110,
+            6,
+            0.110,
+            18.7,
+            0.55,
+        ),
+        profile(
+            "bzip2_source",
+            700,
+            mix(0.24, 0.30, 0.10, 0.12, 0.13, 0.11),
+            (4, 48),
+            18,
+            2,
+            0.115,
+            3.1,
+            0.70,
+        ),
+        profile(
+            "soplex",
+            1000,
+            mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11),
+            (4, 60),
+            40,
+            4,
+            0.095,
+            3.3,
+            0.65,
+        ),
+        profile(
+            "namd",
+            500,
+            mix(0.40, 0.24, 0.04, 0.20, 0.06, 0.06),
+            (8, 100),
+            20,
+            2,
+            0.055,
+            2.6,
+            0.75,
+        ),
+        profile(
+            "sphinx3",
+            900,
+            mix(0.28, 0.26, 0.08, 0.14, 0.13, 0.11),
+            (4, 40),
+            34,
+            3,
+            0.090,
+            4.2,
+            0.65,
+        ),
+        profile(
+            "hmmer",
+            480,
+            mix(0.32, 0.28, 0.05, 0.20, 0.09, 0.06),
+            (6, 80),
+            14,
+            2,
+            0.078,
+            2.7,
+            0.75,
+        ),
+        profile(
+            "GemsFDTD",
+            520,
+            mix(0.36, 0.22, 0.05, 0.22, 0.09, 0.06),
+            (10, 140),
+            16,
+            2,
+            0.076,
+            3.0,
+            0.75,
+        ),
+        profile(
+            "gobmk",
+            2400,
+            mix(0.20, 0.26, 0.14, 0.10, 0.14, 0.16),
+            (3, 24),
+            130,
+            6,
+            0.118,
+            2.8,
+            0.45,
+        ),
+        profile(
+            "libquantum",
+            140,
+            mix(0.42, 0.12, 0.02, 0.34, 0.06, 0.04),
+            (16, 200),
+            6,
+            2,
+            0.130,
+            2.6,
+            0.85,
+        ),
+        profile(
+            "gromacs",
+            520,
+            mix(0.26, 0.24, 0.12, 0.12, 0.13, 0.13),
+            (4, 48),
+            20,
+            2,
+            0.048,
+            2.7,
+            0.70,
+        ),
+        profile(
+            "mcf",
+            320,
+            mix(0.24, 0.26, 0.12, 0.12, 0.13, 0.13),
+            (4, 40),
+            10,
+            2,
+            0.105,
+            3.8,
+            0.75,
+        ),
+        profile(
+            "astar",
+            420,
+            mix(0.26, 0.28, 0.11, 0.12, 0.12, 0.11),
+            (4, 40),
+            12,
+            2,
+            0.100,
+            3.2,
+            0.70,
+        ),
+        profile(
+            "perlbench",
+            1900,
+            mix(0.24, 0.26, 0.09, 0.10, 0.15, 0.16),
+            (3, 32),
+            150,
+            8,
+            0.120,
+            8.2,
+            0.50,
+        ),
+        profile(
+            "bwaves",
+            380,
+            mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05),
+            (12, 160),
+            10,
+            2,
+            0.065,
+            3.6,
+            0.80,
+        ),
+        profile(
+            "zeusmp",
+            460,
+            mix(0.36, 0.22, 0.05, 0.24, 0.07, 0.06),
+            (10, 120),
+            14,
+            2,
+            0.070,
+            3.0,
+            0.75,
+        ),
+        profile(
+            "lbm",
+            160,
+            mix(0.44, 0.16, 0.03, 0.28, 0.05, 0.04),
+            (20, 240),
+            6,
+            2,
+            0.045,
+            2.4,
+            0.85,
+        ),
+        profile(
+            "dealII",
+            1100,
+            mix(0.28, 0.26, 0.07, 0.14, 0.13, 0.12),
+            (4, 48),
+            70,
+            5,
+            0.105,
+            3.4,
+            0.60,
+        ),
+        profile(
+            "leslie3d",
+            420,
+            mix(0.38, 0.22, 0.04, 0.26, 0.05, 0.05),
+            (12, 140),
+            10,
+            2,
+            0.060,
+            2.9,
+            0.80,
+        ),
+        profile(
+            "sjeng",
+            1300,
+            mix(0.22, 0.26, 0.13, 0.10, 0.14, 0.15),
+            (3, 28),
+            60,
+            5,
+            0.112,
+            3.3,
+            0.55,
+        ),
+        profile(
+            "h264ref",
+            1500,
+            mix(0.26, 0.28, 0.08, 0.14, 0.13, 0.11),
+            (4, 40),
+            80,
+            5,
+            0.095,
+            3.5,
+            0.60,
+        ),
+        profile(
+            "omnetpp",
+            1200,
+            mix(0.24, 0.24, 0.10, 0.10, 0.16, 0.16),
+            (3, 32),
+            90,
+            6,
+            0.115,
+            4.4,
+            0.55,
+        ),
     ]
 }
 
@@ -231,18 +485,66 @@ pub struct BenchmarkCase {
 /// pairs for the FPGA experiments.
 pub fn cases_single() -> [BenchmarkCase; 12] {
     [
-        BenchmarkCase { id: "case1", target: "gcc", background: "calculix" },
-        BenchmarkCase { id: "case2", target: "milc", background: "povray" },
-        BenchmarkCase { id: "case3", target: "bzip2_source", background: "soplex" },
-        BenchmarkCase { id: "case4", target: "namd", background: "sphinx3" },
-        BenchmarkCase { id: "case5", target: "hmmer", background: "GemsFDTD" },
-        BenchmarkCase { id: "case6", target: "gobmk", background: "libquantum" },
-        BenchmarkCase { id: "case7", target: "gromacs", background: "GemsFDTD" },
-        BenchmarkCase { id: "case8", target: "mcf", background: "astar" },
-        BenchmarkCase { id: "case9", target: "soplex", background: "hmmer" },
-        BenchmarkCase { id: "case10", target: "libquantum", background: "calculix" },
-        BenchmarkCase { id: "case11", target: "mcf", background: "perlbench" },
-        BenchmarkCase { id: "case12", target: "bwaves", background: "namd" },
+        BenchmarkCase {
+            id: "case1",
+            target: "gcc",
+            background: "calculix",
+        },
+        BenchmarkCase {
+            id: "case2",
+            target: "milc",
+            background: "povray",
+        },
+        BenchmarkCase {
+            id: "case3",
+            target: "bzip2_source",
+            background: "soplex",
+        },
+        BenchmarkCase {
+            id: "case4",
+            target: "namd",
+            background: "sphinx3",
+        },
+        BenchmarkCase {
+            id: "case5",
+            target: "hmmer",
+            background: "GemsFDTD",
+        },
+        BenchmarkCase {
+            id: "case6",
+            target: "gobmk",
+            background: "libquantum",
+        },
+        BenchmarkCase {
+            id: "case7",
+            target: "gromacs",
+            background: "GemsFDTD",
+        },
+        BenchmarkCase {
+            id: "case8",
+            target: "mcf",
+            background: "astar",
+        },
+        BenchmarkCase {
+            id: "case9",
+            target: "soplex",
+            background: "hmmer",
+        },
+        BenchmarkCase {
+            id: "case10",
+            target: "libquantum",
+            background: "calculix",
+        },
+        BenchmarkCase {
+            id: "case11",
+            target: "mcf",
+            background: "perlbench",
+        },
+        BenchmarkCase {
+            id: "case12",
+            target: "bwaves",
+            background: "namd",
+        },
     ]
 }
 
@@ -250,18 +552,66 @@ pub fn cases_single() -> [BenchmarkCase; 12] {
 /// experiments.
 pub fn cases_smt2() -> [BenchmarkCase; 12] {
     [
-        BenchmarkCase { id: "case1", target: "zeusmp", background: "lbm" },
-        BenchmarkCase { id: "case2", target: "zeusmp", background: "dealII" },
-        BenchmarkCase { id: "case3", target: "bwaves", background: "milc" },
-        BenchmarkCase { id: "case4", target: "leslie3d", background: "gromacs" },
-        BenchmarkCase { id: "case5", target: "dealII", background: "sjeng" },
-        BenchmarkCase { id: "case6", target: "gromacs", background: "astar" },
-        BenchmarkCase { id: "case7", target: "gobmk", background: "h264ref" },
-        BenchmarkCase { id: "case8", target: "libquantum", background: "milc" },
-        BenchmarkCase { id: "case9", target: "gobmk", background: "gromacs" },
-        BenchmarkCase { id: "case10", target: "milc", background: "bzip2_source" },
-        BenchmarkCase { id: "case11", target: "libquantum", background: "omnetpp" },
-        BenchmarkCase { id: "case12", target: "zeusmp", background: "gobmk" },
+        BenchmarkCase {
+            id: "case1",
+            target: "zeusmp",
+            background: "lbm",
+        },
+        BenchmarkCase {
+            id: "case2",
+            target: "zeusmp",
+            background: "dealII",
+        },
+        BenchmarkCase {
+            id: "case3",
+            target: "bwaves",
+            background: "milc",
+        },
+        BenchmarkCase {
+            id: "case4",
+            target: "leslie3d",
+            background: "gromacs",
+        },
+        BenchmarkCase {
+            id: "case5",
+            target: "dealII",
+            background: "sjeng",
+        },
+        BenchmarkCase {
+            id: "case6",
+            target: "gromacs",
+            background: "astar",
+        },
+        BenchmarkCase {
+            id: "case7",
+            target: "gobmk",
+            background: "h264ref",
+        },
+        BenchmarkCase {
+            id: "case8",
+            target: "libquantum",
+            background: "milc",
+        },
+        BenchmarkCase {
+            id: "case9",
+            target: "gobmk",
+            background: "gromacs",
+        },
+        BenchmarkCase {
+            id: "case10",
+            target: "milc",
+            background: "bzip2_source",
+        },
+        BenchmarkCase {
+            id: "case11",
+            target: "libquantum",
+            background: "omnetpp",
+        },
+        BenchmarkCase {
+            id: "case12",
+            target: "zeusmp",
+            background: "gobmk",
+        },
     ]
 }
 
@@ -275,7 +625,12 @@ pub fn cases_smt4() -> [[&'static str; 4]; 6] {
         [p[4].target, p[4].background, p[5].target, p[5].background],
         [p[6].target, p[6].background, p[7].target, p[7].background],
         [p[8].target, p[8].background, p[9].target, p[9].background],
-        [p[10].target, p[10].background, p[11].target, p[11].background],
+        [
+            p[10].target,
+            p[10].background,
+            p[11].target,
+            p[11].background,
+        ],
     ]
 }
 
@@ -289,8 +644,16 @@ mod tests {
             assert!(p.mix.is_normalized(), "{}: mix not normalized", p.name);
             assert!(p.cond_sites > 0, "{}", p.name);
             assert!(p.mean_gap > 0.0, "{}", p.name);
-            assert!(p.cond_fraction + p.indirect_fraction + p.call_fraction < 1.0, "{}", p.name);
-            assert!(p.loop_trips.0 >= 1 && p.loop_trips.0 <= p.loop_trips.1, "{}", p.name);
+            assert!(
+                p.cond_fraction + p.indirect_fraction + p.call_fraction < 1.0,
+                "{}",
+                p.name
+            );
+            assert!(
+                p.loop_trips.0 >= 1 && p.loop_trips.0 <= p.loop_trips.1,
+                "{}",
+                p.name
+            );
             assert!(p.targets_per_indirect >= 1, "{}", p.name);
         }
     }
@@ -309,7 +672,11 @@ mod tests {
     fn all_case_benchmarks_resolve() {
         for c in cases_single().iter().chain(cases_smt2().iter()) {
             assert!(WorkloadProfile::by_name(c.target).is_ok(), "{}", c.target);
-            assert!(WorkloadProfile::by_name(c.background).is_ok(), "{}", c.background);
+            assert!(
+                WorkloadProfile::by_name(c.background).is_ok(),
+                "{}",
+                c.background
+            );
         }
         for quad in cases_smt4() {
             for name in quad {
@@ -328,7 +695,10 @@ mod tests {
     fn kernel_profile_is_well_formed() {
         let k = WorkloadProfile::kernel();
         assert!(k.mix.is_normalized());
-        assert_eq!(k.syscalls_per_minstr, 0.0, "the kernel itself makes no syscalls");
+        assert_eq!(
+            k.syscalls_per_minstr, 0.0,
+            "the kernel itself makes no syscalls"
+        );
     }
 
     #[test]

@@ -90,7 +90,12 @@ impl ProgramModel {
             let backward = rng.chance(0.45);
             let target = pc.offset(if backward { -delta } else { delta });
             let behavior = draw_behavior(profile, &mut rng);
-            cond.push(CondSite { pc, target, behavior, state: 0 });
+            cond.push(CondSite {
+                pc,
+                target,
+                behavior,
+                state: 0,
+            });
         }
 
         let mut indirect = Vec::with_capacity(profile.indirect_sites);
@@ -107,7 +112,10 @@ impl ProgramModel {
         }
 
         let calls = (0..profile.call_sites.max(1))
-            .map(|_| CallSite { pc: alloc_pc(&mut rng), entry: alloc_pc(&mut rng) })
+            .map(|_| CallSite {
+                pc: alloc_pc(&mut rng),
+                entry: alloc_pc(&mut rng),
+            })
             .collect();
 
         // Zipf-ish popularity over sites: weight(rank) = 1/(rank+1)^loc.
@@ -176,8 +184,10 @@ impl ProgramModel {
             if !self.rng.chance(self.path_stickiness) {
                 let total = *self.path_cdf.last().expect("non-empty path list");
                 let x = self.rng.next_f64() * total;
-                self.current_path =
-                    self.path_cdf.partition_point(|&c| c < x).min(self.paths.len() - 1);
+                self.current_path = self
+                    .path_cdf
+                    .partition_point(|&c| c < x)
+                    .min(self.paths.len() - 1);
             }
         }
         site
@@ -204,9 +214,11 @@ impl ProgramModel {
         if x < self.cond_fraction {
             let idx = self.pick_cond();
             let site = &mut self.cond[idx];
-            let taken = site.behavior.next(&mut site.state, self.recent, &mut self.rng);
+            let taken = site
+                .behavior
+                .next(&mut site.state, self.recent, &mut self.rng);
             self.recent = (self.recent << 1) | taken as u64;
-            
+
             if taken {
                 BranchRecord::taken(site.pc, BranchKind::Conditional, site.target, gap)
             } else {
@@ -225,7 +237,8 @@ impl ProgramModel {
         {
             let site = self.calls[self.rng.pick_index(self.calls.len())];
             let body_branches = 2 + self.rng.next_below(24) as u32;
-            self.call_stack.push((site.pc.fall_through(), body_branches));
+            self.call_stack
+                .push((site.pc.fall_through(), body_branches));
             BranchRecord::taken(site.pc, BranchKind::Call, site.entry, gap)
         } else {
             // Direct jump filler.
@@ -279,7 +292,10 @@ fn draw_behavior(profile: &WorkloadProfile, rng: &mut Xoshiro256) -> BranchBehav
         let bits = (0..period).map(|_| rng.chance(0.5)).collect();
         return BranchBehavior::Pattern { bits };
     }
-    BranchBehavior::Correlated { lag: 1 + rng.next_below(8) as u32, invert: rng.chance(0.5) }
+    BranchBehavior::Correlated {
+        lag: 1 + rng.next_below(8) as u32,
+        invert: rng.chance(0.5),
+    }
 }
 
 #[cfg(test)]
@@ -305,9 +321,15 @@ mod tests {
     fn branch_kind_fractions_are_close_to_profile() {
         let p = WorkloadProfile::by_name("gcc").unwrap();
         let recs: Vec<BranchRecord> = model("gcc", 3).take(50_000).collect();
-        let cond = recs.iter().filter(|r| r.kind == BranchKind::Conditional).count();
+        let cond = recs
+            .iter()
+            .filter(|r| r.kind == BranchKind::Conditional)
+            .count();
         let frac = cond as f64 / recs.len() as f64;
-        assert!((frac - p.cond_fraction).abs() < 0.06, "cond fraction {frac}");
+        assert!(
+            (frac - p.cond_fraction).abs() < 0.06,
+            "cond fraction {frac}"
+        );
     }
 
     #[test]
@@ -316,7 +338,10 @@ mod tests {
         let calls = recs.iter().filter(|r| r.kind.pushes_ras()).count() as i64;
         let rets = recs.iter().filter(|r| r.kind.pops_ras()).count() as i64;
         assert!(calls > 100, "calls={calls}");
-        assert!((calls - rets).abs() <= MAX_CALL_DEPTH as i64, "calls={calls} rets={rets}");
+        assert!(
+            (calls - rets).abs() <= MAX_CALL_DEPTH as i64,
+            "calls={calls} rets={rets}"
+        );
     }
 
     #[test]
@@ -359,8 +384,10 @@ mod tests {
         // Conditional branches in real integer code are taken ~60-75% of
         // the time; our mixes should land in a sane band.
         let recs: Vec<BranchRecord> = model("gcc", 17).take(50_000).collect();
-        let cond: Vec<&BranchRecord> =
-            recs.iter().filter(|r| r.kind == BranchKind::Conditional).collect();
+        let cond: Vec<&BranchRecord> = recs
+            .iter()
+            .filter(|r| r.kind == BranchKind::Conditional)
+            .collect();
         let taken = cond.iter().filter(|r| r.taken).count() as f64 / cond.len() as f64;
         assert!((0.45..0.9).contains(&taken), "taken rate {taken}");
     }

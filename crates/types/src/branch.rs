@@ -102,7 +102,13 @@ pub struct BranchRecord {
 impl BranchRecord {
     /// Creates a taken branch record.
     pub const fn taken(pc: Pc, kind: BranchKind, target: Pc, gap: u32) -> Self {
-        BranchRecord { pc, kind, taken: true, target, gap }
+        BranchRecord {
+            pc,
+            kind,
+            taken: true,
+            target,
+            gap,
+        }
     }
 
     /// Creates a not-taken conditional branch record.

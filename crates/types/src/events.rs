@@ -50,10 +50,15 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let cs = CoreEvent::ContextSwitch { hw_thread: ThreadId::new(1) };
+        let cs = CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(1),
+        };
         assert_eq!(cs.hw_thread(), ThreadId::new(1));
         assert!(cs.is_context_switch());
-        let ps = CoreEvent::PrivilegeSwitch { hw_thread: ThreadId::new(0), to: Privilege::Kernel };
+        let ps = CoreEvent::PrivilegeSwitch {
+            hw_thread: ThreadId::new(0),
+            to: Privilege::Kernel,
+        };
         assert_eq!(ps.hw_thread(), ThreadId::new(0));
         assert!(!ps.is_context_switch());
     }

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.index(), 1);
 /// assert_eq!(format!("{t}"), "T1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ThreadId(u8);
 
 impl ThreadId {
@@ -49,7 +51,9 @@ impl From<u8> for ThreadId {
 /// The isolation mechanisms refresh the thread-private keys on every
 /// privilege transition so that user and kernel execution of the *same*
 /// software thread cannot observe each other's predictor state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum Privilege {
     /// User mode.
     #[default]
@@ -87,7 +91,9 @@ impl fmt::Display for Privilege {
 /// Instructions are assumed 4-byte aligned (RISC-V RV64 without compressed
 /// instructions, matching the paper's BOOM prototype), so index extraction
 /// helpers drop the two low bits first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Pc(u64);
 
 impl Pc {

@@ -53,7 +53,10 @@ impl KeyPair {
     /// The all-zero pair used by the baseline (encoding with zero keys is
     /// the identity for every codec).
     pub const fn zero() -> Self {
-        KeyPair { content: 0, index: 0 }
+        KeyPair {
+            content: 0,
+            index: 0,
+        }
     }
 }
 
@@ -259,7 +262,8 @@ impl KeyCtx {
         if !self.content_enabled {
             return word & mask_u64(width);
         }
-        self.codec.encode(word, self.key_slice(entry_index, width), width)
+        self.codec
+            .encode(word, self.key_slice(entry_index, width), width)
     }
 
     /// Decodes a `width`-bit word read from physical index `entry_index`.
@@ -268,7 +272,8 @@ impl KeyCtx {
         if !self.content_enabled {
             return word & mask_u64(width);
         }
-        self.codec.decode(word, self.key_slice(entry_index, width), width)
+        self.codec
+            .decode(word, self.key_slice(entry_index, width), width)
     }
 
     /// Returns a copy with fresh keys (the rekey operation performed by
@@ -325,7 +330,10 @@ mod tests {
     #[test]
     fn zero_key_xor_is_identity() {
         for &w in &WIDTHS {
-            assert_eq!(Codec::Xor.encode(0x5a5a_5a5a & mask_u64(w), 0, w), 0x5a5a_5a5a & mask_u64(w));
+            assert_eq!(
+                Codec::Xor.encode(0x5a5a_5a5a & mask_u64(w), 0, w),
+                0x5a5a_5a5a & mask_u64(w)
+            );
         }
     }
 

@@ -165,8 +165,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = PredictionStats { instructions: 10, cond_branches: 2, ..Default::default() };
-        let b = PredictionStats { instructions: 5, cond_mispredicts: 1, ..Default::default() };
+        let mut a = PredictionStats {
+            instructions: 10,
+            cond_branches: 2,
+            ..Default::default()
+        };
+        let b = PredictionStats {
+            instructions: 5,
+            cond_mispredicts: 1,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.instructions, 15);
         assert_eq!(a.cond_branches, 2);

@@ -28,7 +28,9 @@ pub struct OwnerTags {
 impl OwnerTags {
     /// Creates a tag array for `len` entries, all unowned.
     pub fn new(len: usize) -> Self {
-        OwnerTags { tags: vec![NO_OWNER; len] }
+        OwnerTags {
+            tags: vec![NO_OWNER; len],
+        }
     }
 
     /// Records `thread` as the owner of `index`.
@@ -108,7 +110,10 @@ impl PackedTable {
     pub fn new(len: usize, width: u32, reset_value: u64) -> Self {
         assert!(len.is_power_of_two(), "table length must be a power of two");
         assert!((1..=64).contains(&width), "entry width must be 1..=64");
-        assert!(reset_value <= mask_u64(width), "reset value wider than entry");
+        assert!(
+            reset_value <= mask_u64(width),
+            "reset value wider than entry"
+        );
         PackedTable {
             width,
             index_bits: len.trailing_zeros(),
@@ -261,7 +266,10 @@ impl PackedTable {
     /// Counts entries currently equal to the reset value (a warm-up/flush
     /// observability helper used by tests and experiments).
     pub fn count_reset_entries(&self) -> usize {
-        self.entries.iter().filter(|&&e| e == self.reset_value).count()
+        self.entries
+            .iter()
+            .filter(|&&e| e == self.reset_value)
+            .count()
     }
 }
 

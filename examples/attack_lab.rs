@@ -7,7 +7,12 @@ use secure_bp::attack::{BranchScope, JumpAslr, ReferenceBranchScope, Sbpa, Spect
 use secure_bp::isolation::Mechanism;
 
 fn main() {
-    let trials = 2_000;
+    run(2_000, 25);
+}
+
+/// The example's whole main path, parameterized on the trial counts so the
+/// smoke tests (`tests/examples_smoke.rs`) can run it at reduced scale.
+pub fn run(trials: u64, aslr_trials: u64) {
     let mechanisms = [
         Mechanism::Baseline,
         Mechanism::CompleteFlush,
@@ -18,13 +23,27 @@ fn main() {
     println!("== Spectre-v2 malicious BTB training (single-threaded core) ==");
     for mech in mechanisms {
         let out = SpectreV2::new(mech, false).run(trials, 7);
-        println!("{:<16} success {:>6.2}%  -> {}", mech.label(), out.success_rate * 100.0, out.verdict());
+        println!(
+            "{:<16} success {:>6.2}%  -> {}",
+            mech.label(),
+            out.success_rate * 100.0,
+            out.verdict()
+        );
     }
 
     println!("\n== BranchScope PHT perception (single-threaded core) ==");
-    for mech in [Mechanism::Baseline, Mechanism::xor_pht(), Mechanism::enhanced_xor_pht()] {
+    for mech in [
+        Mechanism::Baseline,
+        Mechanism::xor_pht(),
+        Mechanism::enhanced_xor_pht(),
+    ] {
         let out = BranchScope::new(mech, false).run(trials, 9);
-        println!("{:<16} accuracy {:>6.2}%  -> {}", mech.label(), out.success_rate * 100.0, out.verdict());
+        println!(
+            "{:<16} accuracy {:>6.2}%  -> {}",
+            mech.label(),
+            out.success_rate * 100.0,
+            out.verdict()
+        );
     }
 
     println!("\n== The scenario-4 corner case: reference-branch attack ==");
@@ -34,19 +53,37 @@ fn main() {
             "{:<16} accuracy {:>6.2}%  ({})",
             mech.label(),
             out.success_rate * 100.0,
-            if out.advantage() > 0.35 { "fixed-slice cancellation leaks!" } else { "defended" }
+            if out.advantage() > 0.35 {
+                "fixed-slice cancellation leaks!"
+            } else {
+                "defended"
+            }
         );
     }
 
     println!("\n== SBPA eviction sensing on SMT (concurrent attacker) ==");
-    for mech in [Mechanism::Baseline, Mechanism::xor_btb(), Mechanism::noisy_xor_btb()] {
+    for mech in [
+        Mechanism::Baseline,
+        Mechanism::xor_btb(),
+        Mechanism::noisy_xor_btb(),
+    ] {
         let out = Sbpa::new(mech, true).run(trials, 13);
-        println!("{:<16} accuracy {:>6.2}%  -> {}", mech.label(), out.success_rate * 100.0, out.verdict());
+        println!(
+            "{:<16} accuracy {:>6.2}%  -> {}",
+            mech.label(),
+            out.success_rate * 100.0,
+            out.verdict()
+        );
     }
 
     println!("\n== Jump-over-ASLR set-index recovery ==");
     for mech in [Mechanism::Baseline, Mechanism::noisy_xor_btb()] {
-        let out = JumpAslr::new(mech).run(25, 15);
-        println!("{:<16} recovery {:>6.1}%  -> {}", mech.label(), out.success_rate * 100.0, out.verdict());
+        let out = JumpAslr::new(mech).run(aslr_trials, 15);
+        println!(
+            "{:<16} recovery {:>6.1}%  -> {}",
+            mech.label(),
+            out.success_rate * 100.0,
+            out.verdict()
+        );
     }
 }

@@ -12,13 +12,39 @@ use secure_bp::trace::BenchmarkCase;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let target = args.get(1).map(String::as_str).unwrap_or("gcc").to_owned();
-    let background = args.get(2).map(String::as_str).unwrap_or("calculix").to_owned();
+    let background = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("calculix")
+        .to_owned();
+    run(
+        Box::leak(target.into_boxed_str()),
+        Box::leak(background.into_boxed_str()),
+        WorkBudget {
+            warmup: 200_000,
+            measure: 2_000_000,
+        },
+        WorkBudget {
+            warmup: 2_000_000,
+            measure: 40_000_000,
+        },
+    )
+}
+
+/// The example's whole main path, parameterized on the workload pair and
+/// work budgets so the smoke tests (`tests/examples_smoke.rs`) can run it
+/// at reduced scale.
+pub fn run(
+    target: &'static str,
+    background: &'static str,
+    budget: WorkBudget,
+    smt_budget: WorkBudget,
+) -> Result<(), Box<dyn std::error::Error>> {
     let case = BenchmarkCase {
         id: "custom",
-        target: Box::leak(target.into_boxed_str()),
-        background: Box::leak(background.into_boxed_str()),
+        target,
+        background,
     };
-    let budget = WorkBudget { warmup: 200_000, measure: 2_000_000 };
     let mechanisms = [
         Mechanism::CompleteFlush,
         Mechanism::PreciseFlush,
@@ -28,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Mechanism::noisy_xor_bp(),
     ];
 
-    println!("single-threaded core (gshare), {}+{}:", case.target, case.background);
+    println!(
+        "single-threaded core (gshare), {}+{}:",
+        case.target, case.background
+    );
     for mech in mechanisms {
         let o = single_overhead(
             &case,
@@ -42,9 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<18} {:+.2}%", mech.label(), o * 100.0);
     }
 
-    println!("SMT-2 core (TAGE-SC-L), {} co-running with {}:", case.target, case.background);
-    let smt_budget = WorkBudget { warmup: 2_000_000, measure: 40_000_000 };
-    for mech in [Mechanism::CompleteFlush, Mechanism::PreciseFlush, Mechanism::noisy_xor_bp()] {
+    println!(
+        "SMT-2 core (TAGE-SC-L), {} co-running with {}:",
+        case.target, case.background
+    );
+    for mech in [
+        Mechanism::CompleteFlush,
+        Mechanism::PreciseFlush,
+        Mechanism::noisy_xor_bp(),
+    ] {
         let o = smt_overhead(
             &[case.target, case.background],
             CoreConfig::gem5(),

@@ -11,22 +11,32 @@ use secure_bp::trace::{TraceEvent, TraceGenerator, WorkloadProfile};
 use secure_bp::types::{BranchInfo, BranchKind, CoreEvent, Pc, PredictionStats, ThreadId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(200_000)
+}
+
+/// The example's whole main path, parameterized on the branch count so the
+/// smoke tests (`tests/examples_smoke.rs`) can run it at reduced scale.
+pub fn run(target_branches: usize) -> Result<(), Box<dyn std::error::Error>> {
     // 1. A TAGE-SC-L front-end protected by the paper's full mechanism.
     let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(
         PredictorKind::TageScL,
         Mechanism::noisy_xor_bp(),
     ));
-    println!("predictor: {} ({} KiB of tables)", fe.predictor_name(), fe.storage_bits() / 8192);
+    println!(
+        "predictor: {} ({} KiB of tables)",
+        fe.predictor_name(),
+        fe.storage_bits() / 8192
+    );
     println!("mechanism: {}", fe.mechanism());
 
-    // 2. Run 200k branches of a synthetic 'gcc' through the timing model.
+    // 2. Run the synthetic 'gcc' branch stream through the timing model.
     let profile = WorkloadProfile::by_name("gcc")?;
     let mut stream = TraceGenerator::new(&profile, 0x1000_0000, 42);
     let core = CoreConfig::fpga();
     let mut stats = PredictionStats::new();
     let t0 = ThreadId::new(0);
     let mut branches = 0;
-    while branches < 200_000 {
+    while branches < target_branches {
         match stream.next_event() {
             TraceEvent::Branch(rec) => {
                 execute_branch(&mut fe, &core, t0, &rec, &mut stats);
@@ -48,9 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the context-switch rekey.
     let jump = BranchInfo::new(t0, Pc::new(0x4000_0000), BranchKind::IndirectJump);
     fe.update_target(jump, Pc::new(0x0bad_cafe));
-    println!("before switch: predicted target = {:?}", fe.predict_target(jump));
+    println!(
+        "before switch: predicted target = {:?}",
+        fe.predict_target(jump)
+    );
     fe.handle_event(CoreEvent::ContextSwitch { hw_thread: t0 });
-    println!("after  switch: predicted target = {:?} (stale entry is garbage)", fe.predict_target(jump));
+    println!(
+        "after  switch: predicted target = {:?} (stale entry is garbage)",
+        fe.predict_target(jump)
+    );
     println!("isolation stats: {:?}", fe.stats());
     Ok(())
 }

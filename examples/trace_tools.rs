@@ -11,25 +11,35 @@ use secure_bp::trace::{TraceEvent, TraceGenerator, WorkloadProfile};
 use secure_bp::types::{CoreEvent, PredictionStats, ThreadId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Capture 300k events of 'libquantum'.
+    run(300_000, &std::env::temp_dir().join("libquantum.sbpt"))
+}
+
+/// The example's whole main path, parameterized on the event count and the
+/// on-disk path so the smoke tests (`tests/examples_smoke.rs`) can run it
+/// at reduced scale without clobbering a real capture.
+pub fn run(event_count: usize, path: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Capture the 'libquantum' event stream.
     let profile = WorkloadProfile::by_name("libquantum")?;
-    let events: Vec<TraceEvent> =
-        TraceGenerator::new(&profile, 0x1000_0000, 2026).take(300_000).collect();
+    let events: Vec<TraceEvent> = TraceGenerator::new(&profile, 0x1000_0000, 2026)
+        .take(event_count)
+        .collect();
 
     // 2. Serialize + reload through the binary trace format.
     let bytes = encode_trace(&events);
-    println!("captured {} events -> {} bytes on disk", events.len(), bytes.len());
-    let path = std::env::temp_dir().join("libquantum.sbpt");
-    std::fs::write(&path, &bytes)?;
-    let reloaded = decode_trace(&std::fs::read(&path)?)?;
+    println!(
+        "captured {} events -> {} bytes on disk",
+        events.len(),
+        bytes.len()
+    );
+    std::fs::write(path, &bytes)?;
+    let reloaded = decode_trace(&std::fs::read(path)?)?;
     assert_eq!(reloaded, events, "binary round trip must be lossless");
     println!("round-trip through {} verified", path.display());
 
     // 3. Replay the same trace against two predictors.
     let core = CoreConfig::fpga();
     for kind in [PredictorKind::Gshare, PredictorKind::TageScL] {
-        let mut fe =
-            SecureFrontend::new(FrontendConfig::paper_fpga(kind, Mechanism::Baseline));
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_fpga(kind, Mechanism::Baseline));
         let mut stats = PredictionStats::new();
         let mut cycles = 0.0;
         let t0 = ThreadId::new(0);
@@ -39,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     cycles += execute_branch(&mut fe, &core, t0, rec, &mut stats);
                 }
                 TraceEvent::PrivilegeSwitch(to) => {
-                    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t0, to: *to });
+                    fe.handle_event(CoreEvent::PrivilegeSwitch {
+                        hw_thread: t0,
+                        to: *to,
+                    });
                 }
             }
         }
@@ -52,6 +65,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.ipc()
         );
     }
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(path).ok();
     Ok(())
 }

@@ -1,0 +1,63 @@
+//! Smoke tests over the `examples/` binaries.
+//!
+//! Each example file is compiled into this test via `#[path]` inclusion and
+//! its `run` entry point is driven at reduced scale, so an example that
+//! stops compiling or panics on its main path fails `cargo test` instead of
+//! rotting silently. (`#[allow(dead_code)]` covers each example's `main`,
+//! which is unused in the test build.)
+
+use secure_bp::sim::WorkBudget;
+
+#[allow(dead_code)]
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[allow(dead_code)]
+#[path = "../examples/overhead_sweep.rs"]
+mod overhead_sweep;
+
+#[allow(dead_code)]
+#[path = "../examples/attack_lab.rs"]
+mod attack_lab;
+
+#[allow(dead_code)]
+#[path = "../examples/trace_tools.rs"]
+mod trace_tools;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::run(20_000).expect("quickstart main path");
+}
+
+#[test]
+fn overhead_sweep_runs() {
+    overhead_sweep::run(
+        "gcc",
+        "calculix",
+        WorkBudget {
+            warmup: 10_000,
+            measure: 100_000,
+        },
+        WorkBudget {
+            warmup: 20_000,
+            measure: 200_000,
+        },
+    )
+    .expect("overhead_sweep main path");
+}
+
+#[test]
+fn attack_lab_runs() {
+    attack_lab::run(200, 5);
+}
+
+#[test]
+fn trace_tools_runs() {
+    // Unique per process so concurrent test runs on one host don't race.
+    let path = std::env::temp_dir().join(format!(
+        "sbp_examples_smoke_trace_{}.sbpt",
+        std::process::id()
+    ));
+    trace_tools::run(20_000, &path).expect("trace_tools main path");
+    assert!(!path.exists(), "trace_tools cleans up its capture file");
+}

@@ -9,12 +9,19 @@ use secure_bp::sim::{
 use secure_bp::trace::{cases_single, cases_smt2, BenchmarkCase};
 use secure_bp::types::{BranchInfo, BranchKind, CoreEvent, Pc, ThreadId};
 
-const QUICK: WorkBudget = WorkBudget { warmup: 30_000, measure: 250_000 };
+const QUICK: WorkBudget = WorkBudget {
+    warmup: 30_000,
+    measure: 250_000,
+};
 
 #[test]
 fn single_core_runs_are_deterministic_across_mechanisms() {
     let case = cases_single()[3]; // namd+sphinx3
-    for mech in [Mechanism::Baseline, Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()] {
+    for mech in [
+        Mechanism::Baseline,
+        Mechanism::CompleteFlush,
+        Mechanism::noisy_xor_bp(),
+    ] {
         let a = run_single_case(
             &case,
             CoreConfig::fpga(),
@@ -65,7 +72,10 @@ fn mechanisms_preserve_functional_behaviour() {
         counts.push((s.instructions, s.cond_branches));
     }
     for w in counts.windows(2) {
-        assert_eq!(w[0], w[1], "instruction stream must not depend on the mechanism");
+        assert_eq!(
+            w[0], w[1],
+            "instruction stream must not depend on the mechanism"
+        );
     }
 }
 
@@ -79,7 +89,10 @@ fn baseline_is_never_slower_than_itself_with_protection_on_average() {
         PredictorKind::Gshare,
         Mechanism::Baseline,
         SwitchInterval::M4,
-        WorkBudget { warmup: 50_000, measure: 600_000 },
+        WorkBudget {
+            warmup: 50_000,
+            measure: 600_000,
+        },
         5,
     )
     .expect("run");
@@ -89,31 +102,40 @@ fn baseline_is_never_slower_than_itself_with_protection_on_average() {
         PredictorKind::Gshare,
         Mechanism::noisy_xor_bp(),
         SwitchInterval::M4,
-        WorkBudget { warmup: 50_000, measure: 600_000 },
+        WorkBudget {
+            warmup: 50_000,
+            measure: 600_000,
+        },
         5,
     )
     .expect("run");
     let overhead = xor.cycles as f64 / base.cycles as f64 - 1.0;
     assert!(overhead > -0.01, "Noisy-XOR-BP helped?! {overhead}");
-    assert!(overhead < 0.15, "Noisy-XOR-BP overhead implausible: {overhead}");
+    assert!(
+        overhead < 0.15,
+        "Noisy-XOR-BP overhead implausible: {overhead}"
+    );
 }
 
 #[test]
 fn smt_complete_flush_destroys_cross_thread_state_noisy_xor_does_not() {
     // The paper's central SMT argument, end-to-end.
-    for (mech, expect_survives) in
-        [(Mechanism::CompleteFlush, false), (Mechanism::noisy_xor_bp(), true)]
-    {
-        let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
-            PredictorKind::Gshare,
-            mech,
-            2,
-        ));
-        let t1_branch =
-            BranchInfo::new(ThreadId::new(1), Pc::new(0x9_0000), BranchKind::IndirectJump);
+    for (mech, expect_survives) in [
+        (Mechanism::CompleteFlush, false),
+        (Mechanism::noisy_xor_bp(), true),
+    ] {
+        let mut fe =
+            SecureFrontend::new(FrontendConfig::paper_gem5(PredictorKind::Gshare, mech, 2));
+        let t1_branch = BranchInfo::new(
+            ThreadId::new(1),
+            Pc::new(0x9_0000),
+            BranchKind::IndirectJump,
+        );
         fe.update_target(t1_branch, Pc::new(0xaa00));
         // Timer fires on hardware thread 0 only.
-        fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(0) });
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
         let survived = fe.predict_target(t1_branch) == Some(Pc::new(0xaa00));
         assert_eq!(
             survived, expect_survives,
@@ -132,7 +154,10 @@ fn smt_throughput_is_sane_for_all_predictors() {
             kind,
             Mechanism::Baseline,
             SwitchInterval::M8,
-            WorkBudget { warmup: 100_000, measure: 1_000_000 },
+            WorkBudget {
+                warmup: 100_000,
+                measure: 1_000_000,
+            },
             3,
         )
         .expect("run");
@@ -146,8 +171,15 @@ fn predictor_accuracy_ordering_holds_end_to_end() {
     // Gshare must be the least accurate of the four on a real workload mix
     // (the full MPKI ordering is a statistical property checked by the
     // calibration binary; here we pin the coarse relation).
-    let c = BenchmarkCase { id: "t", target: "gcc", background: "namd" };
-    let budget = WorkBudget { warmup: 150_000, measure: 800_000 };
+    let c = BenchmarkCase {
+        id: "t",
+        target: "gcc",
+        background: "namd",
+    };
+    let budget = WorkBudget {
+        warmup: 150_000,
+        measure: 800_000,
+    };
     let mpki = |kind: PredictorKind| {
         run_single_case(
             &c,
@@ -199,5 +231,8 @@ fn smt_sim_uses_se_mode() {
     .expect("sim");
     let r = sim.run(10_000, 300_000);
     let priv_switches: u64 = r.per_thread.iter().map(|t| t.privilege_switches).sum();
-    assert_eq!(priv_switches, 0, "SE mode must not produce privilege switches");
+    assert_eq!(
+        priv_switches, 0,
+        "SE mode must not produce privilege switches"
+    );
 }

@@ -15,7 +15,10 @@ use secure_bp::types::{CoreEvent, Privilege, ThreadId};
 /// stay a small-single-digit cost on the single-threaded core.
 #[test]
 fn noisy_xor_bp_average_cost_is_small() {
-    let budget = WorkBudget { warmup: 80_000, measure: 900_000 };
+    let budget = WorkBudget {
+        warmup: 80_000,
+        measure: 900_000,
+    };
     let mut overheads = Vec::new();
     for (i, case) in cases_single().iter().enumerate().step_by(3) {
         let base = run_single_case(
@@ -41,8 +44,14 @@ fn noisy_xor_bp_average_cost_is_small() {
         overheads.push(mech.cycles as f64 / base.cycles as f64 - 1.0);
     }
     let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
-    assert!(avg < 0.05, "Noisy-XOR-BP average overhead {avg} breaks the <5% claim");
-    assert!(avg > -0.01, "Noisy-XOR-BP cannot be a speedup on average: {avg}");
+    assert!(
+        avg < 0.05,
+        "Noisy-XOR-BP average overhead {avg} breaks the <5% claim"
+    );
+    assert!(
+        avg > -0.01,
+        "Noisy-XOR-BP cannot be a speedup on average: {avg}"
+    );
 }
 
 /// The rekey operation is strictly per-thread: one thread's context switch
@@ -70,14 +79,22 @@ fn rekey_blast_radius_is_one_thread() {
         fe.update_target(*info, Pc::new(0xaaaa_0000 + t as u64 * 0x100));
     }
     // Rekey thread 2 only.
-    fe.handle_event(CoreEvent::ContextSwitch { hw_thread: ThreadId::new(2) });
+    fe.handle_event(CoreEvent::ContextSwitch {
+        hw_thread: ThreadId::new(2),
+    });
     for (t, info) in entries.iter().enumerate() {
         let expected = Some(Pc::new(0xaaaa_0000 + t as u64 * 0x100));
         let got = fe.predict_target(*info);
         if t == 2 {
-            assert_ne!(got, expected, "thread 2's state must be unreadable after its rekey");
+            assert_ne!(
+                got, expected,
+                "thread 2's state must be unreadable after its rekey"
+            );
         } else {
-            assert_eq!(got, expected, "thread {t}'s state must survive thread 2's rekey");
+            assert_eq!(
+                got, expected,
+                "thread {t}'s state must survive thread 2's rekey"
+            );
         }
     }
 }
@@ -91,8 +108,14 @@ fn syscall_round_trip_rekeys_twice() {
         Mechanism::xor_bp(),
     ));
     let t = ThreadId::new(0);
-    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t, to: Privilege::Kernel });
-    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: t, to: Privilege::User });
+    fe.handle_event(CoreEvent::PrivilegeSwitch {
+        hw_thread: t,
+        to: Privilege::Kernel,
+    });
+    fe.handle_event(CoreEvent::PrivilegeSwitch {
+        hw_thread: t,
+        to: Privilege::User,
+    });
     assert_eq!(fe.stats().rekeys, 2);
 }
 
@@ -111,7 +134,12 @@ fn hardware_overlay_is_lightweight() {
 #[test]
 fn flagship_attack_is_defended_at_negligible_cost() {
     let attack = SpectreV2::new(Mechanism::noisy_xor_bp(), false).run(800, 99);
-    assert_eq!(attack.verdict(), Verdict::Defend, "rate {}", attack.success_rate);
+    assert_eq!(
+        attack.verdict(),
+        Verdict::Defend,
+        "rate {}",
+        attack.success_rate
+    );
 }
 
 /// Storage sanity across the Table 2 configurations: the four predictors

@@ -11,7 +11,11 @@ use secure_bp::types::{
 };
 
 fn any_codec() -> impl Strategy<Value = Codec> {
-    prop_oneof![Just(Codec::Xor), Just(Codec::ShiftScramble), Just(Codec::Lut)]
+    prop_oneof![
+        Just(Codec::Xor),
+        Just(Codec::ShiftScramble),
+        Just(Codec::Lut)
+    ]
 }
 
 fn any_kind() -> impl Strategy<Value = BranchKind> {
@@ -27,8 +31,14 @@ fn any_kind() -> impl Strategy<Value = BranchKind> {
 
 fn any_event() -> impl Strategy<Value = TraceEvent> {
     prop_oneof![
-        (any::<u64>(), any_kind(), any::<bool>(), any::<u64>(), any::<u32>()).prop_map(
-            |(pc, kind, taken, target, gap)| {
+        (
+            any::<u64>(),
+            any_kind(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u32>()
+        )
+            .prop_map(|(pc, kind, taken, target, gap)| {
                 TraceEvent::Branch(BranchRecord {
                     pc: Pc::new(pc),
                     kind,
@@ -36,8 +46,7 @@ fn any_event() -> impl Strategy<Value = TraceEvent> {
                     target: Pc::new(target),
                     gap,
                 })
-            }
-        ),
+            }),
         any::<bool>().prop_map(|k| TraceEvent::PrivilegeSwitch(if k {
             Privilege::Kernel
         } else {

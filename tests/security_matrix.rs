@@ -2,38 +2,100 @@
 //! Table 1, verified with the PoC attack campaigns (reduced trial counts
 //! for test speed; the full matrix is the `tab01_security_matrix` bench).
 
-use secure_bp::attack::{BranchScope, BranchShadowing, ReferenceBranchScope, Sbpa, SpectreV2, Verdict};
+use secure_bp::attack::{
+    BranchScope, BranchShadowing, ReferenceBranchScope, Sbpa, SpectreV2, Verdict,
+};
 use secure_bp::isolation::Mechanism;
 
 const TRIALS: u64 = 700;
 
 #[test]
 fn baseline_is_broken_everywhere() {
-    assert_eq!(SpectreV2::new(Mechanism::Baseline, false).run(TRIALS, 1).verdict(), Verdict::NoProtection);
-    assert_eq!(BranchScope::new(Mechanism::Baseline, false).run(TRIALS, 2).verdict(), Verdict::NoProtection);
-    assert_eq!(Sbpa::new(Mechanism::Baseline, false).run(TRIALS, 3).verdict(), Verdict::NoProtection);
-    assert_eq!(BranchShadowing::new(Mechanism::Baseline, true).run(TRIALS, 4).verdict(), Verdict::NoProtection);
+    assert_eq!(
+        SpectreV2::new(Mechanism::Baseline, false)
+            .run(TRIALS, 1)
+            .verdict(),
+        Verdict::NoProtection
+    );
+    assert_eq!(
+        BranchScope::new(Mechanism::Baseline, false)
+            .run(TRIALS, 2)
+            .verdict(),
+        Verdict::NoProtection
+    );
+    assert_eq!(
+        Sbpa::new(Mechanism::Baseline, false)
+            .run(TRIALS, 3)
+            .verdict(),
+        Verdict::NoProtection
+    );
+    assert_eq!(
+        BranchShadowing::new(Mechanism::Baseline, true)
+            .run(TRIALS, 4)
+            .verdict(),
+        Verdict::NoProtection
+    );
 }
 
 #[test]
 fn noisy_xor_bp_defends_the_paper_cells() {
     // Single-threaded: everything defended.
-    assert_eq!(SpectreV2::new(Mechanism::noisy_xor_bp(), false).run(TRIALS, 5).verdict(), Verdict::Defend);
-    assert_eq!(BranchScope::new(Mechanism::noisy_xor_bp(), false).run(TRIALS, 6).verdict(), Verdict::Defend);
-    assert_eq!(Sbpa::new(Mechanism::noisy_xor_bp(), false).run(TRIALS, 7).verdict(), Verdict::Defend);
+    assert_eq!(
+        SpectreV2::new(Mechanism::noisy_xor_bp(), false)
+            .run(TRIALS, 5)
+            .verdict(),
+        Verdict::Defend
+    );
+    assert_eq!(
+        BranchScope::new(Mechanism::noisy_xor_bp(), false)
+            .run(TRIALS, 6)
+            .verdict(),
+        Verdict::Defend
+    );
+    assert_eq!(
+        Sbpa::new(Mechanism::noisy_xor_bp(), false)
+            .run(TRIALS, 7)
+            .verdict(),
+        Verdict::Defend
+    );
     // SMT reuse: defended; SMT contention: at most Mitigate.
-    assert_eq!(SpectreV2::new(Mechanism::noisy_xor_bp(), true).run(TRIALS, 8).verdict(), Verdict::Defend);
+    assert_eq!(
+        SpectreV2::new(Mechanism::noisy_xor_bp(), true)
+            .run(TRIALS, 8)
+            .verdict(),
+        Verdict::Defend
+    );
     let smt_contention = Sbpa::new(Mechanism::noisy_xor_bp(), true).run(TRIALS, 9);
-    assert_ne!(smt_contention.verdict(), Verdict::NoProtection, "rate {}", smt_contention.success_rate);
+    assert_ne!(
+        smt_contention.verdict(),
+        Verdict::NoProtection,
+        "rate {}",
+        smt_contention.success_rate
+    );
 }
 
 #[test]
 fn flush_mechanisms_lose_protection_on_smt() {
     // The paper's core criticism of flushing: no trigger fires between
     // concurrent SMT threads.
-    assert_eq!(SpectreV2::new(Mechanism::CompleteFlush, true).run(TRIALS, 10).verdict(), Verdict::NoProtection);
-    assert_eq!(BranchScope::new(Mechanism::CompleteFlush, true).run(TRIALS, 11).verdict(), Verdict::NoProtection);
-    assert_eq!(Sbpa::new(Mechanism::PreciseFlush, true).run(TRIALS, 12).verdict(), Verdict::NoProtection);
+    assert_eq!(
+        SpectreV2::new(Mechanism::CompleteFlush, true)
+            .run(TRIALS, 10)
+            .verdict(),
+        Verdict::NoProtection
+    );
+    assert_eq!(
+        BranchScope::new(Mechanism::CompleteFlush, true)
+            .run(TRIALS, 11)
+            .verdict(),
+        Verdict::NoProtection
+    );
+    assert_eq!(
+        Sbpa::new(Mechanism::PreciseFlush, true)
+            .run(TRIALS, 12)
+            .verdict(),
+        Verdict::NoProtection
+    );
 }
 
 #[test]
@@ -41,8 +103,18 @@ fn xor_btb_contention_gap_between_single_thread_and_smt() {
     // Table 1: XOR-BTB defends single-threaded contention (keys rotate
     // between prime and probe) but not SMT contention (evictions are
     // content-independent).
-    assert_eq!(Sbpa::new(Mechanism::xor_btb(), false).run(TRIALS, 13).verdict(), Verdict::Defend);
-    assert_eq!(Sbpa::new(Mechanism::xor_btb(), true).run(TRIALS, 14).verdict(), Verdict::NoProtection);
+    assert_eq!(
+        Sbpa::new(Mechanism::xor_btb(), false)
+            .run(TRIALS, 13)
+            .verdict(),
+        Verdict::Defend
+    );
+    assert_eq!(
+        Sbpa::new(Mechanism::xor_btb(), true)
+            .run(TRIALS, 14)
+            .verdict(),
+        Verdict::NoProtection
+    );
 }
 
 #[test]
@@ -51,17 +123,34 @@ fn enhanced_slices_close_the_reference_branch_hole() {
     // Enhanced-XOR-PHT does not.
     let plain = ReferenceBranchScope::new(Mechanism::xor_pht(), false).run(TRIALS, 15);
     let enhanced = ReferenceBranchScope::new(Mechanism::enhanced_xor_pht(), false).run(TRIALS, 16);
-    assert!(plain.success_rate > 0.9, "plain XOR-PHT should leak, rate {}", plain.success_rate);
-    assert_eq!(enhanced.verdict(), Verdict::Defend, "rate {}", enhanced.success_rate);
+    assert!(
+        plain.success_rate > 0.9,
+        "plain XOR-PHT should leak, rate {}",
+        plain.success_rate
+    );
+    assert_eq!(
+        enhanced.verdict(),
+        Verdict::Defend,
+        "rate {}",
+        enhanced.success_rate
+    );
 }
 
 #[test]
 fn poc_accuracy_bands_match_section_5_5() {
     // Baseline ≈ 96-97 %, defended < 2 %.
     let btb = SpectreV2::new(Mechanism::Baseline, false).run(2_000, 17);
-    assert!((0.92..=1.0).contains(&btb.success_rate), "{}", btb.success_rate);
+    assert!(
+        (0.92..=1.0).contains(&btb.success_rate),
+        "{}",
+        btb.success_rate
+    );
     let btb_x = SpectreV2::new(Mechanism::xor_bp(), false).run(2_000, 17);
     assert!(btb_x.success_rate < 0.02, "{}", btb_x.success_rate);
     let pht = BranchScope::new(Mechanism::Baseline, false).run(2_000, 18);
-    assert!((0.92..=1.0).contains(&pht.success_rate), "{}", pht.success_rate);
+    assert!(
+        (0.92..=1.0).contains(&pht.success_rate),
+        "{}",
+        pht.success_rate
+    );
 }

@@ -1,0 +1,23 @@
+//! Offline stand-in for `parking_lot`: a `Mutex` with the real crate's
+//! poison-free API (`lock` never returns a `Result`), backed by
+//! `std::sync::Mutex`.
+
+use std::sync::MutexGuard;
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `proptest`: the macro and strategy surface the
+//! workspace tests use (`proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!`, `Strategy`, `Just`, `any`, `prop::collection::vec`),
+//! driven by a deterministic splitmix64 generator. No shrinking, no
+//! persistence of failing cases — a failing property panics with the
+//! generated inputs left to `RUST_BACKTRACE` inspection.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop` (`prop::collection::vec`, ...).
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs each property over this many deterministic cases.
+pub const CASES: u32 = 256;
+
+/// Expands each `fn name(arg in strategy, ...) { body }` item into a
+/// `#[test]` (the attribute comes from the call site, as with real
+/// proptest) that evaluates the body over [`CASES`] generated inputs.
+/// A property whose every case is rejected by `prop_assume!` fails —
+/// the real crate's "too many global rejects" guard against properties
+/// that silently never execute.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut executed: u32 = 0;
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // The closure gives `prop_assume!` an early-exit point;
+                    // it yields false when the case was rejected. The allow
+                    // covers bodies that end by panicking, which make the
+                    // trailing `true` unreachable.
+                    #[allow(unreachable_code, clippy::redundant_closure_call)]
+                    let survived = (|| -> bool {
+                        $body;
+                        true
+                    })();
+                    if survived {
+                        executed += 1;
+                    }
+                }
+                assert!(
+                    executed > 0,
+                    "property {}: prop_assume! rejected all {} generated cases",
+                    stringify!($name),
+                    $crate::CASES,
+                );
+            }
+        )*
+    };
+}
+
+/// Skips the current generated case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks one of the given strategies uniformly per generated case. All
+/// arms must yield the same `Value` type (they are boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn generated_values_respect_the_strategy(x in 0u32..10, flag in crate::arbitrary::any::<bool>()) {
+            assert!(x < 10);
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_skips_without_failing(x in 0u32..10) {
+            crate::prop_assume!(x % 2 == 0);
+            assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "rejected all")]
+        fn rejecting_every_case_fails_the_property(x in 0u32..10) {
+            crate::prop_assume!(x > 100);
+            unreachable!("no case can satisfy the assumption");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic random number generation for case synthesis.
+
+/// splitmix64; deterministic per test so failures reproduce exactly.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name so distinct properties explore distinct
+    /// sequences while every run of the same property is identical.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

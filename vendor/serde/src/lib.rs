@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`. Exposes the two marker traits and the
+//! derive macros under the same names as the real crate (traits live in the
+//! type namespace, derives in the macro namespace, so `use serde::{Serialize,
+//! Deserialize}` imports both — exactly as with real serde).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the real crate's serialization surface is not modeled.
+pub trait Serialize {}
+
+/// Marker trait; the real crate's deserialization surface is not modeled.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde_derive`: the derive macros accept the same
+//! attribute grammar as the real crate and emit an empty impl of the
+//! sibling `serde` stub's marker trait, so `T: serde::Serialize` bounds
+//! hold for derived types. Generic types are not supported (nothing in
+//! the workspace derives on one); extend the parser if that changes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the name of the `struct`/`enum`/`union` the derive is on.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        assert!(
+                            !matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<'),
+                            "serde stub derive does not support generic type `{name}`",
+                        );
+                        return name;
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        type_name(input)
+    )
+    .parse()
+    .expect("valid impl block")
+}
