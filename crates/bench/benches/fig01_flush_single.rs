@@ -3,53 +3,17 @@
 //!
 //! Paper result: average loss < 1 %, mildly decreasing with the interval.
 
-use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_bench::header;
 use sbp_core::Mechanism;
-use sbp_predictors::PredictorKind;
-use sbp_sim::{single_overhead, CoreConfig, SwitchInterval, WorkBudget};
-use sbp_trace::cases_single;
+use sbp_sweep::SweepSpec;
 
 fn main() {
     header("Figure 1", "Complete Flush overhead, single-threaded core");
-    let cases = cases_single();
-    let budget = WorkBudget::single_default();
-    let jobs: Vec<(usize, SwitchInterval)> = (0..cases.len())
-        .flat_map(|c| SwitchInterval::ALL.into_iter().map(move |iv| (c, iv)))
-        .collect();
-    let overheads = parallel_map(jobs.len(), |j| {
-        let (c, iv) = jobs[j];
-        single_overhead(
-            &cases[c],
-            CoreConfig::fpga(),
-            PredictorKind::Gshare,
-            Mechanism::CompleteFlush,
-            iv,
-            budget,
-            0xf160_0000 + c as u64,
-        )
-        .expect("run")
-    });
-
-    println!(
-        "{:<8} {:>12} {:>12} {:>12}",
-        "case", "flush-4M", "flush-8M", "flush-12M"
-    );
-    for (c, case) in cases.iter().enumerate() {
-        let row: Vec<f64> = (0..3).map(|k| overheads[c * 3 + k]).collect();
-        println!(
-            "{:<8} {:>12} {:>12} {:>12}",
-            case.id,
-            pct(row[0]),
-            pct(row[1]),
-            pct(row[2])
-        );
-    }
-    for (k, iv) in SwitchInterval::ALL.iter().enumerate() {
-        let avg = mean(
-            &(0..cases.len())
-                .map(|c| overheads[c * 3 + k])
-                .collect::<Vec<_>>(),
-        );
-        println!("average flush-{iv}: {}   (paper: < 1%)", pct(avg));
-    }
+    let report = SweepSpec::single("fig01: CF single-core")
+        .with_mechanisms(vec![Mechanism::CompleteFlush])
+        .with_master_seed(0xf160_0000)
+        .run()
+        .expect("sweep");
+    print!("{}", report.to_table());
+    println!("(paper: averages < 1%, mildly decreasing with the interval)");
 }

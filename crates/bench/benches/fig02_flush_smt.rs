@@ -5,59 +5,39 @@
 //! (≈6–8 % on SMT-2, more on SMT-4), because one thread's flush destroys
 //! the other threads' state.
 
-use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_bench::{header, pct};
 use sbp_core::Mechanism;
-use sbp_predictors::PredictorKind;
-use sbp_sim::{smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
-use sbp_trace::{cases_smt2, cases_smt4};
+use sbp_sweep::{CaseSpec, SweepSpec};
+use sbp_trace::cases_smt4;
 
 fn main() {
     header("Figure 2", "Complete Flush overhead on SMT-2 / SMT-4");
-    let budget = WorkBudget::smt_default();
-    let pairs = cases_smt2();
-    let smt2 = parallel_map(pairs.len(), |i| {
-        let c = pairs[i];
-        smt_overhead(
-            &[c.target, c.background],
-            CoreConfig::gem5(),
-            PredictorKind::Tournament,
-            Mechanism::CompleteFlush,
-            SwitchInterval::M8,
-            budget,
-            0xf162_0000 + i as u64,
-        )
-        .expect("run")
-    });
-    let quads = cases_smt4();
-    let smt4 = parallel_map(quads.len(), |i| {
-        let ws: Vec<&str> = quads[i].to_vec();
-        smt_overhead(
-            &ws,
-            CoreConfig::gem5(),
-            PredictorKind::Tournament,
-            Mechanism::CompleteFlush,
-            SwitchInterval::M8,
-            budget,
-            0xf164_0000 + i as u64,
-        )
-        .expect("run")
-    });
+    let smt2 = SweepSpec::smt("fig02: CF SMT-2")
+        .with_mechanisms(vec![Mechanism::CompleteFlush])
+        .with_master_seed(0xf162_0000)
+        .run()
+        .expect("sweep");
+    print!("{}", smt2.to_table());
 
-    for (i, c) in pairs.iter().enumerate() {
-        println!(
-            "SMT-2 {:<8} ({:<12}+{:<12}) {}",
-            c.id,
-            c.target,
-            c.background,
-            pct(smt2[i])
-        );
-    }
-    for (i, q) in quads.iter().enumerate() {
-        println!("SMT-4 quad{:<3} ({:?}) {}", i + 1, q, pct(smt4[i]));
-    }
-    println!("average SMT-2: {}   (paper: ≈6–8 %)", pct(mean(&smt2)));
+    let quads: Vec<CaseSpec> = cases_smt4()
+        .iter()
+        .enumerate()
+        .map(|(i, q)| CaseSpec::new(&format!("quad{}", i + 1), q))
+        .collect();
+    let smt4 = SweepSpec::smt("fig02: CF SMT-4")
+        .with_cases(quads)
+        .with_mechanisms(vec![Mechanism::CompleteFlush])
+        .with_master_seed(0xf164_0000)
+        .run()
+        .expect("sweep");
+    print!("{}", smt4.to_table());
+
+    println!(
+        "average SMT-2: {}   (paper: ≈6–8 %)",
+        pct(smt2.series_mean("CF", "Tournament", "8M").expect("series"))
+    );
     println!(
         "average SMT-4: {}   (paper: ≈10–13 %, worse than SMT-2)",
-        pct(mean(&smt4))
+        pct(smt4.series_mean("CF", "Tournament", "8M").expect("series"))
     );
 }

@@ -3,48 +3,25 @@
 //!
 //! Paper result: Precise Flush reduces but does not eliminate the loss.
 
-use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_bench::{header, pct};
 use sbp_core::Mechanism;
-use sbp_predictors::PredictorKind;
-use sbp_sim::{smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
-use sbp_trace::cases_smt2;
+use sbp_sweep::SweepSpec;
 
 fn main() {
     header("Figure 3", "Complete Flush vs Precise Flush, SMT-2");
-    let budget = WorkBudget::smt_default();
-    let pairs = cases_smt2();
-    let jobs: Vec<(usize, Mechanism)> = (0..pairs.len())
-        .flat_map(|i| {
-            [Mechanism::CompleteFlush, Mechanism::PreciseFlush]
-                .into_iter()
-                .map(move |m| (i, m))
-        })
-        .collect();
-    let overheads = parallel_map(jobs.len(), |j| {
-        let (i, m) = jobs[j];
-        smt_overhead(
-            &[pairs[i].target, pairs[i].background],
-            CoreConfig::gem5(),
-            PredictorKind::Tournament,
-            m,
-            SwitchInterval::M8,
-            budget,
-            0xf163_0000 + i as u64,
-        )
-        .expect("run")
-    });
-    let cf: Vec<f64> = (0..pairs.len()).map(|i| overheads[i * 2]).collect();
-    let pf: Vec<f64> = (0..pairs.len()).map(|i| overheads[i * 2 + 1]).collect();
-    println!(
-        "{:<8} {:>14} {:>14}",
-        "case", "CompleteFlush", "PreciseFlush"
-    );
-    for (i, c) in pairs.iter().enumerate() {
-        println!("{:<8} {:>14} {:>14}", c.id, pct(cf[i]), pct(pf[i]));
-    }
+    let report = SweepSpec::smt("fig03: CF vs PF")
+        .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::PreciseFlush])
+        .with_master_seed(0xf163_0000)
+        .run()
+        .expect("sweep");
+    print!("{}", report.to_table());
     println!(
         "average: CF {} vs PF {}   (paper: PF lower but still elevated)",
-        pct(mean(&cf)),
-        pct(mean(&pf))
+        pct(report
+            .series_mean("CF", "Tournament", "8M")
+            .expect("series")),
+        pct(report
+            .series_mean("PF", "Tournament", "8M")
+            .expect("series")),
     );
 }

@@ -15,10 +15,7 @@ fn main() {
         "XOR-BTB and Noisy-XOR-BTB overhead, single-threaded core",
     );
     let avgs = run_single_figure(
-        &[
-            ("XOR-BTB", Mechanism::xor_btb()),
-            ("Noisy-XOR-BTB", Mechanism::noisy_xor_btb()),
-        ],
+        &[Mechanism::xor_btb(), Mechanism::noisy_xor_btb()],
         0xf167_0000,
     );
     println!("paper: averages < 0.2 %; max ≈ 1.0 % (case6); case2 can be negative");

@@ -14,10 +14,7 @@ fn main() {
         "XOR-PHT and Noisy-XOR-PHT overhead, single-threaded core",
     );
     let avgs = run_single_figure(
-        &[
-            ("XOR-PHT", Mechanism::enhanced_xor_pht()),
-            ("Noisy-XOR-PHT", Mechanism::noisy_xor_pht()),
-        ],
+        &[Mechanism::enhanced_xor_pht(), Mechanism::noisy_xor_pht()],
         0xf168_0000,
     );
     println!("paper: averages < 1.1 %; case1 is the worst; case7 barely affected");

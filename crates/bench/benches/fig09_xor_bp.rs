@@ -14,10 +14,7 @@ fn main() {
         "XOR-BP and Noisy-XOR-BP overhead, single-threaded core",
     );
     let avgs = run_single_figure(
-        &[
-            ("XOR-BP", Mechanism::xor_bp()),
-            ("Noisy-XOR-BP", Mechanism::noisy_xor_bp()),
-        ],
+        &[Mechanism::xor_bp(), Mechanism::noisy_xor_bp()],
         0xf169_0000,
     );
     println!("paper: averages < 1.3 %; max ≈ 2.5 % (case1)");

@@ -6,59 +6,27 @@
 //! (26–37 % lower than Complete Flush); (3) more accurate predictors show
 //! more impact (avg ≈ 2.3 % on Gshare → ≈ 4.9 % on TAGE-SC-L).
 
-use sbp_bench::{header, mean, parallel_map, pct};
+use sbp_bench::{header, pct};
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
-use sbp_sim::{smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
-use sbp_trace::cases_smt2;
+use sbp_sweep::SweepSpec;
 
 fn main() {
     header(
         "Figure 10",
         "CF / PF / Noisy-XOR-BP across predictors, SMT-2",
     );
-    let budget = WorkBudget::smt_default();
-    let pairs = cases_smt2();
-    let mechs = [
-        ("CF", Mechanism::CompleteFlush),
-        ("PF", Mechanism::PreciseFlush),
-        ("Noisy-XOR-BP", Mechanism::noisy_xor_bp()),
-    ];
-    let kinds = PredictorKind::ALL;
-    // jobs: kind-major, mech, case.
-    let jobs: Vec<(usize, usize, usize)> = (0..kinds.len())
-        .flat_map(|k| (0..mechs.len()).flat_map(move |m| (0..pairs.len()).map(move |c| (k, m, c))))
-        .collect();
-    let overheads = parallel_map(jobs.len(), |j| {
-        let (k, m, c) = jobs[j];
-        smt_overhead(
-            &[pairs[c].target, pairs[c].background],
-            CoreConfig::gem5(),
-            kinds[k],
-            mechs[m].1,
-            SwitchInterval::M8,
-            budget,
-            0xf16a_0000 + c as u64,
-        )
-        .expect("run")
-    });
-    let at = |k: usize, m: usize, c: usize| overheads[(k * mechs.len() + m) * pairs.len() + c];
-
-    for (k, kind) in kinds.iter().enumerate() {
-        println!("--- {kind} ---");
-        print!("{:<8}", "case");
-        for (label, _) in &mechs {
-            print!(" {:>16}", label);
-        }
-        println!();
-        for (c, case) in pairs.iter().enumerate() {
-            print!("{:<8}", case.id);
-            for m in 0..mechs.len() {
-                print!(" {:>16}", pct(at(k, m, c)));
-            }
-            println!();
-        }
-    }
+    let report = SweepSpec::smt("fig10: mechanisms across predictors")
+        .with_predictors(PredictorKind::ALL.to_vec())
+        .with_mechanisms(vec![
+            Mechanism::CompleteFlush,
+            Mechanism::PreciseFlush,
+            Mechanism::noisy_xor_bp(),
+        ])
+        .with_master_seed(0xf16a_0000)
+        .run()
+        .expect("sweep");
+    print!("{}", report.to_table());
 
     println!("--- averages ---");
     println!(
@@ -66,9 +34,13 @@ fn main() {
         "predictor", "CF", "PF", "Noisy-XOR-BP"
     );
     let mut noisy_avgs = Vec::new();
-    for (k, kind) in kinds.iter().enumerate() {
-        let avg = |m: usize| mean(&(0..pairs.len()).map(|c| at(k, m, c)).collect::<Vec<_>>());
-        let (cf, pf, noisy) = (avg(0), avg(1), avg(2));
+    for kind in PredictorKind::ALL {
+        let avg = |series: &str| {
+            report
+                .series_mean(series, kind.label(), "8M")
+                .expect("series present")
+        };
+        let (cf, pf, noisy) = (avg("CF"), avg("PF"), avg("Noisy-XOR-BP"));
         noisy_avgs.push(noisy);
         println!(
             "{:<12} {:>10} {:>10} {:>14}",

@@ -5,11 +5,10 @@
 //! context switches ≈ 0.08 per Mcycle — privilege changes dominate the
 //! rekey rate, so the timer interval barely matters for XOR-BP.
 
-use sbp_bench::{header, parallel_map};
+use sbp_bench::header;
 use sbp_core::Mechanism;
-use sbp_predictors::PredictorKind;
-use sbp_sim::{run_single_case, CoreConfig, SwitchInterval, WorkBudget};
-use sbp_trace::cases_single;
+use sbp_sim::SwitchInterval;
+use sbp_sweep::SweepSpec;
 
 const PAPER: [f64; 12] = [4.9, 7.0, 1.9, 2.0, 1.7, 1.6, 1.7, 2.0, 1.8, 2.7, 3.5, 1.9];
 
@@ -18,31 +17,27 @@ fn main() {
         "Table 4",
         "Privilege switches per million cycles (Noisy-XOR-BP-12M)",
     );
-    let cases = cases_single();
-    let budget = WorkBudget::single_default();
-    let stats = parallel_map(cases.len(), |c| {
-        run_single_case(
-            &cases[c],
-            CoreConfig::fpga(),
-            PredictorKind::Gshare,
-            Mechanism::noisy_xor_bp(),
-            SwitchInterval::M12,
-            budget,
-            0x7ab4_0000 + c as u64,
-        )
-        .expect("run")
-    });
+    let report = SweepSpec::single("tab04: rekey triggers")
+        .with_mechanisms(vec![Mechanism::noisy_xor_bp()])
+        .with_intervals(vec![SwitchInterval::M12])
+        .with_master_seed(0x7ab4_0000)
+        .run()
+        .expect("sweep");
     println!(
         "{:<8} {:>18} {:>10} {:>18}",
         "case", "priv/Mcycle", "paper", "ctx-sw/Mcycle"
     );
-    for (c, case) in cases.iter().enumerate() {
+    for (c, case) in report.case_ids.iter().enumerate() {
+        let rec = report
+            .records_for("Noisy-XOR-BP")
+            .find(|r| &r.case_id == case)
+            .expect("record per case");
         println!(
             "{:<8} {:>18.2} {:>10.1} {:>18.3}",
-            case.id,
-            stats[c].priv_switches_per_mcycle(),
+            case,
+            rec.stats.priv_switches_per_mcycle(),
             PAPER[c],
-            stats[c].ctx_switches_per_mcycle(),
+            rec.stats.ctx_switches_per_mcycle(),
         );
     }
     println!("(paper: context switches ≈ 0.08/Mcycle — privilege switches dominate)");

@@ -1,41 +1,14 @@
 //! # sbp-bench
 //!
 //! Shared support for the benchmark harnesses under `benches/`. Each bench
-//! target reproduces one table or figure of the paper and prints the
-//! paper's rows/series next to the measured values; `cargo bench
-//! --workspace` runs them all. Scale the work with `SBP_SCALE` (1.0 is the
-//! laptop default; ≈100 approximates the paper's 2 B-instruction runs).
+//! target reproduces one table or figure of the paper by declaring a
+//! [`SweepSpec`](sbp_sweep::SweepSpec) grid and printing the engine's
+//! report next to the paper's numbers; `cargo bench --workspace` runs them
+//! all. Scale the work with `SBP_SCALE` (1.0 is the laptop default; ≈100
+//! approximates the paper's 2 B-instruction runs).
 
-/// Runs `f(i)` for `i in 0..n` on a pool of worker threads (one per
-/// available core) and returns the results in index order.
-pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let results: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *results[i].lock() = Some(f(i));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("worker completed"))
-        .collect()
-}
+pub use sbp_sweep::parallel_map;
+pub use sbp_types::report::{mean, pct};
 
 /// Prints the standard harness header.
 pub fn header(exp: &str, title: &str) {
@@ -48,78 +21,30 @@ pub fn header(exp: &str, title: &str) {
     println!("=============================================================");
 }
 
-/// Formats a fraction as a signed percentage.
-pub fn pct(x: f64) -> String {
-    format!("{:+.2}%", x * 100.0)
-}
-
 /// Runs the Figure 7/8/9 style experiment: each mechanism × each switch
 /// interval × the twelve single-core cases, printing per-case rows and
 /// per-series averages. Returns the per-series averages in
 /// `mechs × intervals` order.
-pub fn run_single_figure(mechs: &[(&str, sbp_core::Mechanism)], seed_base: u64) -> Vec<f64> {
-    use sbp_predictors::PredictorKind;
-    use sbp_sim::{single_overhead, CoreConfig, SwitchInterval, WorkBudget};
+pub fn run_single_figure(mechs: &[sbp_core::Mechanism], seed_base: u64) -> Vec<f64> {
+    use sbp_sim::SwitchInterval;
+    use sbp_sweep::SweepSpec;
 
-    let cases = sbp_trace::cases_single();
-    let budget = WorkBudget::single_default();
-    let intervals = SwitchInterval::ALL;
-    // jobs: mech-major, then interval, then case.
-    let jobs: Vec<(usize, usize, usize)> = (0..mechs.len())
+    let report = SweepSpec::single("single-core figure")
+        .with_mechanisms(mechs.to_vec())
+        .with_master_seed(seed_base)
+        .run()
+        .expect("sweep");
+    print!("{}", report.to_table());
+    mechs
+        .iter()
         .flat_map(|m| {
-            (0..intervals.len()).flat_map(move |iv| (0..cases.len()).map(move |c| (m, iv, c)))
+            SwitchInterval::ALL.iter().map(|iv| {
+                report
+                    .series_mean(m.label(), "Gshare", iv.label())
+                    .expect("series present")
+            })
         })
-        .collect();
-    let overheads = parallel_map(jobs.len(), |j| {
-        let (m, iv, c) = jobs[j];
-        single_overhead(
-            &cases[c],
-            CoreConfig::fpga(),
-            PredictorKind::Gshare,
-            mechs[m].1,
-            intervals[iv],
-            budget,
-            seed_base + c as u64, // same workload stream across mechanisms
-        )
-        .expect("run")
-    });
-    let at =
-        |m: usize, iv: usize, c: usize| overheads[(m * intervals.len() + iv) * cases.len() + c];
-
-    print!("{:<8}", "case");
-    for (label, _) in mechs {
-        for iv in intervals {
-            print!(" {:>18}", format!("{label}-{iv}"));
-        }
-    }
-    println!();
-    for (c, case) in cases.iter().enumerate() {
-        print!("{:<8}", case.id);
-        for m in 0..mechs.len() {
-            for iv in 0..intervals.len() {
-                print!(" {:>18}", pct(at(m, iv, c)));
-            }
-        }
-        println!();
-    }
-    let mut averages = Vec::new();
-    for (m, (label, _)) in mechs.iter().enumerate() {
-        for (k, iv) in intervals.iter().enumerate() {
-            let avg = mean(&(0..cases.len()).map(|c| at(m, k, c)).collect::<Vec<_>>());
-            println!("average {label}-{iv}: {}", pct(avg));
-            averages.push(avg);
-        }
-    }
-    averages
-}
-
-/// Arithmetic mean (the paper's "average" bars).
-pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
+        .collect()
 }
 
 #[cfg(test)]
@@ -127,15 +52,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
+    fn parallel_map_reexport_preserves_order() {
         let out = parallel_map(100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_empty() {
-        let out: Vec<usize> = parallel_map(0, |i| i);
-        assert!(out.is_empty());
     }
 
     #[test]

@@ -62,6 +62,11 @@ impl BtbGeometry {
     fn entry_bits(&self) -> u32 {
         self.tag_bits + self.target_bits
     }
+
+    /// Total SRAM storage of the macro in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries_per_way as u64 * self.ways as u64 * self.entry_bits() as u64
+    }
 }
 
 /// Geometry of one TAGE prediction table.
@@ -81,6 +86,11 @@ impl PhtGeometry {
             entries,
             entry_bits: 13,
         }
+    }
+
+    /// Total SRAM storage of the macro in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries as u64 * self.entry_bits as u64
     }
 }
 
@@ -128,8 +138,14 @@ impl XorOverlay {
         }
     }
 
+    /// Storage bits of the per-thread key register pairs (two 64-bit keys
+    /// per hardware thread).
+    pub fn key_register_bits(&self) -> u64 {
+        self.threads as u64 * 128
+    }
+
     fn key_register_area(&self) -> f64 {
-        self.threads as f64 * 128.0 * A_FF
+        self.key_register_bits() as f64 * A_FF
     }
 
     /// The key registers are a per-core resource shared by every predictor
@@ -268,6 +284,13 @@ mod tests {
         let g = BtbGeometry::two_way(256);
         assert!(plain.btb_cost(&g).added_delay < noisy.btb_cost(&g).added_delay);
         assert!(plain.btb_cost(&g).added_area < noisy.btb_cost(&g).added_area);
+    }
+
+    #[test]
+    fn storage_bits_match_geometry() {
+        assert_eq!(BtbGeometry::two_way(256).storage_bits(), 256 * 2 * 44);
+        assert_eq!(PhtGeometry::tage(2048).storage_bits(), 2048 * 13);
+        assert_eq!(XorOverlay::noisy(2).key_register_bits(), 256);
     }
 
     #[test]

@@ -53,12 +53,22 @@ impl WorkBudget {
 }
 
 /// Reads the `SBP_SCALE` multiplier (default 1.0, clamped to ≥ 0.01).
+///
+/// The environment variable is parsed once per process and cached; an
+/// unparsable value warns on stderr (once) and falls back to 1.0 instead
+/// of silently ignoring the setting.
 pub fn scale() -> f64 {
-    std::env::var("SBP_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(1.0)
-        .max(0.01)
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| match std::env::var("SBP_SCALE") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(s) => s.max(0.01),
+            Err(_) => {
+                eprintln!("warning: unparsable SBP_SCALE={raw:?}, using 1.0");
+                1.0
+            }
+        },
+    })
 }
 
 /// Runs the target benchmark of `case` on a single-threaded core and

@@ -1,0 +1,72 @@
+//! Calibration report: per-benchmark baseline prediction accuracy, BTB hit
+//! rate and per-predictor MPKI, compared against the anchors the paper
+//! reports (Gshare 8.45 / Tournament 5.17 / LTAGE 4.10 / TAGE-SC-L 3.99
+//! MPKI on SMT-2; gcc PHT 90.1%, gobmk BTB 85.2%, libquantum BTB 99.3%).
+//!
+//! Both halves are baseline-only characterization sweeps: a spec with an
+//! empty mechanism list plans exactly one baseline job per grid point.
+//!
+//! Run with `cargo run -p sbp-sweep --bin calibrate --release`.
+
+use sbp_predictors::PredictorKind;
+use sbp_sim::{SwitchInterval, WorkBudget};
+use sbp_sweep::{CaseSpec, SweepSpec};
+use sbp_trace::{cases_single, cases_smt2};
+use sbp_types::report::mean;
+
+fn main() {
+    println!("== per-benchmark baseline (single-core, Gshare) ==");
+    let mut seen = std::collections::BTreeSet::new();
+    let cases: Vec<CaseSpec> = cases_single()
+        .iter()
+        .flat_map(|c| [c.target, c.background])
+        .filter(|name| seen.insert(*name))
+        .map(|name| CaseSpec::new(name, &[name, "namd"]))
+        .collect();
+    let report = SweepSpec::single("calibrate: per-benchmark baseline")
+        .with_cases(cases)
+        .with_intervals(vec![SwitchInterval::M8])
+        .with_budget(WorkBudget {
+            warmup: 50_000,
+            measure: 400_000,
+        })
+        .with_master_seed(7)
+        .run()
+        .expect("sweep");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10}",
+        "benchmark", "condAcc", "btbHit", "MPKI", "IPC"
+    );
+    for rec in report.records_for("Baseline") {
+        let s = &rec.stats;
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>8.2} {:>10.2}",
+            rec.case_id,
+            100.0 * s.cond_accuracy(),
+            100.0 * s.btb_hit_rate(),
+            s.mpki(),
+            s.ipc()
+        );
+    }
+
+    println!("\n== SMT-2 baseline MPKI per predictor (paper: 8.45 / 5.17 / 4.10 / 3.99) ==");
+    let subset = sbp_sweep::cases_from(&cases_smt2()[..4]);
+    let report = SweepSpec::smt("calibrate: SMT-2 MPKI")
+        .with_predictors(PredictorKind::ALL.to_vec())
+        .with_cases(subset)
+        .with_budget(WorkBudget {
+            warmup: 100_000,
+            measure: 600_000,
+        })
+        .with_master_seed(11)
+        .run()
+        .expect("sweep");
+    for kind in PredictorKind::ALL {
+        let mpkis: Vec<f64> = report
+            .records_for("Baseline")
+            .filter(|r| r.predictor == kind.label())
+            .map(|r| r.stats.mpki())
+            .collect();
+        println!("{:<12} avg MPKI {:>6.2}", kind.label(), mean(&mpkis));
+    }
+}

@@ -1,0 +1,26 @@
+//! Quick probe: CF / Noisy-XOR-BP overhead on two SMT pairs across the
+//! 8 M and off intervals (a fig10 subset), printed as the engine's table —
+//! also the CI smoke test for the sweep pipeline.
+//!
+//! Run with `SBP_SCALE=0.02 cargo run -p sbp-sweep --bin cfprobe --release`
+//! for a fast pass.
+
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::SwitchInterval;
+use sbp_sweep::{CaseSpec, SweepSpec};
+
+fn main() {
+    let report = SweepSpec::smt("cfprobe")
+        .with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL])
+        .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
+        .with_intervals(vec![SwitchInterval::M8, SwitchInterval::Off])
+        .with_cases(vec![
+            CaseSpec::pair("zeusmp+lbm", "zeusmp", "lbm"),
+            CaseSpec::pair("gobmk+h264", "gobmk", "h264ref"),
+        ])
+        .with_master_seed(42)
+        .run()
+        .expect("sweep");
+    print!("{}", report.to_table());
+}

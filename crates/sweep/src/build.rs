@@ -1,0 +1,335 @@
+//! Aggregating raw run results into a [`SweepReport`].
+
+use sbp_core::Mechanism;
+use sbp_hwcost::{BtbGeometry, PhtGeometry, XorOverlay};
+use sbp_predictors::PredictorKind;
+use sbp_types::report::{mean, stddev};
+use sbp_types::{CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
+
+use crate::exec::RawRun;
+use crate::plan::SweepPlan;
+use crate::spec::{SweepMode, SweepSpec};
+
+/// Builds the structured report from a plan and its raw results (one
+/// [`RawRun`] per planned job, in job order).
+pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> SweepReport {
+    assert_eq!(raw.len(), plan.jobs.len(), "one result per planned job");
+    let mechs = spec.series_mechanisms();
+
+    // Baseline cycles per group (the shared divisor of every series).
+    let mut base_cycles = vec![0.0f64; plan.groups.len()];
+    for (j, job) in plan.jobs.iter().enumerate() {
+        if job.mechanism == Mechanism::Baseline {
+            base_cycles[job.group] = raw[j].cycles;
+        }
+    }
+
+    let records: Vec<RunRecord> = plan
+        .jobs
+        .iter()
+        .zip(raw)
+        .map(|(job, run)| {
+            let g = &plan.groups[job.group];
+            let overhead = if job.mechanism == Mechanism::Baseline {
+                None
+            } else {
+                Some(run.cycles / base_cycles[job.group] - 1.0)
+            };
+            RunRecord {
+                series: job.mechanism.label().to_string(),
+                predictor: g.predictor.label().to_string(),
+                interval: g.interval.label().to_string(),
+                case_id: spec.cases[g.case_index].id.clone(),
+                seed_index: g.seed_index,
+                seed: g.seed,
+                cycles: run.cycles,
+                overhead,
+                stats: run.stats,
+            }
+        })
+        .collect();
+
+    // Cells and series, column order: predictor-major, then mechanism,
+    // then interval; rows are cases.
+    let (i_len, c_len, s_len) = (spec.intervals.len(), spec.cases.len(), spec.seeds as usize);
+    let mut cells = Vec::new();
+    let mut series = Vec::new();
+    for (pi, &predictor) in spec.predictors.iter().enumerate() {
+        for (mi, &mechanism) in mechs.iter().enumerate() {
+            for (ii, &interval) in spec.intervals.iter().enumerate() {
+                let label = series_label(spec, predictor, mechanism, interval.label());
+                let mut case_means = Vec::with_capacity(c_len);
+                for (ci, case) in spec.cases.iter().enumerate() {
+                    let overheads: Vec<f64> = (0..s_len)
+                        .map(|si| {
+                            let group = ((pi * i_len + ii) * c_len + ci) * s_len + si;
+                            let j = plan.job_index(group, Some(mi), mechs.len());
+                            records[j].overhead.expect("mechanism job has overhead")
+                        })
+                        .collect();
+                    let m = mean(&overheads);
+                    case_means.push(m);
+                    cells.push(CellSummary {
+                        label: label.clone(),
+                        series: mechanism.label().to_string(),
+                        predictor: predictor.label().to_string(),
+                        interval: interval.label().to_string(),
+                        case_id: case.id.clone(),
+                        mean: m,
+                        stddev: stddev(&overheads),
+                        n: spec.seeds,
+                    });
+                }
+                series.push(SeriesSummary {
+                    label,
+                    series: mechanism.label().to_string(),
+                    predictor: predictor.label().to_string(),
+                    interval: interval.label().to_string(),
+                    mean: mean(&case_means),
+                });
+            }
+        }
+    }
+
+    let hw = spec
+        .predictors
+        .iter()
+        .flat_map(|&p| mechs.iter().map(move |&m| hw_cell(spec, p, m)))
+        .collect();
+
+    SweepReport {
+        name: spec.name.clone(),
+        mode: spec.mode.label().to_string(),
+        core: spec.core.name.to_string(),
+        case_ids: spec.cases.iter().map(|c| c.id.clone()).collect(),
+        records,
+        cells,
+        series,
+        hw,
+    }
+}
+
+/// Display label of one series column: the mechanism name, qualified with
+/// the predictor when the sweep has several and the interval when the
+/// sweep has several.
+fn series_label(
+    spec: &SweepSpec,
+    predictor: PredictorKind,
+    mechanism: Mechanism,
+    interval: &str,
+) -> String {
+    let mut label = String::new();
+    if spec.predictors.len() > 1 {
+        label.push_str(predictor.label());
+        label.push('/');
+    }
+    label.push_str(mechanism.label());
+    if spec.intervals.len() > 1 {
+        label.push('-');
+        label.push_str(interval);
+    }
+    label
+}
+
+/// Joins the `sbp-hwcost` storage/area/timing figures for one
+/// (predictor, mechanism) cell.
+///
+/// Storage bits come from the core's BTB geometry and the predictor's own
+/// accounting; Precise Flush charges the 8-bit owner tags the tables
+/// model, and the XOR family charges the per-thread key registers plus the
+/// worst protected macro's analytical area/timing overhead.
+/// The dominant direction-table macro of each predictor — what the XOR
+/// overlay's critical path actually runs through (the paper's Table 5
+/// geometries for the TAGE family, the counter arrays for the rest).
+fn pht_geometry(predictor: PredictorKind) -> PhtGeometry {
+    match predictor {
+        // 8192 × 2-bit gshare counter array (Gshare::paper_2kb).
+        PredictorKind::Gshare => PhtGeometry {
+            entries: 8192,
+            entry_bits: 2,
+        },
+        // The Alpha-style tournament's 8192-entry global table dominates.
+        PredictorKind::Tournament => PhtGeometry {
+            entries: 8192,
+            entry_bits: 2,
+        },
+        // Both TAGE-family predictors read 4096-entry tagged tables
+        // (TageConfig: log_entries = 12).
+        PredictorKind::Ltage | PredictorKind::TageScL => PhtGeometry::tage(4096),
+    }
+}
+
+fn hw_cell(spec: &SweepSpec, predictor: PredictorKind, mechanism: Mechanism) -> HwCell {
+    let threads = match spec.mode {
+        SweepMode::SingleCore => 1,
+        SweepMode::Smt => spec
+            .cases
+            .iter()
+            .map(|c| c.workloads.len())
+            .max()
+            .unwrap_or(2),
+    };
+    let btb_geom = BtbGeometry {
+        entries_per_way: spec.core.btb.sets,
+        ways: spec.core.btb.ways,
+        tag_bits: spec.core.btb.tag_bits,
+        target_bits: 32,
+    };
+    let btb_storage_bits = btb_geom.storage_bits();
+    let pht_storage_bits = predictor.build(threads).storage_bits();
+    let (added_bits, timing_overhead, area_overhead) = match mechanism {
+        Mechanism::Baseline | Mechanism::CompleteFlush => (0, 0.0, 0.0),
+        Mechanism::PreciseFlush => {
+            let tagged = predictor.build_with_owner_tags(threads).storage_bits();
+            let btb_entries = (spec.core.btb.sets * spec.core.btb.ways) as u64;
+            (tagged - pht_storage_bits + btb_entries * 8, 0.0, 0.0)
+        }
+        Mechanism::Xor(cfg) => {
+            let overlay = XorOverlay {
+                threads,
+                index_encoding: cfg.index_encoding,
+            };
+            let mut timing = 0.0f64;
+            let mut area = 0.0f64;
+            if cfg.protect_btb {
+                let c = overlay.btb_cost(&btb_geom);
+                timing = timing.max(c.timing_overhead());
+                area = area.max(c.area_overhead());
+            }
+            if cfg.protect_pht {
+                let c = overlay.pht_cost(&pht_geometry(predictor));
+                timing = timing.max(c.timing_overhead());
+                area = area.max(c.area_overhead());
+            }
+            (overlay.key_register_bits(), timing, area)
+        }
+    };
+    HwCell {
+        predictor: predictor.label().to_string(),
+        series: mechanism.label().to_string(),
+        btb_storage_bits,
+        pht_storage_bits,
+        added_bits,
+        timing_overhead,
+        area_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_sim::{SwitchInterval, WorkBudget};
+
+    use crate::spec::CaseSpec;
+
+    fn quick_spec() -> SweepSpec {
+        SweepSpec::single("build test")
+            .with_cases(vec![
+                CaseSpec::pair("c1", "gcc", "calculix"),
+                CaseSpec::pair("c2", "milc", "povray"),
+            ])
+            .with_intervals(vec![SwitchInterval::M4, SwitchInterval::M8])
+            .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
+            .with_budget(WorkBudget::quick())
+            .with_seeds(2)
+    }
+
+    #[test]
+    fn report_shape_matches_grid() {
+        let spec = quick_spec();
+        let report = spec.run().expect("sweep");
+        // (M+1) jobs per group, groups = I·C·S.
+        assert_eq!(report.records.len(), 3 * 2 * 2 * 2);
+        // Cells: M·I·C; series: M·I.
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        assert_eq!(report.series.len(), 2 * 2);
+        assert_eq!(report.case_ids, vec!["c1", "c2"]);
+        for cell in &report.cells {
+            assert_eq!(cell.n, 2);
+            assert!(cell.mean.is_finite());
+            assert!(cell.stddev >= 0.0);
+        }
+    }
+
+    #[test]
+    fn baseline_records_have_no_overhead_and_mechanisms_do() {
+        let report = quick_spec().run().expect("sweep");
+        for r in &report.records {
+            if r.series == "Baseline" {
+                assert!(r.overhead.is_none());
+            } else {
+                assert!(r.overhead.expect("overhead").is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_qualify_only_populated_axes() {
+        let spec = quick_spec();
+        assert_eq!(
+            series_label(&spec, PredictorKind::Gshare, Mechanism::CompleteFlush, "4M"),
+            "CF-4M"
+        );
+        let one_interval = quick_spec().with_intervals(vec![SwitchInterval::M8]);
+        assert_eq!(
+            series_label(
+                &one_interval,
+                PredictorKind::Gshare,
+                Mechanism::CompleteFlush,
+                "8M"
+            ),
+            "CF"
+        );
+        let multi_pred =
+            quick_spec().with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL]);
+        assert_eq!(
+            series_label(
+                &multi_pred,
+                PredictorKind::TageScL,
+                Mechanism::noisy_xor_bp(),
+                "4M"
+            ),
+            "TAGE_SC_L/Noisy-XOR-BP-4M"
+        );
+    }
+
+    #[test]
+    fn hw_join_charges_the_right_mechanisms() {
+        let spec = quick_spec();
+        let report = spec.run().expect("sweep");
+        assert_eq!(report.hw.len(), 2); // one predictor × two mechanisms
+        let cf = report.hw.iter().find(|h| h.series == "CF").expect("CF");
+        assert_eq!(cf.added_bits, 0);
+        assert_eq!(cf.timing_overhead, 0.0);
+        let noisy = report
+            .hw
+            .iter()
+            .find(|h| h.series == "Noisy-XOR-BP")
+            .expect("noisy");
+        assert_eq!(noisy.added_bits, 128); // one thread's key pair
+        assert!(noisy.timing_overhead > 0.0);
+        assert!(noisy.area_overhead > 0.0);
+        assert!(noisy.btb_storage_bits > 0 && noisy.pht_storage_bits > 0);
+    }
+
+    #[test]
+    fn hw_join_uses_per_predictor_pht_geometry() {
+        // The XOR overlay's timing overhead depends on the macro it
+        // wraps: TAGE's 4096 × 13-bit tagged tables differ from gshare's
+        // 8192 × 2-bit counter array.
+        let spec = quick_spec();
+        let gshare = hw_cell(&spec, PredictorKind::Gshare, Mechanism::noisy_xor_pht());
+        let tage = hw_cell(&spec, PredictorKind::TageScL, Mechanism::noisy_xor_pht());
+        assert_ne!(gshare.timing_overhead, tage.timing_overhead);
+        assert_ne!(gshare.area_overhead, tage.area_overhead);
+    }
+
+    #[test]
+    fn precise_flush_charges_owner_tags() {
+        let spec = quick_spec().with_mechanisms(vec![Mechanism::PreciseFlush]);
+        let report = spec.run().expect("sweep");
+        let pf = &report.hw[0];
+        // 8-bit tags on each BTB entry at minimum.
+        assert!(pf.added_bits >= (spec.core.btb.sets * spec.core.btb.ways * 8) as u64);
+    }
+}

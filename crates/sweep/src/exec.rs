@@ -1,0 +1,167 @@
+//! Parallel plan execution on a work-stealing thread pool.
+
+use sbp_sim::{SingleCoreSim, SmtSim};
+use sbp_types::{PredictionStats, SbpError};
+
+use crate::plan::{Job, SweepPlan};
+use crate::spec::{SweepMode, SweepSpec};
+
+/// Raw outcome of one executed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRun {
+    /// Measured cycles: the target's cycles on the single-core mode, wall
+    /// cycles across threads on SMT.
+    pub cycles: f64,
+    /// Prediction statistics (summed across hardware threads for SMT).
+    pub stats: PredictionStats,
+}
+
+/// Runs `f(i)` for `i in 0..n` on a pool of worker threads (one per
+/// available core) and returns the results in index order.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *results[i].lock() = Some(f(i));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker completed"))
+        .collect()
+}
+
+/// Executes every planned job in parallel; results are in plan job order.
+///
+/// # Errors
+///
+/// Returns the first unknown-workload or configuration error.
+pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawRun>, SbpError> {
+    let results = parallel_map(plan.jobs.len(), |j| run_job(spec, plan, &plan.jobs[j]));
+    results.into_iter().collect()
+}
+
+fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawRun, SbpError> {
+    let group = &plan.groups[job.group];
+    let case = &spec.cases[group.case_index];
+    let workloads: Vec<&str> = case.workloads.iter().map(String::as_str).collect();
+    match spec.mode {
+        SweepMode::SingleCore => {
+            let mut sim = SingleCoreSim::new(
+                spec.core,
+                group.predictor,
+                job.mechanism,
+                group.interval,
+                &workloads,
+                group.seed,
+            )?;
+            let stats = sim.run_target(spec.budget.warmup, spec.budget.measure);
+            Ok(RawRun {
+                cycles: stats.cycles as f64,
+                stats,
+            })
+        }
+        SweepMode::Smt => {
+            let mut sim = SmtSim::new(
+                spec.core,
+                group.predictor,
+                job.mechanism,
+                group.interval,
+                &workloads,
+                group.seed,
+            )?;
+            let result = sim.run(spec.budget.warmup, spec.budget.measure);
+            let mut stats = PredictionStats::new();
+            for t in &result.per_thread {
+                stats += *t;
+            }
+            stats.cycles = result.cycles as u64;
+            Ok(RawRun {
+                cycles: result.cycles,
+                stats,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_core::Mechanism;
+    use sbp_sim::WorkBudget;
+
+    use crate::spec::CaseSpec;
+
+    fn quick_spec(mode_smt: bool) -> SweepSpec {
+        let base = if mode_smt {
+            SweepSpec::smt("exec test")
+        } else {
+            SweepSpec::single("exec test")
+        };
+        base.with_cases(vec![CaseSpec::pair("c1", "gcc", "calculix")])
+            .with_intervals(vec![sbp_sim::SwitchInterval::M8])
+            .with_mechanisms(vec![Mechanism::CompleteFlush])
+            .with_budget(WorkBudget::quick())
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<usize> = parallel_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn executes_single_core_plan() {
+        let spec = quick_spec(false);
+        let plan = crate::plan::plan(&spec);
+        let raw = execute(&spec, &plan).expect("run");
+        assert_eq!(raw.len(), 2);
+        for r in &raw {
+            assert!(r.cycles > 0.0);
+            assert!(r.stats.cond_branches > 0);
+        }
+    }
+
+    #[test]
+    fn executes_smt_plan_with_summed_thread_stats() {
+        let spec = quick_spec(true);
+        let plan = crate::plan::plan(&spec);
+        let raw = execute(&spec, &plan).expect("run");
+        assert_eq!(raw.len(), 2);
+        for r in &raw {
+            assert!(r.cycles > 0.0);
+            // Both threads' instructions are folded into one record.
+            assert!(r.stats.instructions >= spec.budget.measure);
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error_not_a_panic() {
+        let spec =
+            quick_spec(false).with_cases(vec![CaseSpec::pair("bad", "no_such_workload", "gcc")]);
+        let plan = crate::plan::plan(&spec);
+        assert!(execute(&spec, &plan).is_err());
+    }
+}

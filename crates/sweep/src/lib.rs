@@ -1,0 +1,53 @@
+//! # sbp-sweep
+//!
+//! The declarative sweep engine: every figure and table of the paper is a
+//! grid sweep (mechanism × predictor × switch interval × benchmark case ×
+//! seed), and this crate turns such a grid — a [`SweepSpec`] — into a
+//! deduplicated job plan, executes it on a work-stealing thread pool and
+//! aggregates the results into a serializable
+//! [`SweepReport`](sbp_types::SweepReport).
+//!
+//! The pipeline has four stages, each usable on its own:
+//!
+//! 1. **spec** ([`SweepSpec`]) — the declarative grid plus core config,
+//!    mode and work budget;
+//! 2. **plan** ([`plan::plan`]) — the deduplicated job list: exactly one
+//!    baseline simulation per (predictor, interval, case, seed) group is
+//!    shared by every mechanism series, so `M` mechanisms cost `M + 1`
+//!    simulations per group instead of the `2·M` the old per-series
+//!    helpers paid; per-group seeds come from
+//!    [`SplitMix64::derive`](sbp_types::rng::SplitMix64::derive);
+//! 3. **exec** ([`exec::execute`], [`exec::parallel_map`]) — parallel
+//!    execution in plan order;
+//! 4. **build** ([`build::build_report`]) — normalized overheads,
+//!    seed-aggregated mean/stddev per cell, per-series case averages and
+//!    the `sbp-hwcost` storage/area/timing join, with JSON-lines, CSV and
+//!    aligned-table emitters on the report.
+//!
+//! ```
+//! use sbp_core::Mechanism;
+//! use sbp_sim::{SwitchInterval, WorkBudget};
+//! use sbp_sweep::{CaseSpec, SweepSpec};
+//!
+//! # fn main() -> Result<(), sbp_types::SbpError> {
+//! let report = SweepSpec::single("quick demo")
+//!     .with_cases(vec![CaseSpec::pair("c1", "gcc", "calculix")])
+//!     .with_intervals(vec![SwitchInterval::M8])
+//!     .with_mechanisms(vec![Mechanism::CompleteFlush])
+//!     .with_budget(WorkBudget::quick())
+//!     .run()?;
+//! assert_eq!(report.records.len(), 2); // one baseline + one mechanism
+//! assert!(report.series_mean("CF", "Gshare", "8M").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod build;
+pub mod exec;
+pub mod plan;
+pub mod spec;
+
+pub use build::build_report;
+pub use exec::{execute, parallel_map, RawRun};
+pub use plan::{plan, Job, JobGroup, SweepPlan};
+pub use spec::{cases_from, CaseSpec, SweepMode, SweepSpec};

@@ -1,0 +1,227 @@
+//! Turning a [`SweepSpec`] into a deduplicated job plan.
+//!
+//! The grid is partitioned into **groups** — one per (predictor, interval,
+//! case, seed replica) point. Every mechanism series in a group is
+//! normalized against the *same* baseline simulation, so the planner
+//! schedules exactly one `Baseline` job per group, shared by all series.
+//! For `M` mechanisms this plans `M + 1` simulations per group where the
+//! old per-series runners (`single_overhead` per mechanism) re-simulated
+//! the baseline every time and needed `2·M`.
+//!
+//! Each group draws its workload-stream seed from
+//! [`SplitMix64::derive`](sbp_types::rng::SplitMix64::derive) labeled with
+//! the group's **(case, seed replica)** pair — deliberately *not* the
+//! interval or predictor. Every job inside a group (baseline and all
+//! mechanisms) replays the identical instruction stream — the requirement
+//! for a meaningful `cycles(mech) / cycles(baseline)` ratio — and on top
+//! of that, the interval and predictor columns of one case replay the
+//! *same* stream too, so cross-interval trends (Figure 1/7/8/9) and
+//! cross-predictor trends (Figure 10) measure the variable under study
+//! rather than stream-to-stream variance, exactly like the old
+//! `seed_base + case` runners. Seeds are pairwise distinct across
+//! distinct (case, replica) pairs.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::SwitchInterval;
+use sbp_types::rng::SplitMix64;
+
+use crate::spec::SweepSpec;
+
+/// One (predictor, interval, case, seed) grid point sharing a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobGroup {
+    /// Predictor under test.
+    pub predictor: PredictorKind,
+    /// Switch interval.
+    pub interval: SwitchInterval,
+    /// Index into `spec.cases`.
+    pub case_index: usize,
+    /// Seed replica index.
+    pub seed_index: u32,
+    /// Derived workload-stream seed shared by every job in the group.
+    pub seed: u64,
+}
+
+/// One simulation to run: a group point plus the mechanism to apply
+/// (`Mechanism::Baseline` marks the group's shared baseline job).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Index into [`SweepPlan::groups`].
+    pub group: usize,
+    /// Mechanism this job simulates.
+    pub mechanism: Mechanism,
+}
+
+/// The planned job list for a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPlan {
+    /// All (predictor, interval, case, seed) groups, grid order.
+    pub groups: Vec<JobGroup>,
+    /// All jobs; group-major, the baseline job first within each group.
+    pub jobs: Vec<Job>,
+}
+
+impl SweepPlan {
+    /// Number of planned baseline simulations.
+    pub fn baseline_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.mechanism == Mechanism::Baseline)
+            .count()
+    }
+
+    /// Job index of the `(group, mechanism)` pair given the series count
+    /// (`mech_index = None` addresses the baseline job).
+    pub(crate) fn job_index(
+        &self,
+        group: usize,
+        mech_index: Option<usize>,
+        series: usize,
+    ) -> usize {
+        group * (series + 1) + mech_index.map_or(0, |m| m + 1)
+    }
+}
+
+/// Plans the deduplicated job list for `spec`.
+///
+/// Group seeds are `SplitMix64::derive(master_seed, case · S + replica)`:
+/// pure in the spec (re-planning yields the identical plan), distinct
+/// across (case, replica) pairs, and shared across the interval and
+/// predictor axes so those columns compare like against like.
+pub fn plan(spec: &SweepSpec) -> SweepPlan {
+    let mechs = spec.series_mechanisms();
+    let (i_len, c_len, s_len) = (spec.intervals.len(), spec.cases.len(), spec.seeds as usize);
+    let mut groups = Vec::with_capacity(spec.predictors.len() * i_len * c_len * s_len);
+    let mut jobs = Vec::with_capacity(groups.capacity() * (mechs.len() + 1));
+    for &predictor in &spec.predictors {
+        for &interval in &spec.intervals {
+            for case_index in 0..c_len {
+                for seed_index in 0..s_len {
+                    let stream = (case_index * s_len + seed_index) as u64;
+                    groups.push(JobGroup {
+                        predictor,
+                        interval,
+                        case_index,
+                        seed_index: seed_index as u32,
+                        seed: SplitMix64::derive(spec.master_seed, stream),
+                    });
+                    let group = groups.len() - 1;
+                    jobs.push(Job {
+                        group,
+                        mechanism: Mechanism::Baseline,
+                    });
+                    for &mechanism in &mechs {
+                        jobs.push(Job { group, mechanism });
+                    }
+                }
+            }
+        }
+    }
+    SweepPlan { groups, jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig07_style_spec() -> SweepSpec {
+        // M = 2 mechanisms, I = 3 intervals, C = 12 cases, S = 1 seed.
+        SweepSpec::single("fig07")
+            .with_mechanisms(vec![Mechanism::xor_btb(), Mechanism::noisy_xor_btb()])
+    }
+
+    #[test]
+    fn job_count_is_m_plus_one_per_group_not_two_m() {
+        let spec = fig07_style_spec();
+        let plan = plan(&spec);
+        let (m, i, c, s) = (2usize, 3usize, 12usize, 1usize);
+        assert_eq!(plan.groups.len(), i * c * s);
+        // The old per-series runners simulated 2·M·I·C·S = 144; the planner
+        // schedules (M+1)·I·C·S = 108.
+        assert_eq!(plan.jobs.len(), (m + 1) * i * c * s);
+        assert!(plan.jobs.len() < 2 * m * i * c * s);
+    }
+
+    #[test]
+    fn exactly_one_baseline_per_group() {
+        let spec = fig07_style_spec();
+        let plan = plan(&spec);
+        assert_eq!(plan.baseline_jobs(), plan.groups.len());
+        for (g, _) in plan.groups.iter().enumerate() {
+            let in_group: Vec<&Job> = plan.jobs.iter().filter(|j| j.group == g).collect();
+            assert_eq!(
+                in_group
+                    .iter()
+                    .filter(|j| j.mechanism == Mechanism::Baseline)
+                    .count(),
+                1,
+                "group {g}"
+            );
+            assert_eq!(in_group.len(), 3);
+        }
+    }
+
+    #[test]
+    fn explicit_baseline_in_spec_is_not_duplicated() {
+        let spec = SweepSpec::single("x")
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::CompleteFlush]);
+        let plan = plan(&spec);
+        assert_eq!(plan.jobs.len(), 2 * plan.groups.len());
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let spec = fig07_style_spec();
+        assert_eq!(plan(&spec), plan(&spec));
+    }
+
+    #[test]
+    fn group_seeds_are_keyed_by_case_and_replica_only() {
+        // Two predictors × three intervals so both shared axes are present.
+        let spec =
+            fig07_style_spec().with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL]);
+        let plan = plan(&spec);
+        let mut by_case: std::collections::BTreeMap<(usize, u32), u64> =
+            std::collections::BTreeMap::new();
+        for g in &plan.groups {
+            // Same (case, replica) ⇒ same stream across intervals and
+            // predictors; first sighting registers the seed.
+            let seed = *by_case
+                .entry((g.case_index, g.seed_index))
+                .or_insert(g.seed);
+            assert_eq!(g.seed, seed, "case {} stream differs", g.case_index);
+        }
+        // Distinct (case, replica) pairs get pairwise distinct seeds.
+        let distinct: std::collections::BTreeSet<u64> = by_case.values().copied().collect();
+        assert_eq!(distinct.len(), by_case.len());
+    }
+
+    #[test]
+    fn job_index_addresses_plan_order() {
+        let spec = fig07_style_spec();
+        let plan = plan(&spec);
+        let series = spec.series_mechanisms().len();
+        for (g, _) in plan.groups.iter().enumerate() {
+            let b = plan.job_index(g, None, series);
+            assert_eq!(plan.jobs[b].group, g);
+            assert_eq!(plan.jobs[b].mechanism, Mechanism::Baseline);
+            for (mi, &m) in spec.series_mechanisms().iter().enumerate() {
+                let idx = plan.job_index(g, Some(mi), series);
+                assert_eq!(plan.jobs[idx].group, g);
+                assert_eq!(plan.jobs[idx].mechanism, m);
+            }
+        }
+    }
+
+    #[test]
+    fn master_seed_changes_every_group_seed() {
+        let a = plan(&fig07_style_spec());
+        let b = plan(&fig07_style_spec().with_master_seed(1));
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_ne!(ga.seed, gb.seed);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The declarative sweep specification.
+//!
+//! A [`SweepSpec`] names the full experiment grid — predictors ×
+//! mechanisms × switch intervals × benchmark cases × seed replicas — plus
+//! the core configuration, execution mode and work budget. The planner
+//! (`crate::plan`) turns it into a deduplicated job list; [`SweepSpec::run`]
+//! does the whole pipeline in one call.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{CoreConfig, SwitchInterval, WorkBudget};
+use sbp_trace::BenchmarkCase;
+use sbp_types::{SbpError, SweepReport};
+
+/// One benchmark case: a named set of co-scheduled workloads. Workload 0
+/// is the measured target on the single-core mode; on SMT every workload
+/// gets its own hardware thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Case id used in reports ("case1", "custom", ...).
+    pub id: String,
+    /// Workload names (resolved via `sbp_trace::WorkloadProfile::by_name`).
+    pub workloads: Vec<String>,
+}
+
+impl CaseSpec {
+    /// Builds a case from borrowed names of any lifetime.
+    pub fn new(id: &str, workloads: &[&str]) -> Self {
+        CaseSpec {
+            id: id.to_string(),
+            workloads: workloads.iter().map(|w| w.to_string()).collect(),
+        }
+    }
+
+    /// The common target + background pair.
+    pub fn pair(id: &str, target: &str, background: &str) -> Self {
+        CaseSpec::new(id, &[target, background])
+    }
+}
+
+impl From<&BenchmarkCase> for CaseSpec {
+    fn from(case: &BenchmarkCase) -> Self {
+        CaseSpec::pair(case.id, case.target, case.background)
+    }
+}
+
+/// Converts a Table 3 case list into sweep cases.
+pub fn cases_from(cases: &[BenchmarkCase]) -> Vec<CaseSpec> {
+    cases.iter().map(CaseSpec::from).collect()
+}
+
+/// Which simulator executes the jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Timer-multiplexed single hardware thread (the FPGA experiments).
+    SingleCore,
+    /// One hardware thread per workload (the gem5 experiments).
+    Smt,
+}
+
+impl SweepMode {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepMode::SingleCore => "single-core",
+            SweepMode::Smt => "smt",
+        }
+    }
+}
+
+/// A declarative experiment grid.
+///
+/// Construct with [`SweepSpec::single`] / [`SweepSpec::smt`] for the
+/// paper's defaults and override axes with the `with_*` builders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Report name.
+    pub name: String,
+    /// Execution mode.
+    pub mode: SweepMode,
+    /// Core configuration (timing model + BTB geometry).
+    pub core: CoreConfig,
+    /// Predictor axis.
+    pub predictors: Vec<PredictorKind>,
+    /// Mechanism series. `Mechanism::Baseline` entries are ignored: the
+    /// planner always schedules exactly one shared baseline per group.
+    pub mechanisms: Vec<Mechanism>,
+    /// Switch-interval axis.
+    pub intervals: Vec<SwitchInterval>,
+    /// Benchmark cases.
+    pub cases: Vec<CaseSpec>,
+    /// Per-run work amounts.
+    pub budget: WorkBudget,
+    /// Number of seed replicas per cell.
+    pub seeds: u32,
+    /// Master seed all per-group seeds are derived from.
+    pub master_seed: u64,
+}
+
+impl SweepSpec {
+    /// A single-core sweep with the paper's FPGA defaults: Gshare, all
+    /// three switch intervals, the twelve Table 3 cases, the default
+    /// single-core budget, one seed replica.
+    pub fn single(name: &str) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            mode: SweepMode::SingleCore,
+            core: CoreConfig::fpga(),
+            predictors: vec![PredictorKind::Gshare],
+            mechanisms: Vec::new(),
+            intervals: SwitchInterval::ALL.to_vec(),
+            cases: cases_from(&sbp_trace::cases_single()),
+            budget: WorkBudget::single_default(),
+            seeds: 1,
+            master_seed: 0,
+        }
+    }
+
+    /// An SMT sweep with the paper's gem5 defaults: Tournament, the 8 M
+    /// interval, the twelve SMT-2 Table 3 pairs, the default SMT budget,
+    /// one seed replica.
+    pub fn smt(name: &str) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            mode: SweepMode::Smt,
+            core: CoreConfig::gem5(),
+            predictors: vec![PredictorKind::Tournament],
+            mechanisms: Vec::new(),
+            intervals: vec![SwitchInterval::M8],
+            cases: cases_from(&sbp_trace::cases_smt2()),
+            budget: WorkBudget::smt_default(),
+            seeds: 1,
+            master_seed: 0,
+        }
+    }
+
+    /// Replaces the mechanism series.
+    pub fn with_mechanisms(mut self, mechanisms: Vec<Mechanism>) -> Self {
+        self.mechanisms = mechanisms;
+        self
+    }
+
+    /// Replaces the predictor axis.
+    pub fn with_predictors(mut self, predictors: Vec<PredictorKind>) -> Self {
+        self.predictors = predictors;
+        self
+    }
+
+    /// Replaces the switch-interval axis.
+    pub fn with_intervals(mut self, intervals: Vec<SwitchInterval>) -> Self {
+        self.intervals = intervals;
+        self
+    }
+
+    /// Replaces the benchmark cases.
+    pub fn with_cases(mut self, cases: Vec<CaseSpec>) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Replaces the core configuration.
+    pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Replaces the work budget.
+    pub fn with_budget(mut self, budget: WorkBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the number of seed replicas per cell.
+    pub fn with_seeds(mut self, seeds: u32) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// The mechanism series the planner will schedule (explicit `Baseline`
+    /// entries removed — the shared baseline is always planned).
+    pub fn series_mechanisms(&self) -> Vec<Mechanism> {
+        self.mechanisms
+            .iter()
+            .copied()
+            .filter(|m| *m != Mechanism::Baseline)
+            .collect()
+    }
+
+    /// Checks the grid is well-formed (non-empty axes, enough workloads
+    /// per case for the mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error naming the offending axis.
+    pub fn validate(&self) -> Result<(), SbpError> {
+        if self.predictors.is_empty() {
+            return Err(SbpError::config("sweep needs at least one predictor"));
+        }
+        if self.intervals.is_empty() {
+            return Err(SbpError::config("sweep needs at least one switch interval"));
+        }
+        if self.cases.is_empty() {
+            return Err(SbpError::config("sweep needs at least one case"));
+        }
+        if self.seeds == 0 {
+            return Err(SbpError::config("sweep needs at least one seed replica"));
+        }
+        if self.budget.measure == 0 {
+            return Err(SbpError::config(
+                "sweep needs a positive measurement budget",
+            ));
+        }
+        for case in &self.cases {
+            if case.workloads.len() < 2 {
+                return Err(SbpError::config(
+                    "every case needs at least two workloads (target + background)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Plans, executes and aggregates the sweep: the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors and unknown-workload errors.
+    pub fn run(&self) -> Result<SweepReport, SbpError> {
+        self.validate()?;
+        let plan = crate::plan::plan(self);
+        let raw = crate::exec::execute(self, &plan)?;
+        Ok(crate::build::build_report(self, &plan, &raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_spec_from_benchmark_case() {
+        let case = &sbp_trace::cases_single()[0];
+        let spec = CaseSpec::from(case);
+        assert_eq!(spec.id, "case1");
+        assert_eq!(spec.workloads, vec!["gcc", "calculix"]);
+    }
+
+    #[test]
+    fn case_spec_accepts_non_static_names() {
+        let owned = String::from("gcc");
+        let spec = CaseSpec::pair("x", &owned, "calculix");
+        assert_eq!(spec.workloads[0], "gcc");
+    }
+
+    #[test]
+    fn defaults_cover_the_paper_grid() {
+        let s = SweepSpec::single("fig");
+        assert_eq!(s.cases.len(), 12);
+        assert_eq!(s.intervals.len(), 3);
+        assert_eq!(s.predictors, vec![PredictorKind::Gshare]);
+        let s = SweepSpec::smt("fig");
+        assert_eq!(s.cases.len(), 12);
+        assert_eq!(s.intervals, vec![SwitchInterval::M8]);
+    }
+
+    #[test]
+    fn baseline_is_filtered_from_series() {
+        let s = SweepSpec::single("x")
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::CompleteFlush]);
+        assert_eq!(s.series_mechanisms(), vec![Mechanism::CompleteFlush]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        assert!(SweepSpec::single("x")
+            .with_predictors(vec![])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::single("x")
+            .with_intervals(vec![])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::single("x")
+            .with_cases(vec![])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::single("x").with_seeds(0).validate().is_err());
+        let one_workload = SweepSpec::single("x").with_cases(vec![CaseSpec::new("bad", &["gcc"])]);
+        assert!(one_workload.validate().is_err());
+        let zero_measure = SweepSpec::single("x").with_budget(WorkBudget {
+            warmup: 0,
+            measure: 0,
+        });
+        assert!(zero_measure.validate().is_err());
+        assert!(SweepSpec::single("x").validate().is_ok());
+    }
+}

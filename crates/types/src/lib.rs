@@ -30,6 +30,7 @@ pub mod ids;
 pub mod key;
 pub mod metrics;
 pub mod predictor;
+pub mod report;
 pub mod rng;
 pub mod table;
 
@@ -40,4 +41,5 @@ pub use ids::{Pc, Privilege, ThreadId};
 pub use key::{Codec, KeyCtx, KeyPair};
 pub use metrics::PredictionStats;
 pub use predictor::{BranchInfo, DirectionPredictor, TargetPredictor};
+pub use report::{CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
 pub use table::{OwnerTags, PackedTable};

@@ -1,0 +1,443 @@
+//! Structured sweep results: per-run records, per-cell aggregates and the
+//! report container emitted by the sweep engine (`sbp-sweep`).
+//!
+//! Every value is label-keyed (`String`) rather than typed against the
+//! mechanism/predictor enums so this crate stays at the bottom of the
+//! dependency stack; the sweep engine fills the labels from
+//! `Mechanism::label()` / `PredictorKind::label()` / `SwitchInterval::label()`.
+//!
+//! Three emitters are provided, all deterministic for a fixed report:
+//!
+//! * [`SweepReport::to_jsonl`] — one JSON object per [`RunRecord`] line,
+//!   for downstream tooling;
+//! * [`SweepReport::to_csv`] — the same records as a flat CSV;
+//! * [`SweepReport::to_table`] — the aligned per-case × per-series table
+//!   the benchmark harnesses print.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::PredictionStats;
+
+/// One simulation run: a (series, predictor, interval, case, seed) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Mechanism series label (`"Baseline"` for the shared baseline runs).
+    pub series: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Switch-interval label (`"4M"`, `"8M"`, `"12M"`, `"off"`).
+    pub interval: String,
+    /// Benchmark case id.
+    pub case_id: String,
+    /// Seed replica index within the spec.
+    pub seed_index: u32,
+    /// The derived per-group seed this run used.
+    pub seed: u64,
+    /// Measured cycles (target cycles single-core, wall cycles SMT).
+    pub cycles: f64,
+    /// Normalized overhead vs the group baseline; `None` on baseline runs.
+    pub overhead: Option<f64>,
+    /// Full prediction statistics (summed across threads for SMT runs).
+    pub stats: PredictionStats,
+}
+
+/// Seed-aggregated statistics for one (series, predictor, interval, case)
+/// cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Display label of the series column this cell belongs to.
+    pub label: String,
+    /// Mechanism series label.
+    pub series: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Switch-interval label.
+    pub interval: String,
+    /// Benchmark case id.
+    pub case_id: String,
+    /// Mean normalized overhead across seed replicas.
+    pub mean: f64,
+    /// Population standard deviation across seed replicas (0 for n = 1).
+    pub stddev: f64,
+    /// Number of seed replicas aggregated.
+    pub n: u32,
+}
+
+/// Case-averaged summary of one (series, predictor, interval) series — the
+/// paper's "average" bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Display label of the series column.
+    pub label: String,
+    /// Mechanism series label.
+    pub series: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Switch-interval label.
+    pub interval: String,
+    /// Mean of the per-case mean overheads.
+    pub mean: f64,
+}
+
+/// Hardware-cost figures joined per (predictor, mechanism) cell from the
+/// `sbp-hwcost` model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwCell {
+    /// Predictor label.
+    pub predictor: String,
+    /// Mechanism series label.
+    pub series: String,
+    /// Baseline BTB storage bits.
+    pub btb_storage_bits: u64,
+    /// Baseline direction-predictor storage bits.
+    pub pht_storage_bits: u64,
+    /// Storage bits the mechanism adds (key registers, owner tags).
+    pub added_bits: u64,
+    /// Critical-path timing overhead of the worst protected macro.
+    pub timing_overhead: f64,
+    /// Area overhead of the worst protected macro.
+    pub area_overhead: f64,
+}
+
+/// The full result of one sweep: raw records plus the aggregates derived
+/// from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Sweep name (free-form, from the spec).
+    pub name: String,
+    /// Execution mode label (`"single-core"` / `"smt"`).
+    pub mode: String,
+    /// Core configuration name.
+    pub core: String,
+    /// Case ids in spec order (the table's row order).
+    pub case_ids: Vec<String>,
+    /// One record per executed simulation, in plan order.
+    pub records: Vec<RunRecord>,
+    /// Per-cell aggregates, series-major then case.
+    pub cells: Vec<CellSummary>,
+    /// Per-series case averages, in column order.
+    pub series: Vec<SeriesSummary>,
+    /// Hardware-cost join, one row per (predictor, mechanism).
+    pub hw: Vec<HwCell>,
+}
+
+impl SweepReport {
+    /// Looks up the seed-aggregated cell for a series column and case.
+    pub fn cell(
+        &self,
+        series: &str,
+        predictor: &str,
+        interval: &str,
+        case_id: &str,
+    ) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| {
+            c.series == series
+                && c.predictor == predictor
+                && c.interval == interval
+                && c.case_id == case_id
+        })
+    }
+
+    /// Case-averaged mean overhead of one series column.
+    pub fn series_mean(&self, series: &str, predictor: &str, interval: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.series == series && s.predictor == predictor && s.interval == interval)
+            .map(|s| s.mean)
+    }
+
+    /// Iterates the records of one series (all predictors/intervals/cases).
+    pub fn records_for<'a>(&'a self, series: &'a str) -> impl Iterator<Item = &'a RunRecord> {
+        self.records.iter().filter(move |r| r.series == series)
+    }
+
+    /// Emits one JSON object per record (JSON-lines).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&record_json(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Emits the records as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "series,predictor,interval,case,seed_index,seed,cycles,overhead,\
+             instructions,cond_branches,cond_mispredicts,btb_lookups,btb_misses,\
+             btb_wrong_target,indirect_branches,indirect_mispredicts,returns,\
+             ras_mispredicts,context_switches,privilege_switches,stats_cycles\n",
+        );
+        for r in &self.records {
+            let s = &r.stats;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                csv_field(&r.series),
+                csv_field(&r.predictor),
+                csv_field(&r.interval),
+                csv_field(&r.case_id),
+                r.seed_index,
+                r.seed,
+                fmt_f64(r.cycles),
+                r.overhead.map(fmt_f64).unwrap_or_default(),
+                s.instructions,
+                s.cond_branches,
+                s.cond_mispredicts,
+                s.btb_lookups,
+                s.btb_misses,
+                s.btb_wrong_target,
+                s.indirect_branches,
+                s.indirect_mispredicts,
+                s.returns,
+                s.ras_mispredicts,
+                s.context_switches,
+                s.privilege_switches,
+                s.cycles,
+            ));
+        }
+        out
+    }
+
+    /// Emits the aligned per-case × per-series overhead table, followed by
+    /// the per-series averages and the hardware-cost rows.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let labels: Vec<&str> = self.series.iter().map(|s| s.label.as_str()).collect();
+        let width = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(10);
+        out.push_str(&format!("{:<10}", "case"));
+        for l in &labels {
+            out.push_str(&format!(" {l:>width$}"));
+        }
+        out.push('\n');
+        for case in &self.case_ids {
+            out.push_str(&format!("{case:<10}"));
+            for s in &self.series {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.label == s.label && &c.case_id == case);
+                match cell {
+                    Some(c) => out.push_str(&format!(" {:>width$}", pct(c.mean))),
+                    None => out.push_str(&format!(" {:>width$}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        for s in &self.series {
+            out.push_str(&format!("average {}: {}\n", s.label, pct(s.mean)));
+        }
+        for h in &self.hw {
+            out.push_str(&format!(
+                "hw {}/{}: btb {} b, pht {} b, +{} b, timing {}, area {}\n",
+                h.predictor,
+                h.series,
+                h.btb_storage_bits,
+                h.pht_storage_bits,
+                h.added_bits,
+                pct(h.timing_overhead),
+                pct(h.area_overhead),
+            ));
+        }
+        out
+    }
+}
+
+/// Arithmetic mean (the paper's "average" bars); 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Formats a fraction as a signed percentage (`+1.23%`).
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+/// Deterministic JSON-safe float formatting (`null` for non-finite values).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for a JSON value position.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Quotes a CSV field if it contains separators or quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn record_json(r: &RunRecord) -> String {
+    let s = &r.stats;
+    format!(
+        "{{\"series\":{},\"predictor\":{},\"interval\":{},\"case\":{},\
+         \"seed_index\":{},\"seed\":{},\"cycles\":{},\"overhead\":{},\
+         \"stats\":{{\"instructions\":{},\"cond_branches\":{},\
+         \"cond_mispredicts\":{},\"btb_lookups\":{},\"btb_misses\":{},\
+         \"btb_wrong_target\":{},\"indirect_branches\":{},\
+         \"indirect_mispredicts\":{},\"returns\":{},\"ras_mispredicts\":{},\
+         \"context_switches\":{},\"privilege_switches\":{},\"cycles\":{}}}}}",
+        json_str(&r.series),
+        json_str(&r.predictor),
+        json_str(&r.interval),
+        json_str(&r.case_id),
+        r.seed_index,
+        r.seed,
+        fmt_f64(r.cycles),
+        r.overhead
+            .map(fmt_f64)
+            .unwrap_or_else(|| "null".to_string()),
+        s.instructions,
+        s.cond_branches,
+        s.cond_mispredicts,
+        s.btb_lookups,
+        s.btb_misses,
+        s.btb_wrong_target,
+        s.indirect_branches,
+        s.indirect_mispredicts,
+        s.returns,
+        s.ras_mispredicts,
+        s.context_switches,
+        s.privilege_switches,
+        s.cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(series: &str, case: &str, overhead: Option<f64>) -> RunRecord {
+        RunRecord {
+            series: series.to_string(),
+            predictor: "Gshare".to_string(),
+            interval: "8M".to_string(),
+            case_id: case.to_string(),
+            seed_index: 0,
+            seed: 42,
+            cycles: 1000.0,
+            overhead,
+            stats: PredictionStats::default(),
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            name: "test".to_string(),
+            mode: "single-core".to_string(),
+            core: "fpga".to_string(),
+            case_ids: vec!["case1".to_string()],
+            records: vec![
+                record("Baseline", "case1", None),
+                record("CF", "case1", Some(0.0123)),
+            ],
+            cells: vec![CellSummary {
+                label: "CF-8M".to_string(),
+                series: "CF".to_string(),
+                predictor: "Gshare".to_string(),
+                interval: "8M".to_string(),
+                case_id: "case1".to_string(),
+                mean: 0.0123,
+                stddev: 0.0,
+                n: 1,
+            }],
+            series: vec![SeriesSummary {
+                label: "CF-8M".to_string(),
+                series: "CF".to_string(),
+                predictor: "Gshare".to_string(),
+                interval: "8M".to_string(),
+                mean: 0.0123,
+            }],
+            hw: vec![],
+        }
+    }
+
+    #[test]
+    fn lookups_find_cells_and_series() {
+        let r = report();
+        assert_eq!(r.cell("CF", "Gshare", "8M", "case1").unwrap().mean, 0.0123);
+        assert!(r.cell("PF", "Gshare", "8M", "case1").is_none());
+        assert_eq!(r.series_mean("CF", "Gshare", "8M"), Some(0.0123));
+        assert_eq!(r.records_for("Baseline").count(), 1);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record_and_null_baseline_overhead() {
+        let out = report().to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"overhead\":null"));
+        assert!(lines[1].contains("\"overhead\":0.0123"));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn csv_has_header_plus_records() {
+        let out = report().to_csv();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,predictor,interval,case"));
+        assert!(lines[1].starts_with("Baseline,Gshare,8M,case1"));
+    }
+
+    #[test]
+    fn table_contains_rows_and_averages() {
+        let out = report().to_table();
+        assert!(out.contains("case1"));
+        assert!(out.contains("+1.23%"));
+        assert!(out.contains("average CF-8M"));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(pct(0.0123), "+1.23%");
+        assert_eq!(pct(-0.002), "-0.20%");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

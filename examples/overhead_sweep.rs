@@ -1,25 +1,22 @@
 //! Overhead sweep: measure the performance cost of every isolation
 //! mechanism on one benchmark pair, single-threaded and SMT-2.
 //!
-//! A miniature of the paper's Figures 7–10 on a single case; run with
+//! A miniature of the paper's Figures 7–10 on a single case, driven by two
+//! declarative `SweepSpec`s; run with
 //! `cargo run --example overhead_sweep --release [-- <target> <background>]`.
 
 use secure_bp::isolation::Mechanism;
 use secure_bp::predictors::PredictorKind;
-use secure_bp::sim::{single_overhead, smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
-use secure_bp::trace::BenchmarkCase;
+use secure_bp::sim::{SwitchInterval, WorkBudget};
+use secure_bp::sweep::{CaseSpec, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let target = args.get(1).map(String::as_str).unwrap_or("gcc").to_owned();
-    let background = args
-        .get(2)
-        .map(String::as_str)
-        .unwrap_or("calculix")
-        .to_owned();
+    let target = args.get(1).map(String::as_str).unwrap_or("gcc");
+    let background = args.get(2).map(String::as_str).unwrap_or("calculix");
     run(
-        Box::leak(target.into_boxed_str()),
-        Box::leak(background.into_boxed_str()),
+        target,
+        background,
         WorkBudget {
             warmup: 200_000,
             measure: 2_000_000,
@@ -35,61 +32,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// work budgets so the smoke tests (`tests/examples_smoke.rs`) can run it
 /// at reduced scale.
 pub fn run(
-    target: &'static str,
-    background: &'static str,
+    target: &str,
+    background: &str,
     budget: WorkBudget,
     smt_budget: WorkBudget,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let case = BenchmarkCase {
-        id: "custom",
-        target,
-        background,
-    };
-    let mechanisms = [
-        Mechanism::CompleteFlush,
-        Mechanism::PreciseFlush,
-        Mechanism::xor_btb(),
-        Mechanism::enhanced_xor_pht(),
-        Mechanism::xor_bp(),
-        Mechanism::noisy_xor_bp(),
-    ];
+    let case = CaseSpec::pair("custom", target, background);
 
-    println!(
-        "single-threaded core (gshare), {}+{}:",
-        case.target, case.background
-    );
-    for mech in mechanisms {
-        let o = single_overhead(
-            &case,
-            CoreConfig::fpga(),
-            PredictorKind::Gshare,
-            mech,
-            SwitchInterval::M8,
-            budget,
-            1,
-        )?;
-        println!("  {:<18} {:+.2}%", mech.label(), o * 100.0);
+    println!("single-threaded core (gshare), {target}+{background}:");
+    let single = SweepSpec::single("overhead sweep (single-core)")
+        .with_cases(vec![case.clone()])
+        .with_intervals(vec![SwitchInterval::M8])
+        .with_mechanisms(vec![
+            Mechanism::CompleteFlush,
+            Mechanism::PreciseFlush,
+            Mechanism::xor_btb(),
+            Mechanism::enhanced_xor_pht(),
+            Mechanism::xor_bp(),
+            Mechanism::noisy_xor_bp(),
+        ])
+        .with_budget(budget)
+        .with_master_seed(1)
+        .run()?;
+    for s in &single.series {
+        println!(
+            "  {:<18} {}",
+            s.label,
+            secure_bp::types::report::pct(s.mean)
+        );
     }
 
-    println!(
-        "SMT-2 core (TAGE-SC-L), {} co-running with {}:",
-        case.target, case.background
-    );
-    for mech in [
-        Mechanism::CompleteFlush,
-        Mechanism::PreciseFlush,
-        Mechanism::noisy_xor_bp(),
-    ] {
-        let o = smt_overhead(
-            &[case.target, case.background],
-            CoreConfig::gem5(),
-            PredictorKind::TageScL,
-            mech,
-            SwitchInterval::M8,
-            smt_budget,
-            1,
-        )?;
-        println!("  {:<18} {:+.2}%", mech.label(), o * 100.0);
+    println!("SMT-2 core (TAGE-SC-L), {target} co-running with {background}:");
+    let smt = SweepSpec::smt("overhead sweep (SMT-2)")
+        .with_predictors(vec![PredictorKind::TageScL])
+        .with_cases(vec![case])
+        .with_mechanisms(vec![
+            Mechanism::CompleteFlush,
+            Mechanism::PreciseFlush,
+            Mechanism::noisy_xor_bp(),
+        ])
+        .with_budget(smt_budget)
+        .with_master_seed(1)
+        .run()?;
+    for s in &smt.series {
+        println!(
+            "  {:<18} {}",
+            s.label,
+            secure_bp::types::report::pct(s.mean)
+        );
     }
     Ok(())
 }

@@ -1,0 +1,145 @@
+//! Integration tests over the sweep engine: plan dedup, determinism,
+//! equivalence with the direct overhead helpers, and seed derivation.
+
+use proptest::prelude::*;
+
+use secure_bp::isolation::Mechanism;
+use secure_bp::predictors::PredictorKind;
+use secure_bp::sim::{single_overhead, smt_overhead, CoreConfig, SwitchInterval, WorkBudget};
+use secure_bp::sweep::{cases_from, plan, CaseSpec, SweepSpec};
+use secure_bp::trace::{cases_single, cases_smt2};
+
+fn quick_single_spec() -> SweepSpec {
+    SweepSpec::single("engine test")
+        .with_cases(cases_from(&cases_single()[..2]))
+        .with_intervals(vec![SwitchInterval::M8])
+        .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
+        .with_budget(WorkBudget::quick())
+        .with_master_seed(0xeeee)
+}
+
+#[test]
+fn fig07_grid_plans_m_plus_one_jobs_per_group() {
+    // M = 2 mechanisms, I = 3 intervals, C = 12 cases, S = 1 seed: the old
+    // runners simulated 2·M·I·C·S = 144 runs, the planner schedules
+    // (M+1)·I·C·S = 108 with exactly one baseline per group.
+    let spec = SweepSpec::single("fig07 grid")
+        .with_mechanisms(vec![Mechanism::xor_btb(), Mechanism::noisy_xor_btb()]);
+    let p = plan(&spec);
+    assert_eq!(p.jobs.len(), (2 + 1) * 3 * 12);
+    assert_eq!(p.baseline_jobs(), 3 * 12);
+}
+
+#[test]
+fn same_spec_and_seed_give_byte_identical_reports() {
+    let spec = quick_single_spec().with_seeds(2);
+    let a = spec.run().expect("first run");
+    let b = spec.run().expect("second run");
+    assert_eq!(a, b);
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_table(), b.to_table());
+}
+
+#[test]
+fn engine_reproduces_the_direct_single_core_overhead_path() {
+    // The engine's per-cell overheads must equal single_overhead() run with
+    // the same derived group seed — same sims, shared baseline.
+    let spec = quick_single_spec();
+    let p = plan(&spec);
+    let report = spec.run().expect("sweep");
+    for (ci, case) in cases_single()[..2].iter().enumerate() {
+        // One interval and one seed replica: group index == case index.
+        let seed = p.groups[ci].seed;
+        for mech in [Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()] {
+            let direct = single_overhead(
+                case,
+                CoreConfig::fpga(),
+                PredictorKind::Gshare,
+                mech,
+                SwitchInterval::M8,
+                WorkBudget::quick(),
+                seed,
+            )
+            .expect("direct run");
+            let cell = report
+                .cell(mech.label(), "Gshare", "8M", case.id)
+                .expect("cell present");
+            assert_eq!(
+                cell.mean,
+                direct,
+                "{} {} engine vs direct",
+                mech.label(),
+                case.id
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_reproduces_the_direct_smt_overhead_path() {
+    let case = &cases_smt2()[0];
+    let spec = SweepSpec::smt("smt equivalence")
+        .with_cases(vec![CaseSpec::from(case)])
+        .with_mechanisms(vec![Mechanism::CompleteFlush])
+        .with_budget(WorkBudget::quick())
+        .with_master_seed(9);
+    let p = plan(&spec);
+    let report = spec.run().expect("sweep");
+    let direct = smt_overhead(
+        &[case.target, case.background],
+        CoreConfig::gem5(),
+        PredictorKind::Tournament,
+        Mechanism::CompleteFlush,
+        SwitchInterval::M8,
+        WorkBudget::quick(),
+        p.groups[0].seed,
+    )
+    .expect("direct run");
+    let cell = report
+        .cell("CF", "Tournament", "8M", case.id)
+        .expect("cell present");
+    assert_eq!(cell.mean, direct);
+}
+
+#[test]
+fn baseline_vs_itself_is_zero_through_the_engine() {
+    // A mechanisms list holding only Baseline plans the baselines alone;
+    // adding CF compares against them. Baseline records carry no overhead.
+    let report = quick_single_spec().run().expect("sweep");
+    for rec in report.records_for("Baseline") {
+        assert!(rec.overhead.is_none());
+        assert!(rec.cycles > 0.0);
+    }
+}
+
+proptest! {
+    /// Derived per-group seeds are pairwise distinct across the
+    /// (case, seed replica) grid for arbitrary master seeds and grid
+    /// shapes — and shared across the interval/predictor axes, so those
+    /// columns compare identical workload streams.
+    #[test]
+    fn derived_group_seeds_are_pairwise_distinct(
+        master in any::<u64>(),
+        np in 1usize..=2,
+        ni in 1usize..=3,
+        nc in 1usize..=4,
+        ns in 1u32..=3,
+    ) {
+        let spec = SweepSpec::single("prop")
+            .with_predictors(PredictorKind::ALL[..np].to_vec())
+            .with_intervals(SwitchInterval::ALL[..ni].to_vec())
+            .with_cases(cases_from(&cases_single()[..nc]))
+            .with_seeds(ns)
+            .with_master_seed(master);
+        let p = plan(&spec);
+        let mut by_stream = std::collections::HashMap::new();
+        for g in &p.groups {
+            let seed = *by_stream.entry((g.case_index, g.seed_index)).or_insert(g.seed);
+            prop_assert_eq!(g.seed, seed, "same (case, replica) must share a stream");
+        }
+        let distinct: std::collections::HashSet<u64> = by_stream.values().copied().collect();
+        prop_assert_eq!(distinct.len(), nc * ns as usize, "streams must be pairwise distinct");
+        prop_assert_eq!(p.groups.len(), np * ni * nc * ns as usize);
+    }
+}
