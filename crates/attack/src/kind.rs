@@ -1,0 +1,174 @@
+//! [`AttackKind`]: the enumerable, seedable entry point over every PoC
+//! attack campaign in this crate.
+//!
+//! Each variant names one campaign; [`AttackKind::run`] dispatches a cell
+//! of the Table 1 grid — attack × mechanism × predictor × core mode — with
+//! an explicit trial count and seed, which is exactly the shape the sweep
+//! engine's attack jobs need. The structure/class metadata
+//! ([`AttackKind::structure`], [`AttackKind::is_reuse`]) reproduce the
+//! paper's row/column grouping of the security matrix.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+
+use crate::branchscope::{BranchScope, ReferenceBranchScope};
+use crate::classify::AttackOutcome;
+use crate::sbpa::{JumpAslr, Sbpa};
+use crate::shadowing::BranchShadowing;
+use crate::spectre_v2::SpectreV2;
+
+/// One of the proof-of-concept attack campaigns behind Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Malicious BTB training via a shared indirect call (reuse, BTB).
+    SpectreV2,
+    /// Branch-shadowing BTB hit probing (reuse, BTB).
+    BranchShadowing,
+    /// PHT direction perception via a shared 2-bit counter (reuse, PHT).
+    BranchScope,
+    /// The scenario-4 reference-branch variant that breaks plain XOR-PHT
+    /// (reuse, PHT).
+    ReferenceBranchScope,
+    /// BTB set-eviction sensing (contention, BTB).
+    Sbpa,
+    /// Jump-over-ASLR set-index recovery (contention, BTB; inherently
+    /// concurrent — the single-thread mode is ignored).
+    JumpAslr,
+}
+
+impl AttackKind {
+    /// Every campaign, matrix order (BTB reuse, PHT reuse, contention).
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::SpectreV2,
+        AttackKind::BranchShadowing,
+        AttackKind::BranchScope,
+        AttackKind::ReferenceBranchScope,
+        AttackKind::Sbpa,
+        AttackKind::JumpAslr,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::SpectreV2 => "SpectreV2",
+            AttackKind::BranchShadowing => "BranchShadowing",
+            AttackKind::BranchScope => "BranchScope",
+            AttackKind::ReferenceBranchScope => "ReferenceBranchScope",
+            AttackKind::Sbpa => "SBPA",
+            AttackKind::JumpAslr => "JumpAslr",
+        }
+    }
+
+    /// The predictor structure the campaign targets (Table 1 row group).
+    pub fn structure(self) -> &'static str {
+        match self {
+            AttackKind::BranchScope | AttackKind::ReferenceBranchScope => "PHT",
+            _ => "BTB",
+        }
+    }
+
+    /// Whether this is a reuse-class attack (`false`: contention class).
+    pub fn is_reuse(self) -> bool {
+        !matches!(self, AttackKind::Sbpa | AttackKind::JumpAslr)
+    }
+
+    /// Runs one campaign cell and returns its outcome.
+    ///
+    /// `predictor` selects the direction predictor the shared front-end
+    /// runs; the PHT campaigns (BranchScope family) always attack the
+    /// deterministic bimodal harness and ignore it, and
+    /// [`AttackKind::JumpAslr`] is concurrent by construction and ignores
+    /// `smt`. Identical arguments always produce the identical outcome —
+    /// the property the sweep store's resume path relies on.
+    pub fn run(
+        self,
+        mechanism: Mechanism,
+        predictor: PredictorKind,
+        smt: bool,
+        trials: u64,
+        seed: u64,
+    ) -> AttackOutcome {
+        match self {
+            AttackKind::SpectreV2 => SpectreV2::new(mechanism, smt)
+                .with_predictor(predictor)
+                .run(trials, seed),
+            AttackKind::BranchShadowing => BranchShadowing::new(mechanism, smt)
+                .with_predictor(predictor)
+                .run(trials, seed),
+            AttackKind::BranchScope => BranchScope::new(mechanism, smt).run(trials, seed),
+            AttackKind::ReferenceBranchScope => {
+                ReferenceBranchScope::new(mechanism, smt).run(trials, seed)
+            }
+            AttackKind::Sbpa => Sbpa::new(mechanism, smt)
+                .with_predictor(predictor)
+                .run(trials, seed),
+            AttackKind::JumpAslr => JumpAslr::new(mechanism)
+                .with_predictor(predictor)
+                .run(trials, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Verdict;
+
+    #[test]
+    fn labels_and_metadata_cover_all_kinds() {
+        let labels: std::collections::BTreeSet<&str> =
+            AttackKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), AttackKind::ALL.len());
+        assert_eq!(AttackKind::BranchScope.structure(), "PHT");
+        assert_eq!(AttackKind::Sbpa.structure(), "BTB");
+        assert!(AttackKind::SpectreV2.is_reuse());
+        assert!(!AttackKind::JumpAslr.is_reuse());
+    }
+
+    #[test]
+    fn dispatch_matches_the_direct_campaigns() {
+        let direct = SpectreV2::new(Mechanism::Baseline, false).run(300, 42);
+        let via_kind =
+            AttackKind::SpectreV2.run(Mechanism::Baseline, PredictorKind::Gshare, false, 300, 42);
+        assert_eq!(direct, via_kind);
+        let direct = BranchScope::new(Mechanism::CompleteFlush, true).run(300, 7);
+        let via_kind = AttackKind::BranchScope.run(
+            Mechanism::CompleteFlush,
+            PredictorKind::TageScL, // ignored: bimodal harness
+            true,
+            300,
+            7,
+        );
+        assert_eq!(direct, via_kind);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        for kind in AttackKind::ALL {
+            let trials = if kind == AttackKind::JumpAslr { 5 } else { 200 };
+            let a = kind.run(Mechanism::Baseline, PredictorKind::Gshare, false, trials, 9);
+            let b = kind.run(Mechanism::Baseline, PredictorKind::Gshare, false, trials, 9);
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn baseline_is_broken_via_the_dispatcher() {
+        let out = AttackKind::BranchShadowing.run(
+            Mechanism::Baseline,
+            PredictorKind::Gshare,
+            false,
+            500,
+            3,
+        );
+        assert_eq!(out.verdict(), Verdict::NoProtection);
+    }
+}

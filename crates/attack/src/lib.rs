@@ -8,7 +8,9 @@
 //!   the scenario-4 reference-branch variant that breaks plain XOR-PHT;
 //! * [`shadowing`] — branch-shadowing BTB reuse;
 //! * [`sbpa`] — BTB contention (eviction sensing) and Jump-over-ASLR;
-//! * [`classify`] — Defend / Mitigate / No Protection verdicts.
+//! * [`classify`] — Defend / Mitigate / No Protection verdicts;
+//! * [`kind`] — [`AttackKind`], the enumerable seedable entry point the
+//!   sweep engine's attack jobs dispatch through.
 //!
 //! All attacks run against the same [`sbp_core::SecureFrontend`] the
 //! performance experiments use, in either the time-sliced (FPGA PoC) or
@@ -27,6 +29,7 @@
 pub mod branchscope;
 pub mod classify;
 pub mod harness;
+pub mod kind;
 pub mod sbpa;
 pub mod shadowing;
 pub mod spectre_v2;
@@ -34,6 +37,7 @@ pub mod spectre_v2;
 pub use branchscope::{BranchScope, ReferenceBranchScope};
 pub use classify::{AttackOutcome, Verdict};
 pub use harness::{AttackHarness, Observation, Party};
+pub use kind::AttackKind;
 pub use sbpa::{JumpAslr, Sbpa};
 pub use shadowing::BranchShadowing;
 pub use spectre_v2::SpectreV2;

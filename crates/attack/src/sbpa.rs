@@ -22,17 +22,30 @@ pub struct Sbpa {
     pub mechanism: Mechanism,
     /// Concurrent (SMT) or time-sliced attacker.
     pub smt: bool,
+    /// Direction predictor of the shared front-end.
+    pub predictor: PredictorKind,
 }
 
 impl Sbpa {
     /// Creates the campaign.
     pub fn new(mechanism: Mechanism, smt: bool) -> Self {
-        Sbpa { mechanism, smt }
+        Sbpa {
+            mechanism,
+            smt,
+            predictor: PredictorKind::Gshare,
+        }
+    }
+
+    /// Overrides the front-end's direction predictor.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
     }
 
     /// Runs `trials` prime-execute-probe rounds with random secrets.
     pub fn run(&self, trials: u64, seed: u64) -> AttackOutcome {
-        let mut h = AttackHarness::new(PredictorKind::Gshare, self.mechanism, self.smt, 0.0, seed);
+        let mut h = AttackHarness::new(self.predictor, self.mechanism, self.smt, 0.0, seed);
         // Attacker branches that collide with the victim's set: same set
         // index, different tags. Set stride = sets * 4 bytes.
         let (sets, ways) = {
@@ -93,6 +106,8 @@ impl Sbpa {
 pub struct JumpAslr {
     /// The defense under test.
     pub mechanism: Mechanism,
+    /// Direction predictor of the shared front-end.
+    pub predictor: PredictorKind,
 }
 
 impl JumpAslr {
@@ -100,7 +115,17 @@ impl JumpAslr {
     /// model: single-stepping across many sets is modeled as no rekey in
     /// between).
     pub fn new(mechanism: Mechanism) -> Self {
-        JumpAslr { mechanism }
+        JumpAslr {
+            mechanism,
+            predictor: PredictorKind::Gshare,
+        }
+    }
+
+    /// Overrides the front-end's direction predictor.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
     }
 
     /// Runs `trials` rounds; each round hides the victim branch in a
@@ -115,7 +140,7 @@ impl JumpAslr {
         for t in 0..trials {
             // Fresh harness per round: fresh keys model a new victim run.
             let mut h = AttackHarness::new(
-                PredictorKind::Gshare,
+                self.predictor,
                 self.mechanism,
                 true,
                 0.0,

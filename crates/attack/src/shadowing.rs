@@ -22,18 +22,31 @@ pub struct BranchShadowing {
     pub mechanism: Mechanism,
     /// Concurrent (SMT) or time-sliced attacker.
     pub smt: bool,
+    /// Direction predictor of the shared front-end.
+    pub predictor: PredictorKind,
 }
 
 impl BranchShadowing {
     /// Creates the campaign.
     pub fn new(mechanism: Mechanism, smt: bool) -> Self {
-        BranchShadowing { mechanism, smt }
+        BranchShadowing {
+            mechanism,
+            smt,
+            predictor: PredictorKind::Gshare,
+        }
+    }
+
+    /// Overrides the front-end's direction predictor.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
     }
 
     /// Runs `trials` rounds with random secrets; reports inference
     /// accuracy.
     pub fn run(&self, trials: u64, seed: u64) -> AttackOutcome {
-        let mut h = AttackHarness::new(PredictorKind::Gshare, self.mechanism, self.smt, 0.0, seed);
+        let mut h = AttackHarness::new(self.predictor, self.mechanism, self.smt, 0.0, seed);
         let (sets, ways) = {
             let cfg = if self.smt {
                 sbp_predictors::BtbConfig::paper_gem5()

@@ -35,6 +35,9 @@ pub struct SpectreV2 {
     pub false_positive: f64,
     /// Training executions per trial.
     pub trainings: u32,
+    /// Direction predictor of the shared front-end (the BTB under attack
+    /// is always present).
+    pub predictor: PredictorKind,
 }
 
 impl SpectreV2 {
@@ -46,12 +49,20 @@ impl SpectreV2 {
             false_negative: 0.035,
             false_positive: 0.005,
             trainings: 4,
+            predictor: PredictorKind::Gshare,
         }
+    }
+
+    /// Overrides the front-end's direction predictor.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
     }
 
     /// Runs `trials` iterations and reports the training accuracy.
     pub fn run(&self, trials: u64, seed: u64) -> AttackOutcome {
-        let mut h = AttackHarness::new(PredictorKind::Gshare, self.mechanism, self.smt, 0.0, seed);
+        let mut h = AttackHarness::new(self.predictor, self.mechanism, self.smt, 0.0, seed);
         let train = BranchRecord::taken(SHARED_PC, BranchKind::IndirectCall, MALICIOUS, 0);
         let legit = BranchRecord::taken(SHARED_PC, BranchKind::IndirectCall, LEGIT, 0);
         let mut successes = 0u64;

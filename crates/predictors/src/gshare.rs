@@ -22,6 +22,11 @@ pub struct Gshare {
 }
 
 impl Gshare {
+    /// Counters in the paper's 2 KB configuration.
+    pub const PAPER_ENTRIES: usize = 8192;
+    /// Counter width in the paper's configuration.
+    pub const PAPER_CTR_BITS: u32 = 2;
+
     /// Creates a gshare predictor.
     ///
     /// * `entries` — number of counters (power of two);
@@ -49,7 +54,7 @@ impl Gshare {
 
     /// The paper's 2 KB configuration (8192 × 2-bit).
     pub fn paper_2kb(threads: usize) -> Self {
-        Gshare::new(8192, 2, threads)
+        Gshare::new(Self::PAPER_ENTRIES, Self::PAPER_CTR_BITS, threads)
     }
 
     /// Enables owner tags for Precise Flush.

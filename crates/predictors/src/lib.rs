@@ -92,6 +92,23 @@ impl PredictorKind {
         }
     }
 
+    /// `(entries, bits per entry)` of the dominant direction-table macro
+    /// of the paper configuration [`PredictorKind::build`] instantiates —
+    /// the largest SRAM the XOR overlay's critical path runs through.
+    ///
+    /// Derived programmatically from the same config structs
+    /// ([`TageConfig`], [`TournamentConfig`], the [`Gshare`] paper
+    /// constants) that build the predictors, so hardware-cost geometry
+    /// cannot drift from the simulated configuration.
+    pub fn dominant_direction_macro(self) -> (usize, u32) {
+        match self {
+            PredictorKind::Gshare => (Gshare::PAPER_ENTRIES, Gshare::PAPER_CTR_BITS),
+            PredictorKind::Tournament => TournamentConfig::paper(1).dominant_macro(),
+            PredictorKind::Ltage => TageConfig::ltage_32kb(1).dominant_macro(),
+            PredictorKind::TageScL => TageScL::paper_tage_config(1).dominant_macro(),
+        }
+    }
+
     /// Display name matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -130,6 +147,35 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(PredictorKind::Gshare.label(), "Gshare");
         assert_eq!(PredictorKind::TageScL.to_string(), "TAGE_SC_L");
+    }
+
+    #[test]
+    fn dominant_macro_tracks_the_built_configuration() {
+        // Gshare: the single 8192 × 2-bit counter array.
+        assert_eq!(
+            PredictorKind::Gshare.dominant_direction_macro(),
+            (Gshare::PAPER_ENTRIES, Gshare::PAPER_CTR_BITS)
+        );
+        // Tournament: the 2048 × 11-bit local history table (22528 bits)
+        // dominates the 8192 × 2-bit global table (16384 bits).
+        assert_eq!(
+            PredictorKind::Tournament.dominant_direction_macro(),
+            (2048, 11)
+        );
+        // Both TAGE-family paper configs are dominated by their 16K-entry
+        // bimodal base (tagged tables are 1K entries at ≤ 18 bits).
+        for kind in [PredictorKind::Ltage, PredictorKind::TageScL] {
+            let (entries, bits) = kind.dominant_direction_macro();
+            assert_eq!((entries, bits), (16384, 2), "{kind}");
+        }
+        // The derived macro is never smaller than any table the predictor
+        // would instantiate at larger tag widths (drift guard): tagged
+        // tables of the 32 KB LTAGE config stay below the base table.
+        let cfg = TageConfig::ltage_32kb(1);
+        for t in &cfg.tagged {
+            let bits = (1u64 << t.log_entries) * (cfg.ctr_bits + t.tag_bits + cfg.u_bits) as u64;
+            assert!(bits <= 16384 * 2);
+        }
     }
 
     #[test]

@@ -111,6 +111,24 @@ impl TageConfig {
         self.tagged.iter().map(|t| t.history_len).max().unwrap_or(1)
     }
 
+    /// `(entries, bits per entry)` of the dominant direction-table macro —
+    /// the largest SRAM this configuration instantiates, which is what the
+    /// XOR overlay's worst-case cost runs through. Considers the bimodal
+    /// base table and every tagged table (counter + tag + usefulness
+    /// bits), so hardware-cost joins track the real geometry instead of a
+    /// hand-maintained map.
+    pub fn dominant_macro(&self) -> (usize, u32) {
+        let mut best = (self.base_entries, self.base_ctr_bits);
+        for t in &self.tagged {
+            let entries = 1usize << t.log_entries;
+            let entry_bits = self.ctr_bits + t.tag_bits + self.u_bits;
+            if entries as u64 * entry_bits as u64 > best.0 as u64 * best.1 as u64 {
+                best = (entries, entry_bits);
+            }
+        }
+        best
+    }
+
     /// Validates structural constraints.
     ///
     /// # Errors

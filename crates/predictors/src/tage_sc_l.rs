@@ -85,11 +85,13 @@ const BIAS_CTR_BITS: u32 = 6;
 const PRE_PRED_WEIGHT: i64 = 16;
 
 impl TageScL {
-    /// Creates a TAGE-SC-L predictor for `threads` hardware contexts.
-    pub fn new(threads: usize) -> Self {
-        // 12 tagged tables with geometric lengths 4..640, 1K entries each.
+    /// The TAGE core configuration behind [`TageScL::paper`]: 12 tagged
+    /// tables with geometric lengths 4..640, 1K entries each. Public so
+    /// geometry consumers (the hardware-cost join) derive table shapes
+    /// from the same struct the predictor instantiates.
+    pub fn paper_tage_config(threads: usize) -> TageConfig {
         let lens = [4u32, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640];
-        let cfg = TageConfig {
+        TageConfig {
             base_entries: 16384,
             base_ctr_bits: 2,
             tagged: lens
@@ -105,7 +107,12 @@ impl TageScL {
             u_bits: 2,
             threads,
             u_reset_period: 256 * 1024,
-        };
+        }
+    }
+
+    /// Creates a TAGE-SC-L predictor for `threads` hardware contexts.
+    pub fn new(threads: usize) -> Self {
+        let cfg = Self::paper_tage_config(threads);
         TageScL {
             tage: Tage::new(cfg),
             loops: LoopPredictor::paper(),

@@ -42,6 +42,24 @@ impl TournamentConfig {
             threads,
         }
     }
+
+    /// `(entries, bits per entry)` of the dominant direction-table macro:
+    /// the largest of the local history, local prediction, global
+    /// prediction and chooser tables this configuration instantiates —
+    /// all four are key-context-indexed SRAMs on the XOR overlay's
+    /// protected path. In the paper config the 2048 × 11-bit local
+    /// history table dominates.
+    pub fn dominant_macro(&self) -> (usize, u32) {
+        [
+            (self.local_history_entries, self.local_history_bits),
+            (1usize << self.local_history_bits, self.local_ctr_bits),
+            (self.global_entries, self.global_ctr_bits),
+            (self.global_entries, self.global_ctr_bits), // chooser
+        ]
+        .into_iter()
+        .max_by_key(|(entries, bits)| *entries as u64 * *bits as u64)
+        .expect("non-empty table list")
+    }
 }
 
 impl Default for TournamentConfig {

@@ -6,15 +6,53 @@
 //! Both halves are baseline-only characterization sweeps: a spec with an
 //! empty mechanism list plans exactly one baseline job per grid point.
 //!
-//! Run with `cargo run -p sbp-sweep --bin calibrate --release`.
+//! Run with `cargo run -p sbp-sweep --bin calibrate --release`; pass
+//! `--store PATH` to persist/resume the (slow) characterization cells and
+//! `--shard K/N` to split them across processes — both sweeps share one
+//! store, their cells are distinguished by fingerprint.
 
 use sbp_predictors::PredictorKind;
 use sbp_sim::{SwitchInterval, WorkBudget};
-use sbp_sweep::{CaseSpec, SweepSpec};
+use sbp_sweep::{CaseSpec, RunOptions, SweepSpec};
 use sbp_trace::{cases_single, cases_smt2};
 use sbp_types::report::mean;
+use sbp_types::SweepReport;
+
+/// Runs one spec through the store-backed path, reporting what happened.
+fn run(spec: &SweepSpec, opts: &RunOptions) -> Option<SweepReport> {
+    let outcome = match spec.run_with(opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("calibrate: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "calibrate[{}]: executed {} skipped {} pending {}",
+        spec.name, outcome.executed, outcome.skipped, outcome.pending
+    );
+    if outcome.report.is_none() {
+        eprintln!(
+            "calibrate[{}]: shard incomplete; run the remaining shards against this store",
+            spec.name
+        );
+    }
+    outcome.report
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match RunOptions::from_args(&args) {
+        Ok((opts, rest)) if rest.is_empty() => opts,
+        Ok((_, rest)) => {
+            eprintln!("calibrate: unknown arguments: {rest:?}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("calibrate: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("== per-benchmark baseline (single-core, Gshare) ==");
     let mut seen = std::collections::BTreeSet::new();
     let cases: Vec<CaseSpec> = cases_single()
@@ -23,50 +61,50 @@ fn main() {
         .filter(|name| seen.insert(*name))
         .map(|name| CaseSpec::new(name, &[name, "namd"]))
         .collect();
-    let report = SweepSpec::single("calibrate: per-benchmark baseline")
+    let single = SweepSpec::single("calibrate: per-benchmark baseline")
         .with_cases(cases)
         .with_intervals(vec![SwitchInterval::M8])
         .with_budget(WorkBudget {
             warmup: 50_000,
             measure: 400_000,
         })
-        .with_master_seed(7)
-        .run()
-        .expect("sweep");
-    println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>10}",
-        "benchmark", "condAcc", "btbHit", "MPKI", "IPC"
-    );
-    for rec in report.records_for("Baseline") {
-        let s = &rec.stats;
+        .with_master_seed(7);
+    if let Some(report) = run(&single, &opts) {
         println!(
-            "{:<16} {:>7.1}% {:>7.1}% {:>8.2} {:>10.2}",
-            rec.case_id,
-            100.0 * s.cond_accuracy(),
-            100.0 * s.btb_hit_rate(),
-            s.mpki(),
-            s.ipc()
+            "{:<16} {:>8} {:>8} {:>8} {:>10}",
+            "benchmark", "condAcc", "btbHit", "MPKI", "IPC"
         );
+        for rec in report.records_for("Baseline") {
+            let s = &rec.stats;
+            println!(
+                "{:<16} {:>7.1}% {:>7.1}% {:>8.2} {:>10.2}",
+                rec.case_id,
+                100.0 * s.cond_accuracy(),
+                100.0 * s.btb_hit_rate(),
+                s.mpki(),
+                s.ipc()
+            );
+        }
     }
 
     println!("\n== SMT-2 baseline MPKI per predictor (paper: 8.45 / 5.17 / 4.10 / 3.99) ==");
     let subset = sbp_sweep::cases_from(&cases_smt2()[..4]);
-    let report = SweepSpec::smt("calibrate: SMT-2 MPKI")
+    let smt = SweepSpec::smt("calibrate: SMT-2 MPKI")
         .with_predictors(PredictorKind::ALL.to_vec())
         .with_cases(subset)
         .with_budget(WorkBudget {
             warmup: 100_000,
             measure: 600_000,
         })
-        .with_master_seed(11)
-        .run()
-        .expect("sweep");
-    for kind in PredictorKind::ALL {
-        let mpkis: Vec<f64> = report
-            .records_for("Baseline")
-            .filter(|r| r.predictor == kind.label())
-            .map(|r| r.stats.mpki())
-            .collect();
-        println!("{:<12} avg MPKI {:>6.2}", kind.label(), mean(&mpkis));
+        .with_master_seed(11);
+    if let Some(report) = run(&smt, &opts) {
+        for kind in PredictorKind::ALL {
+            let mpkis: Vec<f64> = report
+                .records_for("Baseline")
+                .filter(|r| r.predictor == kind.label())
+                .map(|r| r.stats.mpki())
+                .collect();
+            println!("{:<12} avg MPKI {:>6.2}", kind.label(), mean(&mpkis));
+        }
     }
 }

@@ -1,17 +1,25 @@
 //! Quick probe: CF / Noisy-XOR-BP overhead on two SMT pairs across the
 //! 8 M and off intervals (a fig10 subset), printed as the engine's table —
-//! also the CI smoke test for the sweep pipeline.
+//! also the CI smoke test for the sweep pipeline and its store layer.
 //!
-//! Run with `SBP_SCALE=0.02 cargo run -p sbp-sweep --bin cfprobe --release`
-//! for a fast pass.
+//! ```console
+//! $ SBP_SCALE=0.02 cargo run -p sbp-sweep --bin cfprobe --release
+//! $ cfprobe --store probe.jsonl             # resumable: re-runs skip stored cells
+//! $ cfprobe --store shard1.jsonl --shard 1/2   # one process of a 2-way fan-out
+//! $ cfprobe --merge merged.jsonl shard1.jsonl shard2.jsonl
+//! ```
+//!
+//! Status (`executed/skipped/pending` counts) goes to stderr; the report
+//! table goes to stdout, so a merged run's stdout is byte-comparable with
+//! an unsharded run's.
 
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
 use sbp_sim::SwitchInterval;
-use sbp_sweep::{CaseSpec, SweepSpec};
+use sbp_sweep::{merge_stores, CaseSpec, RunOptions, SweepSpec};
 
-fn main() {
-    let report = SweepSpec::smt("cfprobe")
+fn spec() -> SweepSpec {
+    SweepSpec::smt("cfprobe")
         .with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL])
         .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
         .with_intervals(vec![SwitchInterval::M8, SwitchInterval::Off])
@@ -20,7 +28,42 @@ fn main() {
             CaseSpec::pair("gobmk+h264", "gobmk", "h264ref"),
         ])
         .with_master_seed(42)
-        .run()
-        .expect("sweep");
-    print!("{}", report.to_table());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("cfprobe: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.first().is_some_and(|a| a == "--merge") {
+        let out = args
+            .get(1)
+            .ok_or("--merge needs an output store path and at least one input store")?;
+        let inputs: Vec<std::path::PathBuf> = args[2..].iter().map(Into::into).collect();
+        if inputs.is_empty() {
+            return Err("--merge needs at least one input store".into());
+        }
+        let report = merge_stores(&spec(), &inputs, Some(std::path::Path::new(out)))?;
+        eprintln!("cfprobe: merged {} stores into {out}", inputs.len());
+        print!("{}", report.to_table());
+        return Ok(());
+    }
+    let (opts, rest) = RunOptions::from_args(args)?;
+    if !rest.is_empty() {
+        return Err(format!("unknown arguments: {rest:?}").into());
+    }
+    let outcome = spec().run_with(&opts)?;
+    eprintln!(
+        "cfprobe: executed {} skipped {} pending {}",
+        outcome.executed, outcome.skipped, outcome.pending
+    );
+    match outcome.report {
+        Some(report) => print!("{}", report.to_table()),
+        None => eprintln!("cfprobe: shard incomplete; merge the shard stores for the report"),
+    }
+    Ok(())
 }

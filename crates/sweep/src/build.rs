@@ -1,26 +1,41 @@
 //! Aggregating raw run results into a [`SweepReport`].
+//!
+//! Simulation sweeps normalize every mechanism job against its group's
+//! shared baseline and aggregate seed replicas into per-cell mean/stddev;
+//! attack sweeps aggregate campaign success rates the same way, with the
+//! attack label standing in for the benchmark case and the core-mode
+//! label for the switch interval, so the report's cell/series/table
+//! machinery serves both payloads.
 
+use sbp_attack::AttackOutcome;
 use sbp_core::Mechanism;
 use sbp_hwcost::{BtbGeometry, PhtGeometry, XorOverlay};
 use sbp_predictors::PredictorKind;
 use sbp_types::report::{mean, stddev};
-use sbp_types::{CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
+use sbp_types::{AttackRecord, CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
 
-use crate::exec::RawRun;
+use crate::exec::RawResult;
 use crate::plan::SweepPlan;
-use crate::spec::{SweepMode, SweepSpec};
+use crate::spec::{PayloadSpec, SweepMode, SweepSpec};
 
 /// Builds the structured report from a plan and its raw results (one
-/// [`RawRun`] per planned job, in job order).
-pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> SweepReport {
+/// [`RawResult`] per planned job, in job order).
+pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> SweepReport {
     assert_eq!(raw.len(), plan.jobs.len(), "one result per planned job");
+    match &spec.payload {
+        PayloadSpec::Sim => build_sim_report(spec, plan, raw),
+        PayloadSpec::Attack(_) => build_attack_report(spec, plan, raw),
+    }
+}
+
+fn build_sim_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> SweepReport {
     let mechs = spec.series_mechanisms();
 
     // Baseline cycles per group (the shared divisor of every series).
     let mut base_cycles = vec![0.0f64; plan.groups.len()];
     for (j, job) in plan.jobs.iter().enumerate() {
-        if job.mechanism == Mechanism::Baseline {
-            base_cycles[job.group] = raw[j].cycles;
+        if let Some((group, Mechanism::Baseline)) = job.sim() {
+            base_cycles[group] = raw[j].sim().expect("sim payload").cycles;
         }
     }
 
@@ -28,15 +43,17 @@ pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> Sweep
         .jobs
         .iter()
         .zip(raw)
-        .map(|(job, run)| {
-            let g = &plan.groups[job.group];
-            let overhead = if job.mechanism == Mechanism::Baseline {
+        .map(|(job, result)| {
+            let (group, mechanism) = job.sim().expect("sim plan holds sim jobs");
+            let run = result.sim().expect("sim payload");
+            let g = &plan.groups[group];
+            let overhead = if mechanism == Mechanism::Baseline {
                 None
             } else {
-                Some(run.cycles / base_cycles[job.group] - 1.0)
+                Some(run.cycles / base_cycles[group] - 1.0)
             };
             RunRecord {
-                series: job.mechanism.label().to_string(),
+                series: mechanism.label().to_string(),
                 predictor: g.predictor.label().to_string(),
                 interval: g.interval.label().to_string(),
                 case_id: spec.cases[g.case_index].id.clone(),
@@ -45,6 +62,8 @@ pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> Sweep
                 cycles: run.cycles,
                 overhead,
                 stats: run.stats,
+                per_thread: run.per_thread.clone(),
+                attack: None,
             }
         })
         .collect();
@@ -57,7 +76,7 @@ pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> Sweep
     for (pi, &predictor) in spec.predictors.iter().enumerate() {
         for (mi, &mechanism) in mechs.iter().enumerate() {
             for (ii, &interval) in spec.intervals.iter().enumerate() {
-                let label = series_label(spec, predictor, mechanism, interval.label());
+                let label = series_label(spec, predictor, mechanism.label(), interval.label());
                 let mut case_means = Vec::with_capacity(c_len);
                 for (ci, case) in spec.cases.iter().enumerate() {
                     let overheads: Vec<f64> = (0..s_len)
@@ -109,24 +128,146 @@ pub fn build_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawRun]) -> Sweep
     }
 }
 
+/// Attack sweeps: rows are attack campaigns, columns are mechanism ×
+/// core-mode series, cell values are campaign success rates.
+fn build_attack_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> SweepReport {
+    let grid = spec.attack_grid().expect("attack payload");
+    let records: Vec<RunRecord> = plan
+        .jobs
+        .iter()
+        .zip(raw)
+        .map(|(job, result)| {
+            let a = job.attack().expect("attack plan holds attack jobs");
+            let out = result.attack().expect("attack payload");
+            let mode = if a.smt {
+                SweepMode::Smt
+            } else {
+                SweepMode::SingleCore
+            };
+            RunRecord {
+                series: a.mechanism.label().to_string(),
+                predictor: a.predictor.label().to_string(),
+                interval: mode.label().to_string(),
+                case_id: a.attack.label().to_string(),
+                seed_index: a.seed_index,
+                seed: a.seed,
+                cycles: 0.0,
+                overhead: None,
+                stats: Default::default(),
+                per_thread: Vec::new(),
+                attack: Some(AttackRecord {
+                    attack: a.attack.label().to_string(),
+                    success_rate: out.success_rate,
+                    chance: out.chance,
+                    trials: out.trials,
+                    verdict: out.verdict().label().to_string(),
+                }),
+            }
+        })
+        .collect();
+
+    // Plan order: predictor → mechanism → mode → attack → seed.
+    let (m_len, o_len, a_len, s_len) = (
+        spec.mechanisms.len(),
+        grid.modes.len(),
+        grid.attacks.len(),
+        spec.seeds as usize,
+    );
+    let mut cells = Vec::new();
+    let mut series = Vec::new();
+    for (pi, &predictor) in spec.predictors.iter().enumerate() {
+        for (mi, &mechanism) in spec.mechanisms.iter().enumerate() {
+            for (oi, &mode) in grid.modes.iter().enumerate() {
+                let label = series_label(spec, predictor, mechanism.label(), mode.label());
+                let mut attack_means = Vec::with_capacity(a_len);
+                for (ai, &attack) in grid.attacks.iter().enumerate() {
+                    let rates: Vec<f64> = (0..s_len)
+                        .map(|si| {
+                            let j = (((pi * m_len + mi) * o_len + oi) * a_len + ai) * s_len + si;
+                            records[j]
+                                .attack
+                                .as_ref()
+                                .expect("attack record")
+                                .success_rate
+                        })
+                        .collect();
+                    let m = mean(&rates);
+                    attack_means.push(m);
+                    cells.push(CellSummary {
+                        label: label.clone(),
+                        series: mechanism.label().to_string(),
+                        predictor: predictor.label().to_string(),
+                        interval: mode.label().to_string(),
+                        case_id: attack.label().to_string(),
+                        mean: m,
+                        stddev: stddev(&rates),
+                        n: spec.seeds,
+                    });
+                }
+                series.push(SeriesSummary {
+                    label,
+                    series: mechanism.label().to_string(),
+                    predictor: predictor.label().to_string(),
+                    interval: mode.label().to_string(),
+                    mean: mean(&attack_means),
+                });
+            }
+        }
+    }
+
+    SweepReport {
+        name: spec.name.clone(),
+        mode: "attack".to_string(),
+        core: spec.core.name.to_string(),
+        case_ids: grid.attacks.iter().map(|a| a.label().to_string()).collect(),
+        records,
+        cells,
+        series,
+        hw: Vec::new(),
+    }
+}
+
+/// Seed-aggregated [`AttackOutcome`] of one attack cell — success rates
+/// averaged over replicas, for verdict classification at cell granularity.
+pub fn attack_cell_outcome(
+    report: &SweepReport,
+    series: &str,
+    predictor: &str,
+    mode: &str,
+    attack: &str,
+) -> Option<AttackOutcome> {
+    let cell = report.cell(series, predictor, mode, attack)?;
+    // Replica 0 always exists when the cell does (cells aggregate
+    // replicas 0..n); chance and per-replica trials are constant across
+    // replicas of one campaign.
+    let any = report
+        .record(series, predictor, mode, attack, 0)?
+        .attack
+        .as_ref()?;
+    Some(AttackOutcome {
+        success_rate: cell.mean,
+        chance: any.chance,
+        trials: any.trials * cell.n as u64,
+    })
+}
+
 /// Display label of one series column: the mechanism name, qualified with
-/// the predictor when the sweep has several and the interval when the
-/// sweep has several.
-fn series_label(
-    spec: &SweepSpec,
-    predictor: PredictorKind,
-    mechanism: Mechanism,
-    interval: &str,
-) -> String {
+/// the predictor when the sweep has several, and the secondary axis
+/// (switch interval / core mode) when the sweep has several.
+fn series_label(spec: &SweepSpec, predictor: PredictorKind, mechanism: &str, axis: &str) -> String {
+    let axis_len = match &spec.payload {
+        PayloadSpec::Sim => spec.intervals.len(),
+        PayloadSpec::Attack(grid) => grid.modes.len(),
+    };
     let mut label = String::new();
     if spec.predictors.len() > 1 {
         label.push_str(predictor.label());
         label.push('/');
     }
-    label.push_str(mechanism.label());
-    if spec.intervals.len() > 1 {
+    label.push_str(mechanism);
+    if axis_len > 1 {
         label.push('-');
-        label.push_str(interval);
+        label.push_str(axis);
     }
     label
 }
@@ -137,25 +278,15 @@ fn series_label(
 /// Storage bits come from the core's BTB geometry and the predictor's own
 /// accounting; Precise Flush charges the 8-bit owner tags the tables
 /// model, and the XOR family charges the per-thread key registers plus the
-/// worst protected macro's analytical area/timing overhead.
-/// The dominant direction-table macro of each predictor — what the XOR
-/// overlay's critical path actually runs through (the paper's Table 5
-/// geometries for the TAGE family, the counter arrays for the rest).
+/// worst protected macro's analytical area/timing overhead. The protected
+/// direction-table macro is derived from the predictor's own configuration
+/// ([`PredictorKind::dominant_direction_macro`]), so the cost geometry can
+/// never drift from the simulated tables.
 fn pht_geometry(predictor: PredictorKind) -> PhtGeometry {
-    match predictor {
-        // 8192 × 2-bit gshare counter array (Gshare::paper_2kb).
-        PredictorKind::Gshare => PhtGeometry {
-            entries: 8192,
-            entry_bits: 2,
-        },
-        // The Alpha-style tournament's 8192-entry global table dominates.
-        PredictorKind::Tournament => PhtGeometry {
-            entries: 8192,
-            entry_bits: 2,
-        },
-        // Both TAGE-family predictors read 4096-entry tagged tables
-        // (TageConfig: log_entries = 12).
-        PredictorKind::Ltage | PredictorKind::TageScL => PhtGeometry::tage(4096),
+    let (entries, entry_bits) = predictor.dominant_direction_macro();
+    PhtGeometry {
+        entries,
+        entry_bits,
     }
 }
 
@@ -218,6 +349,7 @@ fn hw_cell(spec: &SweepSpec, predictor: PredictorKind, mechanism: Mechanism) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbp_attack::AttackKind;
     use sbp_sim::{SwitchInterval, WorkBudget};
 
     use crate::spec::CaseSpec;
@@ -232,6 +364,13 @@ mod tests {
             .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
             .with_budget(WorkBudget::quick())
             .with_seeds(2)
+    }
+
+    fn quick_attack_spec() -> SweepSpec {
+        SweepSpec::attack("attack build test")
+            .with_attacks(vec![AttackKind::SpectreV2, AttackKind::BranchScope])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()])
+            .with_trials(200)
     }
 
     #[test]
@@ -260,36 +399,99 @@ mod tests {
             } else {
                 assert!(r.overhead.expect("overhead").is_finite());
             }
+            assert!(r.attack.is_none(), "sim sweeps carry no attack payload");
         }
+    }
+
+    #[test]
+    fn smt_records_carry_per_thread_breakdowns() {
+        let spec = SweepSpec::smt("smt build test")
+            .with_cases(vec![CaseSpec::pair("c1", "zeusmp", "lbm")])
+            .with_mechanisms(vec![Mechanism::CompleteFlush])
+            .with_budget(WorkBudget::quick());
+        let report = spec.run().expect("sweep");
+        for r in &report.records {
+            assert_eq!(r.per_thread.len(), 2);
+            let summed: u64 = r.per_thread.iter().map(|t| t.instructions).sum();
+            assert_eq!(summed, r.stats.instructions);
+            assert!(r.thread_imbalance().expect("smt imbalance") >= 1.0);
+        }
+    }
+
+    #[test]
+    fn attack_report_rows_are_attacks_and_columns_mechanism_modes() {
+        let spec = quick_attack_spec();
+        let report = spec.run().expect("attack sweep");
+        assert_eq!(report.mode, "attack");
+        assert_eq!(report.case_ids, vec!["SpectreV2", "BranchScope"]);
+        // mechanisms × modes × attacks cells; mechanisms × modes series.
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        assert_eq!(report.series.len(), 2 * 2);
+        assert_eq!(report.records.len(), 2 * 2 * 2);
+        assert!(report.hw.is_empty());
+        for r in &report.records {
+            let a = r.attack.as_ref().expect("attack record");
+            assert_eq!(a.trials, 200);
+            assert!(!a.verdict.is_empty());
+            assert!(r.overhead.is_none());
+        }
+        // Baseline single-core SpectreV2 succeeds; Noisy-XOR-BP defends.
+        let base = report
+            .cell("Baseline", "Gshare", "single-core", "SpectreV2")
+            .expect("cell");
+        let noisy = report
+            .cell("Noisy-XOR-BP", "Gshare", "single-core", "SpectreV2")
+            .expect("cell");
+        assert!(base.mean > 0.9, "baseline accuracy {}", base.mean);
+        assert!(noisy.mean < 0.05, "defended accuracy {}", noisy.mean);
+    }
+
+    #[test]
+    fn attack_cell_outcome_classifies_at_cell_granularity() {
+        let report = quick_attack_spec().run().expect("attack sweep");
+        let base = attack_cell_outcome(&report, "Baseline", "Gshare", "single-core", "SpectreV2")
+            .expect("outcome");
+        assert_eq!(base.verdict(), sbp_attack::Verdict::NoProtection);
+        let noisy = attack_cell_outcome(
+            &report,
+            "Noisy-XOR-BP",
+            "Gshare",
+            "single-core",
+            "SpectreV2",
+        )
+        .expect("outcome");
+        assert_eq!(noisy.verdict(), sbp_attack::Verdict::Defend);
+        assert!(attack_cell_outcome(&report, "PF", "Gshare", "single-core", "SpectreV2").is_none());
     }
 
     #[test]
     fn labels_qualify_only_populated_axes() {
         let spec = quick_spec();
         assert_eq!(
-            series_label(&spec, PredictorKind::Gshare, Mechanism::CompleteFlush, "4M"),
+            series_label(&spec, PredictorKind::Gshare, "CF", "4M"),
             "CF-4M"
         );
         let one_interval = quick_spec().with_intervals(vec![SwitchInterval::M8]);
         assert_eq!(
-            series_label(
-                &one_interval,
-                PredictorKind::Gshare,
-                Mechanism::CompleteFlush,
-                "8M"
-            ),
+            series_label(&one_interval, PredictorKind::Gshare, "CF", "8M"),
             "CF"
         );
         let multi_pred =
             quick_spec().with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL]);
         assert_eq!(
-            series_label(
-                &multi_pred,
-                PredictorKind::TageScL,
-                Mechanism::noisy_xor_bp(),
-                "4M"
-            ),
+            series_label(&multi_pred, PredictorKind::TageScL, "Noisy-XOR-BP", "4M"),
             "TAGE_SC_L/Noisy-XOR-BP-4M"
+        );
+        // Attack sweeps qualify with the core mode.
+        let attack = quick_attack_spec();
+        assert_eq!(
+            series_label(&attack, PredictorKind::Gshare, "CF", "smt"),
+            "CF-smt"
+        );
+        let one_mode = quick_attack_spec().with_attack_modes(vec![crate::spec::SweepMode::Smt]);
+        assert_eq!(
+            series_label(&one_mode, PredictorKind::Gshare, "CF", "smt"),
+            "CF"
         );
     }
 
@@ -313,10 +515,18 @@ mod tests {
     }
 
     #[test]
-    fn hw_join_uses_per_predictor_pht_geometry() {
+    fn hw_join_uses_the_derived_pht_geometry() {
         // The XOR overlay's timing overhead depends on the macro it
-        // wraps: TAGE's 4096 × 13-bit tagged tables differ from gshare's
-        // 8192 × 2-bit counter array.
+        // wraps; the geometry now comes straight from the predictor
+        // config structs, so it must match dominant_direction_macro.
+        for kind in PredictorKind::ALL {
+            let g = pht_geometry(kind);
+            assert_eq!(
+                (g.entries, g.entry_bits),
+                kind.dominant_direction_macro(),
+                "{kind}"
+            );
+        }
         let spec = quick_spec();
         let gshare = hw_cell(&spec, PredictorKind::Gshare, Mechanism::noisy_xor_pht());
         let tage = hw_cell(&spec, PredictorKind::TageScL, Mechanism::noisy_xor_pht());

@@ -1,19 +1,51 @@
 //! Parallel plan execution on a work-stealing thread pool.
 
+use sbp_attack::AttackOutcome;
 use sbp_sim::{SingleCoreSim, SmtSim};
 use sbp_types::{PredictionStats, SbpError};
 
 use crate::plan::{Job, SweepPlan};
 use crate::spec::{SweepMode, SweepSpec};
 
-/// Raw outcome of one executed job.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Raw outcome of one executed simulation job.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RawRun {
     /// Measured cycles: the target's cycles on the single-core mode, wall
     /// cycles across threads on SMT.
     pub cycles: f64,
     /// Prediction statistics (summed across hardware threads for SMT).
     pub stats: PredictionStats,
+    /// Per-hardware-thread statistics (SMT runs; empty on single-core).
+    pub per_thread: Vec<PredictionStats>,
+}
+
+/// Raw outcome of one executed job — the execution-side mirror of the
+/// plan's polymorphic [`Job`] payload, and the unit the sweep store
+/// persists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawResult {
+    /// A simulation outcome.
+    Sim(RawRun),
+    /// An attack-campaign outcome.
+    Attack(AttackOutcome),
+}
+
+impl RawResult {
+    /// The simulation outcome, if this is one.
+    pub fn sim(&self) -> Option<&RawRun> {
+        match self {
+            RawResult::Sim(run) => Some(run),
+            RawResult::Attack(_) => None,
+        }
+    }
+
+    /// The attack outcome, if this is one.
+    pub fn attack(&self) -> Option<&AttackOutcome> {
+        match self {
+            RawResult::Attack(out) => Some(out),
+            RawResult::Sim(_) => None,
+        }
+    }
 }
 
 /// Runs `f(i)` for `i in 0..n` on a pool of worker threads (one per
@@ -52,13 +84,34 @@ where
 /// # Errors
 ///
 /// Returns the first unknown-workload or configuration error.
-pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawRun>, SbpError> {
+pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawResult>, SbpError> {
     let results = parallel_map(plan.jobs.len(), |j| run_job(spec, plan, &plan.jobs[j]));
     results.into_iter().collect()
 }
 
-fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawRun, SbpError> {
-    let group = &plan.groups[job.group];
+/// Executes one planned job (either payload kind).
+///
+/// # Errors
+///
+/// Returns unknown-workload or configuration errors (sim jobs; attack
+/// jobs are infallible once planned).
+pub(crate) fn run_job(
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    job: &Job,
+) -> Result<RawResult, SbpError> {
+    let (group, mechanism) = match job {
+        Job::Attack(a) => {
+            return Ok(RawResult::Attack(a.attack.run(
+                a.mechanism,
+                a.predictor,
+                a.smt,
+                a.trials,
+                a.seed,
+            )))
+        }
+        Job::Sim { group, mechanism } => (&plan.groups[*group], *mechanism),
+    };
     let case = &spec.cases[group.case_index];
     let workloads: Vec<&str> = case.workloads.iter().map(String::as_str).collect();
     match spec.mode {
@@ -66,22 +119,23 @@ fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawRun, SbpE
             let mut sim = SingleCoreSim::new(
                 spec.core,
                 group.predictor,
-                job.mechanism,
+                mechanism,
                 group.interval,
                 &workloads,
                 group.seed,
             )?;
             let stats = sim.run_target(spec.budget.warmup, spec.budget.measure);
-            Ok(RawRun {
+            Ok(RawResult::Sim(RawRun {
                 cycles: stats.cycles as f64,
                 stats,
-            })
+                per_thread: Vec::new(),
+            }))
         }
         SweepMode::Smt => {
             let mut sim = SmtSim::new(
                 spec.core,
                 group.predictor,
-                job.mechanism,
+                mechanism,
                 group.interval,
                 &workloads,
                 group.seed,
@@ -92,10 +146,11 @@ fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawRun, SbpE
                 stats += *t;
             }
             stats.cycles = result.cycles as u64;
-            Ok(RawRun {
+            Ok(RawResult::Sim(RawRun {
                 cycles: result.cycles,
                 stats,
-            })
+                per_thread: result.per_thread,
+            }))
         }
     }
 }
@@ -139,8 +194,10 @@ mod tests {
         let raw = execute(&spec, &plan).expect("run");
         assert_eq!(raw.len(), 2);
         for r in &raw {
+            let r = r.sim().expect("sim result");
             assert!(r.cycles > 0.0);
             assert!(r.stats.cond_branches > 0);
+            assert!(r.per_thread.is_empty(), "no per-thread split single-core");
         }
     }
 
@@ -151,10 +208,34 @@ mod tests {
         let raw = execute(&spec, &plan).expect("run");
         assert_eq!(raw.len(), 2);
         for r in &raw {
+            let r = r.sim().expect("sim result");
             assert!(r.cycles > 0.0);
-            // Both threads' instructions are folded into one record.
+            // Both threads' instructions are folded into one record...
             assert!(r.stats.instructions >= spec.budget.measure);
+            // ...and the per-thread breakdown sums back to it.
+            assert_eq!(r.per_thread.len(), 2);
+            assert_eq!(
+                r.per_thread.iter().map(|t| t.instructions).sum::<u64>(),
+                r.stats.instructions
+            );
         }
+    }
+
+    #[test]
+    fn executes_attack_plans() {
+        use sbp_attack::AttackKind;
+        let spec = crate::spec::SweepSpec::attack("exec test")
+            .with_attacks(vec![AttackKind::SpectreV2])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()])
+            .with_attack_modes(vec![crate::spec::SweepMode::SingleCore])
+            .with_trials(300);
+        let plan = crate::plan::plan(&spec);
+        let raw = execute(&spec, &plan).expect("run");
+        assert_eq!(raw.len(), 2);
+        let baseline = raw[0].attack().expect("attack outcome");
+        let defended = raw[1].attack().expect("attack outcome");
+        assert!(baseline.success_rate > defended.success_rate);
+        assert_eq!(baseline.trials, 300);
     }
 
     #[test]

@@ -1,14 +1,24 @@
 //! Turning a [`SweepSpec`] into a deduplicated job plan.
 //!
-//! The grid is partitioned into **groups** — one per (predictor, interval,
-//! case, seed replica) point. Every mechanism series in a group is
-//! normalized against the *same* baseline simulation, so the planner
-//! schedules exactly one `Baseline` job per group, shared by all series.
-//! For `M` mechanisms this plans `M + 1` simulations per group where the
-//! old per-series runners (`single_overhead` per mechanism) re-simulated
-//! the baseline every time and needed `2·M`.
+//! A plan is a deterministic flat list of polymorphic [`Job`]s — the unit
+//! the executor runs, the store fingerprints and the `--shard k/n` filter
+//! partitions. Two payloads exist:
 //!
-//! Each group draws its workload-stream seed from
+//! * **Sim** jobs cover the simulation grids (figures 1–3 / 7–10, tables
+//!   4/5). The grid is partitioned into **groups** — one per (predictor,
+//!   interval, case, seed replica) point. Every mechanism series in a
+//!   group is normalized against the *same* baseline simulation, so the
+//!   planner schedules exactly one `Baseline` job per group, shared by
+//!   all series. For `M` mechanisms this plans `M + 1` simulations per
+//!   group where the old per-series runners (`single_overhead` per
+//!   mechanism) re-simulated the baseline every time and needed `2·M`.
+//! * **Attack** jobs cover the security grids (Table 1, §5.5): one
+//!   self-contained [`AttackJob`] per (attack, mechanism, predictor,
+//!   core mode, seed replica) cell. No baseline dedup applies —
+//!   `Mechanism::Baseline` is an ordinary series (the undefended
+//!   comparison column).
+//!
+//! Each sim group draws its workload-stream seed from
 //! [`SplitMix64::derive`](sbp_types::rng::SplitMix64::derive) labeled with
 //! the group's **(case, seed replica)** pair — deliberately *not* the
 //! interval or predictor. Every job inside a group (baseline and all
@@ -20,15 +30,27 @@
 //! rather than stream-to-stream variance, exactly like the old
 //! `seed_base + case` runners. Seeds are pairwise distinct across
 //! distinct (case, replica) pairs.
+//!
+//! Attack jobs draw their seed from the master seed and a hash of the
+//! cell's **(attack, mode, replica)** identity — deliberately *not* the
+//! mechanism or predictor, mirroring the sim groups: every defense column
+//! of one campaign faces the identical trial stream, so the mechanism
+//! comparison measures the defense rather than stream-to-stream variance
+//! (exactly like the old hand-rolled harnesses, which reused one seed per
+//! attack across all mechanism rows). Because the identity is hashed
+//! rather than positional, a cell also keeps its seed — and its store
+//! fingerprint — when sibling axes of the spec are edited.
 
 use serde::{Deserialize, Serialize};
 
+use sbp_attack::AttackKind;
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
 use sbp_sim::SwitchInterval;
 use sbp_types::rng::SplitMix64;
 
-use crate::spec::SweepSpec;
+use crate::spec::{PayloadSpec, SweepMode, SweepSpec};
+use crate::store::fnv1a64;
 
 /// One (predictor, interval, case, seed) grid point sharing a baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,22 +67,68 @@ pub struct JobGroup {
     pub seed: u64,
 }
 
-/// One simulation to run: a group point plus the mechanism to apply
-/// (`Mechanism::Baseline` marks the group's shared baseline job).
+/// One attack-PoC campaign cell: fully self-contained (unlike sim jobs,
+/// which resolve workloads/budget through the spec).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Job {
-    /// Index into [`SweepPlan::groups`].
-    pub group: usize,
-    /// Mechanism this job simulates.
+pub struct AttackJob {
+    /// Campaign to run.
+    pub attack: AttackKind,
+    /// Defense under test (`Mechanism::Baseline` = undefended).
     pub mechanism: Mechanism,
+    /// Direction predictor of the shared front-end.
+    pub predictor: PredictorKind,
+    /// Concurrent SMT attacker (`true`) or time-sliced (`false`).
+    pub smt: bool,
+    /// Trials to run.
+    pub trials: u64,
+    /// Seed replica index.
+    pub seed_index: u32,
+    /// Derived campaign seed.
+    pub seed: u64,
+}
+
+/// One unit of work in a plan: the engine's polymorphic job payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Job {
+    /// A simulation: a group point plus the mechanism to apply
+    /// (`Mechanism::Baseline` marks the group's shared baseline job).
+    Sim {
+        /// Index into [`SweepPlan::groups`].
+        group: usize,
+        /// Mechanism this job simulates.
+        mechanism: Mechanism,
+    },
+    /// An attack-PoC campaign cell.
+    Attack(AttackJob),
+}
+
+impl Job {
+    /// The `(group, mechanism)` pair of a simulation job.
+    pub fn sim(&self) -> Option<(usize, Mechanism)> {
+        match self {
+            Job::Sim { group, mechanism } => Some((*group, *mechanism)),
+            Job::Attack(_) => None,
+        }
+    }
+
+    /// The payload of an attack job.
+    pub fn attack(&self) -> Option<&AttackJob> {
+        match self {
+            Job::Attack(a) => Some(a),
+            Job::Sim { .. } => None,
+        }
+    }
 }
 
 /// The planned job list for a sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPlan {
-    /// All (predictor, interval, case, seed) groups, grid order.
+    /// All (predictor, interval, case, seed) groups, grid order (empty
+    /// for attack sweeps).
     pub groups: Vec<JobGroup>,
-    /// All jobs; group-major, the baseline job first within each group.
+    /// All jobs. Sim sweeps: group-major, the baseline job first within
+    /// each group. Attack sweeps: predictor-major, then mechanism, mode,
+    /// attack, seed replica.
     pub jobs: Vec<Job>,
 }
 
@@ -69,12 +137,12 @@ impl SweepPlan {
     pub fn baseline_jobs(&self) -> usize {
         self.jobs
             .iter()
-            .filter(|j| j.mechanism == Mechanism::Baseline)
+            .filter(|j| j.sim().is_some_and(|(_, m)| m == Mechanism::Baseline))
             .count()
     }
 
     /// Job index of the `(group, mechanism)` pair given the series count
-    /// (`mech_index = None` addresses the baseline job).
+    /// (`mech_index = None` addresses the baseline job). Sim plans only.
     pub(crate) fn job_index(
         &self,
         group: usize,
@@ -85,13 +153,53 @@ impl SweepPlan {
     }
 }
 
-/// Plans the deduplicated job list for `spec`.
+/// Plans the deterministic job list for `spec`.
 ///
-/// Group seeds are `SplitMix64::derive(master_seed, case · S + replica)`:
-/// pure in the spec (re-planning yields the identical plan), distinct
-/// across (case, replica) pairs, and shared across the interval and
-/// predictor axes so those columns compare like against like.
+/// Sim group seeds are `SplitMix64::derive(master_seed, case · S +
+/// replica)`: pure in the spec (re-planning yields the identical plan),
+/// distinct across (case, replica) pairs, and shared across the interval
+/// and predictor axes so those columns compare like against like. Attack
+/// job seeds hash the cell identity instead, so editing one axis of the
+/// grid never reseeds — or re-fingerprints — the remaining cells.
 pub fn plan(spec: &SweepSpec) -> SweepPlan {
+    match &spec.payload {
+        PayloadSpec::Sim => plan_sim(spec),
+        PayloadSpec::Attack(grid) => {
+            let mut jobs = Vec::with_capacity(
+                spec.predictors.len()
+                    * spec.mechanisms.len()
+                    * grid.modes.len()
+                    * grid.attacks.len()
+                    * spec.seeds as usize,
+            );
+            for &predictor in &spec.predictors {
+                for &mechanism in &spec.mechanisms {
+                    for &mode in &grid.modes {
+                        for &attack in &grid.attacks {
+                            for seed_index in 0..spec.seeds {
+                                jobs.push(Job::Attack(AttackJob {
+                                    attack,
+                                    mechanism,
+                                    predictor,
+                                    smt: mode == SweepMode::Smt,
+                                    trials: grid.trials,
+                                    seed_index,
+                                    seed: attack_seed(spec.master_seed, attack, mode, seed_index),
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+            SweepPlan {
+                groups: Vec::new(),
+                jobs,
+            }
+        }
+    }
+}
+
+fn plan_sim(spec: &SweepSpec) -> SweepPlan {
     let mechs = spec.series_mechanisms();
     let (i_len, c_len, s_len) = (spec.intervals.len(), spec.cases.len(), spec.seeds as usize);
     let mut groups = Vec::with_capacity(spec.predictors.len() * i_len * c_len * s_len);
@@ -109,18 +217,25 @@ pub fn plan(spec: &SweepSpec) -> SweepPlan {
                         seed: SplitMix64::derive(spec.master_seed, stream),
                     });
                     let group = groups.len() - 1;
-                    jobs.push(Job {
+                    jobs.push(Job::Sim {
                         group,
                         mechanism: Mechanism::Baseline,
                     });
                     for &mechanism in &mechs {
-                        jobs.push(Job { group, mechanism });
+                        jobs.push(Job::Sim { group, mechanism });
                     }
                 }
             }
         }
     }
     SweepPlan { groups, jobs }
+}
+
+/// Identity-keyed attack seed: shared by every (mechanism, predictor)
+/// series of one campaign cell, stable under edits to sibling grid axes.
+fn attack_seed(master: u64, attack: AttackKind, mode: SweepMode, seed_index: u32) -> u64 {
+    let identity = format!("{}|{}|{seed_index}", attack.label(), mode.label());
+    SplitMix64::derive(master, fnv1a64(identity.as_bytes()))
 }
 
 #[cfg(test)]
@@ -131,6 +246,13 @@ mod tests {
         // M = 2 mechanisms, I = 3 intervals, C = 12 cases, S = 1 seed.
         SweepSpec::single("fig07")
             .with_mechanisms(vec![Mechanism::xor_btb(), Mechanism::noisy_xor_btb()])
+    }
+
+    fn matrix_spec() -> SweepSpec {
+        SweepSpec::attack("tab01")
+            .with_attacks(vec![AttackKind::SpectreV2, AttackKind::Sbpa])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()])
+            .with_trials(50)
     }
 
     #[test]
@@ -151,11 +273,16 @@ mod tests {
         let plan = plan(&spec);
         assert_eq!(plan.baseline_jobs(), plan.groups.len());
         for (g, _) in plan.groups.iter().enumerate() {
-            let in_group: Vec<&Job> = plan.jobs.iter().filter(|j| j.group == g).collect();
+            let in_group: Vec<(usize, Mechanism)> = plan
+                .jobs
+                .iter()
+                .filter_map(Job::sim)
+                .filter(|(jg, _)| *jg == g)
+                .collect();
             assert_eq!(
                 in_group
                     .iter()
-                    .filter(|j| j.mechanism == Mechanism::Baseline)
+                    .filter(|(_, m)| *m == Mechanism::Baseline)
                     .count(),
                 1,
                 "group {g}"
@@ -175,6 +302,8 @@ mod tests {
     #[test]
     fn planning_is_deterministic() {
         let spec = fig07_style_spec();
+        assert_eq!(plan(&spec), plan(&spec));
+        let spec = matrix_spec();
         assert_eq!(plan(&spec), plan(&spec));
     }
 
@@ -206,12 +335,10 @@ mod tests {
         let series = spec.series_mechanisms().len();
         for (g, _) in plan.groups.iter().enumerate() {
             let b = plan.job_index(g, None, series);
-            assert_eq!(plan.jobs[b].group, g);
-            assert_eq!(plan.jobs[b].mechanism, Mechanism::Baseline);
+            assert_eq!(plan.jobs[b].sim(), Some((g, Mechanism::Baseline)));
             for (mi, &m) in spec.series_mechanisms().iter().enumerate() {
                 let idx = plan.job_index(g, Some(mi), series);
-                assert_eq!(plan.jobs[idx].group, g);
-                assert_eq!(plan.jobs[idx].mechanism, m);
+                assert_eq!(plan.jobs[idx].sim(), Some((g, m)));
             }
         }
     }
@@ -222,6 +349,69 @@ mod tests {
         let b = plan(&fig07_style_spec().with_master_seed(1));
         for (ga, gb) in a.groups.iter().zip(&b.groups) {
             assert_ne!(ga.seed, gb.seed);
+        }
+        let a = plan(&matrix_spec());
+        let b = plan(&matrix_spec().with_master_seed(1));
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_ne!(ja.attack().unwrap().seed, jb.attack().unwrap().seed);
+        }
+    }
+
+    #[test]
+    fn attack_plan_covers_the_full_grid() {
+        let spec = matrix_spec().with_seeds(2);
+        let p = plan(&spec);
+        assert!(p.groups.is_empty());
+        // attacks × mechanisms × modes × seeds.
+        assert_eq!(p.jobs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(p.baseline_jobs(), 0, "attack baselines are real series");
+        for job in &p.jobs {
+            let a = job.attack().expect("attack payload");
+            assert_eq!(a.trials, 50);
+        }
+    }
+
+    #[test]
+    fn attack_seeds_are_keyed_by_attack_mode_and_replica_only() {
+        // Like sim groups: every mechanism (and predictor) series of one
+        // campaign cell replays the identical trial stream.
+        let spec = matrix_spec()
+            .with_seeds(2)
+            .with_predictors(vec![PredictorKind::Gshare, PredictorKind::TageScL]);
+        let p = plan(&spec);
+        let mut by_cell: std::collections::BTreeMap<(String, bool, u32), u64> =
+            std::collections::BTreeMap::new();
+        for job in &p.jobs {
+            let a = job.attack().unwrap();
+            let key = (a.attack.label().to_string(), a.smt, a.seed_index);
+            let seed = *by_cell.entry(key).or_insert(a.seed);
+            assert_eq!(a.seed, seed, "mechanism/predictor series share streams");
+        }
+        // Distinct (attack, mode, replica) triples get distinct seeds.
+        let distinct: std::collections::BTreeSet<u64> = by_cell.values().copied().collect();
+        assert_eq!(distinct.len(), by_cell.len());
+    }
+
+    #[test]
+    fn attack_seeds_survive_edits_to_sibling_axes() {
+        // Removing one mechanism from the axis must not reseed the
+        // remaining cells (the property store resume relies on).
+        let full = plan(&matrix_spec());
+        let narrowed = plan(&matrix_spec().with_mechanisms(vec![Mechanism::noisy_xor_bp()]));
+        for job in &narrowed.jobs {
+            let a = job.attack().unwrap();
+            let twin = full
+                .jobs
+                .iter()
+                .filter_map(Job::attack)
+                .find(|b| {
+                    b.attack == a.attack
+                        && b.mechanism == a.mechanism
+                        && b.smt == a.smt
+                        && b.seed_index == a.seed_index
+                })
+                .expect("cell exists in the full grid");
+            assert_eq!(a.seed, twin.seed);
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use sbp_attack::AttackKind;
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
 use sbp_sim::{CoreConfig, SwitchInterval, WorkBudget};
@@ -70,33 +71,63 @@ impl SweepMode {
     }
 }
 
+/// What kind of jobs a sweep's grid expands into — the spec-level side of
+/// the engine's polymorphic [`Job`](crate::plan::Job) payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PayloadSpec {
+    /// Simulation jobs over the spec's predictor × mechanism × interval ×
+    /// case axes (the figure/table overhead grids).
+    Sim,
+    /// Attack-PoC jobs over attack × mechanism × predictor × core-mode
+    /// axes (the Table 1 security matrix and §5.5 accuracy experiments).
+    Attack(AttackGridSpec),
+}
+
+/// The attack-specific axes of an attack sweep; combined with the spec's
+/// `predictors`, `mechanisms` and `seeds` axes to form the full grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackGridSpec {
+    /// Attack campaigns to run.
+    pub attacks: Vec<AttackKind>,
+    /// Core modes to attack under (time-sliced and/or concurrent SMT).
+    pub modes: Vec<SweepMode>,
+    /// Trials per campaign cell.
+    pub trials: u64,
+}
+
 /// A declarative experiment grid.
 ///
 /// Construct with [`SweepSpec::single`] / [`SweepSpec::smt`] for the
-/// paper's defaults and override axes with the `with_*` builders.
+/// paper's simulation defaults, or [`SweepSpec::attack`] for an attack-PoC
+/// grid, and override axes with the `with_*` builders.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Report name.
     pub name: String,
-    /// Execution mode.
+    /// Execution mode of simulation sweeps (attack sweeps carry their
+    /// mode axis in the payload instead).
     pub mode: SweepMode,
     /// Core configuration (timing model + BTB geometry).
     pub core: CoreConfig,
     /// Predictor axis.
     pub predictors: Vec<PredictorKind>,
-    /// Mechanism series. `Mechanism::Baseline` entries are ignored: the
-    /// planner always schedules exactly one shared baseline per group.
+    /// Mechanism series. On simulation sweeps `Mechanism::Baseline`
+    /// entries are ignored — the planner always schedules exactly one
+    /// shared baseline per group; on attack sweeps `Baseline` is an
+    /// ordinary series (the undefended comparison column).
     pub mechanisms: Vec<Mechanism>,
-    /// Switch-interval axis.
+    /// Switch-interval axis (simulation sweeps only).
     pub intervals: Vec<SwitchInterval>,
-    /// Benchmark cases.
+    /// Benchmark cases (simulation sweeps only).
     pub cases: Vec<CaseSpec>,
-    /// Per-run work amounts.
+    /// Per-run work amounts (simulation sweeps only).
     pub budget: WorkBudget,
     /// Number of seed replicas per cell.
     pub seeds: u32,
-    /// Master seed all per-group seeds are derived from.
+    /// Master seed all per-job seeds are derived from.
     pub master_seed: u64,
+    /// What the grid expands into: simulation or attack jobs.
+    pub payload: PayloadSpec,
 }
 
 impl SweepSpec {
@@ -115,6 +146,7 @@ impl SweepSpec {
             budget: WorkBudget::single_default(),
             seeds: 1,
             master_seed: 0,
+            payload: PayloadSpec::Sim,
         }
     }
 
@@ -133,7 +165,91 @@ impl SweepSpec {
             budget: WorkBudget::smt_default(),
             seeds: 1,
             master_seed: 0,
+            payload: PayloadSpec::Sim,
         }
+    }
+
+    /// An attack-PoC sweep over the Table 1 campaigns in both core
+    /// modes: Gshare front-end, 1000 trials per cell, one seed replica.
+    /// Jump-over-ASLR is excluded from the default grid — it ignores the
+    /// core-mode flag (concurrent by construction), so crossing it with
+    /// the mode axis would report two seed-noise copies of one
+    /// experiment; add it explicitly with [`SweepSpec::with_attacks`]
+    /// and a single mode. Narrow the grid with `with_attacks` /
+    /// [`SweepSpec::with_attack_modes`] / [`SweepSpec::with_trials`] and
+    /// the shared `with_mechanisms` / `with_predictors` / `with_seeds`
+    /// builders.
+    pub fn attack(name: &str) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            mode: SweepMode::SingleCore,
+            core: CoreConfig::fpga(),
+            predictors: vec![PredictorKind::Gshare],
+            mechanisms: Vec::new(),
+            intervals: vec![SwitchInterval::M8],
+            cases: Vec::new(),
+            budget: WorkBudget::quick(),
+            seeds: 1,
+            master_seed: 0,
+            payload: PayloadSpec::Attack(AttackGridSpec {
+                attacks: AttackKind::ALL
+                    .into_iter()
+                    .filter(|a| *a != AttackKind::JumpAslr)
+                    .collect(),
+                modes: vec![SweepMode::SingleCore, SweepMode::Smt],
+                trials: 1000,
+            }),
+        }
+    }
+
+    /// Whether this spec plans attack jobs.
+    pub fn is_attack(&self) -> bool {
+        matches!(self.payload, PayloadSpec::Attack(_))
+    }
+
+    /// The attack grid, if this is an attack sweep.
+    pub fn attack_grid(&self) -> Option<&AttackGridSpec> {
+        match &self.payload {
+            PayloadSpec::Attack(grid) => Some(grid),
+            PayloadSpec::Sim => None,
+        }
+    }
+
+    fn attack_grid_mut(&mut self) -> &mut AttackGridSpec {
+        match &mut self.payload {
+            PayloadSpec::Attack(grid) => grid,
+            PayloadSpec::Sim => panic!("attack-axis builder used on a simulation sweep"),
+        }
+    }
+
+    /// Replaces the attack axis (attack sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a simulation sweep.
+    pub fn with_attacks(mut self, attacks: Vec<AttackKind>) -> Self {
+        self.attack_grid_mut().attacks = attacks;
+        self
+    }
+
+    /// Replaces the core-mode axis (attack sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a simulation sweep.
+    pub fn with_attack_modes(mut self, modes: Vec<SweepMode>) -> Self {
+        self.attack_grid_mut().modes = modes;
+        self
+    }
+
+    /// Sets the trials per campaign cell (attack sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a simulation sweep.
+    pub fn with_trials(mut self, trials: u64) -> Self {
+        self.attack_grid_mut().trials = trials;
+        self
     }
 
     /// Replaces the mechanism series.
@@ -148,26 +264,58 @@ impl SweepSpec {
         self
     }
 
-    /// Replaces the switch-interval axis.
+    /// Guards the sim-only builders: silently accepting (and ignoring) a
+    /// sim axis on an attack sweep would be the mirror image of the
+    /// attack-builder panic below.
+    fn expect_sim(&self, builder: &str) {
+        assert!(
+            !self.is_attack(),
+            "sim-axis builder {builder} used on an attack sweep"
+        );
+    }
+
+    /// Replaces the switch-interval axis (simulation sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an attack sweep, which has no interval axis.
     pub fn with_intervals(mut self, intervals: Vec<SwitchInterval>) -> Self {
+        self.expect_sim("with_intervals");
         self.intervals = intervals;
         self
     }
 
-    /// Replaces the benchmark cases.
+    /// Replaces the benchmark cases (simulation sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an attack sweep, which has no case axis.
     pub fn with_cases(mut self, cases: Vec<CaseSpec>) -> Self {
+        self.expect_sim("with_cases");
         self.cases = cases;
         self
     }
 
-    /// Replaces the core configuration.
+    /// Replaces the core configuration (simulation sweeps only; the
+    /// attack harness selects its core from the mode axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an attack sweep.
     pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.expect_sim("with_core");
         self.core = core;
         self
     }
 
-    /// Replaces the work budget.
+    /// Replaces the work budget (simulation sweeps only; attack work is
+    /// set by [`SweepSpec::with_trials`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an attack sweep.
     pub fn with_budget(mut self, budget: WorkBudget) -> Self {
+        self.expect_sim("with_budget");
         self.budget = budget;
         self
     }
@@ -194,8 +342,9 @@ impl SweepSpec {
             .collect()
     }
 
-    /// Checks the grid is well-formed (non-empty axes, enough workloads
-    /// per case for the mode).
+    /// Checks the grid is well-formed: non-empty axes for the payload
+    /// kind, and (on simulation sweeps) enough workloads per case for the
+    /// mode.
     ///
     /// # Errors
     ///
@@ -204,31 +353,57 @@ impl SweepSpec {
         if self.predictors.is_empty() {
             return Err(SbpError::config("sweep needs at least one predictor"));
         }
-        if self.intervals.is_empty() {
-            return Err(SbpError::config("sweep needs at least one switch interval"));
-        }
-        if self.cases.is_empty() {
-            return Err(SbpError::config("sweep needs at least one case"));
-        }
         if self.seeds == 0 {
             return Err(SbpError::config("sweep needs at least one seed replica"));
         }
-        if self.budget.measure == 0 {
-            return Err(SbpError::config(
-                "sweep needs a positive measurement budget",
-            ));
-        }
-        for case in &self.cases {
-            if case.workloads.len() < 2 {
-                return Err(SbpError::config(
-                    "every case needs at least two workloads (target + background)",
-                ));
+        match &self.payload {
+            PayloadSpec::Attack(grid) => {
+                if grid.attacks.is_empty() {
+                    return Err(SbpError::config("attack sweep needs at least one attack"));
+                }
+                if grid.modes.is_empty() {
+                    return Err(SbpError::config(
+                        "attack sweep needs at least one core mode",
+                    ));
+                }
+                if self.mechanisms.is_empty() {
+                    return Err(SbpError::config(
+                        "attack sweep needs at least one mechanism series",
+                    ));
+                }
+                if grid.trials == 0 {
+                    return Err(SbpError::config(
+                        "attack sweep needs a positive trial count",
+                    ));
+                }
+            }
+            PayloadSpec::Sim => {
+                if self.intervals.is_empty() {
+                    return Err(SbpError::config("sweep needs at least one switch interval"));
+                }
+                if self.cases.is_empty() {
+                    return Err(SbpError::config("sweep needs at least one case"));
+                }
+                if self.budget.measure == 0 {
+                    return Err(SbpError::config(
+                        "sweep needs a positive measurement budget",
+                    ));
+                }
+                for case in &self.cases {
+                    if case.workloads.len() < 2 {
+                        return Err(SbpError::config(
+                            "every case needs at least two workloads (target + background)",
+                        ));
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Plans, executes and aggregates the sweep: the whole pipeline.
+    /// Plans, executes and aggregates the sweep: the whole pipeline, with
+    /// no persistence. See [`SweepSpec::run_with`] for the store-backed
+    /// resumable/shardable variant.
     ///
     /// # Errors
     ///
@@ -301,5 +476,63 @@ mod tests {
         });
         assert!(zero_measure.validate().is_err());
         assert!(SweepSpec::single("x").validate().is_ok());
+    }
+
+    #[test]
+    fn attack_spec_defaults_cover_the_matrix() {
+        let s = SweepSpec::attack("tab01");
+        assert!(s.is_attack());
+        let grid = s.attack_grid().expect("attack grid");
+        // Every campaign except mode-agnostic Jump-over-ASLR.
+        assert_eq!(grid.attacks.len(), AttackKind::ALL.len() - 1);
+        assert!(!grid.attacks.contains(&AttackKind::JumpAslr));
+        assert_eq!(grid.modes, vec![SweepMode::SingleCore, SweepMode::Smt]);
+        assert_eq!(grid.trials, 1000);
+        assert_eq!(s.predictors, vec![PredictorKind::Gshare]);
+        assert!(SweepSpec::single("sim").attack_grid().is_none());
+    }
+
+    #[test]
+    fn attack_builders_replace_the_grid_axes() {
+        let s = SweepSpec::attack("x")
+            .with_attacks(vec![AttackKind::SpectreV2])
+            .with_attack_modes(vec![SweepMode::Smt])
+            .with_trials(77)
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::xor_bp()]);
+        let grid = s.attack_grid().expect("grid");
+        assert_eq!(grid.attacks, vec![AttackKind::SpectreV2]);
+        assert_eq!(grid.modes, vec![SweepMode::Smt]);
+        assert_eq!(grid.trials, 77);
+        // Baseline stays a real series on attack sweeps.
+        assert_eq!(s.mechanisms.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "attack-axis builder")]
+    fn attack_builders_panic_on_sim_sweeps() {
+        let _ = SweepSpec::single("x").with_trials(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-axis builder")]
+    fn sim_builders_panic_on_attack_sweeps() {
+        let _ = SweepSpec::attack("x").with_budget(WorkBudget::quick());
+    }
+
+    #[test]
+    fn attack_validation_rejects_bad_grids() {
+        let base = || SweepSpec::attack("x").with_mechanisms(vec![Mechanism::Baseline]);
+        assert!(base().validate().is_ok());
+        assert!(base().with_attacks(vec![]).validate().is_err());
+        assert!(base().with_attack_modes(vec![]).validate().is_err());
+        assert!(base().with_trials(0).validate().is_err());
+        assert!(SweepSpec::attack("x").validate().is_err(), "no mechanisms");
+        assert!(base().with_predictors(vec![]).validate().is_err());
+        assert!(base().with_seeds(0).validate().is_err());
+        // Sim-only axes are irrelevant for attack sweeps.
+        let mut s = base();
+        s.cases.clear();
+        s.intervals.clear();
+        assert!(s.validate().is_ok());
     }
 }

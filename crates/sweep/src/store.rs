@@ -1,0 +1,701 @@
+//! The persistent sweep store: completed job results as JSON-lines on
+//! disk, keyed by a stable cell fingerprint.
+//!
+//! Each line holds one executed job's raw outcome together with the
+//! fingerprint of the cell that produced it. A fingerprint hashes the
+//! job's *identity* — the full payload (mechanism/predictor/workloads/
+//! budget or attack/trials), the derived seed, and for simulation jobs
+//! the `SBP_SCALE` work multiplier (attack jobs never read the scale) —
+//! so a re-run of the same spec recognizes its completed cells and
+//! skips them (resume), shard runs of one spec write compatible stores,
+//! and a changed axis value, seed or scale never aliases a stale
+//! result.
+//!
+//! Results are appended and flushed as each job finishes, so a killed run
+//! loses at most the jobs in flight. Lines are parsed back with a small
+//! self-contained JSON reader (the workspace builds offline; no external
+//! JSON dependency exists), and unknown lines are rejected rather than
+//! ignored — a corrupt store should fail loudly, not resume quietly.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use sbp_types::report::stats_json;
+use sbp_types::{PredictionStats, SbpError};
+
+use crate::exec::{RawResult, RawRun};
+use crate::plan::{Job, SweepPlan};
+use crate::spec::SweepSpec;
+
+/// FNV-1a 64-bit hash (stable across platforms and processes).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of one planned job: a hash of the job payload, its
+/// derived seed and the process's `SBP_SCALE` multiplier.
+///
+/// The canonical identity string spells out every input that changes the
+/// cell's result; anything display-only (the spec name, case ids) is
+/// deliberately excluded so renames don't invalidate a store.
+pub fn job_fingerprint(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> u64 {
+    let identity = match job {
+        Job::Sim { group, mechanism } => {
+            let g = &plan.groups[*group];
+            let case = &spec.cases[g.case_index];
+            // The full core config, not just its name: every timing
+            // parameter and the BTB geometry change the cell's result,
+            // and `with_core` accepts arbitrary field overrides.
+            format!(
+                "sim|core={:?}|mode={}|predictor={}|interval={}|workloads={}|\
+                 budget={}/{}|mechanism={mechanism:?}|seed={}|scale={}",
+                spec.core,
+                spec.mode.label(),
+                g.predictor.label(),
+                g.interval.label(),
+                case.workloads.join("+"),
+                spec.budget.warmup,
+                spec.budget.measure,
+                g.seed,
+                sbp_sim::scale(),
+            )
+        }
+        // No scale term: attack campaigns never read SBP_SCALE — their
+        // work is fully described by the explicit trial count — and
+        // including it would invalidate stores across scale changes for
+        // results that are bit-identical.
+        Job::Attack(a) => format!(
+            "attack|attack={}|mechanism={:?}|predictor={}|smt={}|trials={}|seed={}",
+            a.attack.label(),
+            a.mechanism,
+            a.predictor.label(),
+            a.smt,
+            a.trials,
+            a.seed,
+        ),
+    };
+    fnv1a64(identity.as_bytes())
+}
+
+/// Fingerprints of every job in plan order.
+pub fn plan_fingerprints(spec: &SweepSpec, plan: &SweepPlan) -> Vec<u64> {
+    plan.jobs
+        .iter()
+        .map(|j| job_fingerprint(spec, plan, j))
+        .collect()
+}
+
+/// A JSONL-backed store of completed job results, keyed by fingerprint.
+#[derive(Debug)]
+pub struct SweepStore {
+    path: PathBuf,
+    map: HashMap<u64, RawResult>,
+}
+
+impl SweepStore {
+    /// Opens (and loads) the store at `path`; a missing file is an empty
+    /// store, created on the first append.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error when the file exists but cannot be read or a
+    /// line cannot be parsed.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SbpError> {
+        let path = path.into();
+        let mut map = HashMap::new();
+        match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(SbpError::store(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
+            }
+            Ok(text) => {
+                for (n, line) in text.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (fp, result) = parse_line(line).map_err(|e| {
+                        SbpError::store(format!("{} line {}: {e}", path.display(), n + 1))
+                    })?;
+                    map.insert(fp, result);
+                }
+            }
+        }
+        Ok(SweepStore { path, map })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The stored result for a fingerprint, if any.
+    pub fn get(&self, fp: u64) -> Option<&RawResult> {
+        self.map.get(&fp)
+    }
+
+    /// Inserts one result and appends its line to the backing file,
+    /// flushed before returning — a killed run keeps everything appended
+    /// so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error when the file cannot be written.
+    pub fn append(&mut self, fp: u64, result: &RawResult) -> Result<(), SbpError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| SbpError::store(format!("cannot open {}: {e}", self.path.display())))?;
+        file.write_all(line_of(fp, result).as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| SbpError::store(format!("cannot write {}: {e}", self.path.display())))?;
+        self.map.insert(fp, result.clone());
+        Ok(())
+    }
+
+    /// Consumes the store, returning the fingerprint → result map.
+    pub fn into_map(self) -> HashMap<u64, RawResult> {
+        self.map
+    }
+
+    /// Writes a store file holding `entries` in the given (canonical)
+    /// order, replacing any existing file — the merge entry point uses
+    /// plan order so merged stores are deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error when the file cannot be written.
+    pub fn write_canonical(
+        path: &Path,
+        entries: impl IntoIterator<Item = (u64, RawResult)>,
+    ) -> Result<(), SbpError> {
+        let mut text = String::new();
+        for (fp, result) in entries {
+            text.push_str(&line_of(fp, &result));
+        }
+        std::fs::write(path, text)
+            .map_err(|e| SbpError::store(format!("cannot write {}: {e}", path.display())))
+    }
+}
+
+/// Serializes one (fingerprint, result) pair as a store JSONL line.
+fn line_of(fp: u64, result: &RawResult) -> String {
+    match result {
+        RawResult::Sim(run) => {
+            let per_thread: Vec<String> = run.per_thread.iter().map(stats_json).collect();
+            format!(
+                "{{\"fp\":\"{fp:016x}\",\"kind\":\"sim\",\"cycles\":{},\"stats\":{},\
+                 \"per_thread\":[{}]}}\n",
+                fmt_f64(run.cycles),
+                stats_json(&run.stats),
+                per_thread.join(","),
+            )
+        }
+        RawResult::Attack(out) => format!(
+            "{{\"fp\":\"{fp:016x}\",\"kind\":\"attack\",\"success_rate\":{},\
+             \"chance\":{},\"trials\":{}}}\n",
+            fmt_f64(out.success_rate),
+            fmt_f64(out.chance),
+            out.trials,
+        ),
+    }
+}
+
+/// Shortest-roundtrip float formatting (Rust's `{}` for `f64` guarantees
+/// exact value recovery on parse — the property merged-store reports rely
+/// on to be byte-identical with unsharded runs).
+fn fmt_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+fn parse_line(line: &str) -> Result<(u64, RawResult), String> {
+    let value = json::parse(line)?;
+    let obj = value.as_object().ok_or("line is not a JSON object")?;
+    let fp_hex = json::get_str(obj, "fp")?;
+    let fp = u64::from_str_radix(fp_hex, 16).map_err(|e| format!("bad fingerprint: {e}"))?;
+    let result = match json::get_str(obj, "kind")? {
+        "sim" => {
+            let stats = stats_from(json::get(obj, "stats")?)?;
+            let per_thread = json::get(obj, "per_thread")?
+                .as_array()
+                .ok_or("per_thread is not an array")?
+                .iter()
+                .map(stats_from)
+                .collect::<Result<Vec<_>, _>>()?;
+            RawResult::Sim(RawRun {
+                cycles: json::get_f64(obj, "cycles")?,
+                stats,
+                per_thread,
+            })
+        }
+        "attack" => RawResult::Attack(sbp_attack::AttackOutcome {
+            success_rate: json::get_f64(obj, "success_rate")?,
+            chance: json::get_f64(obj, "chance")?,
+            trials: json::get_u64(obj, "trials")?,
+        }),
+        other => return Err(format!("unknown result kind {other:?}")),
+    };
+    Ok((fp, result))
+}
+
+fn stats_from(value: &json::Value) -> Result<PredictionStats, String> {
+    let obj = value.as_object().ok_or("stats is not a JSON object")?;
+    Ok(PredictionStats {
+        instructions: json::get_u64(obj, "instructions")?,
+        cond_branches: json::get_u64(obj, "cond_branches")?,
+        cond_mispredicts: json::get_u64(obj, "cond_mispredicts")?,
+        btb_lookups: json::get_u64(obj, "btb_lookups")?,
+        btb_misses: json::get_u64(obj, "btb_misses")?,
+        btb_wrong_target: json::get_u64(obj, "btb_wrong_target")?,
+        indirect_branches: json::get_u64(obj, "indirect_branches")?,
+        indirect_mispredicts: json::get_u64(obj, "indirect_mispredicts")?,
+        returns: json::get_u64(obj, "returns")?,
+        ras_mispredicts: json::get_u64(obj, "ras_mispredicts")?,
+        context_switches: json::get_u64(obj, "context_switches")?,
+        privilege_switches: json::get_u64(obj, "privilege_switches")?,
+        cycles: json::get_u64(obj, "cycles")?,
+    })
+}
+
+/// A minimal recursive-descent JSON reader for the store's own lines.
+///
+/// Numbers keep their raw token so integers round-trip at full `u64`
+/// precision and floats parse with Rust's exact shortest-roundtrip
+/// grammar.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its raw token.
+        Num(String),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The key/value pairs of an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The elements of an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// A required string field.
+    pub fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+        match get(obj, key)? {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("field {key:?} is not a string: {other:?}")),
+        }
+    }
+
+    /// A required `u64` field.
+    pub fn get_u64(obj: &[(String, Value)], key: &str) -> Result<u64, String> {
+        match get(obj, key)? {
+            Value::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|e| format!("field {key:?}: {e}")),
+            other => Err(format!("field {key:?} is not a number: {other:?}")),
+        }
+    }
+
+    /// A required `f64` field.
+    pub fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+        match get(obj, key)? {
+            Value::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|e| format!("field {key:?}: {e}")),
+            other => Err(format!("field {key:?} is not a number: {other:?}")),
+        }
+    }
+
+    /// Parses one JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(value)
+            } else {
+                Err(format!("expected {lit:?} at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    other => return Err(format!("unexpected {other:?} in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("unexpected {other:?} in array")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                                self.pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // byte boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("empty string tail")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            let raw =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            // Validate the token parses as a float (covers integers too).
+            raw.parse::<f64>()
+                .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+            Ok(Value::Num(raw.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_attack::AttackOutcome;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sbp_store_test_{}_{name}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_sim() -> RawResult {
+        let stats = PredictionStats {
+            instructions: 123_456,
+            cond_mispredicts: 789,
+            cycles: 654_321,
+            ..Default::default()
+        };
+        let mut t1 = stats;
+        t1.instructions = 23_456;
+        RawResult::Sim(RawRun {
+            // A value exercising the shortest-roundtrip formatter.
+            cycles: 123_456.789_012_345_6,
+            stats,
+            per_thread: vec![stats, t1],
+        })
+    }
+
+    fn sample_attack() -> RawResult {
+        RawResult::Attack(AttackOutcome {
+            success_rate: 0.9653333333333334,
+            chance: 0.005,
+            trials: 1500,
+        })
+    }
+
+    #[test]
+    fn roundtrips_sim_and_attack_results_exactly() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        assert!(store.is_empty());
+        store
+            .append(0x0123_4567_89ab_cdef, &sample_sim())
+            .expect("append");
+        store
+            .append(0xffff_0000_ffff_0000, &sample_attack())
+            .expect("append");
+        let reloaded = SweepStore::open(&path).expect("reload");
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get(0x0123_4567_89ab_cdef), Some(&sample_sim()));
+        assert_eq!(reloaded.get(0xffff_0000_ffff_0000), Some(&sample_attack()));
+        assert_eq!(reloaded.get(1), None);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn canonical_write_is_deterministic_and_reloadable() {
+        let (a, b) = (tmp("canon_a"), tmp("canon_b"));
+        let entries = vec![(7u64, sample_attack()), (9u64, sample_sim())];
+        SweepStore::write_canonical(&a, entries.clone()).expect("write a");
+        SweepStore::write_canonical(&b, entries).expect("write b");
+        assert_eq!(
+            std::fs::read(&a).expect("read a"),
+            std::fs::read(&b).expect("read b")
+        );
+        let reloaded = SweepStore::open(&a).expect("reload");
+        assert_eq!(reloaded.get(9), Some(&sample_sim()));
+        std::fs::remove_file(&a).expect("cleanup");
+        std::fs::remove_file(&b).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_lines_fail_loudly() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{\"fp\":\"zz\"}\n").expect("write");
+        assert!(matches!(
+            SweepStore::open(&path),
+            Err(SbpError::Store(msg)) if msg.contains("line 1")
+        ));
+        std::fs::write(&path, "{\"fp\":\"10\",\"kind\":\"warp\"}\n").expect("write");
+        assert!(SweepStore::open(&path).is_err());
+        std::fs::write(&path, "not json\n").expect("write");
+        assert!(SweepStore::open(&path).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn fingerprints_separate_payload_seed_and_identity() {
+        use sbp_core::Mechanism;
+        let spec = SweepSpec::single("fp")
+            .with_cases(vec![crate::spec::CaseSpec::pair("c1", "gcc", "calculix")])
+            .with_intervals(vec![sbp_sim::SwitchInterval::M8])
+            .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()]);
+        let plan = crate::plan::plan(&spec);
+        let fps = plan_fingerprints(&spec, &plan);
+        let distinct: std::collections::BTreeSet<u64> = fps.iter().copied().collect();
+        assert_eq!(distinct.len(), fps.len(), "per-job fingerprints distinct");
+        // A different master seed re-fingerprints every cell.
+        let reseeded = spec.clone().with_master_seed(99);
+        let fps2 = plan_fingerprints(&reseeded, &crate::plan::plan(&reseeded));
+        assert!(fps.iter().zip(&fps2).all(|(a, b)| a != b));
+        // The fingerprint ignores display-only strings: renaming the spec
+        // or a case id keeps the store valid.
+        let mut renamed = spec.clone();
+        renamed.name = "renamed".to_string();
+        renamed.cases[0].id = "other-id".to_string();
+        assert_eq!(
+            fps,
+            plan_fingerprints(&renamed, &crate::plan::plan(&renamed))
+        );
+    }
+
+    #[test]
+    fn attack_fingerprints_are_stable_under_axis_edits() {
+        use sbp_attack::AttackKind;
+        use sbp_core::Mechanism;
+        let full = SweepSpec::attack("fp")
+            .with_attacks(vec![AttackKind::SpectreV2, AttackKind::Sbpa])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()]);
+        let narrowed = full
+            .clone()
+            .with_attacks(vec![AttackKind::Sbpa])
+            .with_mechanisms(vec![Mechanism::noisy_xor_bp()]);
+        let full_plan = crate::plan::plan(&full);
+        let full_fps: std::collections::BTreeSet<u64> =
+            plan_fingerprints(&full, &full_plan).into_iter().collect();
+        let narrow_plan = crate::plan::plan(&narrowed);
+        for fp in plan_fingerprints(&narrowed, &narrow_plan) {
+            assert!(full_fps.contains(&fp), "narrowed grid reuses stored cells");
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_the_store_grammar() {
+        let v = json::parse(r#"{"a":[1,2.5,-3e2],"s":"x\"\nA","b":true,"n":null}"#).expect("parse");
+        let obj = v.as_object().expect("object");
+        let arr = json::get(obj, "a").unwrap().as_array().expect("array");
+        assert_eq!(arr.len(), 3);
+        assert_eq!(json::get_str(obj, "s").unwrap(), "x\"\nA");
+        assert!(json::parse("{\"a\":1} trailing").is_err());
+        assert!(json::parse("{\"a\":}").is_err());
+        assert!(json::parse("").is_err());
+        assert_eq!(
+            json::get_u64(
+                json::parse(r#"{"x":18446744073709551615}"#)
+                    .unwrap()
+                    .as_object()
+                    .unwrap(),
+                "x"
+            )
+            .unwrap(),
+            u64::MAX,
+            "u64 integers round-trip at full precision"
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

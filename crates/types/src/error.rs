@@ -13,6 +13,8 @@ pub enum SbpError {
     TraceFormat(String),
     /// An experiment references an unknown benchmark or case name.
     UnknownWorkload(String),
+    /// A sweep store could not be read, parsed or written.
+    Store(String),
 }
 
 impl SbpError {
@@ -25,6 +27,11 @@ impl SbpError {
     pub fn trace(msg: impl Into<String>) -> Self {
         SbpError::TraceFormat(msg.into())
     }
+
+    /// Convenience constructor for sweep-store errors.
+    pub fn store(msg: impl Into<String>) -> Self {
+        SbpError::Store(msg.into())
+    }
 }
 
 impl fmt::Display for SbpError {
@@ -33,6 +40,7 @@ impl fmt::Display for SbpError {
             SbpError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             SbpError::TraceFormat(m) => write!(f, "malformed trace: {m}"),
             SbpError::UnknownWorkload(m) => write!(f, "unknown workload: {m}"),
+            SbpError::Store(m) => write!(f, "sweep store: {m}"),
         }
     }
 }

@@ -41,5 +41,5 @@ pub use ids::{Pc, Privilege, ThreadId};
 pub use key::{Codec, KeyCtx, KeyPair};
 pub use metrics::PredictionStats;
 pub use predictor::{BranchInfo, DirectionPredictor, TargetPredictor};
-pub use report::{CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
+pub use report::{AttackRecord, CellSummary, HwCell, RunRecord, SeriesSummary, SweepReport};
 pub use table::{OwnerTags, PackedTable};

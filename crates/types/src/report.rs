@@ -18,27 +18,75 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::PredictionStats;
 
-/// One simulation run: a (series, predictor, interval, case, seed) point.
+/// Outcome of one attack-PoC campaign cell (Table 1 / §5.5 experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRecord {
+    /// Attack campaign label (`"SpectreV2"`, `"BranchScope"`, ...).
+    pub attack: String,
+    /// Fraction of trials in which the adversary achieved its goal.
+    pub success_rate: f64,
+    /// Success rate of blind guessing for this attack.
+    pub chance: f64,
+    /// Number of trials run.
+    pub trials: u64,
+    /// Defend / Mitigate / No Protection classification of the outcome.
+    pub verdict: String,
+}
+
+impl AttackRecord {
+    /// Advantage over blind guessing, clamped at 0.
+    pub fn advantage(&self) -> f64 {
+        (self.success_rate - self.chance).max(0.0)
+    }
+}
+
+/// One executed job: a (series, predictor, interval, case, seed) point.
+///
+/// Simulation runs fill `cycles`/`overhead`/`stats` (and `per_thread` on
+/// SMT); attack-PoC runs fill `attack` instead, reusing `case_id` for the
+/// attack label and `interval` for the core-mode label.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Mechanism series label (`"Baseline"` for the shared baseline runs).
     pub series: String,
     /// Predictor label.
     pub predictor: String,
-    /// Switch-interval label (`"4M"`, `"8M"`, `"12M"`, `"off"`).
+    /// Switch-interval label (`"4M"`, `"8M"`, `"12M"`, `"off"`) for
+    /// simulation runs; core-mode label (`"single-core"`/`"smt"`) for
+    /// attack runs.
     pub interval: String,
-    /// Benchmark case id.
+    /// Benchmark case id (simulations) or attack label (attack runs).
     pub case_id: String,
     /// Seed replica index within the spec.
     pub seed_index: u32,
     /// The derived per-group seed this run used.
     pub seed: u64,
-    /// Measured cycles (target cycles single-core, wall cycles SMT).
+    /// Measured cycles (target cycles single-core, wall cycles SMT; 0 for
+    /// attack runs, which measure accuracy, not time).
     pub cycles: f64,
-    /// Normalized overhead vs the group baseline; `None` on baseline runs.
+    /// Normalized overhead vs the group baseline; `None` on baseline and
+    /// attack runs.
     pub overhead: Option<f64>,
     /// Full prediction statistics (summed across threads for SMT runs).
     pub stats: PredictionStats,
+    /// Per-hardware-thread statistics breakdown for SMT runs (empty on
+    /// single-core and attack runs) — `stats` is their sum. Enables
+    /// thread-starvation / fairness comparisons, e.g. CF's whole-table
+    /// flush vs Noisy-XOR-BP's single-thread rekey.
+    pub per_thread: Vec<PredictionStats>,
+    /// Attack campaign outcome; `None` on simulation runs.
+    pub attack: Option<AttackRecord>,
+}
+
+impl RunRecord {
+    /// Thread-fairness ratio of an SMT run: instructions retired by the
+    /// most-progressed thread over the least-progressed one (1.0 = fair;
+    /// `None` when no per-thread breakdown exists).
+    pub fn thread_imbalance(&self) -> Option<f64> {
+        let min = self.per_thread.iter().map(|s| s.instructions).min()?;
+        let max = self.per_thread.iter().map(|s| s.instructions).max()?;
+        Some(max as f64 / (min as f64).max(1.0))
+    }
 }
 
 /// Seed-aggregated statistics for one (series, predictor, interval, case)
@@ -151,6 +199,24 @@ impl SweepReport {
         self.records.iter().filter(move |r| r.series == series)
     }
 
+    /// Looks up the single record of one fully-qualified grid point.
+    pub fn record(
+        &self,
+        series: &str,
+        predictor: &str,
+        interval: &str,
+        case_id: &str,
+        seed_index: u32,
+    ) -> Option<&RunRecord> {
+        self.records.iter().find(|r| {
+            r.series == series
+                && r.predictor == predictor
+                && r.interval == interval
+                && r.case_id == case_id
+                && r.seed_index == seed_index
+        })
+    }
+
     /// Emits one JSON object per record (JSON-lines).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -167,12 +233,23 @@ impl SweepReport {
             "series,predictor,interval,case,seed_index,seed,cycles,overhead,\
              instructions,cond_branches,cond_mispredicts,btb_lookups,btb_misses,\
              btb_wrong_target,indirect_branches,indirect_mispredicts,returns,\
-             ras_mispredicts,context_switches,privilege_switches,stats_cycles\n",
+             ras_mispredicts,context_switches,privilege_switches,stats_cycles,\
+             attack,success_rate,chance,trials,verdict\n",
         );
         for r in &self.records {
             let s = &r.stats;
+            let (attack, success, chance, trials, verdict) = match &r.attack {
+                Some(a) => (
+                    csv_field(&a.attack),
+                    fmt_f64(a.success_rate),
+                    fmt_f64(a.chance),
+                    a.trials.to_string(),
+                    csv_field(&a.verdict),
+                ),
+                None => Default::default(),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&r.series),
                 csv_field(&r.predictor),
                 csv_field(&r.interval),
@@ -194,33 +271,69 @@ impl SweepReport {
                 s.context_switches,
                 s.privilege_switches,
                 s.cycles,
+                attack,
+                success,
+                chance,
+                trials,
+                verdict,
             ));
         }
         out
     }
 
-    /// Emits the aligned per-case × per-series overhead table, followed by
-    /// the per-series averages and the hardware-cost rows.
+    /// Emits the aligned per-case × per-series table, followed by the
+    /// per-series averages and the hardware-cost rows. Cells aggregating
+    /// more than one seed replica print the mean ± the replica standard
+    /// deviation (`+1.23%±0.10%`).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         let labels: Vec<&str> = self.series.iter().map(|s| s.label.as_str()).collect();
-        let width = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(10);
-        out.push_str(&format!("{:<10}", "case"));
+        // Render every cell first so the column width fits the widest of
+        // the labels and the (possibly ±-suffixed) cell texts.
+        let rows: Vec<(&String, Vec<String>)> = self
+            .case_ids
+            .iter()
+            .map(|case| {
+                let cells = self
+                    .series
+                    .iter()
+                    .map(|s| {
+                        self.cells
+                            .iter()
+                            .find(|c| c.label == s.label && &c.case_id == case)
+                            .map_or_else(|| "-".to_string(), cell_text)
+                    })
+                    .collect();
+                (case, cells)
+            })
+            .collect();
+        // Display width in chars, not bytes: the ± cell text is multi-byte.
+        let width = labels
+            .iter()
+            .map(|l| l.chars().count())
+            .chain(
+                rows.iter()
+                    .flat_map(|(_, cs)| cs.iter().map(|c| c.chars().count())),
+            )
+            .max()
+            .unwrap_or(8)
+            .max(10);
+        let row_width = self
+            .case_ids
+            .iter()
+            .map(|c| c.chars().count())
+            .max()
+            .unwrap_or(4)
+            .max(10);
+        out.push_str(&format!("{:<row_width$}", "case"));
         for l in &labels {
             out.push_str(&format!(" {l:>width$}"));
         }
         out.push('\n');
-        for case in &self.case_ids {
-            out.push_str(&format!("{case:<10}"));
-            for s in &self.series {
-                let cell = self
-                    .cells
-                    .iter()
-                    .find(|c| c.label == s.label && &c.case_id == case);
-                match cell {
-                    Some(c) => out.push_str(&format!(" {:>width$}", pct(c.mean))),
-                    None => out.push_str(&format!(" {:>width$}", "-")),
-                }
+        for (case, cells) in &rows {
+            out.push_str(&format!("{case:<row_width$}"));
+            for cell in cells {
+                out.push_str(&format!(" {cell:>width$}"));
             }
             out.push('\n');
         }
@@ -266,6 +379,16 @@ pub fn pct(x: f64) -> String {
     format!("{:+.2}%", x * 100.0)
 }
 
+/// Table text of one cell: the mean, ± the seed-replica standard
+/// deviation when the cell aggregates more than one replica.
+fn cell_text(c: &CellSummary) -> String {
+    if c.n > 1 {
+        format!("{}±{:.2}%", pct(c.mean), c.stddev * 100.0)
+    } else {
+        pct(c.mean)
+    }
+}
+
 /// Deterministic JSON-safe float formatting (`null` for non-finite values).
 fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
@@ -303,26 +426,15 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-fn record_json(r: &RunRecord) -> String {
-    let s = &r.stats;
+/// Serializes one [`PredictionStats`] as a JSON object — the `"stats"`
+/// payload of the JSONL emitters and the on-disk sweep store.
+pub fn stats_json(s: &PredictionStats) -> String {
     format!(
-        "{{\"series\":{},\"predictor\":{},\"interval\":{},\"case\":{},\
-         \"seed_index\":{},\"seed\":{},\"cycles\":{},\"overhead\":{},\
-         \"stats\":{{\"instructions\":{},\"cond_branches\":{},\
+        "{{\"instructions\":{},\"cond_branches\":{},\
          \"cond_mispredicts\":{},\"btb_lookups\":{},\"btb_misses\":{},\
          \"btb_wrong_target\":{},\"indirect_branches\":{},\
          \"indirect_mispredicts\":{},\"returns\":{},\"ras_mispredicts\":{},\
-         \"context_switches\":{},\"privilege_switches\":{},\"cycles\":{}}}}}",
-        json_str(&r.series),
-        json_str(&r.predictor),
-        json_str(&r.interval),
-        json_str(&r.case_id),
-        r.seed_index,
-        r.seed,
-        fmt_f64(r.cycles),
-        r.overhead
-            .map(fmt_f64)
-            .unwrap_or_else(|| "null".to_string()),
+         \"context_switches\":{},\"privilege_switches\":{},\"cycles\":{}}}",
         s.instructions,
         s.cond_branches,
         s.cond_mispredicts,
@@ -336,6 +448,44 @@ fn record_json(r: &RunRecord) -> String {
         s.context_switches,
         s.privilege_switches,
         s.cycles,
+    )
+}
+
+/// Serializes one [`AttackRecord`] as a JSON object.
+pub fn attack_json(a: &AttackRecord) -> String {
+    format!(
+        "{{\"attack\":{},\"success_rate\":{},\"chance\":{},\"trials\":{},\
+         \"verdict\":{}}}",
+        json_str(&a.attack),
+        fmt_f64(a.success_rate),
+        fmt_f64(a.chance),
+        a.trials,
+        json_str(&a.verdict),
+    )
+}
+
+fn record_json(r: &RunRecord) -> String {
+    let per_thread: Vec<String> = r.per_thread.iter().map(stats_json).collect();
+    format!(
+        "{{\"series\":{},\"predictor\":{},\"interval\":{},\"case\":{},\
+         \"seed_index\":{},\"seed\":{},\"cycles\":{},\"overhead\":{},\
+         \"stats\":{},\"per_thread\":[{}],\"attack\":{}}}",
+        json_str(&r.series),
+        json_str(&r.predictor),
+        json_str(&r.interval),
+        json_str(&r.case_id),
+        r.seed_index,
+        r.seed,
+        fmt_f64(r.cycles),
+        r.overhead
+            .map(fmt_f64)
+            .unwrap_or_else(|| "null".to_string()),
+        stats_json(&r.stats),
+        per_thread.join(","),
+        r.attack
+            .as_ref()
+            .map(attack_json)
+            .unwrap_or_else(|| "null".to_string()),
     )
 }
 
@@ -354,6 +504,8 @@ mod tests {
             cycles: 1000.0,
             overhead,
             stats: PredictionStats::default(),
+            per_thread: Vec::new(),
+            attack: None,
         }
     }
 
@@ -404,7 +556,62 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"overhead\":null"));
         assert!(lines[1].contains("\"overhead\":0.0123"));
+        assert!(lines[0].contains("\"per_thread\":[]"));
+        assert!(lines[0].contains("\"attack\":null"));
         assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    }
+
+    fn thread_stats(instructions: u64) -> PredictionStats {
+        PredictionStats {
+            instructions,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jsonl_carries_per_thread_and_attack_payloads() {
+        let mut r = report();
+        r.records[0].per_thread = vec![thread_stats(600), thread_stats(400)];
+        r.records[1].attack = Some(AttackRecord {
+            attack: "SpectreV2".to_string(),
+            success_rate: 0.965,
+            chance: 0.005,
+            trials: 1500,
+            verdict: "No Protection".to_string(),
+        });
+        let out = r.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"per_thread\":[{\"instructions\":600,"));
+        assert!(lines[1].contains("\"attack\":{\"attack\":\"SpectreV2\",\"success_rate\":0.965"));
+        assert!(lines[1].contains("\"verdict\":\"No Protection\""));
+    }
+
+    #[test]
+    fn thread_imbalance_reports_fairness() {
+        let mut r = record("Baseline", "c", None);
+        assert_eq!(r.thread_imbalance(), None);
+        r.per_thread = vec![thread_stats(900), thread_stats(300)];
+        assert_eq!(r.thread_imbalance(), Some(3.0));
+    }
+
+    #[test]
+    fn attack_record_advantage_clamps() {
+        let a = AttackRecord {
+            attack: "Sbpa".to_string(),
+            success_rate: 0.4,
+            chance: 0.5,
+            trials: 100,
+            verdict: "Defend".to_string(),
+        };
+        assert_eq!(a.advantage(), 0.0);
+    }
+
+    #[test]
+    fn record_lookup_is_fully_qualified() {
+        let r = report();
+        assert!(r.record("CF", "Gshare", "8M", "case1", 0).is_some());
+        assert!(r.record("CF", "Gshare", "8M", "case1", 1).is_none());
+        assert!(r.record("CF", "Gshare", "4M", "case1", 0).is_none());
     }
 
     #[test]
@@ -421,7 +628,20 @@ mod tests {
         let out = report().to_table();
         assert!(out.contains("case1"));
         assert!(out.contains("+1.23%"));
+        assert!(!out.contains('±'), "single replica prints a bare mean");
         assert!(out.contains("average CF-8M"));
+    }
+
+    #[test]
+    fn table_appends_stddev_for_multi_replica_cells() {
+        let mut r = report();
+        r.cells[0].n = 3;
+        r.cells[0].stddev = 0.0011;
+        let out = r.to_table();
+        assert!(out.contains("+1.23%±0.11%"), "table was:\n{out}");
+        // The column is wide enough for the ± text to stay aligned.
+        let header_end = out.lines().next().unwrap().chars().count();
+        assert!(out.lines().nth(1).unwrap().chars().count() <= header_end);
     }
 
     #[test]

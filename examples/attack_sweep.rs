@@ -1,0 +1,78 @@
+//! Attack sweep: drive a Table-1-style security grid through the sweep
+//! engine with a persistent store, demonstrating resume.
+//!
+//! The same `SweepSpec` machinery that measures mechanism overhead runs
+//! the PoC campaigns: rows are attacks, columns are mechanism × core-mode
+//! series, cells are attack success rates. The second `run_with` call
+//! against the same store executes zero jobs — every cell is fingerprinted
+//! and found completed.
+//!
+//! Run with `cargo run --example attack_sweep --release`.
+
+use std::path::Path;
+
+use secure_bp::attack::AttackKind;
+use secure_bp::isolation::Mechanism;
+use secure_bp::sweep::{RunOptions, SweepSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = std::env::temp_dir().join(format!(
+        "sbp_attack_sweep_example_{}.jsonl",
+        std::process::id()
+    ));
+    run(1_000, &store)
+}
+
+/// The example's whole main path, parameterized on the trial count and
+/// store path so the smoke tests (`tests/examples_smoke.rs`) can run it
+/// at reduced scale.
+pub fn run(trials: u64, store: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let _ = std::fs::remove_file(store);
+    let spec = SweepSpec::attack("attack sweep example")
+        .with_attacks(vec![
+            AttackKind::SpectreV2,
+            AttackKind::BranchScope,
+            AttackKind::Sbpa,
+        ])
+        .with_mechanisms(vec![
+            Mechanism::Baseline,
+            Mechanism::CompleteFlush,
+            Mechanism::noisy_xor_bp(),
+        ])
+        .with_trials(trials);
+    let opts = RunOptions {
+        store: Some(store.to_path_buf()),
+        shard: None,
+    };
+
+    let first = spec.run_with(&opts)?;
+    println!(
+        "first run:  executed {:>2} jobs, skipped {:>2} (cold store)",
+        first.executed, first.skipped
+    );
+    let second = spec.run_with(&opts)?;
+    println!(
+        "second run: executed {:>2} jobs, skipped {:>2} (resumed from {})",
+        second.executed,
+        second.skipped,
+        store.display()
+    );
+
+    let report = second.report.ok_or("complete run must yield a report")?;
+    println!("\nattack success rates (rows: attacks, columns: mechanism-mode):");
+    print!("{}", report.to_table());
+    println!("\nverdicts:");
+    for rec in &report.records {
+        let a = rec.attack.as_ref().ok_or("attack record")?;
+        println!(
+            "  {:<22} vs {:<14} [{:>11}] -> {:>6.2}%  {}",
+            a.attack,
+            rec.series,
+            rec.interval,
+            a.success_rate * 100.0,
+            a.verdict
+        );
+    }
+    std::fs::remove_file(store)?;
+    Ok(())
+}

@@ -21,6 +21,10 @@ mod overhead_sweep;
 mod attack_lab;
 
 #[allow(dead_code)]
+#[path = "../examples/attack_sweep.rs"]
+mod attack_sweep;
+
+#[allow(dead_code)]
 #[path = "../examples/trace_tools.rs"]
 mod trace_tools;
 
@@ -49,6 +53,17 @@ fn overhead_sweep_runs() {
 #[test]
 fn attack_lab_runs() {
     attack_lab::run(200, 5);
+}
+
+#[test]
+fn attack_sweep_runs() {
+    // Unique per process so concurrent test runs on one host don't race.
+    let store = std::env::temp_dir().join(format!(
+        "sbp_examples_smoke_attack_sweep_{}.jsonl",
+        std::process::id()
+    ));
+    attack_sweep::run(150, &store).expect("attack_sweep main path");
+    assert!(!store.exists(), "attack_sweep cleans up its store");
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Integration tests over the persistent sweep store: resume skips
+//! exactly the completed cells, shards partition the job list, and merged
+//! shard stores rebuild a report byte-identical to an unsharded run.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use secure_bp::attack::AttackKind;
+use secure_bp::isolation::Mechanism;
+use secure_bp::sim::WorkBudget;
+use secure_bp::sweep::{cases_from, merge_stores, plan, RunOptions, Shard, SweepSpec};
+use secure_bp::trace::cases_single;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sbp_sweep_store_{}_{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn quick_sim_spec() -> SweepSpec {
+    SweepSpec::single("store test")
+        .with_cases(cases_from(&cases_single()[..2]))
+        .with_intervals(vec![secure_bp::sim::SwitchInterval::M8])
+        .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
+        .with_budget(WorkBudget::quick())
+        .with_master_seed(0xeeee)
+}
+
+fn quick_attack_spec() -> SweepSpec {
+    SweepSpec::attack("store attack test")
+        .with_attacks(vec![AttackKind::SpectreV2, AttackKind::BranchScope])
+        .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()])
+        .with_trials(150)
+}
+
+#[test]
+fn second_run_against_a_store_executes_zero_jobs() {
+    let path = tmp("resume_zero");
+    let _ = std::fs::remove_file(&path);
+    let spec = quick_sim_spec();
+    let jobs = plan(&spec).jobs.len();
+    let opts = RunOptions {
+        store: Some(path.clone()),
+        shard: None,
+    };
+    let first = spec.run_with(&opts).expect("first run");
+    assert_eq!((first.executed, first.skipped, first.pending), (jobs, 0, 0));
+    let second = spec.run_with(&opts).expect("second run");
+    assert_eq!(
+        (second.executed, second.skipped, second.pending),
+        (0, jobs, 0)
+    );
+    // Resume produced the byte-identical report.
+    let (a, b) = (
+        first.report.expect("report"),
+        second.report.expect("report"),
+    );
+    assert_eq!(a, b);
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_table(), b.to_table());
+    // And matches a storeless run of the same spec.
+    assert_eq!(a, spec.run().expect("plain run"));
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn interrupted_run_resumes_with_exactly_the_missing_cells() {
+    let path = tmp("resume_partial");
+    let _ = std::fs::remove_file(&path);
+    let spec = quick_sim_spec();
+    let jobs = plan(&spec).jobs.len();
+    let opts = RunOptions {
+        store: Some(path.clone()),
+        shard: None,
+    };
+    spec.run_with(&opts).expect("full run");
+    // Simulate a run killed after k cells: keep only the first k store
+    // lines (append order = completion order; any k lines work).
+    let k = 2;
+    let text = std::fs::read_to_string(&path).expect("store text");
+    let truncated: String = text.lines().take(k).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, truncated).expect("truncate");
+    let resumed = spec.run_with(&opts).expect("resumed run");
+    assert_eq!(resumed.executed, jobs - k, "resume executes jobs − k");
+    assert_eq!(resumed.skipped, k);
+    assert_eq!(resumed.pending, 0);
+    assert_eq!(
+        resumed.report.expect("report"),
+        spec.run().expect("plain run")
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn sharded_stores_merge_into_a_byte_identical_report() {
+    let spec = quick_sim_spec().with_seeds(2);
+    let jobs = plan(&spec).jobs.len();
+    let unsharded = spec.run().expect("unsharded run");
+    let n = 3;
+    let mut shard_paths = Vec::new();
+    let mut executed_total = 0;
+    for k in 1..=n {
+        let path = tmp(&format!("shard_{k}_of_{n}"));
+        let _ = std::fs::remove_file(&path);
+        let outcome = spec
+            .run_with(&RunOptions {
+                store: Some(path.clone()),
+                shard: Some(Shard::parse(&format!("{k}/{n}")).expect("shard")),
+            })
+            .expect("shard run");
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.pending, jobs - outcome.executed);
+        if outcome.pending > 0 {
+            assert!(outcome.report.is_none(), "incomplete shard has no report");
+        }
+        executed_total += outcome.executed;
+        shard_paths.push(path);
+    }
+    assert_eq!(executed_total, jobs, "shards partition the job list");
+
+    let merged_path = tmp("merged");
+    let _ = std::fs::remove_file(&merged_path);
+    let merged = merge_stores(&spec, &shard_paths, Some(&merged_path)).expect("merge");
+    assert_eq!(merged, unsharded);
+    assert_eq!(merged.to_jsonl(), unsharded.to_jsonl());
+    assert_eq!(merged.to_csv(), unsharded.to_csv());
+    assert_eq!(merged.to_table(), unsharded.to_table());
+
+    // The canonical merged store resumes as complete.
+    let resumed = spec
+        .run_with(&RunOptions {
+            store: Some(merged_path.clone()),
+            shard: None,
+        })
+        .expect("resume from merged");
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.report.expect("report"), unsharded);
+
+    // Merging an incomplete subset fails loudly.
+    assert!(merge_stores(&spec, &shard_paths[..n - 1], None).is_err());
+
+    for p in shard_paths.iter().chain([&merged_path]) {
+        std::fs::remove_file(p).expect("cleanup");
+    }
+}
+
+#[test]
+fn attack_sweeps_resume_and_merge_like_sim_sweeps() {
+    let spec = quick_attack_spec();
+    let jobs = plan(&spec).jobs.len();
+    let unsharded = spec.run().expect("unsharded");
+    let (p1, p2) = (tmp("attack_1_2"), tmp("attack_2_2"));
+    let _ = (std::fs::remove_file(&p1), std::fs::remove_file(&p2));
+    for (k, path) in [(1, &p1), (2, &p2)] {
+        let outcome = spec
+            .run_with(&RunOptions {
+                store: Some(path.clone()),
+                shard: Some(Shard::parse(&format!("{k}/2")).expect("shard")),
+            })
+            .expect("shard run");
+        assert!(outcome.executed > 0);
+    }
+    let merged = merge_stores(&spec, &[p1.clone(), p2.clone()], None).expect("merge");
+    assert_eq!(merged, unsharded);
+    assert_eq!(merged.to_jsonl(), unsharded.to_jsonl());
+    // Attack re-runs resume to zero executions too.
+    let resume = spec
+        .run_with(&RunOptions {
+            store: Some(p1.clone()),
+            shard: None,
+        })
+        .expect("resume");
+    assert!(resume.executed < jobs && resume.skipped > 0);
+    std::fs::remove_file(&p1).expect("cleanup");
+    std::fs::remove_file(&p2).expect("cleanup");
+}
+
+proptest! {
+    /// Shard filters partition the job list: every job fingerprint is
+    /// owned by exactly one of the n shards, for any shard count and any
+    /// fingerprint value.
+    #[test]
+    fn shard_filters_partition_the_job_list(n in 1usize..=8, fp in any::<u64>()) {
+        let shards: Vec<Shard> = (1..=n)
+            .map(|k| Shard::parse(&format!("{k}/{n}")).expect("parse"))
+            .collect();
+        let owners = shards.iter().filter(|s| s.owns(fp)).count();
+        prop_assert_eq!(owners, 1, "fingerprint {} owned by {} shards", fp, owners);
+    }
+}
