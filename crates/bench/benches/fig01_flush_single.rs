@@ -3,17 +3,11 @@
 //!
 //! Paper result: average loss < 1 %, mildly decreasing with the interval.
 
-use sbp_bench::header;
-use sbp_core::Mechanism;
-use sbp_sweep::SweepSpec;
+use sbp_bench::{catalog_entry, header};
 
 fn main() {
     header("Figure 1", "Complete Flush overhead, single-threaded core");
-    let report = SweepSpec::single("fig01: CF single-core")
-        .with_mechanisms(vec![Mechanism::CompleteFlush])
-        .with_master_seed(0xf160_0000)
-        .run()
-        .expect("sweep");
+    let report = catalog_entry("fig01").spec().run().expect("sweep");
     print!("{}", report.to_table());
     println!("(paper: averages < 1%, mildly decreasing with the interval)");
 }

@@ -5,31 +5,14 @@
 //! (≈6–8 % on SMT-2, more on SMT-4), because one thread's flush destroys
 //! the other threads' state.
 
-use sbp_bench::{header, pct};
-use sbp_core::Mechanism;
-use sbp_sweep::{CaseSpec, SweepSpec};
-use sbp_trace::cases_smt4;
+use sbp_bench::{catalog_entry, header, pct};
 
 fn main() {
     header("Figure 2", "Complete Flush overhead on SMT-2 / SMT-4");
-    let smt2 = SweepSpec::smt("fig02: CF SMT-2")
-        .with_mechanisms(vec![Mechanism::CompleteFlush])
-        .with_master_seed(0xf162_0000)
-        .run()
-        .expect("sweep");
+    let smt2 = catalog_entry("fig02_smt2").spec().run().expect("sweep");
     print!("{}", smt2.to_table());
 
-    let quads: Vec<CaseSpec> = cases_smt4()
-        .iter()
-        .enumerate()
-        .map(|(i, q)| CaseSpec::new(&format!("quad{}", i + 1), q))
-        .collect();
-    let smt4 = SweepSpec::smt("fig02: CF SMT-4")
-        .with_cases(quads)
-        .with_mechanisms(vec![Mechanism::CompleteFlush])
-        .with_master_seed(0xf164_0000)
-        .run()
-        .expect("sweep");
+    let smt4 = catalog_entry("fig02_smt4").spec().run().expect("sweep");
     print!("{}", smt4.to_table());
 
     println!(

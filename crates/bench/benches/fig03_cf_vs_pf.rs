@@ -3,17 +3,11 @@
 //!
 //! Paper result: Precise Flush reduces but does not eliminate the loss.
 
-use sbp_bench::{header, pct};
-use sbp_core::Mechanism;
-use sbp_sweep::SweepSpec;
+use sbp_bench::{catalog_entry, header, pct};
 
 fn main() {
     header("Figure 3", "Complete Flush vs Precise Flush, SMT-2");
-    let report = SweepSpec::smt("fig03: CF vs PF")
-        .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::PreciseFlush])
-        .with_master_seed(0xf163_0000)
-        .run()
-        .expect("sweep");
+    let report = catalog_entry("fig03").spec().run().expect("sweep");
     print!("{}", report.to_table());
     println!(
         "average: CF {} vs PF {}   (paper: PF lower but still elevated)",

@@ -6,18 +6,14 @@
 //! (milc+povray) slightly *negative* — losing the BTB overturns wrong
 //! taken-predictions via fall-through.
 
-use sbp_bench::{header, run_single_figure};
-use sbp_core::Mechanism;
+use sbp_bench::{catalog_entry, header, run_single_figure};
 
 fn main() {
     header(
         "Figure 7",
         "XOR-BTB and Noisy-XOR-BTB overhead, single-threaded core",
     );
-    let avgs = run_single_figure(
-        &[Mechanism::xor_btb(), Mechanism::noisy_xor_btb()],
-        0xf167_0000,
-    );
+    let avgs = run_single_figure(catalog_entry("fig07"));
     println!("paper: averages < 0.2 %; max ≈ 1.0 % (case6); case2 can be negative");
     println!(
         "check: Noisy adds no extra loss over XOR ({} vs {})",

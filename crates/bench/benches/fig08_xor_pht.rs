@@ -5,18 +5,14 @@
 //! worst case is case 1 (gcc+calculix: high conditional ratio, accurate
 //! PHT), case 7 (gromacs+GemsFDTD) barely affected.
 
-use sbp_bench::{header, run_single_figure};
-use sbp_core::Mechanism;
+use sbp_bench::{catalog_entry, header, run_single_figure};
 
 fn main() {
     header(
         "Figure 8",
         "XOR-PHT and Noisy-XOR-PHT overhead, single-threaded core",
     );
-    let avgs = run_single_figure(
-        &[Mechanism::enhanced_xor_pht(), Mechanism::noisy_xor_pht()],
-        0xf168_0000,
-    );
+    let avgs = run_single_figure(catalog_entry("fig08"));
     println!("paper: averages < 1.1 %; case1 is the worst; case7 barely affected");
     let _ = avgs;
 }

@@ -5,18 +5,14 @@
 //! worst case ≈ 2.5 % (case 1); no significant fluctuation across timer
 //! intervals because privilege switches dominate rekeying (Table 4).
 
-use sbp_bench::{header, pct, run_single_figure};
-use sbp_core::Mechanism;
+use sbp_bench::{catalog_entry, header, pct, run_single_figure};
 
 fn main() {
     header(
         "Figure 9",
         "XOR-BP and Noisy-XOR-BP overhead, single-threaded core",
     );
-    let avgs = run_single_figure(
-        &[Mechanism::xor_bp(), Mechanism::noisy_xor_bp()],
-        0xf169_0000,
-    );
+    let avgs = run_single_figure(catalog_entry("fig09"));
     println!("paper: averages < 1.3 %; max ≈ 2.5 % (case1)");
     let spread = avgs[3..6]
         .iter()

@@ -6,26 +6,15 @@
 //! (26–37 % lower than Complete Flush); (3) more accurate predictors show
 //! more impact (avg ≈ 2.3 % on Gshare → ≈ 4.9 % on TAGE-SC-L).
 
-use sbp_bench::{header, pct};
-use sbp_core::Mechanism;
+use sbp_bench::{catalog_entry, header, pct};
 use sbp_predictors::PredictorKind;
-use sbp_sweep::SweepSpec;
 
 fn main() {
     header(
         "Figure 10",
         "CF / PF / Noisy-XOR-BP across predictors, SMT-2",
     );
-    let report = SweepSpec::smt("fig10: mechanisms across predictors")
-        .with_predictors(PredictorKind::ALL.to_vec())
-        .with_mechanisms(vec![
-            Mechanism::CompleteFlush,
-            Mechanism::PreciseFlush,
-            Mechanism::noisy_xor_bp(),
-        ])
-        .with_master_seed(0xf16a_0000)
-        .run()
-        .expect("sweep");
+    let report = catalog_entry("fig10").spec().run().expect("sweep");
     print!("{}", report.to_table());
 
     println!("--- averages ---");

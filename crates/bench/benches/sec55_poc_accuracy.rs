@@ -12,25 +12,19 @@
 //! axis: each seed replica is one 100-trial round, and the success
 //! fraction is counted over the replica records.
 
-use sbp_attack::AttackKind;
-use sbp_bench::header;
+use sbp_bench::{catalog_entry, header};
 use sbp_core::Mechanism;
-use sbp_sweep::{SweepMode, SweepSpec};
 use sbp_types::SweepReport;
 
 fn main() {
     header("Section 5.5(3)", "PoC training accuracy, 10 000 iterations");
-    let iterations = ((10_000.0 * sbp_sim::scale()) as u64).max(1000);
 
-    // The master seed stands in for the old harness's fixed seed: one
-    // representative Flush+Reload noise stream, shared by both mechanism
-    // columns (the engine seeds per campaign cell, not per series).
-    let btb = SweepSpec::attack("sec55: BTB training accuracy")
-        .with_attacks(vec![AttackKind::SpectreV2])
-        .with_attack_modes(vec![SweepMode::SingleCore])
-        .with_mechanisms(vec![Mechanism::Baseline, Mechanism::xor_bp()])
-        .with_trials(iterations)
-        .with_master_seed(13)
+    // The catalog entry's master seed stands in for the old harness's
+    // fixed seed: one representative Flush+Reload noise stream, shared by
+    // both mechanism columns (the engine seeds per campaign cell, not per
+    // series).
+    let btb = catalog_entry("sec55_btb")
+        .spec()
         .run()
         .expect("BTB attack sweep");
     let rate = |report: &SweepReport, mech: Mechanism| {
@@ -47,16 +41,10 @@ fn main() {
 
     // The PHT criterion: 100 training attempts per round; success = the
     // victim follows the trained direction more than 90 times. One seed
-    // replica per round.
-    let rounds = (iterations / 100).max(1) as u32;
-    let pht = SweepSpec::attack("sec55: PHT training accuracy")
-        .with_attacks(vec![AttackKind::BranchScope])
-        .with_attack_modes(vec![SweepMode::SingleCore])
-        .with_mechanisms(vec![Mechanism::Baseline, Mechanism::enhanced_xor_pht()])
-        .with_trials(100)
-        .with_seeds(rounds)
-        .run()
-        .expect("PHT attack sweep");
+    // replica per round (the entry's seed axis).
+    let pht_spec = catalog_entry("sec55_pht").spec();
+    let rounds = pht_spec.seeds;
+    let pht = pht_spec.run().expect("PHT attack sweep");
     let round_success = |mech: Mechanism| {
         let successes = pht
             .records_for(mech.label())

@@ -6,17 +6,17 @@
 //! attacks: SBPA (BTB); the PHT has no eviction channel, so contention is
 //! structurally defended (paper §2.1).
 //!
-//! Both halves are declarative attack sweeps: one `SweepSpec::attack`
-//! grid per predictor structure, executed by the engine, with the
-//! paper's verdict-combination rules applied to the report's cells.
+//! Both halves are declarative attack sweeps — the `tab01_btb` and
+//! `tab01_pht` catalog entries, executed by the engine, with the paper's
+//! verdict-combination rules applied to the report's cells. (The
+//! `tab01_predictors` entry extends this grid with TAGE-family
+//! front-ends; run it through the `campaign` binary.)
 
 use sbp_attack::{AttackKind, Verdict};
-use sbp_bench::header;
+use sbp_bench::{catalog_entry, header};
 use sbp_core::Mechanism;
-use sbp_sweep::{attack_cell_outcome, SweepSpec};
+use sbp_sweep::attack_cell_outcome;
 use sbp_types::SweepReport;
-
-const TRIALS: u64 = 1500;
 
 /// Worst verdict of two outcomes, with a variant-capped rule: if the
 /// primary PoC is defended but a specialized variant succeeds, the cell is
@@ -120,53 +120,15 @@ fn print_row(structure: &str, label: &str, v: [Verdict; 4], paper: [&str; 4]) {
     );
 }
 
-/// The BTB half of Table 1 as a declarative grid.
-fn btb_spec() -> SweepSpec {
-    SweepSpec::attack("tab01: BTB security matrix")
-        .with_attacks(vec![
-            AttackKind::BranchShadowing,
-            AttackKind::SpectreV2,
-            AttackKind::Sbpa,
-        ])
-        .with_mechanisms(vec![
-            Mechanism::CompleteFlush,
-            Mechanism::PreciseFlush,
-            Mechanism::xor_btb(),
-            Mechanism::noisy_xor_btb(),
-        ])
-        .with_trials(TRIALS)
-}
-
-/// The PHT half of Table 1 as a declarative grid.
-///
-/// Like the old hand-rolled runner's fixed per-cell seeds, the default
-/// master seed draws one representative key configuration per cell; the
-/// Enhanced-XOR-PHT SMT-reuse cell in particular is key-bimodal (when the
-/// two threads' per-entry key slices happen to agree on the probed
-/// counter, the encoding cancels). Sweep `with_seeds(n)` to see both
-/// modes.
-fn pht_spec() -> SweepSpec {
-    SweepSpec::attack("tab01: PHT security matrix")
-        .with_attacks(vec![
-            AttackKind::BranchScope,
-            AttackKind::ReferenceBranchScope,
-        ])
-        .with_mechanisms(vec![
-            Mechanism::CompleteFlush,
-            Mechanism::PreciseFlush,
-            Mechanism::xor_pht(),
-            Mechanism::enhanced_xor_pht(),
-            Mechanism::noisy_xor_pht(),
-        ])
-        .with_trials(TRIALS)
-}
-
 fn main() {
     header(
         "Table 1",
         "Security comparison (Defend / Mitigate / No Protection)",
     );
-    let btb = btb_spec().run().expect("BTB attack sweep");
+    let btb = catalog_entry("tab01_btb")
+        .spec()
+        .run()
+        .expect("BTB attack sweep");
     println!("-- BTB mechanisms --");
     btb_row(
         &btb,
@@ -192,7 +154,10 @@ fn main() {
         Mechanism::noisy_xor_btb(),
         ["Defend", "Defend", "Defend", "Mitigate"],
     );
-    let pht = pht_spec().run().expect("PHT attack sweep");
+    let pht = catalog_entry("tab01_pht")
+        .spec()
+        .run()
+        .expect("PHT attack sweep");
     println!("-- PHT mechanisms --");
     pht_row(
         &pht,

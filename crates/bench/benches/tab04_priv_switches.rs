@@ -5,10 +5,7 @@
 //! context switches ≈ 0.08 per Mcycle — privilege changes dominate the
 //! rekey rate, so the timer interval barely matters for XOR-BP.
 
-use sbp_bench::header;
-use sbp_core::Mechanism;
-use sbp_sim::SwitchInterval;
-use sbp_sweep::SweepSpec;
+use sbp_bench::{catalog_entry, header};
 
 const PAPER: [f64; 12] = [4.9, 7.0, 1.9, 2.0, 1.7, 1.6, 1.7, 2.0, 1.8, 2.7, 3.5, 1.9];
 
@@ -17,12 +14,7 @@ fn main() {
         "Table 4",
         "Privilege switches per million cycles (Noisy-XOR-BP-12M)",
     );
-    let report = SweepSpec::single("tab04: rekey triggers")
-        .with_mechanisms(vec![Mechanism::noisy_xor_bp()])
-        .with_intervals(vec![SwitchInterval::M12])
-        .with_master_seed(0x7ab4_0000)
-        .run()
-        .expect("sweep");
+    let report = catalog_entry("tab04").spec().run().expect("sweep");
     println!(
         "{:<8} {:>18} {:>10} {:>18}",
         "case", "priv/Mcycle", "paper", "ctx-sw/Mcycle"

@@ -1,12 +1,15 @@
 //! # sbp-bench
 //!
 //! Shared support for the benchmark harnesses under `benches/`. Each bench
-//! target reproduces one table or figure of the paper by declaring a
-//! [`SweepSpec`](sbp_sweep::SweepSpec) grid and printing the engine's
-//! report next to the paper's numbers; `cargo bench --workspace` runs them
-//! all. Scale the work with `SBP_SCALE` (1.0 is the laptop default; ≈100
-//! approximates the paper's 2 B-instruction runs).
+//! target reproduces one table or figure of the paper by pulling its named
+//! grid out of the spec catalog
+//! ([`sbp_campaign::Catalog`]) and printing the engine's report next to
+//! the paper's numbers; `cargo bench --workspace` runs them all, and the
+//! `campaign` binary runs the same grids fanned out across worker
+//! processes. Scale the work with `SBP_SCALE` (1.0 is the laptop default;
+//! ≈100 approximates the paper's 2 B-instruction runs).
 
+pub use sbp_campaign::{Catalog, CatalogEntry};
 pub use sbp_sweep::parallel_map;
 pub use sbp_types::report::{mean, pct};
 
@@ -21,26 +24,32 @@ pub fn header(exp: &str, title: &str) {
     println!("=============================================================");
 }
 
-/// Runs the Figure 7/8/9 style experiment: each mechanism × each switch
-/// interval × the twelve single-core cases, printing per-case rows and
-/// per-series averages. Returns the per-series averages in
-/// `mechs × intervals` order.
-pub fn run_single_figure(mechs: &[sbp_core::Mechanism], seed_base: u64) -> Vec<f64> {
-    use sbp_sim::SwitchInterval;
-    use sbp_sweep::SweepSpec;
+/// Looks up a catalog entry, panicking with the registry listing on a
+/// typo — bench harnesses have no error channel worth threading.
+pub fn catalog_entry(name: &str) -> &'static CatalogEntry {
+    Catalog::get(name).unwrap_or_else(|| {
+        panic!(
+            "no catalog entry {name:?} (registered: {})",
+            Catalog::names().join(", ")
+        )
+    })
+}
 
-    let report = SweepSpec::single("single-core figure")
-        .with_mechanisms(mechs.to_vec())
-        .with_master_seed(seed_base)
-        .run()
-        .expect("sweep");
+/// Runs a Figure 1/7/8/9 style catalog entry: each mechanism × each
+/// switch interval × the single-core cases, printing the report table.
+/// Returns the per-series averages in `mechanisms × intervals` order
+/// (the entry's axis order).
+pub fn run_single_figure(entry: &CatalogEntry) -> Vec<f64> {
+    let spec = entry.spec();
+    let report = spec.run().expect("sweep");
     print!("{}", report.to_table());
-    mechs
+    let predictor = spec.predictors[0].label();
+    spec.series_mechanisms()
         .iter()
         .flat_map(|m| {
-            SwitchInterval::ALL.iter().map(|iv| {
+            spec.intervals.iter().map(|iv| {
                 report
-                    .series_mean(m.label(), "Gshare", iv.label())
+                    .series_mean(m.label(), predictor, iv.label())
                     .expect("series present")
             })
         })
@@ -63,5 +72,16 @@ mod tests {
         assert_eq!(pct(-0.002), "-0.20%");
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn catalog_entry_finds_registered_names() {
+        assert_eq!(catalog_entry("fig07").name, "fig07");
+    }
+
+    #[test]
+    #[should_panic(expected = "no catalog entry")]
+    fn catalog_entry_panics_with_the_registry_on_typos() {
+        catalog_entry("fig7");
     }
 }

@@ -1,0 +1,131 @@
+//! The campaign CLI: catalog listing, coordinator fan-out, in-process
+//! reference runs, and the (internal) worker mode.
+//!
+//! ```console
+//! $ campaign --list                      # the spec catalog
+//! $ campaign manifest.json               # N-worker fan-out + merge + report
+//! $ campaign --in-process manifest.json  # unsharded run, byte-identical stdout
+//! ```
+//!
+//! Reports go to stdout; all status, progress and worker chatter goes to
+//! stderr, so a coordinator run's stdout is byte-comparable with an
+//! in-process run's. The worker mode (`--worker ENTRY --shard K/N
+//! --store PATH [--seeds S]`) is spawned by the coordinator and not
+//! meant for direct use.
+
+use std::path::{Path, PathBuf};
+
+use sbp_campaign::{run_campaign, run_worker, Catalog, Manifest, WorkerArgs};
+use sbp_sweep::Shard;
+use sbp_types::SbpError;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("campaign: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), SbpError> {
+    match args.first().map(String::as_str) {
+        None | Some("--help") => {
+            print_usage();
+            Ok(())
+        }
+        Some("--list") => {
+            println!(
+                "{:<18} {:<42} {:<14} axes",
+                "name", "artifact", "default store"
+            );
+            for entry in Catalog::entries() {
+                println!(
+                    "{:<18} {:<42} {:<14} {}",
+                    entry.name, entry.artifact, entry.store, entry.axes
+                );
+            }
+            Ok(())
+        }
+        Some("--worker") => run_worker(&parse_worker_args(&args[1..])?),
+        Some("--in-process") => {
+            let manifest = load_manifest(args.get(1), "--in-process MANIFEST.json")?;
+            for (entry, spec) in manifest.specs()? {
+                eprintln!(
+                    "campaign[{}]: {} — in-process reference run",
+                    entry.name, entry.artifact
+                );
+                let report = spec.run()?;
+                print!("{}", report.to_table());
+            }
+            Ok(())
+        }
+        Some(path) if path.starts_with("--") => Err(SbpError::campaign(format!(
+            "unknown option {path:?} (see --help)"
+        ))),
+        Some(path) => {
+            let manifest = load_manifest(Some(&path.to_string()), "MANIFEST.json")?;
+            let exe = std::env::current_exe()
+                .map_err(|e| SbpError::campaign(format!("cannot locate own binary: {e}")))?;
+            run_campaign(&manifest, &exe)
+        }
+    }
+}
+
+/// Loads the manifest and, when it pins a scale, exports `SBP_SCALE`
+/// before anything reads it — the coordinator's fingerprints and every
+/// spawned worker must agree on the work multiplier.
+fn load_manifest(path: Option<&String>, usage: &str) -> Result<Manifest, SbpError> {
+    let path = path.ok_or_else(|| SbpError::campaign(format!("usage: campaign {usage}")))?;
+    let manifest = Manifest::load(Path::new(path))?;
+    if let Some(scale) = manifest.scale {
+        std::env::set_var("SBP_SCALE", format!("{scale}"));
+    }
+    Ok(manifest)
+}
+
+fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
+    let entry = args
+        .first()
+        .ok_or_else(|| SbpError::campaign("--worker needs a catalog entry name"))?
+        .clone();
+    let (mut shard, mut store, mut seeds) = (None, None, None);
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| SbpError::campaign(format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--shard" => shard = Some(Shard::parse(value("a k/n spec")?)?),
+            "--store" => store = Some(PathBuf::from(value("a path")?)),
+            "--seeds" => {
+                let raw = value("a count")?;
+                let parsed: u32 = raw
+                    .parse()
+                    .map_err(|e| SbpError::campaign(format!("--seeds {raw:?}: {e}")))?;
+                seeds = Some(parsed);
+            }
+            other => {
+                return Err(SbpError::campaign(format!(
+                    "unknown worker argument {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(WorkerArgs {
+        entry,
+        shard: shard.ok_or_else(|| SbpError::campaign("--worker needs --shard K/N"))?,
+        store: store.ok_or_else(|| SbpError::campaign("--worker needs --store PATH"))?,
+        seeds,
+    })
+}
+
+fn print_usage() {
+    println!(
+        "usage: campaign MANIFEST.json            run the campaign (N workers, merge, report)"
+    );
+    println!("       campaign --in-process MANIFEST.json   unsharded reference run (same stdout)");
+    println!("       campaign --list                   print the spec catalog");
+    println!();
+    println!("manifest keys: entries (required), workers, scale, seeds, out_dir, retries");
+}

@@ -1,0 +1,460 @@
+//! The named spec catalog: one registry entry per paper artifact.
+//!
+//! Every figure and table grid that used to be hand-built inside a bench
+//! harness lives here as a [`CatalogEntry`] — a named constructor plus
+//! metadata (the paper artifact it reproduces, the axes the grid spans,
+//! the default store file) — so benches, examples and the campaign
+//! orchestrator all build the *same* grid from one source of truth.
+//!
+//! ```
+//! use sbp_campaign::Catalog;
+//!
+//! // Enumerate every registered experiment:
+//! for entry in Catalog::entries() {
+//!     println!("{:<18} {:<28} -> {}", entry.name, entry.artifact, entry.store);
+//! }
+//! // Look one up and materialize its sweep spec:
+//! let fig01 = Catalog::get("fig01").expect("registered");
+//! assert_eq!(fig01.artifact, "Figure 1");
+//! assert!(fig01.spec().validate().is_ok());
+//! assert!(Catalog::get("fig99").is_none());
+//! ```
+
+use sbp_sweep::SweepSpec;
+
+/// One named experiment grid with its paper-artifact metadata.
+#[derive(Clone, Copy)]
+pub struct CatalogEntry {
+    /// Registry name (`Catalog::get` key and campaign-manifest entry id).
+    pub name: &'static str,
+    /// The paper artifact this grid reproduces ("Figure 7", "Table 1 —
+    /// BTB half", ...), or the purpose of a non-paper grid.
+    pub artifact: &'static str,
+    /// Human summary of the axes the grid expands into.
+    pub axes: &'static str,
+    /// Default store file name (relative to a campaign's `out_dir`).
+    pub store: &'static str,
+    /// Spec constructor. Constructors may consult `SBP_SCALE` (work
+    /// budgets and the §5.5 trial counts scale with it), so the spec is
+    /// built per call rather than cached.
+    build: fn() -> SweepSpec,
+}
+
+impl CatalogEntry {
+    /// Materializes the entry's sweep spec.
+    pub fn spec(&self) -> SweepSpec {
+        (self.build)()
+    }
+}
+
+impl std::fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("artifact", &self.artifact)
+            .field("axes", &self.axes)
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry of every named experiment grid.
+pub struct Catalog;
+
+impl Catalog {
+    /// Every registered entry, paper order (figures, tables, §5.5, then
+    /// the CI smoke grids).
+    pub fn entries() -> &'static [CatalogEntry] {
+        ENTRIES
+    }
+
+    /// Looks up an entry by name.
+    pub fn get(name: &str) -> Option<&'static CatalogEntry> {
+        ENTRIES.iter().find(|e| e.name == name)
+    }
+
+    /// All registered names, registry order.
+    pub fn names() -> Vec<&'static str> {
+        ENTRIES.iter().map(|e| e.name).collect()
+    }
+}
+
+static ENTRIES: &[CatalogEntry] = &[
+    CatalogEntry {
+        name: "fig01",
+        artifact: "Figure 1",
+        axes: "CF x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        store: "fig01.jsonl",
+        build: specs::fig01,
+    },
+    CatalogEntry {
+        name: "fig02_smt2",
+        artifact: "Figure 2 — SMT-2 half",
+        axes: "CF x 8M x 12 SMT-2 pairs x 3 seeds",
+        store: "fig02_smt2.jsonl",
+        build: specs::fig02_smt2,
+    },
+    CatalogEntry {
+        name: "fig02_smt4",
+        artifact: "Figure 2 — SMT-4 half",
+        axes: "CF x 8M x 6 SMT-4 quads x 3 seeds",
+        store: "fig02_smt4.jsonl",
+        build: specs::fig02_smt4,
+    },
+    CatalogEntry {
+        name: "fig03",
+        artifact: "Figure 3",
+        axes: "{CF,PF} x 8M x 12 SMT-2 pairs x 3 seeds",
+        store: "fig03.jsonl",
+        build: specs::fig03,
+    },
+    CatalogEntry {
+        name: "fig07",
+        artifact: "Figure 7",
+        axes: "{XOR-BTB,Noisy-XOR-BTB} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        store: "fig07.jsonl",
+        build: specs::fig07,
+    },
+    CatalogEntry {
+        name: "fig08",
+        artifact: "Figure 8",
+        axes: "{Enh-XOR-PHT,Noisy-XOR-PHT} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        store: "fig08.jsonl",
+        build: specs::fig08,
+    },
+    CatalogEntry {
+        name: "fig09",
+        artifact: "Figure 9",
+        axes: "{XOR-BP,Noisy-XOR-BP} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        store: "fig09.jsonl",
+        build: specs::fig09,
+    },
+    CatalogEntry {
+        name: "fig10",
+        artifact: "Figure 10",
+        axes: "{CF,PF,Noisy-XOR-BP} x 4 predictors x 8M x 12 SMT-2 pairs x 3 seeds",
+        store: "fig10.jsonl",
+        build: specs::fig10,
+    },
+    CatalogEntry {
+        name: "tab01_btb",
+        artifact: "Table 1 — BTB half",
+        axes: "{shadowing,SpectreV2,SBPA} x 4 BTB mechanisms x {ST,SMT} x 1500 trials",
+        store: "tab01_btb.jsonl",
+        build: specs::tab01_btb,
+    },
+    CatalogEntry {
+        name: "tab01_pht",
+        artifact: "Table 1 — PHT half",
+        axes: "{BranchScope,ref-variant} x 5 PHT mechanisms x {ST,SMT} x 1500 trials",
+        store: "tab01_pht.jsonl",
+        build: specs::tab01_pht,
+    },
+    CatalogEntry {
+        name: "tab01_predictors",
+        artifact: "Table 1 — predictor-frontend extension",
+        axes: "{shadowing,SpectreV2,SBPA,BranchScope} x {Gshare,LTAGE,TAGE-SC-L} x 4 BTB mechanisms x {ST,SMT}",
+        store: "tab01_predictors.jsonl",
+        build: specs::tab01_predictors,
+    },
+    CatalogEntry {
+        name: "tab04",
+        artifact: "Table 4",
+        axes: "Noisy-XOR-BP x 12M x 12 single-core cases",
+        store: "tab04.jsonl",
+        build: specs::tab04,
+    },
+    CatalogEntry {
+        name: "sec55_btb",
+        artifact: "Section 5.5(3) — BTB training accuracy",
+        axes: "SpectreV2 x {Baseline,XOR-BP} x ST x scale-derived trials",
+        store: "sec55_btb.jsonl",
+        build: specs::sec55_btb,
+    },
+    CatalogEntry {
+        name: "sec55_pht",
+        artifact: "Section 5.5(3) — PHT training accuracy",
+        axes: "BranchScope x {Baseline,Enh-XOR-PHT} x ST x 100-trial rounds (seed axis)",
+        store: "sec55_pht.jsonl",
+        build: specs::sec55_pht,
+    },
+    CatalogEntry {
+        name: "smoke_single",
+        artifact: "CI smoke — single-core slice",
+        axes: "{CF,Noisy-XOR-BP} x 8M x 1 case",
+        store: "smoke_single.jsonl",
+        build: specs::smoke_single,
+    },
+    CatalogEntry {
+        name: "smoke_attack",
+        artifact: "CI smoke — attack slice",
+        axes: "{SpectreV2,BranchScope} x {Baseline,Noisy-XOR-BP} x ST x 200 trials",
+        store: "smoke_attack.jsonl",
+        build: specs::smoke_attack,
+    },
+];
+
+/// The spec constructors, one per registry entry. Master seeds are the
+/// ones the original bench harnesses used, so catalog-built grids resume
+/// the stores those harnesses wrote.
+mod specs {
+    use sbp_attack::AttackKind;
+    use sbp_core::Mechanism;
+    use sbp_predictors::PredictorKind;
+    use sbp_sim::SwitchInterval;
+    use sbp_sweep::{CaseSpec, SweepMode, SweepSpec};
+
+    /// Seed replicas for the figure grids: enough for a meaningful
+    /// ±stddev column in every cell.
+    pub(super) const FIG_SEEDS: u32 = 3;
+
+    pub(super) fn fig01() -> SweepSpec {
+        SweepSpec::single("fig01: CF single-core")
+            .with_mechanisms(vec![Mechanism::CompleteFlush])
+            .with_master_seed(0xf160_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig02_smt2() -> SweepSpec {
+        SweepSpec::smt("fig02: CF SMT-2")
+            .with_mechanisms(vec![Mechanism::CompleteFlush])
+            .with_master_seed(0xf162_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig02_smt4() -> SweepSpec {
+        let quads: Vec<CaseSpec> = sbp_trace::cases_smt4()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| CaseSpec::new(&format!("quad{}", i + 1), q))
+            .collect();
+        SweepSpec::smt("fig02: CF SMT-4")
+            .with_cases(quads)
+            .with_mechanisms(vec![Mechanism::CompleteFlush])
+            .with_master_seed(0xf164_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig03() -> SweepSpec {
+        SweepSpec::smt("fig03: CF vs PF")
+            .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::PreciseFlush])
+            .with_master_seed(0xf163_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig07() -> SweepSpec {
+        SweepSpec::single("fig07: XOR-BTB single-core")
+            .with_mechanisms(vec![Mechanism::xor_btb(), Mechanism::noisy_xor_btb()])
+            .with_master_seed(0xf167_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig08() -> SweepSpec {
+        SweepSpec::single("fig08: XOR-PHT single-core")
+            .with_mechanisms(vec![
+                Mechanism::enhanced_xor_pht(),
+                Mechanism::noisy_xor_pht(),
+            ])
+            .with_master_seed(0xf168_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig09() -> SweepSpec {
+        SweepSpec::single("fig09: XOR-BP single-core")
+            .with_mechanisms(vec![Mechanism::xor_bp(), Mechanism::noisy_xor_bp()])
+            .with_master_seed(0xf169_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    pub(super) fn fig10() -> SweepSpec {
+        SweepSpec::smt("fig10: mechanisms across predictors")
+            .with_predictors(PredictorKind::ALL.to_vec())
+            .with_mechanisms(vec![
+                Mechanism::CompleteFlush,
+                Mechanism::PreciseFlush,
+                Mechanism::noisy_xor_bp(),
+            ])
+            .with_master_seed(0xf16a_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
+    /// Trials per Table 1 campaign cell.
+    const TAB01_TRIALS: u64 = 1500;
+
+    pub(super) fn tab01_btb() -> SweepSpec {
+        SweepSpec::attack("tab01: BTB security matrix")
+            .with_attacks(vec![
+                AttackKind::BranchShadowing,
+                AttackKind::SpectreV2,
+                AttackKind::Sbpa,
+            ])
+            .with_mechanisms(vec![
+                Mechanism::CompleteFlush,
+                Mechanism::PreciseFlush,
+                Mechanism::xor_btb(),
+                Mechanism::noisy_xor_btb(),
+            ])
+            .with_trials(TAB01_TRIALS)
+    }
+
+    /// Like the old hand-rolled runner's fixed per-cell seeds, the default
+    /// master seed draws one representative key configuration per cell;
+    /// the Enhanced-XOR-PHT SMT-reuse cell in particular is key-bimodal
+    /// (when the two threads' per-entry key slices happen to agree on the
+    /// probed counter, the encoding cancels). Sweep `with_seeds(n)` to see
+    /// both modes.
+    pub(super) fn tab01_pht() -> SweepSpec {
+        SweepSpec::attack("tab01: PHT security matrix")
+            .with_attacks(vec![
+                AttackKind::BranchScope,
+                AttackKind::ReferenceBranchScope,
+            ])
+            .with_mechanisms(vec![
+                Mechanism::CompleteFlush,
+                Mechanism::PreciseFlush,
+                Mechanism::xor_pht(),
+                Mechanism::enhanced_xor_pht(),
+                Mechanism::noisy_xor_pht(),
+            ])
+            .with_trials(TAB01_TRIALS)
+    }
+
+    /// The ROADMAP's predictor-axis study: does a TAGE-family front-end
+    /// change the BTB campaign outcomes? BranchScope rides along as a
+    /// control — it attacks the deterministic bimodal harness and must be
+    /// untouched by the front-end choice (pinned by a test).
+    pub(super) fn tab01_predictors() -> SweepSpec {
+        SweepSpec::attack("tab01: security matrix across predictors")
+            .with_attacks(vec![
+                AttackKind::BranchShadowing,
+                AttackKind::SpectreV2,
+                AttackKind::Sbpa,
+                AttackKind::BranchScope,
+            ])
+            .with_predictors(vec![
+                PredictorKind::Gshare,
+                PredictorKind::Ltage,
+                PredictorKind::TageScL,
+            ])
+            .with_mechanisms(vec![
+                Mechanism::CompleteFlush,
+                Mechanism::PreciseFlush,
+                Mechanism::xor_btb(),
+                Mechanism::noisy_xor_btb(),
+            ])
+            .with_trials(TAB01_TRIALS)
+    }
+
+    pub(super) fn tab04() -> SweepSpec {
+        SweepSpec::single("tab04: rekey triggers")
+            .with_mechanisms(vec![Mechanism::noisy_xor_bp()])
+            .with_intervals(vec![SwitchInterval::M12])
+            .with_master_seed(0x7ab4_0000)
+    }
+
+    /// §5.5 training iterations: 10 000 at `SBP_SCALE=1`, never below the
+    /// 1000 needed to resolve sub-percent accuracies.
+    fn sec55_iterations() -> u64 {
+        ((10_000.0 * sbp_sim::scale()) as u64).max(1000)
+    }
+
+    pub(super) fn sec55_btb() -> SweepSpec {
+        SweepSpec::attack("sec55: BTB training accuracy")
+            .with_attacks(vec![AttackKind::SpectreV2])
+            .with_attack_modes(vec![SweepMode::SingleCore])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::xor_bp()])
+            .with_trials(sec55_iterations())
+            .with_master_seed(13)
+    }
+
+    /// The PHT criterion maps rounds onto the seed axis: each replica is
+    /// one 100-trial round; success = the victim follows the trained
+    /// direction more than 90 times (counted by the harness over the
+    /// replica records).
+    pub(super) fn sec55_pht() -> SweepSpec {
+        let rounds = (sec55_iterations() / 100).max(1) as u32;
+        SweepSpec::attack("sec55: PHT training accuracy")
+            .with_attacks(vec![AttackKind::BranchScope])
+            .with_attack_modes(vec![SweepMode::SingleCore])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::enhanced_xor_pht()])
+            .with_trials(100)
+            .with_seeds(rounds)
+    }
+
+    pub(super) fn smoke_single() -> SweepSpec {
+        SweepSpec::single("smoke: single-core slice")
+            .with_cases(vec![CaseSpec::pair("gcc+calculix", "gcc", "calculix")])
+            .with_intervals(vec![SwitchInterval::M8])
+            .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()])
+            .with_master_seed(0x5310_0001)
+    }
+
+    pub(super) fn smoke_attack() -> SweepSpec {
+        SweepSpec::attack("smoke: attack slice")
+            .with_attacks(vec![AttackKind::SpectreV2, AttackKind::BranchScope])
+            .with_attack_modes(vec![SweepMode::SingleCore])
+            .with_mechanisms(vec![Mechanism::Baseline, Mechanism::noisy_xor_bp()])
+            .with_trials(200)
+            .with_master_seed(0x5310_0002)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_store_paths_are_unique() {
+        let names: std::collections::BTreeSet<&str> = Catalog::names().into_iter().collect();
+        assert_eq!(names.len(), Catalog::entries().len());
+        let stores: std::collections::BTreeSet<&str> =
+            Catalog::entries().iter().map(|e| e.store).collect();
+        assert_eq!(stores.len(), Catalog::entries().len());
+        for entry in Catalog::entries() {
+            assert!(entry.store.ends_with(".jsonl"), "{}", entry.name);
+            assert!(!entry.artifact.is_empty() && !entry.axes.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_a_valid_spec() {
+        for entry in Catalog::entries() {
+            let spec = entry.spec();
+            assert!(spec.validate().is_ok(), "{} spec invalid", entry.name);
+            // Constructors are pure per process: two builds agree.
+            assert_eq!(spec, entry.spec(), "{} not deterministic", entry.name);
+        }
+    }
+
+    #[test]
+    fn get_finds_registered_entries_only() {
+        assert_eq!(Catalog::get("fig07").expect("registered").name, "fig07");
+        assert!(Catalog::get("fig99").is_none());
+        assert!(Catalog::get("").is_none());
+    }
+
+    #[test]
+    fn every_fig_entry_carries_at_least_three_seed_replicas() {
+        let figs: Vec<&CatalogEntry> = Catalog::entries()
+            .iter()
+            .filter(|e| e.name.starts_with("fig"))
+            .collect();
+        assert_eq!(figs.len(), 8, "all eight figure grids are registered");
+        for entry in figs {
+            assert!(
+                entry.spec().seeds >= 3,
+                "{}: figure entries need >= 3 seeds for real ±stddev columns",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn tab01_predictor_extension_spans_the_tage_family() {
+        use sbp_predictors::PredictorKind;
+        let spec = Catalog::get("tab01_predictors").expect("registered").spec();
+        assert!(spec.predictors.contains(&PredictorKind::Ltage));
+        assert!(spec.predictors.contains(&PredictorKind::TageScL));
+        assert!(spec.is_attack());
+    }
+}

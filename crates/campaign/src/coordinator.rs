@@ -1,0 +1,317 @@
+//! The coordinator half of the orchestrator: spawn N local worker
+//! subprocesses per catalog entry, stream per-shard progress/ETA to
+//! stderr, retry crashed shards, then merge + compact the stores and emit
+//! the report.
+//!
+//! Layout on disk (all under the manifest's `out_dir`):
+//!
+//! * `<entry>.shard<k>of<n>.jsonl` — shard `k`'s store, written by its
+//!   worker one line per completed job (resumable after any crash);
+//! * `<entry>.jsonl` — the merged canonical store (plan order), written
+//!   after every shard completes.
+//!
+//! The merged report printed to stdout is byte-identical to an in-process
+//! unsharded run of the same manifest (`campaign --in-process`): the
+//! report is a pure function of the plan-ordered results, and stored
+//! floats round-trip exactly. Status/progress goes to stderr only, so
+//! the two stdouts are directly comparable.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sbp_sweep::{gc_store, merge_stores, plan, plan_fingerprints, Shard, SweepSpec};
+use sbp_types::SbpError;
+
+use crate::catalog::CatalogEntry;
+use crate::manifest::Manifest;
+use crate::worker::DIE_AFTER_ENV;
+
+/// Runs the whole campaign described by `manifest`, spawning workers from
+/// the binary at `exe` (normally `std::env::current_exe()`).
+///
+/// # Errors
+///
+/// Returns campaign errors when workers cannot be spawned or keep
+/// crashing past the retry budget, and store/validation errors from the
+/// merge. Shard stores survive every failure mode — re-running the same
+/// campaign resumes from them.
+pub fn run_campaign(manifest: &Manifest, exe: &Path) -> Result<(), SbpError> {
+    std::fs::create_dir_all(&manifest.out_dir).map_err(|e| {
+        SbpError::campaign(format!(
+            "cannot create out_dir {}: {e}",
+            manifest.out_dir.display()
+        ))
+    })?;
+    for (entry, spec) in manifest.specs()? {
+        run_entry(manifest, entry, &spec, exe)?;
+    }
+    Ok(())
+}
+
+/// Shard store path for worker `k` (1-based) of `n`.
+pub fn shard_store_path(out_dir: &Path, entry: &CatalogEntry, k: usize, n: usize) -> PathBuf {
+    out_dir.join(format!("{}.shard{k}of{n}.jsonl", entry.name))
+}
+
+/// One worker subprocess being tracked by the progress loop.
+struct WorkerProc {
+    /// 0-based shard index.
+    shard: usize,
+    child: Child,
+    /// Exit status once reaped.
+    status: Option<std::process::ExitStatus>,
+}
+
+fn run_entry(
+    manifest: &Manifest,
+    entry: &CatalogEntry,
+    spec: &SweepSpec,
+    exe: &Path,
+) -> Result<(), SbpError> {
+    let n = manifest.workers;
+    let job_plan = plan(spec);
+    let fps = plan_fingerprints(spec, &job_plan);
+    let shard_paths: Vec<PathBuf> = (1..=n)
+        .map(|k| shard_store_path(&manifest.out_dir, entry, k, n))
+        .collect();
+    let owned: Vec<usize> = (0..n)
+        .map(|index| {
+            let shard = Shard { index, count: n };
+            fps.iter().filter(|fp| shard.owns(**fp)).count()
+        })
+        .collect();
+    eprintln!(
+        "campaign[{}]: {} — {} cells over {} worker(s)",
+        entry.name,
+        entry.artifact,
+        fps.len(),
+        n
+    );
+
+    let mut pending: Vec<usize> = (0..n).collect();
+    let mut attempt = 0u32;
+    loop {
+        let mut procs = Vec::with_capacity(pending.len());
+        for &shard in &pending {
+            let child = spawn_worker(manifest, entry, exe, shard, n, attempt)?;
+            procs.push(WorkerProc {
+                shard,
+                child,
+                status: None,
+            });
+        }
+        let failed = wait_with_progress(entry, &mut procs, &shard_paths, &owned, n)?;
+        if failed.is_empty() {
+            break;
+        }
+        if attempt >= manifest.retries {
+            let shards: Vec<String> = failed.iter().map(|s| format!("{}/{n}", s + 1)).collect();
+            return Err(SbpError::campaign(format!(
+                "{}: shard(s) {} failed after {} attempt(s); the shard stores are \
+                 resumable — re-run the campaign to execute only the missing jobs",
+                entry.name,
+                shards.join(", "),
+                attempt + 1,
+            )));
+        }
+        attempt += 1;
+        eprintln!(
+            "campaign[{}]: retrying {} crashed worker(s), attempt {}",
+            entry.name,
+            failed.len(),
+            attempt + 1,
+        );
+        pending = failed;
+    }
+
+    // Every shard completed: merge into the canonical store, emit the
+    // report, then garbage-collect stale cells out of all stores.
+    let canonical = manifest.out_dir.join(entry.store);
+    let report = merge_stores(spec, &shard_paths, Some(&canonical))?;
+    print!("{}", report.to_table());
+    let mut dropped = 0;
+    for path in shard_paths.iter().chain(std::iter::once(&canonical)) {
+        dropped += gc_store(path, std::slice::from_ref(spec))?;
+    }
+    eprintln!(
+        "campaign[{}]: merged {} shard store(s) into {}; gc dropped {} stale cell(s)",
+        entry.name,
+        n,
+        canonical.display(),
+        dropped,
+    );
+    Ok(())
+}
+
+fn spawn_worker(
+    manifest: &Manifest,
+    entry: &CatalogEntry,
+    exe: &Path,
+    shard: usize,
+    n: usize,
+    attempt: u32,
+) -> Result<Child, SbpError> {
+    let store = shard_store_path(&manifest.out_dir, entry, shard + 1, n);
+    let mut cmd = Command::new(exe);
+    cmd.arg("--worker")
+        .arg(entry.name)
+        .arg("--shard")
+        .arg(format!("{}/{n}", shard + 1))
+        .arg("--store")
+        .arg(&store)
+        .stdout(Stdio::piped());
+    if let Some(seeds) = manifest.seeds {
+        cmd.arg("--seeds").arg(seeds.to_string());
+    }
+    if let Some(scale) = manifest.scale {
+        cmd.env("SBP_SCALE", format!("{scale}"));
+    }
+    if attempt > 0 {
+        // A retried shard must not re-inherit the fault-injection knob,
+        // or an injected crash would burn the whole retry budget.
+        cmd.env_remove(DIE_AFTER_ENV);
+    }
+    cmd.spawn().map_err(|e| {
+        SbpError::campaign(format!(
+            "cannot spawn worker for {} shard {}/{n}: {e}",
+            entry.name,
+            shard + 1
+        ))
+    })
+}
+
+/// Polls the worker processes to completion, streaming per-shard
+/// `done/owned` progress (with an ETA estimated from the observed
+/// completion rate) to stderr whenever a count changes. Returns the
+/// 0-based shard indices whose workers exited unsuccessfully.
+fn wait_with_progress(
+    entry: &CatalogEntry,
+    procs: &mut [WorkerProc],
+    shard_paths: &[PathBuf],
+    owned: &[usize],
+    n: usize,
+) -> Result<Vec<usize>, SbpError> {
+    let start = Instant::now();
+    let done0: usize = procs
+        .iter()
+        .map(|p| count_lines(&shard_paths[p.shard]))
+        .sum();
+    // Cells this pass is responsible for: only the running shards' —
+    // on a retry pass the completed shards' cells are not remaining
+    // work, and counting them would inflate the ETA.
+    let owned_this_pass: usize = procs.iter().map(|p| owned[p.shard]).sum();
+    let mut last_done: Vec<usize> = vec![usize::MAX; procs.len()];
+    loop {
+        let mut all_exited = true;
+        for p in procs.iter_mut() {
+            if p.status.is_none() {
+                match p.child.try_wait() {
+                    Ok(Some(status)) => p.status = Some(status),
+                    Ok(None) => all_exited = false,
+                    Err(e) => {
+                        return Err(SbpError::campaign(format!(
+                            "cannot wait for {} shard {}/{n}: {e}",
+                            entry.name,
+                            p.shard + 1
+                        )))
+                    }
+                }
+            }
+        }
+        let done: Vec<usize> = procs
+            .iter()
+            .map(|p| count_lines(&shard_paths[p.shard]))
+            .collect();
+        if done != last_done {
+            let total_done: usize = done.iter().sum();
+            let eta = eta_label(start, done0, total_done, owned_this_pass);
+            for (p, d) in procs.iter().zip(&done) {
+                eprintln!(
+                    "campaign[{}] shard {}/{n}: {d}/{} cells{eta}",
+                    entry.name,
+                    p.shard + 1,
+                    owned[p.shard],
+                );
+            }
+            last_done = done;
+        }
+        if all_exited {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // Relay each worker's summary line (its whole stdout) to stderr and
+    // collect the crashed shards.
+    let mut failed = Vec::new();
+    for p in procs.iter_mut() {
+        let mut out = String::new();
+        if let Some(stdout) = p.child.stdout.as_mut() {
+            let _ = stdout.read_to_string(&mut out);
+        }
+        for line in out.lines() {
+            eprintln!("campaign[{}] {line}", entry.name);
+        }
+        let status = p.status.expect("all workers reaped");
+        if !status.success() {
+            eprintln!(
+                "campaign[{}] shard {}/{n}: worker crashed ({status})",
+                entry.name,
+                p.shard + 1,
+            );
+            failed.push(p.shard);
+        }
+    }
+    Ok(failed)
+}
+
+/// Completed-cell count of a shard store (missing file = 0 — a shard
+/// owning no jobs never creates its store).
+fn count_lines(path: &Path) -> usize {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count(),
+        Err(_) => 0,
+    }
+}
+
+/// `", ETA 12s"` once at least one cell completed this run, `""` before.
+fn eta_label(start: Instant, done0: usize, done: usize, total: usize) -> String {
+    let fresh = done.saturating_sub(done0);
+    let remaining = total.saturating_sub(done);
+    if fresh == 0 || remaining == 0 {
+        return String::new();
+    }
+    let secs = start.elapsed().as_secs_f64() * remaining as f64 / fresh as f64;
+    format!(", ETA {}s", secs.ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn shard_store_paths_are_distinct_per_worker() {
+        let entry = Catalog::get("smoke_single").expect("registered");
+        let a = shard_store_path(Path::new("/tmp/c"), entry, 1, 2);
+        let b = shard_store_path(Path::new("/tmp/c"), entry, 2, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, PathBuf::from("/tmp/c/smoke_single.shard1of2.jsonl"));
+    }
+
+    #[test]
+    fn eta_appears_only_once_cells_complete() {
+        let t = Instant::now();
+        assert_eq!(eta_label(t, 3, 3, 10), "");
+        assert_eq!(eta_label(t, 0, 10, 10), "");
+        let label = eta_label(t, 2, 5, 10);
+        assert!(label.starts_with(", ETA "), "{label}");
+    }
+
+    #[test]
+    fn count_lines_tolerates_missing_files() {
+        assert_eq!(count_lines(Path::new("/no/such/store.jsonl")), 0);
+    }
+}

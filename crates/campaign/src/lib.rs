@@ -1,0 +1,40 @@
+//! # sbp-campaign
+//!
+//! Campaign orchestration on top of the sweep engine: reproduce *every*
+//! figure and table of the paper — or any subset — with one command,
+//! fanned out across worker subprocesses, resumable after any crash.
+//!
+//! Two halves:
+//!
+//! * **[`Catalog`]** — the named spec registry. Each figure/table grid
+//!   that used to be hand-built inside a bench harness is a
+//!   [`CatalogEntry`]: `Catalog::get("fig01")` yields the `SweepSpec`
+//!   plus metadata (paper artifact, axes, default store file). Benches,
+//!   examples and the orchestrator all build grids from this one source
+//!   of truth.
+//! * **The orchestrator** — a coordinator ([`run_campaign`]) that reads a
+//!   [`Manifest`] (catalog entries × scale × seeds × worker count),
+//!   spawns N worker subprocesses (the same binary with `--worker`), each
+//!   owning a `--shard k/n` slice writing its own store, streams
+//!   per-shard progress/ETA to stderr, retries crashed shards (the shard
+//!   store is resumable, so the second pass executes only the missing
+//!   jobs), then merges + compacts the stores and prints the report —
+//!   byte-identical to an in-process unsharded run of the same manifest.
+//!
+//! The `campaign` binary is the CLI over both halves:
+//!
+//! ```console
+//! $ campaign --list                      # print the catalog
+//! $ campaign manifest.json               # coordinator: fan out, merge, report
+//! $ campaign --in-process manifest.json  # unsharded reference run (same stdout)
+//! ```
+
+pub mod catalog;
+pub mod coordinator;
+pub mod manifest;
+pub mod worker;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use coordinator::{run_campaign, shard_store_path};
+pub use manifest::Manifest;
+pub use worker::{run_worker, WorkerArgs, DIE_AFTER_ENV, DIE_EXIT_CODE};

@@ -1,0 +1,167 @@
+//! The worker half of the orchestrator: one subprocess owning one
+//! `--shard k/n` slice of one catalog entry's job list.
+//!
+//! A worker is just the store-backed sweep path
+//! ([`SweepSpec::run_with`](sbp_sweep::SweepSpec)) pointed at a dedicated
+//! shard store; everything that makes the campaign crash-tolerant lives
+//! in the store layer (append-per-job, fingerprint resume). The worker
+//! prints a single machine-readable summary line to stdout — the
+//! coordinator relays it to stderr and the tests parse it — and leaves
+//! stdout otherwise untouched.
+//!
+//! For tests of the crash path, the [`DIE_AFTER_ENV`] variable makes the
+//! worker execute its slice sequentially and abort the process after that
+//! many store appends — a deterministic stand-in for a worker dying
+//! mid-shard. The coordinator strips the variable when it retries a
+//! crashed shard, so an injected crash exercises exactly one
+//! death-and-resume cycle per shard.
+
+use std::path::PathBuf;
+
+use sbp_sweep::{plan, plan_fingerprints, run_job, RunOptions, Shard, SweepStore};
+use sbp_types::SbpError;
+
+use crate::catalog::Catalog;
+
+/// Fault-injection knob: when set to `N`, a worker dies (exit code 42)
+/// after appending `N` results to its shard store.
+pub const DIE_AFTER_ENV: &str = "SBP_CAMPAIGN_DIE_AFTER";
+
+/// Exit code of a fault-injected worker death.
+pub const DIE_EXIT_CODE: i32 = 42;
+
+/// Parsed `--worker` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerArgs {
+    /// Catalog entry to run.
+    pub entry: String,
+    /// This worker's slice of the job list.
+    pub shard: Shard,
+    /// Shard store path (dedicated to this worker).
+    pub store: PathBuf,
+    /// Seed-replica override from the manifest, if any.
+    pub seeds: Option<u32>,
+}
+
+/// Runs one worker: resolves the catalog entry, executes the shard
+/// against its store, and prints the summary line.
+///
+/// # Errors
+///
+/// Returns campaign errors for unknown entries and the underlying sweep
+/// errors otherwise.
+pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
+    let entry = Catalog::get(&args.entry)
+        .ok_or_else(|| SbpError::campaign(format!("unknown catalog entry {:?}", args.entry)))?;
+    let mut spec = entry.spec();
+    if let Some(seeds) = args.seeds {
+        spec = spec.with_seeds(seeds);
+    }
+    if let Ok(raw) = std::env::var(DIE_AFTER_ENV) {
+        let after: usize = raw
+            .parse()
+            .map_err(|e| SbpError::campaign(format!("{DIE_AFTER_ENV}={raw:?}: {e}")))?;
+        return run_fault_injected(&spec, args, after);
+    }
+    let outcome = spec.run_with(&RunOptions {
+        store: Some(args.store.clone()),
+        shard: Some(args.shard),
+    })?;
+    print_summary(args, outcome.executed, outcome.skipped, outcome.pending);
+    Ok(())
+}
+
+/// The crash-test path: executes the shard's missing jobs one at a time
+/// (deterministic append order) and kills the process after `after`
+/// appends. A slice with fewer missing jobs than `after` completes and
+/// exits normally.
+fn run_fault_injected(
+    spec: &sbp_sweep::SweepSpec,
+    args: &WorkerArgs,
+    after: usize,
+) -> Result<(), SbpError> {
+    spec.validate()?;
+    let plan = plan(spec);
+    let fps = plan_fingerprints(spec, &plan);
+    let mut store = SweepStore::open(&args.store)?;
+    let skipped = fps.iter().filter(|fp| store.get(**fp).is_some()).count();
+    let mut executed = 0usize;
+    for (i, job) in plan.jobs.iter().enumerate() {
+        if !args.shard.owns(fps[i]) || store.get(fps[i]).is_some() {
+            continue;
+        }
+        let result = run_job(spec, &plan, job)?;
+        store.append(fps[i], &result)?;
+        executed += 1;
+        if executed == after {
+            eprintln!(
+                "worker[{}] shard {}/{}: fault injection — dying after {after} append(s)",
+                args.entry,
+                args.shard.index + 1,
+                args.shard.count,
+            );
+            std::process::exit(DIE_EXIT_CODE);
+        }
+    }
+    let pending = fps.iter().filter(|fp| store.get(**fp).is_none()).count();
+    print_summary(args, executed, skipped, pending);
+    Ok(())
+}
+
+/// The machine-readable per-shard summary (mirrors `SweepOutcome`'s
+/// counts; `skipped`/`pending` are plan-wide like `run_with`'s).
+fn print_summary(args: &WorkerArgs, executed: usize, skipped: usize, pending: usize) {
+    println!(
+        "shard {}/{} entry {} executed {executed} skipped {skipped} pending {pending}",
+        args.shard.index + 1,
+        args.shard.count,
+        args.entry,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sbp_campaign_worker_{}_{name}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn worker_rejects_unknown_entries() {
+        let args = WorkerArgs {
+            entry: "no_such_entry".into(),
+            shard: Shard { index: 0, count: 1 },
+            store: tmp("unknown"),
+            seeds: None,
+        };
+        assert!(matches!(
+            run_worker(&args),
+            Err(SbpError::Campaign(msg)) if msg.contains("no_such_entry")
+        ));
+    }
+
+    #[test]
+    fn worker_executes_its_slice_and_is_resumable() {
+        let store = tmp("slice");
+        let _ = std::fs::remove_file(&store);
+        let args = WorkerArgs {
+            entry: "smoke_attack".into(),
+            shard: Shard { index: 0, count: 2 },
+            store: store.clone(),
+            seeds: None,
+        };
+        run_worker(&args).expect("first pass");
+        let after_first = SweepStore::open(&store).expect("open").len();
+        run_worker(&args).expect("second pass");
+        assert_eq!(
+            SweepStore::open(&store).expect("open").len(),
+            after_first,
+            "second pass resumes, adds nothing"
+        );
+        std::fs::remove_file(&store).expect("cleanup");
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end tests of the `campaign` binary: a 2-worker fan-out must be
+//! byte-identical to the in-process unsharded run of the same manifest,
+//! and a killed worker must leave a resumable campaign where the second
+//! pass executes exactly the missing jobs.
+//!
+//! Every assertion drives the real binary (via `CARGO_BIN_EXE_campaign`),
+//! so the coordinator/worker subprocess plumbing, not just the library
+//! functions, is under test. The manifests pin `SBP_SCALE` so the tests
+//! are independent of the ambient environment.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use sbp_campaign::{Catalog, DIE_AFTER_ENV, DIE_EXIT_CODE};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbp_campaign_it_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn write_manifest(dir: &Path, body: &str) -> PathBuf {
+    let path = dir.join("manifest.json");
+    std::fs::write(&path, body).expect("write manifest");
+    path
+}
+
+/// Runs the campaign binary with the fault-injection knob stripped unless
+/// explicitly requested.
+fn campaign(args: &[&str], die_after: Option<usize>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.args(args);
+    match die_after {
+        Some(n) => cmd.env(DIE_AFTER_ENV, n.to_string()),
+        None => cmd.env_remove(DIE_AFTER_ENV),
+    };
+    cmd.output().expect("run campaign binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf8 stderr")
+}
+
+/// Sum of the `executed N` counts in the relayed worker summary lines.
+fn total_executed(stderr: &str) -> usize {
+    stderr
+        .lines()
+        .filter_map(|line| {
+            let mut words = line.split_whitespace();
+            words.by_ref().find(|w| *w == "executed")?;
+            words.next()?.parse::<usize>().ok()
+        })
+        .sum()
+}
+
+/// Completed cells across every shard store of `entry` in `dir`.
+fn stored_cells(dir: &Path, entry: &str) -> usize {
+    std::fs::read_dir(dir)
+        .expect("read out_dir")
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with(&format!("{entry}.shard")) && name.ends_with(".jsonl")
+        })
+        .map(|e| {
+            std::fs::read_to_string(e.path())
+                .expect("read shard store")
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count()
+        })
+        .sum()
+}
+
+#[test]
+fn two_worker_campaign_is_byte_identical_to_the_in_process_run() {
+    let dir = tmp_dir("byte_identical");
+    let manifest = write_manifest(
+        &dir,
+        &format!(
+            r#"{{"entries":["smoke_single","smoke_attack"],"workers":2,
+                "scale":0.02,"out_dir":"{}"}}"#,
+            dir.join("stores").display()
+        ),
+    );
+    let manifest = manifest.to_str().expect("utf8 path");
+
+    let reference = campaign(&["--in-process", manifest], None);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+    let reference_stdout = stdout_of(&reference);
+    assert!(
+        reference_stdout.contains("Noisy-XOR-BP"),
+        "reference run printed a report: {reference_stdout:?}"
+    );
+
+    let sharded = campaign(&[manifest], None);
+    assert!(sharded.status.success(), "{}", stderr_of(&sharded));
+    assert_eq!(
+        stdout_of(&sharded),
+        reference_stdout,
+        "2-worker merged report differs from the unsharded in-process run"
+    );
+
+    // The merged canonical stores exist, and a second campaign run
+    // resumes from the shard stores: zero jobs executed, same bytes out.
+    for entry in ["smoke_single", "smoke_attack"] {
+        assert!(dir.join("stores").join(format!("{entry}.jsonl")).is_file());
+    }
+    let resumed = campaign(&[manifest], None);
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert_eq!(stdout_of(&resumed), reference_stdout);
+    assert_eq!(
+        total_executed(&stderr_of(&resumed)),
+        0,
+        "every cell came from the stores: {}",
+        stderr_of(&resumed)
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn killed_worker_rerun_executes_exactly_the_missing_jobs() {
+    let dir = tmp_dir("crash_rerun");
+    let stores = dir.join("stores");
+    let body = format!(
+        r#"{{"entries":["smoke_single"],"workers":2,"scale":0.02,
+            "seeds":3,"retries":0,"out_dir":"{}"}}"#,
+        stores.display()
+    );
+    let manifest = write_manifest(&dir, &body);
+    let manifest = manifest.to_str().expect("utf8 path");
+    let total_jobs = sbp_sweep::plan(
+        &Catalog::get("smoke_single")
+            .expect("registered")
+            .spec()
+            .with_seeds(3),
+    )
+    .jobs
+    .len();
+
+    // Reference: an uninterrupted in-process run of the same manifest.
+    let reference = campaign(&["--in-process", manifest], None);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    // Crash run: workers die after one append; with retries 0 the
+    // campaign fails but leaves resumable shard stores behind.
+    let crashed = campaign(&[manifest], Some(1));
+    assert!(!crashed.status.success(), "injected crash must fail");
+    assert!(
+        stderr_of(&crashed).contains("resumable"),
+        "failure explains how to resume: {}",
+        stderr_of(&crashed)
+    );
+    let stored = stored_cells(&dir.join("stores"), "smoke_single");
+    assert!(
+        stored > 0 && stored < total_jobs,
+        "the crash landed mid-campaign ({stored}/{total_jobs} cells stored)"
+    );
+
+    // Re-run without the knob: exactly the missing jobs execute, and the
+    // final report is byte-identical to the uninterrupted run.
+    let rerun = campaign(&[manifest], None);
+    assert!(rerun.status.success(), "{}", stderr_of(&rerun));
+    assert_eq!(
+        total_executed(&stderr_of(&rerun)),
+        total_jobs - stored,
+        "rerun executed only the missing jobs: {}",
+        stderr_of(&rerun)
+    );
+    assert_eq!(stdout_of(&rerun), stdout_of(&reference));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn coordinator_retries_a_crashed_shard_within_one_run() {
+    let dir = tmp_dir("retry");
+    let manifest = write_manifest(
+        &dir,
+        &format!(
+            r#"{{"entries":["smoke_single"],"workers":2,"scale":0.02,
+                "seeds":3,"retries":1,"out_dir":"{}"}}"#,
+            dir.join("stores").display()
+        ),
+    );
+    let manifest = manifest.to_str().expect("utf8 path");
+
+    let reference = campaign(&["--in-process", manifest], None);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    // The knob kills at least one first-attempt worker (exit 42); the
+    // coordinator strips it for the retry, which finishes the shard.
+    let retried = campaign(&[manifest], Some(1));
+    let err = stderr_of(&retried);
+    assert!(retried.status.success(), "{err}");
+    assert!(
+        err.contains(&format!("exit status: {DIE_EXIT_CODE}")) && err.contains("retrying"),
+        "retry path was exercised: {err}"
+    );
+    assert_eq!(stdout_of(&retried), stdout_of(&reference));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn campaign_rejects_unknown_entries_and_bad_manifests() {
+    let dir = tmp_dir("bad_input");
+    let unknown = write_manifest(&dir, r#"{"entries":["fig99"],"workers":2}"#);
+    let out = campaign(&[unknown.to_str().expect("utf8")], None);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("fig99"), "{}", stderr_of(&out));
+
+    let out = campaign(&["/no/such/manifest.json"], None);
+    assert!(!out.status.success());
+
+    let typo = write_manifest(&dir, r#"{"entries":["smoke_single"],"worker":2}"#);
+    let out = campaign(&[typo.to_str().expect("utf8")], None);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("unknown key"),
+        "{}",
+        stderr_of(&out)
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn list_mode_prints_the_whole_catalog() {
+    let out = campaign(&["--list"], None);
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    for entry in Catalog::entries() {
+        assert!(text.contains(entry.name), "missing {}", entry.name);
+    }
+}

@@ -1,0 +1,74 @@
+//! The `tab01_predictors` catalog entry: the Table 1 grid extended with
+//! TAGE-family front-ends.
+//!
+//! The BranchScope family attacks the deterministic bimodal harness and
+//! ignores the direction-predictor choice, so its cells must be *exactly*
+//! identical across the predictor axis — the control pinning that the
+//! predictor extension changes only what it is supposed to change (the
+//! BTB campaigns' front-end).
+
+use sbp_attack::AttackKind;
+use sbp_campaign::Catalog;
+
+#[test]
+fn branchscope_cells_are_identical_across_predictor_frontends() {
+    // The registered grid at a test-sized trial count.
+    let spec = Catalog::get("tab01_predictors")
+        .expect("registered")
+        .spec()
+        .with_attacks(vec![AttackKind::BranchScope])
+        .with_trials(150);
+    let predictors = spec.predictors.clone();
+    assert!(predictors.len() >= 3, "grid spans the TAGE family");
+    let report = spec.run().expect("attack sweep");
+
+    // For every (mechanism, mode) series, the BranchScope outcome of each
+    // predictor column must match the Gshare column bit for bit.
+    let mut compared = 0;
+    for record in report.records.iter().filter(|r| r.predictor == "Gshare") {
+        let attack = record.attack.as_ref().expect("attack record");
+        for other in &predictors[1..] {
+            let twin = report
+                .records
+                .iter()
+                .find(|r| {
+                    r.predictor == other.label()
+                        && r.series == record.series
+                        && r.interval == record.interval
+                        && r.seed_index == record.seed_index
+                })
+                .expect("cell exists for every predictor");
+            let twin_attack = twin.attack.as_ref().expect("attack record");
+            assert_eq!(
+                attack, twin_attack,
+                "BranchScope is bimodal-harness-bound; {} vs {} differ in {} / {}",
+                record.predictor, twin.predictor, record.series, record.interval
+            );
+            compared += 1;
+        }
+    }
+    // 4 mechanisms × 2 modes × 2 non-Gshare predictors.
+    assert_eq!(compared, 16, "every cell pair was compared");
+}
+
+#[test]
+fn btb_campaigns_carry_real_predictor_columns() {
+    // Sanity check on the extension itself: the BTB half of the grid
+    // plans one job per predictor (the front-end axis is live, not
+    // collapsed like BranchScope's).
+    let spec = Catalog::get("tab01_predictors")
+        .expect("registered")
+        .spec()
+        .with_attacks(vec![AttackKind::SpectreV2])
+        .with_trials(100);
+    let plan = sbp_sweep::plan(&spec);
+    // predictors × mechanisms × modes × 1 attack × 1 seed.
+    assert_eq!(plan.jobs.len(), 3 * 4 * 2);
+    let fps = sbp_sweep::plan_fingerprints(&spec, &plan);
+    let distinct: std::collections::BTreeSet<u64> = fps.into_iter().collect();
+    assert_eq!(
+        distinct.len(),
+        plan.jobs.len(),
+        "per-predictor cells are distinct store cells"
+    );
+}

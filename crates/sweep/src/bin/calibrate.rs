@@ -9,7 +9,9 @@
 //! Run with `cargo run -p sbp-sweep --bin calibrate --release`; pass
 //! `--store PATH` to persist/resume the (slow) characterization cells and
 //! `--shard K/N` to split them across processes — both sweeps share one
-//! store, their cells are distinguished by fingerprint.
+//! store, their cells are distinguished by fingerprint. `--gc` compacts
+//! the store afterwards, dropping cells neither sweep still plans (stale
+//! budgets, removed cases, old scales).
 
 use sbp_predictors::PredictorKind;
 use sbp_sim::{SwitchInterval, WorkBudget};
@@ -40,20 +42,8 @@ fn run(spec: &SweepSpec, opts: &RunOptions) -> Option<SweepReport> {
     outcome.report
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match RunOptions::from_args(&args) {
-        Ok((opts, rest)) if rest.is_empty() => opts,
-        Ok((_, rest)) => {
-            eprintln!("calibrate: unknown arguments: {rest:?}");
-            std::process::exit(2);
-        }
-        Err(e) => {
-            eprintln!("calibrate: {e}");
-            std::process::exit(2);
-        }
-    };
-    println!("== per-benchmark baseline (single-core, Gshare) ==");
+/// The per-benchmark single-core characterization sweep.
+fn single_spec() -> SweepSpec {
     let mut seen = std::collections::BTreeSet::new();
     let cases: Vec<CaseSpec> = cases_single()
         .iter()
@@ -61,14 +51,53 @@ fn main() {
         .filter(|name| seen.insert(*name))
         .map(|name| CaseSpec::new(name, &[name, "namd"]))
         .collect();
-    let single = SweepSpec::single("calibrate: per-benchmark baseline")
+    SweepSpec::single("calibrate: per-benchmark baseline")
         .with_cases(cases)
         .with_intervals(vec![SwitchInterval::M8])
         .with_budget(WorkBudget {
             warmup: 50_000,
             measure: 400_000,
         })
-        .with_master_seed(7);
+        .with_master_seed(7)
+}
+
+/// The SMT-2 MPKI-per-predictor characterization sweep.
+fn smt_spec() -> SweepSpec {
+    SweepSpec::smt("calibrate: SMT-2 MPKI")
+        .with_predictors(PredictorKind::ALL.to_vec())
+        .with_cases(sbp_sweep::cases_from(&cases_smt2()[..4]))
+        .with_budget(WorkBudget {
+            warmup: 100_000,
+            measure: 600_000,
+        })
+        .with_master_seed(11)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, gc) = match RunOptions::from_args(&args) {
+        Ok((opts, rest)) => {
+            let gc = rest.iter().any(|a| a == "--gc");
+            let rest: Vec<&String> = rest.iter().filter(|a| *a != "--gc").collect();
+            if !rest.is_empty() {
+                eprintln!("calibrate: unknown arguments: {rest:?}");
+                std::process::exit(2);
+            }
+            if gc && opts.store.is_none() {
+                // Validate before the slow sweeps run — failing
+                // afterwards would throw away the un-persisted work.
+                eprintln!("calibrate: --gc needs --store");
+                std::process::exit(2);
+            }
+            (opts, gc)
+        }
+        Err(e) => {
+            eprintln!("calibrate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("== per-benchmark baseline (single-core, Gshare) ==");
+    let single = single_spec();
     if let Some(report) = run(&single, &opts) {
         println!(
             "{:<16} {:>8} {:>8} {:>8} {:>10}",
@@ -88,15 +117,7 @@ fn main() {
     }
 
     println!("\n== SMT-2 baseline MPKI per predictor (paper: 8.45 / 5.17 / 4.10 / 3.99) ==");
-    let subset = sbp_sweep::cases_from(&cases_smt2()[..4]);
-    let smt = SweepSpec::smt("calibrate: SMT-2 MPKI")
-        .with_predictors(PredictorKind::ALL.to_vec())
-        .with_cases(subset)
-        .with_budget(WorkBudget {
-            warmup: 100_000,
-            measure: 600_000,
-        })
-        .with_master_seed(11);
+    let smt = smt_spec();
     if let Some(report) = run(&smt, &opts) {
         for kind in PredictorKind::ALL {
             let mpkis: Vec<f64> = report
@@ -105,6 +126,18 @@ fn main() {
                 .map(|r| r.stats.mpki())
                 .collect();
             println!("{:<12} avg MPKI {:>6.2}", kind.label(), mean(&mpkis));
+        }
+    }
+
+    if gc {
+        let store = opts.store.as_ref().expect("validated at argument parse");
+        // The shared store is live iff a cell belongs to either sweep.
+        match sbp_sweep::gc_store(store, &[single, smt]) {
+            Ok(dropped) => eprintln!("calibrate: gc dropped {dropped} stale cell(s)"),
+            Err(e) => {
+                eprintln!("calibrate: {e}");
+                std::process::exit(2);
+            }
         }
     }
 }

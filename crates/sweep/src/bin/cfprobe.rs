@@ -7,6 +7,7 @@
 //! $ cfprobe --store probe.jsonl             # resumable: re-runs skip stored cells
 //! $ cfprobe --store shard1.jsonl --shard 1/2   # one process of a 2-way fan-out
 //! $ cfprobe --merge merged.jsonl shard1.jsonl shard2.jsonl
+//! $ cfprobe --store probe.jsonl --gc        # drop cells this spec no longer plans
 //! ```
 //!
 //! Status (`executed/skipped/pending` counts) goes to stderr; the report
@@ -16,7 +17,7 @@
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
 use sbp_sim::SwitchInterval;
-use sbp_sweep::{merge_stores, CaseSpec, RunOptions, SweepSpec};
+use sbp_sweep::{gc_store, merge_stores, CaseSpec, RunOptions, SweepSpec};
 
 fn spec() -> SweepSpec {
     SweepSpec::smt("cfprobe")
@@ -53,8 +54,15 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let (opts, rest) = RunOptions::from_args(args)?;
+    let gc = rest.iter().any(|a| a == "--gc");
+    let rest: Vec<&String> = rest.iter().filter(|a| *a != "--gc").collect();
     if !rest.is_empty() {
         return Err(format!("unknown arguments: {rest:?}").into());
+    }
+    if gc && opts.store.is_none() {
+        // Validate before the sweep runs — failing afterwards would
+        // throw away the whole (un-persisted) run.
+        return Err("--gc needs --store".into());
     }
     let outcome = spec().run_with(&opts)?;
     eprintln!(
@@ -64,6 +72,11 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match outcome.report {
         Some(report) => print!("{}", report.to_table()),
         None => eprintln!("cfprobe: shard incomplete; merge the shard stores for the report"),
+    }
+    if gc {
+        let store = opts.store.as_ref().expect("validated above");
+        let dropped = gc_store(store, &[spec()])?;
+        eprintln!("cfprobe: gc dropped {dropped} stale cell(s)");
     }
     Ok(())
 }

@@ -89,17 +89,16 @@ pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawResult>, Sbp
     results.into_iter().collect()
 }
 
-/// Executes one planned job (either payload kind).
+/// Executes one planned job (either payload kind). Exposed so external
+/// drivers (the campaign worker's fault-injection path) can execute a
+/// plan one job at a time; [`execute`] and `SweepSpec::run_with` remain
+/// the whole-plan entry points.
 ///
 /// # Errors
 ///
 /// Returns unknown-workload or configuration errors (sim jobs; attack
 /// jobs are infallible once planned).
-pub(crate) fn run_job(
-    spec: &SweepSpec,
-    plan: &SweepPlan,
-    job: &Job,
-) -> Result<RawResult, SbpError> {
+pub fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawResult, SbpError> {
     let (group, mechanism) = match job {
         Job::Attack(a) => {
             return Ok(RawResult::Attack(a.attack.run(

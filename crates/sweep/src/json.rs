@@ -1,0 +1,337 @@
+//! A minimal recursive-descent JSON reader shared by the sweep store and
+//! the campaign manifest parser.
+//!
+//! The workspace builds offline, so no external JSON dependency exists;
+//! this reader covers exactly the grammar the workspace's own files use.
+//! Numbers keep their raw token so integers round-trip at full `u64`
+//! precision and floats parse with Rust's exact shortest-roundtrip
+//! grammar — the property merged-store reports rely on to be
+//! byte-identical with unsharded runs.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The key/value pairs of an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a required object field.
+pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Looks up an optional object field (`None` when absent).
+pub fn opt<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A required string field.
+pub fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+/// A required `u64` field.
+pub fn get_u64(obj: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Value::Num(raw) => raw
+            .parse::<u64>()
+            .map_err(|e| format!("field {key:?}: {e}")),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+/// A required `f64` field.
+pub fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Value::Num(raw) => raw
+            .parse::<f64>()
+            .map_err(|e| format!("field {key:?}: {e}")),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+/// An optional `u64` field (`Ok(None)` when absent, `Err` when present
+/// but not an unsigned integer).
+pub fn opt_u64(obj: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match opt(obj, key) {
+        None => Ok(None),
+        Some(_) => get_u64(obj, key).map(Some),
+    }
+}
+
+/// An optional `f64` field (`Ok(None)` when absent, `Err` when present
+/// but not a number).
+pub fn opt_f64(obj: &[(String, Value)], key: &str) -> Result<Option<f64>, String> {
+    match opt(obj, key) {
+        None => Ok(None),
+        Some(_) => get_f64(obj, key).map(Some),
+    }
+}
+
+/// An optional string field (`Ok(None)` when absent, `Err` when present
+/// but not a string).
+pub fn opt_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<Option<&'a str>, String> {
+    match opt(obj, key) {
+        None => Ok(None),
+        Some(_) => get_str(obj, key).map(Some),
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("unexpected {other:?} in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("unexpected {other:?} in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        // Validate the token parses as a float (covers integers too).
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+        Ok(Value::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_store_grammar() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"s":"x\"\nA","b":true,"n":null}"#).expect("parse");
+        let obj = v.as_object().expect("object");
+        let arr = get(obj, "a").unwrap().as_array().expect("array");
+        assert_eq!(arr.len(), 3);
+        assert_eq!(get_str(obj, "s").unwrap(), "x\"\nA");
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("").is_err());
+        assert_eq!(
+            get_u64(
+                parse(r#"{"x":18446744073709551615}"#)
+                    .unwrap()
+                    .as_object()
+                    .unwrap(),
+                "x"
+            )
+            .unwrap(),
+            u64::MAX,
+            "u64 integers round-trip at full precision"
+        );
+    }
+
+    #[test]
+    fn optional_lookups_distinguish_absent_from_malformed() {
+        let v = parse(r#"{"n":3,"f":1.5,"s":"x"}"#).expect("parse");
+        let obj = v.as_object().expect("object");
+        assert_eq!(opt_u64(obj, "n").unwrap(), Some(3));
+        assert_eq!(opt_u64(obj, "missing").unwrap(), None);
+        assert!(opt_u64(obj, "s").is_err(), "present but wrong type");
+        assert_eq!(opt_f64(obj, "f").unwrap(), Some(1.5));
+        assert_eq!(opt_f64(obj, "missing").unwrap(), None);
+        assert_eq!(opt_str(obj, "s").unwrap(), Some("x"));
+        assert_eq!(opt_str(obj, "missing").unwrap(), None);
+        assert!(opt_str(obj, "n").is_err());
+        assert!(opt(obj, "n").is_some());
+        assert!(opt(obj, "missing").is_none());
+    }
+}

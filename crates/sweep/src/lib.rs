@@ -70,15 +70,16 @@
 
 pub mod build;
 pub mod exec;
+pub mod json;
 pub mod plan;
 pub mod run;
 pub mod spec;
 pub mod store;
 
 pub use build::{attack_cell_outcome, build_report};
-pub use exec::{execute, parallel_map, RawResult, RawRun};
+pub use exec::{execute, parallel_map, run_job, RawResult, RawRun};
 pub use plan::{plan, AttackJob, Job, JobGroup, SweepPlan};
-pub use run::{merge_stores, RunOptions, Shard, SweepOutcome};
+pub use run::{gc_store, merge_stores, RunOptions, Shard, SweepOutcome};
 pub use sbp_attack::AttackKind;
 pub use spec::{cases_from, AttackGridSpec, CaseSpec, PayloadSpec, SweepMode, SweepSpec};
-pub use store::{job_fingerprint, SweepStore};
+pub use store::{job_fingerprint, plan_fingerprints, SweepStore};

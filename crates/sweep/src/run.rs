@@ -250,6 +250,31 @@ pub fn merge_stores(
     Ok(crate::build::build_report(spec, &plan, &results))
 }
 
+/// Garbage-collects the store at `path` against a set of live specs:
+/// every line whose fingerprint appears in no spec's plan is dropped (see
+/// [`SweepStore::compact`]). Returns the number of cells dropped; a
+/// missing store file is an empty store and drops nothing.
+///
+/// This is the `--gc` entry point of the sweep binaries and the automatic
+/// post-merge pass of the campaign orchestrator. Note that simulation
+/// fingerprints include `SBP_SCALE`, so a GC run under a different scale
+/// than the one that produced the store collects everything — exactly the
+/// cells no present-scale run can resume from.
+///
+/// # Errors
+///
+/// Returns validation errors for malformed specs and store I/O errors.
+pub fn gc_store(path: &Path, specs: &[SweepSpec]) -> Result<usize, SbpError> {
+    let mut known = std::collections::HashSet::new();
+    for spec in specs {
+        spec.validate()?;
+        let plan = crate::plan::plan(spec);
+        known.extend(plan_fingerprints(spec, &plan));
+    }
+    let mut store = SweepStore::open(path)?;
+    store.compact(&known)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

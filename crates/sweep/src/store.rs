@@ -12,12 +12,14 @@
 //! result.
 //!
 //! Results are appended and flushed as each job finishes, so a killed run
-//! loses at most the jobs in flight. Lines are parsed back with a small
-//! self-contained JSON reader (the workspace builds offline; no external
-//! JSON dependency exists), and unknown lines are rejected rather than
-//! ignored — a corrupt store should fail loudly, not resume quietly.
+//! loses at most the jobs in flight. Lines are parsed back with the
+//! self-contained [`crate::json`] reader (the workspace builds offline; no
+//! external JSON dependency exists), and unknown lines are rejected rather
+//! than ignored — a corrupt store should fail loudly, not resume quietly.
+//! Stores only grow; [`SweepStore::compact`] is the garbage collector,
+//! dropping lines whose fingerprint no known spec produces any more.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -25,6 +27,7 @@ use sbp_types::report::stats_json;
 use sbp_types::{PredictionStats, SbpError};
 
 use crate::exec::{RawResult, RawRun};
+use crate::json;
 use crate::plan::{Job, SweepPlan};
 use crate::spec::SweepSpec;
 
@@ -96,6 +99,9 @@ pub fn plan_fingerprints(spec: &SweepSpec, plan: &SweepPlan) -> Vec<u64> {
 pub struct SweepStore {
     path: PathBuf,
     map: HashMap<u64, RawResult>,
+    /// Fingerprints in first-sighting file order, so a rewrite (compaction)
+    /// preserves the backing file's line order byte-for-byte.
+    order: Vec<u64>,
 }
 
 impl SweepStore {
@@ -109,6 +115,7 @@ impl SweepStore {
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, SbpError> {
         let path = path.into();
         let mut map = HashMap::new();
+        let mut order = Vec::new();
         match std::fs::read_to_string(&path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => {
@@ -125,11 +132,13 @@ impl SweepStore {
                     let (fp, result) = parse_line(line).map_err(|e| {
                         SbpError::store(format!("{} line {}: {e}", path.display(), n + 1))
                     })?;
-                    map.insert(fp, result);
+                    if map.insert(fp, result).is_none() {
+                        order.push(fp);
+                    }
                 }
             }
         }
-        Ok(SweepStore { path, map })
+        Ok(SweepStore { path, map, order })
     }
 
     /// The backing file path.
@@ -168,13 +177,41 @@ impl SweepStore {
         file.write_all(line_of(fp, result).as_bytes())
             .and_then(|()| file.flush())
             .map_err(|e| SbpError::store(format!("cannot write {}: {e}", self.path.display())))?;
-        self.map.insert(fp, result.clone());
+        if self.map.insert(fp, result.clone()).is_none() {
+            self.order.push(fp);
+        }
         Ok(())
     }
 
     /// Consumes the store, returning the fingerprint → result map.
     pub fn into_map(self) -> HashMap<u64, RawResult> {
         self.map
+    }
+
+    /// Garbage-collects the store: drops every stored result whose
+    /// fingerprint is not in `known` (the union of fingerprints some set
+    /// of live specs still plans) and rewrites the backing file in its
+    /// original line order. Returns the number of results dropped; a
+    /// collection that drops nothing leaves the file bytes untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error when the rewritten file cannot be written.
+    pub fn compact(&mut self, known: &HashSet<u64>) -> Result<usize, SbpError> {
+        let before = self.order.len();
+        self.order.retain(|fp| known.contains(fp));
+        let dropped = before - self.order.len();
+        if dropped == 0 {
+            return Ok(0);
+        }
+        self.map.retain(|fp, _| known.contains(fp));
+        let entries: Vec<(u64, RawResult)> = self
+            .order
+            .iter()
+            .map(|fp| (*fp, self.map[fp].clone()))
+            .collect();
+        Self::write_canonical(&self.path, entries)?;
+        Ok(dropped)
     }
 
     /// Writes a store file holding `entries` in the given (canonical)
@@ -274,265 +311,6 @@ fn stats_from(value: &json::Value) -> Result<PredictionStats, String> {
         privilege_switches: json::get_u64(obj, "privilege_switches")?,
         cycles: json::get_u64(obj, "cycles")?,
     })
-}
-
-/// A minimal recursive-descent JSON reader for the store's own lines.
-///
-/// Numbers keep their raw token so integers round-trip at full `u64`
-/// precision and floats parse with Rust's exact shortest-roundtrip
-/// grammar.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// A number, kept as its raw token.
-        Num(String),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in document order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// The key/value pairs of an object.
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(fields) => Some(fields),
-                _ => None,
-            }
-        }
-
-        /// The elements of an array.
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-    }
-
-    /// Looks up a required object field.
-    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
-        obj.iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field {key:?}"))
-    }
-
-    /// A required string field.
-    pub fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
-        match get(obj, key)? {
-            Value::Str(s) => Ok(s),
-            other => Err(format!("field {key:?} is not a string: {other:?}")),
-        }
-    }
-
-    /// A required `u64` field.
-    pub fn get_u64(obj: &[(String, Value)], key: &str) -> Result<u64, String> {
-        match get(obj, key)? {
-            Value::Num(raw) => raw
-                .parse::<u64>()
-                .map_err(|e| format!("field {key:?}: {e}")),
-            other => Err(format!("field {key:?} is not a number: {other:?}")),
-        }
-    }
-
-    /// A required `f64` field.
-    pub fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
-        match get(obj, key)? {
-            Value::Num(raw) => raw
-                .parse::<f64>()
-                .map_err(|e| format!("field {key:?}: {e}")),
-            other => Err(format!("field {key:?} is not a number: {other:?}")),
-        }
-    }
-
-    /// Parses one JSON document (rejecting trailing garbage).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected {:?} at byte {}", b as char, self.pos))
-            }
-        }
-
-        fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
-            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-                self.pos += lit.len();
-                Ok(value)
-            } else {
-                Err(format!("expected {lit:?} at byte {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::Str(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                fields.push((key, self.value()?));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    other => return Err(format!("unexpected {other:?} in object")),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    other => return Err(format!("unexpected {other:?} in array")),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err("unterminated string".to_string()),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                    16,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
-                                self.pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other:?}")),
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar (input is a &str, so
-                        // byte boundaries are valid).
-                        let rest = &self.bytes[self.pos..];
-                        let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                        let c = s.chars().next().ok_or("empty string tail")?;
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(
-                self.peek(),
-                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            ) {
-                self.pos += 1;
-            }
-            let raw =
-                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-            // Validate the token parses as a float (covers integers too).
-            raw.parse::<f64>()
-                .map_err(|e| format!("bad number {raw:?}: {e}"))?;
-            Ok(Value::Num(raw.to_string()))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -670,27 +448,55 @@ mod tests {
     }
 
     #[test]
-    fn json_parser_handles_the_store_grammar() {
-        let v = json::parse(r#"{"a":[1,2.5,-3e2],"s":"x\"\nA","b":true,"n":null}"#).expect("parse");
-        let obj = v.as_object().expect("object");
-        let arr = json::get(obj, "a").unwrap().as_array().expect("array");
-        assert_eq!(arr.len(), 3);
-        assert_eq!(json::get_str(obj, "s").unwrap(), "x\"\nA");
-        assert!(json::parse("{\"a\":1} trailing").is_err());
-        assert!(json::parse("{\"a\":}").is_err());
-        assert!(json::parse("").is_err());
-        assert_eq!(
-            json::get_u64(
-                json::parse(r#"{"x":18446744073709551615}"#)
-                    .unwrap()
-                    .as_object()
-                    .unwrap(),
-                "x"
-            )
-            .unwrap(),
-            u64::MAX,
-            "u64 integers round-trip at full precision"
-        );
+    fn compact_drops_unknown_cells_in_file_order() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(1, &sample_sim()).expect("append");
+        store.append(2, &sample_attack()).expect("append");
+        store.append(3, &sample_sim()).expect("append");
+        let known: HashSet<u64> = [1, 3].into_iter().collect();
+        assert_eq!(store.compact(&known).expect("compact"), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(2), None);
+        // The rewrite kept the surviving lines in original order, and a
+        // reload agrees.
+        let reloaded = SweepStore::open(&path).expect("reload");
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get(1), Some(&sample_sim()));
+        assert_eq!(reloaded.get(3), Some(&sample_sim()));
+        // Compacting again drops nothing and leaves the bytes untouched.
+        let before = std::fs::read(&path).expect("read");
+        let mut reloaded = reloaded;
+        assert_eq!(reloaded.compact(&known).expect("compact"), 0);
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compact_on_a_fresh_store_is_a_byte_level_noop() {
+        let path = tmp("compact_noop");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(7, &sample_attack()).expect("append");
+        store.append(9, &sample_sim()).expect("append");
+        let before = std::fs::read(&path).expect("read");
+        let known: HashSet<u64> = [7, 9, 11].into_iter().collect();
+        assert_eq!(store.compact(&known).expect("compact"), 0);
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compact_can_empty_a_store() {
+        let path = tmp("compact_all");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(5, &sample_sim()).expect("append");
+        assert_eq!(store.compact(&HashSet::new()).expect("compact"), 1);
+        assert!(store.is_empty());
+        assert_eq!(std::fs::read(&path).expect("read"), b"");
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

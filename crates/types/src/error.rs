@@ -15,6 +15,9 @@ pub enum SbpError {
     UnknownWorkload(String),
     /// A sweep store could not be read, parsed or written.
     Store(String),
+    /// A campaign orchestration step failed (manifest, catalog lookup or
+    /// worker subprocess).
+    Campaign(String),
 }
 
 impl SbpError {
@@ -32,6 +35,11 @@ impl SbpError {
     pub fn store(msg: impl Into<String>) -> Self {
         SbpError::Store(msg.into())
     }
+
+    /// Convenience constructor for campaign orchestration errors.
+    pub fn campaign(msg: impl Into<String>) -> Self {
+        SbpError::Campaign(msg.into())
+    }
 }
 
 impl fmt::Display for SbpError {
@@ -41,6 +49,7 @@ impl fmt::Display for SbpError {
             SbpError::TraceFormat(m) => write!(f, "malformed trace: {m}"),
             SbpError::UnknownWorkload(m) => write!(f, "unknown workload: {m}"),
             SbpError::Store(m) => write!(f, "sweep store: {m}"),
+            SbpError::Campaign(m) => write!(f, "campaign: {m}"),
         }
     }
 }
@@ -58,6 +67,10 @@ mod tests {
             "invalid configuration: bad width"
         );
         assert_eq!(SbpError::trace("eof").to_string(), "malformed trace: eof");
+        assert_eq!(
+            SbpError::campaign("worker died").to_string(),
+            "campaign: worker died"
+        );
         assert_eq!(
             SbpError::UnknownWorkload("foo".into()).to_string(),
             "unknown workload: foo"

@@ -1,0 +1,30 @@
+//! Catalog tour: every named experiment grid in the campaign registry,
+//! plus one entry run in-process.
+//!
+//! The same names drive the `campaign` binary's manifests — see the
+//! README "Campaigns" section. Run with
+//! `cargo run --example campaign_catalog --release`.
+
+use secure_bp::campaign::Catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(200)
+}
+
+/// The example's whole main path, parameterized on the trial count so the
+/// smoke tests (`tests/examples_smoke.rs`) can run it at reduced scale.
+pub fn run(trials: u64) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<18} {:<42} axes", "name", "artifact");
+    for entry in Catalog::entries() {
+        println!("{:<18} {:<42} {}", entry.name, entry.artifact, entry.axes);
+    }
+
+    let entry = Catalog::get("smoke_attack").ok_or("smoke_attack is registered")?;
+    println!(
+        "\nrunning {:?} ({}) in-process:",
+        entry.name, entry.artifact
+    );
+    let report = entry.spec().with_trials(trials).run()?;
+    print!("{}", report.to_table());
+    Ok(())
+}

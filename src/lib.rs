@@ -8,6 +8,7 @@
 //! inventory.
 
 pub use sbp_attack as attack;
+pub use sbp_campaign as campaign;
 pub use sbp_core as isolation;
 pub use sbp_hwcost as hwcost;
 pub use sbp_predictors as predictors;

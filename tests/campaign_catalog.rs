@@ -1,0 +1,95 @@
+//! Campaign-layer coverage through the umbrella crate: the catalog is the
+//! single source of truth for every figure/table grid, manifests resolve
+//! against it, and the store garbage collector only drops cells no live
+//! spec still plans.
+//!
+//! (The multi-process coordinator/worker paths are exercised end-to-end
+//! in `crates/campaign/tests/orchestrator.rs`, which drives the real
+//! `campaign` binary.)
+
+use std::path::PathBuf;
+
+use secure_bp::campaign::{Catalog, Manifest};
+use secure_bp::sweep::{gc_store, plan, RunOptions};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sbp_campaign_root_{}_{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn catalog_covers_every_figure_and_table_harness() {
+    for name in [
+        "fig01",
+        "fig02_smt2",
+        "fig02_smt4",
+        "fig03",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "tab01_btb",
+        "tab01_pht",
+        "tab01_predictors",
+        "tab04",
+        "sec55_btb",
+        "sec55_pht",
+    ] {
+        let entry = Catalog::get(name).unwrap_or_else(|| panic!("{name} not registered"));
+        assert!(entry.spec().validate().is_ok(), "{name} spec invalid");
+    }
+}
+
+#[test]
+fn manifest_resolves_catalog_entries_through_the_umbrella() {
+    let manifest = Manifest::parse(r#"{"entries":["tab01_btb","fig10"],"workers":3,"seeds":4}"#)
+        .expect("parse");
+    let specs = manifest.specs().expect("resolve");
+    assert_eq!(specs.len(), 2);
+    assert!(specs.iter().all(|(_, s)| s.seeds == 4));
+    // The resolved spec is the catalog spec (plus the override): same
+    // plan shape as building it directly.
+    let direct = Catalog::get("tab01_btb")
+        .expect("entry")
+        .spec()
+        .with_seeds(4);
+    assert_eq!(specs[0].1, direct);
+}
+
+#[test]
+fn gc_drops_exactly_the_cells_no_live_spec_plans() {
+    let store = tmp("gc");
+    let _ = std::fs::remove_file(&store);
+    // Populate the store from the full smoke_attack grid (attack cells
+    // ignore SBP_SCALE, so this is fast and scale-independent).
+    let full = Catalog::get("smoke_attack").expect("entry").spec();
+    let opts = RunOptions {
+        store: Some(store.clone()),
+        shard: None,
+    };
+    let outcome = full.run_with(&opts).expect("run");
+    let total = plan(&full).jobs.len();
+    assert_eq!(outcome.executed, total);
+
+    // GC against the live spec is a no-op, byte for byte.
+    let before = std::fs::read(&store).expect("read");
+    assert_eq!(
+        gc_store(&store, std::slice::from_ref(&full)).expect("gc"),
+        0
+    );
+    assert_eq!(std::fs::read(&store).expect("read"), before);
+
+    // Narrow the grid: the dropped mechanism's cells are garbage now.
+    let narrowed = full.with_mechanisms(vec![secure_bp::isolation::Mechanism::Baseline]);
+    let kept = plan(&narrowed).jobs.len();
+    assert_eq!(
+        gc_store(&store, std::slice::from_ref(&narrowed)).expect("gc"),
+        total - kept
+    );
+    // The surviving store still resumes the narrowed spec completely.
+    let resumed = narrowed.run_with(&opts).expect("resume");
+    assert_eq!((resumed.executed, resumed.skipped), (0, kept));
+    std::fs::remove_file(&store).expect("cleanup");
+}

@@ -28,6 +28,10 @@ mod attack_sweep;
 #[path = "../examples/trace_tools.rs"]
 mod trace_tools;
 
+#[allow(dead_code)]
+#[path = "../examples/campaign_catalog.rs"]
+mod campaign_catalog;
+
 #[test]
 fn quickstart_runs() {
     quickstart::run(20_000).expect("quickstart main path");
@@ -75,4 +79,9 @@ fn trace_tools_runs() {
     ));
     trace_tools::run(20_000, &path).expect("trace_tools main path");
     assert!(!path.exists(), "trace_tools cleans up its capture file");
+}
+
+#[test]
+fn campaign_catalog_runs() {
+    campaign_catalog::run(100).expect("campaign_catalog main path");
 }
