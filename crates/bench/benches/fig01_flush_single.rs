@@ -3,11 +3,10 @@
 //!
 //! Paper result: average loss < 1 %, mildly decreasing with the interval.
 
-use sbp_bench::{catalog_entry, header};
+use sbp_bench::{catalog_entry, header, run_single_figure};
 
 fn main() {
     header("Figure 1", "Complete Flush overhead, single-threaded core");
-    let report = catalog_entry("fig01").spec().run().expect("sweep");
-    print!("{}", report.to_table());
+    run_single_figure(catalog_entry("fig01"));
     println!("(paper: averages < 1%, mildly decreasing with the interval)");
 }

@@ -36,13 +36,17 @@ pub fn catalog_entry(name: &str) -> &'static CatalogEntry {
 }
 
 /// Runs a Figure 1/7/8/9 style catalog entry: each mechanism × each
-/// switch interval × the single-core cases, printing the report table.
-/// Returns the per-series averages in `mechanisms × intervals` order
-/// (the entry's axis order).
+/// switch interval × the single-core cases, printing the report table
+/// followed by the entry's paper-expectation verdict table (the same
+/// oracle `campaign --check` ends with). Returns the per-series averages
+/// in `mechanisms × intervals` order (the entry's axis order).
 pub fn run_single_figure(entry: &CatalogEntry) -> Vec<f64> {
     let spec = entry.spec();
     let report = spec.run().expect("sweep");
     print!("{}", report.to_table());
+    if !entry.expectations().is_empty() {
+        print!("{}", sbp_campaign::check_entry(entry, &report).to_table());
+    }
     let predictor = spec.predictors[0].label();
     spec.series_mechanisms()
         .iter()

@@ -1,21 +1,29 @@
 //! The campaign CLI: catalog listing, coordinator fan-out, in-process
-//! reference runs, and the (internal) worker mode.
+//! reference runs, the paper-conformance check and the (internal) worker
+//! mode.
 //!
 //! ```console
 //! $ campaign --list                      # the spec catalog
 //! $ campaign manifest.json               # N-worker fan-out + merge + report
+//! $ campaign --check manifest.json       # ... + per-entry verdict tables
 //! $ campaign --in-process manifest.json  # unsharded run, byte-identical stdout
 //! ```
 //!
-//! Reports go to stdout; all status, progress and worker chatter goes to
+//! Reports (and, with `--check`, the verdict tables and the conformance
+//! rollup) go to stdout; all status, progress and worker chatter goes to
 //! stderr, so a coordinator run's stdout is byte-comparable with an
-//! in-process run's. The worker mode (`--worker ENTRY --shard K/N
-//! --store PATH [--seeds S]`) is spawned by the coordinator and not
+//! in-process run's. A `--check` run exits nonzero when any paper
+//! expectation misses. `--stall-timeout SECS` arms the coordinator's
+//! worker heartbeat: a worker whose shard store stops growing for that
+//! long is killed and retried. The worker mode (`--worker ENTRY --shard
+//! K/N --store PATH [--seeds S]`) is spawned by the coordinator and not
 //! meant for direct use.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use sbp_campaign::{run_campaign, run_worker, Catalog, Manifest, WorkerArgs};
+use sbp_campaign::coordinator::{check_and_print, summarize_verdicts};
+use sbp_campaign::{run_campaign, run_worker, CampaignOptions, Catalog, Manifest, WorkerArgs};
 use sbp_sweep::Shard;
 use sbp_types::SbpError;
 
@@ -28,52 +36,112 @@ fn main() {
 }
 
 fn run(args: &[String]) -> Result<(), SbpError> {
-    match args.first().map(String::as_str) {
-        None | Some("--help") => {
-            print_usage();
-            Ok(())
+    if args.first().map(String::as_str) == Some("--worker") {
+        return run_worker(&parse_worker_args(&args[1..])?);
+    }
+    let (mut list, mut in_process, mut options) = (false, false, CampaignOptions::default());
+    let mut manifest_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                print_usage();
+                return Ok(());
+            }
+            "--list" => list = true,
+            "--in-process" => in_process = true,
+            "--check" => options.check = true,
+            "--stall-timeout" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| SbpError::campaign("--stall-timeout needs seconds"))?;
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|e| SbpError::campaign(format!("--stall-timeout {raw:?}: {e}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(SbpError::campaign("--stall-timeout must be > 0 seconds"));
+                }
+                options.stall_timeout =
+                    Some(Duration::try_from_secs_f64(secs).map_err(|e| {
+                        SbpError::campaign(format!("--stall-timeout {raw:?}: {e}"))
+                    })?);
+            }
+            other if other.starts_with("--") => {
+                return Err(SbpError::campaign(format!(
+                    "unknown option {other:?} (see --help)"
+                )))
+            }
+            path => {
+                if manifest_path.replace(path.to_string()).is_some() {
+                    return Err(SbpError::campaign("more than one manifest path given"));
+                }
+            }
         }
-        Some("--list") => {
+    }
+    if list {
+        // Silently discarding a manifest or mode flag would be the quiet
+        // failure the strict parsers elsewhere exist to prevent.
+        if in_process || options != CampaignOptions::default() || manifest_path.is_some() {
+            return Err(SbpError::campaign(
+                "--list takes no other options or manifest",
+            ));
+        }
+        println!(
+            "{:<18} {:<42} {:<14} {:>6} axes",
+            "name", "artifact", "default store", "checks"
+        );
+        for entry in Catalog::entries() {
             println!(
-                "{:<18} {:<42} {:<14} axes",
-                "name", "artifact", "default store"
+                "{:<18} {:<42} {:<14} {:>6} {}",
+                entry.name,
+                entry.artifact,
+                entry.store,
+                entry.expectations().len(),
+                entry.axes
             );
-            for entry in Catalog::entries() {
-                println!(
-                    "{:<18} {:<42} {:<14} {}",
-                    entry.name, entry.artifact, entry.store, entry.axes
-                );
+        }
+        return Ok(());
+    }
+    if in_process && options.stall_timeout.is_some() {
+        return Err(SbpError::campaign(
+            "--stall-timeout needs the coordinator: an in-process run has no workers to watch",
+        ));
+    }
+    if args.is_empty() {
+        print_usage();
+        return Ok(());
+    }
+    let usage = if in_process {
+        "--in-process [--check] MANIFEST.json"
+    } else {
+        "[--check] MANIFEST.json"
+    };
+    let manifest = load_manifest(manifest_path.as_ref(), usage)?;
+    if in_process {
+        let mut verdicts = Vec::new();
+        for (entry, spec) in manifest.specs()? {
+            eprintln!(
+                "campaign[{}]: {} — in-process reference run",
+                entry.name, entry.artifact
+            );
+            let report = spec.run()?;
+            print!("{}", report.to_table());
+            if options.check {
+                verdicts.push(check_and_print(entry, &report));
             }
-            Ok(())
         }
-        Some("--worker") => run_worker(&parse_worker_args(&args[1..])?),
-        Some("--in-process") => {
-            let manifest = load_manifest(args.get(1), "--in-process MANIFEST.json")?;
-            for (entry, spec) in manifest.specs()? {
-                eprintln!(
-                    "campaign[{}]: {} — in-process reference run",
-                    entry.name, entry.artifact
-                );
-                let report = spec.run()?;
-                print!("{}", report.to_table());
-            }
-            Ok(())
-        }
-        Some(path) if path.starts_with("--") => Err(SbpError::campaign(format!(
-            "unknown option {path:?} (see --help)"
-        ))),
-        Some(path) => {
-            let manifest = load_manifest(Some(&path.to_string()), "MANIFEST.json")?;
-            let exe = std::env::current_exe()
-                .map_err(|e| SbpError::campaign(format!("cannot locate own binary: {e}")))?;
-            run_campaign(&manifest, &exe)
-        }
+        summarize_verdicts(&verdicts)
+    } else {
+        let exe = std::env::current_exe()
+            .map_err(|e| SbpError::campaign(format!("cannot locate own binary: {e}")))?;
+        run_campaign(&manifest, &exe, &options)
     }
 }
 
 /// Loads the manifest and, when it pins a scale, exports `SBP_SCALE`
-/// before anything reads it — the coordinator's fingerprints and every
-/// spawned worker must agree on the work multiplier.
+/// before anything reads it — the coordinator's fingerprints, the
+/// tolerance-widening rule and every spawned worker must agree on the
+/// work multiplier.
 fn load_manifest(path: Option<&String>, usage: &str) -> Result<Manifest, SbpError> {
     let path = path.ok_or_else(|| SbpError::campaign(format!("usage: campaign {usage}")))?;
     let manifest = Manifest::load(Path::new(path))?;
@@ -122,10 +190,16 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
 
 fn print_usage() {
     println!(
-        "usage: campaign MANIFEST.json            run the campaign (N workers, merge, report)"
+        "usage: campaign [OPTIONS] MANIFEST.json        run the campaign (N workers, merge, report)"
     );
     println!("       campaign --in-process MANIFEST.json   unsharded reference run (same stdout)");
     println!("       campaign --list                   print the spec catalog");
+    println!();
+    println!("options:");
+    println!("  --check               end every entry with its paper-expectation verdict");
+    println!("                        table; exit nonzero when out of tolerance");
+    println!("  --stall-timeout SECS  kill + retry a worker whose shard store stops");
+    println!("                        growing for SECS (must exceed the slowest job)");
     println!();
     println!("manifest keys: entries (required), workers, scale, seeds, out_dir, retries");
 }

@@ -20,6 +20,7 @@
 //! assert!(Catalog::get("fig99").is_none());
 //! ```
 
+use sbp_sweep::verdict::Expectation;
 use sbp_sweep::SweepSpec;
 
 /// One named experiment grid with its paper-artifact metadata.
@@ -38,12 +39,47 @@ pub struct CatalogEntry {
     /// budgets and the §5.5 trial counts scale with it), so the spec is
     /// built per call rather than cached.
     build: fn() -> SweepSpec,
+    /// Paper-expectation constructor (see [`crate::expect`]); the
+    /// default constructor returns no expectations.
+    expect: fn() -> Vec<Expectation>,
 }
 
 impl CatalogEntry {
+    /// A new entry with no expectations attached; registration composes
+    /// this with [`CatalogEntry::with_expectations`].
+    const fn new(
+        name: &'static str,
+        artifact: &'static str,
+        axes: &'static str,
+        store: &'static str,
+        build: fn() -> SweepSpec,
+    ) -> Self {
+        CatalogEntry {
+            name,
+            artifact,
+            axes,
+            store,
+            build,
+            expect: Vec::new,
+        }
+    }
+
+    /// Attaches the entry's paper-expectation constructor, turning the
+    /// registry row into a machine-checkable encoding of its artifact.
+    const fn with_expectations(mut self, expect: fn() -> Vec<Expectation>) -> Self {
+        self.expect = expect;
+        self
+    }
+
     /// Materializes the entry's sweep spec.
     pub fn spec(&self) -> SweepSpec {
         (self.build)()
+    }
+
+    /// The paper expectations this entry's reports are checked against
+    /// (`campaign --check`, `run_single_figure`, the conformance suite).
+    pub fn expectations(&self) -> Vec<Expectation> {
+        (self.expect)()
     }
 }
 
@@ -80,118 +116,134 @@ impl Catalog {
 }
 
 static ENTRIES: &[CatalogEntry] = &[
-    CatalogEntry {
-        name: "fig01",
-        artifact: "Figure 1",
-        axes: "CF x {4M,8M,12M} x 12 single-core cases x 3 seeds",
-        store: "fig01.jsonl",
-        build: specs::fig01,
-    },
-    CatalogEntry {
-        name: "fig02_smt2",
-        artifact: "Figure 2 — SMT-2 half",
-        axes: "CF x 8M x 12 SMT-2 pairs x 3 seeds",
-        store: "fig02_smt2.jsonl",
-        build: specs::fig02_smt2,
-    },
-    CatalogEntry {
-        name: "fig02_smt4",
-        artifact: "Figure 2 — SMT-4 half",
-        axes: "CF x 8M x 6 SMT-4 quads x 3 seeds",
-        store: "fig02_smt4.jsonl",
-        build: specs::fig02_smt4,
-    },
-    CatalogEntry {
-        name: "fig03",
-        artifact: "Figure 3",
-        axes: "{CF,PF} x 8M x 12 SMT-2 pairs x 3 seeds",
-        store: "fig03.jsonl",
-        build: specs::fig03,
-    },
-    CatalogEntry {
-        name: "fig07",
-        artifact: "Figure 7",
-        axes: "{XOR-BTB,Noisy-XOR-BTB} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
-        store: "fig07.jsonl",
-        build: specs::fig07,
-    },
-    CatalogEntry {
-        name: "fig08",
-        artifact: "Figure 8",
-        axes: "{Enh-XOR-PHT,Noisy-XOR-PHT} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
-        store: "fig08.jsonl",
-        build: specs::fig08,
-    },
-    CatalogEntry {
-        name: "fig09",
-        artifact: "Figure 9",
-        axes: "{XOR-BP,Noisy-XOR-BP} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
-        store: "fig09.jsonl",
-        build: specs::fig09,
-    },
-    CatalogEntry {
-        name: "fig10",
-        artifact: "Figure 10",
-        axes: "{CF,PF,Noisy-XOR-BP} x 4 predictors x 8M x 12 SMT-2 pairs x 3 seeds",
-        store: "fig10.jsonl",
-        build: specs::fig10,
-    },
-    CatalogEntry {
-        name: "tab01_btb",
-        artifact: "Table 1 — BTB half",
-        axes: "{shadowing,SpectreV2,SBPA} x 4 BTB mechanisms x {ST,SMT} x 1500 trials",
-        store: "tab01_btb.jsonl",
-        build: specs::tab01_btb,
-    },
-    CatalogEntry {
-        name: "tab01_pht",
-        artifact: "Table 1 — PHT half",
-        axes: "{BranchScope,ref-variant} x 5 PHT mechanisms x {ST,SMT} x 1500 trials",
-        store: "tab01_pht.jsonl",
-        build: specs::tab01_pht,
-    },
-    CatalogEntry {
-        name: "tab01_predictors",
-        artifact: "Table 1 — predictor-frontend extension",
-        axes: "{shadowing,SpectreV2,SBPA,BranchScope} x {Gshare,LTAGE,TAGE-SC-L} x 4 BTB mechanisms x {ST,SMT}",
-        store: "tab01_predictors.jsonl",
-        build: specs::tab01_predictors,
-    },
-    CatalogEntry {
-        name: "tab04",
-        artifact: "Table 4",
-        axes: "Noisy-XOR-BP x 12M x 12 single-core cases",
-        store: "tab04.jsonl",
-        build: specs::tab04,
-    },
-    CatalogEntry {
-        name: "sec55_btb",
-        artifact: "Section 5.5(3) — BTB training accuracy",
-        axes: "SpectreV2 x {Baseline,XOR-BP} x ST x scale-derived trials",
-        store: "sec55_btb.jsonl",
-        build: specs::sec55_btb,
-    },
-    CatalogEntry {
-        name: "sec55_pht",
-        artifact: "Section 5.5(3) — PHT training accuracy",
-        axes: "BranchScope x {Baseline,Enh-XOR-PHT} x ST x 100-trial rounds (seed axis)",
-        store: "sec55_pht.jsonl",
-        build: specs::sec55_pht,
-    },
-    CatalogEntry {
-        name: "smoke_single",
-        artifact: "CI smoke — single-core slice",
-        axes: "{CF,Noisy-XOR-BP} x 8M x 1 case",
-        store: "smoke_single.jsonl",
-        build: specs::smoke_single,
-    },
-    CatalogEntry {
-        name: "smoke_attack",
-        artifact: "CI smoke — attack slice",
-        axes: "{SpectreV2,BranchScope} x {Baseline,Noisy-XOR-BP} x ST x 200 trials",
-        store: "smoke_attack.jsonl",
-        build: specs::smoke_attack,
-    },
+    CatalogEntry::new(
+        "fig01",
+        "Figure 1",
+        "CF x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        "fig01.jsonl",
+        specs::fig01,
+    )
+    .with_expectations(crate::expect::entries::fig01),
+    CatalogEntry::new(
+        "fig02_smt2",
+        "Figure 2 — SMT-2 half",
+        "CF x 8M x 12 SMT-2 pairs x 3 seeds",
+        "fig02_smt2.jsonl",
+        specs::fig02_smt2,
+    )
+    .with_expectations(crate::expect::entries::fig02_smt2),
+    CatalogEntry::new(
+        "fig02_smt4",
+        "Figure 2 — SMT-4 half",
+        "CF x 8M x 6 SMT-4 quads x 3 seeds",
+        "fig02_smt4.jsonl",
+        specs::fig02_smt4,
+    )
+    .with_expectations(crate::expect::entries::fig02_smt4),
+    CatalogEntry::new(
+        "fig03",
+        "Figure 3",
+        "{CF,PF} x 8M x 12 SMT-2 pairs x 3 seeds",
+        "fig03.jsonl",
+        specs::fig03,
+    )
+    .with_expectations(crate::expect::entries::fig03),
+    CatalogEntry::new(
+        "fig07",
+        "Figure 7",
+        "{XOR-BTB,Noisy-XOR-BTB} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        "fig07.jsonl",
+        specs::fig07,
+    )
+    .with_expectations(crate::expect::entries::fig07),
+    CatalogEntry::new(
+        "fig08",
+        "Figure 8",
+        "{Enh-XOR-PHT,Noisy-XOR-PHT} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        "fig08.jsonl",
+        specs::fig08,
+    )
+    .with_expectations(crate::expect::entries::fig08),
+    CatalogEntry::new(
+        "fig09",
+        "Figure 9",
+        "{XOR-BP,Noisy-XOR-BP} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
+        "fig09.jsonl",
+        specs::fig09,
+    )
+    .with_expectations(crate::expect::entries::fig09),
+    CatalogEntry::new(
+        "fig10",
+        "Figure 10",
+        "{CF,PF,Noisy-XOR-BP} x 4 predictors x 8M x 12 SMT-2 pairs x 3 seeds",
+        "fig10.jsonl",
+        specs::fig10,
+    )
+    .with_expectations(crate::expect::entries::fig10),
+    CatalogEntry::new(
+        "tab01_btb",
+        "Table 1 — BTB half",
+        "{shadowing,SpectreV2,SBPA} x 4 BTB mechanisms x {ST,SMT} x 1500 trials",
+        "tab01_btb.jsonl",
+        specs::tab01_btb,
+    )
+    .with_expectations(crate::expect::entries::tab01_btb),
+    CatalogEntry::new(
+        "tab01_pht",
+        "Table 1 — PHT half",
+        "{BranchScope,ref-variant} x 5 PHT mechanisms x {ST,SMT} x 1500 trials",
+        "tab01_pht.jsonl",
+        specs::tab01_pht,
+    )
+    .with_expectations(crate::expect::entries::tab01_pht),
+    CatalogEntry::new(
+        "tab01_predictors",
+        "Table 1 — predictor-frontend extension",
+        "{shadowing,SpectreV2,SBPA,BranchScope} x {Gshare,LTAGE,TAGE-SC-L} x 4 BTB mechanisms x {ST,SMT}",
+        "tab01_predictors.jsonl",
+        specs::tab01_predictors,
+    )
+    .with_expectations(crate::expect::entries::tab01_predictors),
+    CatalogEntry::new(
+        "tab04",
+        "Table 4",
+        "Noisy-XOR-BP x 12M x 12 single-core cases",
+        "tab04.jsonl",
+        specs::tab04,
+    )
+    .with_expectations(crate::expect::entries::tab04),
+    CatalogEntry::new(
+        "sec55_btb",
+        "Section 5.5(3) — BTB training accuracy",
+        "SpectreV2 x {Baseline,XOR-BP} x ST x scale-derived trials",
+        "sec55_btb.jsonl",
+        specs::sec55_btb,
+    )
+    .with_expectations(crate::expect::entries::sec55_btb),
+    CatalogEntry::new(
+        "sec55_pht",
+        "Section 5.5(3) — PHT training accuracy",
+        "BranchScope x {Baseline,Enh-XOR-PHT} x ST x 100-trial rounds (seed axis)",
+        "sec55_pht.jsonl",
+        specs::sec55_pht,
+    )
+    .with_expectations(crate::expect::entries::sec55_pht),
+    CatalogEntry::new(
+        "smoke_single",
+        "CI smoke — single-core slice",
+        "{CF,Noisy-XOR-BP} x 8M x 1 case",
+        "smoke_single.jsonl",
+        specs::smoke_single,
+    )
+    .with_expectations(crate::expect::entries::smoke_single),
+    CatalogEntry::new(
+        "smoke_attack",
+        "CI smoke — attack slice",
+        "{SpectreV2,BranchScope} x {Baseline,Noisy-XOR-BP} x ST x 200 trials",
+        "smoke_attack.jsonl",
+        specs::smoke_attack,
+    )
+    .with_expectations(crate::expect::entries::smoke_attack),
 ];
 
 /// The spec constructors, one per registry entry. Master seeds are the

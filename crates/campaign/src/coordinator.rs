@@ -21,33 +21,111 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use sbp_sweep::{gc_store, merge_stores, plan, plan_fingerprints, Shard, SweepSpec};
-use sbp_types::SbpError;
+use sbp_sweep::{gc_store, merge_stores, plan, plan_fingerprints, Shard, SweepSpec, VerdictTable};
+use sbp_types::{SbpError, SweepReport};
 
 use crate::catalog::CatalogEntry;
+use crate::expect;
 use crate::manifest::Manifest;
-use crate::worker::DIE_AFTER_ENV;
+use crate::worker::{DIE_AFTER_ENV, STALL_AFTER_ENV};
+
+/// Coordinator behavior knobs beyond the manifest (CLI flags).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignOptions {
+    /// End every entry with its paper-expectation verdict table and fail
+    /// the campaign when any expectation misses (`--check`).
+    pub check: bool,
+    /// Liveness timeout: a worker whose shard store has not grown for
+    /// this long is killed and retried (`--stall-timeout`). Must exceed
+    /// the slowest single job, or healthy workers get killed mid-cell.
+    pub stall_timeout: Option<Duration>,
+}
 
 /// Runs the whole campaign described by `manifest`, spawning workers from
 /// the binary at `exe` (normally `std::env::current_exe()`).
 ///
+/// With `options.check`, every entry's merged report is joined against
+/// its catalog expectations and the verdict table printed after the
+/// report; a manifest-level summary rolls all entries up, and any failed
+/// expectation fails the campaign.
+///
 /// # Errors
 ///
 /// Returns campaign errors when workers cannot be spawned or keep
-/// crashing past the retry budget, and store/validation errors from the
-/// merge. Shard stores survive every failure mode — re-running the same
-/// campaign resumes from them.
-pub fn run_campaign(manifest: &Manifest, exe: &Path) -> Result<(), SbpError> {
+/// crashing/stalling past the retry budget, store/validation errors from
+/// the merge, and a campaign error naming the failing entries when a
+/// `--check` run is out of tolerance. Shard stores survive every failure
+/// mode — re-running the same campaign resumes from them.
+pub fn run_campaign(
+    manifest: &Manifest,
+    exe: &Path,
+    options: &CampaignOptions,
+) -> Result<(), SbpError> {
     std::fs::create_dir_all(&manifest.out_dir).map_err(|e| {
         SbpError::campaign(format!(
             "cannot create out_dir {}: {e}",
             manifest.out_dir.display()
         ))
     })?;
+    let mut verdicts = Vec::new();
     for (entry, spec) in manifest.specs()? {
-        run_entry(manifest, entry, &spec, exe)?;
+        let report = run_entry(manifest, entry, &spec, exe, options)?;
+        if options.check {
+            verdicts.push(check_and_print(entry, &report));
+        }
     }
-    Ok(())
+    summarize_verdicts(&verdicts)
+}
+
+/// Joins one entry's report against its expectations and prints the
+/// verdict table to stdout (below the report, so a `--check` run's
+/// stdout is still deterministic and shard-invariant).
+pub fn check_and_print(entry: &CatalogEntry, report: &SweepReport) -> VerdictTable {
+    let table = expect::check_entry(entry, report);
+    print!("{}", table.to_table());
+    table
+}
+
+/// Prints the manifest-level conformance rollup and returns an error when
+/// any entry failed. No-op for an empty list (a run without `--check`).
+pub fn summarize_verdicts(verdicts: &[VerdictTable]) -> Result<(), SbpError> {
+    if verdicts.is_empty() {
+        return Ok(());
+    }
+    let (mut pass, mut fail, mut missing) = (0, 0, 0);
+    let mut failed_entries = Vec::new();
+    for table in verdicts {
+        let (p, f, m) = table.counts();
+        pass += p;
+        fail += f;
+        missing += m;
+        if !table.passed() {
+            failed_entries.push(table.entry.clone());
+        }
+    }
+    let verdict = if failed_entries.is_empty() {
+        "within tolerance of the paper"
+    } else {
+        "OUT OF TOLERANCE"
+    };
+    println!(
+        "conformance: {verdict} — {} entr{}, {pass} pass, {fail} fail, {missing} missing",
+        verdicts.len(),
+        if verdicts.len() == 1 { "y" } else { "ies" },
+    );
+    if failed_entries.is_empty() {
+        Ok(())
+    } else {
+        Err(SbpError::campaign(format!(
+            "paper-expectation check failed for entr{}: {}",
+            if failed_entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            failed_entries.join(", "),
+        )))
+    }
 }
 
 /// Shard store path for worker `k` (1-based) of `n`.
@@ -69,7 +147,8 @@ fn run_entry(
     entry: &CatalogEntry,
     spec: &SweepSpec,
     exe: &Path,
-) -> Result<(), SbpError> {
+    options: &CampaignOptions,
+) -> Result<SweepReport, SbpError> {
     let n = manifest.workers;
     let job_plan = plan(spec);
     let fps = plan_fingerprints(spec, &job_plan);
@@ -102,7 +181,14 @@ fn run_entry(
                 status: None,
             });
         }
-        let failed = wait_with_progress(entry, &mut procs, &shard_paths, &owned, n)?;
+        let failed = wait_with_progress(
+            entry,
+            &mut procs,
+            &shard_paths,
+            &owned,
+            n,
+            options.stall_timeout,
+        )?;
         if failed.is_empty() {
             break;
         }
@@ -142,7 +228,7 @@ fn run_entry(
         canonical.display(),
         dropped,
     );
-    Ok(())
+    Ok(report)
 }
 
 fn spawn_worker(
@@ -169,9 +255,10 @@ fn spawn_worker(
         cmd.env("SBP_SCALE", format!("{scale}"));
     }
     if attempt > 0 {
-        // A retried shard must not re-inherit the fault-injection knob,
-        // or an injected crash would burn the whole retry budget.
+        // A retried shard must not re-inherit the fault-injection knobs,
+        // or an injected crash/hang would burn the whole retry budget.
         cmd.env_remove(DIE_AFTER_ENV);
+        cmd.env_remove(STALL_AFTER_ENV);
     }
     cmd.spawn().map_err(|e| {
         SbpError::campaign(format!(
@@ -184,7 +271,10 @@ fn spawn_worker(
 
 /// Polls the worker processes to completion, streaming per-shard
 /// `done/owned` progress (with an ETA estimated from the observed
-/// completion rate) to stderr whenever a count changes. Returns the
+/// completion rate) to stderr whenever a count changes. With a stall
+/// timeout, a still-running worker whose store has not grown for that
+/// long is killed (its kill-status lands it in the failed list, so the
+/// ordinary retry path reruns exactly the missing jobs). Returns the
 /// 0-based shard indices whose workers exited unsuccessfully.
 fn wait_with_progress(
     entry: &CatalogEntry,
@@ -192,6 +282,7 @@ fn wait_with_progress(
     shard_paths: &[PathBuf],
     owned: &[usize],
     n: usize,
+    stall_timeout: Option<Duration>,
 ) -> Result<Vec<usize>, SbpError> {
     let start = Instant::now();
     let done0: usize = procs
@@ -203,6 +294,9 @@ fn wait_with_progress(
     // work, and counting them would inflate the ETA.
     let owned_this_pass: usize = procs.iter().map(|p| owned[p.shard]).sum();
     let mut last_done: Vec<usize> = vec![usize::MAX; procs.len()];
+    // Per-worker heartbeat: the last time its store-line count grew (or
+    // the spawn time before the first append).
+    let mut last_growth: Vec<Instant> = vec![start; procs.len()];
     loop {
         let mut all_exited = true;
         for p in procs.iter_mut() {
@@ -227,7 +321,10 @@ fn wait_with_progress(
         if done != last_done {
             let total_done: usize = done.iter().sum();
             let eta = eta_label(start, done0, total_done, owned_this_pass);
-            for (p, d) in procs.iter().zip(&done) {
+            for ((i, p), d) in procs.iter().enumerate().zip(&done) {
+                if last_done[i] != *d {
+                    last_growth[i] = Instant::now();
+                }
                 eprintln!(
                     "campaign[{}] shard {}/{n}: {d}/{} cells{eta}",
                     entry.name,
@@ -239,6 +336,24 @@ fn wait_with_progress(
         }
         if all_exited {
             break;
+        }
+        if let Some(timeout) = stall_timeout {
+            for (i, p) in procs.iter_mut().enumerate() {
+                let stalled = last_growth[i].elapsed();
+                if p.status.is_none() && stalled > timeout {
+                    eprintln!(
+                        "campaign[{}] shard {}/{n}: stalled — no store growth for \
+                         {:.1}s (timeout {:.1}s), killing worker",
+                        entry.name,
+                        p.shard + 1,
+                        stalled.as_secs_f64(),
+                        timeout.as_secs_f64(),
+                    );
+                    // A kill failure means the process already exited;
+                    // the next try_wait round reaps it either way.
+                    let _ = p.child.kill();
+                }
+            }
         }
         std::thread::sleep(Duration::from_millis(150));
     }

@@ -1,0 +1,588 @@
+//! The paper-expectation oracle: per-entry expected values for every
+//! catalog grid, so a campaign ends with an automatic "within tolerance
+//! of the paper" verdict table instead of eyeballed output.
+//!
+//! The generic machinery — [`Expectation`], [`VerdictTable`],
+//! [`check_report`] and the scale-aware tolerance widening rule — lives
+//! in [`sbp_sweep::verdict`] (re-exported here); this module holds the
+//! *numbers*: one expectation list per catalog entry, encoding the
+//! paper's Figures 1–3/7–10 and Tables 1/4 as machine-checkable claims.
+//!
+//! Three claim families are used:
+//!
+//! * **security verdicts** (Table 1, §5.5) — attack campaigns carry
+//!   explicit trial counts, so their Defend / Mitigate / No Protection
+//!   cells are scale-independent and checked exactly;
+//! * **direction constraints** — qualitative claims (flush cost grows
+//!   with flush frequency, precise flush never costs more than a whole
+//!   table flush, index encoding carries a standing cost) that must hold
+//!   at any `SBP_SCALE`; ties pass, so a smoke run where every overhead
+//!   degenerates to zero still conforms;
+//! * **mean values** — reference means calibrated from full-scale
+//!   (`SBP_SCALE=1`) reproduction runs, with two-sided tolerances that
+//!   the oracle widens by `sqrt(1/scale)` at reduced scale.
+
+pub use sbp_sweep::verdict::{
+    check_report, check_report_at, widen_factor, CheckRow, CheckStatus, Expectation, SeriesKey,
+    VerdictTable,
+};
+
+use crate::catalog::CatalogEntry;
+
+/// Fault knob for the conformance path: when set (to any value), every
+/// expectation is deliberately perturbed so the verdict table must fail —
+/// the integration tests (and a paranoid operator) use it to prove the
+/// oracle can actually reject.
+pub const PERTURB_ENV: &str = "SBP_CHECK_PERTURB";
+
+/// Applies the [`PERTURB_ENV`] knob: returns the expectations unchanged
+/// when the variable is unset, and a deliberately-failing variant of each
+/// otherwise.
+pub fn maybe_perturbed(expectations: Vec<Expectation>) -> Vec<Expectation> {
+    if std::env::var_os(PERTURB_ENV).is_none() {
+        return expectations;
+    }
+    expectations.into_iter().map(perturb).collect()
+}
+
+/// Rewrites one expectation into a claim the true report cannot satisfy.
+fn perturb(e: Expectation) -> Expectation {
+    match e {
+        Expectation::MeanWithin {
+            key,
+            expected,
+            abs_tol,
+            rel_tol,
+        } => Expectation::MeanWithin {
+            key,
+            // Far outside any simulated overhead or success rate, and
+            // beyond any plausible widening of the original tolerance.
+            expected: expected + 1000.0,
+            abs_tol,
+            rel_tol,
+        },
+        Expectation::MeanAtMost { key, .. } => Expectation::MeanAtMost {
+            key,
+            limit: -1000.0,
+        },
+        Expectation::MeanAtLeast { key, .. } => Expectation::MeanAtLeast { key, limit: 1000.0 },
+        Expectation::OrderAtLeast { hi, lo, .. } => Expectation::OrderAtLeast {
+            // Swapping alone could tie; demanding an impossible gap the
+            // other way cannot pass.
+            hi: lo,
+            lo: hi,
+            slack: -1000.0,
+        },
+        Expectation::Verdict {
+            attack,
+            series,
+            predictor,
+            mode,
+            ..
+        } => Expectation::Verdict {
+            attack,
+            series,
+            predictor,
+            mode,
+            allowed: vec!["Perturbed".to_string()],
+        },
+    }
+}
+
+/// Convenience: evaluates an entry's expectations against a report under
+/// the ambient scale, applying the perturbation knob.
+pub fn check_entry(
+    entry: &CatalogEntry,
+    report: &sbp_types::SweepReport,
+) -> sbp_sweep::verdict::VerdictTable {
+    check_report(report, &maybe_perturbed(entry.expectations()), entry.name)
+}
+
+/// Bounds below which an overhead counts as "not a slowdown at all":
+/// sampling noise on a fast sweep can dip a hair below zero.
+const NOISE_FLOOR: f64 = -0.02;
+
+pub(crate) mod entries {
+    //! One expectation list per catalog entry. Reference means were
+    //! calibrated from `SBP_SCALE=1` runs of this reproduction (the
+    //! sim is deterministic per seed, so these are stable); verdicts
+    //! match the paper's Table 1.
+
+    use super::{Expectation as E, NOISE_FLOOR};
+
+    /// Figure 1 — CF on the single-threaded core: flush cost grows with
+    /// flush frequency and stays a sub-percent effect.
+    pub(crate) fn fig01() -> Vec<E> {
+        vec![
+            E::order("Gshare", "CF", "4M", "CF", "8M"),
+            E::order("Gshare", "CF", "8M", "CF", "12M"),
+            E::at_most("CF", "Gshare", "4M", 0.05),
+            E::at_least("CF", "Gshare", "12M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 2 (SMT-2 half) — a whole-table flush on an SMT core stays
+    /// bounded but is never a speedup.
+    pub(crate) fn fig02_smt2() -> Vec<E> {
+        vec![
+            E::at_most("CF", "Tournament", "8M", 0.20),
+            E::at_least("CF", "Tournament", "8M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 2 (SMT-4 half) — same bounds with four hardware threads.
+    pub(crate) fn fig02_smt4() -> Vec<E> {
+        vec![
+            E::at_most("CF", "Tournament", "8M", 0.25),
+            E::at_least("CF", "Tournament", "8M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 3 — Precise Flush only drops the switching thread's
+    /// entries, so it never costs more than Complete Flush on SMT.
+    pub(crate) fn fig03() -> Vec<E> {
+        vec![
+            E::order("Tournament", "CF", "8M", "PF", "8M"),
+            E::at_most("PF", "Tournament", "8M", 0.20),
+            E::at_least("PF", "Tournament", "8M", -0.05),
+        ]
+    }
+
+    /// Figure 7 — BTB-only XOR overlays are nearly free on the
+    /// single-threaded core, and the noisy variant costs at least as
+    /// much as the plain one.
+    pub(crate) fn fig07() -> Vec<E> {
+        vec![
+            E::order("Gshare", "Noisy-XOR-BTB", "4M", "XOR-BTB", "4M"),
+            E::at_most("XOR-BTB", "Gshare", "4M", 0.03),
+            E::at_most("Noisy-XOR-BTB", "Gshare", "4M", 0.03),
+            E::at_least("XOR-BTB", "Gshare", "12M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 8 — PHT index encoding carries a standing few-percent
+    /// cost, dominated by the encoding rather than the rekey interval.
+    pub(crate) fn fig08() -> Vec<E> {
+        vec![
+            E::mean_within("Noisy-XOR-PHT", "Gshare", "8M", 0.025, 0.030),
+            E::at_most("Enhanced-XOR-PHT", "Gshare", "4M", 0.08),
+            E::at_most("Noisy-XOR-PHT", "Gshare", "4M", 0.08),
+            E::at_least("Enhanced-XOR-PHT", "Gshare", "12M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 9 — the headline claim: Noisy-XOR-BP averages a small
+    /// single-digit overhead (the paper reports < 1.3% on its FPGA core;
+    /// this reproduction lands under 5%).
+    pub(crate) fn fig09() -> Vec<E> {
+        vec![
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.018, 0.030),
+            E::at_most("Noisy-XOR-BP", "Gshare", "8M", 0.06),
+            E::at_most("XOR-BP", "Gshare", "8M", 0.06),
+            E::at_least("XOR-BP", "Gshare", "12M", NOISE_FLOOR),
+        ]
+    }
+
+    /// Figure 10 — the CF ≥ PF ordering holds across every predictor
+    /// front-end, and full protection stays bounded on all of them.
+    pub(crate) fn fig10() -> Vec<E> {
+        let mut v = Vec::new();
+        for p in ["Gshare", "Tournament", "LTAGE", "TAGE_SC_L"] {
+            v.push(E::order(p, "CF", "8M", "PF", "8M"));
+            v.push(E::at_most("Noisy-XOR-BP", p, "8M", 0.15));
+        }
+        v
+    }
+
+    /// Table 1, BTB half — the full verdict matrix: flushing defends the
+    /// time-sliced cells but loses SMT, XOR-BTB leaves the SMT
+    /// contention hole, and only Noisy-XOR-BTB closes it.
+    pub(crate) fn tab01_btb() -> Vec<E> {
+        let mut v = Vec::new();
+        for mech in ["CF", "PF", "XOR-BTB", "Noisy-XOR-BTB"] {
+            for attack in ["BranchShadowing", "SpectreV2", "SBPA"] {
+                v.push(E::verdict(attack, mech, "Gshare", "single-core", "Defend"));
+            }
+        }
+        for attack in ["BranchShadowing", "SpectreV2", "SBPA"] {
+            v.push(E::verdict(attack, "CF", "Gshare", "smt", "No Protection"));
+        }
+        v.push(E::verdict(
+            "BranchShadowing",
+            "PF",
+            "Gshare",
+            "smt",
+            "Defend",
+        ));
+        v.push(E::verdict("SpectreV2", "PF", "Gshare", "smt", "Defend"));
+        v.push(E::verdict("SBPA", "PF", "Gshare", "smt", "No Protection"));
+        v.push(E::verdict(
+            "BranchShadowing",
+            "XOR-BTB",
+            "Gshare",
+            "smt",
+            "Defend",
+        ));
+        v.push(E::verdict(
+            "SpectreV2",
+            "XOR-BTB",
+            "Gshare",
+            "smt",
+            "Defend",
+        ));
+        v.push(E::verdict(
+            "SBPA",
+            "XOR-BTB",
+            "Gshare",
+            "smt",
+            "No Protection",
+        ));
+        for attack in ["BranchShadowing", "SpectreV2", "SBPA"] {
+            v.push(E::verdict(
+                attack,
+                "Noisy-XOR-BTB",
+                "Gshare",
+                "smt",
+                "Defend",
+            ));
+        }
+        v
+    }
+
+    /// Table 1, PHT half — BranchScope is defeated by every XOR-PHT
+    /// variant; the reference-branch variant additionally breaks plain
+    /// XOR-PHT but not the enhanced/noisy slices.
+    pub(crate) fn tab01_pht() -> Vec<E> {
+        let mut v = Vec::new();
+        for mech in ["CF", "PF", "XOR-PHT", "Enhanced-XOR-PHT", "Noisy-XOR-PHT"] {
+            v.push(E::verdict(
+                "BranchScope",
+                mech,
+                "Gshare",
+                "single-core",
+                "Defend",
+            ));
+        }
+        for mech in ["CF", "PF"] {
+            v.push(E::verdict(
+                "BranchScope",
+                mech,
+                "Gshare",
+                "smt",
+                "No Protection",
+            ));
+            v.push(E::verdict(
+                "ReferenceBranchScope",
+                mech,
+                "Gshare",
+                "smt",
+                "No Protection",
+            ));
+            v.push(E::verdict(
+                "ReferenceBranchScope",
+                mech,
+                "Gshare",
+                "single-core",
+                "Defend",
+            ));
+        }
+        for mech in ["XOR-PHT", "Enhanced-XOR-PHT", "Noisy-XOR-PHT"] {
+            v.push(E::verdict("BranchScope", mech, "Gshare", "smt", "Defend"));
+        }
+        v.push(E::verdict(
+            "ReferenceBranchScope",
+            "XOR-PHT",
+            "Gshare",
+            "single-core",
+            "No Protection",
+        ));
+        v.push(E::verdict(
+            "ReferenceBranchScope",
+            "XOR-PHT",
+            "Gshare",
+            "smt",
+            "No Protection",
+        ));
+        v.push(E::verdict(
+            "ReferenceBranchScope",
+            "Enhanced-XOR-PHT",
+            "Gshare",
+            "single-core",
+            "Defend",
+        ));
+        // The SMT-reuse cell is key-bimodal (see the catalog note): the
+        // representative key defends, but an unlucky replica sweep can
+        // surface the cancelling mode, so Mitigate is tolerated.
+        v.push(E::verdict_in(
+            "ReferenceBranchScope",
+            "Enhanced-XOR-PHT",
+            "Gshare",
+            "smt",
+            &["Defend", "Mitigate"],
+        ));
+        v.push(E::verdict(
+            "ReferenceBranchScope",
+            "Noisy-XOR-PHT",
+            "Gshare",
+            "single-core",
+            "Defend",
+        ));
+        v.push(E::verdict(
+            "ReferenceBranchScope",
+            "Noisy-XOR-PHT",
+            "Gshare",
+            "smt",
+            "Defend",
+        ));
+        v
+    }
+
+    /// Table 1 predictor extension — the BTB verdicts are front-end
+    /// invariant: every TAGE-family predictor reproduces the same
+    /// flush-loses-SMT / noisy-closes-the-hole pattern, and BranchScope
+    /// (a PHT attack, untouched by BTB mechanisms) stays broken.
+    pub(crate) fn tab01_predictors() -> Vec<E> {
+        let mut v = Vec::new();
+        for p in ["Gshare", "LTAGE", "TAGE_SC_L"] {
+            v.push(E::verdict("SpectreV2", "CF", p, "smt", "No Protection"));
+            v.push(E::verdict(
+                "BranchShadowing",
+                "CF",
+                p,
+                "smt",
+                "No Protection",
+            ));
+            v.push(E::verdict("SBPA", "XOR-BTB", p, "smt", "No Protection"));
+            v.push(E::verdict("SBPA", "Noisy-XOR-BTB", p, "smt", "Defend"));
+            v.push(E::verdict(
+                "BranchScope",
+                "XOR-BTB",
+                p,
+                "single-core",
+                "No Protection",
+            ));
+        }
+        v
+    }
+
+    /// Table 4 — Noisy-XOR-BP at the 12 M interval: the calibrated
+    /// full-scale mean, and the conclusion's "< 5% slowdown on average".
+    pub(crate) fn tab04() -> Vec<E> {
+        vec![
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.018, 0.025),
+            E::at_most("Noisy-XOR-BP", "Gshare", "12M", 0.05),
+        ]
+    }
+
+    /// §5.5(3), BTB side — SpectreV2 trains to ≈96% on the baseline and
+    /// collapses below 2% under XOR-BP.
+    pub(crate) fn sec55_btb() -> Vec<E> {
+        vec![
+            E::mean_within("Baseline", "Gshare", "single-core", 0.9647, 0.03),
+            E::at_most("XOR-BP", "Gshare", "single-core", 0.02),
+            E::verdict(
+                "SpectreV2",
+                "Baseline",
+                "Gshare",
+                "single-core",
+                "No Protection",
+            ),
+            E::verdict("SpectreV2", "XOR-BP", "Gshare", "single-core", "Defend"),
+        ]
+    }
+
+    /// §5.5(3), PHT side — BranchScope trains to ≈97% on the baseline
+    /// and drops to coin-flip under Enhanced-XOR-PHT.
+    pub(crate) fn sec55_pht() -> Vec<E> {
+        vec![
+            E::mean_within("Baseline", "Gshare", "single-core", 0.974, 0.04),
+            E::verdict(
+                "BranchScope",
+                "Baseline",
+                "Gshare",
+                "single-core",
+                "No Protection",
+            ),
+            E::verdict(
+                "BranchScope",
+                "Enhanced-XOR-PHT",
+                "Gshare",
+                "single-core",
+                "Defend",
+            ),
+        ]
+    }
+
+    /// CI smoke, single-core slice — the standing XOR cost exceeds the
+    /// rare-flush cost on gcc+calculix at 8 M.
+    pub(crate) fn smoke_single() -> Vec<E> {
+        vec![
+            E::order("Gshare", "Noisy-XOR-BP", "8M", "CF", "8M"),
+            E::at_most("Noisy-XOR-BP", "Gshare", "8M", 0.10),
+            E::at_least("CF", "Gshare", "8M", NOISE_FLOOR),
+        ]
+    }
+
+    /// CI smoke, attack slice — both attacks break the baseline and are
+    /// defeated by Noisy-XOR-BP.
+    pub(crate) fn smoke_attack() -> Vec<E> {
+        vec![
+            E::verdict(
+                "SpectreV2",
+                "Baseline",
+                "Gshare",
+                "single-core",
+                "No Protection",
+            ),
+            E::verdict(
+                "BranchScope",
+                "Baseline",
+                "Gshare",
+                "single-core",
+                "No Protection",
+            ),
+            E::verdict(
+                "SpectreV2",
+                "Noisy-XOR-BP",
+                "Gshare",
+                "single-core",
+                "Defend",
+            ),
+            E::verdict(
+                "BranchScope",
+                "Noisy-XOR-BP",
+                "Gshare",
+                "single-core",
+                "Defend",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn every_entry_carries_expectations() {
+        for entry in Catalog::entries() {
+            assert!(
+                !entry.expectations().is_empty(),
+                "{} carries no paper expectations",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_keys_reference_cells_the_spec_actually_plans() {
+        // Every expectation must name labels the entry's own grid can
+        // produce, or the verdict table would report Missing forever.
+        for entry in Catalog::entries() {
+            let spec = entry.spec();
+            let mechanisms: Vec<String> = spec
+                .mechanisms
+                .iter()
+                .map(|m| m.label().to_string())
+                .collect();
+            let predictors: Vec<String> = spec
+                .predictors
+                .iter()
+                .map(|p| p.label().to_string())
+                .collect();
+            let axis: Vec<String> = if spec.is_attack() {
+                spec.attack_grid()
+                    .expect("attack grid")
+                    .modes
+                    .iter()
+                    .map(|m| m.label().to_string())
+                    .collect()
+            } else {
+                spec.intervals
+                    .iter()
+                    .map(|i| i.label().to_string())
+                    .collect()
+            };
+            let attacks: Vec<String> = spec
+                .attack_grid()
+                .map(|g| g.attacks.iter().map(|a| a.label().to_string()).collect())
+                .unwrap_or_default();
+            let check_key = |key: &SeriesKey| {
+                assert!(
+                    mechanisms.contains(&key.series),
+                    "{}: unknown series {}",
+                    entry.name,
+                    key.series
+                );
+                assert!(
+                    predictors.contains(&key.predictor),
+                    "{}: unknown predictor {}",
+                    entry.name,
+                    key.predictor
+                );
+                assert!(
+                    axis.contains(&key.interval),
+                    "{}: unknown interval/mode {}",
+                    entry.name,
+                    key.interval
+                );
+            };
+            for e in entry.expectations() {
+                match e {
+                    Expectation::MeanWithin { key, .. }
+                    | Expectation::MeanAtMost { key, .. }
+                    | Expectation::MeanAtLeast { key, .. } => check_key(&key),
+                    Expectation::OrderAtLeast { hi, lo, .. } => {
+                        check_key(&hi);
+                        check_key(&lo);
+                    }
+                    Expectation::Verdict {
+                        attack,
+                        series,
+                        predictor,
+                        mode,
+                        allowed,
+                    } => {
+                        assert!(
+                            attacks.contains(&attack),
+                            "{}: unknown attack {attack}",
+                            entry.name
+                        );
+                        check_key(&SeriesKey::new(&series, &predictor, &mode));
+                        assert!(!allowed.is_empty(), "{}: empty verdict set", entry.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_halves_encode_the_full_verdict_matrix() {
+        // 4 mechanisms x 3 attacks x 2 modes and 5 mechanisms x 2
+        // attacks x 2 modes respectively: the whole Table 1.
+        assert_eq!(entries::tab01_btb().len(), 24);
+        assert_eq!(entries::tab01_pht().len(), 20);
+    }
+
+    #[test]
+    fn perturbation_flips_every_expectation_kind() {
+        for entry in Catalog::entries() {
+            for (original, perturbed) in entry
+                .expectations()
+                .into_iter()
+                .zip(entry.expectations().into_iter().map(super::perturb))
+            {
+                assert_ne!(original, perturbed, "{}: perturb was a no-op", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn maybe_perturbed_is_identity_without_the_knob() {
+        // The test runner never sets the knob for this binary.
+        assert!(std::env::var_os(PERTURB_ENV).is_none(), "leaky environment");
+        let exps = entries::smoke_attack();
+        assert_eq!(maybe_perturbed(exps.clone()), exps);
+    }
+}

@@ -4,14 +4,20 @@
 //! figure and table of the paper — or any subset — with one command,
 //! fanned out across worker subprocesses, resumable after any crash.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! * **[`Catalog`]** — the named spec registry. Each figure/table grid
 //!   that used to be hand-built inside a bench harness is a
 //!   [`CatalogEntry`]: `Catalog::get("fig01")` yields the `SweepSpec`
-//!   plus metadata (paper artifact, axes, default store file). Benches,
-//!   examples and the orchestrator all build grids from this one source
-//!   of truth.
+//!   plus metadata (paper artifact, axes, default store file) and its
+//!   paper expectations. Benches, examples and the orchestrator all
+//!   build grids from this one source of truth.
+//! * **[`expect`]** — the paper-expectation oracle: every entry carries
+//!   the paper's reported values (means, direction constraints, Table 1
+//!   security verdicts) as machine-checkable [`Expectation`]s, and
+//!   `campaign --check` ends every run with the joined
+//!   [`VerdictTable`], exiting nonzero when the reproduction drifts out
+//!   of tolerance.
 //! * **The orchestrator** — a coordinator ([`run_campaign`]) that reads a
 //!   [`Manifest`] (catalog entries × scale × seeds × worker count),
 //!   spawns N worker subprocesses (the same binary with `--worker`), each
@@ -31,10 +37,12 @@
 
 pub mod catalog;
 pub mod coordinator;
+pub mod expect;
 pub mod manifest;
 pub mod worker;
 
 pub use catalog::{Catalog, CatalogEntry};
-pub use coordinator::{run_campaign, shard_store_path};
+pub use coordinator::{run_campaign, shard_store_path, CampaignOptions};
+pub use expect::{check_entry, maybe_perturbed, Expectation, VerdictTable, PERTURB_ENV};
 pub use manifest::Manifest;
-pub use worker::{run_worker, WorkerArgs, DIE_AFTER_ENV, DIE_EXIT_CODE};
+pub use worker::{run_worker, WorkerArgs, DIE_AFTER_ENV, DIE_EXIT_CODE, STALL_AFTER_ENV};

@@ -9,12 +9,14 @@
 //! coordinator relays it to stderr and the tests parse it — and leaves
 //! stdout otherwise untouched.
 //!
-//! For tests of the crash path, the [`DIE_AFTER_ENV`] variable makes the
-//! worker execute its slice sequentially and abort the process after that
-//! many store appends — a deterministic stand-in for a worker dying
-//! mid-shard. The coordinator strips the variable when it retries a
-//! crashed shard, so an injected crash exercises exactly one
-//! death-and-resume cycle per shard.
+//! For tests of the crash and hang paths, the [`DIE_AFTER_ENV`] /
+//! [`STALL_AFTER_ENV`] variables make the worker execute its slice
+//! sequentially and abort — or park forever — after that many store
+//! appends: deterministic stand-ins for a worker dying or wedging
+//! mid-shard (the latter is what the coordinator's `--stall-timeout`
+//! heartbeat detects and kills). The coordinator strips both variables
+//! when it retries a failed shard, so an injected fault exercises
+//! exactly one death-and-resume cycle per shard.
 
 use std::path::PathBuf;
 
@@ -26,6 +28,12 @@ use crate::catalog::Catalog;
 /// Fault-injection knob: when set to `N`, a worker dies (exit code 42)
 /// after appending `N` results to its shard store.
 pub const DIE_AFTER_ENV: &str = "SBP_CAMPAIGN_DIE_AFTER";
+
+/// Fault-injection knob: when set to `N`, a worker hangs forever (without
+/// exiting or appending) after `N` store appends — a deterministic
+/// stand-in for a wedged worker, detected and killed by the
+/// coordinator's `--stall-timeout` heartbeat.
+pub const STALL_AFTER_ENV: &str = "SBP_CAMPAIGN_STALL_AFTER";
 
 /// Exit code of a fault-injected worker death.
 pub const DIE_EXIT_CODE: i32 = 42;
@@ -57,11 +65,11 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
     if let Some(seeds) = args.seeds {
         spec = spec.with_seeds(seeds);
     }
-    if let Ok(raw) = std::env::var(DIE_AFTER_ENV) {
-        let after: usize = raw
-            .parse()
-            .map_err(|e| SbpError::campaign(format!("{DIE_AFTER_ENV}={raw:?}: {e}")))?;
-        return run_fault_injected(&spec, args, after);
+    if let Some(after) = fault_knob(DIE_AFTER_ENV)? {
+        return run_fault_injected(&spec, args, after, FaultMode::Die);
+    }
+    if let Some(after) = fault_knob(STALL_AFTER_ENV)? {
+        return run_fault_injected(&spec, args, after, FaultMode::Stall);
     }
     let outcome = spec.run_with(&RunOptions {
         store: Some(args.store.clone()),
@@ -71,14 +79,35 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
     Ok(())
 }
 
-/// The crash-test path: executes the shard's missing jobs one at a time
-/// (deterministic append order) and kills the process after `after`
-/// appends. A slice with fewer missing jobs than `after` completes and
-/// exits normally.
+/// Parses one numeric fault-injection variable, `None` when unset.
+fn fault_knob(var: &str) -> Result<Option<usize>, SbpError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| SbpError::campaign(format!("{var}={raw:?}: {e}"))),
+    }
+}
+
+/// What a fault-injected worker does when its append budget runs out.
+enum FaultMode {
+    /// Abort the process (a crashed worker).
+    Die,
+    /// Park forever without exiting or appending (a wedged worker, for
+    /// the coordinator's stall-timeout heartbeat).
+    Stall,
+}
+
+/// The fault-test path: executes the shard's missing jobs one at a time
+/// (deterministic append order) and dies or hangs after `after` appends.
+/// A slice with fewer missing jobs than `after` completes and exits
+/// normally.
 fn run_fault_injected(
     spec: &sbp_sweep::SweepSpec,
     args: &WorkerArgs,
     after: usize,
+    mode: FaultMode,
 ) -> Result<(), SbpError> {
     spec.validate()?;
     let plan = plan(spec);
@@ -94,13 +123,28 @@ fn run_fault_injected(
         store.append(fps[i], &result)?;
         executed += 1;
         if executed == after {
-            eprintln!(
-                "worker[{}] shard {}/{}: fault injection — dying after {after} append(s)",
-                args.entry,
-                args.shard.index + 1,
-                args.shard.count,
-            );
-            std::process::exit(DIE_EXIT_CODE);
+            match mode {
+                FaultMode::Die => {
+                    eprintln!(
+                        "worker[{}] shard {}/{}: fault injection — dying after {after} append(s)",
+                        args.entry,
+                        args.shard.index + 1,
+                        args.shard.count,
+                    );
+                    std::process::exit(DIE_EXIT_CODE);
+                }
+                FaultMode::Stall => {
+                    eprintln!(
+                        "worker[{}] shard {}/{}: fault injection — hanging after {after} append(s)",
+                        args.entry,
+                        args.shard.index + 1,
+                        args.shard.count,
+                    );
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_secs(3600));
+                    }
+                }
+            }
         }
     }
     let pending = fps.iter().filter(|fp| store.get(**fp).is_none()).count();

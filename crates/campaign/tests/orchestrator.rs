@@ -11,7 +11,7 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
-use sbp_campaign::{Catalog, DIE_AFTER_ENV, DIE_EXIT_CODE};
+use sbp_campaign::{Catalog, DIE_AFTER_ENV, DIE_EXIT_CODE, PERTURB_ENV, STALL_AFTER_ENV};
 
 fn tmp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sbp_campaign_it_{}_{name}", std::process::id()));
@@ -26,16 +26,27 @@ fn write_manifest(dir: &Path, body: &str) -> PathBuf {
     path
 }
 
-/// Runs the campaign binary with the fault-injection knob stripped unless
-/// explicitly requested.
-fn campaign(args: &[&str], die_after: Option<usize>) -> Output {
+/// Runs the campaign binary with every fault/perturbation knob stripped,
+/// then the given environment applied on top.
+fn campaign_with(args: &[&str], envs: &[(&str, &str)]) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
     cmd.args(args);
-    match die_after {
-        Some(n) => cmd.env(DIE_AFTER_ENV, n.to_string()),
-        None => cmd.env_remove(DIE_AFTER_ENV),
-    };
+    for knob in [DIE_AFTER_ENV, STALL_AFTER_ENV, PERTURB_ENV] {
+        cmd.env_remove(knob);
+    }
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
     cmd.output().expect("run campaign binary")
+}
+
+/// Runs the campaign binary with the crash knob stripped unless
+/// explicitly requested.
+fn campaign(args: &[&str], die_after: Option<usize>) -> Output {
+    match die_after {
+        Some(n) => campaign_with(args, &[(DIE_AFTER_ENV, &n.to_string())]),
+        None => campaign_with(args, &[]),
+    }
 }
 
 fn stdout_of(out: &Output) -> String {
@@ -209,6 +220,137 @@ fn coordinator_retries_a_crashed_shard_within_one_run() {
 }
 
 #[test]
+fn stalled_worker_is_killed_and_its_retry_executes_the_missing_jobs() {
+    let dir = tmp_dir("stall");
+    let manifest = write_manifest(
+        &dir,
+        &format!(
+            r#"{{"entries":["smoke_single"],"workers":2,"scale":0.02,
+                "seeds":3,"retries":1,"out_dir":"{}"}}"#,
+            dir.join("stores").display()
+        ),
+    );
+    let manifest = manifest.to_str().expect("utf8 path");
+    let total_jobs = sbp_sweep::plan(
+        &Catalog::get("smoke_single")
+            .expect("registered")
+            .spec()
+            .with_seeds(3),
+    )
+    .jobs
+    .len();
+
+    let reference = campaign(&["--in-process", manifest], None);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    // Every worker wedges after one append; the heartbeat kills them and
+    // the in-run retry (knobs stripped) finishes exactly the remainder.
+    let healed = campaign_with(
+        &["--stall-timeout", "2", manifest],
+        &[(STALL_AFTER_ENV, "1")],
+    );
+    let err = stderr_of(&healed);
+    assert!(healed.status.success(), "{err}");
+    // Each wedged worker logs one hang line after its single append;
+    // shards owning no jobs complete without wedging.
+    let wedged = err
+        .lines()
+        .filter(|l| l.contains("hanging after 1 append(s)"))
+        .count();
+    assert!(wedged > 0, "the fault knob must bite at least one worker");
+    assert!(
+        err.contains("stalled"),
+        "heartbeat kill was exercised: {err}"
+    );
+    assert!(err.contains("retrying"), "retry pass ran: {err}");
+    // Only completing workers print summaries; the wedged ones appended
+    // one cell each before the kill, so the completing passes executed
+    // exactly the missing jobs.
+    assert_eq!(
+        total_executed(&err),
+        total_jobs - wedged,
+        "retry executed only the missing jobs: {err}"
+    );
+    assert_eq!(
+        stdout_of(&healed),
+        stdout_of(&reference),
+        "healed campaign report is byte-identical to the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn check_mode_verdicts_pass_and_are_shard_invariant() {
+    let dir = tmp_dir("check");
+    let manifest = write_manifest(
+        &dir,
+        &format!(
+            r#"{{"entries":["smoke_single","smoke_attack"],"workers":2,
+                "scale":0.02,"out_dir":"{}"}}"#,
+            dir.join("stores").display()
+        ),
+    );
+    let manifest = manifest.to_str().expect("utf8 path");
+
+    let reference = campaign(&["--in-process", "--check", manifest], None);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+    let reference_stdout = stdout_of(&reference);
+    for needle in [
+        "verdict[smoke_single]: PASS",
+        "verdict[smoke_attack]: PASS",
+        "conformance: within tolerance of the paper",
+    ] {
+        assert!(reference_stdout.contains(needle), "{reference_stdout}");
+    }
+
+    // The sharded coordinator prints byte-identical verdicts: the oracle
+    // is a pure function of the merged (plan-ordered) report.
+    let sharded = campaign(&["--check", manifest], None);
+    assert!(sharded.status.success(), "{}", stderr_of(&sharded));
+    assert_eq!(stdout_of(&sharded), reference_stdout);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn check_mode_fails_when_expectations_are_perturbed() {
+    let dir = tmp_dir("perturb");
+    let manifest = write_manifest(
+        &dir,
+        &format!(
+            r#"{{"entries":["smoke_attack"],"scale":0.02,"out_dir":"{}"}}"#,
+            dir.join("stores").display()
+        ),
+    );
+    let manifest = manifest.to_str().expect("utf8 path");
+
+    let perturbed = campaign_with(&["--check", manifest], &[(PERTURB_ENV, "1")]);
+    assert!(
+        !perturbed.status.success(),
+        "a perturbed expectation set must fail the campaign"
+    );
+    let out = stdout_of(&perturbed);
+    assert!(
+        out.contains("verdict[smoke_attack]: FAIL") && out.contains("OUT OF TOLERANCE"),
+        "{out}"
+    );
+    assert!(
+        stderr_of(&perturbed).contains("paper-expectation check failed"),
+        "{}",
+        stderr_of(&perturbed)
+    );
+
+    // Without the knob the same stores pass: the data is fine, the
+    // perturbed oracle was the only thing failing.
+    let clean = campaign(&["--check", manifest], None);
+    assert!(clean.status.success(), "{}", stderr_of(&clean));
+    assert!(stdout_of(&clean).contains("verdict[smoke_attack]: PASS"));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn campaign_rejects_unknown_entries_and_bad_manifests() {
     let dir = tmp_dir("bad_input");
     let unknown = write_manifest(&dir, r#"{"entries":["fig99"],"workers":2}"#);
@@ -227,6 +369,32 @@ fn campaign_rejects_unknown_entries_and_bad_manifests() {
         "{}",
         stderr_of(&out)
     );
+
+    // CLI option validation: unknown flags, bad stall timeouts, and
+    // flags the selected mode cannot honor are rejected, not ignored.
+    let out = campaign(&["--frobnicate"], None);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown option"));
+    for bad in [
+        &["--stall-timeout"][..],
+        &["--stall-timeout", "0"][..],
+        // Beyond Duration's range: a clean error, not a conversion panic.
+        &["--stall-timeout", "1e20"][..],
+    ] {
+        let out = campaign(bad, None);
+        assert!(!out.status.success(), "{bad:?}");
+        assert!(stderr_of(&out).contains("stall-timeout"));
+        assert_ne!(out.status.code(), Some(101), "{bad:?} must not panic");
+    }
+    let out = campaign(&["--list", "--check"], None);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--list takes no other"));
+    let out = campaign(
+        &["--in-process", "--stall-timeout", "5", "manifest.json"],
+        None,
+    );
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("no workers to watch"));
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

@@ -36,6 +36,14 @@
 //! [`run::merge_stores`] recombines shard stores into a report that is
 //! byte-identical to a single-process run.
 //!
+//! Finally the **verdict** layer ([`verdict::check_report`]) joins a
+//! report against a list of paper [`verdict::Expectation`]s — means
+//! within (scale-widened) tolerance, one-sided bounds, direction
+//! constraints, Table 1 security verdicts — into a
+//! [`verdict::VerdictTable`] with the same aligned-table/JSONL/CSV
+//! emitters as the report, turning "reproduces the paper" into a
+//! machine-checked property.
+//!
 //! ```
 //! use sbp_core::Mechanism;
 //! use sbp_sim::{SwitchInterval, WorkBudget};
@@ -75,6 +83,7 @@ pub mod plan;
 pub mod run;
 pub mod spec;
 pub mod store;
+pub mod verdict;
 
 pub use build::{attack_cell_outcome, build_report};
 pub use exec::{execute, parallel_map, run_job, RawResult, RawRun};
@@ -83,3 +92,7 @@ pub use run::{gc_store, merge_stores, RunOptions, Shard, SweepOutcome};
 pub use sbp_attack::AttackKind;
 pub use spec::{cases_from, AttackGridSpec, CaseSpec, PayloadSpec, SweepMode, SweepSpec};
 pub use store::{job_fingerprint, plan_fingerprints, SweepStore};
+pub use verdict::{
+    check_report, check_report_at, widen_factor, CheckRow, CheckStatus, Expectation, SeriesKey,
+    VerdictTable,
+};

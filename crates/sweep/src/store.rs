@@ -16,6 +16,9 @@
 //! self-contained [`crate::json`] reader (the workspace builds offline; no
 //! external JSON dependency exists), and unknown lines are rejected rather
 //! than ignored — a corrupt store should fail loudly, not resume quietly.
+//! The one recoverable wound is a final line without its newline (a
+//! crash mid-append): its record is kept if it parses and dropped with a
+//! warning otherwise, and the file is healed by a rewrite either way.
 //! Stores only grow; [`SweepStore::compact`] is the garbage collector,
 //! dropping lines whose fingerprint no known spec produces any more.
 
@@ -108,14 +111,26 @@ impl SweepStore {
     /// Opens (and loads) the store at `path`; a missing file is an empty
     /// store, created on the first append.
     ///
+    /// A final line lacking its trailing newline is the expected wreckage
+    /// of a run killed mid-append. If it parses, its record is kept; if
+    /// not, it is skipped with a warning (the in-flight job re-executes on
+    /// resume). Either way the file is healed by a canonical rewrite, so
+    /// the next append starts on a clean line boundary instead of gluing
+    /// onto the tail. Every *interior* malformed line fails loudly, as
+    /// does a duplicated fingerprint whose payload disagrees with the
+    /// first sighting (byte-identical duplicates are collapsed silently;
+    /// shard merges legitimately produce them).
+    ///
     /// # Errors
     ///
-    /// Returns a store error when the file exists but cannot be read or a
-    /// line cannot be parsed.
+    /// Returns a store error when the file exists but cannot be read, an
+    /// interior line cannot be parsed, or a duplicate fingerprint carries
+    /// a conflicting result.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, SbpError> {
         let path = path.into();
-        let mut map = HashMap::new();
+        let mut map: HashMap<u64, RawResult> = HashMap::new();
         let mut order = Vec::new();
+        let mut heal = false;
         match std::fs::read_to_string(&path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => {
@@ -125,20 +140,59 @@ impl SweepStore {
                 )))
             }
             Ok(text) => {
-                for (n, line) in text.lines().enumerate() {
+                let lines: Vec<&str> = text.lines().collect();
+                // Any non-empty file without a final newline was cut off
+                // mid-append and needs a rewrite, even when the tail
+                // happens to parse (an append would glue onto it).
+                heal = !text.is_empty() && !text.ends_with('\n');
+                for (n, line) in lines.iter().enumerate() {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let (fp, result) = parse_line(line).map_err(|e| {
-                        SbpError::store(format!("{} line {}: {e}", path.display(), n + 1))
-                    })?;
-                    if map.insert(fp, result).is_none() {
-                        order.push(fp);
+                    let (fp, result) = match parse_line(line) {
+                        Ok(parsed) => parsed,
+                        Err(e) if n + 1 == lines.len() && heal => {
+                            eprintln!(
+                                "warning: {} line {}: {e} — dropping truncated final \
+                                 line (crash mid-append); the cell will re-execute",
+                                path.display(),
+                                n + 1,
+                            );
+                            break;
+                        }
+                        Err(e) => {
+                            return Err(SbpError::store(format!(
+                                "{} line {}: {e}",
+                                path.display(),
+                                n + 1
+                            )))
+                        }
+                    };
+                    match map.insert(fp, result) {
+                        None => order.push(fp),
+                        Some(previous) if previous == map[&fp] => {}
+                        Some(_) => {
+                            return Err(SbpError::store(format!(
+                                "{} line {}: duplicate fingerprint {fp:016x} with a \
+                                 conflicting result — the store is corrupt",
+                                path.display(),
+                                n + 1,
+                            )))
+                        }
                     }
                 }
             }
         }
-        Ok(SweepStore { path, map, order })
+        let store = SweepStore { path, map, order };
+        if heal {
+            let entries: Vec<(u64, RawResult)> = store
+                .order
+                .iter()
+                .map(|fp| (*fp, store.map[fp].clone()))
+                .collect();
+            Self::write_canonical(&store.path, entries)?;
+        }
+        Ok(store)
     }
 
     /// The backing file path.
@@ -384,6 +438,94 @@ mod tests {
         assert_eq!(reloaded.get(9), Some(&sample_sim()));
         std::fs::remove_file(&a).expect("cleanup");
         std::fs::remove_file(&b).expect("cleanup");
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_and_recoverable() {
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(1, &sample_sim()).expect("append");
+        store.append(2, &sample_attack()).expect("append");
+        let intact = std::fs::read_to_string(&path).expect("read");
+        // Simulate a crash mid-append: half of a third line, no newline.
+        std::fs::write(&path, format!("{intact}{{\"fp\":\"3\",\"kind\":\"at")).expect("write");
+        let reloaded = SweepStore::open(&path).expect("truncated tail is recoverable");
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get(1), Some(&sample_sim()));
+        // The rewrite healed the file: clean bytes, appends work again.
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), intact);
+        let mut reloaded = reloaded;
+        reloaded
+            .append(3, &sample_sim())
+            .expect("append after heal");
+        assert_eq!(SweepStore::open(&path).expect("reopen").len(), 3);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn parseable_tail_without_newline_is_kept_and_healed() {
+        let path = tmp("newline_lost");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(1, &sample_sim()).expect("append");
+        store.append(2, &sample_attack()).expect("append");
+        let intact = std::fs::read_to_string(&path).expect("read");
+        // The record's bytes landed but the newline did not: the line
+        // parses, yet an append would glue onto it. open() must heal.
+        std::fs::write(&path, intact.trim_end_matches('\n')).expect("write");
+        let mut reloaded = SweepStore::open(&path).expect("open heals");
+        assert_eq!(reloaded.len(), 2, "the complete record is kept");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            intact,
+            "the trailing newline is restored"
+        );
+        reloaded
+            .append(3, &sample_sim())
+            .expect("append after heal");
+        assert_eq!(SweepStore::open(&path).expect("reopen").len(), 3);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn truncated_interior_line_still_fails() {
+        let path = tmp("interior");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(1, &sample_sim()).expect("append");
+        let intact = std::fs::read_to_string(&path).expect("read");
+        // The garbage line is followed by a valid complete line: that is
+        // not crash wreckage, it is corruption.
+        std::fs::write(&path, format!("{{\"fp\":\"3\",\"kind\":\"at\n{intact}")).expect("write");
+        assert!(matches!(
+            SweepStore::open(&path),
+            Err(SbpError::Store(msg)) if msg.contains("line 1")
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn duplicate_fingerprints_collapse_or_conflict() {
+        let path = tmp("dupes");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(9, &sample_attack()).expect("append");
+        let line = std::fs::read_to_string(&path).expect("read");
+        // A byte-identical duplicate (e.g. from overlapping shard stores
+        // concatenated together) is collapsed silently.
+        std::fs::write(&path, format!("{line}{line}")).expect("write");
+        let reloaded = SweepStore::open(&path).expect("identical duplicate ok");
+        assert_eq!(reloaded.len(), 1);
+        // The same fingerprint with a different payload is corruption.
+        let conflicting = line.replace("\"trials\":1500", "\"trials\":7");
+        assert_ne!(line, conflicting, "replacement must hit");
+        std::fs::write(&path, format!("{line}{conflicting}")).expect("write");
+        assert!(matches!(
+            SweepStore::open(&path),
+            Err(SbpError::Store(msg)) if msg.contains("conflicting")
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

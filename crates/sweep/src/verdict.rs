@@ -1,0 +1,849 @@
+//! The conformance layer: joining a [`SweepReport`] against paper
+//! expectations into a [`VerdictTable`].
+//!
+//! An [`Expectation`] encodes one machine-checkable claim about a report —
+//! a series mean within tolerance of the paper's number, a one-sided
+//! bound, a direction constraint between two series, or the security
+//! verdict of a Table 1 attack cell. [`check_report`] evaluates a list of
+//! expectations and returns the per-expectation pass/fail rows plus the
+//! aggregated per-entry verdict, with the same aligned-table/JSONL/CSV
+//! emitters as the report itself.
+//!
+//! Tolerances are *scale aware*: at reduced `SBP_SCALE` the simulated
+//! work shrinks and flush/rekey effects fade toward zero, so two-sided
+//! tolerances and order slacks are widened by [`widen_factor`] (the
+//! `1/sqrt(scale)` growth of relative sampling noise). One-sided bounds
+//! and attack verdicts are scale-independent — attack campaigns carry
+//! explicit trial counts — and are checked unwidened.
+
+use sbp_types::report::{csv_field, fmt_f64, json_str, pct};
+use sbp_types::{SbpError, SweepReport};
+
+use crate::build::attack_cell_outcome;
+use crate::json;
+
+/// Fully-qualified name of one series column: the lookup key of
+/// [`SweepReport::series_mean`]. For attack sweeps `interval` holds the
+/// core-mode label (`"single-core"` / `"smt"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesKey {
+    /// Mechanism series label (`"CF"`, `"Noisy-XOR-BP"`, ...).
+    pub series: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Switch-interval label (sim) or core-mode label (attack).
+    pub interval: String,
+}
+
+impl SeriesKey {
+    /// Builds a key from borrowed labels.
+    pub fn new(series: &str, predictor: &str, interval: &str) -> Self {
+        SeriesKey {
+            series: series.to_string(),
+            predictor: predictor.to_string(),
+            interval: interval.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.series, self.predictor, self.interval)
+    }
+}
+
+/// One machine-checkable claim about a sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expectation {
+    /// The series mean must be within `abs_tol + rel_tol·|expected|` of
+    /// `expected` (tolerance widened at reduced scale).
+    MeanWithin {
+        /// Series to check.
+        key: SeriesKey,
+        /// The paper's reported mean.
+        expected: f64,
+        /// Absolute tolerance.
+        abs_tol: f64,
+        /// Relative tolerance (fraction of `|expected|`).
+        rel_tol: f64,
+    },
+    /// The series mean must not exceed `limit` (checked unwidened: a
+    /// smaller scale only shrinks overheads, so the bound stays valid).
+    MeanAtMost {
+        /// Series to check.
+        key: SeriesKey,
+        /// Upper bound on the mean.
+        limit: f64,
+    },
+    /// The series mean must be at least `limit`.
+    MeanAtLeast {
+        /// Series to check.
+        key: SeriesKey,
+        /// Lower bound on the mean.
+        limit: f64,
+    },
+    /// Direction constraint: `hi`'s mean must be at least `lo`'s mean,
+    /// up to a noise slack (widened at reduced scale; ties always pass).
+    OrderAtLeast {
+        /// The series expected to cost at least as much.
+        hi: SeriesKey,
+        /// The series expected to cost no more.
+        lo: SeriesKey,
+        /// Allowed inversion before the check fails.
+        slack: f64,
+    },
+    /// Security verdict of one attack cell (Table 1): the seed-aggregated
+    /// outcome's classification must be one of `allowed`.
+    Verdict {
+        /// Attack campaign label (the report's row).
+        attack: String,
+        /// Mechanism series label.
+        series: String,
+        /// Predictor label.
+        predictor: String,
+        /// Core-mode label (`"single-core"` / `"smt"`).
+        mode: String,
+        /// Acceptable verdict labels (`"Defend"`, `"Mitigate"`,
+        /// `"No Protection"`).
+        allowed: Vec<String>,
+    },
+}
+
+/// Default inversion slack of [`Expectation::order`]: generous enough for
+/// seed noise at full scale, far below any real effect gap.
+pub const DEFAULT_ORDER_SLACK: f64 = 0.003;
+
+impl Expectation {
+    /// A two-sided mean check against the paper's reported value.
+    pub fn mean_within(
+        series: &str,
+        predictor: &str,
+        interval: &str,
+        expected: f64,
+        abs_tol: f64,
+    ) -> Self {
+        Expectation::MeanWithin {
+            key: SeriesKey::new(series, predictor, interval),
+            expected,
+            abs_tol,
+            rel_tol: 0.0,
+        }
+    }
+
+    /// An upper bound on a series mean.
+    pub fn at_most(series: &str, predictor: &str, interval: &str, limit: f64) -> Self {
+        Expectation::MeanAtMost {
+            key: SeriesKey::new(series, predictor, interval),
+            limit,
+        }
+    }
+
+    /// A lower bound on a series mean.
+    pub fn at_least(series: &str, predictor: &str, interval: &str, limit: f64) -> Self {
+        Expectation::MeanAtLeast {
+            key: SeriesKey::new(series, predictor, interval),
+            limit,
+        }
+    }
+
+    /// A direction constraint: `hi ≥ lo` (up to the default slack). Both
+    /// keys share `predictor`; the intervals may differ (that is how
+    /// "flush cost grows with flush frequency" is spelled).
+    pub fn order(
+        predictor: &str,
+        hi_series: &str,
+        hi_interval: &str,
+        lo_series: &str,
+        lo_interval: &str,
+    ) -> Self {
+        Expectation::OrderAtLeast {
+            hi: SeriesKey::new(hi_series, predictor, hi_interval),
+            lo: SeriesKey::new(lo_series, predictor, lo_interval),
+            slack: DEFAULT_ORDER_SLACK,
+        }
+    }
+
+    /// An exact security-verdict check for one attack cell.
+    pub fn verdict(
+        attack: &str,
+        series: &str,
+        predictor: &str,
+        mode: &str,
+        expected: &str,
+    ) -> Self {
+        Expectation::Verdict {
+            attack: attack.to_string(),
+            series: series.to_string(),
+            predictor: predictor.to_string(),
+            mode: mode.to_string(),
+            allowed: vec![expected.to_string()],
+        }
+    }
+
+    /// A verdict check accepting any of `allowed` (e.g. "at most
+    /// Mitigate" for a key-bimodal cell).
+    pub fn verdict_in(
+        attack: &str,
+        series: &str,
+        predictor: &str,
+        mode: &str,
+        allowed: &[&str],
+    ) -> Self {
+        Expectation::Verdict {
+            attack: attack.to_string(),
+            series: series.to_string(),
+            predictor: predictor.to_string(),
+            mode: mode.to_string(),
+            allowed: allowed.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Compact description used as the verdict table's row key.
+    pub fn describe(&self) -> String {
+        match self {
+            Expectation::MeanWithin { key, .. } => format!("mean {key}"),
+            Expectation::MeanAtMost { key, .. } => format!("max {key}"),
+            Expectation::MeanAtLeast { key, .. } => format!("min {key}"),
+            Expectation::OrderAtLeast { hi, lo, .. } => format!("order {hi} >= {lo}"),
+            Expectation::Verdict {
+                attack,
+                series,
+                predictor,
+                mode,
+                ..
+            } => format!("verdict {attack} vs {series}/{predictor}/{mode}"),
+        }
+    }
+}
+
+/// Tolerance widening at reduced scale: `max(1, sqrt(1/scale))` — the
+/// growth rate of relative sampling noise as the simulated work shrinks.
+/// Scales at or above 1 never widen.
+pub fn widen_factor(scale: f64) -> f64 {
+    if scale >= 1.0 || scale <= 0.0 {
+        1.0
+    } else {
+        (1.0 / scale).sqrt()
+    }
+}
+
+/// Outcome of one expectation check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// The claim holds.
+    Pass,
+    /// The claim is violated.
+    Fail,
+    /// The report holds no cell the claim refers to (counts as failure).
+    Missing,
+}
+
+impl CheckStatus {
+    /// Table / JSONL label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckStatus::Pass => "pass",
+            CheckStatus::Fail => "FAIL",
+            CheckStatus::Missing => "MISSING",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pass" => Ok(CheckStatus::Pass),
+            "FAIL" => Ok(CheckStatus::Fail),
+            "MISSING" => Ok(CheckStatus::Missing),
+            other => Err(format!("unknown check status {other:?}")),
+        }
+    }
+}
+
+/// One evaluated expectation: the claim, the rendered expected/actual
+/// values, the signed miss distance and the tolerance it was checked
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRow {
+    /// `Expectation::describe()` of the claim.
+    pub check: String,
+    /// Rendered expected value (paper number, bound or verdict list).
+    pub expected: String,
+    /// Rendered measured value (`"missing"` when the cell is absent).
+    pub actual: String,
+    /// Signed distance from the expectation (mean − expected, actual −
+    /// limit, hi − lo, or 0/1 for verdicts); 0 for missing cells.
+    pub delta: f64,
+    /// Tolerance the delta was compared against, after widening.
+    pub tolerance: f64,
+    /// Pass / fail / missing.
+    pub status: CheckStatus,
+}
+
+/// The evaluated conformance report of one catalog entry: one row per
+/// expectation plus the aggregated verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictTable {
+    /// Entry (or report) name the expectations were checked against.
+    pub entry: String,
+    /// `SBP_SCALE` the evaluation ran under.
+    pub scale: f64,
+    /// The tolerance widening factor applied ([`widen_factor`]).
+    pub widen: f64,
+    /// One row per expectation, expectation order.
+    pub rows: Vec<CheckRow>,
+}
+
+impl VerdictTable {
+    /// Whether every expectation passed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.status == CheckStatus::Pass)
+    }
+
+    /// (pass, fail, missing) row counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.rows {
+            match r.status {
+                CheckStatus::Pass => c.0 += 1,
+                CheckStatus::Fail => c.1 += 1,
+                CheckStatus::Missing => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The aggregated per-entry verdict line.
+    pub fn summary(&self) -> String {
+        let (pass, fail, missing) = self.counts();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        format!(
+            "verdict[{}]: {verdict} — {pass} pass, {fail} fail, {missing} missing \
+             (scale {}, tolerance x{:.2})",
+            self.entry, self.scale, self.widen,
+        )
+    }
+
+    /// Emits the aligned per-expectation table, one row per claim,
+    /// followed by the summary line.
+    pub fn to_table(&self) -> String {
+        let headers = ["status", "check", "expected", "actual", "delta"];
+        let rendered: Vec<[String; 5]> = self
+            .rows
+            .iter()
+            .map(|r| {
+                [
+                    r.status.label().to_string(),
+                    r.check.clone(),
+                    r.expected.clone(),
+                    r.actual.clone(),
+                    pct(r.delta),
+                ]
+            })
+            .collect();
+        let widths: Vec<usize> = (0..headers.len())
+            .map(|i| {
+                rendered
+                    .iter()
+                    .map(|row| row[i].chars().count())
+                    .chain(std::iter::once(headers[i].chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, h) in headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{h:<width$}", width = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            // Trailing alignment spaces would make golden files fragile.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Emits one JSON object per line: a header object carrying the
+    /// entry/scale/widen fields, then one object per row. The floats use
+    /// shortest-roundtrip formatting, so [`VerdictTable::from_jsonl`]
+    /// recovers the table exactly.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\":\"verdict_table\",\"entry\":{},\"scale\":{},\"widen\":{}}}\n",
+            json_str(&self.entry),
+            fmt_f64(self.scale),
+            fmt_f64(self.widen),
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{{\"kind\":\"verdict_row\",\"check\":{},\"expected\":{},\
+                 \"actual\":{},\"delta\":{},\"tolerance\":{},\"status\":{}}}\n",
+                json_str(&r.check),
+                json_str(&r.expected),
+                json_str(&r.actual),
+                fmt_f64(r.delta),
+                fmt_f64(r.tolerance),
+                json_str(r.status.label()),
+            ));
+        }
+        out
+    }
+
+    /// Parses a table back from its [`VerdictTable::to_jsonl`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error for malformed lines, a missing header, or
+    /// unknown statuses.
+    pub fn from_jsonl(text: &str) -> Result<Self, SbpError> {
+        let bad = |n: usize, e: String| SbpError::store(format!("verdict line {}: {e}", n + 1));
+        let mut header: Option<VerdictTable> = None;
+        // Enumerate before filtering so errors cite physical line numbers.
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| bad(n, e))?;
+            let obj = value
+                .as_object()
+                .ok_or_else(|| bad(n, "not a JSON object".to_string()))?;
+            match json::get_str(obj, "kind").map_err(|e| bad(n, e))? {
+                "verdict_table" => {
+                    if header.is_some() {
+                        return Err(bad(n, "duplicate header line".to_string()));
+                    }
+                    header = Some(VerdictTable {
+                        entry: json::get_str(obj, "entry")
+                            .map_err(|e| bad(n, e))?
+                            .to_string(),
+                        scale: json::get_f64(obj, "scale").map_err(|e| bad(n, e))?,
+                        widen: json::get_f64(obj, "widen").map_err(|e| bad(n, e))?,
+                        rows: Vec::new(),
+                    });
+                }
+                "verdict_row" => {
+                    let table = header
+                        .as_mut()
+                        .ok_or_else(|| bad(n, "row before header line".to_string()))?;
+                    table.rows.push(CheckRow {
+                        check: json::get_str(obj, "check")
+                            .map_err(|e| bad(n, e))?
+                            .to_string(),
+                        expected: json::get_str(obj, "expected")
+                            .map_err(|e| bad(n, e))?
+                            .to_string(),
+                        actual: json::get_str(obj, "actual")
+                            .map_err(|e| bad(n, e))?
+                            .to_string(),
+                        delta: json::get_f64(obj, "delta").map_err(|e| bad(n, e))?,
+                        tolerance: json::get_f64(obj, "tolerance").map_err(|e| bad(n, e))?,
+                        status: CheckStatus::parse(
+                            json::get_str(obj, "status").map_err(|e| bad(n, e))?,
+                        )
+                        .map_err(|e| bad(n, e))?,
+                    });
+                }
+                other => return Err(bad(n, format!("unknown line kind {other:?}"))),
+            }
+        }
+        header.ok_or_else(|| SbpError::store("verdict JSONL holds no header line"))
+    }
+
+    /// Emits the rows as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("entry,check,expected,actual,delta,tolerance,status\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                csv_field(&self.entry),
+                csv_field(&r.check),
+                csv_field(&r.expected),
+                csv_field(&r.actual),
+                fmt_f64(r.delta),
+                fmt_f64(r.tolerance),
+                r.status.label(),
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates `expectations` against `report` under the ambient
+/// `SBP_SCALE` (the scale the report was presumably produced at).
+pub fn check_report(
+    report: &SweepReport,
+    expectations: &[Expectation],
+    entry: &str,
+) -> VerdictTable {
+    check_report_at(report, expectations, entry, sbp_sim::scale())
+}
+
+/// Evaluates `expectations` against `report` with an explicit scale for
+/// the tolerance widening rule (tests pin this for determinism).
+pub fn check_report_at(
+    report: &SweepReport,
+    expectations: &[Expectation],
+    entry: &str,
+    scale: f64,
+) -> VerdictTable {
+    let widen = widen_factor(scale);
+    let rows = expectations
+        .iter()
+        .map(|e| check_one(report, e, widen))
+        .collect();
+    VerdictTable {
+        entry: entry.to_string(),
+        scale,
+        widen,
+        rows,
+    }
+}
+
+fn check_one(report: &SweepReport, exp: &Expectation, widen: f64) -> CheckRow {
+    let check = exp.describe();
+    let missing = |expected: String, tolerance: f64| CheckRow {
+        check: check.clone(),
+        expected,
+        actual: "missing".to_string(),
+        delta: 0.0,
+        tolerance,
+        status: CheckStatus::Missing,
+    };
+    match exp {
+        Expectation::MeanWithin {
+            key,
+            expected,
+            abs_tol,
+            rel_tol,
+        } => {
+            let tol = (abs_tol + rel_tol * expected.abs()) * widen;
+            let rendered = format!("{} +-{}", pct(*expected), pct(tol));
+            match report.series_mean(&key.series, &key.predictor, &key.interval) {
+                None => missing(rendered, tol),
+                Some(actual) => {
+                    let delta = actual - expected;
+                    CheckRow {
+                        check,
+                        expected: rendered,
+                        actual: pct(actual),
+                        delta,
+                        tolerance: tol,
+                        status: if delta.abs() <= tol {
+                            CheckStatus::Pass
+                        } else {
+                            CheckStatus::Fail
+                        },
+                    }
+                }
+            }
+        }
+        Expectation::MeanAtMost { key, limit } => {
+            let rendered = format!("<= {}", pct(*limit));
+            match report.series_mean(&key.series, &key.predictor, &key.interval) {
+                None => missing(rendered, 0.0),
+                Some(actual) => CheckRow {
+                    check,
+                    expected: rendered,
+                    actual: pct(actual),
+                    delta: actual - limit,
+                    tolerance: 0.0,
+                    status: if actual <= *limit {
+                        CheckStatus::Pass
+                    } else {
+                        CheckStatus::Fail
+                    },
+                },
+            }
+        }
+        Expectation::MeanAtLeast { key, limit } => {
+            let rendered = format!(">= {}", pct(*limit));
+            match report.series_mean(&key.series, &key.predictor, &key.interval) {
+                None => missing(rendered, 0.0),
+                Some(actual) => CheckRow {
+                    check,
+                    expected: rendered,
+                    actual: pct(actual),
+                    delta: actual - limit,
+                    tolerance: 0.0,
+                    status: if actual >= *limit {
+                        CheckStatus::Pass
+                    } else {
+                        CheckStatus::Fail
+                    },
+                },
+            }
+        }
+        Expectation::OrderAtLeast { hi, lo, slack } => {
+            let tol = slack * widen;
+            let rendered = format!("{hi} >= {lo}");
+            let hi_mean = report.series_mean(&hi.series, &hi.predictor, &hi.interval);
+            let lo_mean = report.series_mean(&lo.series, &lo.predictor, &lo.interval);
+            match (hi_mean, lo_mean) {
+                (Some(h), Some(l)) => CheckRow {
+                    check,
+                    expected: rendered,
+                    actual: format!("{} vs {}", pct(h), pct(l)),
+                    delta: h - l,
+                    tolerance: tol,
+                    status: if h - l >= -tol {
+                        CheckStatus::Pass
+                    } else {
+                        CheckStatus::Fail
+                    },
+                },
+                _ => missing(rendered, tol),
+            }
+        }
+        Expectation::Verdict {
+            attack,
+            series,
+            predictor,
+            mode,
+            allowed,
+        } => {
+            let rendered = allowed.join(" | ");
+            match attack_cell_outcome(report, series, predictor, mode, attack) {
+                None => missing(rendered, 0.0),
+                Some(outcome) => {
+                    let label = outcome.verdict().label();
+                    let pass = allowed.iter().any(|a| a == label);
+                    CheckRow {
+                        check,
+                        expected: rendered,
+                        actual: format!("{label} ({})", pct(outcome.success_rate)),
+                        delta: if pass { 0.0 } else { 1.0 },
+                        tolerance: 0.0,
+                        status: if pass {
+                            CheckStatus::Pass
+                        } else {
+                            CheckStatus::Fail
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_types::{CellSummary, PredictionStats, RunRecord, SeriesSummary};
+
+    fn report_with(series: &[(&str, f64)]) -> SweepReport {
+        SweepReport {
+            name: "test".to_string(),
+            mode: "single-core".to_string(),
+            core: "fpga".to_string(),
+            case_ids: vec!["case1".to_string()],
+            records: Vec::new(),
+            cells: Vec::new(),
+            series: series
+                .iter()
+                .map(|(label, mean)| SeriesSummary {
+                    label: label.to_string(),
+                    series: label.to_string(),
+                    predictor: "Gshare".to_string(),
+                    interval: "8M".to_string(),
+                    mean: *mean,
+                })
+                .collect(),
+            hw: Vec::new(),
+        }
+    }
+
+    fn attack_report(rate: f64, chance: f64) -> SweepReport {
+        let record = RunRecord {
+            series: "CF".to_string(),
+            predictor: "Gshare".to_string(),
+            interval: "smt".to_string(),
+            case_id: "SpectreV2".to_string(),
+            seed_index: 0,
+            seed: 1,
+            cycles: 0.0,
+            overhead: None,
+            stats: PredictionStats::default(),
+            per_thread: Vec::new(),
+            attack: Some(sbp_types::AttackRecord {
+                attack: "SpectreV2".to_string(),
+                success_rate: rate,
+                chance,
+                trials: 1000,
+                verdict: String::new(),
+            }),
+        };
+        SweepReport {
+            name: "attack".to_string(),
+            mode: "attack".to_string(),
+            core: "fpga".to_string(),
+            case_ids: vec!["SpectreV2".to_string()],
+            records: vec![record],
+            cells: vec![CellSummary {
+                label: "CF-smt".to_string(),
+                series: "CF".to_string(),
+                predictor: "Gshare".to_string(),
+                interval: "smt".to_string(),
+                case_id: "SpectreV2".to_string(),
+                mean: rate,
+                stddev: 0.0,
+                n: 1,
+            }],
+            series: Vec::new(),
+            hw: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn widening_grows_below_scale_one_only() {
+        assert_eq!(widen_factor(1.0), 1.0);
+        assert_eq!(widen_factor(4.0), 1.0);
+        assert!((widen_factor(0.25) - 2.0).abs() < 1e-12);
+        assert!((widen_factor(0.01) - 10.0).abs() < 1e-12);
+        assert_eq!(widen_factor(0.0), 1.0, "degenerate scale never widens");
+    }
+
+    #[test]
+    fn mean_within_passes_inside_the_widened_tolerance() {
+        let report = report_with(&[("CF", 0.012)]);
+        let exp = [Expectation::mean_within("CF", "Gshare", "8M", 0.010, 0.001)];
+        let strict = check_report_at(&report, &exp, "e", 1.0);
+        assert_eq!(strict.rows[0].status, CheckStatus::Fail);
+        assert!((strict.rows[0].delta - 0.002).abs() < 1e-12);
+        // At scale 0.01 the tolerance widens 10x and the check passes.
+        let widened = check_report_at(&report, &exp, "e", 0.01);
+        assert_eq!(widened.rows[0].status, CheckStatus::Pass);
+        assert!(!strict.passed() && widened.passed());
+    }
+
+    #[test]
+    fn one_sided_bounds_ignore_widening() {
+        let report = report_with(&[("CF", 0.08)]);
+        let exps = [
+            Expectation::at_most("CF", "Gshare", "8M", 0.05),
+            Expectation::at_least("CF", "Gshare", "8M", 0.05),
+        ];
+        for scale in [1.0, 0.01] {
+            let t = check_report_at(&report, &exps, "e", scale);
+            assert_eq!(t.rows[0].status, CheckStatus::Fail, "scale {scale}");
+            assert_eq!(t.rows[1].status, CheckStatus::Pass, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn order_allows_ties_and_slack_inversions() {
+        let report = report_with(&[("CF", 0.005), ("PF", 0.005), ("XOR-BP", 0.04)]);
+        let tie = [Expectation::order("Gshare", "CF", "8M", "PF", "8M")];
+        assert!(check_report_at(&report, &tie, "e", 1.0).passed());
+        let inverted = [Expectation::order("Gshare", "CF", "8M", "XOR-BP", "8M")];
+        assert!(!check_report_at(&report, &inverted, "e", 1.0).passed());
+        let holds = [Expectation::order("Gshare", "XOR-BP", "8M", "CF", "8M")];
+        assert!(check_report_at(&report, &holds, "e", 1.0).passed());
+    }
+
+    #[test]
+    fn verdict_checks_classify_the_aggregated_cell() {
+        let broken = attack_report(0.97, 0.005);
+        let exp = [Expectation::verdict(
+            "SpectreV2",
+            "CF",
+            "Gshare",
+            "smt",
+            "No Protection",
+        )];
+        assert!(check_report_at(&broken, &exp, "e", 1.0).passed());
+        let defended = attack_report(0.006, 0.005);
+        let t = check_report_at(&defended, &exp, "e", 1.0);
+        assert!(!t.passed());
+        assert_eq!(t.rows[0].delta, 1.0);
+        let either = [Expectation::verdict_in(
+            "SpectreV2",
+            "CF",
+            "Gshare",
+            "smt",
+            &["Defend", "Mitigate"],
+        )];
+        assert!(check_report_at(&defended, &either, "e", 1.0).passed());
+    }
+
+    #[test]
+    fn missing_cells_fail_the_table() {
+        let report = report_with(&[("CF", 0.01)]);
+        let exps = [
+            Expectation::mean_within("PF", "Gshare", "8M", 0.0, 0.1),
+            Expectation::verdict("SpectreV2", "CF", "Gshare", "smt", "Defend"),
+            Expectation::order("Gshare", "CF", "8M", "PF", "8M"),
+        ];
+        let t = check_report_at(&report, &exps, "e", 1.0);
+        assert!(!t.passed());
+        assert_eq!(t.counts(), (0, 0, 3));
+        assert!(t.rows.iter().all(|r| r.actual == "missing"));
+        assert!(t.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn table_emitter_is_aligned_and_summarized() {
+        let report = report_with(&[("CF", 0.012)]);
+        let exps = [
+            Expectation::mean_within("CF", "Gshare", "8M", 0.012, 0.01),
+            Expectation::at_most("CF", "Gshare", "8M", 0.5),
+        ];
+        let t = check_report_at(&report, &exps, "entry01", 1.0);
+        let out = t.to_table();
+        assert!(out.starts_with("status"), "{out}");
+        assert!(out.contains("mean CF/Gshare/8M"));
+        assert!(out.contains("verdict[entry01]: PASS — 2 pass, 0 fail, 0 missing"));
+        assert!(!out.lines().any(|l| l.ends_with(' ')), "no trailing spaces");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_exactly() {
+        let report = report_with(&[("CF", 0.0123456789012345), ("PF", -0.002)]);
+        let exps = [
+            Expectation::mean_within("CF", "Gshare", "8M", 0.01, 0.001),
+            Expectation::order("Gshare", "PF", "8M", "CF", "8M"),
+            Expectation::verdict("SpectreV2", "CF", "Gshare", "smt", "Defend"),
+        ];
+        let t = check_report_at(&report, &exps, "weird \"name\"\n", 0.02);
+        let text = t.to_jsonl();
+        let back = VerdictTable::from_jsonl(&text).expect("parse");
+        assert_eq!(back, t);
+        assert_eq!(back.to_jsonl(), text, "emit is a fixpoint");
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_documents() {
+        assert!(VerdictTable::from_jsonl("").is_err(), "no header");
+        assert!(VerdictTable::from_jsonl("{\"kind\":\"verdict_row\"}").is_err());
+        let t = check_report_at(&report_with(&[]), &[], "e", 1.0);
+        let double = format!("{}{}", t.to_jsonl(), t.to_jsonl());
+        assert!(VerdictTable::from_jsonl(&double).is_err(), "two headers");
+        assert!(VerdictTable::from_jsonl("not json").is_err());
+        assert!(VerdictTable::from_jsonl("{\"kind\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn csv_emits_one_row_per_expectation() {
+        let report = report_with(&[("CF", 0.012)]);
+        let exps = [Expectation::at_most("CF", "Gshare", "8M", 0.5)];
+        let csv = check_report_at(&report, &exps, "e,1", 1.0).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("entry,check,expected"));
+        assert!(lines[1].starts_with("\"e,1\",max CF/Gshare/8M"));
+    }
+}

@@ -389,8 +389,10 @@ fn cell_text(c: &CellSummary) -> String {
     }
 }
 
-/// Deterministic JSON-safe float formatting (`null` for non-finite values).
-fn fmt_f64(x: f64) -> String {
+/// Deterministic JSON-safe float formatting (`null` for non-finite
+/// values); finite values use Rust's shortest-roundtrip `{}` form, so
+/// parsing recovers them exactly.
+pub fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -399,7 +401,7 @@ fn fmt_f64(x: f64) -> String {
 }
 
 /// Escapes a string for a JSON value position.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -418,7 +420,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Quotes a CSV field if it contains separators or quotes.
-fn csv_field(s: &str) -> String {
+pub fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {

@@ -5,7 +5,7 @@
 //! README "Campaigns" section. Run with
 //! `cargo run --example campaign_catalog --release`.
 
-use secure_bp::campaign::Catalog;
+use secure_bp::campaign::{check_entry, Catalog};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     run(200)
@@ -14,9 +14,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// The example's whole main path, parameterized on the trial count so the
 /// smoke tests (`tests/examples_smoke.rs`) can run it at reduced scale.
 pub fn run(trials: u64) -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<18} {:<42} axes", "name", "artifact");
+    println!("{:<18} {:<42} {:>6} axes", "name", "artifact", "checks");
     for entry in Catalog::entries() {
-        println!("{:<18} {:<42} {}", entry.name, entry.artifact, entry.axes);
+        println!(
+            "{:<18} {:<42} {:>6} {}",
+            entry.name,
+            entry.artifact,
+            entry.expectations().len(),
+            entry.axes
+        );
     }
 
     let entry = Catalog::get("smoke_attack").ok_or("smoke_attack is registered")?;
@@ -26,5 +32,7 @@ pub fn run(trials: u64) -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = entry.spec().with_trials(trials).run()?;
     print!("{}", report.to_table());
+    // End with the paper-expectation verdict, campaign --check style.
+    print!("{}", check_entry(entry, &report).to_table());
     Ok(())
 }

@@ -43,6 +43,23 @@ fn catalog_covers_every_figure_and_table_harness() {
 }
 
 #[test]
+fn every_entry_is_machine_checkable_against_the_paper() {
+    for entry in Catalog::entries() {
+        assert!(
+            !entry.expectations().is_empty(),
+            "{} carries no paper expectations — the catalog is the \
+             oracle's source of truth",
+            entry.name
+        );
+    }
+    // The Table 1 halves encode the complete verdict matrix.
+    let btb = Catalog::get("tab01_btb").expect("entry").expectations();
+    assert_eq!(btb.len(), 24, "3 attacks x 4 mechanisms x 2 modes");
+    let pht = Catalog::get("tab01_pht").expect("entry").expectations();
+    assert_eq!(pht.len(), 20, "2 attacks x 5 mechanisms x 2 modes");
+}
+
+#[test]
 fn manifest_resolves_catalog_entries_through_the_umbrella() {
     let manifest = Manifest::parse(r#"{"entries":["tab01_btb","fig10"],"workers":3,"seeds":4}"#)
         .expect("parse");

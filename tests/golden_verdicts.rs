@@ -1,0 +1,89 @@
+//! Golden-file regression tests for the conformance emitters: the
+//! smoke-entry report + verdict tables are checked in under
+//! `tests/golden/` and byte-compared against fresh runs, so any drift in
+//! the table/JSONL emitters (column widths, float formatting, status
+//! labels, summary wording) is caught in tier-1 rather than discovered
+//! downstream.
+//!
+//! The inputs are pinned to be `SBP_SCALE`-independent: the attack slice
+//! carries an explicit trial count, and the sim slice's work budget is
+//! overridden with a fixed value (the catalog's own budget scales with
+//! the environment). The oracle is evaluated at an explicit scale of 1.0
+//! for the same reason. To regenerate after an intentional emitter
+//! change, run with `SBP_UPDATE_GOLDEN=1` and review the diff.
+
+use std::path::PathBuf;
+
+use secure_bp::campaign::{expect, Catalog, CatalogEntry};
+use secure_bp::sim::WorkBudget;
+use secure_bp::sweep::check_report_at;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-compares `actual` against the checked-in golden file, rewriting
+/// it instead when `SBP_UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SBP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with SBP_UPDATE_GOLDEN=1 to (re)generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden file; if the emitter change is \
+         intentional, regenerate with SBP_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Report table + verdict table of one entry's report, evaluated at a
+/// pinned scale of 1.0 (what the golden files store).
+fn rendered(entry: &CatalogEntry, report: &secure_bp::types::SweepReport) -> String {
+    let table = check_report_at(report, &entry.expectations(), entry.name, 1.0);
+    format!("{}{}", report.to_table(), table.to_table())
+}
+
+#[test]
+fn smoke_attack_tables_match_the_golden_file() {
+    let entry = Catalog::get("smoke_attack").expect("registered");
+    // The catalog spec verbatim: attack grids are scale-independent.
+    let report = entry.spec().run().expect("attack sweep");
+    assert_golden("smoke_attack.txt", &rendered(entry, &report));
+}
+
+#[test]
+fn smoke_attack_verdict_jsonl_matches_the_golden_file() {
+    let entry = Catalog::get("smoke_attack").expect("registered");
+    let report = entry.spec().run().expect("attack sweep");
+    let table = check_report_at(&report, &entry.expectations(), entry.name, 1.0);
+    let jsonl = table.to_jsonl();
+    // The emitters must agree with the parser before they earn a golden.
+    assert_eq!(
+        expect::VerdictTable::from_jsonl(&jsonl).expect("roundtrip"),
+        table
+    );
+    assert_golden("smoke_attack.verdict.jsonl", &jsonl);
+}
+
+#[test]
+fn smoke_single_tables_match_the_golden_file() {
+    let entry = Catalog::get("smoke_single").expect("registered");
+    // Pin the work budget: the catalog constructor scales it with
+    // SBP_SCALE, and golden bytes must not depend on the environment.
+    let spec = entry.spec().with_budget(WorkBudget {
+        warmup: 20_000,
+        measure: 1_000_000,
+    });
+    let report = spec.run().expect("sim sweep");
+    assert_golden("smoke_single.txt", &rendered(entry, &report));
+}

@@ -1,6 +1,9 @@
 //! Integration tests over the persistent sweep store: resume skips
-//! exactly the completed cells, shards partition the job list, and merged
-//! shard stores rebuild a report byte-identical to an unsharded run.
+//! exactly the completed cells, shards partition the job list, merged
+//! shard stores rebuild a report byte-identical to an unsharded run, and
+//! the JSONL layers degrade recoverably — malformed lines fail loudly,
+//! crash-truncated tails are skipped, and verdict tables round-trip
+//! exactly.
 
 use std::path::PathBuf;
 
@@ -9,7 +12,10 @@ use proptest::prelude::*;
 use secure_bp::attack::AttackKind;
 use secure_bp::isolation::Mechanism;
 use secure_bp::sim::WorkBudget;
-use secure_bp::sweep::{cases_from, merge_stores, plan, RunOptions, Shard, SweepSpec};
+use secure_bp::sweep::{
+    cases_from, merge_stores, plan, CheckRow, CheckStatus, RunOptions, Shard, SweepSpec,
+    SweepStore, VerdictTable,
+};
 use secure_bp::trace::cases_single;
 
 fn tmp(name: &str) -> PathBuf {
@@ -178,6 +184,141 @@ fn attack_sweeps_resume_and_merge_like_sim_sweeps() {
     std::fs::remove_file(&p2).expect("cleanup");
 }
 
+#[test]
+fn malformed_store_lines_are_recoverable_errors_not_panics() {
+    let path = tmp("json_errors");
+    for body in [
+        "not json\n",
+        "[1,2,3]\n",
+        "{\"fp\":\"nothex\",\"kind\":\"attack\"}\n",
+        "{\"kind\":\"attack\"}\n",
+        "{\"fp\":\"10\",\"kind\":\"warp\"}\n",
+        "{\"fp\":\"10\",\"kind\":\"attack\",\"success_rate\":\"high\"}\n",
+        // Truncated line in the *middle* of a store is corruption, not
+        // crash wreckage.
+        "{\"fp\":\"10\",\"kind\":\"at\n{\"fp\":\"11\",\"kind\":\"attack\",\
+         \"success_rate\":0.5,\"chance\":0.5,\"trials\":10}\n",
+    ] {
+        std::fs::write(&path, body).expect("write");
+        let err = SweepStore::open(&path).expect_err(body);
+        assert!(
+            err.to_string().contains("sweep store"),
+            "recoverable store error for {body:?}, got {err}"
+        );
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn crash_truncated_final_line_resumes_with_the_cell_missing() {
+    let path = tmp("crash_tail");
+    let _ = std::fs::remove_file(&path);
+    let spec = quick_attack_spec();
+    let jobs = plan(&spec).jobs.len();
+    let opts = RunOptions {
+        store: Some(path.clone()),
+        shard: None,
+    };
+    spec.run_with(&opts).expect("full run");
+    // Chop the final line mid-value, newline lost — a kill mid-append.
+    let text = std::fs::read_to_string(&path).expect("read");
+    std::fs::write(&path, &text[..text.len() - 9]).expect("truncate");
+    let resumed = spec.run_with(&opts).expect("resume over the wreckage");
+    assert_eq!(
+        (resumed.executed, resumed.skipped),
+        (1, jobs - 1),
+        "exactly the in-flight cell re-executes"
+    );
+    assert_eq!(
+        resumed.report.expect("report"),
+        spec.run().expect("plain run"),
+        "the healed store rebuilds the byte-identical report"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn conflicting_duplicate_fingerprints_fail_loudly() {
+    let path = tmp("conflict");
+    let _ = std::fs::remove_file(&path);
+    let spec = quick_attack_spec();
+    spec.run_with(&RunOptions {
+        store: Some(path.clone()),
+        shard: None,
+    })
+    .expect("full run");
+    let text = std::fs::read_to_string(&path).expect("read");
+    let first = text.lines().next().expect("line").to_string();
+    let forged = first.replace("\"trials\":150", "\"trials\":151");
+    assert_ne!(first, forged);
+    // An identical duplicate is collapsed; a conflicting one is corrupt.
+    std::fs::write(&path, format!("{text}{first}\n")).expect("write dup");
+    assert!(SweepStore::open(&path).is_ok());
+    std::fs::write(&path, format!("{text}{forged}\n")).expect("write forged");
+    assert!(SweepStore::open(&path).is_err());
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// JSON-hostile strings: quotes, backslashes, control characters,
+/// multi-byte UTF-8 — everything the emitters must escape.
+const TRICKY: [&str; 8] = [
+    "",
+    "plain",
+    "with \"quotes\" and \\backslash\\",
+    "line\nbreak\tand\rreturn",
+    "order CF/Gshare/4M >= CF/Gshare/8M",
+    "±σ — naïve ✓",
+    "\u{1} control \u{1f} bytes",
+    "trailing space ",
+];
+
+fn any_string() -> impl Strategy<Value = String> {
+    (any::<u8>(), any::<u16>())
+        .prop_map(|(pick, salt)| format!("{}{salt}", TRICKY[pick as usize % TRICKY.len()]))
+}
+
+/// Finite floats spanning magnitudes, signs and awkward fractions (the
+/// vendored proptest stub has no f64 Arbitrary).
+fn any_finite_f64() -> impl Strategy<Value = f64> {
+    (any::<i64>(), 0u32..60).prop_map(|(mantissa, shift)| {
+        let x = mantissa as f64 / (1u64 << shift) as f64;
+        if x.is_finite() {
+            x
+        } else {
+            0.5
+        }
+    })
+}
+
+fn any_status() -> impl Strategy<Value = CheckStatus> {
+    prop_oneof![
+        Just(CheckStatus::Pass),
+        Just(CheckStatus::Fail),
+        Just(CheckStatus::Missing),
+    ]
+}
+
+fn any_row() -> impl Strategy<Value = CheckRow> {
+    (
+        any_string(),
+        any_string(),
+        any_string(),
+        any_finite_f64(),
+        any_finite_f64(),
+        any_status(),
+    )
+        .prop_map(
+            |(check, expected, actual, delta, tolerance, status)| CheckRow {
+                check,
+                expected,
+                actual,
+                delta,
+                tolerance,
+                status,
+            },
+        )
+}
+
 proptest! {
     /// Shard filters partition the job list: every job fingerprint is
     /// owned by exactly one of the n shards, for any shard count and any
@@ -189,5 +330,21 @@ proptest! {
             .collect();
         let owners = shards.iter().filter(|s| s.owns(fp)).count();
         prop_assert_eq!(owners, 1, "fingerprint {} owned by {} shards", fp, owners);
+    }
+
+    /// Any verdict table — arbitrary strings (escapes included), finite
+    /// floats, every status — round-trips through its JSONL form exactly.
+    #[test]
+    fn verdict_tables_roundtrip_through_jsonl(
+        entry in any_string(),
+        scale in any_finite_f64(),
+        widen in any_finite_f64(),
+        rows in prop::collection::vec(any_row(), 0..8),
+    ) {
+        let table = VerdictTable { entry, scale, widen, rows };
+        let text = table.to_jsonl();
+        let back = VerdictTable::from_jsonl(&text).expect("parse back");
+        prop_assert_eq!(&back, &table);
+        prop_assert_eq!(back.to_jsonl(), text, "emit is a fixpoint");
     }
 }
