@@ -1,0 +1,124 @@
+//! `bps` — the tracked branches-per-second benchmark.
+//!
+//! ```text
+//! bps                       # full measurement, writes BENCH_6.json
+//! bps --out path.json       # write elsewhere
+//! bps --quick               # small work sizes (CI smoke / tests)
+//! bps --no-smoke            # skip the smoke catalog entry timings
+//! bps --check BENCH_6.json  # measure, then gate on the committed file
+//! ```
+//!
+//! `--check` exits non-zero when any series' batched/scalar speedup ratio
+//! falls below the committed ratio × 0.8 — the machine-independent
+//! regression gate CI runs (see `docs/PERFORMANCE.md`).
+
+use std::process::ExitCode;
+
+use sbp_bench::bps::{measure, BpsConfig, BpsReport};
+
+fn main() -> ExitCode {
+    let mut cfg = BpsConfig::full();
+    let mut out_path = String::from("BENCH_6.json");
+    let mut out_explicit = false;
+    let mut check_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = BpsConfig::quick(),
+            "--no-smoke" => cfg.smoke = false,
+            "--out" => match args.next() {
+                Some(p) => {
+                    out_path = p;
+                    out_explicit = true;
+                }
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "measuring branches/sec (scale {}, {} series branches Gshare / {} TAGE-SC-L, smoke: {})...",
+        sbp_sim::scale(),
+        cfg.gshare_branches,
+        cfg.tage_branches,
+        cfg.smoke
+    );
+    let report = measure(&cfg);
+    for s in &report.series {
+        eprintln!(
+            "  {:<10} {:<13} scalar {:>12.1} bps, batched {:>12.1} bps, speedup {:.3}",
+            s.predictor, s.mechanism, s.scalar_bps, s.batched_bps, s.speedup
+        );
+    }
+    for t in &report.smoke {
+        eprintln!(
+            "  {:<24} {} records in {:.3}s",
+            t.entry, t.records, t.wall_seconds
+        );
+    }
+
+    // With --check the measurement is a gate, not an update: nothing is
+    // written unless --out asks for a copy. Written *before* the gate so
+    // CI can upload the fresh report even from a failed run.
+    if out_explicit || check_path.is_none() {
+        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+            eprintln!("error: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match BpsReport::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path} is not a valid bps report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match report.check_against(&committed) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("  {line}");
+                }
+                eprintln!("bps check passed against {path}");
+            }
+            Err(e) => {
+                eprintln!("bps regression vs {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_usage();
+    ExitCode::FAILURE
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: bps [--quick] [--no-smoke] [--out PATH] [--check PATH]\n\
+         measures branches/sec through the scalar and batched simulator paths;\n\
+         by default writes BENCH_6.json, with --check gates against a committed report"
+    );
+}

@@ -1,0 +1,527 @@
+//! The branches-per-second benchmark behind `BENCH_6.json`.
+//!
+//! Measures the simulator's hot-loop throughput — wall-clock branches per
+//! second — through both front-end paths: the batched production path
+//! ([`sbp_sim::SingleCoreSim::run_target`]) and the uncached scalar
+//! reference path ([`sbp_sim::SingleCoreSim::run_target_scalar`]). Both
+//! produce bit-identical simulation results (the measurement asserts it),
+//! so their throughput ratio isolates what the batched rewrite buys.
+//!
+//! The emitted report is schema-stable JSON (`sbp-bench/bps/v1`) parsed
+//! back with [`sbp_sweep::json`]; `bps --check BENCH_6.json` compares a
+//! fresh measurement against the committed file and fails when the
+//! machine-independent batched/scalar *speedup ratio* regresses by more
+//! than [`CHECK_TOLERANCE`]. Absolute branches/sec depends on the host, so
+//! CI gates on the ratio, not the raw rate — see `docs/PERFORMANCE.md`.
+
+use std::time::Instant;
+
+use sbp_campaign::Catalog;
+use sbp_core::Mechanism;
+use sbp_predictors::PredictorKind;
+use sbp_sim::{CoreConfig, SingleCoreSim, SwitchInterval};
+use sbp_sweep::json::{self, Value};
+use sbp_types::PredictionStats;
+
+/// Schema tag of the emitted report; bump on any breaking field change.
+pub const SCHEMA: &str = "sbp-bench/bps/v1";
+
+/// Workload pair every series runs (first single-core case of the paper).
+pub const CASE: (&str, &str) = ("gcc", "calculix");
+
+/// RNG seed shared by every series.
+pub const SEED: u64 = 42;
+
+/// `--check` fails when a series' speedup drops below `committed × 0.8`.
+pub const CHECK_TOLERANCE: f64 = 0.8;
+
+/// Pre-rewrite throughput anchors: Mbranches/sec of the scalar-only hot
+/// loop at the seed commit, measured 2026-08-09 on the development
+/// machine (gcc+calculix, Gshare, release build). Absolute rates are
+/// machine-specific — these are recorded for provenance, not gating.
+pub const PRE_PR_ANCHORS: &[(&str, &str, f64)] = &[
+    ("Baseline", "Off", 9.11),
+    ("Noisy-XOR-BP", "Off", 6.48),
+    ("CF", "Off", 8.43),
+    ("Baseline", "8M", 5.25),
+    ("Noisy-XOR-BP", "8M", 3.84),
+    ("CF", "8M", 5.67),
+];
+
+/// Work sizes for one measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct BpsConfig {
+    /// Measured branches per Gshare series.
+    pub gshare_branches: u64,
+    /// Measured branches per TAGE-SC-L series (slower predictor, fewer
+    /// branches for comparable wall time).
+    pub tage_branches: u64,
+    /// Warm-up branches per run (counted in the throughput denominator —
+    /// they execute the same hot loop).
+    pub warmup: u64,
+    /// Timing repetitions; the best (highest-throughput) run is reported
+    /// to suppress scheduler noise. Simulation results are asserted
+    /// identical across repeats and paths.
+    pub repeats: u32,
+    /// Whether to run and time the CI smoke catalog entries.
+    pub smoke: bool,
+}
+
+impl BpsConfig {
+    /// The tracked configuration `BENCH_6.json` is generated with.
+    pub fn full() -> Self {
+        BpsConfig {
+            gshare_branches: 1_000_000,
+            tage_branches: 250_000,
+            warmup: 50_000,
+            repeats: 3,
+            smoke: true,
+        }
+    }
+
+    /// A small configuration for tests (seconds, not minutes).
+    pub fn quick() -> Self {
+        BpsConfig {
+            gshare_branches: 40_000,
+            tage_branches: 15_000,
+            warmup: 5_000,
+            repeats: 1,
+            smoke: false,
+        }
+    }
+}
+
+/// One measured predictor × mechanism series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpsSeries {
+    /// Predictor label ([`PredictorKind::label`]).
+    pub predictor: String,
+    /// Mechanism label ([`Mechanism::label`]).
+    pub mechanism: String,
+    /// Branches executed per timed run (warm-up + measured).
+    pub branches: u64,
+    /// Scalar reference path throughput, branches/second.
+    pub scalar_bps: f64,
+    /// Batched production path throughput, branches/second.
+    pub batched_bps: f64,
+    /// `batched_bps / scalar_bps` — the machine-independent gate metric.
+    pub speedup: f64,
+}
+
+/// Wall time of one smoke catalog entry run end-to-end through the sweep
+/// engine (plan → parallel execute → report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeTiming {
+    /// Catalog entry name.
+    pub entry: String,
+    /// Report records produced (grid size sanity check).
+    pub records: u64,
+    /// End-to-end wall seconds.
+    pub wall_seconds: f64,
+}
+
+/// The full benchmark report — everything `BENCH_6.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpsReport {
+    /// `SBP_SCALE` in effect during the measurement.
+    pub scale: f64,
+    /// Per-series throughput measurements.
+    pub series: Vec<BpsSeries>,
+    /// Smoke-entry wall times (empty when smoke timing was skipped).
+    pub smoke: Vec<SmokeTiming>,
+}
+
+fn round_to(x: f64, decimals: i32) -> f64 {
+    let p = 10f64.powi(decimals);
+    (x * p).round() / p
+}
+
+fn timed_run(
+    sim: &mut SingleCoreSim,
+    scalar: bool,
+    warmup: u64,
+    measure: u64,
+) -> (f64, PredictionStats) {
+    let start = Instant::now();
+    let stats = if scalar {
+        sim.run_target_scalar(warmup, measure)
+    } else {
+        sim.run_target(warmup, measure)
+    };
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+/// Best-of-`repeats` branches/sec through one path, asserting every
+/// repeat produces identical simulation results.
+fn measure_path(
+    predictor: PredictorKind,
+    mechanism: Mechanism,
+    scalar: bool,
+    cfg: &BpsConfig,
+    measure: u64,
+) -> (f64, PredictionStats) {
+    let mut best_secs = f64::INFINITY;
+    let mut first_stats: Option<PredictionStats> = None;
+    for _ in 0..cfg.repeats.max(1) {
+        let mut sim = SingleCoreSim::new(
+            CoreConfig::fpga(),
+            predictor,
+            mechanism,
+            SwitchInterval::Off,
+            &[CASE.0, CASE.1],
+            SEED,
+        )
+        .expect("benchmark workloads are registered");
+        let (secs, stats) = timed_run(&mut sim, scalar, cfg.warmup, measure);
+        match &first_stats {
+            None => first_stats = Some(stats),
+            Some(prev) => assert_eq!(*prev, stats, "nondeterministic run"),
+        }
+        best_secs = best_secs.min(secs);
+    }
+    let branches = cfg.warmup + measure;
+    (
+        branches as f64 / best_secs,
+        first_stats.expect("ran at least once"),
+    )
+}
+
+/// Runs the full measurement: every predictor × mechanism series through
+/// both paths (asserting bit-identical results between them), plus the
+/// smoke catalog entries when `cfg.smoke` is set.
+///
+/// Mechanism coverage follows the paper's main comparison: the insecure
+/// baseline, Complete Flush (the OS-assisted competitor) and
+/// Noisy-XOR-BP (the paper's mechanism, where per-access key derivation
+/// made the pre-rewrite scalar path most expensive).
+pub fn measure(cfg: &BpsConfig) -> BpsReport {
+    let grid: &[(PredictorKind, u64)] = &[
+        (PredictorKind::Gshare, cfg.gshare_branches),
+        (PredictorKind::TageScL, cfg.tage_branches),
+    ];
+    let mechanisms = [
+        Mechanism::Baseline,
+        Mechanism::CompleteFlush,
+        Mechanism::noisy_xor_bp(),
+    ];
+    let mut series = Vec::new();
+    for &(predictor, branches) in grid {
+        for mechanism in mechanisms {
+            let (scalar_bps, scalar_stats) =
+                measure_path(predictor, mechanism, true, cfg, branches);
+            let (batched_bps, batched_stats) =
+                measure_path(predictor, mechanism, false, cfg, branches);
+            assert_eq!(
+                scalar_stats,
+                batched_stats,
+                "batched and scalar paths diverged for {} / {}",
+                predictor.label(),
+                mechanism.label()
+            );
+            series.push(BpsSeries {
+                predictor: predictor.label().to_string(),
+                mechanism: mechanism.label().to_string(),
+                branches: cfg.warmup + branches,
+                scalar_bps: round_to(scalar_bps, 1),
+                batched_bps: round_to(batched_bps, 1),
+                speedup: round_to(batched_bps / scalar_bps, 3),
+            });
+        }
+    }
+    let mut smoke = Vec::new();
+    if cfg.smoke {
+        for name in ["smoke_single", "smoke_attack"] {
+            let entry = Catalog::get(name).expect("smoke entries are registered");
+            let start = Instant::now();
+            let report = entry.spec().run().expect("smoke entry runs");
+            smoke.push(SmokeTiming {
+                entry: name.to_string(),
+                records: report.records.len() as u64,
+                wall_seconds: round_to(start.elapsed().as_secs_f64(), 3),
+            });
+        }
+    }
+    BpsReport {
+        scale: sbp_sim::scale(),
+        series,
+        smoke,
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Shortest-roundtrip decimal, same as the sweep store's emitter. The
+    // report never contains non-finite numbers (throughputs are positive
+    // finite by construction), so no NaN/Inf escape is needed.
+    debug_assert!(x.is_finite());
+    format!("{x}")
+}
+
+impl BpsReport {
+    /// Serializes the report as the `BENCH_6.json` document. Field order
+    /// and formatting are stable so diffs stay meaningful; only the
+    /// `*_bps`, `speedup` and `wall_seconds` values change run-to-run.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"scale\": {},\n", fmt_f64(self.scale)));
+        out.push_str("  \"interval\": \"Off\",\n");
+        out.push_str(&format!("  \"case\": \"{}+{}\",\n", CASE.0, CASE.1));
+        out.push_str(&format!("  \"seed\": {},\n", SEED));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"predictor\": \"{}\", \"mechanism\": \"{}\", \"branches\": {}, \
+                 \"scalar_bps\": {}, \"batched_bps\": {}, \"speedup\": {}}}{}\n",
+                s.predictor,
+                s.mechanism,
+                s.branches,
+                fmt_f64(s.scalar_bps),
+                fmt_f64(s.batched_bps),
+                fmt_f64(s.speedup),
+                if i + 1 < self.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"smoke\": [\n");
+        for (i, t) in self.smoke.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"entry\": \"{}\", \"records\": {}, \"wall_seconds\": {}}}{}\n",
+                t.entry,
+                t.records,
+                fmt_f64(t.wall_seconds),
+                if i + 1 < self.smoke.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(
+            "  \"pre_pr_anchors\": {\n    \"note\": \"scalar-only hot loop at the seed commit, \
+             Mbranches/sec, gcc+calculix Gshare, measured 2026-08-09; machine-specific, kept for \
+             provenance\",\n    \"points\": [\n",
+        );
+        for (i, (mech, interval, mbps)) in PRE_PR_ANCHORS.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"mechanism\": \"{mech}\", \"interval\": \"{interval}\", \"mbps\": {}}}{}\n",
+                fmt_f64(*mbps),
+                if i + 1 < PRE_PR_ANCHORS.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_6.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field, or
+    /// a schema-tag mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let obj = doc.as_object().ok_or("report is not a JSON object")?;
+        let schema = json::get_str(obj, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let scale = json::get_f64(obj, "scale")?;
+        let series_of = |v: &Value| -> Result<BpsSeries, String> {
+            let s = v.as_object().ok_or("series entry is not an object")?;
+            Ok(BpsSeries {
+                predictor: json::get_str(s, "predictor")?.to_string(),
+                mechanism: json::get_str(s, "mechanism")?.to_string(),
+                branches: json::get_u64(s, "branches")?,
+                scalar_bps: json::get_f64(s, "scalar_bps")?,
+                batched_bps: json::get_f64(s, "batched_bps")?,
+                speedup: json::get_f64(s, "speedup")?,
+            })
+        };
+        let series = json::get(obj, "series")?
+            .as_array()
+            .ok_or("\"series\" is not an array")?
+            .iter()
+            .map(series_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        let smoke_of = |v: &Value| -> Result<SmokeTiming, String> {
+            let s = v.as_object().ok_or("smoke entry is not an object")?;
+            Ok(SmokeTiming {
+                entry: json::get_str(s, "entry")?.to_string(),
+                records: json::get_u64(s, "records")?,
+                wall_seconds: json::get_f64(s, "wall_seconds")?,
+            })
+        };
+        let smoke = json::get(obj, "smoke")?
+            .as_array()
+            .ok_or("\"smoke\" is not an array")?
+            .iter()
+            .map(smoke_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BpsReport {
+            scale,
+            series,
+            smoke,
+        })
+    }
+
+    /// The deterministic (non-timing) identity of the report: schema,
+    /// scale and the measured grid. Two runs of the same configuration
+    /// have equal fingerprints even though their timings differ.
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!("{SCHEMA};scale={}", fmt_f64(self.scale));
+        for s in &self.series {
+            out.push_str(&format!(";{}/{}/{}", s.predictor, s.mechanism, s.branches));
+        }
+        for t in &self.smoke {
+            out.push_str(&format!(";{}/{}", t.entry, t.records));
+        }
+        out
+    }
+
+    /// Gates a fresh measurement against the committed report.
+    ///
+    /// Compares the **speedup ratio** per (predictor, mechanism) series —
+    /// absolute branches/sec varies across machines, the batched/scalar
+    /// ratio does not — and fails when any ratio drops below
+    /// `committed × CHECK_TOLERANCE`, when a committed series is missing,
+    /// or when any current throughput is non-positive. Returns one log
+    /// line per compared series on success.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first regression found.
+    pub fn check_against(&self, committed: &BpsReport) -> Result<Vec<String>, String> {
+        let mut lines = Vec::new();
+        for s in &self.series {
+            if !(s.scalar_bps > 0.0 && s.batched_bps > 0.0) {
+                return Err(format!(
+                    "non-positive throughput in {}/{}",
+                    s.predictor, s.mechanism
+                ));
+            }
+        }
+        for want in &committed.series {
+            let got = self
+                .series
+                .iter()
+                .find(|s| s.predictor == want.predictor && s.mechanism == want.mechanism)
+                .ok_or_else(|| {
+                    format!(
+                        "committed series {}/{} missing from current measurement",
+                        want.predictor, want.mechanism
+                    )
+                })?;
+            let floor = want.speedup * CHECK_TOLERANCE;
+            if got.speedup < floor {
+                return Err(format!(
+                    "{}/{}: speedup {:.3} fell below {:.3} (committed {:.3} × {})",
+                    want.predictor,
+                    want.mechanism,
+                    got.speedup,
+                    floor,
+                    want.speedup,
+                    CHECK_TOLERANCE
+                ));
+            }
+            lines.push(format!(
+                "{:<10} {:<13} speedup {:.3} (committed {:.3}, floor {:.3}) ok",
+                got.predictor, got.mechanism, got.speedup, want.speedup, floor
+            ));
+        }
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BpsReport {
+        BpsReport {
+            scale: 1.0,
+            series: vec![
+                BpsSeries {
+                    predictor: "Gshare".into(),
+                    mechanism: "Baseline".into(),
+                    branches: 45_000,
+                    scalar_bps: 9_000_000.0,
+                    batched_bps: 10_000_000.0,
+                    speedup: 1.111,
+                },
+                BpsSeries {
+                    predictor: "Gshare".into(),
+                    mechanism: "Noisy-XOR-BP".into(),
+                    branches: 45_000,
+                    scalar_bps: 6_000_000.0,
+                    batched_bps: 9_000_000.0,
+                    speedup: 1.5,
+                },
+            ],
+            smoke: vec![SmokeTiming {
+                entry: "smoke_single".into(),
+                records: 4,
+                wall_seconds: 2.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = BpsReport::parse(&r.to_json()).expect("parse own output");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let text = sample().to_json().replace(SCHEMA, "sbp-bench/bps/v0");
+        assert!(BpsReport::parse(&text).is_err());
+    }
+
+    #[test]
+    fn check_passes_against_itself_and_catches_regressions() {
+        let committed = sample();
+        let lines = committed.check_against(&committed).expect("self-check");
+        assert_eq!(lines.len(), 2);
+
+        let mut regressed = committed.clone();
+        regressed.series[1].speedup = 1.0; // 1.5 × 0.8 = 1.2 floor
+        let err = regressed.check_against(&committed).unwrap_err();
+        assert!(err.contains("Noisy-XOR-BP"), "unexpected error: {err}");
+
+        let mut shrunk = committed.clone();
+        shrunk.series.pop();
+        assert!(shrunk.check_against(&committed).is_err(), "missing series");
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_fields() {
+        let a = sample();
+        let mut b = sample();
+        b.series[0].scalar_bps *= 2.0;
+        b.series[0].batched_bps *= 0.5;
+        b.smoke[0].wall_seconds = 99.0;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample();
+        c.series[0].branches += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn quick_measurement_is_sane_and_deterministic_outside_timing() {
+        let cfg = BpsConfig::quick();
+        let a = measure(&cfg);
+        assert_eq!(a.series.len(), 6, "2 predictors × 3 mechanisms");
+        for s in &a.series {
+            assert!(
+                s.scalar_bps > 0.0 && s.batched_bps > 0.0,
+                "bad series {s:?}"
+            );
+            assert!(s.speedup > 0.0);
+        }
+        assert!(a.smoke.is_empty(), "quick config skips smoke timing");
+        let b = measure(&cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // And the document itself parses back.
+        let parsed = BpsReport::parse(&a.to_json()).expect("parse");
+        assert_eq!(parsed.fingerprint(), a.fingerprint());
+    }
+}

@@ -9,6 +9,8 @@
 //! processes. Scale the work with `SBP_SCALE` (1.0 is the laptop default;
 //! ≈100 approximates the paper's 2 B-instruction runs).
 
+pub mod bps;
+
 pub use sbp_campaign::{Catalog, CatalogEntry};
 pub use sbp_sweep::parallel_map;
 pub use sbp_types::report::{mean, pct};

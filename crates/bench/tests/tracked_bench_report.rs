@@ -1,0 +1,93 @@
+//! Schema tests for the tracked `BENCH_6.json` at the repository root:
+//! the committed benchmark report must stay parseable by the workspace's
+//! own JSON reader with the fields the CI gate and `docs/PERFORMANCE.md`
+//! rely on. Regenerate it with `cargo run --release -p sbp-bench --bin
+//! bps` after a hot-loop change.
+
+use std::path::PathBuf;
+
+use sbp_bench::bps::{BpsReport, SCHEMA};
+use sbp_sweep::json;
+
+fn tracked_report() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read tracked {}: {e}", path.display()))
+}
+
+#[test]
+fn tracked_report_parses_with_required_keys() {
+    let text = tracked_report();
+    // Raw structural pass with the sweep JSON reader first, so a failure
+    // names the missing field rather than a downstream type error.
+    let doc = json::parse(&text).expect("BENCH_6.json is valid JSON");
+    let obj = doc.as_object().expect("top level is an object");
+    assert_eq!(json::get_str(obj, "schema").expect("schema"), SCHEMA);
+    for key in ["scale", "seed"] {
+        json::get_f64(obj, key).unwrap_or_else(|e| panic!("{e}"));
+    }
+    for key in ["interval", "case"] {
+        json::get_str(obj, key).unwrap_or_else(|e| panic!("{e}"));
+    }
+    let anchors = json::get(obj, "pre_pr_anchors")
+        .expect("anchors present")
+        .as_object()
+        .expect("anchors object");
+    json::get_str(anchors, "note").expect("provenance note");
+    assert!(
+        !json::get(anchors, "points")
+            .expect("points")
+            .as_array()
+            .expect("points array")
+            .is_empty(),
+        "anchor points present"
+    );
+}
+
+#[test]
+fn tracked_report_series_are_positive_and_cover_the_grid() {
+    let report = BpsReport::parse(&tracked_report()).expect("typed parse");
+    assert_eq!(
+        report.series.len(),
+        6,
+        "2 predictors × 3 mechanisms tracked"
+    );
+    for s in &report.series {
+        assert!(s.branches > 0, "empty series {s:?}");
+        assert!(
+            s.scalar_bps > 0.0 && s.scalar_bps.is_finite(),
+            "bad scalar_bps in {s:?}"
+        );
+        assert!(
+            s.batched_bps > 0.0 && s.batched_bps.is_finite(),
+            "bad batched_bps in {s:?}"
+        );
+        assert!(s.speedup > 0.0, "bad speedup in {s:?}");
+        // The recorded speedup must be the recorded ratio (to the file's
+        // own rounding), not an independently edited number.
+        let ratio = s.batched_bps / s.scalar_bps;
+        assert!(
+            (s.speedup - ratio).abs() < 0.01,
+            "speedup {} inconsistent with bps ratio {ratio} in {s:?}",
+            s.speedup
+        );
+    }
+    for predictor in ["Gshare", "TAGE_SC_L"] {
+        for mechanism in ["Baseline", "CF", "Noisy-XOR-BP"] {
+            assert!(
+                report
+                    .series
+                    .iter()
+                    .any(|s| s.predictor == predictor && s.mechanism == mechanism),
+                "missing tracked series {predictor}/{mechanism}"
+            );
+        }
+    }
+    // The committed file is generated with smoke timings included.
+    assert!(!report.smoke.is_empty(), "smoke entry timings missing");
+    for t in &report.smoke {
+        assert!(t.records > 0 && t.wall_seconds > 0.0, "bad smoke row {t:?}");
+    }
+    // A committed report must gate cleanly against itself.
+    report.check_against(&report).expect("self-check passes");
+}

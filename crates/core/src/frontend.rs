@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sbp_predictors::{Btb, BtbConfig, PredictorKind, Ras};
+use sbp_predictors::{Btb, BtbConfig, DirectionEngine, PredictorKind, Ras};
 use sbp_types::{BranchInfo, CoreEvent, DirectionPredictor, KeyCtx, Pc, TargetPredictor, ThreadId};
 
 use crate::keys::KeyManager;
@@ -76,13 +76,25 @@ impl FrontendConfig {
 }
 
 /// A branch-prediction front-end with a pluggable isolation mechanism.
+///
+/// The per-access [`KeyCtx`]s are cached per hardware thread and refreshed
+/// only when the underlying keys change (a rekey), so the hot
+/// predict/update path performs no key derivation. The uncached derivation
+/// is kept available as [`SecureFrontend::derive_pht_ctx`] /
+/// [`SecureFrontend::derive_btb_ctx`] — it is the reference the cache is
+/// validated against and the path the scalar (pre-batching) simulator loop
+/// uses.
 pub struct SecureFrontend {
-    dir: Box<dyn DirectionPredictor + Send>,
+    dir: DirectionEngine,
     btb: Btb,
     ras: Ras,
     mechanism: Mechanism,
     keys: KeyManager,
     stats: IsolationStats,
+    /// Cached per-thread PHT access contexts (invalidated by rekeys).
+    pht_ctxs: Vec<KeyCtx>,
+    /// Cached per-thread BTB access contexts (invalidated by rekeys).
+    btb_ctxs: Vec<KeyCtx>,
 }
 
 impl std::fmt::Debug for SecureFrontend {
@@ -100,23 +112,27 @@ impl SecureFrontend {
     pub fn new(cfg: FrontendConfig) -> Self {
         let owner_tags = cfg.mechanism.needs_owner_tags();
         let dir = if owner_tags {
-            cfg.predictor.build_with_owner_tags(cfg.threads)
+            DirectionEngine::build_with_owner_tags(cfg.predictor, cfg.threads)
         } else {
-            cfg.predictor.build(cfg.threads)
+            DirectionEngine::build(cfg.predictor, cfg.threads)
         };
         let btb = if owner_tags {
             Btb::new(cfg.btb).with_owner_tags()
         } else {
             Btb::new(cfg.btb)
         };
-        SecureFrontend {
+        let mut fe = SecureFrontend {
             dir,
             btb,
             ras: Ras::new(cfg.ras_depth, cfg.threads),
             mechanism: cfg.mechanism,
             keys: KeyManager::new(cfg.threads, cfg.key_seed),
             stats: IsolationStats::default(),
-        }
+            pht_ctxs: Vec::new(),
+            btb_ctxs: Vec::new(),
+        };
+        fe.rebuild_ctx_cache(cfg.threads);
+        fe
     }
 
     /// Builds a front-end around a caller-provided direction predictor
@@ -133,14 +149,18 @@ impl SecureFrontend {
         } else {
             Btb::new(cfg.btb)
         };
-        SecureFrontend {
-            dir,
+        let mut fe = SecureFrontend {
+            dir: DirectionEngine::custom(dir),
             btb,
             ras: Ras::new(cfg.ras_depth, cfg.threads),
             mechanism: cfg.mechanism,
             keys: KeyManager::new(cfg.threads, cfg.key_seed),
             stats: IsolationStats::default(),
-        }
+            pht_ctxs: Vec::new(),
+            btb_ctxs: Vec::new(),
+        };
+        fe.rebuild_ctx_cache(cfg.threads);
+        fe
     }
 
     /// The configured mechanism.
@@ -153,9 +173,13 @@ impl SecureFrontend {
         self.stats
     }
 
-    /// The [`KeyCtx`] used for direction-predictor (PHT) accesses by
-    /// `thread`.
-    pub fn pht_ctx(&self, thread: ThreadId) -> KeyCtx {
+    /// Derives the [`KeyCtx`] used for direction-predictor (PHT) accesses
+    /// by `thread` from the current keys and mechanism.
+    ///
+    /// This is the uncached reference derivation (the pre-caching access
+    /// path): the hot methods read the same value from the per-thread
+    /// cache, which is refreshed whenever the keys change.
+    pub fn derive_pht_ctx(&self, thread: ThreadId) -> KeyCtx {
         let mut ctx = KeyCtx::disabled(thread);
         // Precise Flush tags PHT entries to target the flush, but does NOT
         // read-filter them: per-entry thread-ID matching on 2-bit counters
@@ -173,8 +197,9 @@ impl SecureFrontend {
         ctx
     }
 
-    /// The [`KeyCtx`] used for BTB accesses by `thread`.
-    pub fn btb_ctx(&self, thread: ThreadId) -> KeyCtx {
+    /// Derives the [`KeyCtx`] used for BTB accesses by `thread` (uncached
+    /// reference derivation; see [`SecureFrontend::derive_pht_ctx`]).
+    pub fn derive_btb_ctx(&self, thread: ThreadId) -> KeyCtx {
         let mut ctx = KeyCtx::disabled(thread);
         ctx.owner_tracking = self.mechanism.needs_owner_tags();
         // In a tagged structure the thread ID acts as a tag extension:
@@ -192,28 +217,58 @@ impl SecureFrontend {
         ctx
     }
 
+    /// The [`KeyCtx`] used for direction-predictor (PHT) accesses by
+    /// `thread` (served from the per-thread cache).
+    pub fn pht_ctx(&self, thread: ThreadId) -> KeyCtx {
+        self.pht_ctxs[thread.index()]
+    }
+
+    /// The [`KeyCtx`] used for BTB accesses by `thread` (served from the
+    /// per-thread cache).
+    pub fn btb_ctx(&self, thread: ThreadId) -> KeyCtx {
+        self.btb_ctxs[thread.index()]
+    }
+
+    /// Rebuilds the whole ctx cache (construction time).
+    fn rebuild_ctx_cache(&mut self, threads: usize) {
+        self.pht_ctxs = (0..threads)
+            .map(|t| self.derive_pht_ctx(ThreadId::new(t as u8)))
+            .collect();
+        self.btb_ctxs = (0..threads)
+            .map(|t| self.derive_btb_ctx(ThreadId::new(t as u8)))
+            .collect();
+    }
+
+    /// Refreshes the cached ctxs of one thread after its keys changed.
+    fn refresh_ctxs(&mut self, thread: ThreadId) {
+        self.pht_ctxs[thread.index()] = self.derive_pht_ctx(thread);
+        self.btb_ctxs[thread.index()] = self.derive_btb_ctx(thread);
+    }
+
     /// Predicts the direction of a conditional branch.
+    #[inline]
     pub fn predict_direction(&mut self, info: BranchInfo) -> bool {
-        let ctx = self.pht_ctx(info.thread);
-        self.dir.predict(info, &ctx)
+        self.dir.predict(info, &self.pht_ctxs[info.thread.index()])
     }
 
     /// Trains the direction predictor with the resolved outcome.
+    #[inline]
     pub fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
-        let ctx = self.pht_ctx(info.thread);
-        self.dir.update(info, taken, predicted, &ctx);
+        self.dir
+            .update(info, taken, predicted, &self.pht_ctxs[info.thread.index()]);
     }
 
     /// Looks up the BTB for a predicted target.
+    #[inline]
     pub fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
-        let ctx = self.btb_ctx(info.thread);
-        self.btb.lookup(info, &ctx)
+        self.btb.lookup(info, &self.btb_ctxs[info.thread.index()])
     }
 
     /// Installs/refreshes the BTB mapping after a taken branch resolves.
+    #[inline]
     pub fn update_target(&mut self, info: BranchInfo, target: Pc) {
-        let ctx = self.btb_ctx(info.thread);
-        self.btb.update(info, target, &ctx);
+        self.btb
+            .update(info, target, &self.btb_ctxs[info.thread.index()]);
     }
 
     /// Pushes a return address (on a call).
@@ -247,6 +302,7 @@ impl SecureFrontend {
                     }
                     Mechanism::Xor(_) => {
                         self.keys.rekey(hw_thread);
+                        self.refresh_ctxs(hw_thread);
                         self.stats.rekeys += 1;
                     }
                 }
@@ -254,10 +310,41 @@ impl SecureFrontend {
             CoreEvent::PrivilegeSwitch { hw_thread, .. } => {
                 if self.mechanism.rekeys_on_privilege_switch() {
                     self.keys.rekey(hw_thread);
+                    self.refresh_ctxs(hw_thread);
                     self.stats.rekeys += 1;
                 }
             }
         }
+    }
+
+    /// Uncached predict: derives the ctx per access and dispatches through
+    /// the trait object path, exactly as the pre-batching front-end did.
+    /// Used by the scalar reference simulator loop and equivalence tests.
+    pub fn predict_direction_uncached(&mut self, info: BranchInfo) -> bool {
+        let ctx = self.derive_pht_ctx(info.thread);
+        let dir: &mut (dyn DirectionPredictor + Send) = &mut self.dir;
+        dir.predict(info, &ctx)
+    }
+
+    /// Uncached update (see [`SecureFrontend::predict_direction_uncached`]).
+    pub fn update_direction_uncached(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
+        let ctx = self.derive_pht_ctx(info.thread);
+        let dir: &mut (dyn DirectionPredictor + Send) = &mut self.dir;
+        dir.update(info, taken, predicted, &ctx);
+    }
+
+    /// Uncached BTB lookup (see
+    /// [`SecureFrontend::predict_direction_uncached`]).
+    pub fn predict_target_uncached(&mut self, info: BranchInfo) -> Option<Pc> {
+        let ctx = self.derive_btb_ctx(info.thread);
+        self.btb.lookup(info, &ctx)
+    }
+
+    /// Uncached BTB update (see
+    /// [`SecureFrontend::predict_direction_uncached`]).
+    pub fn update_target_uncached(&mut self, info: BranchInfo, target: Pc) {
+        let ctx = self.derive_btb_ctx(info.thread);
+        self.btb.update(info, target, &ctx);
     }
 
     /// Read access to the BTB (observability for tests/attacks).
@@ -267,7 +354,7 @@ impl SecureFrontend {
 
     /// Mutable access to the direction predictor (ablations).
     pub fn direction_predictor_mut(&mut self) -> &mut (dyn DirectionPredictor + Send) {
-        self.dir.as_mut()
+        &mut self.dir
     }
 
     /// Total predictor storage in bits (direction + BTB + RAS).
@@ -459,6 +546,83 @@ mod tests {
         assert!(!pht.index_enabled);
         assert!(!pht.enhanced, "plain XOR-PHT uses a fixed slice");
         assert!(!btb.content_enabled, "XOR-PHT leaves the BTB unprotected");
+    }
+
+    #[test]
+    fn ctx_cache_tracks_rekeys() {
+        // The cached ctxs must equal the reference derivation at all
+        // times, including across rekeys of individual threads.
+        let mut fe = SecureFrontend::new(FrontendConfig::paper_gem5(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+            2,
+        ));
+        for t in 0..2u8 {
+            assert_eq!(
+                fe.pht_ctx(ThreadId::new(t)),
+                fe.derive_pht_ctx(ThreadId::new(t))
+            );
+            assert_eq!(
+                fe.btb_ctx(ThreadId::new(t)),
+                fe.derive_btb_ctx(ThreadId::new(t))
+            );
+        }
+        let before_t1 = fe.pht_ctx(ThreadId::new(1));
+        fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(0),
+        });
+        fe.handle_event(CoreEvent::PrivilegeSwitch {
+            hw_thread: ThreadId::new(0),
+            to: Privilege::Kernel,
+        });
+        for t in 0..2u8 {
+            assert_eq!(
+                fe.pht_ctx(ThreadId::new(t)),
+                fe.derive_pht_ctx(ThreadId::new(t))
+            );
+            assert_eq!(
+                fe.btb_ctx(ThreadId::new(t)),
+                fe.derive_btb_ctx(ThreadId::new(t))
+            );
+        }
+        assert_eq!(
+            fe.pht_ctx(ThreadId::new(1)),
+            before_t1,
+            "rekeying thread 0 must not touch thread 1's cached ctx"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_paths_agree() {
+        let mut a = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+        ));
+        let mut b = SecureFrontend::new(FrontendConfig::paper_fpga(
+            PredictorKind::Gshare,
+            Mechanism::noisy_xor_bp(),
+        ));
+        for n in 0..500u64 {
+            let i = cond(0, 0x400 + (n % 17) * 4);
+            let taken = n % 3 != 0;
+            let pa = a.predict_direction(i);
+            let pb = b.predict_direction_uncached(i);
+            assert_eq!(pa, pb, "diverged at {n}");
+            a.update_direction(i, taken, pa);
+            b.update_direction_uncached(i, taken, pb);
+            if taken {
+                a.update_target(i, Pc::new(0x9000));
+                b.update_target_uncached(i, Pc::new(0x9000));
+            }
+            assert_eq!(a.predict_target(i), b.predict_target_uncached(i));
+            if n % 50 == 0 {
+                let ev = CoreEvent::ContextSwitch {
+                    hw_thread: ThreadId::new(0),
+                };
+                a.handle_event(ev);
+                b.handle_event(ev);
+            }
+        }
     }
 
     #[test]

@@ -72,10 +72,12 @@ impl Bimodal {
 }
 
 impl DirectionPredictor for Bimodal {
+    #[inline]
     fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
         counter_taken(self.counter(info.pc, ctx), self.ctr_bits)
     }
 
+    #[inline]
     fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
         let bits = self.ctr_bits;
         self.table

@@ -57,13 +57,19 @@ impl Default for BtbConfig {
 
 /// A set-associative BTB with per-way encoded `tag | target` storage,
 /// valid bits and LRU replacement.
+///
+/// Valid bits and LRU stamps are flat struct-of-arrays vectors (indexed by
+/// `(way, set)` and `(set, way)` respectively) rather than nested `Vec`s:
+/// the lookup/update pair runs once per taken branch, and the flat layout
+/// keeps it free of pointer chasing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Btb {
     cfg: BtbConfig,
     ways: Vec<PackedTable>,
-    valid: Vec<Vec<bool>>,
-    /// Per-set LRU stamps (one per way).
-    lru: Vec<Vec<u32>>,
+    /// Flat valid bits, indexed `way * sets + set`.
+    valid: Vec<bool>,
+    /// Flat LRU stamps, indexed `set * ways + way`.
+    lru: Vec<u32>,
     clock: u32,
     set_bits: u32,
 }
@@ -81,12 +87,18 @@ impl Btb {
             ways: (0..cfg.ways)
                 .map(|_| PackedTable::new(cfg.sets, entry_bits, 0))
                 .collect(),
-            valid: vec![vec![false; cfg.sets]; cfg.ways],
-            lru: vec![vec![0; cfg.ways]; cfg.sets],
+            valid: vec![false; cfg.sets * cfg.ways],
+            lru: vec![0; cfg.sets * cfg.ways],
             clock: 0,
             set_bits: (cfg.sets as u64).trailing_zeros(),
             cfg,
         }
+    }
+
+    /// Flat index of `(way, set)` into the valid-bit array.
+    #[inline(always)]
+    fn vidx(&self, way: usize, set: usize) -> usize {
+        way * self.cfg.sets + set
     }
 
     /// Enables owner tags for Precise Flush.
@@ -133,20 +145,18 @@ impl Btb {
 
     fn touch_lru(&mut self, set: usize, way: usize) {
         self.clock = self.clock.wrapping_add(1);
-        self.lru[set][way] = self.clock;
+        self.lru[set * self.cfg.ways + way] = self.clock;
     }
 
     /// Returns the number of valid entries (warm-up observability).
     pub fn valid_entries(&self) -> usize {
-        self.valid
-            .iter()
-            .map(|w| w.iter().filter(|&&v| v).count())
-            .sum()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// Invalidates a specific logical (set, way) — attack helper.
     pub fn invalidate(&mut self, set: usize, way: usize) {
-        self.valid[way][set] = false;
+        let i = self.vidx(way, set);
+        self.valid[i] = false;
     }
 
     /// Checks whether a specific PC currently hits under `ctx` without
@@ -156,7 +166,7 @@ impl Btb {
         let tag = self.tag_of(info.pc);
         for (w, table) in self.ways.iter().enumerate() {
             let phys = ctx.scramble_index(set, self.set_bits);
-            if !self.valid[w][phys] {
+            if !self.valid[self.vidx(w, phys)] {
                 continue;
             }
             let (stored_tag, target) = self.unpack(table.get(set, ctx));
@@ -169,12 +179,13 @@ impl Btb {
 }
 
 impl TargetPredictor for Btb {
+    #[inline]
     fn lookup(&mut self, info: BranchInfo, ctx: &KeyCtx) -> Option<Pc> {
         let set = self.set_of(info.pc);
         let tag = self.tag_of(info.pc);
         let phys = ctx.scramble_index(set, self.set_bits);
         for w in 0..self.cfg.ways {
-            if !self.valid[w][phys] {
+            if !self.valid[self.vidx(w, phys)] {
                 continue;
             }
             let (stored_tag, target) = self.unpack(self.ways[w].get(set, ctx));
@@ -186,13 +197,14 @@ impl TargetPredictor for Btb {
         None
     }
 
+    #[inline]
     fn update(&mut self, info: BranchInfo, target: Pc, ctx: &KeyCtx) {
         let set = self.set_of(info.pc);
         let tag = self.tag_of(info.pc);
         let phys = ctx.scramble_index(set, self.set_bits);
         // Hit on the same (decoded) tag: refresh the target in place.
         for w in 0..self.cfg.ways {
-            if self.valid[w][phys] {
+            if self.valid[self.vidx(w, phys)] {
                 let (stored_tag, _) = self.unpack(self.ways[w].get(set, ctx));
                 if stored_tag == tag {
                     let word = self.pack(tag, target);
@@ -204,26 +216,25 @@ impl TargetPredictor for Btb {
         }
         // Miss: fill an invalid way, else evict LRU.
         let victim = (0..self.cfg.ways)
-            .find(|&w| !self.valid[w][phys])
+            .find(|&w| !self.valid[self.vidx(w, phys)])
             .unwrap_or_else(|| {
                 (0..self.cfg.ways)
-                    .min_by_key(|&w| self.lru[phys][w])
+                    .min_by_key(|&w| self.lru[phys * self.cfg.ways + w])
                     .expect("ways > 0")
             });
         let word = self.pack(tag, target);
         self.ways[victim].set(set, word, ctx);
-        self.valid[victim][phys] = true;
+        let vi = self.vidx(victim, phys);
+        self.valid[vi] = true;
         self.touch_lru(phys, victim);
     }
 
     fn flush_all(&mut self) {
         for w in 0..self.cfg.ways {
             self.ways[w].flush_all();
-            self.valid[w].fill(false);
         }
-        for set in &mut self.lru {
-            set.fill(0);
-        }
+        self.valid.fill(false);
+        self.lru.fill(0);
     }
 
     fn flush_thread(&mut self, thread: ThreadId) {
@@ -236,7 +247,7 @@ impl TargetPredictor for Btb {
                     if table.read_raw(set) == table.reset_value() {
                         // Either it was flushed or never written; marking
                         // invalid is safe in both cases.
-                        self.valid[w][set] = false;
+                        self.valid[w * self.cfg.sets + set] = false;
                     }
                 }
             }

@@ -78,11 +78,13 @@ impl Gshare {
 }
 
 impl DirectionPredictor for Gshare {
+    #[inline]
     fn predict(&mut self, info: BranchInfo, ctx: &KeyCtx) -> bool {
         let idx = self.index_of(info);
         counter_taken(self.table.get(idx, ctx), self.ctr_bits)
     }
 
+    #[inline]
     fn update(&mut self, info: BranchInfo, taken: bool, _predicted: bool, ctx: &KeyCtx) {
         let idx = self.index_of(info);
         let bits = self.ctr_bits;

@@ -21,6 +21,15 @@
 //! let pred = pht.predict(info, &ctx);
 //! pht.update(info, true, pred, &ctx);
 //! ```
+//!
+//! ## Units
+//!
+//! Table sizes are in **entries** (counters, BTB slots), storage figures
+//! in **bits**, and history lengths in **branches**. Flush operations
+//! (`flush_all` and friends) clear at whole-table granularity; per-thread
+//! precise flushes live at the `sbp-core` mechanism layer.
+
+#![deny(missing_docs)]
 
 pub mod bimodal;
 pub mod btb;
@@ -126,6 +135,139 @@ impl std::fmt::Display for PredictorKind {
     }
 }
 
+/// Statically dispatched direction-predictor engine for the hot loop.
+///
+/// The simulator executes tens of millions of predict/update pairs per
+/// sweep cell; routing them through `Box<dyn DirectionPredictor>` costs an
+/// indirect call per table access. `DirectionEngine` enumerates the four
+/// paper predictors so the per-branch dispatch is a direct (inlinable)
+/// match, while [`DirectionEngine::Custom`] keeps arbitrary user
+/// predictors working at the old virtual-call cost.
+///
+/// The engine implements [`DirectionPredictor`] itself, so any code written
+/// against the trait (including `&mut dyn` accessors) keeps working.
+#[allow(missing_docs)] // variant payloads are self-describing
+pub enum DirectionEngine {
+    Gshare(Gshare),
+    Tournament(Tournament),
+    Ltage(Ltage),
+    TageScL(Box<TageScL>),
+    /// Escape hatch for user-supplied predictors (dynamic dispatch).
+    Custom(Box<dyn DirectionPredictor + Send>),
+}
+
+impl std::fmt::Debug for DirectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DirectionEngine({})", self.name())
+    }
+}
+
+impl DirectionEngine {
+    /// Instantiates the paper configuration of `kind` for `threads`
+    /// hardware contexts (the enum-dispatch analogue of
+    /// [`PredictorKind::build`]).
+    pub fn build(kind: PredictorKind, threads: usize) -> Self {
+        match kind {
+            PredictorKind::Gshare => DirectionEngine::Gshare(Gshare::paper_2kb(threads)),
+            PredictorKind::Tournament => DirectionEngine::Tournament(Tournament::paper(threads)),
+            PredictorKind::Ltage => DirectionEngine::Ltage(Ltage::paper(threads)),
+            PredictorKind::TageScL => DirectionEngine::TageScL(Box::new(TageScL::paper(threads))),
+        }
+    }
+
+    /// Same as [`DirectionEngine::build`] with owner tags enabled
+    /// (required by the Precise Flush mechanism).
+    pub fn build_with_owner_tags(kind: PredictorKind, threads: usize) -> Self {
+        match kind {
+            PredictorKind::Gshare => {
+                DirectionEngine::Gshare(Gshare::paper_2kb(threads).with_owner_tags())
+            }
+            PredictorKind::Tournament => {
+                DirectionEngine::Tournament(Tournament::paper(threads).with_owner_tags())
+            }
+            PredictorKind::Ltage => DirectionEngine::Ltage(Ltage::paper(threads).with_owner_tags()),
+            PredictorKind::TageScL => {
+                DirectionEngine::TageScL(Box::new(TageScL::paper(threads).with_owner_tags()))
+            }
+        }
+    }
+
+    /// Wraps an arbitrary predictor (dynamically dispatched).
+    pub fn custom(inner: Box<dyn DirectionPredictor + Send>) -> Self {
+        DirectionEngine::Custom(inner)
+    }
+}
+
+impl DirectionPredictor for DirectionEngine {
+    #[inline]
+    fn predict(&mut self, info: sbp_types::BranchInfo, ctx: &sbp_types::KeyCtx) -> bool {
+        match self {
+            DirectionEngine::Gshare(p) => p.predict(info, ctx),
+            DirectionEngine::Tournament(p) => p.predict(info, ctx),
+            DirectionEngine::Ltage(p) => p.predict(info, ctx),
+            DirectionEngine::TageScL(p) => p.predict(info, ctx),
+            DirectionEngine::Custom(p) => p.predict(info, ctx),
+        }
+    }
+
+    #[inline]
+    fn update(
+        &mut self,
+        info: sbp_types::BranchInfo,
+        taken: bool,
+        predicted: bool,
+        ctx: &sbp_types::KeyCtx,
+    ) {
+        match self {
+            DirectionEngine::Gshare(p) => p.update(info, taken, predicted, ctx),
+            DirectionEngine::Tournament(p) => p.update(info, taken, predicted, ctx),
+            DirectionEngine::Ltage(p) => p.update(info, taken, predicted, ctx),
+            DirectionEngine::TageScL(p) => p.update(info, taken, predicted, ctx),
+            DirectionEngine::Custom(p) => p.update(info, taken, predicted, ctx),
+        }
+    }
+
+    fn flush_all(&mut self) {
+        match self {
+            DirectionEngine::Gshare(p) => p.flush_all(),
+            DirectionEngine::Tournament(p) => p.flush_all(),
+            DirectionEngine::Ltage(p) => p.flush_all(),
+            DirectionEngine::TageScL(p) => p.flush_all(),
+            DirectionEngine::Custom(p) => p.flush_all(),
+        }
+    }
+
+    fn flush_thread(&mut self, thread: sbp_types::ThreadId) {
+        match self {
+            DirectionEngine::Gshare(p) => p.flush_thread(thread),
+            DirectionEngine::Tournament(p) => p.flush_thread(thread),
+            DirectionEngine::Ltage(p) => p.flush_thread(thread),
+            DirectionEngine::TageScL(p) => p.flush_thread(thread),
+            DirectionEngine::Custom(p) => p.flush_thread(thread),
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        match self {
+            DirectionEngine::Gshare(p) => p.storage_bits(),
+            DirectionEngine::Tournament(p) => p.storage_bits(),
+            DirectionEngine::Ltage(p) => p.storage_bits(),
+            DirectionEngine::TageScL(p) => p.storage_bits(),
+            DirectionEngine::Custom(p) => p.storage_bits(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            DirectionEngine::Gshare(p) => p.name(),
+            DirectionEngine::Tournament(p) => p.name(),
+            DirectionEngine::Ltage(p) => p.name(),
+            DirectionEngine::TageScL(p) => p.name(),
+            DirectionEngine::Custom(p) => p.name(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +283,42 @@ mod tests {
             p.update(info, true, pred, &ctx);
             assert!(p.storage_bits() > 0, "{kind}");
         }
+    }
+
+    #[test]
+    fn engine_matches_boxed_build_exactly() {
+        // The enum-dispatch engine must be behaviourally identical to the
+        // Box<dyn> build for every kind: same predictions, same storage.
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        for kind in PredictorKind::ALL {
+            let mut boxed = kind.build(2);
+            let mut engine = DirectionEngine::build(kind, 2);
+            assert_eq!(engine.storage_bits(), boxed.storage_bits(), "{kind}");
+            assert_eq!(engine.name(), boxed.name(), "{kind}");
+            let mut rng = sbp_types::rng::Xoshiro256::new(7);
+            for n in 0..2000u64 {
+                let pc = Pc::new(0x1000 + (n % 61) * 4);
+                let info = BranchInfo::new(ThreadId::new(0), pc, BranchKind::Conditional);
+                let taken = rng.chance(0.6);
+                let a = boxed.predict(info, &ctx);
+                let b = engine.predict(info, &ctx);
+                assert_eq!(a, b, "{kind} diverged at branch {n}");
+                boxed.update(info, taken, a, &ctx);
+                engine.update(info, taken, b, &ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_custom_wraps_dyn_predictors() {
+        let mut engine = DirectionEngine::custom(PredictorKind::Gshare.build(1));
+        assert_eq!(engine.name(), "gshare");
+        engine.flush_all();
+        let owner_tagged = DirectionEngine::build_with_owner_tags(PredictorKind::Gshare, 2);
+        assert!(
+            owner_tagged.storage_bits()
+                > DirectionEngine::build(PredictorKind::Gshare, 2).storage_bits()
+        );
     }
 
     #[test]

@@ -7,17 +7,32 @@
 
 use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
 use sbp_predictors::PredictorKind;
-use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
-use crate::timing::execute_branch;
+use crate::timing::{execute_branch, execute_branch_scalar};
 
 /// One software context scheduled on the core.
 #[derive(Debug)]
 struct Context {
     gen: TraceGenerator,
     stats: PredictionStats,
+    /// Batch of pre-generated events the run loop drains without calling
+    /// back into the generator per event. Unconsumed events survive phase
+    /// boundaries, so the event order matches the unbatched stream exactly.
+    buf: EventBuffer,
+}
+
+impl Context {
+    /// Next event, honouring any still-buffered batch first so the scalar
+    /// and batched loops can be mixed on one simulator without skew.
+    fn next_event(&mut self) -> TraceEvent {
+        match self.buf.pop() {
+            Some(ev) => ev,
+            None => self.gen.next_event(),
+        }
+    }
 }
 
 /// A single-threaded core running several software contexts under a timer
@@ -77,6 +92,7 @@ impl SingleCoreSim {
                         sbp_types::rng::SplitMix64::derive(seed, i as u64),
                     ),
                     stats: PredictionStats::new(),
+                    buf: EventBuffer::default(),
                 })
             })
             .collect::<Result<Vec<_>, SbpError>>()?;
@@ -102,16 +118,19 @@ impl SingleCoreSim {
     /// Advances the simulation by one event of the current context,
     /// handling timer context switches. Returns the context index that
     /// executed and whether the event was a branch.
-    fn step(&mut self) -> (usize, bool) {
+    ///
+    /// This is the *reference* step used by [`Self::run_target_scalar`]:
+    /// one event per call, through the uncached front-end path.
+    fn step_scalar(&mut self) -> (usize, bool) {
         if self.interval != u64::MAX && self.clock >= self.next_switch {
             self.context_switch();
         }
         let hw = ThreadId::new(0);
         let idx = self.current;
-        let ev = self.contexts[idx].gen.next_event();
+        let ev = self.contexts[idx].next_event();
         match ev {
             TraceEvent::Branch(rec) => {
-                let cycles = execute_branch(
+                let cycles = execute_branch_scalar(
                     &mut self.fe,
                     &self.cfg,
                     hw,
@@ -141,26 +160,115 @@ impl SingleCoreSim {
         self.next_switch += self.interval as f64;
     }
 
+    /// Runs one phase of the batched loop until the target (context 0) has
+    /// executed `branches` branch events. Returns the cycles attributed to
+    /// the target (meaningful when `measure`).
+    ///
+    /// The loop drains pre-generated [`EventBuffer`] batches instead of
+    /// dispatching per event, but replicates the scalar step semantics
+    /// exactly: at most one context switch per step (re-checked before
+    /// every event except the one immediately after a switch, which always
+    /// runs), switch overhead charged to the post-switch context's step,
+    /// and per-step cycle deltas accumulated as `clock_after -
+    /// clock_before` so the floating-point rounding matches bit for bit.
+    fn run_phase(&mut self, branches: u64, measure: bool) -> f64 {
+        if branches == 0 {
+            return 0.0;
+        }
+        let hw = ThreadId::new(0);
+        let switching = self.interval != u64::MAX;
+        let mut done = 0u64;
+        let mut target_cycles = 0.0f64;
+        'outer: loop {
+            let step_start = self.clock;
+            if switching && self.clock >= self.next_switch {
+                self.context_switch();
+            }
+            let idx = self.current;
+            let is_target = idx == 0;
+            let cfg = &self.cfg;
+            let fe = &mut self.fe;
+            let ctx = &mut self.contexts[idx];
+            let mut first = true;
+            loop {
+                if !first && switching && self.clock >= self.next_switch {
+                    continue 'outer;
+                }
+                // The first event of a step absorbs any context-switch
+                // overhead into its clock delta, like the scalar loop.
+                let before = if first { step_start } else { self.clock };
+                first = false;
+                if ctx.buf.is_empty() {
+                    ctx.gen.fill(&mut ctx.buf);
+                }
+                let was_branch = match ctx.buf.pop().expect("buffer was just filled") {
+                    TraceEvent::Branch(rec) => {
+                        self.clock += execute_branch(fe, cfg, hw, &rec, &mut ctx.stats);
+                        true
+                    }
+                    TraceEvent::PrivilegeSwitch(to) => {
+                        fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
+                        ctx.stats.privilege_switches += 1;
+                        self.clock += cfg.trap_overhead as f64;
+                        false
+                    }
+                };
+                if is_target {
+                    if measure {
+                        target_cycles += self.clock - before;
+                    }
+                    if was_branch {
+                        done += 1;
+                        if done == branches {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        target_cycles
+    }
+
     /// Runs until the *target* (context 0) has executed `warmup` branches
     /// (discarded) and then `measure` branches (measured). Returns the
     /// target's measured statistics, with `cycles` holding the cycles the
     /// target consumed during measurement.
+    ///
+    /// This is the batched hot path; [`Self::run_target_scalar`] is the
+    /// per-event reference loop it is tested against. Both produce
+    /// bit-identical statistics.
     pub fn run_target(&mut self, warmup: u64, measure: u64) -> PredictionStats {
         // Warm-up phase.
+        self.run_phase(warmup, false);
+        // Reset measured statistics; keep predictor state.
+        self.contexts[0].stats = PredictionStats::new();
+        let target_cycles = self.run_phase(measure, true);
+        let mut stats = self.contexts[0].stats;
+        stats.cycles = target_cycles as u64;
+        stats
+    }
+
+    /// [`Self::run_target`] through the pre-batching reference loop: one
+    /// generator call and one uncached front-end access per event.
+    ///
+    /// Kept first-class (not test-only) so the branches-per-second
+    /// benchmark can measure the batched rewrite's speedup against the
+    /// loop it replaced, and so equivalence tests can pin bit-identical
+    /// results between the two.
+    pub fn run_target_scalar(&mut self, warmup: u64, measure: u64) -> PredictionStats {
         let mut target_branches = 0u64;
         while target_branches < warmup {
-            let (idx, was_branch) = self.step();
+            let (idx, was_branch) = self.step_scalar();
             if idx == 0 && was_branch {
                 target_branches += 1;
             }
         }
-        // Reset measured statistics; keep predictor state.
         self.contexts[0].stats = PredictionStats::new();
         let mut measured = 0u64;
         let mut target_cycles = 0.0f64;
         while measured < measure {
             let clock_before = self.clock;
-            let (idx, was_branch) = self.step();
+            let (idx, was_branch) = self.step_scalar();
             if idx == 0 {
                 target_cycles += self.clock - clock_before;
                 if was_branch {
@@ -176,6 +284,36 @@ impl SingleCoreSim {
     /// The front-end (observability).
     pub fn frontend(&self) -> &SecureFrontend {
         &self.fe
+    }
+
+    /// Replaces each context's (still-unallocated) event buffer with one
+    /// recycled from `pool`, reusing the pooled allocation. Intended for
+    /// arena-style callers that run many short jobs; call before the
+    /// first `run_*`, since any already-buffered events are discarded.
+    pub fn adopt_buffers(&mut self, pool: &mut Vec<EventBuffer>) {
+        for ctx in &mut self.contexts {
+            if let Some(mut buf) = pool.pop() {
+                buf.recycle();
+                ctx.buf = buf;
+            }
+        }
+    }
+
+    /// Moves this simulator's event buffers into `pool` so a later
+    /// simulator can [`Self::adopt_buffers`] their allocations. The sim
+    /// stays usable and re-allocates lazily if run again.
+    pub fn release_buffers(&mut self, pool: &mut Vec<EventBuffer>) {
+        for ctx in &mut self.contexts {
+            pool.push(std::mem::take(&mut ctx.buf));
+        }
+    }
+
+    /// Overrides the context-switch interval (in cycles) so tests can
+    /// exercise the scheduler without simulating millions of branches.
+    #[cfg(test)]
+    fn force_switch_interval(&mut self, cycles: u64) {
+        self.interval = cycles;
+        self.next_switch = cycles as f64;
     }
 
     /// Global clock in cycles.
@@ -246,6 +384,44 @@ mod tests {
         let stats = s.run_target(0, 400_000);
         // gcc makes ~10 syscalls/Minstr; 400k branches ≈ 2.8M instr.
         assert!(stats.privilege_switches > 0, "no privilege switches seen");
+    }
+
+    #[test]
+    fn batched_loop_matches_scalar_reference() {
+        // Short switch interval so the batched loop's step/switch
+        // attribution is exercised many times, not just its drain path.
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::noisy_xor_bp(),
+            Mechanism::CompleteFlush,
+        ] {
+            let mut batched = sim(mech, SwitchInterval::M8, 13);
+            batched.force_switch_interval(25_000);
+            let mut scalar = sim(mech, SwitchInterval::M8, 13);
+            scalar.force_switch_interval(25_000);
+            let a = batched.run_target(2_000, 40_000);
+            let b = scalar.run_target_scalar(2_000, 40_000);
+            assert_eq!(a, b, "stats diverged under {mech:?}");
+            assert_eq!(
+                batched.clock().to_bits(),
+                scalar.clock().to_bits(),
+                "clock diverged under {mech:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_phases_can_interleave() {
+        // A scalar phase after a batched phase must consume the buffered
+        // remainder, not skip ahead in the generator stream.
+        let mut mixed = sim(Mechanism::Baseline, SwitchInterval::M8, 21);
+        let mut pure = sim(Mechanism::Baseline, SwitchInterval::M8, 21);
+        mixed.run_target(0, 5_000);
+        let a = mixed.run_target_scalar(0, 5_000);
+        pure.run_target(0, 5_000);
+        let b = pure.run_target(0, 5_000);
+        assert_eq!(a, b);
+        assert_eq!(mixed.clock().to_bits(), pure.clock().to_bits());
     }
 
     #[test]

@@ -57,6 +57,11 @@ impl WorkBudget {
 /// The environment variable is parsed once per process and cached; an
 /// unparsable value warns on stderr (once) and falls back to 1.0 instead
 /// of silently ignoring the setting.
+///
+/// Note that the sweep store's job fingerprint includes `SBP_SCALE` (via
+/// the scaled work budget), so cells recorded at one scale are invisible
+/// to runs at another — changing the variable re-executes the grid
+/// rather than resuming from mismatched results.
 pub fn scale() -> f64 {
     static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
     *SCALE.get_or_init(|| match std::env::var("SBP_SCALE") {
@@ -64,7 +69,11 @@ pub fn scale() -> f64 {
         Ok(raw) => match raw.parse::<f64>() {
             Ok(s) => s.max(0.01),
             Err(_) => {
-                eprintln!("warning: unparsable SBP_SCALE={raw:?}, using 1.0");
+                eprintln!(
+                    "warning: unparsable SBP_SCALE={raw:?}, using 1.0 \
+                     (sweep-store fingerprints include the scale, so runs \
+                     under this fallback resume only against scale-1 stores)"
+                );
                 1.0
             }
         },

@@ -25,6 +25,17 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Units
+//!
+//! Unless a doc comment says otherwise: **time** is in core clock cycles
+//! (`f64` accumulators, integer penalties from [`CoreConfig`]), **work**
+//! is in dynamic branches (single-core budgets) or instructions (SMT
+//! budgets), and **flushes** are whole-table — Complete Flush clears
+//! every predictor structure, Precise Flush only the departing thread's
+//! entries.
+
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod core;
@@ -36,4 +47,4 @@ pub use config::{CoreConfig, SwitchInterval};
 pub use core::SingleCoreSim;
 pub use experiment::{run_single_case, run_smt, scale, single_overhead, smt_overhead, WorkBudget};
 pub use smt::{SmtResult, SmtSim};
-pub use timing::execute_branch;
+pub use timing::{execute_branch, execute_branch_scalar};

@@ -15,11 +15,11 @@
 
 use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
 use sbp_predictors::PredictorKind;
-use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
-use crate::timing::execute_branch;
+use crate::timing::{execute_branch, execute_branch_scalar};
 
 #[derive(Debug)]
 struct SmtThread {
@@ -27,6 +27,25 @@ struct SmtThread {
     stats: PredictionStats,
     clock: f64,
     next_switch: f64,
+    /// Pre-generated event batch (see [`EventBuffer`]); the SMT scheduler
+    /// interleaves threads per event, so batching here only amortizes the
+    /// generator dispatch, not the scheduling itself.
+    buf: EventBuffer,
+}
+
+impl SmtThread {
+    /// Next event from the buffered batch, refilling when drained. The
+    /// event sequence is identical to calling the generator directly.
+    #[inline]
+    fn next_event(&mut self) -> TraceEvent {
+        match self.buf.pop() {
+            Some(ev) => ev,
+            None => {
+                self.gen.fill(&mut self.buf);
+                self.buf.pop().expect("buffer was just filled")
+            }
+        }
+    }
 }
 
 /// Result of an SMT run.
@@ -104,6 +123,7 @@ impl SmtSim {
                     ),
                     stats: PredictionStats::new(),
                     clock: 0.0,
+                    buf: EventBuffer::default(),
                     // Stagger the per-thread timers across the interval:
                     // real timer interrupts are not synchronized between
                     // hardware threads, and coinciding flushes would
@@ -129,7 +149,10 @@ impl SmtSim {
     }
 
     /// Advances the globally-least-advanced thread by one event.
-    fn step(&mut self) -> u64 {
+    ///
+    /// `SCALAR` selects the uncached reference front-end path; the event
+    /// stream, scheduling, and timing are identical either way.
+    fn step_generic<const SCALAR: bool>(&mut self) -> u64 {
         let idx = self
             .threads
             .iter()
@@ -149,11 +172,15 @@ impl SmtSim {
             self.threads[idx].next_switch += iv;
         }
 
-        match self.threads[idx].gen.next_event() {
+        match self.threads[idx].next_event() {
             TraceEvent::Branch(rec) => {
                 let t = &mut self.threads[idx];
                 let before = t.stats.instructions;
-                let cycles = execute_branch(&mut self.fe, &self.cfg, hw, &rec, &mut t.stats);
+                let cycles = if SCALAR {
+                    execute_branch_scalar(&mut self.fe, &self.cfg, hw, &rec, &mut t.stats)
+                } else {
+                    execute_branch(&mut self.fe, &self.cfg, hw, &rec, &mut t.stats)
+                };
                 t.clock += cycles;
                 t.stats.instructions - before
             }
@@ -172,9 +199,24 @@ impl SmtSim {
     /// wall-clock cycles to execute `measure_instr` further instructions
     /// across all threads (the paper's methodology).
     pub fn run(&mut self, warmup_instr: u64, measure_instr: u64) -> SmtResult {
+        self.run_generic::<false>(warmup_instr, measure_instr)
+    }
+
+    /// [`Self::run`] through the uncached reference front-end path; kept
+    /// for equivalence tests and the branches-per-second benchmark.
+    /// Results are bit-identical to [`Self::run`].
+    pub fn run_scalar(&mut self, warmup_instr: u64, measure_instr: u64) -> SmtResult {
+        self.run_generic::<true>(warmup_instr, measure_instr)
+    }
+
+    fn run_generic<const SCALAR: bool>(
+        &mut self,
+        warmup_instr: u64,
+        measure_instr: u64,
+    ) -> SmtResult {
         let mut executed = 0u64;
         while executed < warmup_instr {
-            executed += self.step();
+            executed += self.step_generic::<SCALAR>();
         }
         let start_wall = self.wall_clock();
         for t in &mut self.threads {
@@ -182,7 +224,7 @@ impl SmtSim {
         }
         let mut measured = 0u64;
         while measured < measure_instr {
-            measured += self.step();
+            measured += self.step_generic::<SCALAR>();
         }
         let cycles = self.wall_clock() - start_wall;
         for t in &mut self.threads {
@@ -197,6 +239,26 @@ impl SmtSim {
 
     fn wall_clock(&self) -> f64 {
         self.threads.iter().map(|t| t.clock).fold(0.0, f64::max)
+    }
+
+    /// Replaces each hardware thread's (still-unallocated) event buffer
+    /// with one recycled from `pool`; see
+    /// [`crate::SingleCoreSim::adopt_buffers`].
+    pub fn adopt_buffers(&mut self, pool: &mut Vec<EventBuffer>) {
+        for t in &mut self.threads {
+            if let Some(mut buf) = pool.pop() {
+                buf.recycle();
+                t.buf = buf;
+            }
+        }
+    }
+
+    /// Moves this simulator's event buffers into `pool` for reuse; see
+    /// [`crate::SingleCoreSim::release_buffers`].
+    pub fn release_buffers(&mut self, pool: &mut Vec<EventBuffer>) {
+        for t in &mut self.threads {
+            pool.push(std::mem::take(&mut t.buf));
+        }
     }
 
     /// The shared front-end (observability).
@@ -254,6 +316,15 @@ mod tests {
         let b = sim(Mechanism::CompleteFlush, 5).run(10_000, 100_000);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.per_thread, b.per_thread);
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_reference() {
+        for mech in [Mechanism::noisy_xor_bp(), Mechanism::CompleteFlush] {
+            let a = sim(mech, 17).run(10_000, 120_000);
+            let b = sim(mech, 17).run_scalar(10_000, 120_000);
+            assert_eq!(a, b, "SMT results diverged under {mech:?}");
+        }
     }
 
     #[test]

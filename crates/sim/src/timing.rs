@@ -13,14 +13,115 @@
 //! * returns are predicted by the RAS.
 
 use sbp_core::SecureFrontend;
-use sbp_types::{BranchInfo, BranchKind, BranchRecord, PredictionStats, ThreadId};
+use sbp_types::{BranchInfo, BranchKind, BranchRecord, Pc, PredictionStats, ThreadId};
 
 use crate::config::CoreConfig;
 
+/// The front-end operations the timing model consumes.
+///
+/// Both entry points — the batched/cached [`execute_branch`] and the
+/// reference [`execute_branch_scalar`] — instantiate the *same* generic
+/// timing body over this trait, so the cycle arithmetic cannot drift
+/// between the two paths.
+trait FrontendOps {
+    fn predict_direction(&mut self, info: BranchInfo) -> bool;
+    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool);
+    fn predict_target(&mut self, info: BranchInfo) -> Option<Pc>;
+    fn update_target(&mut self, info: BranchInfo, target: Pc);
+    fn ras_push(&mut self, thread: ThreadId, addr: Pc);
+    fn ras_pop(&mut self, thread: ThreadId) -> Option<Pc>;
+}
+
+/// Fast path: cached per-thread key contexts + enum-dispatched predictor.
+impl FrontendOps for SecureFrontend {
+    #[inline]
+    fn predict_direction(&mut self, info: BranchInfo) -> bool {
+        SecureFrontend::predict_direction(self, info)
+    }
+    #[inline]
+    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
+        SecureFrontend::update_direction(self, info, taken, predicted)
+    }
+    #[inline]
+    fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
+        SecureFrontend::predict_target(self, info)
+    }
+    #[inline]
+    fn update_target(&mut self, info: BranchInfo, target: Pc) {
+        SecureFrontend::update_target(self, info, target)
+    }
+    #[inline]
+    fn ras_push(&mut self, thread: ThreadId, addr: Pc) {
+        SecureFrontend::ras_push(self, thread, addr)
+    }
+    #[inline]
+    fn ras_pop(&mut self, thread: ThreadId) -> Option<Pc> {
+        SecureFrontend::ras_pop(self, thread)
+    }
+}
+
+/// Reference path: re-derives key contexts per access and dispatches the
+/// direction predictor through `&mut dyn`, exactly like the pre-batching
+/// scalar loop did.
+struct ScalarFrontend<'a>(&'a mut SecureFrontend);
+
+impl FrontendOps for ScalarFrontend<'_> {
+    fn predict_direction(&mut self, info: BranchInfo) -> bool {
+        self.0.predict_direction_uncached(info)
+    }
+    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
+        self.0.update_direction_uncached(info, taken, predicted)
+    }
+    fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
+        self.0.predict_target_uncached(info)
+    }
+    fn update_target(&mut self, info: BranchInfo, target: Pc) {
+        self.0.update_target_uncached(info, target)
+    }
+    fn ras_push(&mut self, thread: ThreadId, addr: Pc) {
+        self.0.ras_push(thread, addr)
+    }
+    fn ras_pop(&mut self, thread: ThreadId) -> Option<Pc> {
+        self.0.ras_pop(thread)
+    }
+}
+
 /// Executes one branch on the front-end and returns the cycles consumed
 /// (base slot time plus penalties), updating `stats`.
+///
+/// Cycle unit: one core clock; the base cost is `(gap + 1) / base_ipc`
+/// cycles for the branch plus its gap of plain instructions.
+#[inline]
 pub fn execute_branch(
     fe: &mut SecureFrontend,
+    cfg: &CoreConfig,
+    thread: ThreadId,
+    rec: &BranchRecord,
+    stats: &mut PredictionStats,
+) -> f64 {
+    execute_branch_impl(fe, cfg, thread, rec, stats)
+}
+
+/// [`execute_branch`] through the uncached reference front-end path
+/// (per-access key-context derivation + `dyn` predictor dispatch).
+///
+/// This is the pre-batching scalar loop, kept first-class so equivalence
+/// tests and the branches-per-second benchmark can compare against it.
+/// Timing results are bit-identical to [`execute_branch`]; only the
+/// bookkeeping overhead differs.
+pub fn execute_branch_scalar(
+    fe: &mut SecureFrontend,
+    cfg: &CoreConfig,
+    thread: ThreadId,
+    rec: &BranchRecord,
+    stats: &mut PredictionStats,
+) -> f64 {
+    execute_branch_impl(&mut ScalarFrontend(fe), cfg, thread, rec, stats)
+}
+
+#[inline]
+fn execute_branch_impl<F: FrontendOps>(
+    fe: &mut F,
     cfg: &CoreConfig,
     thread: ThreadId,
     rec: &BranchRecord,
@@ -237,6 +338,35 @@ mod tests {
         assert_eq!(stats.indirect_mispredicts, 2);
         assert_eq!(stats.btb_wrong_target, 1);
         assert!(c3 > cfg.mispredict_penalty as f64);
+    }
+
+    #[test]
+    fn scalar_and_cached_paths_are_bit_identical() {
+        use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+        let cfg = CoreConfig::fpga();
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::noisy_xor_bp(),
+            Mechanism::CompleteFlush,
+        ] {
+            let mut fast = frontend(mech);
+            let mut slow = frontend(mech);
+            let mut fast_stats = PredictionStats::new();
+            let mut slow_stats = PredictionStats::new();
+            let profile = WorkloadProfile::by_name("gcc").unwrap();
+            let mut generator = TraceGenerator::new(&profile, 0x1000_0000, 0xfeed);
+            let mut checked = 0;
+            while checked < 20_000 {
+                let TraceEvent::Branch(rec) = generator.next_event() else {
+                    continue;
+                };
+                let a = execute_branch(&mut fast, &cfg, t0(), &rec, &mut fast_stats);
+                let b = execute_branch_scalar(&mut slow, &cfg, t0(), &rec, &mut slow_stats);
+                assert_eq!(a.to_bits(), b.to_bits(), "cycle divergence at {checked}");
+                checked += 1;
+            }
+            assert_eq!(fast_stats, slow_stats, "stats divergence under {mech:?}");
+        }
     }
 
     #[test]

@@ -2,10 +2,35 @@
 
 use sbp_attack::AttackOutcome;
 use sbp_sim::{SingleCoreSim, SmtSim};
+use sbp_trace::EventBuffer;
 use sbp_types::{PredictionStats, SbpError};
 
 use crate::plan::{Job, SweepPlan};
 use crate::spec::{SweepMode, SweepSpec};
+
+/// Per-worker scratch reused across jobs.
+///
+/// Each simulation job needs one batch [`EventBuffer`] per software
+/// context; an arena keeps those allocations alive between the cells a
+/// worker executes, so long (or resumed) campaigns don't re-allocate
+/// batch storage per cell. Results are identical with or without an
+/// arena — buffers are recycled empty.
+#[derive(Debug, Default)]
+pub struct JobArena {
+    buffers: Vec<EventBuffer>,
+}
+
+impl JobArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        JobArena::default()
+    }
+
+    /// Number of pooled event buffers (observability for tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+}
 
 /// Raw outcome of one executed simulation job.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +80,18 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, || (), |(), i| f(i))
+}
+
+/// Like [`parallel_map`], but each worker thread owns a scratch state
+/// built by `init` and passed to every `f` call it executes — the hook
+/// the per-worker [`JobArena`] rides on.
+pub fn parallel_map_with<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let results: Vec<parking_lot::Mutex<Option<T>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -64,12 +101,15 @@ where
         .min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *results[i].lock() = Some(f(&mut scratch, i));
                 }
-                *results[i].lock() = Some(f(i));
             });
         }
     });
@@ -85,7 +125,9 @@ where
 ///
 /// Returns the first unknown-workload or configuration error.
 pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawResult>, SbpError> {
-    let results = parallel_map(plan.jobs.len(), |j| run_job(spec, plan, &plan.jobs[j]));
+    let results = parallel_map_with(plan.jobs.len(), JobArena::new, |arena, j| {
+        run_job_in(arena, spec, plan, &plan.jobs[j])
+    });
     results.into_iter().collect()
 }
 
@@ -99,6 +141,22 @@ pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawResult>, Sbp
 /// Returns unknown-workload or configuration errors (sim jobs; attack
 /// jobs are infallible once planned).
 pub fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawResult, SbpError> {
+    run_job_in(&mut JobArena::new(), spec, plan, job)
+}
+
+/// [`run_job`] with a caller-owned [`JobArena`]: batch event buffers are
+/// adopted from the arena before the run and released back afterwards, so
+/// a worker looping over many cells reuses the same allocations.
+///
+/// # Errors
+///
+/// Same as [`run_job`].
+pub fn run_job_in(
+    arena: &mut JobArena,
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    job: &Job,
+) -> Result<RawResult, SbpError> {
     let (group, mechanism) = match job {
         Job::Attack(a) => {
             return Ok(RawResult::Attack(a.attack.run(
@@ -123,7 +181,9 @@ pub fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawResul
                 &workloads,
                 group.seed,
             )?;
+            sim.adopt_buffers(&mut arena.buffers);
             let stats = sim.run_target(spec.budget.warmup, spec.budget.measure);
+            sim.release_buffers(&mut arena.buffers);
             Ok(RawResult::Sim(RawRun {
                 cycles: stats.cycles as f64,
                 stats,
@@ -139,7 +199,9 @@ pub fn run_job(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> Result<RawResul
                 &workloads,
                 group.seed,
             )?;
+            sim.adopt_buffers(&mut arena.buffers);
             let result = sim.run(spec.budget.warmup, spec.budget.measure);
+            sim.release_buffers(&mut arena.buffers);
             let mut stats = PredictionStats::new();
             for t in &result.per_thread {
                 stats += *t;
@@ -235,6 +297,44 @@ mod tests {
         let defended = raw[1].attack().expect("attack outcome");
         assert!(baseline.success_rate > defended.success_rate);
         assert_eq!(baseline.trials, 300);
+    }
+
+    #[test]
+    fn arena_reuse_changes_no_results() {
+        let spec = quick_spec(false);
+        let plan = crate::plan::plan(&spec);
+        let mut arena = JobArena::new();
+        let pooled: Vec<RawResult> = plan
+            .jobs
+            .iter()
+            .map(|j| run_job_in(&mut arena, &spec, &plan, j).expect("run"))
+            .collect();
+        // Buffers were released back: one per software context.
+        assert_eq!(arena.pooled_buffers(), 2, "buffers not returned to pool");
+        let fresh: Vec<RawResult> = plan
+            .jobs
+            .iter()
+            .map(|j| run_job(&spec, &plan, j).expect("run"))
+            .collect();
+        assert_eq!(pooled, fresh, "arena reuse must not change results");
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_worker_scratch() {
+        let out = parallel_map_with(
+            64,
+            || 0u32,
+            |calls, i| {
+                *calls += 1;
+                i + *calls as usize // depends on scratch, not just i
+            },
+        );
+        // Every result is i + (per-worker call count at that moment); with
+        // reuse the counts exceed 1 unless there are 64 workers.
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert!(*v > i, "scratch not threaded through");
+        }
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub mod store;
 pub mod verdict;
 
 pub use build::{attack_cell_outcome, build_report};
-pub use exec::{execute, parallel_map, run_job, RawResult, RawRun};
+pub use exec::{
+    execute, parallel_map, parallel_map_with, run_job, run_job_in, JobArena, RawResult, RawRun,
+};
 pub use plan::{plan, AttackJob, Job, JobGroup, SweepPlan};
 pub use run::{gc_store, merge_stores, RunOptions, Shard, SweepOutcome};
 pub use sbp_attack::AttackKind;

@@ -122,6 +122,104 @@ impl TraceGenerator {
         // gap draws. A fixed estimate keeps the syscall rate calibrated.
         6.0
     }
+
+    /// Refills `buf` with the next `buf.capacity()` events of this stream.
+    ///
+    /// Events are produced by the exact same [`TraceGenerator::next_event`]
+    /// draw sequence — batching changes *when* events are generated, never
+    /// *which* events. Any events still unconsumed in `buf` are discarded,
+    /// so callers refill only when the buffer is empty.
+    pub fn fill(&mut self, buf: &mut EventBuffer) {
+        debug_assert!(buf.is_empty(), "refilling a non-empty buffer loses events");
+        buf.events.clear();
+        buf.pos = 0;
+        buf.events.reserve(buf.capacity);
+        for _ in 0..buf.capacity {
+            buf.events.push(self.next_event());
+        }
+    }
+}
+
+/// A fixed-capacity batch of trace events the simulator drains without
+/// calling back into the generator per event.
+///
+/// The batched hot loop fills one `EventBuffer` per software context
+/// ([`TraceGenerator::fill`]) and then consumes events with the non-allocating
+/// [`EventBuffer::pop`] / [`EventBuffer::peek`]. Unconsumed events persist
+/// across run phases, so batching is invisible to the event order.
+#[derive(Debug, Clone)]
+pub struct EventBuffer {
+    events: Vec<TraceEvent>,
+    pos: usize,
+    capacity: usize,
+}
+
+impl EventBuffer {
+    /// Default batch size: large enough to amortize per-batch overhead,
+    /// small enough that a buffer stays cache-resident (256 × 32 B = 8 KB).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates an empty buffer that refills `capacity` events at a time.
+    ///
+    /// The backing storage is allocated lazily on the first
+    /// [`TraceGenerator::fill`], so constructing simulators is
+    /// allocation-free here and a recycled buffer (see [`Self::recycle`])
+    /// can be swapped in before any allocation happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        EventBuffer {
+            events: Vec::new(),
+            pos: 0,
+            capacity,
+        }
+    }
+
+    /// Empties the buffer while keeping its backing allocation, so a
+    /// buffer taken from a finished simulation can be handed to the next
+    /// one (arena reuse) without carrying stale events across runs.
+    pub fn recycle(&mut self) {
+        self.events.clear();
+        self.pos = 0;
+    }
+
+    /// The refill batch size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently buffered and unconsumed.
+    pub fn len(&self) -> usize {
+        self.events.len() - self.pos
+    }
+
+    /// Whether all buffered events have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.events.len()
+    }
+
+    /// Returns the next event without consuming it.
+    #[inline]
+    pub fn peek(&self) -> Option<TraceEvent> {
+        self.events.get(self.pos).copied()
+    }
+
+    /// Consumes and returns the next event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<TraceEvent> {
+        let ev = self.events.get(self.pos).copied();
+        self.pos += (ev.is_some()) as usize;
+        ev
+    }
+}
+
+impl Default for EventBuffer {
+    fn default() -> Self {
+        EventBuffer::new(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl Iterator for TraceGenerator {

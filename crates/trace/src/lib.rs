@@ -29,7 +29,7 @@ pub mod profile;
 pub mod program;
 
 pub use behavior::BranchBehavior;
-pub use generator::{TraceEvent, TraceGenerator};
+pub use generator::{EventBuffer, TraceEvent, TraceGenerator};
 pub use profile::{
     cases_single, cases_smt2, cases_smt4, BehaviorMix, BenchmarkCase, WorkloadProfile,
 };

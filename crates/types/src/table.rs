@@ -5,6 +5,13 @@
 //! entries, local history tables, loop predictor entries, ...) are built on
 //! it, so content encoding, index scrambling, owner tagging (for Precise
 //! Flush) and storage-bit accounting are implemented exactly once.
+//!
+//! Storage is bit-packed: entries whose width is a power of two share `u64`
+//! words (e.g. a 8192-entry 2-bit PHT occupies 2 KB of host memory, exactly
+//! its architectural size, instead of 64 KB one-entry-per-word). This keeps
+//! hot tables L1-resident and turns Complete Flush's whole-table clear into
+//! a short `memset`. Non-power-of-two widths fall back to one entry per
+//! word; the logical API is identical either way.
 
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +102,14 @@ pub struct PackedTable {
     width: u32,
     index_bits: u32,
     reset_value: u64,
-    entries: Vec<u64>,
+    /// Number of logical entries (`1 << index_bits`).
+    len: usize,
+    /// `log2(entries per storage word)`; 0 when entries are one-per-word.
+    lane_shift: u32,
+    /// `reset_value` replicated across every lane of a storage word, so a
+    /// whole-table flush is a single `fill` with this word.
+    reset_word: u64,
+    storage: Vec<u64>,
     owners: Option<OwnerTags>,
 }
 
@@ -114,30 +128,58 @@ impl PackedTable {
             reset_value <= mask_u64(width),
             "reset value wider than entry"
         );
+        // Pack power-of-two widths lane-wise into u64 words; odd widths
+        // (11-bit local histories, 44-bit BTB entries, ...) stay one
+        // entry per word so lane extraction never straddles words.
+        let lane_shift = if width.is_power_of_two() {
+            (64 / width).trailing_zeros()
+        } else {
+            0
+        };
+        let mut reset_word = reset_value;
+        if lane_shift > 0 {
+            // Replicate the reset value across all lanes of a word.
+            let mut step = width;
+            while step < 64 {
+                reset_word |= reset_word << step;
+                step *= 2;
+            }
+        }
+        let words = (len >> lane_shift).max(1);
         PackedTable {
             width,
             index_bits: len.trailing_zeros(),
             reset_value,
-            entries: vec![reset_value; len],
+            len,
+            lane_shift,
+            reset_word,
+            storage: vec![reset_word; words],
             owners: None,
         }
+    }
+
+    /// Word index and bit shift of logical entry `index`.
+    #[inline(always)]
+    fn slot(&self, index: usize) -> (usize, u32) {
+        let lane = index & ((1usize << self.lane_shift) - 1);
+        (index >> self.lane_shift, lane as u32 * self.width)
     }
 
     /// Enables per-entry owner tags (required by Precise Flush).
     #[must_use]
     pub fn with_owner_tags(mut self) -> Self {
-        self.owners = Some(OwnerTags::new(self.entries.len()));
+        self.owners = Some(OwnerTags::new(self.len));
         self
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Entry width in bits.
@@ -155,23 +197,30 @@ impl PackedTable {
         self.reset_value
     }
 
-    /// Reads the raw stored word (no decode, no index scramble).
+    /// Reads the raw stored entry (no decode, no index scramble).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
+    #[inline]
     pub fn read_raw(&self, index: usize) -> u64 {
-        self.entries[index]
+        assert!(index < self.len, "index out of bounds");
+        let (word, shift) = self.slot(index);
+        (self.storage[word] >> shift) & mask_u64(self.width)
     }
 
-    /// Writes the raw stored word (no encode, no index scramble).
+    /// Writes the raw stored entry (no encode, no index scramble).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds or `value` is wider than the entry.
+    #[inline]
     pub fn write_raw(&mut self, index: usize, value: u64) {
+        assert!(index < self.len, "index out of bounds");
         assert!(value <= mask_u64(self.width), "value wider than entry");
-        self.entries[index] = value;
+        let (word, shift) = self.slot(index);
+        let mask = mask_u64(self.width);
+        self.storage[word] = (self.storage[word] & !(mask << shift)) | (value << shift);
     }
 
     /// Keyed read: scrambles `index` with the context's index key, reads the
@@ -193,7 +242,9 @@ impl PackedTable {
                 }
             }
         }
-        ctx.decode_word(self.entries[phys], phys, self.width)
+        let (word, shift) = self.slot(phys);
+        let raw = (self.storage[word] >> shift) & mask_u64(self.width);
+        ctx.decode_word(raw, phys, self.width)
     }
 
     /// Keyed write: scrambles `index`, encodes `value` and stores it,
@@ -201,7 +252,10 @@ impl PackedTable {
     #[inline]
     pub fn set(&mut self, index: usize, value: u64, ctx: &KeyCtx) {
         let phys = ctx.scramble_index(index, self.index_bits);
-        self.entries[phys] = ctx.encode_word(value, phys, self.width);
+        let encoded = ctx.encode_word(value, phys, self.width);
+        let (word, shift) = self.slot(phys);
+        let mask = mask_u64(self.width);
+        self.storage[word] = (self.storage[word] & !(mask << shift)) | (encoded << shift);
         if ctx.owner_tracking {
             if let Some(owners) = &mut self.owners {
                 owners.set(phys, ctx.thread);
@@ -222,8 +276,12 @@ impl PackedTable {
     }
 
     /// Complete Flush: resets every entry (and all owner tags).
+    ///
+    /// This is the batched flush path: one `fill` of the packed storage
+    /// with the precomputed reset word, so a CF context switch clears a
+    /// 2 KB PHT by writing 2 KB, not 64 KB.
     pub fn flush_all(&mut self) {
-        self.entries.fill(self.reset_value);
+        self.storage.fill(self.reset_word);
         if let Some(owners) = &mut self.owners {
             owners.clear();
         }
@@ -232,26 +290,37 @@ impl PackedTable {
     /// Precise Flush: resets only entries owned by `thread`.
     ///
     /// Without owner tags this is a no-op, matching hardware: a precise
-    /// flush is impossible without the thread-ID storage.
+    /// flush is impossible without the thread-ID storage. Runs in one pass
+    /// over the tag array without allocating.
     pub fn flush_thread(&mut self, thread: ThreadId) {
-        let reset = self.reset_value;
+        let (width, lane_shift, reset) = (self.width, self.lane_shift, self.reset_value);
+        let mask = mask_u64(width);
+        let lane_mask = (1usize << lane_shift) - 1;
+        let t = thread.index() as u8;
+        let storage = &mut self.storage;
         if let Some(owners) = &mut self.owners {
-            let owned: Vec<usize> = owners.owned_by(thread).collect();
-            for i in owned {
-                self.entries[i] = reset;
-                owners.set(i, ThreadId::new(NO_OWNER));
+            for (i, tag) in owners.tags.iter_mut().enumerate() {
+                if *tag == t {
+                    let shift = (i & lane_mask) as u32 * width;
+                    let word = &mut storage[i >> lane_shift];
+                    *word = (*word & !(mask << shift)) | (reset << shift);
+                    *tag = NO_OWNER;
+                }
             }
         }
     }
 
     /// Storage cost in bits, including owner tags when enabled.
+    ///
+    /// This is the *architectural* cost (`len × width`), independent of the
+    /// host-side packing.
     pub fn storage_bits(&self) -> u64 {
-        let data = self.entries.len() as u64 * self.width as u64;
+        let data = self.len as u64 * self.width as u64;
         let tags = if self.owners.is_some() {
             // 8-bit thread tags, mirroring our OwnerTags model. Real designs
             // could use ceil(log2(threads)) bits; the Table-5 harness uses
             // the analytical model in sbp-hwcost instead.
-            self.entries.len() as u64 * 8
+            self.len as u64 * 8
         } else {
             0
         };
@@ -266,9 +335,8 @@ impl PackedTable {
     /// Counts entries currently equal to the reset value (a warm-up/flush
     /// observability helper used by tests and experiments).
     pub fn count_reset_entries(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|&&e| e == self.reset_value)
+        (0..self.len)
+            .filter(|&i| self.read_raw(i) == self.reset_value)
             .count()
     }
 }
@@ -428,6 +496,52 @@ mod tests {
         assert_eq!(tags.owned_by(ThreadId::new(3)).count(), 0);
         assert_eq!(tags.len(), 8);
         assert!(!tags.is_empty());
+    }
+
+    #[test]
+    fn packed_lanes_do_not_interfere() {
+        // Widths that pack many entries per word and widths that do not.
+        for width in [1u32, 2, 3, 4, 8, 11, 13, 16, 32, 44, 64] {
+            let max = mask_u64(width);
+            let mut t = PackedTable::new(64, width, 0);
+            for i in 0..64 {
+                t.write_raw(i, (i as u64 * 0x9e37) & max);
+            }
+            for i in 0..64 {
+                assert_eq!(t.read_raw(i), (i as u64 * 0x9e37) & max, "width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_flush_all_resets_every_lane() {
+        let mut t = PackedTable::new(128, 2, 1);
+        for i in 0..128 {
+            t.write_raw(i, 3);
+        }
+        t.flush_all();
+        for i in 0..128 {
+            assert_eq!(t.read_raw(i), 1);
+        }
+        assert_eq!(t.count_reset_entries(), 128);
+    }
+
+    #[test]
+    fn tiny_table_smaller_than_one_word() {
+        // 16 one-bit entries fit in a quarter of a single storage word.
+        let mut t = PackedTable::new(16, 1, 0);
+        t.write_raw(15, 1);
+        assert_eq!(t.read_raw(15), 1);
+        assert_eq!(t.read_raw(14), 0);
+        t.flush_all();
+        assert_eq!(t.count_reset_entries(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn packed_read_out_of_bounds_panics() {
+        let t = PackedTable::new(16, 2, 0);
+        let _ = t.read_raw(16);
     }
 
     #[test]

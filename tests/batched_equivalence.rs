@@ -1,0 +1,157 @@
+//! Pins the batched hot-loop rewrite at the *report* level: the sweep
+//! engine (which runs every sim job through the batched
+//! `SingleCoreSim::run_target` / `SmtSim::run` path) must produce a
+//! `SweepReport` byte-identical to one built by re-executing the same
+//! plan through the uncached scalar reference path
+//! (`run_target_scalar` / `run_scalar`) — and both must match the
+//! checked-in golden JSONL, so any drift in the rewrite or the emitters
+//! is caught in tier-1.
+//!
+//! Specs are smoke-sized variants of the paper grids — fig01 (single-core
+//! sim jobs, where the batched drain loop actually runs) and tab01's BTB
+//! half (attack jobs, pinning that the rewrite left the attack payload
+//! untouched) — with work budgets pinned via `with_budget`, NOT
+//! `SBP_SCALE` (the scale variable is process-cached, so tests must not
+//! depend on it). Regenerate the goldens with `SBP_UPDATE_GOLDEN=1` after
+//! an intentional emitter change.
+
+use std::path::PathBuf;
+
+use secure_bp::campaign::Catalog;
+use secure_bp::sim::{SingleCoreSim, SmtSim, WorkBudget};
+use secure_bp::sweep::{
+    build_report, execute, plan, Job, RawResult, RawRun, SweepMode, SweepPlan, SweepSpec,
+};
+use secure_bp::types::{PredictionStats, SweepReport};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SBP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with SBP_UPDATE_GOLDEN=1 to (re)generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden file; if the change is intentional, \
+         regenerate with SBP_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Executes one planned job through the scalar reference front-end path.
+/// Attack jobs have no batched/scalar split and run as in the engine.
+fn run_job_scalar(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> RawResult {
+    let (group, mechanism) = match job {
+        Job::Attack(a) => {
+            return RawResult::Attack(a.attack.run(
+                a.mechanism,
+                a.predictor,
+                a.smt,
+                a.trials,
+                a.seed,
+            ))
+        }
+        Job::Sim { group, mechanism } => (&plan.groups[*group], *mechanism),
+    };
+    let case = &spec.cases[group.case_index];
+    let workloads: Vec<&str> = case.workloads.iter().map(String::as_str).collect();
+    match spec.mode {
+        SweepMode::SingleCore => {
+            let mut sim = SingleCoreSim::new(
+                spec.core,
+                group.predictor,
+                mechanism,
+                group.interval,
+                &workloads,
+                group.seed,
+            )
+            .expect("plan jobs are valid");
+            let stats = sim.run_target_scalar(spec.budget.warmup, spec.budget.measure);
+            RawResult::Sim(RawRun {
+                cycles: stats.cycles as f64,
+                stats,
+                per_thread: Vec::new(),
+            })
+        }
+        SweepMode::Smt => {
+            let mut sim = SmtSim::new(
+                spec.core,
+                group.predictor,
+                mechanism,
+                group.interval,
+                &workloads,
+                group.seed,
+            )
+            .expect("plan jobs are valid");
+            let result = sim.run_scalar(spec.budget.warmup, spec.budget.measure);
+            let mut stats = PredictionStats::new();
+            for t in &result.per_thread {
+                stats += *t;
+            }
+            stats.cycles = result.cycles as u64;
+            RawResult::Sim(RawRun {
+                cycles: result.cycles,
+                stats,
+                per_thread: result.per_thread,
+            })
+        }
+    }
+}
+
+/// Runs `spec` through the engine (batched) and through the scalar
+/// reference path, asserts the reports are byte-identical, and returns
+/// the report.
+fn batched_equals_scalar(spec: &SweepSpec) -> SweepReport {
+    let plan = plan(spec);
+    let batched_raw = execute(spec, &plan).expect("engine run");
+    let scalar_raw: Vec<RawResult> = plan
+        .jobs
+        .iter()
+        .map(|j| run_job_scalar(spec, &plan, j))
+        .collect();
+    assert_eq!(
+        batched_raw, scalar_raw,
+        "batched engine results diverged from the scalar reference path"
+    );
+    let batched = build_report(spec, &plan, &batched_raw);
+    let scalar = build_report(spec, &plan, &scalar_raw);
+    assert_eq!(
+        batched.to_jsonl(),
+        scalar.to_jsonl(),
+        "reports are not byte-identical"
+    );
+    batched
+}
+
+#[test]
+fn fig01_smoke_report_is_scalar_identical_and_matches_golden() {
+    // Figure 1's grid, smoke-sized: one seed replica and a pinned quick
+    // budget instead of the catalog's SBP_SCALE-derived sizes.
+    let spec = Catalog::get("fig01")
+        .expect("registered")
+        .spec()
+        .with_seeds(1)
+        .with_budget(WorkBudget::quick());
+    let report = batched_equals_scalar(&spec);
+    assert_golden("fig01_smoke.report.jsonl", &report.to_jsonl());
+}
+
+#[test]
+fn tab01_btb_report_is_scalar_identical_and_matches_golden() {
+    // Table 1's BTB half verbatim: attack grids carry explicit trial
+    // counts, so the cataloged spec is already scale-independent.
+    let spec = Catalog::get("tab01_btb").expect("registered").spec();
+    let report = batched_equals_scalar(&spec);
+    assert_golden("tab01_btb.report.jsonl", &report.to_jsonl());
+}
