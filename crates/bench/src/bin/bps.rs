@@ -27,6 +27,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => cfg = BpsConfig::quick(),
             "--no-smoke" => cfg.smoke = false,
+            "--repeats" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => cfg.repeats = n,
+                _ => return usage("--repeats needs a count >= 1"),
+            },
             "--out" => match args.next() {
                 Some(p) => {
                     out_path = p;
@@ -56,8 +60,14 @@ fn main() -> ExitCode {
     let report = measure(&cfg);
     for s in &report.series {
         eprintln!(
-            "  {:<10} {:<13} scalar {:>12.1} bps, batched {:>12.1} bps, speedup {:.3}",
-            s.predictor, s.mechanism, s.scalar_bps, s.batched_bps, s.speedup
+            "  {:<10} {:<13} scalar {:>12.1} bps (±{:.1}%), batched {:>12.1} bps (±{:.1}%), speedup {:.3}",
+            s.predictor,
+            s.mechanism,
+            s.scalar_bps,
+            100.0 * s.scalar_spread,
+            s.batched_bps,
+            100.0 * s.batched_spread,
+            s.speedup
         );
     }
     for t in &report.smoke {
@@ -117,7 +127,7 @@ fn usage(msg: &str) -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: bps [--quick] [--no-smoke] [--out PATH] [--check PATH]\n\
+        "usage: bps [--quick] [--no-smoke] [--repeats N] [--out PATH] [--check PATH]\n\
          measures branches/sec through the scalar and batched simulator paths;\n\
          by default writes BENCH_6.json, with --check gates against a committed report"
     );

@@ -63,6 +63,17 @@ fn tracked_report_series_are_positive_and_cover_the_grid() {
             "bad batched_bps in {s:?}"
         );
         assert!(s.speedup > 0.0, "bad speedup in {s:?}");
+        // Spreads are relative best-to-worst deltas: [0, 1) by
+        // construction. Single repeats legitimately stall 2x on a shared
+        // VM (the gated metric is the best-of ratio, which best-of-21
+        // stabilizes), so the bound only catches corrupted values, not
+        // honest noise.
+        for (label, spread) in [("scalar", s.scalar_spread), ("batched", s.batched_spread)] {
+            assert!(
+                (0.0..0.9).contains(&spread),
+                "{label} spread {spread} out of range in {s:?}"
+            );
+        }
         // The recorded speedup must be the recorded ratio (to the file's
         // own rounding), not an independently edited number.
         let ratio = s.batched_bps / s.scalar_bps;

@@ -1,0 +1,90 @@
+//! Schema tests for the tracked `BENCH_7.json` at the repository root:
+//! the sampled-campaign headline numbers (wall seconds per catalog entry
+//! for an exact `SBP_SCALE=1` full-catalog `--check` run and the sampled
+//! run of the same entries). The `paper-scale-check` CI job reads the
+//! sampled total as its wall-time budget, and `docs/PERFORMANCE.md`
+//! quotes the speedup, so the committed file must stay parseable and
+//! internally consistent. Regenerated manually when the sampling
+//! subsystem changes (see the file's own `note`).
+
+use std::path::PathBuf;
+
+use sbp_campaign::Catalog;
+use sbp_sweep::json;
+
+/// The total speedup the sampled campaign must deliver to stay worth
+/// its extra machinery (and the bound quoted in docs/PERFORMANCE.md).
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn tracked_report() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read tracked {}: {e}", path.display()))
+}
+
+/// Parses one `{"total_seconds": ..., "entries": {...}}` stanza and
+/// checks every catalog entry is present with a positive time summing
+/// (to rounding) to the recorded total. Returns the total.
+fn checked_stanza(obj: &[(String, json::Value)], key: &str) -> f64 {
+    let stanza = json::get(obj, key)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .as_object()
+        .unwrap_or_else(|| panic!("\"{key}\" is not an object"));
+    let total = json::get_f64(stanza, "total_seconds").unwrap_or_else(|e| panic!("{e}"));
+    assert!(total > 0.0 && total.is_finite(), "{key}: bad total {total}");
+    let entries = json::get(stanza, "entries")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .as_object()
+        .unwrap_or_else(|| panic!("{key}.entries is not an object"));
+    let mut sum = 0.0;
+    for entry in Catalog::entries() {
+        let secs = json::get_f64(entries, entry.name)
+            .unwrap_or_else(|e| panic!("{key}: catalog entry missing: {e}"));
+        assert!(
+            secs > 0.0 && secs.is_finite(),
+            "{key}.{}: bad wall seconds {secs}",
+            entry.name
+        );
+        sum += secs;
+    }
+    assert_eq!(
+        entries.len(),
+        Catalog::entries().len(),
+        "{key}.entries holds names outside the catalog"
+    );
+    assert!(
+        (sum - total).abs() < 0.1 * entries.len() as f64,
+        "{key}: entries sum to {sum}, total_seconds says {total}"
+    );
+    total
+}
+
+#[test]
+fn tracked_sampled_campaign_report_is_consistent_and_fast_enough() {
+    let doc = json::parse(&tracked_report()).expect("BENCH_7.json is valid JSON");
+    let obj = doc.as_object().expect("top level is an object");
+    assert_eq!(
+        json::get_str(obj, "schema").expect("schema"),
+        "sbp-bench/sampled-campaign/v1"
+    );
+    assert_eq!(
+        json::get_f64(obj, "scale").expect("scale"),
+        1.0,
+        "the headline numbers are paper scale"
+    );
+    json::get_str(obj, "note").expect("provenance note");
+
+    let exact_total = checked_stanza(obj, "exact");
+    let sampled_total = checked_stanza(obj, "sampled");
+
+    let speedup = json::get_f64(obj, "speedup").expect("speedup");
+    let ratio = exact_total / sampled_total;
+    assert!(
+        (speedup - ratio).abs() < 0.1,
+        "recorded speedup {speedup} inconsistent with totals ratio {ratio}"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "sampled campaign speedup {speedup} fell below the {MIN_SPEEDUP}x headline"
+    );
+}

@@ -40,6 +40,7 @@ fn run(args: &[String]) -> Result<(), SbpError> {
         return run_worker(&parse_worker_args(&args[1..])?);
     }
     let (mut list, mut in_process, mut options) = (false, false, CampaignOptions::default());
+    let mut sampled = false;
     let mut manifest_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,6 +52,7 @@ fn run(args: &[String]) -> Result<(), SbpError> {
             "--list" => list = true,
             "--in-process" => in_process = true,
             "--check" => options.check = true,
+            "--sampled" => sampled = true,
             "--stall-timeout" => {
                 let raw = it
                     .next()
@@ -81,7 +83,8 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     if list {
         // Silently discarding a manifest or mode flag would be the quiet
         // failure the strict parsers elsewhere exist to prevent.
-        if in_process || options != CampaignOptions::default() || manifest_path.is_some() {
+        if in_process || sampled || options != CampaignOptions::default() || manifest_path.is_some()
+        {
             return Err(SbpError::campaign(
                 "--list takes no other options or manifest",
             ));
@@ -116,7 +119,10 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     } else {
         "[--check] MANIFEST.json"
     };
-    let manifest = load_manifest(manifest_path.as_ref(), usage)?;
+    let mut manifest = load_manifest(manifest_path.as_ref(), usage)?;
+    if sampled {
+        manifest.sampling = true;
+    }
     if in_process {
         let mut verdicts = Vec::new();
         for (entry, spec) in manifest.specs()? {
@@ -156,7 +162,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         .first()
         .ok_or_else(|| SbpError::campaign("--worker needs a catalog entry name"))?
         .clone();
-    let (mut shard, mut store, mut seeds) = (None, None, None);
+    let (mut shard, mut store, mut seeds, mut sampled) = (None, None, None, false);
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -173,6 +179,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
                     .map_err(|e| SbpError::campaign(format!("--seeds {raw:?}: {e}")))?;
                 seeds = Some(parsed);
             }
+            "--sampled" => sampled = true,
             other => {
                 return Err(SbpError::campaign(format!(
                     "unknown worker argument {other:?}"
@@ -185,6 +192,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         shard: shard.ok_or_else(|| SbpError::campaign("--worker needs --shard K/N"))?,
         store: store.ok_or_else(|| SbpError::campaign("--worker needs --store PATH"))?,
         seeds,
+        sampled,
     })
 }
 
@@ -198,8 +206,12 @@ fn print_usage() {
     println!("options:");
     println!("  --check               end every entry with its paper-expectation verdict");
     println!("                        table; exit nonzero when out of tolerance");
+    println!("  --sampled             run simulation entries with their mode's default");
+    println!("                        sampling plan (warm checkpoints + window estimation)");
     println!("  --stall-timeout SECS  kill + retry a worker whose shard store stops");
     println!("                        growing for SECS (must exceed the slowest job)");
     println!();
-    println!("manifest keys: entries (required), workers, scale, seeds, out_dir, retries");
+    println!(
+        "manifest keys: entries (required), workers, scale, seeds, out_dir, retries, sampling"
+    );
 }

@@ -251,6 +251,9 @@ fn spawn_worker(
     if let Some(seeds) = manifest.seeds {
         cmd.arg("--seeds").arg(seeds.to_string());
     }
+    if manifest.sampling {
+        cmd.arg("--sampled");
+    }
     if let Some(scale) = manifest.scale {
         cmd.env("SBP_SCALE", format!("{scale}"));
     }

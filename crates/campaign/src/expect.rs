@@ -104,9 +104,13 @@ const NOISE_FLOOR: f64 = -0.02;
 
 pub(crate) mod entries {
     //! One expectation list per catalog entry. Reference means were
-    //! calibrated from `SBP_SCALE=1` runs of this reproduction (the
-    //! sim is deterministic per seed, so these are stable); verdicts
-    //! match the paper's Table 1.
+    //! calibrated from **exact** `SBP_SCALE=1` runs of this
+    //! reproduction (the sim is deterministic per seed, so these are
+    //! stable, and `widen_factor` is 1 at paper scale — the tolerances
+    //! need no reduced-scale headroom); verdicts match the paper's
+    //! Table 1. The sampled path's residual estimator bias (see
+    //! `docs/PERFORMANCE.md` § Sampled simulation) rides inside the
+    //! same tolerances at scale 1.
 
     use super::{Expectation as E, NOISE_FLOOR};
 
@@ -164,7 +168,7 @@ pub(crate) mod entries {
     /// cost, dominated by the encoding rather than the rekey interval.
     pub(crate) fn fig08() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-PHT", "Gshare", "8M", 0.025, 0.030),
+            E::mean_within("Noisy-XOR-PHT", "Gshare", "8M", 0.0205, 0.030),
             E::at_most("Enhanced-XOR-PHT", "Gshare", "4M", 0.08),
             E::at_most("Noisy-XOR-PHT", "Gshare", "4M", 0.08),
             E::at_least("Enhanced-XOR-PHT", "Gshare", "12M", NOISE_FLOOR),
@@ -176,7 +180,7 @@ pub(crate) mod entries {
     /// this reproduction lands under 5%).
     pub(crate) fn fig09() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.018, 0.030),
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0195, 0.030),
             E::at_most("Noisy-XOR-BP", "Gshare", "8M", 0.06),
             E::at_most("XOR-BP", "Gshare", "8M", 0.06),
             E::at_least("XOR-BP", "Gshare", "12M", NOISE_FLOOR),
@@ -369,7 +373,7 @@ pub(crate) mod entries {
     /// full-scale mean, and the conclusion's "< 5% slowdown on average".
     pub(crate) fn tab04() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.018, 0.025),
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0184, 0.025),
             E::at_most("Noisy-XOR-BP", "Gshare", "12M", 0.05),
         ]
     }
@@ -395,7 +399,7 @@ pub(crate) mod entries {
     /// and drops to coin-flip under Enhanced-XOR-PHT.
     pub(crate) fn sec55_pht() -> Vec<E> {
         vec![
-            E::mean_within("Baseline", "Gshare", "single-core", 0.974, 0.04),
+            E::mean_within("Baseline", "Gshare", "single-core", 0.9742, 0.04),
             E::verdict(
                 "BranchScope",
                 "Baseline",

@@ -12,7 +12,8 @@
 //!   "scale": 0.5,
 //!   "seeds": 5,
 //!   "out_dir": "stores",
-//!   "retries": 1
+//!   "retries": 1,
+//!   "sampling": false
 //! }
 //! ```
 //!
@@ -45,9 +46,18 @@ pub struct Manifest {
     /// How many times a crashed worker's shard is retried before the
     /// campaign gives up (the shard store stays resumable either way).
     pub retries: u32,
+    /// Run every simulation entry with its mode's default
+    /// [`sbp_sim::SamplingPlan`] (warm-checkpoint + stratified-window
+    /// estimation) instead of exact full-budget measurement. Attack
+    /// entries are unaffected. Sampled and exact results live under
+    /// different store fingerprints, so flipping this never corrupts an
+    /// existing store.
+    pub sampling: bool,
 }
 
-const KNOWN_KEYS: [&str; 6] = ["entries", "workers", "seeds", "scale", "out_dir", "retries"];
+const KNOWN_KEYS: [&str; 7] = [
+    "entries", "workers", "seeds", "scale", "out_dir", "retries", "sampling",
+];
 
 impl Manifest {
     /// Parses a manifest from JSON text.
@@ -121,6 +131,9 @@ impl Manifest {
                 SbpError::campaign(format!("manifest: \"retries\" {r} is out of range"))
             })?,
         };
+        let sampling = json::opt_bool(obj, "sampling")
+            .map_err(bad)?
+            .unwrap_or(false);
         Ok(Manifest {
             entries,
             workers,
@@ -128,6 +141,7 @@ impl Manifest {
             scale,
             out_dir,
             retries,
+            sampling,
         })
     }
 
@@ -163,6 +177,9 @@ impl Manifest {
                 if let Some(seeds) = self.seeds {
                     spec = spec.with_seeds(seeds);
                 }
+                if self.sampling {
+                    spec = spec.with_default_sampling();
+                }
                 Ok((entry, spec))
             })
             .collect()
@@ -177,7 +194,7 @@ mod tests {
     fn full_manifest_parses() {
         let m = Manifest::parse(
             r#"{"entries":["fig01","tab01_btb"],"workers":4,"scale":0.5,
-                "seeds":5,"out_dir":"/tmp/c","retries":2}"#,
+                "seeds":5,"out_dir":"/tmp/c","retries":2,"sampling":true}"#,
         )
         .expect("parse");
         assert_eq!(m.entries, vec!["fig01", "tab01_btb"]);
@@ -186,6 +203,7 @@ mod tests {
         assert_eq!(m.scale, Some(0.5));
         assert_eq!(m.out_dir, PathBuf::from("/tmp/c"));
         assert_eq!(m.retries, 2);
+        assert!(m.sampling);
     }
 
     #[test]
@@ -196,6 +214,7 @@ mod tests {
         assert_eq!(m.scale, None);
         assert_eq!(m.out_dir, PathBuf::from("stores"));
         assert_eq!(m.retries, 1);
+        assert!(!m.sampling);
     }
 
     #[test]
@@ -210,6 +229,10 @@ mod tests {
         assert!(Manifest::parse(r#"{"entries":["fig01"],"seeds":0}"#).is_err());
         assert!(Manifest::parse(r#"{"entries":["fig01"],"scale":0}"#).is_err());
         assert!(Manifest::parse(r#"{"entries":["fig01"],"scale":-1}"#).is_err());
+        assert!(
+            Manifest::parse(r#"{"entries":["fig01"],"sampling":"yes"}"#).is_err(),
+            "non-boolean sampling is rejected"
+        );
         let unknown = Manifest::parse(r#"{"entries":["fig01"],"worker":2}"#);
         assert!(
             unknown
@@ -242,5 +265,25 @@ mod tests {
         assert_eq!(specs[1].1.seeds, 7);
         let bad = Manifest::parse(r#"{"entries":["fig99"]}"#).expect("parses");
         assert!(bad.specs().is_err(), "unknown entry rejected at resolve");
+    }
+
+    #[test]
+    fn sampling_attaches_default_plans_to_sim_entries_only() {
+        let m = Manifest::parse(r#"{"entries":["fig01","fig10","smoke_attack"],"sampling":true}"#)
+            .expect("parse");
+        let specs = m.specs().expect("resolve");
+        assert_eq!(
+            specs[0].1.sampling,
+            Some(sbp_sim::SamplingPlan::single_default()),
+            "single-core entries get the single-core plan"
+        );
+        assert_eq!(
+            specs[1].1.sampling,
+            Some(sbp_sim::SamplingPlan::smt_default()),
+            "SMT entries get the SMT plan"
+        );
+        assert!(specs[2].1.is_attack(), "attack entries pass through");
+        let exact = Manifest::parse(r#"{"entries":["fig01"]}"#).expect("parse");
+        assert_eq!(exact.specs().expect("resolve")[0].1.sampling, None);
     }
 }

@@ -49,6 +49,9 @@ pub struct WorkerArgs {
     pub store: PathBuf,
     /// Seed-replica override from the manifest, if any.
     pub seeds: Option<u32>,
+    /// Run the entry with its mode's default sampling plan (the
+    /// manifest's `"sampling": true`, forwarded as `--sampled`).
+    pub sampled: bool,
 }
 
 /// Runs one worker: resolves the catalog entry, executes the shard
@@ -64,6 +67,9 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
     let mut spec = entry.spec();
     if let Some(seeds) = args.seeds {
         spec = spec.with_seeds(seeds);
+    }
+    if args.sampled {
+        spec = spec.with_default_sampling();
     }
     if let Some(after) = fault_knob(DIE_AFTER_ENV)? {
         return run_fault_injected(&spec, args, after, FaultMode::Die);
@@ -181,6 +187,7 @@ mod tests {
             shard: Shard { index: 0, count: 1 },
             store: tmp("unknown"),
             seeds: None,
+            sampled: false,
         };
         assert!(matches!(
             run_worker(&args),
@@ -197,6 +204,7 @@ mod tests {
             shard: Shard { index: 0, count: 2 },
             store: store.clone(),
             seeds: None,
+            sampled: false,
         };
         run_worker(&args).expect("first pass");
         let after_first = SweepStore::open(&store).expect("open").len();

@@ -163,6 +163,26 @@ impl SecureFrontend {
         fe
     }
 
+    /// Deep-copies the front-end — predictor tables, BTB, RAS, key
+    /// manager, and the cached access contexts — or `None` when the
+    /// direction predictor is a custom trait object (see
+    /// [`DirectionEngine::try_clone`]).
+    ///
+    /// A clone behaves bit-identically to the original from the snapshot
+    /// point on; this is what makes warm-state checkpoints sound.
+    pub fn try_clone(&self) -> Option<Self> {
+        Some(SecureFrontend {
+            dir: self.dir.try_clone()?,
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+            mechanism: self.mechanism,
+            keys: self.keys.clone(),
+            stats: self.stats,
+            pht_ctxs: self.pht_ctxs.clone(),
+            btb_ctxs: self.btb_ctxs.clone(),
+        })
+    }
+
     /// The configured mechanism.
     pub fn mechanism(&self) -> Mechanism {
         self.mechanism

@@ -196,6 +196,23 @@ impl DirectionEngine {
     pub fn custom(inner: Box<dyn DirectionPredictor + Send>) -> Self {
         DirectionEngine::Custom(inner)
     }
+
+    /// Deep-copies the engine including all learned table state, or `None`
+    /// for [`DirectionEngine::Custom`] (trait objects are not cloneable).
+    ///
+    /// This is the basis of warm-state checkpoints: a clone taken after
+    /// warmup continues bit-identically to the original, so the four paper
+    /// predictors are snapshot-restorable while user predictors simply fall
+    /// back to re-warming.
+    pub fn try_clone(&self) -> Option<Self> {
+        match self {
+            DirectionEngine::Gshare(p) => Some(DirectionEngine::Gshare(p.clone())),
+            DirectionEngine::Tournament(p) => Some(DirectionEngine::Tournament(p.clone())),
+            DirectionEngine::Ltage(p) => Some(DirectionEngine::Ltage(p.clone())),
+            DirectionEngine::TageScL(p) => Some(DirectionEngine::TageScL(p.clone())),
+            DirectionEngine::Custom(_) => None,
+        }
+    }
 }
 
 impl DirectionPredictor for DirectionEngine {
@@ -319,6 +336,38 @@ mod tests {
             owner_tagged.storage_bits()
                 > DirectionEngine::build(PredictorKind::Gshare, 2).storage_bits()
         );
+    }
+
+    #[test]
+    fn try_clone_preserves_learned_state() {
+        let ctx = KeyCtx::disabled(ThreadId::new(0));
+        for kind in PredictorKind::ALL {
+            let mut original = DirectionEngine::build(kind, 2);
+            let mut rng = sbp_types::rng::Xoshiro256::new(42);
+            for n in 0..3000u64 {
+                let pc = Pc::new(0x2000 + (n % 53) * 4);
+                let info = BranchInfo::new(ThreadId::new(0), pc, BranchKind::Conditional);
+                let taken = rng.chance(0.55);
+                let pred = original.predict(info, &ctx);
+                original.update(info, taken, pred, &ctx);
+            }
+            let mut clone = original.try_clone().expect("static engines clone");
+            // Clone and original must continue identically.
+            let mut rng = sbp_types::rng::Xoshiro256::new(43);
+            for n in 0..3000u64 {
+                let pc = Pc::new(0x2000 + (n % 53) * 4);
+                let info = BranchInfo::new(ThreadId::new(0), pc, BranchKind::Conditional);
+                let taken = rng.chance(0.55);
+                let a = original.predict(info, &ctx);
+                let b = clone.predict(info, &ctx);
+                assert_eq!(a, b, "{kind} clone diverged at branch {n}");
+                original.update(info, taken, a, &ctx);
+                clone.update(info, taken, b, &ctx);
+            }
+        }
+        assert!(DirectionEngine::custom(PredictorKind::Gshare.build(1))
+            .try_clone()
+            .is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
+use crate::sampling::{SampledMeasurement, SamplingPlan};
 use crate::timing::{execute_branch, execute_branch_scalar};
 
 /// One software context scheduled on the core.
@@ -31,6 +32,14 @@ impl Context {
         match self.buf.pop() {
             Some(ev) => ev,
             None => self.gen.next_event(),
+        }
+    }
+
+    fn clone_state(&self) -> Context {
+        Context {
+            gen: self.gen.clone(),
+            stats: self.stats,
+            buf: self.buf.clone(),
         }
     }
 }
@@ -238,9 +247,23 @@ impl SingleCoreSim {
     /// per-event reference loop it is tested against. Both produce
     /// bit-identical statistics.
     pub fn run_target(&mut self, warmup: u64, measure: u64) -> PredictionStats {
-        // Warm-up phase.
+        self.warm(warmup);
+        self.run_measure(measure)
+    }
+
+    /// Runs the warm-up phase: `warmup` target branches, statistics
+    /// discarded, predictor state kept. Splitting this out of
+    /// [`Self::run_target`] lets callers snapshot the warm state
+    /// ([`Self::try_clone`]) and fan one warm-up out across the
+    /// interval axis or a sampling plan.
+    pub fn warm(&mut self, warmup: u64) {
         self.run_phase(warmup, false);
-        // Reset measured statistics; keep predictor state.
+    }
+
+    /// The measurement phase of [`Self::run_target`]: resets the target's
+    /// statistics and measures `measure` further target branches.
+    /// `warm(w); run_measure(m)` is bit-identical to `run_target(w, m)`.
+    pub fn run_measure(&mut self, measure: u64) -> PredictionStats {
         self.contexts[0].stats = PredictionStats::new();
         let target_cycles = self.run_phase(measure, true);
         let mut stats = self.contexts[0].stats;
@@ -284,6 +307,153 @@ impl SingleCoreSim {
     /// The front-end (observability).
     pub fn frontend(&self) -> &SecureFrontend {
         &self.fe
+    }
+
+    /// Deep-copies the whole simulator — front-end tables, generator RNG
+    /// cursors, partially-drained event buffers, clocks — or `None` when
+    /// the front-end wraps a custom (non-cloneable) predictor.
+    ///
+    /// A clone continues bit-identically to the original, so a clone
+    /// taken after [`Self::warm`] is a warm-state checkpoint: restoring
+    /// it and running the measurement phase matches an uninterrupted
+    /// `run_target` exactly.
+    pub fn try_clone(&self) -> Option<Self> {
+        Some(SingleCoreSim {
+            cfg: self.cfg,
+            fe: self.fe.try_clone()?,
+            contexts: self.contexts.iter().map(Context::clone_state).collect(),
+            interval: self.interval,
+            current: self.current,
+            clock: self.clock,
+            next_switch: self.next_switch,
+        })
+    }
+
+    /// Total timer context switches fired so far (all contexts).
+    pub fn context_switches(&self) -> u64 {
+        self.contexts.iter().map(|c| c.stats.context_switches).sum()
+    }
+
+    /// Re-aims a warm checkpoint at a different context-switch interval,
+    /// so one warm-up serves the whole interval axis.
+    ///
+    /// Sound only when the timer has not fired yet and the clock has not
+    /// reached the new interval: then the state is identical to having
+    /// warmed under `interval` from the start (the clock is monotone, so
+    /// no intermediate step could have crossed the new deadline either).
+    /// Returns `false` — leaving the simulator untouched — when those
+    /// conditions do not hold; the caller should fall back to a fresh
+    /// warm-up.
+    pub fn retarget_interval(&mut self, interval: SwitchInterval) -> bool {
+        let cycles = interval.cycles();
+        if self.context_switches() != 0 || (cycles != u64::MAX && self.clock >= cycles as f64) {
+            return false;
+        }
+        self.interval = cycles;
+        self.next_switch = cycles as f64;
+        true
+    }
+
+    /// Runs a sampled measurement from the current (warm) state: the
+    /// plan's steady windows, then its forced-switch event windows. See
+    /// [`crate::sampling`] for the estimator the windows feed.
+    ///
+    /// The natural timer is disabled for the remainder of this
+    /// simulator's life — switches are *forced* at the event windows and
+    /// weighted analytically per interval — which is what makes one
+    /// sampled run valid for every interval.
+    pub fn run_sampled(&mut self, plan: &SamplingPlan) -> SampledMeasurement {
+        self.interval = u64::MAX;
+        self.next_switch = f64::INFINITY;
+        let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
+        let mut agg = PredictionStats::new();
+        for _ in 0..plan.steady_windows {
+            self.skip_target(plan.gap);
+            self.run_phase(plan.rewarm, false);
+            self.contexts[0].stats = PredictionStats::new();
+            let cycles = self.run_phase(plan.window, true);
+            let mut w = self.contexts[0].stats;
+            w.cycles = cycles as u64;
+            agg += w;
+            steady_cycles.push(cycles);
+        }
+        let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
+        for _ in 0..plan.event_windows {
+            self.skip_target(plan.gap);
+            self.run_phase(plan.rewarm, false);
+            // Forced switch pair: target → background(s) → target, with a
+            // burst of background execution in between to model the other
+            // context's table pollution. The resume switch overhead is
+            // charged to the target, as the exact loop attributes it.
+            self.context_switch();
+            while self.current != 0 {
+                self.run_context_branches(plan.burst);
+                self.context_switch();
+            }
+            self.contexts[0].stats = PredictionStats::new();
+            let cycles =
+                self.cfg.context_switch_overhead as f64 + self.run_phase(plan.event_window, true);
+            event_cycles.push(cycles);
+        }
+        SampledMeasurement {
+            steady_cycles,
+            steady_units: plan.window,
+            event_cycles,
+            event_units: plan.event_window,
+            stats: agg,
+            per_thread: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    /// Fast-forwards the target's stream past `branches` branch events
+    /// without executing them: buffered events are drained, then the
+    /// generator advances generation-only (same RNG draws as executing).
+    /// The clock is left untouched; predictor state goes stale by design
+    /// and is re-synchronised by the plan's rewarm phase.
+    fn skip_target(&mut self, branches: u64) {
+        if branches == 0 {
+            return;
+        }
+        let ctx = &mut self.contexts[0];
+        let mut left = branches;
+        while left > 0 {
+            match ctx.buf.pop() {
+                Some(TraceEvent::Branch(_)) => left -= 1,
+                Some(TraceEvent::PrivilegeSwitch(_)) => {}
+                None => break,
+            }
+        }
+        if left > 0 {
+            ctx.gen.skip_branches(left);
+        }
+    }
+
+    /// Executes `branches` branch events of the *current* context
+    /// (unmeasured) — the background burst between a forced switch pair.
+    fn run_context_branches(&mut self, branches: u64) {
+        let hw = ThreadId::new(0);
+        let idx = self.current;
+        let cfg = &self.cfg;
+        let fe = &mut self.fe;
+        let ctx = &mut self.contexts[idx];
+        let mut done = 0u64;
+        while done < branches {
+            if ctx.buf.is_empty() {
+                ctx.gen.fill(&mut ctx.buf);
+            }
+            match ctx.buf.pop().expect("buffer was just filled") {
+                TraceEvent::Branch(rec) => {
+                    self.clock += execute_branch(fe, cfg, hw, &rec, &mut ctx.stats);
+                    done += 1;
+                }
+                TraceEvent::PrivilegeSwitch(to) => {
+                    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
+                    ctx.stats.privilege_switches += 1;
+                    self.clock += cfg.trap_overhead as f64;
+                }
+            }
+        }
     }
 
     /// Replaces each context's (still-unallocated) event buffer with one
@@ -422,6 +592,101 @@ mod tests {
         let b = pure.run_target(0, 5_000);
         assert_eq!(a, b);
         assert_eq!(mixed.clock().to_bits(), pure.clock().to_bits());
+    }
+
+    #[test]
+    fn warm_then_measure_equals_run_target() {
+        let mut split = sim(Mechanism::noisy_xor_bp(), SwitchInterval::M4, 31);
+        split.warm(3_000);
+        let a = split.run_measure(20_000);
+        let mut joint = sim(Mechanism::noisy_xor_bp(), SwitchInterval::M4, 31);
+        let b = joint.run_target(3_000, 20_000);
+        assert_eq!(a, b);
+        assert_eq!(split.clock().to_bits(), joint.clock().to_bits());
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let mut s = sim(Mechanism::CompleteFlush, SwitchInterval::M8, 19);
+        s.warm(5_000);
+        let mut restored = s.try_clone().expect("static predictors clone");
+        let a = s.run_measure(25_000);
+        let b = restored.run_measure(25_000);
+        assert_eq!(a, b);
+        assert_eq!(s.clock().to_bits(), restored.clock().to_bits());
+    }
+
+    #[test]
+    fn retargeted_checkpoint_matches_fresh_warm() {
+        // Warm under M8 with no switches fired, retarget to M4: must be
+        // bit-identical to warming under M4 from scratch.
+        let mut warm8 = sim(Mechanism::CompleteFlush, SwitchInterval::M8, 23);
+        warm8.warm(4_000);
+        assert_eq!(warm8.context_switches(), 0);
+        assert!(warm8.retarget_interval(SwitchInterval::M4));
+        let a = warm8.run_measure(30_000);
+        let mut fresh4 = sim(Mechanism::CompleteFlush, SwitchInterval::M4, 23);
+        fresh4.warm(4_000);
+        let b = fresh4.run_measure(30_000);
+        assert_eq!(a, b);
+        assert_eq!(warm8.clock().to_bits(), fresh4.clock().to_bits());
+    }
+
+    #[test]
+    fn retarget_refuses_after_switches_or_past_deadline() {
+        let mut s = sim(Mechanism::Baseline, SwitchInterval::M8, 29);
+        s.force_switch_interval(10_000);
+        s.warm(20_000);
+        assert!(s.context_switches() > 0);
+        assert!(!s.retarget_interval(SwitchInterval::M4));
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic() {
+        let plan = crate::SamplingPlan::quick();
+        let run = |seed| {
+            let mut s = sim(Mechanism::noisy_xor_bp(), SwitchInterval::M8, seed);
+            s.warm(2_000);
+            s.run_sampled(&plan)
+        };
+        let a = run(37);
+        let b = run(37);
+        assert_eq!(a, b);
+        assert_eq!(a.steady_cycles.len(), plan.steady_windows as usize);
+        assert_eq!(a.event_cycles.len(), plan.event_windows as usize);
+        for (x, y) in a.steady_cycles.iter().zip(&b.steady_cycles) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sampled_event_windows_see_the_storm() {
+        // A Complete Flush storm makes post-switch windows markedly more
+        // expensive per branch than steady windows; Baseline's pays only
+        // the 600-cycle resume overhead plus mild repollution.
+        let plan = crate::SamplingPlan::quick();
+        let measure = |mech| {
+            let mut s = sim(mech, SwitchInterval::M8, 41);
+            s.warm(30_000);
+            let m = s.run_sampled(&plan);
+            let steady: f64 = m.steady_cycles.iter().sum::<f64>()
+                / m.steady_cycles.len() as f64
+                / plan.window as f64;
+            let event: f64 = m.event_cycles.iter().sum::<f64>()
+                / m.event_cycles.len() as f64
+                / plan.event_window as f64;
+            (steady, event)
+        };
+        let (cf_steady, cf_event) = measure(Mechanism::CompleteFlush);
+        let (base_steady, base_event) = measure(Mechanism::Baseline);
+        assert!(
+            cf_event > cf_steady * 1.2,
+            "no CF storm: {cf_steady} vs {cf_event}"
+        );
+        assert!(
+            cf_event - cf_steady > (base_event - base_steady) * 1.5,
+            "CF storm not larger than baseline resume: cf {cf_event}/{cf_steady} base {base_event}/{base_steady}"
+        );
     }
 
     #[test]

@@ -40,11 +40,13 @@
 pub mod config;
 pub mod core;
 pub mod experiment;
+pub mod sampling;
 pub mod smt;
 pub mod timing;
 
 pub use config::{CoreConfig, SwitchInterval};
 pub use core::SingleCoreSim;
 pub use experiment::{run_single_case, run_smt, scale, single_overhead, smt_overhead, WorkBudget};
+pub use sampling::{estimate_cycles, SampledEstimate, SampledMeasurement, SamplingPlan};
 pub use smt::{SmtResult, SmtSim};
 pub use timing::{execute_branch, execute_branch_scalar};

@@ -1,0 +1,342 @@
+//! Stratified sampled simulation: plans, window measurements, and the
+//! weighted cycle estimator.
+//!
+//! A paper-scale cell simulates millions of target branches, but the
+//! quantity every figure checks — overhead relative to baseline — is
+//! driven by two regimes: *steady-state* prediction cost (always-on
+//! mechanism cost: codec latency, noise mispredicts, aliasing) and the
+//! *post-context-switch misprediction storm* (the cost of flushed or
+//! re-keyed tables retraining). A [`SamplingPlan`] measures each regime
+//! directly with a few short windows and combines them with their true
+//! occupancy in the exact timeline:
+//!
+//! ```text
+//! M̂ = B·c_s + n_sw · W_e · (c_e − c_s)      n_sw = M̂ · T / I
+//!   ⇒ M̂ = B·c_s / (1 − T·W_e·(c_e − c_s)/I)
+//! ```
+//!
+//! where `B` is the full measurement budget (target branches on the
+//! single core, instructions on SMT), `c_s`/`c_e` are the per-unit cycle
+//! costs measured in the steady/event windows, `W_e` is the event-window
+//! length, `I` the context-switch interval in cycles and `T` the number
+//! of hardware threads receiving timer interrupts (1 on the single
+//! core). The fixed point exists because switches happen per *cycle* of
+//! executed time while windows are denominated in work units.
+//!
+//! Because switches enter only through the analytic weight `n_sw`, the
+//! measurement itself is **interval-independent**: one warm simulation
+//! yields estimates for every interval on the axis. Window boundaries
+//! are count-based (not clock-based), so baseline and mechanism cells
+//! with the same seed measure the *same stream positions* — the paired
+//! common-random-numbers design that makes overhead deltas low-variance.
+//!
+//! The estimator propagates a standard error from the per-window spread
+//! via the delta method; reports carry it so tolerance checks can see
+//! the sampling uncertainty. The exact path remains the reference:
+//! sampling is opt-in per sweep spec and never used by golden tests.
+
+use serde::{Deserialize, Serialize};
+
+use sbp_types::{PredictionStats, SbpError};
+
+use crate::config::SwitchInterval;
+use crate::experiment::scale;
+
+/// A stratified sampling plan.
+///
+/// Units are **target branches** on the single core and **total
+/// instructions** on SMT, matching the corresponding
+/// [`crate::WorkBudget`] denominations. All window work is executed
+/// through the normal batched hot loop; gaps advance the target's trace
+/// generator without executing (see `TraceGenerator::skip_branches`),
+/// which preserves the RNG cursor so sampled runs are byte-deterministic
+/// for a fixed plan and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SamplingPlan {
+    /// Number of steady-state measurement windows.
+    pub steady_windows: u32,
+    /// Work units measured per steady window.
+    pub window: u64,
+    /// Work units skipped (generation-only) before each window.
+    pub gap: u64,
+    /// Work units executed unmeasured after each gap, re-synchronising
+    /// the predictor with the stream position before measuring.
+    pub rewarm: u64,
+    /// Number of forced-context-switch event windows.
+    pub event_windows: u32,
+    /// Work units measured per event window (must cover the
+    /// misprediction storm).
+    pub event_window: u64,
+    /// Background work executed between the forced switch pair on the
+    /// single core (models the other context's table pollution);
+    /// unused on SMT where threads run concurrently.
+    pub burst: u64,
+}
+
+impl SamplingPlan {
+    /// Default plan for single-core sweeps (branch units), scaled by
+    /// `SBP_SCALE` like [`crate::WorkBudget::single_default`].
+    pub fn single_default() -> Self {
+        let s = scale();
+        SamplingPlan {
+            steady_windows: 4,
+            window: scaled(60_000, s, 2_000),
+            gap: scaled(400_000, s, 4_000),
+            rewarm: scaled(20_000, s, 1_000),
+            event_windows: 2,
+            event_window: scaled(40_000, s, 2_000),
+            burst: scaled(24_000, s, 1_000),
+        }
+    }
+
+    /// Default plan for SMT sweeps (instruction units), scaled by
+    /// `SBP_SCALE` like [`crate::WorkBudget::smt_default`].
+    pub fn smt_default() -> Self {
+        let s = scale();
+        SamplingPlan {
+            steady_windows: 4,
+            window: scaled(2_000_000, s, 40_000),
+            gap: scaled(10_000_000, s, 100_000),
+            rewarm: scaled(500_000, s, 20_000),
+            event_windows: 2,
+            event_window: scaled(1_200_000, s, 40_000),
+            burst: 0,
+        }
+    }
+
+    /// A tiny plan for unit tests (seconds, not minutes).
+    pub fn quick() -> Self {
+        SamplingPlan {
+            steady_windows: 2,
+            window: 5_000,
+            gap: 8_000,
+            rewarm: 2_000,
+            event_windows: 1,
+            event_window: 4_000,
+            burst: 3_000,
+        }
+    }
+
+    /// Canonical identity string for store fingerprints: two plans with
+    /// different windows must never collide in a sweep store.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "s{}x{}g{}r{}e{}x{}b{}",
+            self.steady_windows,
+            self.window,
+            self.gap,
+            self.rewarm,
+            self.event_windows,
+            self.event_window,
+            self.burst
+        )
+    }
+
+    /// Checks the plan is executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error when a window stratum has zero windows or
+    /// zero-length windows.
+    pub fn validate(&self) -> Result<(), SbpError> {
+        if self.steady_windows == 0 || self.window == 0 {
+            return Err(SbpError::config(
+                "sampling plan needs at least one non-empty steady window",
+            ));
+        }
+        if self.event_windows > 0 && self.event_window == 0 {
+            return Err(SbpError::config(
+                "sampling plan event windows must be non-empty",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Work units executed (not skipped) per measurement, excluding
+    /// warmup — the cost the plan pays per cell.
+    pub fn executed_units(&self) -> u64 {
+        self.steady_windows as u64 * (self.window + self.rewarm)
+            + self.event_windows as u64 * (self.event_window + self.rewarm + self.burst)
+    }
+}
+
+fn scaled(value: u64, s: f64, min: u64) -> u64 {
+    ((value as f64 * s) as u64).max(min)
+}
+
+/// Raw per-window measurements from a sampled run, before any weighting.
+///
+/// Produced by `SingleCoreSim::run_sampled` / `SmtSim::run_sampled`;
+/// interval-independent (the forced-switch windows measure the storm
+/// itself, and the interval enters only in [`estimate_cycles`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledMeasurement {
+    /// Measured cycles per steady window (target cycles on the single
+    /// core, wall cycles on SMT).
+    pub steady_cycles: Vec<f64>,
+    /// Work units per steady window.
+    pub steady_units: u64,
+    /// Measured cycles per forced-switch event window (includes the
+    /// resume context-switch overhead, as the exact loop attributes it).
+    pub event_cycles: Vec<f64>,
+    /// Work units per event window.
+    pub event_units: u64,
+    /// Aggregate prediction statistics over the steady windows only.
+    /// Storm windows are excluded so accuracy/MPKI reflect their tiny
+    /// true occupancy rather than the deliberate event oversampling.
+    pub stats: PredictionStats,
+    /// Per-thread steady-window statistics (SMT; empty on single core).
+    pub per_thread: Vec<PredictionStats>,
+    /// Hardware threads receiving timer interrupts (the `T` in the
+    /// estimator); 1 on the single core.
+    pub threads: u32,
+}
+
+/// A weighted cycle estimate with its propagated standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledEstimate {
+    /// Estimated cycles for the full measurement budget.
+    pub cycles: f64,
+    /// Delta-method standard error of `cycles` from the per-window
+    /// spread (0 when a stratum has a single window).
+    pub stderr: f64,
+}
+
+/// Combines window measurements into the full-budget cycle estimate for
+/// one context-switch interval (see the module docs for the model).
+///
+/// `measure_units` is the exact-path measurement budget the estimate
+/// stands in for ([`crate::WorkBudget::measure`]).
+pub fn estimate_cycles(
+    m: &SampledMeasurement,
+    measure_units: u64,
+    interval: SwitchInterval,
+) -> SampledEstimate {
+    let (c_s, se_s) = per_unit(&m.steady_cycles, m.steady_units);
+    let b = measure_units as f64;
+    let no_events =
+        m.event_cycles.is_empty() || m.event_units == 0 || interval.cycles() == u64::MAX;
+    if no_events {
+        return SampledEstimate {
+            cycles: b * c_s,
+            stderr: b * se_s,
+        };
+    }
+    let (c_e, se_e) = per_unit(&m.event_cycles, m.event_units);
+    let w_e = m.event_units as f64;
+    let t = m.threads as f64;
+    let i = interval.cycles() as f64;
+    // D = 1 − T·W_e·(c_e − c_s)/I; clamp so a pathological plan (storm
+    // longer than the interval) degrades gracefully instead of blowing
+    // up the fixed point.
+    let d = (1.0 - t * w_e * (c_e - c_s) / i).max(0.25);
+    let cycles = b * c_s / d;
+    // Partials of M̂ = B·c_s/D with ∂D/∂c_s = +T·W_e/I, ∂D/∂c_e = −T·W_e/I.
+    let dm_dcs = b / d - b * c_s * (t * w_e / i) / (d * d);
+    let dm_dce = b * c_s * (t * w_e / i) / (d * d);
+    let stderr = ((dm_dcs * se_s).powi(2) + (dm_dce * se_e).powi(2)).sqrt();
+    SampledEstimate { cycles, stderr }
+}
+
+/// Mean and standard error of per-unit window costs.
+fn per_unit(cycles: &[f64], units: u64) -> (f64, f64) {
+    if cycles.is_empty() || units == 0 {
+        return (0.0, 0.0);
+    }
+    let u = units as f64;
+    let xs: Vec<f64> = cycles.iter().map(|c| c / u).collect();
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(steady: &[f64], event: &[f64]) -> SampledMeasurement {
+        SampledMeasurement {
+            steady_cycles: steady.to_vec(),
+            steady_units: 10_000,
+            event_cycles: event.to_vec(),
+            event_units: 5_000,
+            stats: PredictionStats::new(),
+            per_thread: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_plans() {
+        let a = SamplingPlan::quick();
+        let mut b = a;
+        b.window += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), SamplingPlan::quick().fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_empty_strata() {
+        let mut p = SamplingPlan::quick();
+        p.steady_windows = 0;
+        assert!(p.validate().is_err());
+        let mut p = SamplingPlan::quick();
+        p.window = 0;
+        assert!(p.validate().is_err());
+        let mut p = SamplingPlan::quick();
+        p.event_window = 0;
+        assert!(p.validate().is_err());
+        p.event_windows = 0;
+        assert!(p.validate().is_ok());
+        assert!(SamplingPlan::single_default().validate().is_ok());
+        assert!(SamplingPlan::smt_default().validate().is_ok());
+    }
+
+    #[test]
+    fn no_switches_is_pure_steady_extrapolation() {
+        let m = measurement(&[35_000.0, 35_000.0], &[60_000.0]);
+        let est = estimate_cycles(&m, 1_000_000, SwitchInterval::Off);
+        // c_s = 3.5 cycles/branch over 1M branches.
+        assert!((est.cycles - 3.5e6).abs() < 1.0);
+        assert_eq!(est.stderr, 0.0);
+    }
+
+    #[test]
+    fn storms_add_occupancy_weighted_cost() {
+        // c_s = 3.5, c_e = 12 over W_e = 5k: each storm adds
+        // 5k·(12 − 3.5) = 42.5k cycles, one per 4M cycles.
+        let m = measurement(&[35_000.0, 35_000.0], &[60_000.0]);
+        let est = estimate_cycles(&m, 1_000_000, SwitchInterval::M4);
+        let d: f64 = 1.0 - 5_000.0 * (12.0 - 3.5) / 4_000_000.0;
+        assert!((est.cycles - 3.5e6 / d).abs() < 1.0);
+        // Larger interval → smaller overhead, monotone.
+        let est8 = estimate_cycles(&m, 1_000_000, SwitchInterval::M8);
+        let est12 = estimate_cycles(&m, 1_000_000, SwitchInterval::M12);
+        assert!(est.cycles > est8.cycles);
+        assert!(est8.cycles > est12.cycles);
+        assert!(est12.cycles > 3.5e6);
+    }
+
+    #[test]
+    fn stderr_tracks_window_spread() {
+        let tight = measurement(&[35_000.0, 35_010.0], &[60_000.0]);
+        let loose = measurement(&[30_000.0, 40_000.0], &[60_000.0]);
+        let a = estimate_cycles(&tight, 1_000_000, SwitchInterval::M8);
+        let b = estimate_cycles(&loose, 1_000_000, SwitchInterval::M8);
+        assert!(a.stderr > 0.0);
+        assert!(b.stderr > 10.0 * a.stderr);
+    }
+
+    #[test]
+    fn executed_units_counts_all_strata() {
+        let p = SamplingPlan::quick();
+        assert_eq!(
+            p.executed_units(),
+            2 * (5_000 + 2_000) + (4_000 + 2_000 + 3_000)
+        );
+    }
+}

@@ -19,6 +19,7 @@ use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
+use crate::sampling::{SampledMeasurement, SamplingPlan};
 use crate::timing::{execute_branch, execute_branch_scalar};
 
 #[derive(Debug)]
@@ -218,6 +219,28 @@ impl SmtSim {
         while executed < warmup_instr {
             executed += self.step_generic::<SCALAR>();
         }
+        self.run_measure_generic::<SCALAR>(measure_instr)
+    }
+
+    /// Runs the warm-up phase: `warmup_instr` instructions across all
+    /// threads, statistics discarded. `warm(w)` followed by
+    /// [`Self::run_measure`] is bit-identical to [`Self::run`]`(w, m)`;
+    /// the split lets callers checkpoint the warm state
+    /// ([`Self::try_clone`]).
+    pub fn warm(&mut self, warmup_instr: u64) {
+        let mut executed = 0u64;
+        while executed < warmup_instr {
+            executed += self.step_generic::<false>();
+        }
+    }
+
+    /// The measurement phase of [`Self::run`]: resets per-thread
+    /// statistics and measures `measure_instr` further instructions.
+    pub fn run_measure(&mut self, measure_instr: u64) -> SmtResult {
+        self.run_measure_generic::<false>(measure_instr)
+    }
+
+    fn run_measure_generic<const SCALAR: bool>(&mut self, measure_instr: u64) -> SmtResult {
         let start_wall = self.wall_clock();
         for t in &mut self.threads {
             t.stats = PredictionStats::new();
@@ -234,6 +257,151 @@ impl SmtSim {
             cycles,
             instructions: measured,
             per_thread: self.threads.iter().map(|t| t.stats).collect(),
+        }
+    }
+
+    /// Deep-copies the whole SMT simulator (shared front-end, per-thread
+    /// generator cursors, clocks, buffered events), or `None` when the
+    /// front-end wraps a custom predictor. A clone continues
+    /// bit-identically — the warm-state checkpoint primitive.
+    pub fn try_clone(&self) -> Option<Self> {
+        Some(SmtSim {
+            cfg: self.cfg,
+            fe: self.fe.try_clone()?,
+            threads: self
+                .threads
+                .iter()
+                .map(|t| SmtThread {
+                    gen: t.gen.clone(),
+                    stats: t.stats,
+                    clock: t.clock,
+                    next_switch: t.next_switch,
+                    buf: t.buf.clone(),
+                })
+                .collect(),
+            interval: self.interval,
+        })
+    }
+
+    /// Total timer context switches fired so far (all threads).
+    pub fn context_switches(&self) -> u64 {
+        self.threads.iter().map(|t| t.stats.context_switches).sum()
+    }
+
+    /// Re-aims a warm checkpoint at a different switch interval (see
+    /// `SingleCoreSim::retarget_interval`). Sound only when no timer has
+    /// fired and every thread's clock is still short of its new staggered
+    /// deadline; returns `false`, leaving the simulator untouched,
+    /// otherwise.
+    pub fn retarget_interval(&mut self, interval: SwitchInterval) -> bool {
+        if self.context_switches() != 0 {
+            return false;
+        }
+        let cycles = interval.cycles();
+        let n = self.threads.len();
+        if cycles != u64::MAX {
+            for (i, t) in self.threads.iter().enumerate() {
+                if t.clock >= cycles as f64 * (i + 1) as f64 / n as f64 {
+                    return false;
+                }
+            }
+        }
+        self.interval = cycles;
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            t.next_switch = cycles as f64 * (i + 1) as f64 / n as f64;
+        }
+        true
+    }
+
+    /// Runs a sampled measurement from the current (warm) state: steady
+    /// windows, then forced-switch event windows (one thread's timer
+    /// event fired explicitly, round-robin across threads). The natural
+    /// timer is disabled for the rest of this simulator's life; switches
+    /// enter the estimate analytically per interval
+    /// ([`crate::sampling::estimate_cycles`] with `threads = T`).
+    pub fn run_sampled(&mut self, plan: &SamplingPlan) -> SampledMeasurement {
+        self.interval = u64::MAX;
+        for t in &mut self.threads {
+            t.next_switch = f64::INFINITY;
+        }
+        let n = self.threads.len();
+        let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
+        let mut agg = vec![PredictionStats::new(); n];
+        for _ in 0..plan.steady_windows {
+            self.skip_all(plan.gap);
+            self.warm(plan.rewarm);
+            for t in &mut self.threads {
+                t.stats = PredictionStats::new();
+            }
+            let start_wall = self.wall_clock();
+            let mut measured = 0u64;
+            while measured < plan.window {
+                measured += self.step_generic::<false>();
+            }
+            steady_cycles.push(self.wall_clock() - start_wall);
+            for (a, t) in agg.iter_mut().zip(&self.threads) {
+                *a += t.stats;
+            }
+        }
+        let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
+        for w in 0..plan.event_windows {
+            self.skip_all(plan.gap);
+            self.warm(plan.rewarm);
+            let start_wall = self.wall_clock();
+            // Fire one thread's timer event exactly as the natural timer
+            // would (flush/rekey + switch overhead on that thread), then
+            // measure the storm's wall-clock cost.
+            let idx = w as usize % n;
+            self.fe.handle_event(CoreEvent::ContextSwitch {
+                hw_thread: ThreadId::new(idx as u8),
+            });
+            self.threads[idx].stats.context_switches += 1;
+            self.threads[idx].clock += self.cfg.context_switch_overhead as f64;
+            let mut measured = 0u64;
+            while measured < plan.event_window {
+                measured += self.step_generic::<false>();
+            }
+            event_cycles.push(self.wall_clock() - start_wall);
+        }
+        for (a, t) in agg.iter_mut().zip(&self.threads) {
+            a.cycles = t.clock as u64;
+        }
+        let mut stats = PredictionStats::new();
+        for a in &agg {
+            stats += *a;
+        }
+        SampledMeasurement {
+            steady_cycles,
+            steady_units: plan.window,
+            event_cycles,
+            event_units: plan.event_window,
+            stats,
+            per_thread: agg,
+            threads: n as u32,
+        }
+    }
+
+    /// Fast-forwards every thread's stream by `instructions / threads`
+    /// generation-only (buffered events drained first), clocks untouched.
+    fn skip_all(&mut self, instructions: u64) {
+        if instructions == 0 {
+            return;
+        }
+        let per_thread = instructions / self.threads.len() as u64;
+        for t in &mut self.threads {
+            let mut left = per_thread;
+            while left > 0 {
+                match t.buf.pop() {
+                    Some(TraceEvent::Branch(rec)) => {
+                        left = left.saturating_sub(rec.instructions());
+                    }
+                    Some(TraceEvent::PrivilegeSwitch(_)) => {}
+                    None => break,
+                }
+            }
+            if left > 0 {
+                t.gen.skip_instructions(left);
+            }
         }
     }
 
@@ -325,6 +493,70 @@ mod tests {
             let b = sim(mech, 17).run_scalar(10_000, 120_000);
             assert_eq!(a, b, "SMT results diverged under {mech:?}");
         }
+    }
+
+    #[test]
+    fn warm_then_measure_equals_run() {
+        let mut split = sim(Mechanism::noisy_xor_bp(), 13);
+        split.warm(10_000);
+        let a = split.run_measure(100_000);
+        let b = sim(Mechanism::noisy_xor_bp(), 13).run(10_000, 100_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let mut s = sim(Mechanism::CompleteFlush, 7);
+        s.warm(15_000);
+        let mut restored = s.try_clone().expect("static predictors clone");
+        let a = s.run_measure(80_000);
+        let b = restored.run_measure(80_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retargeted_checkpoint_matches_fresh_warm() {
+        let build = |interval| {
+            SmtSim::new(
+                CoreConfig::gem5(),
+                PredictorKind::Gshare,
+                Mechanism::CompleteFlush,
+                interval,
+                &["zeusmp", "lbm"],
+                3,
+            )
+            .expect("sim")
+        };
+        let mut warm8 = build(SwitchInterval::M8);
+        warm8.warm(12_000);
+        assert_eq!(warm8.context_switches(), 0);
+        assert!(warm8.retarget_interval(SwitchInterval::M4));
+        let a = warm8.run_measure(60_000);
+        let mut fresh4 = build(SwitchInterval::M4);
+        fresh4.warm(12_000);
+        let b = fresh4.run_measure(60_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic_and_sees_storms() {
+        let plan = crate::SamplingPlan::quick();
+        let run = |mech| {
+            let mut s = sim(mech, 51);
+            s.warm(20_000);
+            s.run_sampled(&plan)
+        };
+        let a = run(Mechanism::CompleteFlush);
+        let b = run(Mechanism::CompleteFlush);
+        assert_eq!(a, b);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.steady_cycles.len(), plan.steady_windows as usize);
+        // Complete Flush: the forced-switch window costs more wall time
+        // per instruction than steady state.
+        let steady =
+            a.steady_cycles.iter().sum::<f64>() / a.steady_cycles.len() as f64 / plan.window as f64;
+        let event = a.event_cycles[0] / plan.event_window as f64;
+        assert!(event > steady, "no storm: steady {steady} event {event}");
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn build_sim_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> Sw
                 seed: g.seed,
                 cycles: run.cycles,
                 overhead,
+                stderr: run.stderr,
                 stats: run.stats,
                 per_thread: run.per_thread.clone(),
                 attack: None,
@@ -79,13 +80,24 @@ fn build_sim_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> Sw
                 let label = series_label(spec, predictor, mechanism.label(), interval.label());
                 let mut case_means = Vec::with_capacity(c_len);
                 for (ci, case) in spec.cases.iter().enumerate() {
-                    let overheads: Vec<f64> = (0..s_len)
-                        .map(|si| {
-                            let group = ((pi * i_len + ii) * c_len + ci) * s_len + si;
-                            let j = plan.job_index(group, Some(mi), mechs.len());
-                            records[j].overhead.expect("mechanism job has overhead")
-                        })
-                        .collect();
+                    let mut overheads = Vec::with_capacity(s_len);
+                    // Propagated variance of the mean overhead: each
+                    // replica's overhead m/b − 1 inherits variance from
+                    // both the mechanism and baseline sampling stderrs
+                    // (delta method); exact replicas contribute 0.
+                    let mut var_sum = 0.0f64;
+                    for si in 0..s_len {
+                        let group = ((pi * i_len + ii) * c_len + ci) * s_len + si;
+                        let r = &records[plan.job_index(group, Some(mi), mechs.len())];
+                        let b = &records[plan.job_index(group, None, mechs.len())];
+                        overheads.push(r.overhead.expect("mechanism job has overhead"));
+                        if r.stderr.is_some() || b.stderr.is_some() {
+                            let se_m = r.stderr.unwrap_or(0.0);
+                            let se_b = b.stderr.unwrap_or(0.0);
+                            let bc = b.cycles.max(1.0);
+                            var_sum += (se_m / bc).powi(2) + (r.cycles * se_b / (bc * bc)).powi(2);
+                        }
+                    }
                     let m = mean(&overheads);
                     case_means.push(m);
                     cells.push(CellSummary {
@@ -96,6 +108,7 @@ fn build_sim_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) -> Sw
                         case_id: case.id.clone(),
                         mean: m,
                         stddev: stddev(&overheads),
+                        stderr: var_sum.sqrt() / s_len as f64,
                         n: spec.seeds,
                     });
                 }
@@ -153,6 +166,7 @@ fn build_attack_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) ->
                 seed: a.seed,
                 cycles: 0.0,
                 overhead: None,
+                stderr: None,
                 stats: Default::default(),
                 per_thread: Vec::new(),
                 attack: Some(AttackRecord {
@@ -201,6 +215,7 @@ fn build_attack_report(spec: &SweepSpec, plan: &SweepPlan, raw: &[RawResult]) ->
                         case_id: attack.label().to_string(),
                         mean: m,
                         stddev: stddev(&rates),
+                        stderr: 0.0,
                         n: spec.seeds,
                     });
                 }
@@ -400,6 +415,33 @@ mod tests {
                 assert!(r.overhead.expect("overhead").is_finite());
             }
             assert!(r.attack.is_none(), "sim sweeps carry no attack payload");
+        }
+    }
+
+    #[test]
+    fn sampled_sweeps_propagate_stderr_and_exact_sweeps_stay_zero() {
+        let exact = quick_spec().run().expect("sweep");
+        for r in &exact.records {
+            assert!(r.stderr.is_none(), "exact runs carry no stderr");
+        }
+        for c in &exact.cells {
+            assert_eq!(c.stderr, 0.0);
+        }
+        let sampled = quick_spec()
+            .with_sampling(Some(sbp_sim::SamplingPlan::quick()))
+            .run()
+            .expect("sampled sweep");
+        for r in &sampled.records {
+            let se = r.stderr.expect("sampled runs carry a stderr");
+            assert!(se.is_finite() && se >= 0.0);
+        }
+        for c in &sampled.cells {
+            assert!(
+                c.stderr > 0.0 && c.stderr.is_finite(),
+                "cell {}/{} has no propagated stderr",
+                c.label,
+                c.case_id
+            );
         }
     }
 

@@ -102,6 +102,16 @@ pub fn opt_f64(obj: &[(String, Value)], key: &str) -> Result<Option<f64>, String
     }
 }
 
+/// An optional boolean field (`Ok(None)` when absent, `Err` when present
+/// but not a boolean).
+pub fn opt_bool(obj: &[(String, Value)], key: &str) -> Result<Option<bool>, String> {
+    match opt(obj, key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(format!("field {key:?} is not a boolean: {other:?}")),
+    }
+}
+
 /// An optional string field (`Ok(None)` when absent, `Err` when present
 /// but not a string).
 pub fn opt_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<Option<&'a str>, String> {

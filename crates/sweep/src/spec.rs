@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use sbp_attack::AttackKind;
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
-use sbp_sim::{CoreConfig, SwitchInterval, WorkBudget};
+use sbp_sim::{CoreConfig, SamplingPlan, SwitchInterval, WorkBudget};
 use sbp_trace::BenchmarkCase;
 use sbp_types::{SbpError, SweepReport};
 
@@ -122,6 +122,13 @@ pub struct SweepSpec {
     pub cases: Vec<CaseSpec>,
     /// Per-run work amounts (simulation sweeps only).
     pub budget: WorkBudget,
+    /// Stratified sampling plan (simulation sweeps only). `None` — the
+    /// default everywhere — runs the exact reference path; `Some` runs
+    /// warm-checkpointed window sampling with analytically weighted
+    /// switch costs (see [`sbp_sim::sampling`]). Sampled and exact cells
+    /// never share store fingerprints.
+    #[serde(default)]
+    pub sampling: Option<SamplingPlan>,
     /// Number of seed replicas per cell.
     pub seeds: u32,
     /// Master seed all per-job seeds are derived from.
@@ -144,6 +151,7 @@ impl SweepSpec {
             intervals: SwitchInterval::ALL.to_vec(),
             cases: cases_from(&sbp_trace::cases_single()),
             budget: WorkBudget::single_default(),
+            sampling: None,
             seeds: 1,
             master_seed: 0,
             payload: PayloadSpec::Sim,
@@ -163,6 +171,7 @@ impl SweepSpec {
             intervals: vec![SwitchInterval::M8],
             cases: cases_from(&sbp_trace::cases_smt2()),
             budget: WorkBudget::smt_default(),
+            sampling: None,
             seeds: 1,
             master_seed: 0,
             payload: PayloadSpec::Sim,
@@ -189,6 +198,7 @@ impl SweepSpec {
             intervals: vec![SwitchInterval::M8],
             cases: Vec::new(),
             budget: WorkBudget::quick(),
+            sampling: None,
             seeds: 1,
             master_seed: 0,
             payload: PayloadSpec::Attack(AttackGridSpec {
@@ -320,6 +330,35 @@ impl SweepSpec {
         self
     }
 
+    /// Enables (or, with `None`, disables) stratified sampling for this
+    /// sweep's simulation jobs (simulation sweeps only). The exact path
+    /// stays the default; sampled cells get distinct store fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an attack sweep, which has no simulation
+    /// budget to sample.
+    pub fn with_sampling(mut self, sampling: Option<SamplingPlan>) -> Self {
+        self.expect_sim("with_sampling");
+        self.sampling = sampling;
+        self
+    }
+
+    /// Attaches the mode-appropriate default [`SamplingPlan`] — the
+    /// single knob campaigns flip to run a whole catalog sampled. A
+    /// no-op on attack sweeps (attack campaigns measure accuracy, not
+    /// time; there is nothing to sample).
+    pub fn with_default_sampling(self) -> Self {
+        if self.is_attack() {
+            return self;
+        }
+        let plan = match self.mode {
+            SweepMode::SingleCore => SamplingPlan::single_default(),
+            SweepMode::Smt => SamplingPlan::smt_default(),
+        };
+        self.with_sampling(Some(plan))
+    }
+
     /// Sets the number of seed replicas per cell.
     pub fn with_seeds(mut self, seeds: u32) -> Self {
         self.seeds = seeds;
@@ -395,6 +434,9 @@ impl SweepSpec {
                             "every case needs at least two workloads (target + background)",
                         ));
                     }
+                }
+                if let Some(plan) = &self.sampling {
+                    plan.validate()?;
                 }
             }
         }

@@ -58,9 +58,19 @@ pub fn job_fingerprint(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> u64 {
             // The full core config, not just its name: every timing
             // parameter and the BTB geometry change the cell's result,
             // and `with_core` accepts arbitrary field overrides.
+            //
+            // The sampling term keeps sampled and exact cells apart: an
+            // exact run contributes no term at all (so existing exact
+            // stores stay valid), while every distinct window layout
+            // fingerprints separately — a sampled estimate must never
+            // resume as, or be resumed by, an exact measurement.
+            let sampling = match &spec.sampling {
+                None => String::new(),
+                Some(plan) => format!("|sampling={}", plan.fingerprint()),
+            };
             format!(
                 "sim|core={:?}|mode={}|predictor={}|interval={}|workloads={}|\
-                 budget={}/{}|mechanism={mechanism:?}|seed={}|scale={}",
+                 budget={}/{}|mechanism={mechanism:?}|seed={}|scale={}{sampling}",
                 spec.core,
                 spec.mode.label(),
                 g.predictor.label(),
@@ -293,9 +303,15 @@ fn line_of(fp: u64, result: &RawResult) -> String {
     match result {
         RawResult::Sim(run) => {
             let per_thread: Vec<String> = run.per_thread.iter().map(stats_json).collect();
+            // The stderr field appears only on sampled results, so exact
+            // stores keep their historical bytes.
+            let stderr = match run.stderr {
+                None => String::new(),
+                Some(se) => format!(",\"stderr\":{}", fmt_f64(se)),
+            };
             format!(
                 "{{\"fp\":\"{fp:016x}\",\"kind\":\"sim\",\"cycles\":{},\"stats\":{},\
-                 \"per_thread\":[{}]}}\n",
+                 \"per_thread\":[{}]{stderr}}}\n",
                 fmt_f64(run.cycles),
                 stats_json(&run.stats),
                 per_thread.join(","),
@@ -336,6 +352,7 @@ fn parse_line(line: &str) -> Result<(u64, RawResult), String> {
                 cycles: json::get_f64(obj, "cycles")?,
                 stats,
                 per_thread,
+                stderr: json::opt_f64(obj, "stderr")?,
             })
         }
         "attack" => RawResult::Attack(sbp_attack::AttackOutcome {
@@ -393,7 +410,16 @@ mod tests {
             cycles: 123_456.789_012_345_6,
             stats,
             per_thread: vec![stats, t1],
+            stderr: None,
         })
+    }
+
+    fn sample_sampled() -> RawResult {
+        let RawResult::Sim(mut run) = sample_sim() else {
+            unreachable!()
+        };
+        run.stderr = Some(431.062_5);
+        RawResult::Sim(run)
     }
 
     fn sample_attack() -> RawResult {
@@ -567,6 +593,55 @@ mod tests {
             fps,
             plan_fingerprints(&renamed, &crate::plan::plan(&renamed))
         );
+    }
+
+    #[test]
+    fn stderr_roundtrips_and_exact_lines_keep_their_bytes() {
+        let path = tmp("stderr");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open");
+        store.append(1, &sample_sim()).expect("append");
+        let exact_line = std::fs::read_to_string(&path).expect("read");
+        assert!(
+            !exact_line.contains("stderr"),
+            "exact results serialize without a stderr field"
+        );
+        store.append(2, &sample_sampled()).expect("append");
+        let reloaded = SweepStore::open(&path).expect("reload");
+        assert_eq!(reloaded.get(1), Some(&sample_sim()));
+        assert_eq!(reloaded.get(2), Some(&sample_sampled()));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn sampled_and_exact_cells_never_share_a_fingerprint() {
+        use sbp_core::Mechanism;
+        use sbp_sim::SamplingPlan;
+        let exact = SweepSpec::single("fp")
+            .with_cases(vec![crate::spec::CaseSpec::pair("c1", "gcc", "calculix")])
+            .with_intervals(vec![sbp_sim::SwitchInterval::M8])
+            .with_mechanisms(vec![Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()]);
+        let sampled = exact
+            .clone()
+            .with_sampling(Some(SamplingPlan::single_default()));
+        let exact_fps: std::collections::BTreeSet<u64> =
+            plan_fingerprints(&exact, &crate::plan::plan(&exact))
+                .into_iter()
+                .collect();
+        let sampled_fps = plan_fingerprints(&sampled, &crate::plan::plan(&sampled));
+        for fp in &sampled_fps {
+            assert!(
+                !exact_fps.contains(fp),
+                "a sampled cell must never resume from an exact store (or vice versa)"
+            );
+        }
+        // Distinct window layouts are distinct estimators: resuming one
+        // plan's estimate into another would silently mix error models.
+        let quick = exact.clone().with_sampling(Some(SamplingPlan::quick()));
+        let quick_fps = plan_fingerprints(&quick, &crate::plan::plan(&quick));
+        for (a, b) in sampled_fps.iter().zip(&quick_fps) {
+            assert_ne!(a, b, "different sampling plans fingerprint separately");
+        }
     }
 
     #[test]

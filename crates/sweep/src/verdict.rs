@@ -677,6 +677,7 @@ mod tests {
             seed: 1,
             cycles: 0.0,
             overhead: None,
+            stderr: None,
             stats: PredictionStats::default(),
             per_thread: Vec::new(),
             attack: Some(sbp_types::AttackRecord {
@@ -701,6 +702,7 @@ mod tests {
                 case_id: "SpectreV2".to_string(),
                 mean: rate,
                 stddev: 0.0,
+                stderr: 0.0,
                 n: 1,
             }],
             series: Vec::new(),

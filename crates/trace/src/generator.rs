@@ -117,6 +117,41 @@ impl TraceGenerator {
         }
     }
 
+    /// Advances the stream past the next `branches` branch events without
+    /// returning them — the generation-only fast-forward the sampled
+    /// simulation uses to move between measurement windows. Privilege
+    /// switches encountered along the way are generated (and counted) but
+    /// not reported. Returns the instructions spanned by the skip.
+    ///
+    /// The RNG draw sequence is identical to calling
+    /// [`TraceGenerator::next_event`] and discarding the events, so a skip
+    /// leaves the generator cursor exactly where an executed run of the
+    /// same length would — the property window-sampled runs rely on for
+    /// byte-determinism.
+    pub fn skip_branches(&mut self, branches: u64) -> u64 {
+        let before = self.instructions;
+        let mut left = branches;
+        while left > 0 {
+            if matches!(self.next_event(), TraceEvent::Branch(_)) {
+                left -= 1;
+            }
+        }
+        self.instructions - before
+    }
+
+    /// Advances the stream until at least `instructions` further
+    /// instructions have been generated (generation-only, like
+    /// [`TraceGenerator::skip_branches`] but instruction-denominated for
+    /// SMT budgets). Returns the instructions actually spanned, which may
+    /// overshoot by up to one branch gap.
+    pub fn skip_instructions(&mut self, instructions: u64) -> u64 {
+        let before = self.instructions;
+        while self.instructions - before < instructions {
+            let _ = self.next_event();
+        }
+        self.instructions - before
+    }
+
     fn user_mean_gap(&self) -> f64 {
         // Constant per profile; stored indirectly in the program model's
         // gap draws. A fixed estimate keeps the syscall rate calibrated.
@@ -309,6 +344,39 @@ mod tests {
             }
         }
         assert!(seen_kernel_branches > 100, "no kernel execution observed");
+    }
+
+    #[test]
+    fn skip_branches_matches_discarding_events() {
+        let mut skipped = generator("gcc", 13);
+        let mut stepped = generator("gcc", 13);
+        let spanned = skipped.skip_branches(5_000);
+        let mut left = 5_000u64;
+        while left > 0 {
+            if matches!(stepped.next_event(), TraceEvent::Branch(_)) {
+                left -= 1;
+            }
+        }
+        assert_eq!(spanned, stepped.instructions());
+        // Cursors coincide: the continuations are identical streams.
+        let a: Vec<TraceEvent> = skipped.take(2_000).collect();
+        let b: Vec<TraceEvent> = stepped.take(2_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip_instructions_matches_discarding_events() {
+        let mut skipped = generator("povray", 21);
+        let mut stepped = generator("povray", 21);
+        let spanned = skipped.skip_instructions(40_000);
+        assert!(spanned >= 40_000);
+        while stepped.instructions() < spanned {
+            let _ = stepped.next_event();
+        }
+        assert_eq!(spanned, stepped.instructions());
+        let a: Vec<TraceEvent> = skipped.take(2_000).collect();
+        let b: Vec<TraceEvent> = stepped.take(2_000).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

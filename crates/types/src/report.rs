@@ -67,6 +67,9 @@ pub struct RunRecord {
     /// Normalized overhead vs the group baseline; `None` on baseline and
     /// attack runs.
     pub overhead: Option<f64>,
+    /// Standard error of `cycles` propagated from the sampling windows;
+    /// `None` on exact (full-measurement) and attack runs.
+    pub stderr: Option<f64>,
     /// Full prediction statistics (summed across threads for SMT runs).
     pub stats: PredictionStats,
     /// Per-hardware-thread statistics breakdown for SMT runs (empty on
@@ -107,6 +110,9 @@ pub struct CellSummary {
     pub mean: f64,
     /// Population standard deviation across seed replicas (0 for n = 1).
     pub stddev: f64,
+    /// Standard error of `mean` propagated from the per-run sampling
+    /// stderrs (0 when every contributing run was exact).
+    pub stderr: f64,
     /// Number of seed replicas aggregated.
     pub n: u32,
 }
@@ -468,9 +474,15 @@ pub fn attack_json(a: &AttackRecord) -> String {
 
 fn record_json(r: &RunRecord) -> String {
     let per_thread: Vec<String> = r.per_thread.iter().map(stats_json).collect();
+    // The stderr field is emitted only for sampled runs, so exact-run
+    // JSONL keeps its historical byte layout.
+    let stderr = match r.stderr {
+        None => String::new(),
+        Some(se) => format!(",\"stderr\":{}", fmt_f64(se)),
+    };
     format!(
         "{{\"series\":{},\"predictor\":{},\"interval\":{},\"case\":{},\
-         \"seed_index\":{},\"seed\":{},\"cycles\":{},\"overhead\":{},\
+         \"seed_index\":{},\"seed\":{},\"cycles\":{},\"overhead\":{}{stderr},\
          \"stats\":{},\"per_thread\":[{}],\"attack\":{}}}",
         json_str(&r.series),
         json_str(&r.predictor),
@@ -505,6 +517,7 @@ mod tests {
             seed: 42,
             cycles: 1000.0,
             overhead,
+            stderr: None,
             stats: PredictionStats::default(),
             per_thread: Vec::new(),
             attack: None,
@@ -529,6 +542,7 @@ mod tests {
                 case_id: "case1".to_string(),
                 mean: 0.0123,
                 stddev: 0.0,
+                stderr: 0.0,
                 n: 1,
             }],
             series: vec![SeriesSummary {
@@ -561,6 +575,20 @@ mod tests {
         assert!(lines[0].contains("\"per_thread\":[]"));
         assert!(lines[0].contains("\"attack\":null"));
         assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(
+            !lines[0].contains("stderr"),
+            "exact runs keep their historical JSONL layout"
+        );
+    }
+
+    #[test]
+    fn jsonl_emits_stderr_only_for_sampled_runs() {
+        let mut r = report();
+        r.records[1].stderr = Some(12.5);
+        let out = r.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(!lines[0].contains("stderr"));
+        assert!(lines[1].contains("\"overhead\":0.0123,\"stderr\":12.5,\"stats\""));
     }
 
     fn thread_stats(instructions: u64) -> PredictionStats {

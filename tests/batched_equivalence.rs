@@ -82,6 +82,7 @@ fn run_job_scalar(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> RawResult {
                 cycles: stats.cycles as f64,
                 stats,
                 per_thread: Vec::new(),
+                stderr: None,
             })
         }
         SweepMode::Smt => {
@@ -104,6 +105,7 @@ fn run_job_scalar(spec: &SweepSpec, plan: &SweepPlan, job: &Job) -> RawResult {
                 cycles: result.cycles,
                 stats,
                 per_thread: result.per_thread,
+                stderr: None,
             })
         }
     }

@@ -1,0 +1,153 @@
+//! Pins the warm-state checkpoint machinery at the simulator level:
+//! snapshotting a simulator after warm-up (`try_clone`) and continuing
+//! from the snapshot must be **bit-identical** to never having paused —
+//! for every predictor × mechanism combination the sweep grids use, on
+//! both the single-core and SMT frontends. The interval-retarget path
+//! (one warm state serving the whole interval axis) is pinned the same
+//! way: a checkpoint taken under one interval and retargeted to another
+//! must match a fresh warm-up run entirely under the second interval.
+//!
+//! These are the invariants that let the sweep engine's checkpoint cache
+//! skip re-simulating warm-up without changing a single stored byte.
+//! Budgets are pinned small and explicit (never via `SBP_SCALE`, which is
+//! process-cached).
+
+use secure_bp::isolation::Mechanism;
+use secure_bp::predictors::PredictorKind;
+use secure_bp::sim::{CoreConfig, SamplingPlan, SingleCoreSim, SmtSim, SwitchInterval};
+
+/// Every mechanism family the paper grids exercise.
+fn mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::Baseline,
+        Mechanism::CompleteFlush,
+        Mechanism::PreciseFlush,
+        Mechanism::xor_btb(),
+        Mechanism::enhanced_xor_pht(),
+        Mechanism::noisy_xor_bp(),
+    ]
+}
+
+const WARM: u64 = 30_000;
+const MEASURE: u64 = 40_000;
+
+#[test]
+fn single_core_checkpoint_restore_is_bit_identical_per_predictor_and_mechanism() {
+    for predictor in PredictorKind::ALL {
+        for mechanism in mechanisms() {
+            let fresh = || {
+                SingleCoreSim::new(
+                    CoreConfig::fpga(),
+                    predictor,
+                    mechanism,
+                    SwitchInterval::M8,
+                    &["gcc", "calculix"],
+                    0xc0de,
+                )
+                .expect("valid sim")
+            };
+            // Uninterrupted reference run.
+            let mut uninterrupted = fresh();
+            let expected = uninterrupted.run_target(WARM, MEASURE);
+            // Warm, checkpoint, continue from the restored snapshot.
+            let mut warm = fresh();
+            warm.warm(WARM);
+            let mut restored = warm
+                .try_clone()
+                .expect("built-in predictors are snapshotable");
+            drop(warm);
+            let got = restored.run_measure(MEASURE);
+            assert_eq!(
+                got, expected,
+                "{predictor:?}/{mechanism:?}: restored checkpoint diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn smt_checkpoint_restore_is_bit_identical_per_predictor_and_mechanism() {
+    for predictor in PredictorKind::ALL {
+        for mechanism in mechanisms() {
+            let fresh = || {
+                SmtSim::new(
+                    CoreConfig::gem5(),
+                    predictor,
+                    mechanism,
+                    SwitchInterval::M8,
+                    &["zeusmp", "lbm"],
+                    0xbeef,
+                )
+                .expect("valid sim")
+            };
+            let mut uninterrupted = fresh();
+            let expected = uninterrupted.run(WARM, MEASURE);
+            let mut warm = fresh();
+            warm.warm(WARM);
+            let mut restored = warm.try_clone().expect("snapshotable");
+            drop(warm);
+            let got = restored.run_measure(MEASURE);
+            assert_eq!(
+                got.per_thread, expected.per_thread,
+                "{predictor:?}/{mechanism:?}: restored SMT checkpoint diverged"
+            );
+            assert_eq!(
+                got.cycles.to_bits(),
+                expected.cycles.to_bits(),
+                "{predictor:?}/{mechanism:?}: SMT wall clock diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn retargeted_checkpoints_match_fresh_warmups_on_the_new_interval() {
+    for mechanism in [Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()] {
+        // Warm under M12, retarget the snapshot to M4: identical to a
+        // sim that ran under M4 from the start (warm-up fires no timer
+        // switch at these budgets, so the warm state is interval-free).
+        let build = |interval| {
+            SingleCoreSim::new(
+                CoreConfig::fpga(),
+                PredictorKind::Gshare,
+                mechanism,
+                interval,
+                &["gcc", "calculix"],
+                7,
+            )
+            .expect("valid sim")
+        };
+        let mut warm = build(SwitchInterval::M12);
+        warm.warm(WARM);
+        assert_eq!(warm.context_switches(), 0, "warm-up must not switch");
+        let mut retargeted = warm.try_clone().expect("snapshotable");
+        assert!(retargeted.retarget_interval(SwitchInterval::M4));
+        let got = retargeted.run_measure(MEASURE);
+        let mut reference = build(SwitchInterval::M4);
+        let expected = reference.run_target(WARM, MEASURE);
+        assert_eq!(got, expected, "{mechanism:?}: retargeted run diverged");
+    }
+}
+
+#[test]
+fn sampled_measurements_are_deterministic_from_restored_checkpoints() {
+    // The window-measurement cache stores one SampledMeasurement per warm
+    // state; re-measuring from a second restore of the same checkpoint
+    // must reproduce it exactly (this is what makes cache eviction safe).
+    let plan = SamplingPlan::quick();
+    let mut warm = SingleCoreSim::new(
+        CoreConfig::fpga(),
+        PredictorKind::TageScL,
+        Mechanism::CompleteFlush,
+        SwitchInterval::M8,
+        &["gcc", "calculix"],
+        11,
+    )
+    .expect("valid sim");
+    warm.warm(WARM);
+    let mut a = warm.try_clone().expect("snapshotable");
+    let mut b = warm.try_clone().expect("snapshotable");
+    let ma = a.run_sampled(&plan);
+    let mb = b.run_sampled(&plan);
+    assert_eq!(ma, mb, "sampled windows diverged across restores");
+}
