@@ -60,12 +60,15 @@ fn main() -> ExitCode {
     let report = measure(&cfg);
     for s in &report.series {
         eprintln!(
-            "  {:<10} {:<13} scalar {:>12.1} bps (±{:.1}%), batched {:>12.1} bps (±{:.1}%), speedup {:.3}",
+            "  {:<10} {:<13} scalar {:>12.1} bps (median {:>12.1}, ±{:.1}%), \
+             batched {:>12.1} bps (median {:>12.1}, ±{:.1}%), speedup {:.3}",
             s.predictor,
             s.mechanism,
             s.scalar_bps,
+            s.scalar_median_bps,
             100.0 * s.scalar_spread,
             s.batched_bps,
+            s.batched_median_bps,
             100.0 * s.batched_spread,
             s.speedup
         );

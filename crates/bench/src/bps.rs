@@ -7,7 +7,7 @@
 //! produce bit-identical simulation results (the measurement asserts it),
 //! so their throughput ratio isolates what the batched rewrite buys.
 //!
-//! The emitted report is schema-stable JSON (`sbp-bench/bps/v1`) parsed
+//! The emitted report is schema-stable JSON ([`SCHEMA`]) parsed
 //! back with [`sbp_sweep::json`]; `bps --check BENCH_6.json` compares a
 //! fresh measurement against the committed file and fails when the
 //! machine-independent batched/scalar *speedup ratio* regresses by more
@@ -25,8 +25,10 @@ use sbp_types::PredictionStats;
 
 /// Schema tag of the emitted report; bump on any breaking field change.
 /// v2 added the per-series `scalar_spread`/`batched_spread` fields
-/// (relative best-to-worst spread across the timing repeats).
-pub const SCHEMA: &str = "sbp-bench/bps/v2";
+/// (relative best-to-worst spread across the timing repeats); v3 added
+/// `scalar_median_bps`/`batched_median_bps` (the median repeat, a
+/// noise-robust central tendency to read next to the gated best-of).
+pub const SCHEMA: &str = "sbp-bench/bps/v3";
 
 /// Workload pair every series runs (first single-core case of the paper).
 pub const CASE: (&str, &str) = ("gcc", "calculix");
@@ -112,6 +114,10 @@ pub struct BpsSeries {
     pub branches: u64,
     /// Scalar reference path throughput, branches/second (best repeat).
     pub scalar_bps: f64,
+    /// Scalar path throughput of the *median* repeat (by wall time) —
+    /// the noise-robust central tendency; equals `scalar_bps` with a
+    /// single repeat.
+    pub scalar_median_bps: f64,
     /// Relative best-to-worst throughput spread across the scalar
     /// repeats, `(best − worst) / best`; 0 with a single repeat. A large
     /// spread flags a noisy measurement whose `speedup` should not be
@@ -119,6 +125,8 @@ pub struct BpsSeries {
     pub scalar_spread: f64,
     /// Batched production path throughput, branches/second (best repeat).
     pub batched_bps: f64,
+    /// Batched path throughput of the median repeat.
+    pub batched_median_bps: f64,
     /// Relative best-to-worst spread across the batched repeats.
     pub batched_spread: f64,
     /// `batched_bps / scalar_bps` — the machine-independent gate metric.
@@ -168,18 +176,27 @@ fn timed_run(
     (start.elapsed().as_secs_f64(), stats)
 }
 
-/// Best-of-`repeats` branches/sec through one path (plus the relative
-/// best-to-worst spread), asserting every repeat produces identical
-/// simulation results.
+/// One path's throughput summary across the timing repeats.
+struct PathTiming {
+    /// Best-repeat branches/sec (the gated metric).
+    best_bps: f64,
+    /// Median-repeat branches/sec (noise-robust central tendency).
+    median_bps: f64,
+    /// Relative best-to-worst spread, `(best − worst) / best`.
+    spread: f64,
+}
+
+/// Best-of-`repeats` branches/sec through one path (plus the median
+/// repeat and the relative best-to-worst spread), asserting every repeat
+/// produces identical simulation results.
 fn measure_path(
     predictor: PredictorKind,
     mechanism: Mechanism,
     scalar: bool,
     cfg: &BpsConfig,
     measure: u64,
-) -> (f64, f64, PredictionStats) {
-    let mut best_secs = f64::INFINITY;
-    let mut worst_secs = 0.0f64;
+) -> (PathTiming, PredictionStats) {
+    let mut secs = Vec::with_capacity(cfg.repeats.max(1) as usize);
     let mut first_stats: Option<PredictionStats> = None;
     for _ in 0..cfg.repeats.max(1) {
         let mut sim = SingleCoreSim::new(
@@ -191,20 +208,29 @@ fn measure_path(
             SEED,
         )
         .expect("benchmark workloads are registered");
-        let (secs, stats) = timed_run(&mut sim, scalar, cfg.warmup, measure);
+        let (run_secs, stats) = timed_run(&mut sim, scalar, cfg.warmup, measure);
         match &first_stats {
             None => first_stats = Some(stats),
             Some(prev) => assert_eq!(*prev, stats, "nondeterministic run"),
         }
-        best_secs = best_secs.min(secs);
-        worst_secs = worst_secs.max(secs);
+        secs.push(run_secs);
     }
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let n = secs.len();
+    let median_secs = if n % 2 == 1 {
+        secs[n / 2]
+    } else {
+        (secs[n / 2 - 1] + secs[n / 2]) / 2.0
+    };
     let branches = cfg.warmup + measure;
-    let best_bps = branches as f64 / best_secs;
-    let worst_bps = branches as f64 / worst_secs;
+    let best_bps = branches as f64 / secs[0];
+    let worst_bps = branches as f64 / secs[n - 1];
     (
-        best_bps,
-        (best_bps - worst_bps) / best_bps,
+        PathTiming {
+            best_bps,
+            median_bps: branches as f64 / median_secs,
+            spread: (best_bps - worst_bps) / best_bps,
+        },
         first_stats.expect("ran at least once"),
     )
 }
@@ -230,10 +256,8 @@ pub fn measure(cfg: &BpsConfig) -> BpsReport {
     let mut series = Vec::new();
     for &(predictor, branches) in grid {
         for mechanism in mechanisms {
-            let (scalar_bps, scalar_spread, scalar_stats) =
-                measure_path(predictor, mechanism, true, cfg, branches);
-            let (batched_bps, batched_spread, batched_stats) =
-                measure_path(predictor, mechanism, false, cfg, branches);
+            let (scalar, scalar_stats) = measure_path(predictor, mechanism, true, cfg, branches);
+            let (batched, batched_stats) = measure_path(predictor, mechanism, false, cfg, branches);
             assert_eq!(
                 scalar_stats,
                 batched_stats,
@@ -245,11 +269,13 @@ pub fn measure(cfg: &BpsConfig) -> BpsReport {
                 predictor: predictor.label().to_string(),
                 mechanism: mechanism.label().to_string(),
                 branches: cfg.warmup + branches,
-                scalar_bps: round_to(scalar_bps, 1),
-                scalar_spread: round_to(scalar_spread, 3),
-                batched_bps: round_to(batched_bps, 1),
-                batched_spread: round_to(batched_spread, 3),
-                speedup: round_to(batched_bps / scalar_bps, 3),
+                scalar_bps: round_to(scalar.best_bps, 1),
+                scalar_median_bps: round_to(scalar.median_bps, 1),
+                scalar_spread: round_to(scalar.spread, 3),
+                batched_bps: round_to(batched.best_bps, 1),
+                batched_median_bps: round_to(batched.median_bps, 1),
+                batched_spread: round_to(batched.spread, 3),
+                speedup: round_to(batched.best_bps / scalar.best_bps, 3),
             });
         }
     }
@@ -297,14 +323,17 @@ impl BpsReport {
         for (i, s) in self.series.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"predictor\": \"{}\", \"mechanism\": \"{}\", \"branches\": {}, \
-                 \"scalar_bps\": {}, \"scalar_spread\": {}, \"batched_bps\": {}, \
-                 \"batched_spread\": {}, \"speedup\": {}}}{}\n",
+                 \"scalar_bps\": {}, \"scalar_median_bps\": {}, \"scalar_spread\": {}, \
+                 \"batched_bps\": {}, \"batched_median_bps\": {}, \"batched_spread\": {}, \
+                 \"speedup\": {}}}{}\n",
                 s.predictor,
                 s.mechanism,
                 s.branches,
                 fmt_f64(s.scalar_bps),
+                fmt_f64(s.scalar_median_bps),
                 fmt_f64(s.scalar_spread),
                 fmt_f64(s.batched_bps),
+                fmt_f64(s.batched_median_bps),
                 fmt_f64(s.batched_spread),
                 fmt_f64(s.speedup),
                 if i + 1 < self.series.len() { "," } else { "" }
@@ -359,8 +388,10 @@ impl BpsReport {
                 mechanism: json::get_str(s, "mechanism")?.to_string(),
                 branches: json::get_u64(s, "branches")?,
                 scalar_bps: json::get_f64(s, "scalar_bps")?,
+                scalar_median_bps: json::get_f64(s, "scalar_median_bps")?,
                 scalar_spread: json::get_f64(s, "scalar_spread")?,
                 batched_bps: json::get_f64(s, "batched_bps")?,
+                batched_median_bps: json::get_f64(s, "batched_median_bps")?,
                 batched_spread: json::get_f64(s, "batched_spread")?,
                 speedup: json::get_f64(s, "speedup")?,
             })
@@ -473,8 +504,10 @@ mod tests {
                     mechanism: "Baseline".into(),
                     branches: 45_000,
                     scalar_bps: 9_000_000.0,
+                    scalar_median_bps: 8_800_000.0,
                     scalar_spread: 0.031,
                     batched_bps: 10_000_000.0,
+                    batched_median_bps: 9_950_000.0,
                     batched_spread: 0.012,
                     speedup: 1.111,
                 },
@@ -483,8 +516,10 @@ mod tests {
                     mechanism: "Noisy-XOR-BP".into(),
                     branches: 45_000,
                     scalar_bps: 6_000_000.0,
+                    scalar_median_bps: 6_000_000.0,
                     scalar_spread: 0.0,
                     batched_bps: 9_000_000.0,
+                    batched_median_bps: 8_500_000.0,
                     batched_spread: 0.08,
                     speedup: 1.5,
                 },
@@ -531,7 +566,9 @@ mod tests {
         let a = sample();
         let mut b = sample();
         b.series[0].scalar_bps *= 2.0;
+        b.series[0].scalar_median_bps *= 2.0;
         b.series[0].batched_bps *= 0.5;
+        b.series[0].batched_median_bps *= 0.5;
         b.smoke[0].wall_seconds = 99.0;
         assert_eq!(a.fingerprint(), b.fingerprint());
         let mut c = sample();
@@ -550,9 +587,17 @@ mod tests {
                 "bad series {s:?}"
             );
             assert!(s.speedup > 0.0);
-            // A single repeat has no spread by definition.
+            // A single repeat has no spread, and its median IS the best.
             assert_eq!(s.scalar_spread, 0.0, "spread with one repeat {s:?}");
             assert_eq!(s.batched_spread, 0.0, "spread with one repeat {s:?}");
+            assert_eq!(
+                s.scalar_median_bps, s.scalar_bps,
+                "median != best with one repeat {s:?}"
+            );
+            assert_eq!(
+                s.batched_median_bps, s.batched_bps,
+                "median != best with one repeat {s:?}"
+            );
         }
         assert!(a.smoke.is_empty(), "quick config skips smoke timing");
         let b = measure(&cfg);

@@ -63,6 +63,27 @@ fn tracked_report_series_are_positive_and_cover_the_grid() {
             "bad batched_bps in {s:?}"
         );
         assert!(s.speedup > 0.0, "bad speedup in {s:?}");
+        // The median repeat can never beat the best repeat, and with the
+        // spread recorded it can't be slower than the worst either.
+        for (label, median, best, spread) in [
+            ("scalar", s.scalar_median_bps, s.scalar_bps, s.scalar_spread),
+            (
+                "batched",
+                s.batched_median_bps,
+                s.batched_bps,
+                s.batched_spread,
+            ),
+        ] {
+            assert!(
+                median > 0.0 && median.is_finite(),
+                "bad {label} median in {s:?}"
+            );
+            assert!(median <= best * 1.001, "{label} median beats best in {s:?}");
+            assert!(
+                median >= best * (1.0 - spread) * 0.999,
+                "{label} median below worst in {s:?}"
+            );
+        }
         // Spreads are relative best-to-worst deltas: [0, 1) by
         // construction. Single repeats legitimately stall 2x on a shared
         // VM (the gated metric is the best-of ratio, which best-of-21

@@ -1,23 +1,33 @@
-//! Schema tests for the tracked `BENCH_7.json` at the repository root:
-//! the sampled-campaign headline numbers (wall seconds per catalog entry
-//! for an exact `SBP_SCALE=1` full-catalog `--check` run and the sampled
-//! run of the same entries). The `paper-scale-check` CI job reads the
-//! sampled total as its wall-time budget, and `docs/PERFORMANCE.md`
-//! quotes the speedup, so the committed file must stay parseable and
-//! internally consistent. Regenerated manually when the sampling
-//! subsystem changes (see the file's own `note`).
+//! Schema tests for the tracked `BENCH_8.json` at the repository root:
+//! the hybrid sampled-campaign headline numbers (wall seconds per
+//! catalog entry for an exact `SBP_SCALE=1` full-catalog `--check` run
+//! and the `--gap-mode functional` sampled run of the same entries,
+//! plus the storm-cell estimator-error table). The `paper-scale-check`
+//! CI job reads the sampled total as its wall-time budget, and
+//! `docs/PERFORMANCE.md` quotes the speedup and the error table, so
+//! the committed file must stay parseable and internally consistent.
+//! Regenerated manually when the sampling subsystem changes (see the
+//! file's own `note`). `BENCH_7.json` (the pre-hybrid fast-forward
+//! numbers) is kept for provenance but no longer gated.
 
 use std::path::PathBuf;
 
 use sbp_campaign::Catalog;
 use sbp_sweep::json;
 
-/// The total speedup the sampled campaign must deliver to stay worth
-/// its extra machinery (and the bound quoted in docs/PERFORMANCE.md).
+/// The total speedup the hybrid sampled campaign must deliver to stay
+/// worth its extra machinery (and the bound quoted in
+/// docs/PERFORMANCE.md).
 const MIN_SPEEDUP: f64 = 5.0;
 
+/// The worst sampled-vs-exact relative error any calibrated cell may
+/// carry — the hybrid plans' reason to exist is holding the
+/// storm-dominated cells inside this (the fast-forward sampler read
+/// them up to ~35% low).
+const MAX_CELL_REL_ERROR: f64 = 0.10;
+
 fn tracked_report() -> String {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json");
     std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read tracked {}: {e}", path.display()))
 }
@@ -61,16 +71,21 @@ fn checked_stanza(obj: &[(String, json::Value)], key: &str) -> f64 {
 
 #[test]
 fn tracked_sampled_campaign_report_is_consistent_and_fast_enough() {
-    let doc = json::parse(&tracked_report()).expect("BENCH_7.json is valid JSON");
+    let doc = json::parse(&tracked_report()).expect("BENCH_8.json is valid JSON");
     let obj = doc.as_object().expect("top level is an object");
     assert_eq!(
         json::get_str(obj, "schema").expect("schema"),
-        "sbp-bench/sampled-campaign/v1"
+        "sbp-bench/sampled-campaign/v2"
     );
     assert_eq!(
         json::get_f64(obj, "scale").expect("scale"),
         1.0,
         "the headline numbers are paper scale"
+    );
+    assert_eq!(
+        json::get_str(obj, "gap_mode").expect("gap_mode"),
+        "functional",
+        "the sampled stanza must be the hybrid run"
     );
     json::get_str(obj, "note").expect("provenance note");
 
@@ -87,4 +102,41 @@ fn tracked_sampled_campaign_report_is_consistent_and_fast_enough() {
         speedup >= MIN_SPEEDUP,
         "sampled campaign speedup {speedup} fell below the {MIN_SPEEDUP}x headline"
     );
+}
+
+#[test]
+fn tracked_estimator_error_cells_stay_within_the_hybrid_bound() {
+    let doc = json::parse(&tracked_report()).expect("BENCH_8.json is valid JSON");
+    let obj = doc.as_object().expect("top level is an object");
+    let stanza = json::get(obj, "estimator_error")
+        .expect("estimator_error stanza")
+        .as_object()
+        .expect("estimator_error is an object");
+    json::get_str(stanza, "note").expect("methodology note");
+    let cells = json::get(stanza, "cells")
+        .expect("cells")
+        .as_array()
+        .expect("cells is an array");
+    assert!(
+        cells.len() >= 4,
+        "the calibration table must keep at least the four storm cells"
+    );
+    for cell in cells {
+        let cell = cell.as_object().expect("cell is an object");
+        let name = json::get_str(cell, "cell").expect("cell name");
+        let exact = json::get_f64(cell, "exact").expect("exact mean");
+        let sampled = json::get_f64(cell, "sampled").expect("sampled mean");
+        assert!(
+            exact > 0.0 && exact.is_finite() && sampled.is_finite(),
+            "{name}: bad means exact={exact} sampled={sampled}"
+        );
+        let rel = (sampled - exact).abs() / exact;
+        assert!(
+            rel <= MAX_CELL_REL_ERROR,
+            "{name}: sampled {sampled} is {:.1}% off exact {exact} — the \
+             hybrid estimator bound is {:.0}%",
+            rel * 100.0,
+            MAX_CELL_REL_ERROR * 100.0
+        );
+    }
 }

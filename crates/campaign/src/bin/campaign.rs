@@ -23,7 +23,10 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use sbp_campaign::coordinator::{check_and_print, summarize_verdicts};
-use sbp_campaign::{run_campaign, run_worker, CampaignOptions, Catalog, Manifest, WorkerArgs};
+use sbp_campaign::{
+    parse_gap_mode, run_campaign, run_worker, CampaignOptions, Catalog, Manifest, WorkerArgs,
+};
+use sbp_sim::GapMode;
 use sbp_sweep::Shard;
 use sbp_types::SbpError;
 
@@ -41,6 +44,8 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     }
     let (mut list, mut in_process, mut options) = (false, false, CampaignOptions::default());
     let mut sampled = false;
+    let mut gap_mode: Option<GapMode> = None;
+    let mut window_threads: Option<usize> = None;
     let mut manifest_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -53,6 +58,25 @@ fn run(args: &[String]) -> Result<(), SbpError> {
             "--in-process" => in_process = true,
             "--check" => options.check = true,
             "--sampled" => sampled = true,
+            "--profile" => options.profile = true,
+            "--gap-mode" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| SbpError::campaign("--gap-mode needs a mode name"))?;
+                gap_mode = Some(parse_gap_mode(raw)?);
+            }
+            "--window-threads" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| SbpError::campaign("--window-threads needs a count"))?;
+                let parsed: usize = raw
+                    .parse()
+                    .map_err(|e| SbpError::campaign(format!("--window-threads {raw:?}: {e}")))?;
+                if parsed == 0 {
+                    return Err(SbpError::campaign("--window-threads must be >= 1"));
+                }
+                window_threads = Some(parsed);
+            }
             "--stall-timeout" => {
                 let raw = it
                     .next()
@@ -83,7 +107,12 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     if list {
         // Silently discarding a manifest or mode flag would be the quiet
         // failure the strict parsers elsewhere exist to prevent.
-        if in_process || sampled || options != CampaignOptions::default() || manifest_path.is_some()
+        if in_process
+            || sampled
+            || gap_mode.is_some()
+            || window_threads.is_some()
+            || options != CampaignOptions::default()
+            || manifest_path.is_some()
         {
             return Err(SbpError::campaign(
                 "--list takes no other options or manifest",
@@ -123,14 +152,41 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     if sampled {
         manifest.sampling = true;
     }
+    if let Some(mode) = gap_mode {
+        if !manifest.sampling {
+            return Err(SbpError::campaign(
+                "--gap-mode needs sampling (--sampled or the manifest's \"sampling\": true)",
+            ));
+        }
+        manifest.gap_mode = mode;
+    }
+    if let Some(threads) = window_threads {
+        manifest.window_threads = Some(threads);
+    }
     if in_process {
+        if let Some(threads) = manifest.window_threads {
+            sbp_sweep::set_window_threads(threads);
+        }
+        if options.profile {
+            sbp_sim::profile::set_enabled(true);
+        }
         let mut verdicts = Vec::new();
         for (entry, spec) in manifest.specs()? {
             eprintln!(
                 "campaign[{}]: {} — in-process reference run",
                 entry.name, entry.artifact
             );
+            if options.profile {
+                sbp_sim::profile::reset();
+            }
             let report = spec.run()?;
+            if options.profile {
+                eprintln!(
+                    "campaign[{}] profile: {}",
+                    entry.name,
+                    sbp_sim::profile::snapshot().to_line()
+                );
+            }
             print!("{}", report.to_table());
             if options.check {
                 verdicts.push(check_and_print(entry, &report));
@@ -163,6 +219,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         .ok_or_else(|| SbpError::campaign("--worker needs a catalog entry name"))?
         .clone();
     let (mut shard, mut store, mut seeds, mut sampled) = (None, None, None, false);
+    let (mut gap_mode, mut window_threads, mut profile) = (GapMode::FastForward, None, false);
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -180,6 +237,18 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
                 seeds = Some(parsed);
             }
             "--sampled" => sampled = true,
+            "--gap-mode" => gap_mode = parse_gap_mode(value("a mode name")?)?,
+            "--window-threads" => {
+                let raw = value("a count")?;
+                let parsed: usize = raw
+                    .parse()
+                    .map_err(|e| SbpError::campaign(format!("--window-threads {raw:?}: {e}")))?;
+                if parsed == 0 {
+                    return Err(SbpError::campaign("--window-threads must be >= 1"));
+                }
+                window_threads = Some(parsed);
+            }
+            "--profile" => profile = true,
             other => {
                 return Err(SbpError::campaign(format!(
                     "unknown worker argument {other:?}"
@@ -193,6 +262,9 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         store: store.ok_or_else(|| SbpError::campaign("--worker needs --store PATH"))?,
         seeds,
         sampled,
+        gap_mode,
+        window_threads,
+        profile,
     })
 }
 
@@ -208,10 +280,18 @@ fn print_usage() {
     println!("                        table; exit nonzero when out of tolerance");
     println!("  --sampled             run simulation entries with their mode's default");
     println!("                        sampling plan (warm checkpoints + window estimation)");
+    println!("  --gap-mode MODE       gap strategy for sampled runs: \"fast-forward\" (skip +");
+    println!("                        rewarm, the default) or \"functional\" (state-exact");
+    println!("                        executed gaps — the hybrid plans); needs --sampled");
+    println!("  --window-threads N    fan each sampled cell's measurement windows out across");
+    println!("                        N threads per worker (results are bit-identical)");
+    println!("  --profile             print a per-entry wall-time phase breakdown (warm /");
+    println!("                        gaps / steady / event / exact measure) to stderr");
     println!("  --stall-timeout SECS  kill + retry a worker whose shard store stops");
     println!("                        growing for SECS (must exceed the slowest job)");
     println!();
     println!(
-        "manifest keys: entries (required), workers, scale, seeds, out_dir, retries, sampling"
+        "manifest keys: entries (required), workers, scale, seeds, out_dir, retries, sampling, \
+         gap_mode, window_threads"
     );
 }

@@ -39,6 +39,10 @@ pub struct CampaignOptions {
     /// this long is killed and retried (`--stall-timeout`). Must exceed
     /// the slowest single job, or healthy workers get killed mid-cell.
     pub stall_timeout: Option<Duration>,
+    /// Forward `--profile` to every worker: each shard prints its
+    /// wall-time phase breakdown (warm / gaps / steady / event / exact
+    /// measure) to stderr after its run.
+    pub profile: bool,
 }
 
 /// Runs the whole campaign described by `manifest`, spawning workers from
@@ -174,7 +178,7 @@ fn run_entry(
     loop {
         let mut procs = Vec::with_capacity(pending.len());
         for &shard in &pending {
-            let child = spawn_worker(manifest, entry, exe, shard, n, attempt)?;
+            let child = spawn_worker(manifest, entry, exe, shard, n, attempt, options)?;
             procs.push(WorkerProc {
                 shard,
                 child,
@@ -238,6 +242,7 @@ fn spawn_worker(
     shard: usize,
     n: usize,
     attempt: u32,
+    options: &CampaignOptions,
 ) -> Result<Child, SbpError> {
     let store = shard_store_path(&manifest.out_dir, entry, shard + 1, n);
     let mut cmd = Command::new(exe);
@@ -253,6 +258,15 @@ fn spawn_worker(
     }
     if manifest.sampling {
         cmd.arg("--sampled");
+        if manifest.gap_mode == sbp_sim::GapMode::Functional {
+            cmd.arg("--gap-mode").arg("functional");
+        }
+    }
+    if let Some(threads) = manifest.window_threads {
+        cmd.arg("--window-threads").arg(threads.to_string());
+    }
+    if options.profile {
+        cmd.arg("--profile");
     }
     if let Some(scale) = manifest.scale {
         cmd.env("SBP_SCALE", format!("{scale}"));

@@ -108,19 +108,27 @@ pub(crate) mod entries {
     //! reproduction (the sim is deterministic per seed, so these are
     //! stable, and `widen_factor` is 1 at paper scale — the tolerances
     //! need no reduced-scale headroom); verdicts match the paper's
-    //! Table 1. The sampled path's residual estimator bias (see
-    //! `docs/PERFORMANCE.md` § Sampled simulation) rides inside the
-    //! same tolerances at scale 1.
+    //! Table 1. The hybrid sampled path (functional gaps + full-storm
+    //! event windows, see `docs/PERFORMANCE.md` § Sampled simulation)
+    //! reproduces even the storm-dominated cells to within a few
+    //! percent of exact, so the tolerances are calibrated tight — they
+    //! no longer carry slack for fast-forward truncation bias.
 
     use super::{Expectation as E, NOISE_FLOOR};
 
     /// Figure 1 — CF on the single-threaded core: flush cost grows with
-    /// flush frequency and stays a sub-percent effect.
+    /// flush frequency and stays a sub-percent effect. The CF/4M cell is
+    /// storm-dominated (post-flush retraining is nearly all of the
+    /// cost); its mean is pinned tight because the hybrid sampled path
+    /// reproduces the exact value to ~1% (the fast-forward sampler's
+    /// truncation bias read this cell ~35% low and needed the old loose
+    /// bound).
     pub(crate) fn fig01() -> Vec<E> {
         vec![
             E::order("Gshare", "CF", "4M", "CF", "8M"),
             E::order("Gshare", "CF", "8M", "CF", "12M"),
-            E::at_most("CF", "Gshare", "4M", 0.05),
+            E::mean_within("CF", "Gshare", "4M", 0.0083, 0.004),
+            E::at_most("CF", "Gshare", "4M", 0.02),
             E::at_least("CF", "Gshare", "12M", NOISE_FLOOR),
         ]
     }
@@ -168,7 +176,7 @@ pub(crate) mod entries {
     /// cost, dominated by the encoding rather than the rekey interval.
     pub(crate) fn fig08() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-PHT", "Gshare", "8M", 0.0205, 0.030),
+            E::mean_within("Noisy-XOR-PHT", "Gshare", "8M", 0.0205, 0.008),
             E::at_most("Enhanced-XOR-PHT", "Gshare", "4M", 0.08),
             E::at_most("Noisy-XOR-PHT", "Gshare", "4M", 0.08),
             E::at_least("Enhanced-XOR-PHT", "Gshare", "12M", NOISE_FLOOR),
@@ -180,7 +188,7 @@ pub(crate) mod entries {
     /// this reproduction lands under 5%).
     pub(crate) fn fig09() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0195, 0.030),
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0195, 0.008),
             E::at_most("Noisy-XOR-BP", "Gshare", "8M", 0.06),
             E::at_most("XOR-BP", "Gshare", "8M", 0.06),
             E::at_least("XOR-BP", "Gshare", "12M", NOISE_FLOOR),
@@ -193,7 +201,7 @@ pub(crate) mod entries {
         let mut v = Vec::new();
         for p in ["Gshare", "Tournament", "LTAGE", "TAGE_SC_L"] {
             v.push(E::order(p, "CF", "8M", "PF", "8M"));
-            v.push(E::at_most("Noisy-XOR-BP", p, "8M", 0.15));
+            v.push(E::at_most("Noisy-XOR-BP", p, "8M", 0.12));
         }
         v
     }
@@ -373,7 +381,7 @@ pub(crate) mod entries {
     /// full-scale mean, and the conclusion's "< 5% slowdown on average".
     pub(crate) fn tab04() -> Vec<E> {
         vec![
-            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0184, 0.025),
+            E::mean_within("Noisy-XOR-BP", "Gshare", "12M", 0.0184, 0.008),
             E::at_most("Noisy-XOR-BP", "Gshare", "12M", 0.05),
         ]
     }

@@ -44,5 +44,5 @@ pub mod worker;
 pub use catalog::{Catalog, CatalogEntry};
 pub use coordinator::{run_campaign, shard_store_path, CampaignOptions};
 pub use expect::{check_entry, maybe_perturbed, Expectation, VerdictTable, PERTURB_ENV};
-pub use manifest::Manifest;
+pub use manifest::{parse_gap_mode, Manifest};
 pub use worker::{run_worker, WorkerArgs, DIE_AFTER_ENV, DIE_EXIT_CODE, STALL_AFTER_ENV};

@@ -23,11 +23,27 @@
 
 use std::path::{Path, PathBuf};
 
+use sbp_sim::GapMode;
 use sbp_sweep::json;
 use sbp_sweep::SweepSpec;
 use sbp_types::SbpError;
 
 use crate::catalog::{Catalog, CatalogEntry};
+
+/// Parses a gap-mode name as it appears in manifests and on the CLI.
+///
+/// # Errors
+///
+/// Returns a campaign error naming the accepted spellings.
+pub fn parse_gap_mode(raw: &str) -> Result<GapMode, SbpError> {
+    match raw {
+        "fast-forward" => Ok(GapMode::FastForward),
+        "functional" => Ok(GapMode::Functional),
+        other => Err(SbpError::campaign(format!(
+            "unknown gap mode {other:?} (expected \"fast-forward\" or \"functional\")"
+        ))),
+    }
+}
 
 /// A parsed campaign manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +69,28 @@ pub struct Manifest {
     /// different store fingerprints, so flipping this never corrupts an
     /// existing store.
     pub sampling: bool,
+    /// Gap strategy for sampled runs (`"gap_mode"`, only meaningful with
+    /// `sampling`): fast-forward selects the classic skip-and-rewarm
+    /// default plans, functional the hybrid plans with state-exact
+    /// executed gaps. The two live under different store fingerprints.
+    pub gap_mode: GapMode,
+    /// Intra-worker window-parallelism width (`"window_threads"`): with
+    /// `n > 1`, each sampled cell's measurement windows fan out across
+    /// `n` threads per worker. Results are bit-identical at any width;
+    /// `None` leaves the `SBP_WINDOW_THREADS` environment default.
+    pub window_threads: Option<usize>,
 }
 
-const KNOWN_KEYS: [&str; 7] = [
-    "entries", "workers", "seeds", "scale", "out_dir", "retries", "sampling",
+const KNOWN_KEYS: [&str; 9] = [
+    "entries",
+    "workers",
+    "seeds",
+    "scale",
+    "out_dir",
+    "retries",
+    "sampling",
+    "gap_mode",
+    "window_threads",
 ];
 
 impl Manifest {
@@ -134,6 +168,28 @@ impl Manifest {
         let sampling = json::opt_bool(obj, "sampling")
             .map_err(bad)?
             .unwrap_or(false);
+        let gap_mode = match json::opt_str(obj, "gap_mode").map_err(bad)? {
+            None => GapMode::FastForward,
+            Some(raw) => {
+                if !sampling {
+                    return Err(SbpError::campaign(
+                        "manifest: \"gap_mode\" needs \"sampling\": true",
+                    ));
+                }
+                parse_gap_mode(raw).map_err(|e| SbpError::campaign(format!("manifest: {e}")))?
+            }
+        };
+        let window_threads = match json::opt_u64(obj, "window_threads").map_err(bad)? {
+            None => None,
+            Some(0) => {
+                return Err(SbpError::campaign(
+                    "manifest: \"window_threads\" must be >= 1",
+                ))
+            }
+            Some(n) => Some(usize::try_from(n).map_err(|_| {
+                SbpError::campaign(format!("manifest: \"window_threads\" {n} is out of range"))
+            })?),
+        };
         Ok(Manifest {
             entries,
             workers,
@@ -142,6 +198,8 @@ impl Manifest {
             out_dir,
             retries,
             sampling,
+            gap_mode,
+            window_threads,
         })
     }
 
@@ -178,7 +236,7 @@ impl Manifest {
                     spec = spec.with_seeds(seeds);
                 }
                 if self.sampling {
-                    spec = spec.with_default_sampling();
+                    spec = spec.with_default_sampling_mode(self.gap_mode);
                 }
                 Ok((entry, spec))
             })
@@ -204,6 +262,35 @@ mod tests {
         assert_eq!(m.out_dir, PathBuf::from("/tmp/c"));
         assert_eq!(m.retries, 2);
         assert!(m.sampling);
+        assert_eq!(m.gap_mode, GapMode::FastForward);
+        assert_eq!(m.window_threads, None);
+    }
+
+    #[test]
+    fn gap_mode_and_window_threads_parse_and_validate() {
+        let m = Manifest::parse(
+            r#"{"entries":["fig01"],"sampling":true,"gap_mode":"functional",
+                "window_threads":3}"#,
+        )
+        .expect("parse");
+        assert_eq!(m.gap_mode, GapMode::Functional);
+        assert_eq!(m.window_threads, Some(3));
+        let ff =
+            Manifest::parse(r#"{"entries":["fig01"],"sampling":true,"gap_mode":"fast-forward"}"#)
+                .expect("parse");
+        assert_eq!(ff.gap_mode, GapMode::FastForward);
+        assert!(
+            Manifest::parse(r#"{"entries":["fig01"],"sampling":true,"gap_mode":"warp"}"#).is_err(),
+            "unknown gap mode rejected"
+        );
+        assert!(
+            Manifest::parse(r#"{"entries":["fig01"],"gap_mode":"functional"}"#).is_err(),
+            "gap_mode without sampling rejected"
+        );
+        assert!(
+            Manifest::parse(r#"{"entries":["fig01"],"window_threads":0}"#).is_err(),
+            "zero window_threads rejected"
+        );
     }
 
     #[test]
@@ -285,5 +372,24 @@ mod tests {
         assert!(specs[2].1.is_attack(), "attack entries pass through");
         let exact = Manifest::parse(r#"{"entries":["fig01"]}"#).expect("parse");
         assert_eq!(exact.specs().expect("resolve")[0].1.sampling, None);
+    }
+
+    #[test]
+    fn functional_gap_mode_attaches_hybrid_plans() {
+        let m = Manifest::parse(
+            r#"{"entries":["fig01","fig10"],"sampling":true,"gap_mode":"functional"}"#,
+        )
+        .expect("parse");
+        let specs = m.specs().expect("resolve");
+        assert_eq!(
+            specs[0].1.sampling,
+            Some(sbp_sim::SamplingPlan::single_hybrid()),
+            "single-core entries get the hybrid single-core plan"
+        );
+        assert_eq!(
+            specs[1].1.sampling,
+            Some(sbp_sim::SamplingPlan::smt_hybrid()),
+            "SMT entries get the hybrid SMT plan"
+        );
     }
 }

@@ -20,6 +20,7 @@
 
 use std::path::PathBuf;
 
+use sbp_sim::GapMode;
 use sbp_sweep::{plan, plan_fingerprints, run_job, RunOptions, Shard, SweepStore};
 use sbp_types::SbpError;
 
@@ -52,6 +53,17 @@ pub struct WorkerArgs {
     /// Run the entry with its mode's default sampling plan (the
     /// manifest's `"sampling": true`, forwarded as `--sampled`).
     pub sampled: bool,
+    /// Gap strategy for sampled runs (the manifest's `"gap_mode"`,
+    /// forwarded as `--gap-mode`); ignored without `sampled`.
+    pub gap_mode: GapMode,
+    /// Intra-worker window-parallelism width (the manifest's
+    /// `"window_threads"`, forwarded as `--window-threads`); `None`
+    /// leaves the `SBP_WINDOW_THREADS` environment default.
+    pub window_threads: Option<usize>,
+    /// Print this shard's wall-time phase breakdown (warm / gaps /
+    /// steady / event / exact measure) to stderr after the run
+    /// (forwarded from the campaign's `--profile`).
+    pub profile: bool,
 }
 
 /// Runs one worker: resolves the catalog entry, executes the shard
@@ -69,7 +81,14 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
         spec = spec.with_seeds(seeds);
     }
     if args.sampled {
-        spec = spec.with_default_sampling();
+        spec = spec.with_default_sampling_mode(args.gap_mode);
+    }
+    if let Some(n) = args.window_threads {
+        sbp_sweep::set_window_threads(n);
+    }
+    if args.profile {
+        sbp_sim::profile::set_enabled(true);
+        sbp_sim::profile::reset();
     }
     if let Some(after) = fault_knob(DIE_AFTER_ENV)? {
         return run_fault_injected(&spec, args, after, FaultMode::Die);
@@ -81,8 +100,23 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
         store: Some(args.store.clone()),
         shard: Some(args.shard),
     })?;
+    if args.profile {
+        print_profile(args);
+    }
     print_summary(args, outcome.executed, outcome.skipped, outcome.pending);
     Ok(())
+}
+
+/// Prints this shard's wall-time phase breakdown to stderr (stdout stays
+/// byte-comparable between profiled and unprofiled runs).
+fn print_profile(args: &WorkerArgs) {
+    eprintln!(
+        "worker[{}] shard {}/{} profile: {}",
+        args.entry,
+        args.shard.index + 1,
+        args.shard.count,
+        sbp_sim::profile::snapshot().to_line(),
+    );
 }
 
 /// Parses one numeric fault-injection variable, `None` when unset.
@@ -154,6 +188,9 @@ fn run_fault_injected(
         }
     }
     let pending = fps.iter().filter(|fp| store.get(**fp).is_none()).count();
+    if args.profile {
+        print_profile(args);
+    }
     print_summary(args, executed, skipped, pending);
     Ok(())
 }
@@ -188,6 +225,9 @@ mod tests {
             store: tmp("unknown"),
             seeds: None,
             sampled: false,
+            gap_mode: GapMode::FastForward,
+            window_threads: None,
+            profile: false,
         };
         assert!(matches!(
             run_worker(&args),
@@ -205,6 +245,9 @@ mod tests {
             store: store.clone(),
             seeds: None,
             sampled: false,
+            gap_mode: GapMode::FastForward,
+            window_threads: None,
+            profile: false,
         };
         run_worker(&args).expect("first pass");
         let after_first = SweepStore::open(&store).expect("open").len();

@@ -278,6 +278,18 @@ impl SecureFrontend {
             .update(info, taken, predicted, &self.pht_ctxs[info.thread.index()]);
     }
 
+    /// Fused predict-then-update on the direction predictor, returning
+    /// the prediction. State-identical to
+    /// [`SecureFrontend::predict_direction`] followed by
+    /// [`SecureFrontend::update_direction`] (see
+    /// [`DirectionPredictor::train`]); the functional gap-stepping path
+    /// uses it to halve index/hash computation.
+    #[inline]
+    pub fn train_direction(&mut self, info: BranchInfo, taken: bool) -> bool {
+        self.dir
+            .train(info, taken, &self.pht_ctxs[info.thread.index()])
+    }
+
     /// Looks up the BTB for a predicted target.
     #[inline]
     pub fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {

@@ -92,6 +92,19 @@ impl DirectionPredictor for Gshare {
         self.histories[info.thread.index()].push(taken);
     }
 
+    #[inline]
+    fn train(&mut self, info: BranchInfo, taken: bool, ctx: &KeyCtx) -> bool {
+        // Fused predict+update: the index is a pure function of PC and
+        // history, and `update` pushes history last, so computing it once
+        // is bit-identical to the split calls.
+        let idx = self.index_of(info);
+        let predicted = counter_taken(self.table.get(idx, ctx), self.ctr_bits);
+        let bits = self.ctr_bits;
+        self.table.update(idx, ctx, |c| sat_update(c, bits, taken));
+        self.histories[info.thread.index()].push(taken);
+        predicted
+    }
+
     fn flush_all(&mut self) {
         self.table.flush_all();
     }

@@ -244,6 +244,20 @@ impl DirectionPredictor for DirectionEngine {
         }
     }
 
+    #[inline]
+    fn train(&mut self, info: sbp_types::BranchInfo, taken: bool, ctx: &sbp_types::KeyCtx) -> bool {
+        // Direct match dispatch so the concrete fused overrides (Gshare,
+        // Tournament) are reached instead of the trait default resolving
+        // against the enum's own predict/update.
+        match self {
+            DirectionEngine::Gshare(p) => p.train(info, taken, ctx),
+            DirectionEngine::Tournament(p) => p.train(info, taken, ctx),
+            DirectionEngine::Ltage(p) => p.train(info, taken, ctx),
+            DirectionEngine::TageScL(p) => p.train(info, taken, ctx),
+            DirectionEngine::Custom(p) => p.train(info, taken, ctx),
+        }
+    }
+
     fn flush_all(&mut self) {
         match self {
             DirectionEngine::Gshare(p) => p.flush_all(),
@@ -368,6 +382,35 @@ mod tests {
         assert!(DirectionEngine::custom(PredictorKind::Gshare.build(1))
             .try_clone()
             .is_none());
+    }
+
+    #[test]
+    fn train_is_bit_identical_to_split_predict_update() {
+        // The fused functional-stepping entry point must leave every
+        // predictor in the same state as the split calls: interleave
+        // long fused and split phases and require identical predictions
+        // throughout, under both a disabled and a scrambling key context.
+        for scrambled in [false, true] {
+            let ctx = if scrambled {
+                KeyCtx::noisy_xor(ThreadId::new(0), sbp_types::KeyPair::from_random(11))
+            } else {
+                KeyCtx::disabled(ThreadId::new(0))
+            };
+            for kind in PredictorKind::ALL {
+                let mut fused = DirectionEngine::build(kind, 2);
+                let mut split = DirectionEngine::build(kind, 2);
+                let mut rng = sbp_types::rng::Xoshiro256::new(77);
+                for n in 0..6000u64 {
+                    let pc = Pc::new(0x3000 + (n % 97) * 4);
+                    let info = BranchInfo::new(ThreadId::new(0), pc, BranchKind::Conditional);
+                    let taken = rng.chance(0.6);
+                    let a = fused.train(info, taken, &ctx);
+                    let b = split.predict(info, &ctx);
+                    split.update(info, taken, b, &ctx);
+                    assert_eq!(a, b, "{kind} fused/split diverged at branch {n}");
+                }
+            }
+        }
     }
 
     #[test]

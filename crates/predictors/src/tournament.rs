@@ -205,6 +205,43 @@ impl DirectionPredictor for Tournament {
         self.ghr[info.thread.index()].push(taken);
     }
 
+    fn train(&mut self, info: BranchInfo, taken: bool, ctx: &KeyCtx) -> bool {
+        // Fused predict+update. The pattern and global index are pure
+        // functions of state that `update` only mutates *after* its last
+        // table write (histories update last), so computing them once is
+        // bit-identical to the split predict-then-update calls — and
+        // `update` would immediately consume the `last_components` this
+        // fused path never needs to stash.
+        let pattern = self.local_history.pattern(info.pc, ctx) as usize;
+        let local_taken = counter_taken(self.local_pred.get(pattern, ctx), self.cfg.local_ctr_bits);
+        let gidx = self.global_index(info.thread);
+        let global_taken = counter_taken(self.global_pred.get(gidx, ctx), self.cfg.global_ctr_bits);
+        let used_global = counter_taken(self.chooser.get(gidx, ctx), self.cfg.global_ctr_bits);
+        let predicted = if used_global {
+            global_taken
+        } else {
+            local_taken
+        };
+
+        if local_taken != global_taken {
+            let bits = self.cfg.global_ctr_bits;
+            let global_was_right = global_taken == taken;
+            self.chooser
+                .update(gidx, ctx, |c| sat_update(c, bits, global_was_right));
+        }
+        let lbits = self.cfg.local_ctr_bits;
+        self.local_pred
+            .update(pattern, ctx, |c| sat_update(c, lbits, taken));
+        let gbits = self.cfg.global_ctr_bits;
+        self.global_pred
+            .update(gidx, ctx, |c| sat_update(c, gbits, taken));
+        self.local_history.record(info.pc, taken, ctx);
+        self.ghr[info.thread.index()].push(taken);
+        // The split path leaves `last_components` consumed; match it.
+        self.last_components = None;
+        predicted
+    }
+
     fn flush_all(&mut self) {
         self.local_history.flush_all();
         self.local_pred.flush_all();

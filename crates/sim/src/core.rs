@@ -11,8 +11,9 @@ use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
-use crate::sampling::{SampledMeasurement, SamplingPlan};
-use crate::timing::{execute_branch, execute_branch_scalar};
+use crate::profile::{self, Phase};
+use crate::sampling::{GapMode, SampledMeasurement, SamplingPlan};
+use crate::timing::{execute_branch, execute_branch_scalar, train_branch};
 
 /// One software context scheduled on the core.
 #[derive(Debug)]
@@ -257,18 +258,20 @@ impl SingleCoreSim {
     /// ([`Self::try_clone`]) and fan one warm-up out across the
     /// interval axis or a sampling plan.
     pub fn warm(&mut self, warmup: u64) {
-        self.run_phase(warmup, false);
+        profile::time(Phase::Warm, || self.run_phase(warmup, false));
     }
 
     /// The measurement phase of [`Self::run_target`]: resets the target's
     /// statistics and measures `measure` further target branches.
     /// `warm(w); run_measure(m)` is bit-identical to `run_target(w, m)`.
     pub fn run_measure(&mut self, measure: u64) -> PredictionStats {
-        self.contexts[0].stats = PredictionStats::new();
-        let target_cycles = self.run_phase(measure, true);
-        let mut stats = self.contexts[0].stats;
-        stats.cycles = target_cycles as u64;
-        stats
+        profile::time(Phase::Measure, || {
+            self.contexts[0].stats = PredictionStats::new();
+            let target_cycles = self.run_phase(measure, true);
+            let mut stats = self.contexts[0].stats;
+            stats.cycles = target_cycles as u64;
+            stats
+        })
     }
 
     /// [`Self::run_target`] through the pre-batching reference loop: one
@@ -368,32 +371,13 @@ impl SingleCoreSim {
         let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
         let mut agg = PredictionStats::new();
         for _ in 0..plan.steady_windows {
-            self.skip_target(plan.gap);
-            self.run_phase(plan.rewarm, false);
-            self.contexts[0].stats = PredictionStats::new();
-            let cycles = self.run_phase(plan.window, true);
-            let mut w = self.contexts[0].stats;
-            w.cycles = cycles as u64;
+            let (cycles, w) = self.sampled_steady_window(plan);
             agg += w;
             steady_cycles.push(cycles);
         }
         let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
         for _ in 0..plan.event_windows {
-            self.skip_target(plan.gap);
-            self.run_phase(plan.rewarm, false);
-            // Forced switch pair: target → background(s) → target, with a
-            // burst of background execution in between to model the other
-            // context's table pollution. The resume switch overhead is
-            // charged to the target, as the exact loop attributes it.
-            self.context_switch();
-            while self.current != 0 {
-                self.run_context_branches(plan.burst);
-                self.context_switch();
-            }
-            self.contexts[0].stats = PredictionStats::new();
-            let cycles =
-                self.cfg.context_switch_overhead as f64 + self.run_phase(plan.event_window, true);
-            event_cycles.push(cycles);
+            event_cycles.push(self.sampled_event_window(plan));
         }
         SampledMeasurement {
             steady_cycles,
@@ -404,6 +388,127 @@ impl SingleCoreSim {
             per_thread: Vec::new(),
             threads: 1,
         }
+    }
+
+    /// Runs only measurement window `index` (`0..plan.total_windows()`,
+    /// steady windows first) of the sampled schedule from the current
+    /// (warm) state, returning its measured cycles and — for steady
+    /// windows — its window statistics.
+    ///
+    /// Every region before the requested window is replayed
+    /// *functionally*: gaps, rewarm, forced-switch bursts **and the
+    /// earlier measured windows themselves** execute through the
+    /// timing-free path, which leaves predictor/BTB/generator state
+    /// bit-identical to the serial [`Self::run_sampled`] at the window's
+    /// opening (per-step cycle deltas are pure functions of that state,
+    /// so the measured window then reproduces the serial numbers
+    /// exactly). This is the unit of intra-worker window parallelism:
+    /// `N` clones of one warm checkpoint each run one window, and the
+    /// reassembled measurement equals the serial one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn run_sampled_window(
+        &mut self,
+        plan: &SamplingPlan,
+        index: u32,
+    ) -> (f64, PredictionStats) {
+        assert!(index < plan.total_windows(), "window index out of range");
+        self.interval = u64::MAX;
+        self.next_switch = f64::INFINITY;
+        for _ in 0..index.min(plan.steady_windows) {
+            self.replay_gap(plan);
+            self.train_context_branches(plan.window);
+        }
+        if index < plan.steady_windows {
+            return self.sampled_steady_window(plan);
+        }
+        for _ in 0..(index - plan.steady_windows) {
+            self.replay_gap(plan);
+            self.forced_switch_burst(plan, true);
+            self.train_context_branches(plan.event_window);
+        }
+        let cycles = self.sampled_event_window(plan);
+        (cycles, self.contexts[0].stats)
+    }
+
+    /// One steady window of the sampled schedule: gap advance, stats
+    /// reset, measured window. Shared by [`Self::run_sampled`] and
+    /// [`Self::run_sampled_window`] so the two cannot drift.
+    fn sampled_steady_window(&mut self, plan: &SamplingPlan) -> (f64, PredictionStats) {
+        self.advance_gap(plan);
+        profile::time(Phase::Steady, || {
+            self.contexts[0].stats = PredictionStats::new();
+            let cycles = self.run_phase(plan.window, true);
+            let mut w = self.contexts[0].stats;
+            w.cycles = cycles as u64;
+            (cycles, w)
+        })
+    }
+
+    /// One forced-switch event window of the sampled schedule.
+    fn sampled_event_window(&mut self, plan: &SamplingPlan) -> f64 {
+        self.advance_gap(plan);
+        profile::time(Phase::Event, || {
+            // Forced switch pair: target → background(s) → target, with a
+            // burst of background execution in between to model the other
+            // context's table pollution. The resume switch overhead is
+            // charged to the target, as the exact loop attributes it.
+            self.forced_switch_burst(plan, plan.gap_mode == GapMode::Functional);
+            self.contexts[0].stats = PredictionStats::new();
+            self.cfg.context_switch_overhead as f64 + self.run_phase(plan.event_window, true)
+        })
+    }
+
+    /// The forced-switch pair with its background burst. `functional`
+    /// selects the timing-free burst executor (state-identical; the
+    /// burst is unmeasured either way).
+    fn forced_switch_burst(&mut self, plan: &SamplingPlan, functional: bool) {
+        self.context_switch();
+        while self.current != 0 {
+            if functional {
+                self.train_context_branches(plan.burst);
+            } else {
+                self.run_context_branches(plan.burst);
+            }
+            self.context_switch();
+        }
+    }
+
+    /// Advances past one gap region per the plan's [`GapMode`].
+    ///
+    /// Fast-forward: generation-only skip, then a timed (unmeasured)
+    /// rewarm re-synchronising the stale predictor. Functional: the gap
+    /// and rewarm execute through the timing-free trainer — predictor
+    /// state never goes stale, so hybrid plans set `rewarm` to 0 and the
+    /// fold is exact.
+    fn advance_gap(&mut self, plan: &SamplingPlan) {
+        profile::time(Phase::Gap, || match plan.gap_mode {
+            GapMode::FastForward => {
+                self.skip_target(plan.gap);
+                self.run_phase(plan.rewarm, false);
+            }
+            GapMode::Functional => {
+                self.train_context_branches(plan.gap + plan.rewarm);
+            }
+        })
+    }
+
+    /// [`Self::advance_gap`] for prefix replay in
+    /// [`Self::run_sampled_window`]: the fast-forward rewarm runs
+    /// functionally instead of timed (state-identical, cheaper — the
+    /// replay needs no clock).
+    fn replay_gap(&mut self, plan: &SamplingPlan) {
+        profile::time(Phase::Gap, || match plan.gap_mode {
+            GapMode::FastForward => {
+                self.skip_target(plan.gap);
+                self.train_context_branches(plan.rewarm);
+            }
+            GapMode::Functional => {
+                self.train_context_branches(plan.gap + plan.rewarm);
+            }
+        })
     }
 
     /// Fast-forwards the target's stream past `branches` branch events
@@ -451,6 +556,36 @@ impl SingleCoreSim {
                     fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
                     ctx.stats.privilege_switches += 1;
                     self.clock += cfg.trap_overhead as f64;
+                }
+            }
+        }
+    }
+
+    /// Executes `branches` branch events of the *current* context through
+    /// the functional (timing-free) path: predictor, BTB, RAS and key
+    /// state mutate bit-identically to timed execution (see
+    /// [`train_branch`]) while the clock and all statistics stay
+    /// untouched. Privilege switches still reach the front-end — the
+    /// Noisy-XOR family rekeys on them — but their trap overhead is
+    /// timing bookkeeping and is skipped.
+    fn train_context_branches(&mut self, branches: u64) {
+        let hw = ThreadId::new(0);
+        let idx = self.current;
+        let cfg = &self.cfg;
+        let fe = &mut self.fe;
+        let ctx = &mut self.contexts[idx];
+        let mut done = 0u64;
+        while done < branches {
+            if ctx.buf.is_empty() {
+                ctx.gen.fill(&mut ctx.buf);
+            }
+            match ctx.buf.pop().expect("buffer was just filled") {
+                TraceEvent::Branch(rec) => {
+                    train_branch(fe, cfg, hw, &rec);
+                    done += 1;
+                }
+                TraceEvent::PrivilegeSwitch(to) => {
+                    fe.handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
                 }
             }
         }
@@ -687,6 +822,74 @@ mod tests {
             cf_event - cf_steady > (base_event - base_steady) * 1.5,
             "CF storm not larger than baseline resume: cf {cf_event}/{cf_steady} base {base_event}/{base_steady}"
         );
+    }
+
+    #[test]
+    fn functional_gap_execution_matches_timed_execution() {
+        // Execute the same region once timed and once functionally: the
+        // measured windows that follow must be bit-identical — the core
+        // soundness claim of the hybrid engine.
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::noisy_xor_bp(),
+            Mechanism::CompleteFlush,
+        ] {
+            let mut timed = sim(mech, SwitchInterval::Off, 51);
+            let mut functional = sim(mech, SwitchInterval::Off, 51);
+            timed.warm(5_000);
+            functional.warm(5_000);
+            timed.run_phase(12_000, false);
+            functional.train_context_branches(12_000);
+            let a = timed.run_measure(20_000);
+            let b = functional.run_measure(20_000);
+            assert_eq!(a, b, "functional gap diverged under {mech:?}");
+        }
+    }
+
+    #[test]
+    fn functional_sampled_run_is_deterministic_and_plausible() {
+        let plan = crate::SamplingPlan::quick_functional();
+        let run = |seed| {
+            let mut s = sim(Mechanism::CompleteFlush, SwitchInterval::M8, seed);
+            s.warm(2_000);
+            s.run_sampled(&plan)
+        };
+        let a = run(37);
+        let b = run(37);
+        assert_eq!(a, b);
+        assert_eq!(a.steady_cycles.len(), plan.steady_windows as usize);
+        assert!(a.steady_cycles.iter().all(|c| *c > 0.0));
+        assert!(a.event_cycles.iter().all(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn windowed_sampled_run_matches_serial() {
+        // Each window measured from its own clone of the warm state must
+        // reproduce the serial run bit-for-bit, in both gap modes.
+        for plan in [
+            crate::SamplingPlan::quick(),
+            crate::SamplingPlan::quick_functional(),
+        ] {
+            let mut warm = sim(Mechanism::CompleteFlush, SwitchInterval::M8, 61);
+            warm.warm(4_000);
+            let mut serial = warm.try_clone().expect("clone");
+            let m = serial.run_sampled(&plan);
+            let mut agg = PredictionStats::new();
+            for index in 0..plan.total_windows() {
+                let mut solo = warm.try_clone().expect("clone");
+                let (cycles, stats) = solo.run_sampled_window(&plan, index);
+                if index < plan.steady_windows {
+                    let want = m.steady_cycles[index as usize];
+                    assert_eq!(cycles.to_bits(), want.to_bits(), "steady {index}");
+                    assert_eq!(stats.cycles, want as u64);
+                    agg += stats;
+                } else {
+                    let want = m.event_cycles[(index - plan.steady_windows) as usize];
+                    assert_eq!(cycles.to_bits(), want.to_bits(), "event {index}");
+                }
+            }
+            assert_eq!(agg, m.stats, "reassembled steady stats");
+        }
     }
 
     #[test]

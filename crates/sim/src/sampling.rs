@@ -42,15 +42,35 @@ use sbp_types::{PredictionStats, SbpError};
 use crate::config::SwitchInterval;
 use crate::experiment::scale;
 
+/// How a sampled run advances through the gap regions between windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GapMode {
+    /// Skip gaps generation-only: the trace generator advances (RNG
+    /// cursor preserved) but no branch executes, so predictor state goes
+    /// stale and each window needs a `rewarm` prefix. Cheapest, but
+    /// under-covers background table pollution in storm-dominated cells.
+    #[default]
+    FastForward,
+    /// Execute gaps *functionally*: every branch trains the predictors,
+    /// BTB, RAS and key contexts bit-identically to the timed path, but
+    /// cycle/stats bookkeeping is skipped. Slower than fast-forward per
+    /// unit, yet windows open on exact predictor state — `rewarm` can be
+    /// zero and gaps can shrink to decorrelation spacing, eliminating
+    /// the storm-cell pollution bias by construction.
+    Functional,
+}
+
 /// A stratified sampling plan.
 ///
 /// Units are **target branches** on the single core and **total
 /// instructions** on SMT, matching the corresponding
 /// [`crate::WorkBudget`] denominations. All window work is executed
 /// through the normal batched hot loop; gaps advance the target's trace
-/// generator without executing (see `TraceGenerator::skip_branches`),
-/// which preserves the RNG cursor so sampled runs are byte-deterministic
-/// for a fixed plan and seed.
+/// generator without executing (see `TraceGenerator::skip_branches`)
+/// under [`GapMode::FastForward`], or execute functionally (state-exact,
+/// timing-free) under [`GapMode::Functional`]. Both preserve the RNG
+/// cursor, so sampled runs are byte-deterministic for a fixed plan and
+/// seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SamplingPlan {
     /// Number of steady-state measurement windows.
@@ -71,6 +91,10 @@ pub struct SamplingPlan {
     /// single core (models the other context's table pollution);
     /// unused on SMT where threads run concurrently.
     pub burst: u64,
+    /// Gap advancement strategy (see [`GapMode`]). Defaults to
+    /// [`GapMode::FastForward`], the pre-hybrid behaviour.
+    #[serde(default)]
+    pub gap_mode: GapMode,
 }
 
 impl SamplingPlan {
@@ -86,6 +110,7 @@ impl SamplingPlan {
             event_windows: 2,
             event_window: scaled(40_000, s, 2_000),
             burst: scaled(24_000, s, 1_000),
+            gap_mode: GapMode::FastForward,
         }
     }
 
@@ -101,6 +126,55 @@ impl SamplingPlan {
             event_windows: 2,
             event_window: scaled(1_200_000, s, 40_000),
             burst: 0,
+            gap_mode: GapMode::FastForward,
+        }
+    }
+
+    /// Hybrid single-core plan: small *executed* gaps, no rewarm, and
+    /// event windows long enough to hold the whole storm.
+    ///
+    /// Functional gap execution keeps predictor state exact, so the gap
+    /// only needs to decorrelate adjacent windows, not re-cover phase
+    /// behaviour — the synthetic workload generators are stationary.
+    /// The 160k-branch event window covers the full post-switch
+    /// misprediction storm: the flush-family retrain tail extends well
+    /// past the default plan's 40k-branch window, and truncating it was
+    /// the dominant storm-cell bias (CF/4M read ~35% low; with the full
+    /// tail it lands within ~1% of exact — see `docs/PERFORMANCE.md`).
+    pub fn single_hybrid() -> Self {
+        let s = scale();
+        SamplingPlan {
+            steady_windows: 4,
+            window: scaled(60_000, s, 2_000),
+            gap: scaled(100_000, s, 2_000),
+            rewarm: 0,
+            event_windows: 2,
+            event_window: scaled(160_000, s, 2_000),
+            burst: scaled(24_000, s, 1_000),
+            gap_mode: GapMode::Functional,
+        }
+    }
+
+    /// Hybrid SMT plan: smaller windows and executed gaps, no rewarm.
+    ///
+    /// The SMT scheduler is clock-driven, so functional stepping keeps
+    /// cycle arithmetic (see `SmtSim`) and the speedup comes from the
+    /// leaner geometry: roughly half the total stepped instructions of
+    /// [`Self::smt_default`] with bias-free gap coverage. Gaps shrink
+    /// the most — with state-exact execution they only decorrelate
+    /// adjacent windows, so 250k instructions replace the default's
+    /// 10M-instruction fast-forward regions.
+    pub fn smt_hybrid() -> Self {
+        let s = scale();
+        SamplingPlan {
+            steady_windows: 4,
+            window: scaled(800_000, s, 40_000),
+            gap: scaled(250_000, s, 20_000),
+            rewarm: 0,
+            event_windows: 2,
+            event_window: scaled(1_000_000, s, 40_000),
+            burst: 0,
+            gap_mode: GapMode::Functional,
         }
     }
 
@@ -114,14 +188,31 @@ impl SamplingPlan {
             event_windows: 1,
             event_window: 4_000,
             burst: 3_000,
+            gap_mode: GapMode::FastForward,
+        }
+    }
+
+    /// [`Self::quick`] with functional gaps, for hybrid-path unit tests.
+    pub fn quick_functional() -> Self {
+        SamplingPlan {
+            rewarm: 0,
+            gap_mode: GapMode::Functional,
+            ..Self::quick()
         }
     }
 
     /// Canonical identity string for store fingerprints: two plans with
-    /// different windows must never collide in a sweep store.
+    /// different windows must never collide in a sweep store. Legacy
+    /// fast-forward plans keep their pre-[`GapMode`] strings byte-stable
+    /// (existing stores stay valid); functional plans append a mode
+    /// token so the two paths never share cached results.
     pub fn fingerprint(&self) -> String {
+        let mode = match self.gap_mode {
+            GapMode::FastForward => "",
+            GapMode::Functional => "mfunc",
+        };
         format!(
-            "s{}x{}g{}r{}e{}x{}b{}",
+            "s{}x{}g{}r{}e{}x{}b{}{mode}",
             self.steady_windows,
             self.window,
             self.gap,
@@ -130,6 +221,12 @@ impl SamplingPlan {
             self.event_window,
             self.burst
         )
+    }
+
+    /// Total measurement windows (steady + event): the unit of
+    /// intra-worker window parallelism.
+    pub fn total_windows(&self) -> u32 {
+        self.steady_windows + self.event_windows
     }
 
     /// Checks the plan is executable.
@@ -277,6 +374,31 @@ mod tests {
         b.window += 1;
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), SamplingPlan::quick().fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_keep_legacy_strings_and_separate_gap_modes() {
+        // Fast-forward plans must keep their pre-GapMode fingerprints so
+        // existing stores resolve; functional plans must never collide
+        // with them.
+        let quick = SamplingPlan::quick();
+        assert_eq!(quick.fingerprint(), "s2x5000g8000r2000e1x4000b3000");
+        let mut func = quick;
+        func.gap_mode = GapMode::Functional;
+        assert_ne!(quick.fingerprint(), func.fingerprint());
+        assert!(func.fingerprint().ends_with("mfunc"));
+        assert!(SamplingPlan::single_hybrid().validate().is_ok());
+        assert!(SamplingPlan::smt_hybrid().validate().is_ok());
+        assert_ne!(
+            SamplingPlan::single_hybrid().fingerprint(),
+            SamplingPlan::single_default().fingerprint()
+        );
+    }
+
+    #[test]
+    fn total_windows_counts_both_strata() {
+        assert_eq!(SamplingPlan::quick().total_windows(), 3);
+        assert_eq!(SamplingPlan::single_default().total_windows(), 6);
     }
 
     #[test]

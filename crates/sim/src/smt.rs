@@ -19,8 +19,9 @@ use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
-use crate::sampling::{SampledMeasurement, SamplingPlan};
-use crate::timing::{execute_branch, execute_branch_scalar};
+use crate::profile::{self, Phase};
+use crate::sampling::{GapMode, SampledMeasurement, SamplingPlan};
+use crate::timing::{execute_branch, execute_branch_scalar, train_branch_clocked};
 
 #[derive(Debug)]
 struct SmtThread {
@@ -154,13 +155,7 @@ impl SmtSim {
     /// `SCALAR` selects the uncached reference front-end path; the event
     /// stream, scheduling, and timing are identical either way.
     fn step_generic<const SCALAR: bool>(&mut self) -> u64 {
-        let idx = self
-            .threads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.clock.total_cmp(&b.1.clock))
-            .map(|(i, _)| i)
-            .expect("non-empty thread list");
+        let idx = self.next_thread();
         let hw = ThreadId::new(idx as u8);
 
         // Timer interrupt on this hardware thread.
@@ -196,6 +191,55 @@ impl SmtSim {
         }
     }
 
+    /// The thread the SMT scheduler advances next: the one with the
+    /// least-advanced clock.
+    #[inline]
+    fn next_thread(&self) -> usize {
+        self.threads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.clock.total_cmp(&b.1.clock))
+            .map(|(i, _)| i)
+            .expect("non-empty thread list")
+    }
+
+    /// Functional step: advances the least-advanced thread by one event
+    /// through the timing-free trainer. Per-thread clocks still advance
+    /// bit-identically to [`Self::step_generic`] — the SMT scheduler is
+    /// clock-driven, so dropping the clock would change the thread
+    /// interleaving and with it the shared-predictor state — but all
+    /// statistics bookkeeping is skipped. Returns instructions retired.
+    ///
+    /// Only valid with the natural timer disabled (sampled mode): the
+    /// timer path mutates stats this step does not replicate.
+    fn step_functional(&mut self) -> u64 {
+        debug_assert_eq!(self.interval, u64::MAX, "functional step needs timers off");
+        let idx = self.next_thread();
+        let hw = ThreadId::new(idx as u8);
+        match self.threads[idx].next_event() {
+            TraceEvent::Branch(rec) => {
+                let cycles = train_branch_clocked(&mut self.fe, &self.cfg, hw, &rec);
+                self.threads[idx].clock += cycles;
+                rec.instructions()
+            }
+            TraceEvent::PrivilegeSwitch(to) => {
+                self.fe
+                    .handle_event(CoreEvent::PrivilegeSwitch { hw_thread: hw, to });
+                self.threads[idx].clock += self.cfg.trap_overhead as f64;
+                0
+            }
+        }
+    }
+
+    /// Executes `instructions` across all threads functionally (see
+    /// [`Self::step_functional`]).
+    fn run_functional(&mut self, instructions: u64) {
+        let mut executed = 0u64;
+        while executed < instructions {
+            executed += self.step_functional();
+        }
+    }
+
     /// Runs `warmup_instr` instructions (discarded), then measures the
     /// wall-clock cycles to execute `measure_instr` further instructions
     /// across all threads (the paper's methodology).
@@ -228,8 +272,15 @@ impl SmtSim {
     /// the split lets callers checkpoint the warm state
     /// ([`Self::try_clone`]).
     pub fn warm(&mut self, warmup_instr: u64) {
+        profile::time(Phase::Warm, || self.run_timed_unmeasured(warmup_instr));
+    }
+
+    /// Timed execution of `instr` instructions with statistics kept but
+    /// unmeasured — the warm-up loop, also used for fast-forward rewarm
+    /// (where it is attributed to the gap phase, not warm-up).
+    fn run_timed_unmeasured(&mut self, instr: u64) {
         let mut executed = 0u64;
-        while executed < warmup_instr {
+        while executed < instr {
             executed += self.step_generic::<false>();
         }
     }
@@ -241,23 +292,25 @@ impl SmtSim {
     }
 
     fn run_measure_generic<const SCALAR: bool>(&mut self, measure_instr: u64) -> SmtResult {
-        let start_wall = self.wall_clock();
-        for t in &mut self.threads {
-            t.stats = PredictionStats::new();
-        }
-        let mut measured = 0u64;
-        while measured < measure_instr {
-            measured += self.step_generic::<SCALAR>();
-        }
-        let cycles = self.wall_clock() - start_wall;
-        for t in &mut self.threads {
-            t.stats.cycles = t.clock as u64;
-        }
-        SmtResult {
-            cycles,
-            instructions: measured,
-            per_thread: self.threads.iter().map(|t| t.stats).collect(),
-        }
+        profile::time(Phase::Measure, || {
+            let start_wall = self.wall_clock();
+            for t in &mut self.threads {
+                t.stats = PredictionStats::new();
+            }
+            let mut measured = 0u64;
+            while measured < measure_instr {
+                measured += self.step_generic::<SCALAR>();
+            }
+            let cycles = self.wall_clock() - start_wall;
+            for t in &mut self.threads {
+                t.stats.cycles = t.clock as u64;
+            }
+            SmtResult {
+                cycles,
+                instructions: measured,
+                per_thread: self.threads.iter().map(|t| t.stats).collect(),
+            }
+        })
     }
 
     /// Deep-copies the whole SMT simulator (shared front-end, per-thread
@@ -320,48 +373,19 @@ impl SmtSim {
     /// enter the estimate analytically per interval
     /// ([`crate::sampling::estimate_cycles`] with `threads = T`).
     pub fn run_sampled(&mut self, plan: &SamplingPlan) -> SampledMeasurement {
-        self.interval = u64::MAX;
-        for t in &mut self.threads {
-            t.next_switch = f64::INFINITY;
-        }
+        self.disable_timers();
         let n = self.threads.len();
         let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
         let mut agg = vec![PredictionStats::new(); n];
         for _ in 0..plan.steady_windows {
-            self.skip_all(plan.gap);
-            self.warm(plan.rewarm);
-            for t in &mut self.threads {
-                t.stats = PredictionStats::new();
-            }
-            let start_wall = self.wall_clock();
-            let mut measured = 0u64;
-            while measured < plan.window {
-                measured += self.step_generic::<false>();
-            }
-            steady_cycles.push(self.wall_clock() - start_wall);
+            steady_cycles.push(self.sampled_steady_window(plan));
             for (a, t) in agg.iter_mut().zip(&self.threads) {
                 *a += t.stats;
             }
         }
         let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
         for w in 0..plan.event_windows {
-            self.skip_all(plan.gap);
-            self.warm(plan.rewarm);
-            let start_wall = self.wall_clock();
-            // Fire one thread's timer event exactly as the natural timer
-            // would (flush/rekey + switch overhead on that thread), then
-            // measure the storm's wall-clock cost.
-            let idx = w as usize % n;
-            self.fe.handle_event(CoreEvent::ContextSwitch {
-                hw_thread: ThreadId::new(idx as u8),
-            });
-            self.threads[idx].stats.context_switches += 1;
-            self.threads[idx].clock += self.cfg.context_switch_overhead as f64;
-            let mut measured = 0u64;
-            while measured < plan.event_window {
-                measured += self.step_generic::<false>();
-            }
-            event_cycles.push(self.wall_clock() - start_wall);
+            event_cycles.push(self.sampled_event_window(plan, w as usize % n));
         }
         for (a, t) in agg.iter_mut().zip(&self.threads) {
             a.cycles = t.clock as u64;
@@ -379,6 +403,135 @@ impl SmtSim {
             per_thread: agg,
             threads: n as u32,
         }
+    }
+
+    /// Runs only measurement window `index` of the sampled schedule from
+    /// the current (warm) state, returning its wall-clock cycles and the
+    /// per-thread statistics it accumulated (meaningful for steady
+    /// windows; event-window statistics are never aggregated).
+    ///
+    /// Regions before the requested window — gaps, rewarm, forced
+    /// switches and the earlier measured windows — replay through
+    /// `step_functional`, which keeps per-thread clocks (the
+    /// scheduler is clock-driven) so the interleaving, shared-predictor
+    /// state and generator cursors are bit-identical to the serial
+    /// [`Self::run_sampled`] at the window's opening. After running the
+    /// *last* window, [`Self::thread_clocks`] matches the serial run's
+    /// final per-thread cycle counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn run_sampled_window(
+        &mut self,
+        plan: &SamplingPlan,
+        index: u32,
+    ) -> (f64, Vec<PredictionStats>) {
+        assert!(index < plan.total_windows(), "window index out of range");
+        self.disable_timers();
+        let n = self.threads.len();
+        for _ in 0..index.min(plan.steady_windows) {
+            self.replay_gap(plan);
+            self.run_functional(plan.window);
+        }
+        if index < plan.steady_windows {
+            let cycles = self.sampled_steady_window(plan);
+            return (cycles, self.threads.iter().map(|t| t.stats).collect());
+        }
+        for w in 0..(index - plan.steady_windows) {
+            self.replay_gap(plan);
+            self.force_switch(w as usize % n);
+            self.run_functional(plan.event_window);
+        }
+        let w = (index - plan.steady_windows) as usize % n;
+        let cycles = self.sampled_event_window(plan, w);
+        (cycles, self.threads.iter().map(|t| t.stats).collect())
+    }
+
+    /// Per-thread cycle counters (`clock as u64`, the value the serial
+    /// sampled path stores into each thread's aggregate stats).
+    pub fn thread_clocks(&self) -> Vec<u64> {
+        self.threads.iter().map(|t| t.clock as u64).collect()
+    }
+
+    fn disable_timers(&mut self) {
+        self.interval = u64::MAX;
+        for t in &mut self.threads {
+            t.next_switch = f64::INFINITY;
+        }
+    }
+
+    /// One steady window: gap advance, per-thread stats reset, measured
+    /// wall-clock delta over `plan.window` instructions. Shared by the
+    /// serial and windowed sampled paths so the two cannot drift.
+    fn sampled_steady_window(&mut self, plan: &SamplingPlan) -> f64 {
+        self.advance_gap(plan);
+        profile::time(Phase::Steady, || {
+            for t in &mut self.threads {
+                t.stats = PredictionStats::new();
+            }
+            let start_wall = self.wall_clock();
+            let mut measured = 0u64;
+            while measured < plan.window {
+                measured += self.step_generic::<false>();
+            }
+            self.wall_clock() - start_wall
+        })
+    }
+
+    /// One forced-switch event window, firing thread `idx`'s timer event.
+    fn sampled_event_window(&mut self, plan: &SamplingPlan, idx: usize) -> f64 {
+        self.advance_gap(plan);
+        profile::time(Phase::Event, || {
+            let start_wall = self.wall_clock();
+            // Fire one thread's timer event exactly as the natural timer
+            // would (flush/rekey + switch overhead on that thread), then
+            // measure the storm's wall-clock cost.
+            self.force_switch(idx);
+            let mut measured = 0u64;
+            while measured < plan.event_window {
+                measured += self.step_generic::<false>();
+            }
+            self.wall_clock() - start_wall
+        })
+    }
+
+    /// Fires thread `idx`'s timer context-switch event explicitly.
+    fn force_switch(&mut self, idx: usize) {
+        self.fe.handle_event(CoreEvent::ContextSwitch {
+            hw_thread: ThreadId::new(idx as u8),
+        });
+        self.threads[idx].stats.context_switches += 1;
+        self.threads[idx].clock += self.cfg.context_switch_overhead as f64;
+    }
+
+    /// Advances past one gap region per the plan's [`GapMode`]:
+    /// generation-only skip plus timed rewarm, or functional execution of
+    /// the folded gap+rewarm (clocks kept, stats skipped).
+    fn advance_gap(&mut self, plan: &SamplingPlan) {
+        profile::time(Phase::Gap, || match plan.gap_mode {
+            GapMode::FastForward => {
+                self.skip_all(plan.gap);
+                self.run_timed_unmeasured(plan.rewarm);
+            }
+            GapMode::Functional => {
+                self.run_functional(plan.gap + plan.rewarm);
+            }
+        })
+    }
+
+    /// [`Self::advance_gap`] for prefix replay: the fast-forward rewarm
+    /// runs functionally (clock-identical, stats-free).
+    fn replay_gap(&mut self, plan: &SamplingPlan) {
+        profile::time(Phase::Gap, || match plan.gap_mode {
+            GapMode::FastForward => {
+                self.skip_all(plan.gap);
+                self.run_functional(plan.rewarm);
+            }
+            GapMode::Functional => {
+                self.run_functional(plan.gap + plan.rewarm);
+            }
+        })
     }
 
     /// Fast-forwards every thread's stream by `instructions / threads`
@@ -557,6 +710,78 @@ mod tests {
             a.steady_cycles.iter().sum::<f64>() / a.steady_cycles.len() as f64 / plan.window as f64;
         let event = a.event_cycles[0] / plan.event_window as f64;
         assert!(event > steady, "no storm: steady {steady} event {event}");
+    }
+
+    #[test]
+    fn functional_stepping_matches_timed_stepping() {
+        // Run the same region once through warm() (timed) and once
+        // through run_functional(): thread clocks, interleaving and
+        // shared predictor state must match bit-for-bit, proven by
+        // identical measured windows afterwards.
+        for mech in [Mechanism::CompleteFlush, Mechanism::noisy_xor_bp()] {
+            let mut timed = sim(mech, 71);
+            let mut functional = sim(mech, 71);
+            for s in [&mut timed, &mut functional] {
+                s.warm(10_000);
+                s.disable_timers();
+            }
+            timed.warm(30_000);
+            functional.run_functional(30_000);
+            for (a, b) in timed.threads.iter().zip(&functional.threads) {
+                assert_eq!(a.clock.to_bits(), b.clock.to_bits(), "clock skew");
+            }
+            let a = timed.run_measure(40_000);
+            let b = functional.run_measure(40_000);
+            assert_eq!(a, b, "functional region diverged under {mech:?}");
+        }
+    }
+
+    #[test]
+    fn functional_sampled_run_is_deterministic() {
+        let plan = crate::SamplingPlan::quick_functional();
+        let run = || {
+            let mut s = sim(Mechanism::CompleteFlush, 81);
+            s.warm(20_000);
+            s.run_sampled(&plan)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.steady_cycles.iter().all(|c| *c > 0.0));
+        assert!(a.event_cycles.iter().all(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn windowed_sampled_run_matches_serial() {
+        for plan in [
+            crate::SamplingPlan::quick(),
+            crate::SamplingPlan::quick_functional(),
+        ] {
+            let mut warm = sim(Mechanism::CompleteFlush, 91);
+            warm.warm(15_000);
+            let mut serial = warm.try_clone().expect("clone");
+            let m = serial.run_sampled(&plan);
+            let mut agg = vec![PredictionStats::new(); 2];
+            let mut last_clocks = Vec::new();
+            for index in 0..plan.total_windows() {
+                let mut solo = warm.try_clone().expect("clone");
+                let (cycles, per_thread) = solo.run_sampled_window(&plan, index);
+                let want = if index < plan.steady_windows {
+                    for (a, t) in agg.iter_mut().zip(&per_thread) {
+                        *a += *t;
+                    }
+                    m.steady_cycles[index as usize]
+                } else {
+                    m.event_cycles[(index - plan.steady_windows) as usize]
+                };
+                assert_eq!(cycles.to_bits(), want.to_bits(), "window {index}");
+                last_clocks = solo.thread_clocks();
+            }
+            for ((a, want), clock) in agg.iter_mut().zip(&m.per_thread).zip(&last_clocks) {
+                a.cycles = *clock;
+                assert_eq!(a, want, "per-thread aggregate");
+            }
+        }
     }
 
     #[test]

@@ -24,23 +24,19 @@ use crate::config::CoreConfig;
 /// timing body over this trait, so the cycle arithmetic cannot drift
 /// between the two paths.
 trait FrontendOps {
-    fn predict_direction(&mut self, info: BranchInfo) -> bool;
-    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool);
+    fn train_direction(&mut self, info: BranchInfo, taken: bool) -> bool;
     fn predict_target(&mut self, info: BranchInfo) -> Option<Pc>;
     fn update_target(&mut self, info: BranchInfo, target: Pc);
     fn ras_push(&mut self, thread: ThreadId, addr: Pc);
     fn ras_pop(&mut self, thread: ThreadId) -> Option<Pc>;
 }
 
-/// Fast path: cached per-thread key contexts + enum-dispatched predictor.
+/// Fast path: cached per-thread key contexts + enum-dispatched predictor
+/// with fused direction predict+update.
 impl FrontendOps for SecureFrontend {
     #[inline]
-    fn predict_direction(&mut self, info: BranchInfo) -> bool {
-        SecureFrontend::predict_direction(self, info)
-    }
-    #[inline]
-    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
-        SecureFrontend::update_direction(self, info, taken, predicted)
+    fn train_direction(&mut self, info: BranchInfo, taken: bool) -> bool {
+        SecureFrontend::train_direction(self, info, taken)
     }
     #[inline]
     fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
@@ -66,11 +62,10 @@ impl FrontendOps for SecureFrontend {
 struct ScalarFrontend<'a>(&'a mut SecureFrontend);
 
 impl FrontendOps for ScalarFrontend<'_> {
-    fn predict_direction(&mut self, info: BranchInfo) -> bool {
-        self.0.predict_direction_uncached(info)
-    }
-    fn update_direction(&mut self, info: BranchInfo, taken: bool, predicted: bool) {
-        self.0.update_direction_uncached(info, taken, predicted)
+    fn train_direction(&mut self, info: BranchInfo, taken: bool) -> bool {
+        let predicted = self.0.predict_direction_uncached(info);
+        self.0.update_direction_uncached(info, taken, predicted);
+        predicted
     }
     fn predict_target(&mut self, info: BranchInfo) -> Option<Pc> {
         self.0.predict_target_uncached(info)
@@ -99,7 +94,42 @@ pub fn execute_branch(
     rec: &BranchRecord,
     stats: &mut PredictionStats,
 ) -> f64 {
-    execute_branch_impl(fe, cfg, thread, rec, stats)
+    branch_impl::<_, true, true>(fe, cfg, thread, rec, stats)
+}
+
+/// Functional (timing-free) stepping: trains the front-end on one branch
+/// with state mutations bit-identical to [`execute_branch`] — predictor,
+/// BTB (including LRU touches on exactly the lookups the timed path
+/// issues), RAS — but performs no cycle arithmetic and no stats
+/// bookkeeping. This is the single-core gap executor of the two-speed
+/// hybrid engine.
+#[inline]
+pub fn train_branch(
+    fe: &mut SecureFrontend,
+    cfg: &CoreConfig,
+    thread: ThreadId,
+    rec: &BranchRecord,
+) {
+    // STATS=false never writes the scratch; it exists only to keep the
+    // shared body monomorphic and is optimized away.
+    let mut scratch = PredictionStats::new();
+    branch_impl::<_, false, false>(fe, cfg, thread, rec, &mut scratch);
+}
+
+/// Functional stepping that keeps the cycle computation (no stats):
+/// returns the cycles [`execute_branch`] would have charged. The SMT
+/// scheduler is clock-driven (min-clock thread selection), so its
+/// functional gap path must advance per-thread clocks bit-identically
+/// even while skipping stats.
+#[inline]
+pub fn train_branch_clocked(
+    fe: &mut SecureFrontend,
+    cfg: &CoreConfig,
+    thread: ThreadId,
+    rec: &BranchRecord,
+) -> f64 {
+    let mut scratch = PredictionStats::new();
+    branch_impl::<_, true, false>(fe, cfg, thread, rec, &mut scratch)
 }
 
 /// [`execute_branch`] through the uncached reference front-end path
@@ -116,64 +146,108 @@ pub fn execute_branch_scalar(
     rec: &BranchRecord,
     stats: &mut PredictionStats,
 ) -> f64 {
-    execute_branch_impl(&mut ScalarFrontend(fe), cfg, thread, rec, stats)
+    branch_impl::<_, true, true>(&mut ScalarFrontend(fe), cfg, thread, rec, stats)
 }
 
+/// The shared three-mode branch body.
+///
+/// `TIMED` gates all cycle arithmetic and `STATS` gates all stats
+/// writes; both are compile-time constants so each mode monomorphizes to
+/// a loop with the dead halves removed. State mutations (direction
+/// train, BTB lookup/update, RAS) are identical across modes — the BTB
+/// lookup is issued exactly when the timed path issues it (conditionals:
+/// only when predicted taken), because `Btb::lookup` touches LRU state.
+///
+/// The direction predictor trains through the fused
+/// `FrontendOps::train_direction` *before* the BTB lookup. That reorder
+/// (the original split path interleaved the lookup between predict and
+/// update) is bit-identical: the direction engine, BTB, RAS and key
+/// contexts are disjoint state and no core event fires inside a branch,
+/// so the prediction and every penalty term are unchanged.
 #[inline]
-fn execute_branch_impl<F: FrontendOps>(
+fn branch_impl<F: FrontendOps, const TIMED: bool, const STATS: bool>(
     fe: &mut F,
     cfg: &CoreConfig,
     thread: ThreadId,
     rec: &BranchRecord,
     stats: &mut PredictionStats,
 ) -> f64 {
-    let mut cycles = (rec.gap as f64 + 1.0) / cfg.base_ipc;
-    stats.instructions += rec.instructions();
+    let mut cycles = if TIMED {
+        (rec.gap as f64 + 1.0) / cfg.base_ipc
+    } else {
+        0.0
+    };
+    if STATS {
+        stats.instructions += rec.instructions();
+    }
     let info = BranchInfo::new(thread, rec.pc, rec.kind);
 
     match rec.kind {
         BranchKind::Conditional => {
-            let pht_pred = fe.predict_direction(info);
-            stats.cond_branches += 1;
+            let pht_pred = fe.train_direction(info, rec.taken);
+            if STATS {
+                stats.cond_branches += 1;
+            }
             let mut effective = pht_pred;
             let mut predicted_target = None;
             if pht_pred {
-                stats.btb_lookups += 1;
+                if STATS {
+                    stats.btb_lookups += 1;
+                }
                 match fe.predict_target(info) {
                     Some(t) => predicted_target = Some(t),
                     None => {
-                        stats.btb_misses += 1;
+                        if STATS {
+                            stats.btb_misses += 1;
+                        }
                         // No target available: the fetch unit falls through.
                         effective = false;
                     }
                 }
             }
             if effective != rec.taken {
-                stats.cond_mispredicts += 1;
-                cycles += cfg.mispredict_penalty as f64;
+                if STATS {
+                    stats.cond_mispredicts += 1;
+                }
+                if TIMED {
+                    cycles += cfg.mispredict_penalty as f64;
+                }
             } else if effective && predicted_target != Some(rec.target) {
                 // Right direction, wrong target word (stale or encoded
                 // garbage): the decoder recomputes the direct target.
-                stats.btb_wrong_target += 1;
-                cycles += cfg.decode_resteer_penalty as f64;
+                if STATS {
+                    stats.btb_wrong_target += 1;
+                }
+                if TIMED {
+                    cycles += cfg.decode_resteer_penalty as f64;
+                }
             }
-            fe.update_direction(info, rec.taken, pht_pred);
             // The BTB is updated if and only if the branch is taken (§2.1).
             if rec.taken {
                 fe.update_target(info, rec.target);
             }
         }
         BranchKind::DirectJump | BranchKind::Call => {
-            stats.btb_lookups += 1;
+            if STATS {
+                stats.btb_lookups += 1;
+            }
             match fe.predict_target(info) {
                 Some(t) if t == rec.target => {}
                 Some(_) => {
-                    stats.btb_wrong_target += 1;
-                    cycles += cfg.decode_resteer_penalty as f64;
+                    if STATS {
+                        stats.btb_wrong_target += 1;
+                    }
+                    if TIMED {
+                        cycles += cfg.decode_resteer_penalty as f64;
+                    }
                 }
                 None => {
-                    stats.btb_misses += 1;
-                    cycles += cfg.decode_resteer_penalty as f64;
+                    if STATS {
+                        stats.btb_misses += 1;
+                    }
+                    if TIMED {
+                        cycles += cfg.decode_resteer_penalty as f64;
+                    }
                 }
             }
             fe.update_target(info, rec.target);
@@ -182,19 +256,29 @@ fn execute_branch_impl<F: FrontendOps>(
             }
         }
         BranchKind::IndirectJump | BranchKind::IndirectCall => {
-            stats.indirect_branches += 1;
-            stats.btb_lookups += 1;
+            if STATS {
+                stats.indirect_branches += 1;
+                stats.btb_lookups += 1;
+            }
             match fe.predict_target(info) {
                 Some(t) if t == rec.target => {}
                 Some(_) => {
-                    stats.btb_wrong_target += 1;
-                    stats.indirect_mispredicts += 1;
-                    cycles += cfg.mispredict_penalty as f64;
+                    if STATS {
+                        stats.btb_wrong_target += 1;
+                        stats.indirect_mispredicts += 1;
+                    }
+                    if TIMED {
+                        cycles += cfg.mispredict_penalty as f64;
+                    }
                 }
                 None => {
-                    stats.btb_misses += 1;
-                    stats.indirect_mispredicts += 1;
-                    cycles += cfg.mispredict_penalty as f64;
+                    if STATS {
+                        stats.btb_misses += 1;
+                        stats.indirect_mispredicts += 1;
+                    }
+                    if TIMED {
+                        cycles += cfg.mispredict_penalty as f64;
+                    }
                 }
             }
             fe.update_target(info, rec.target);
@@ -203,12 +287,18 @@ fn execute_branch_impl<F: FrontendOps>(
             }
         }
         BranchKind::Return => {
-            stats.returns += 1;
+            if STATS {
+                stats.returns += 1;
+            }
             match fe.ras_pop(thread) {
                 Some(addr) if addr == rec.target => {}
                 _ => {
-                    stats.ras_mispredicts += 1;
-                    cycles += cfg.mispredict_penalty as f64;
+                    if STATS {
+                        stats.ras_mispredicts += 1;
+                    }
+                    if TIMED {
+                        cycles += cfg.mispredict_penalty as f64;
+                    }
                 }
             }
         }
@@ -366,6 +456,55 @@ mod tests {
                 checked += 1;
             }
             assert_eq!(fast_stats, slow_stats, "stats divergence under {mech:?}");
+        }
+    }
+
+    #[test]
+    fn functional_stepping_leaves_state_identical_to_timed() {
+        use sbp_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
+        let cfg = CoreConfig::fpga();
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::noisy_xor_bp(),
+            Mechanism::CompleteFlush,
+        ] {
+            let mut timed = frontend(mech);
+            let mut functional = frontend(mech);
+            let mut clocked = frontend(mech);
+            let profile = WorkloadProfile::by_name("gcc").unwrap();
+            let mut generator = TraceGenerator::new(&profile, 0x1000_0000, 0xbeef);
+            let mut sink = PredictionStats::new();
+            let mut trained = 0;
+            while trained < 10_000 {
+                let TraceEvent::Branch(rec) = generator.next_event() else {
+                    continue;
+                };
+                let a = execute_branch(&mut timed, &cfg, t0(), &rec, &mut sink);
+                train_branch(&mut functional, &cfg, t0(), &rec);
+                let c = train_branch_clocked(&mut clocked, &cfg, t0(), &rec);
+                assert_eq!(a.to_bits(), c.to_bits(), "clocked cycles at {trained}");
+                trained += 1;
+            }
+            // Probe: after functional training the three front-ends must be
+            // observationally identical — same cycles bit-for-bit and same
+            // stats over a shared timed tail.
+            let mut s1 = PredictionStats::new();
+            let mut s2 = PredictionStats::new();
+            let mut s3 = PredictionStats::new();
+            let mut probed = 0;
+            while probed < 5_000 {
+                let TraceEvent::Branch(rec) = generator.next_event() else {
+                    continue;
+                };
+                let a = execute_branch(&mut timed, &cfg, t0(), &rec, &mut s1);
+                let b = execute_branch(&mut functional, &cfg, t0(), &rec, &mut s2);
+                let c = execute_branch(&mut clocked, &cfg, t0(), &rec, &mut s3);
+                assert_eq!(a.to_bits(), b.to_bits(), "probe divergence at {probed}");
+                assert_eq!(a.to_bits(), c.to_bits(), "probe divergence at {probed}");
+                probed += 1;
+            }
+            assert_eq!(s1, s2, "stats divergence under {mech:?}");
+            assert_eq!(s1, s3, "stats divergence under {mech:?}");
         }
     }
 

@@ -16,13 +16,14 @@
 //! estimator.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
 use sbp_attack::AttackOutcome;
 use sbp_core::Mechanism;
-use sbp_sim::{estimate_cycles, SampledMeasurement, SingleCoreSim, SmtSim};
+use sbp_sim::{estimate_cycles, SampledMeasurement, SamplingPlan, SingleCoreSim, SmtSim};
 use sbp_trace::EventBuffer;
 use sbp_types::{PredictionStats, SbpError};
 
@@ -98,6 +99,37 @@ impl RawResult {
     }
 }
 
+/// Intra-worker window-parallelism width; `0` means "not yet resolved"
+/// and resolves lazily from `SBP_WINDOW_THREADS` (default 1 — serial).
+static WINDOW_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the intra-worker window-parallelism width for sampled jobs:
+/// with `n > 1`, the independent measurement windows of one sampled
+/// cell fan out across `n` threads (each window runs on its own clone
+/// of the shared warm checkpoint). Values below 1 clamp to 1 (serial).
+/// Results are bit-identical at any width.
+pub fn set_window_threads(n: usize) {
+    WINDOW_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current intra-worker window-parallelism width: the last
+/// [`set_window_threads`] value, else the `SBP_WINDOW_THREADS`
+/// environment variable, else 1 (serial).
+pub fn window_threads() -> usize {
+    match WINDOW_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("SBP_WINDOW_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+            WINDOW_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
 /// Runs `f(i)` for `i in 0..n` on a pool of worker threads (one per
 /// available core) and returns the results in index order.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
@@ -117,13 +149,25 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    parallel_map_bounded_with(n, workers, init, f)
+}
+
+/// [`parallel_map_with`] with an explicit worker-thread bound — the
+/// window fan-out uses this so `--window-threads` controls pool width
+/// independently of core count.
+fn parallel_map_bounded_with<S, T, I, F>(n: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let results: Vec<parking_lot::Mutex<Option<T>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let workers = workers.max(1).min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -372,10 +416,17 @@ fn run_sampled_job(
     let m = match cached {
         Some(m) => m,
         None => {
+            let threads = window_threads();
+            let windowed = threads > 1 && sampling.total_windows() > 1;
             let m = match spec.mode {
                 SweepMode::SingleCore => {
                     let (mut sim, from_cache) = warm_single(arena, spec, group, mechanism)?;
-                    let m = sim.run_sampled(sampling);
+                    let m = if windowed {
+                        run_single_windowed(&sim, sampling, threads)
+                    } else {
+                        None
+                    };
+                    let m = m.unwrap_or_else(|| sim.run_sampled(sampling));
                     if !from_cache {
                         sim.release_buffers(&mut arena.buffers);
                     }
@@ -383,7 +434,12 @@ fn run_sampled_job(
                 }
                 SweepMode::Smt => {
                     let (mut sim, from_cache) = warm_smt(arena, spec, group, mechanism)?;
-                    let m = sim.run_sampled(sampling);
+                    let m = if windowed {
+                        run_smt_windowed(&sim, sampling, threads)
+                    } else {
+                        None
+                    };
+                    let m = m.unwrap_or_else(|| sim.run_sampled(sampling));
                     if !from_cache {
                         sim.release_buffers(&mut arena.buffers);
                     }
@@ -403,6 +459,115 @@ fn run_sampled_job(
         per_thread: m.per_thread,
         stderr: Some(est.stderr),
     }))
+}
+
+/// Window fan-out for a single-core sampled cell: each of the plan's
+/// measurement windows runs on its own clone of the warm checkpoint
+/// (`SingleCoreSim::run_sampled_window`), and the per-window results are
+/// reassembled into the [`SampledMeasurement`] the serial
+/// `run_sampled` would have produced — bit-identically, because each
+/// clone replays its prefix through the functional (state-exact) path.
+/// Returns `None` when any window clone fails, so the caller falls back
+/// to the serial run.
+fn run_single_windowed(
+    sim: &SingleCoreSim,
+    plan: &SamplingPlan,
+    threads: usize,
+) -> Option<SampledMeasurement> {
+    let n = plan.total_windows() as usize;
+    let clones: Option<Vec<SingleCoreSim>> = (0..n).map(|_| sim.try_clone()).collect();
+    let slots: Vec<Mutex<Option<SingleCoreSim>>> =
+        clones?.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let runs = parallel_map_bounded_with(
+        n,
+        threads,
+        || (),
+        |(), i| {
+            let mut solo = slots[i].lock().take().expect("window clone");
+            solo.run_sampled_window(plan, i as u32)
+        },
+    );
+    let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
+    let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
+    let mut agg = PredictionStats::new();
+    for (i, (cycles, stats)) in runs.into_iter().enumerate() {
+        if (i as u32) < plan.steady_windows {
+            steady_cycles.push(cycles);
+            agg += stats;
+        } else {
+            event_cycles.push(cycles);
+        }
+    }
+    Some(SampledMeasurement {
+        steady_cycles,
+        steady_units: plan.window,
+        event_cycles,
+        event_units: plan.event_window,
+        stats: agg,
+        per_thread: Vec::new(),
+        threads: 1,
+    })
+}
+
+/// SMT counterpart of [`run_single_windowed`]: per-thread statistics
+/// aggregate over the steady windows, and the final per-thread cycle
+/// counters come from the clone that ran the *last* window (whose
+/// functional prefix replay leaves its clocks equal to the serial
+/// run's).
+fn run_smt_windowed(
+    sim: &SmtSim,
+    plan: &SamplingPlan,
+    threads: usize,
+) -> Option<SampledMeasurement> {
+    let n = plan.total_windows() as usize;
+    let clones: Option<Vec<SmtSim>> = (0..n).map(|_| sim.try_clone()).collect();
+    let slots: Vec<Mutex<Option<SmtSim>>> =
+        clones?.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let runs = parallel_map_bounded_with(
+        n,
+        threads,
+        || (),
+        |(), i| {
+            let mut solo = slots[i].lock().take().expect("window clone");
+            let (cycles, per_thread) = solo.run_sampled_window(plan, i as u32);
+            let clocks = (i == n - 1).then(|| solo.thread_clocks());
+            (cycles, per_thread, clocks)
+        },
+    );
+    let hw_threads = runs.first().map_or(0, |(_, t, _)| t.len());
+    let mut steady_cycles = Vec::with_capacity(plan.steady_windows as usize);
+    let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
+    let mut agg = vec![PredictionStats::new(); hw_threads];
+    let mut last_clocks = Vec::new();
+    for (i, (cycles, per_thread, clocks)) in runs.into_iter().enumerate() {
+        if (i as u32) < plan.steady_windows {
+            steady_cycles.push(cycles);
+            for (a, t) in agg.iter_mut().zip(&per_thread) {
+                *a += *t;
+            }
+        } else {
+            event_cycles.push(cycles);
+        }
+        if let Some(clocks) = clocks {
+            last_clocks = clocks;
+        }
+    }
+    for (a, clock) in agg.iter_mut().zip(&last_clocks) {
+        a.cycles = *clock;
+    }
+    let mut stats = PredictionStats::new();
+    for a in &agg {
+        stats += *a;
+    }
+    Some(SampledMeasurement {
+        steady_cycles,
+        steady_units: plan.window,
+        event_cycles,
+        event_units: plan.event_window,
+        stats,
+        per_thread: agg,
+        threads: hw_threads as u32,
+    })
 }
 
 #[cfg(test)]
@@ -471,6 +636,54 @@ mod tests {
                 baseline.cycles,
             );
         }
+    }
+
+    /// Window-parallel execution is an implementation detail: fanning
+    /// the sampled windows out across clones of the warm checkpoint must
+    /// reassemble the exact `SampledMeasurement` the serial run
+    /// produces, in both gap modes and on both core modes.
+    #[test]
+    fn window_parallel_sampled_measurement_matches_serial() {
+        for smt in [false, true] {
+            for splan in [
+                sbp_sim::SamplingPlan::quick(),
+                sbp_sim::SamplingPlan::quick_functional(),
+            ] {
+                let spec = quick_spec(smt).with_sampling(Some(splan));
+                let plan = crate::plan::plan(&spec);
+                let (group, mechanism) = match &plan.jobs[1] {
+                    Job::Sim { group, mechanism } => (&plan.groups[*group], *mechanism),
+                    Job::Attack(_) => unreachable!("sim plan"),
+                };
+                let mut arena = JobArena::new();
+                if smt {
+                    let (mut serial, _) =
+                        warm_smt(&mut arena, &spec, group, mechanism).expect("warm");
+                    let want = serial.run_sampled(&splan);
+                    let (windowed, _) =
+                        warm_smt(&mut arena, &spec, group, mechanism).expect("warm");
+                    let got = run_smt_windowed(&windowed, &splan, 3).expect("window clones");
+                    assert_eq!(got, want, "smt windowed ({:?})", splan.gap_mode);
+                } else {
+                    let (mut serial, _) =
+                        warm_single(&mut arena, &spec, group, mechanism).expect("warm");
+                    let want = serial.run_sampled(&splan);
+                    let (windowed, _) =
+                        warm_single(&mut arena, &spec, group, mechanism).expect("warm");
+                    let got = run_single_windowed(&windowed, &splan, 3).expect("window clones");
+                    assert_eq!(got, want, "single windowed ({:?})", splan.gap_mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_threads_knob_clamps_and_overrides() {
+        set_window_threads(0);
+        assert_eq!(window_threads(), 1, "zero clamps to serial");
+        set_window_threads(4);
+        assert_eq!(window_threads(), 4);
+        set_window_threads(1);
     }
 
     #[test]

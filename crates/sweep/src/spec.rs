@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use sbp_attack::AttackKind;
 use sbp_core::Mechanism;
 use sbp_predictors::PredictorKind;
-use sbp_sim::{CoreConfig, SamplingPlan, SwitchInterval, WorkBudget};
+use sbp_sim::{CoreConfig, GapMode, SamplingPlan, SwitchInterval, WorkBudget};
 use sbp_trace::BenchmarkCase;
 use sbp_types::{SbpError, SweepReport};
 
@@ -349,12 +349,23 @@ impl SweepSpec {
     /// no-op on attack sweeps (attack campaigns measure accuracy, not
     /// time; there is nothing to sample).
     pub fn with_default_sampling(self) -> Self {
+        self.with_default_sampling_mode(GapMode::FastForward)
+    }
+
+    /// [`Self::with_default_sampling`] with an explicit gap strategy:
+    /// [`GapMode::FastForward`] selects the classic skip-and-rewarm
+    /// plans, [`GapMode::Functional`] the hybrid plans (state-exact
+    /// executed gaps, zero rewarm — see `sbp_sim::sampling`). A no-op on
+    /// attack sweeps.
+    pub fn with_default_sampling_mode(self, gap_mode: GapMode) -> Self {
         if self.is_attack() {
             return self;
         }
-        let plan = match self.mode {
-            SweepMode::SingleCore => SamplingPlan::single_default(),
-            SweepMode::Smt => SamplingPlan::smt_default(),
+        let plan = match (self.mode, gap_mode) {
+            (SweepMode::SingleCore, GapMode::FastForward) => SamplingPlan::single_default(),
+            (SweepMode::SingleCore, GapMode::Functional) => SamplingPlan::single_hybrid(),
+            (SweepMode::Smt, GapMode::FastForward) => SamplingPlan::smt_default(),
+            (SweepMode::Smt, GapMode::Functional) => SamplingPlan::smt_hybrid(),
         };
         self.with_sampling(Some(plan))
     }
@@ -461,6 +472,34 @@ impl SweepSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_sampling_mode_selects_default_or_hybrid_plans() {
+        let single = SweepSpec::single("s");
+        assert_eq!(
+            single.clone().with_default_sampling().sampling,
+            Some(SamplingPlan::single_default())
+        );
+        assert_eq!(
+            single
+                .with_default_sampling_mode(GapMode::Functional)
+                .sampling,
+            Some(SamplingPlan::single_hybrid())
+        );
+        let smt = SweepSpec::smt("m");
+        assert_eq!(
+            smt.clone()
+                .with_default_sampling_mode(GapMode::FastForward)
+                .sampling,
+            Some(SamplingPlan::smt_default())
+        );
+        assert_eq!(
+            smt.with_default_sampling_mode(GapMode::Functional).sampling,
+            Some(SamplingPlan::smt_hybrid())
+        );
+        let attack = SweepSpec::attack("a").with_default_sampling_mode(GapMode::Functional);
+        assert!(attack.is_attack(), "attack sweeps pass through unchanged");
+    }
 
     #[test]
     fn case_spec_from_benchmark_case() {

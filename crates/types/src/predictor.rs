@@ -44,6 +44,19 @@ pub trait DirectionPredictor {
     /// value returned by the paired `predict` call.
     fn update(&mut self, info: BranchInfo, taken: bool, predicted: bool, ctx: &KeyCtx);
 
+    /// Fused predict-then-update for functional (timing-free) stepping.
+    ///
+    /// Must leave the predictor in a state bit-identical to
+    /// `let p = self.predict(info, ctx); self.update(info, taken, p, ctx)`
+    /// and return the prediction. The default does exactly that;
+    /// implementations override it to share index/hash computation
+    /// between the two halves.
+    fn train(&mut self, info: BranchInfo, taken: bool, ctx: &KeyCtx) -> bool {
+        let predicted = self.predict(info, ctx);
+        self.update(info, taken, predicted, ctx);
+        predicted
+    }
+
     /// Complete Flush: clears all prediction state (all threads).
     fn flush_all(&mut self);
 

@@ -14,7 +14,7 @@
 
 use secure_bp::isolation::Mechanism;
 use secure_bp::predictors::PredictorKind;
-use secure_bp::sim::{CoreConfig, SamplingPlan, SingleCoreSim, SmtSim, SwitchInterval};
+use secure_bp::sim::{CoreConfig, GapMode, SamplingPlan, SingleCoreSim, SmtSim, SwitchInterval};
 
 /// Every mechanism family the paper grids exercise.
 fn mechanisms() -> Vec<Mechanism> {
@@ -95,6 +95,122 @@ fn smt_checkpoint_restore_is_bit_identical_per_predictor_and_mechanism() {
                 got.cycles.to_bits(),
                 expected.cycles.to_bits(),
                 "{predictor:?}/{mechanism:?}: SMT wall clock diverged"
+            );
+        }
+    }
+}
+
+/// Gap region length for the functional-vs-timed equivalence tests.
+const REGION: u64 = 20_000;
+
+#[test]
+fn single_core_functional_gap_execution_matches_timed_per_predictor_and_mechanism() {
+    // The hybrid sampling plans execute gap regions through the
+    // timing-free trainer. That is only sound if functional execution
+    // leaves predictor/BTB/generator state *bit-identical* to full timed
+    // execution — pinned here through the public API for every
+    // predictor × mechanism: a timed probe window after a functional
+    // gap must reproduce the timed-gap reference byte for byte
+    // (`PredictionStats` equality includes the probe's cycle count).
+    let plan = SamplingPlan {
+        steady_windows: 1,
+        window: MEASURE,
+        gap: REGION,
+        rewarm: 0,
+        event_windows: 0,
+        event_window: 0,
+        burst: 0,
+        gap_mode: GapMode::Functional,
+    };
+    for predictor in PredictorKind::ALL {
+        for mechanism in mechanisms() {
+            let fresh = || {
+                SingleCoreSim::new(
+                    CoreConfig::fpga(),
+                    predictor,
+                    mechanism,
+                    SwitchInterval::M12,
+                    &["gcc", "calculix"],
+                    0xc0de,
+                )
+                .expect("valid sim")
+            };
+            // Reference: warm-up, then the region executed *timed*
+            // (unmeasured), then the timed probe. No timer fires at
+            // these budgets, so the M12 interval is inert.
+            let mut timed = fresh();
+            timed.warm(WARM);
+            timed.warm(REGION);
+            let expected = timed.run_measure(MEASURE);
+            // Hybrid: same warm-up, region executed *functionally* as
+            // the plan's gap, then the same probe as the plan's window.
+            let mut hybrid = fresh();
+            hybrid.warm(WARM);
+            let (cycles, got) = hybrid.run_sampled_window(&plan, 0);
+            assert_eq!(
+                got, expected,
+                "{predictor:?}/{mechanism:?}: functional gap diverged from timed execution"
+            );
+            assert_eq!(
+                cycles as u64, expected.cycles,
+                "{predictor:?}/{mechanism:?}: probe cycles diverged after functional gap"
+            );
+        }
+    }
+}
+
+#[test]
+fn smt_functional_gap_execution_matches_timed_per_predictor_and_mechanism() {
+    // The SMT functional stepper keeps per-thread clocks (the scheduler
+    // is clock-driven), so a functional gap must leave shared-predictor
+    // state, generator cursors *and* every thread clock bit-identical
+    // to timed execution — the timed probe after it reproduces the
+    // reference's per-thread stats, final clocks and wall-clock delta
+    // exactly (`to_bits`, not approximately).
+    let plan = SamplingPlan {
+        steady_windows: 1,
+        window: MEASURE,
+        gap: REGION,
+        rewarm: 0,
+        event_windows: 0,
+        event_window: 0,
+        burst: 0,
+        gap_mode: GapMode::Functional,
+    };
+    for predictor in PredictorKind::ALL {
+        for mechanism in mechanisms() {
+            let fresh = || {
+                SmtSim::new(
+                    CoreConfig::gem5(),
+                    predictor,
+                    mechanism,
+                    SwitchInterval::M12,
+                    &["zeusmp", "lbm"],
+                    0xbeef,
+                )
+                .expect("valid sim")
+            };
+            let mut timed = fresh();
+            timed.warm(WARM);
+            timed.warm(REGION);
+            let expected = timed.run_measure(MEASURE);
+            let mut hybrid = fresh();
+            hybrid.warm(WARM);
+            let (cycles, mut per_thread) = hybrid.run_sampled_window(&plan, 0);
+            // The windowed path leaves per-thread `cycles` unset (the
+            // serial assembler stamps them from the final clocks);
+            // stamp them the same way before comparing.
+            for (stats, clock) in per_thread.iter_mut().zip(hybrid.thread_clocks()) {
+                stats.cycles = clock;
+            }
+            assert_eq!(
+                per_thread, expected.per_thread,
+                "{predictor:?}/{mechanism:?}: SMT functional gap diverged from timed execution"
+            );
+            assert_eq!(
+                cycles.to_bits(),
+                expected.cycles.to_bits(),
+                "{predictor:?}/{mechanism:?}: SMT probe wall clock diverged after functional gap"
             );
         }
     }
