@@ -6,6 +6,8 @@
 //! bps --quick               # small work sizes (CI smoke / tests)
 //! bps --no-smoke            # skip the smoke catalog entry timings
 //! bps --check BENCH_6.json  # measure, then gate on the committed file
+//! bps --json                # print the report JSON (with per-repeat
+//!                           # raw samples) to stdout instead of a file
 //! ```
 //!
 //! `--check` exits non-zero when any series' batched/scalar speedup ratio
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
     let mut cfg = BpsConfig::full();
     let mut out_path = String::from("BENCH_6.json");
     let mut out_explicit = false;
+    let mut json_out = false;
     let mut check_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
                 Some(p) => check_path = Some(p),
                 None => return usage("--check needs a path"),
             },
+            "--json" => json_out = true,
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -80,10 +84,16 @@ fn main() -> ExitCode {
         );
     }
 
+    // --json streams the document to stdout (stderr already carries the
+    // human summary), for piping into offline analysis.
+    if json_out {
+        print!("{}", report.to_json());
+    }
+
     // With --check the measurement is a gate, not an update: nothing is
     // written unless --out asks for a copy. Written *before* the gate so
     // CI can upload the fresh report even from a failed run.
-    if out_explicit || check_path.is_none() {
+    if out_explicit || (check_path.is_none() && !json_out) {
         if let Err(e) = std::fs::write(&out_path, report.to_json()) {
             eprintln!("error: cannot write {out_path}: {e}");
             return ExitCode::FAILURE;
@@ -130,8 +140,9 @@ fn usage(msg: &str) -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: bps [--quick] [--no-smoke] [--repeats N] [--out PATH] [--check PATH]\n\
+        "usage: bps [--quick] [--no-smoke] [--repeats N] [--out PATH] [--check PATH] [--json]\n\
          measures branches/sec through the scalar and batched simulator paths;\n\
-         by default writes BENCH_6.json, with --check gates against a committed report"
+         by default writes BENCH_6.json, with --check gates against a committed report,\n\
+         with --json prints the report (incl. per-repeat raw samples) to stdout"
     );
 }

@@ -27,8 +27,16 @@ use sbp_types::PredictionStats;
 /// v2 added the per-series `scalar_spread`/`batched_spread` fields
 /// (relative best-to-worst spread across the timing repeats); v3 added
 /// `scalar_median_bps`/`batched_median_bps` (the median repeat, a
-/// noise-robust central tendency to read next to the gated best-of).
-pub const SCHEMA: &str = "sbp-bench/bps/v3";
+/// noise-robust central tendency to read next to the gated best-of); v4
+/// added `scalar_samples`/`batched_samples` (every repeat's raw
+/// branches/sec in chronological order, so offline tooling can compute
+/// its own robust statistics instead of trusting the summarized ones).
+pub const SCHEMA: &str = "sbp-bench/bps/v4";
+
+/// The previous schema tag, still accepted by [`BpsReport::parse`]: a v3
+/// document (like a committed `BENCH_6.json`) reads back with empty
+/// sample arrays, so the CI gate keeps working across the bump.
+pub const LEGACY_SCHEMA: &str = "sbp-bench/bps/v3";
 
 /// Workload pair every series runs (first single-core case of the paper).
 pub const CASE: (&str, &str) = ("gcc", "calculix");
@@ -118,6 +126,9 @@ pub struct BpsSeries {
     /// the noise-robust central tendency; equals `scalar_bps` with a
     /// single repeat.
     pub scalar_median_bps: f64,
+    /// Every scalar repeat's raw branches/sec in chronological order
+    /// (empty when parsed from a pre-v4 document).
+    pub scalar_samples: Vec<f64>,
     /// Relative best-to-worst throughput spread across the scalar
     /// repeats, `(best − worst) / best`; 0 with a single repeat. A large
     /// spread flags a noisy measurement whose `speedup` should not be
@@ -127,6 +138,9 @@ pub struct BpsSeries {
     pub batched_bps: f64,
     /// Batched path throughput of the median repeat.
     pub batched_median_bps: f64,
+    /// Every batched repeat's raw branches/sec in chronological order
+    /// (empty when parsed from a pre-v4 document).
+    pub batched_samples: Vec<f64>,
     /// Relative best-to-worst spread across the batched repeats.
     pub batched_spread: f64,
     /// `batched_bps / scalar_bps` — the machine-independent gate metric.
@@ -184,6 +198,8 @@ struct PathTiming {
     median_bps: f64,
     /// Relative best-to-worst spread, `(best − worst) / best`.
     spread: f64,
+    /// Every repeat's branches/sec in chronological order.
+    samples: Vec<f64>,
 }
 
 /// Best-of-`repeats` branches/sec through one path (plus the median
@@ -215,6 +231,13 @@ fn measure_path(
         }
         secs.push(run_secs);
     }
+    let branches = cfg.warmup + measure;
+    // Raw per-repeat samples keep chronological order (captured before
+    // the sort below) so warm-up drift stays visible in the record.
+    let samples: Vec<f64> = secs
+        .iter()
+        .map(|s| round_to(branches as f64 / s, 1))
+        .collect();
     secs.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
     let n = secs.len();
     let median_secs = if n % 2 == 1 {
@@ -222,7 +245,6 @@ fn measure_path(
     } else {
         (secs[n / 2 - 1] + secs[n / 2]) / 2.0
     };
-    let branches = cfg.warmup + measure;
     let best_bps = branches as f64 / secs[0];
     let worst_bps = branches as f64 / secs[n - 1];
     (
@@ -230,6 +252,7 @@ fn measure_path(
             best_bps,
             median_bps: branches as f64 / median_secs,
             spread: (best_bps - worst_bps) / best_bps,
+            samples,
         },
         first_stats.expect("ran at least once"),
     )
@@ -271,9 +294,11 @@ pub fn measure(cfg: &BpsConfig) -> BpsReport {
                 branches: cfg.warmup + branches,
                 scalar_bps: round_to(scalar.best_bps, 1),
                 scalar_median_bps: round_to(scalar.median_bps, 1),
+                scalar_samples: scalar.samples,
                 scalar_spread: round_to(scalar.spread, 3),
                 batched_bps: round_to(batched.best_bps, 1),
                 batched_median_bps: round_to(batched.median_bps, 1),
+                batched_samples: batched.samples,
                 batched_spread: round_to(batched.spread, 3),
                 speedup: round_to(batched.best_bps / scalar.best_bps, 3),
             });
@@ -320,20 +345,28 @@ impl BpsReport {
         out.push_str(&format!("  \"case\": \"{}+{}\",\n", CASE.0, CASE.1));
         out.push_str(&format!("  \"seed\": {},\n", SEED));
         out.push_str("  \"series\": [\n");
+        let samples_of = |samples: &[f64]| {
+            let toks: Vec<String> = samples.iter().map(|v| fmt_f64(*v)).collect();
+            format!("[{}]", toks.join(", "))
+        };
         for (i, s) in self.series.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"predictor\": \"{}\", \"mechanism\": \"{}\", \"branches\": {}, \
-                 \"scalar_bps\": {}, \"scalar_median_bps\": {}, \"scalar_spread\": {}, \
-                 \"batched_bps\": {}, \"batched_median_bps\": {}, \"batched_spread\": {}, \
+                 \"scalar_bps\": {}, \"scalar_median_bps\": {}, \"scalar_samples\": {}, \
+                 \"scalar_spread\": {}, \
+                 \"batched_bps\": {}, \"batched_median_bps\": {}, \"batched_samples\": {}, \
+                 \"batched_spread\": {}, \
                  \"speedup\": {}}}{}\n",
                 s.predictor,
                 s.mechanism,
                 s.branches,
                 fmt_f64(s.scalar_bps),
                 fmt_f64(s.scalar_median_bps),
+                samples_of(&s.scalar_samples),
                 fmt_f64(s.scalar_spread),
                 fmt_f64(s.batched_bps),
                 fmt_f64(s.batched_median_bps),
+                samples_of(&s.batched_samples),
                 fmt_f64(s.batched_spread),
                 fmt_f64(s.speedup),
                 if i + 1 < self.series.len() { "," } else { "" }
@@ -377,10 +410,29 @@ impl BpsReport {
         let doc = json::parse(text)?;
         let obj = doc.as_object().ok_or("report is not a JSON object")?;
         let schema = json::get_str(obj, "schema")?;
-        if schema != SCHEMA {
-            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        if schema != SCHEMA && schema != LEGACY_SCHEMA {
+            return Err(format!(
+                "schema {schema:?}, expected {SCHEMA:?} (or legacy {LEGACY_SCHEMA:?})"
+            ));
         }
         let scale = json::get_f64(obj, "scale")?;
+        // Pre-v4 documents carry no raw samples; they read back empty.
+        let samples_of = |s: &[(String, Value)], key: &str| -> Result<Vec<f64>, String> {
+            match json::opt(s, key) {
+                None => Ok(Vec::new()),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| format!("field {key:?} is not an array"))?
+                    .iter()
+                    .map(|x| match x {
+                        Value::Num(raw) => raw
+                            .parse::<f64>()
+                            .map_err(|e| format!("field {key:?}: {e}")),
+                        other => Err(format!("field {key:?} holds a non-number: {other:?}")),
+                    })
+                    .collect(),
+            }
+        };
         let series_of = |v: &Value| -> Result<BpsSeries, String> {
             let s = v.as_object().ok_or("series entry is not an object")?;
             Ok(BpsSeries {
@@ -389,9 +441,11 @@ impl BpsReport {
                 branches: json::get_u64(s, "branches")?,
                 scalar_bps: json::get_f64(s, "scalar_bps")?,
                 scalar_median_bps: json::get_f64(s, "scalar_median_bps")?,
+                scalar_samples: samples_of(s, "scalar_samples")?,
                 scalar_spread: json::get_f64(s, "scalar_spread")?,
                 batched_bps: json::get_f64(s, "batched_bps")?,
                 batched_median_bps: json::get_f64(s, "batched_median_bps")?,
+                batched_samples: samples_of(s, "batched_samples")?,
                 batched_spread: json::get_f64(s, "batched_spread")?,
                 speedup: json::get_f64(s, "speedup")?,
             })
@@ -505,9 +559,11 @@ mod tests {
                     branches: 45_000,
                     scalar_bps: 9_000_000.0,
                     scalar_median_bps: 8_800_000.0,
+                    scalar_samples: vec![8_800_000.0, 9_000_000.0, 8_700_000.0],
                     scalar_spread: 0.031,
                     batched_bps: 10_000_000.0,
                     batched_median_bps: 9_950_000.0,
+                    batched_samples: vec![9_950_000.0, 9_880_000.0, 10_000_000.0],
                     batched_spread: 0.012,
                     speedup: 1.111,
                 },
@@ -517,9 +573,11 @@ mod tests {
                     branches: 45_000,
                     scalar_bps: 6_000_000.0,
                     scalar_median_bps: 6_000_000.0,
+                    scalar_samples: vec![6_000_000.0],
                     scalar_spread: 0.0,
                     batched_bps: 9_000_000.0,
                     batched_median_bps: 8_500_000.0,
+                    batched_samples: vec![9_000_000.0],
                     batched_spread: 0.08,
                     speedup: 1.5,
                 },
@@ -543,6 +601,21 @@ mod tests {
     fn parse_rejects_wrong_schema() {
         let text = sample().to_json().replace(SCHEMA, "sbp-bench/bps/v0");
         assert!(BpsReport::parse(&text).is_err());
+    }
+
+    #[test]
+    fn legacy_v3_documents_parse_with_empty_samples() {
+        // A committed pre-v4 report: legacy schema tag, no sample arrays.
+        let text = format!(
+            "{{\"schema\": \"{LEGACY_SCHEMA}\", \"scale\": 1, \"series\": [\n\
+             {{\"predictor\": \"Gshare\", \"mechanism\": \"Baseline\", \"branches\": 100,\n\
+             \"scalar_bps\": 5.0, \"scalar_median_bps\": 5.0, \"scalar_spread\": 0,\n\
+             \"batched_bps\": 6.0, \"batched_median_bps\": 6.0, \"batched_spread\": 0,\n\
+             \"speedup\": 1.2}}], \"smoke\": []}}"
+        );
+        let report = BpsReport::parse(&text).expect("legacy document parses");
+        assert!(report.series[0].scalar_samples.is_empty());
+        assert!(report.series[0].batched_samples.is_empty());
     }
 
     #[test]
@@ -590,6 +663,12 @@ mod tests {
             // A single repeat has no spread, and its median IS the best.
             assert_eq!(s.scalar_spread, 0.0, "spread with one repeat {s:?}");
             assert_eq!(s.batched_spread, 0.0, "spread with one repeat {s:?}");
+            // One raw sample per repeat, and with a single repeat the
+            // sample IS the best-of.
+            assert_eq!(s.scalar_samples.len(), 1, "one sample per repeat {s:?}");
+            assert_eq!(s.batched_samples.len(), 1, "one sample per repeat {s:?}");
+            assert_eq!(s.scalar_samples[0], s.scalar_bps, "{s:?}");
+            assert_eq!(s.batched_samples[0], s.batched_bps, "{s:?}");
             assert_eq!(
                 s.scalar_median_bps, s.scalar_bps,
                 "median != best with one repeat {s:?}"

@@ -24,7 +24,8 @@ use std::time::Duration;
 
 use sbp_campaign::coordinator::{check_and_print, summarize_verdicts};
 use sbp_campaign::{
-    parse_gap_mode, run_campaign, run_worker, CampaignOptions, Catalog, Manifest, WorkerArgs,
+    finalize_telemetry, parse_gap_mode, run_campaign, run_report, run_worker, telemetry_enabled,
+    CampaignOptions, Catalog, Manifest, WorkerArgs,
 };
 use sbp_sim::GapMode;
 use sbp_sweep::Shard;
@@ -41,6 +42,12 @@ fn main() {
 fn run(args: &[String]) -> Result<(), SbpError> {
     if args.first().map(String::as_str) == Some("--worker") {
         return run_worker(&parse_worker_args(&args[1..])?);
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        let [out_dir] = &args[1..] else {
+            return Err(SbpError::campaign("usage: campaign report OUT_DIR"));
+        };
+        return run_report(Path::new(out_dir));
     }
     let (mut list, mut in_process, mut options) = (false, false, CampaignOptions::default());
     let mut sampled = false;
@@ -59,6 +66,13 @@ fn run(args: &[String]) -> Result<(), SbpError> {
             "--check" => options.check = true,
             "--sampled" => sampled = true,
             "--profile" => options.profile = true,
+            "--telemetry" => options.telemetry = true,
+            "--trace-out" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| SbpError::campaign("--trace-out needs a file path"))?;
+                options.trace_out = Some(PathBuf::from(raw));
+            }
             "--gap-mode" => {
                 let raw = it
                     .next()
@@ -170,6 +184,19 @@ fn run(args: &[String]) -> Result<(), SbpError> {
         if options.profile {
             sbp_sim::profile::set_enabled(true);
         }
+        // The in-process runner is lane 0 with no sidecar file: its
+        // events collect in the sink and merge at the end, exactly like
+        // the coordinator's control lane.
+        let telemetry_on = telemetry_enabled(&manifest, &options);
+        if telemetry_on {
+            std::fs::create_dir_all(&manifest.out_dir).map_err(|e| {
+                SbpError::campaign(format!(
+                    "cannot create out_dir {}: {e}",
+                    manifest.out_dir.display()
+                ))
+            })?;
+            sbp_telemetry::enable("", 0, None);
+        }
         let mut verdicts = Vec::new();
         for (entry, spec) in manifest.specs()? {
             eprintln!(
@@ -179,7 +206,10 @@ fn run(args: &[String]) -> Result<(), SbpError> {
             if options.profile {
                 sbp_sim::profile::reset();
             }
+            sbp_telemetry::set_entry(entry.name);
+            let entry_span = sbp_telemetry::control_span("entry", entry.name);
             let report = spec.run()?;
+            drop(entry_span);
             if options.profile {
                 eprintln!(
                     "campaign[{}] profile: {}",
@@ -191,6 +221,9 @@ fn run(args: &[String]) -> Result<(), SbpError> {
             if options.check {
                 verdicts.push(check_and_print(entry, &report));
             }
+        }
+        if telemetry_on {
+            finalize_telemetry(&manifest, options.trace_out.as_deref(), false)?;
         }
         summarize_verdicts(&verdicts)
     } else {
@@ -220,6 +253,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         .clone();
     let (mut shard, mut store, mut seeds, mut sampled) = (None, None, None, false);
     let (mut gap_mode, mut window_threads, mut profile) = (GapMode::FastForward, None, false);
+    let mut telemetry = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -249,6 +283,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
                 window_threads = Some(parsed);
             }
             "--profile" => profile = true,
+            "--telemetry" => telemetry = Some(PathBuf::from(value("a sidecar path")?)),
             other => {
                 return Err(SbpError::campaign(format!(
                     "unknown worker argument {other:?}"
@@ -265,6 +300,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
         gap_mode,
         window_threads,
         profile,
+        telemetry,
     })
 }
 
@@ -274,6 +310,7 @@ fn print_usage() {
     );
     println!("       campaign --in-process MANIFEST.json   unsharded reference run (same stdout)");
     println!("       campaign --list                   print the spec catalog");
+    println!("       campaign report OUT_DIR           summarize a recorded telemetry timeline");
     println!();
     println!("options:");
     println!("  --check               end every entry with its paper-expectation verdict");
@@ -289,9 +326,14 @@ fn print_usage() {
     println!("                        gaps / steady / event / exact measure) to stderr");
     println!("  --stall-timeout SECS  kill + retry a worker whose shard store stops");
     println!("                        growing for SECS (must exceed the slowest job)");
+    println!("  --telemetry           record structured spans/counters/gauges per worker and");
+    println!("                        merge them into OUT_DIR/telemetry.jsonl (observation-");
+    println!("                        only: reports and stores are byte-identical either way)");
+    println!("  --trace-out FILE      also export the merged timeline as Chrome trace_event");
+    println!("                        JSON for chrome://tracing (implies --telemetry)");
     println!();
     println!(
         "manifest keys: entries (required), workers, scale, seeds, out_dir, retries, sampling, \
-         gap_mode, window_threads"
+         gap_mode, window_threads, telemetry"
     );
 }

@@ -16,12 +16,15 @@
 //! floats round-trip exactly. Status/progress goes to stderr only, so
 //! the two stdouts are directly comparable.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use sbp_sweep::{gc_store, merge_stores, plan, plan_fingerprints, Shard, SweepSpec, VerdictTable};
+use sbp_sweep::{
+    gc_store, json, merge_stores, plan, plan_fingerprints, Shard, SweepSpec, VerdictTable,
+};
 use sbp_types::{SbpError, SweepReport};
 
 use crate::catalog::CatalogEntry;
@@ -43,6 +46,14 @@ pub struct CampaignOptions {
     /// wall-time phase breakdown (warm / gaps / steady / event / exact
     /// measure) to stderr after its run.
     pub profile: bool,
+    /// Record a structured telemetry timeline (`--telemetry`): workers
+    /// write sidecar event streams and the coordinator merges them into
+    /// `<out_dir>/telemetry.jsonl`. Also switched on by the manifest's
+    /// `"telemetry": true` or by `--trace-out`.
+    pub telemetry: bool,
+    /// Additionally export the merged timeline as Chrome `trace_event`
+    /// JSON to this file (`--trace-out FILE`) for chrome://tracing.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Runs the whole campaign described by `manifest`, spawning workers from
@@ -71,14 +82,137 @@ pub fn run_campaign(
             manifest.out_dir.display()
         ))
     })?;
+    let telemetry_on = telemetry_enabled(manifest, options);
+    if telemetry_on {
+        sbp_telemetry::enable(
+            "",
+            0,
+            Some(&manifest.out_dir.join("telemetry.coordinator.jsonl")),
+        );
+    }
+    let mut options = options.clone();
+    options.telemetry = telemetry_on;
+    let specs = manifest.specs()?;
+    let costs = load_entry_costs(manifest.sampling);
     let mut verdicts = Vec::new();
-    for (entry, spec) in manifest.specs()? {
-        let report = run_entry(manifest, entry, &spec, exe, options)?;
-        if options.check {
-            verdicts.push(check_and_print(entry, &report));
+    let mut outcome = Ok(());
+    for (idx, (entry, spec)) in specs.iter().enumerate() {
+        sbp_telemetry::set_entry(entry.name);
+        // Sum of the later entries' benchmark costs — the campaign-level
+        // ETA remainder. `None` (no benchmark data for some entry) falls
+        // back to the entry-local estimate.
+        let tail_secs = costs.as_ref().and_then(|c| {
+            specs[idx + 1..]
+                .iter()
+                .map(|(e, _)| c.get(e.name).copied())
+                .sum::<Option<f64>>()
+        });
+        let entry_secs = costs.as_ref().and_then(|c| c.get(entry.name).copied());
+        let entry_span = sbp_telemetry::control_span("entry", entry.name);
+        let report = run_entry(manifest, entry, spec, exe, &options, entry_secs, tail_secs);
+        drop(entry_span);
+        match report {
+            Ok(report) => {
+                if options.check {
+                    verdicts.push(check_and_print(entry, &report));
+                }
+            }
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
         }
     }
+    if telemetry_on {
+        finalize_telemetry(manifest, options.trace_out.as_deref(), true)?;
+    }
+    outcome?;
     summarize_verdicts(&verdicts)
+}
+
+/// Whether this campaign records telemetry: the manifest's
+/// `"telemetry": true`, `--telemetry`, or `--trace-out` (a trace export
+/// needs the timeline).
+pub fn telemetry_enabled(manifest: &Manifest, options: &CampaignOptions) -> bool {
+    options.telemetry || manifest.telemetry || options.trace_out.is_some()
+}
+
+/// Merges the coordinator's collected control events with every worker
+/// sidecar (in manifest entry order, shards ascending) into
+/// `<out_dir>/telemetry.jsonl`, optionally exporting a Chrome trace,
+/// then disables the sink. `include_sidecars` is false on the
+/// in-process path, whose events all live in the sink collection.
+///
+/// # Errors
+///
+/// Returns a campaign error when the merged timeline or trace cannot be
+/// written (sidecar reads are lenient — a worker that executed nothing
+/// never creates its file).
+pub fn finalize_telemetry(
+    manifest: &Manifest,
+    trace_out: Option<&Path>,
+    include_sidecars: bool,
+) -> Result<(), SbpError> {
+    let mut streams = Vec::new();
+    if include_sidecars {
+        for name in &manifest.entries {
+            if let Some(entry) = crate::catalog::Catalog::get(name) {
+                for k in 1..=manifest.workers {
+                    let path =
+                        telemetry_sidecar_path(&manifest.out_dir, entry, k, manifest.workers);
+                    streams.push(sbp_telemetry::read_events_lenient(&path));
+                }
+            }
+        }
+    }
+    streams.push(sbp_telemetry::take_events());
+    sbp_telemetry::disable();
+    let timeline = sbp_telemetry::merge(streams, &manifest.entries);
+    let merged_path = manifest.out_dir.join("telemetry.jsonl");
+    sbp_telemetry::write_events(&merged_path, &timeline).map_err(SbpError::campaign)?;
+    let validated = match sbp_telemetry::validate(&timeline) {
+        Ok(stats) => format!(
+            "{} events ({} spans, {} counters, {} gauges, {} marks)",
+            stats.events, stats.spans, stats.counters, stats.gauges, stats.marks
+        ),
+        Err(e) => format!("{} events (VALIDATION FAILED: {e})", timeline.len()),
+    };
+    eprintln!(
+        "campaign telemetry: {validated} -> {}",
+        merged_path.display()
+    );
+    if let Some(trace_path) = trace_out {
+        let trace = sbp_telemetry::to_chrome_trace(&timeline);
+        std::fs::write(trace_path, trace).map_err(|e| {
+            SbpError::campaign(format!("cannot write trace {}: {e}", trace_path.display()))
+        })?;
+        eprintln!(
+            "campaign telemetry: Chrome trace -> {} (open in chrome://tracing)",
+            trace_path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Per-entry wall-second costs from the tracked campaign benchmark
+/// (`BENCH_8.json`, overridable via `SBP_BENCH_COSTS`): the `"sampled"`
+/// stanza for sampling campaigns, `"exact"` otherwise. `None` (missing
+/// file, malformed JSON, absent stanza) means "no cost model" and the
+/// ETA falls back to the line-count-linear estimate.
+fn load_entry_costs(sampling: bool) -> Option<HashMap<String, f64>> {
+    let path = std::env::var("SBP_BENCH_COSTS").unwrap_or_else(|_| "BENCH_8.json".to_string());
+    let text = std::fs::read_to_string(path).ok()?;
+    let value = json::parse(&text).ok()?;
+    let obj = value.as_object()?;
+    let stanza = json::get(obj, if sampling { "sampled" } else { "exact" })
+        .ok()?
+        .as_object()?;
+    let entries = json::get(stanza, "entries").ok()?.as_object()?;
+    let mut costs = HashMap::new();
+    for (name, _) in entries {
+        costs.insert(name.clone(), json::get_f64(entries, name).ok()?);
+    }
+    Some(costs)
 }
 
 /// Joins one entry's report against its expectations and prints the
@@ -137,6 +271,12 @@ pub fn shard_store_path(out_dir: &Path, entry: &CatalogEntry, k: usize, n: usize
     out_dir.join(format!("{}.shard{k}of{n}.jsonl", entry.name))
 }
 
+/// Sidecar telemetry stream for worker `k` (1-based) of `n` — next to
+/// its shard store, so a crashed worker's events survive with it.
+pub fn telemetry_sidecar_path(out_dir: &Path, entry: &CatalogEntry, k: usize, n: usize) -> PathBuf {
+    out_dir.join(format!("{}.telemetry.shard{k}of{n}.jsonl", entry.name))
+}
+
 /// One worker subprocess being tracked by the progress loop.
 struct WorkerProc {
     /// 0-based shard index.
@@ -152,6 +292,8 @@ fn run_entry(
     spec: &SweepSpec,
     exe: &Path,
     options: &CampaignOptions,
+    entry_secs: Option<f64>,
+    tail_secs: Option<f64>,
 ) -> Result<SweepReport, SbpError> {
     let n = manifest.workers;
     let job_plan = plan(spec);
@@ -172,6 +314,16 @@ fn run_entry(
         fps.len(),
         n
     );
+    // Benchmark-weighted ETA inputs: seconds per cell for this entry
+    // plus the later entries' total cost (both `None` without
+    // benchmark data, falling back to the entry-local linear estimate).
+    let eta_costs = match (entry_secs, tail_secs) {
+        (Some(secs), Some(tail)) if !fps.is_empty() => Some(EtaCosts {
+            per_cell: secs / fps.len() as f64,
+            tail_secs: tail,
+        }),
+        _ => None,
+    };
 
     let mut pending: Vec<usize> = (0..n).collect();
     let mut attempt = 0u32;
@@ -192,6 +344,7 @@ fn run_entry(
             &owned,
             n,
             options.stall_timeout,
+            eta_costs,
         )?;
         if failed.is_empty() {
             break;
@@ -213,6 +366,18 @@ fn run_entry(
             failed.len(),
             attempt + 1,
         );
+        sbp_telemetry::control_mark(
+            "retry",
+            &format!(
+                "attempt {} for shard(s) {}",
+                attempt + 1,
+                failed
+                    .iter()
+                    .map(|s| format!("{}/{n}", s + 1))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
         pending = failed;
     }
 
@@ -232,6 +397,7 @@ fn run_entry(
         canonical.display(),
         dropped,
     );
+    sbp_telemetry::control_gauge("gc_dropped", dropped as f64, entry.name);
     Ok(report)
 }
 
@@ -268,6 +434,14 @@ fn spawn_worker(
     if options.profile {
         cmd.arg("--profile");
     }
+    if options.telemetry {
+        cmd.arg("--telemetry").arg(telemetry_sidecar_path(
+            &manifest.out_dir,
+            entry,
+            shard + 1,
+            n,
+        ));
+    }
     if let Some(scale) = manifest.scale {
         cmd.env("SBP_SCALE", format!("{scale}"));
     }
@@ -286,13 +460,28 @@ fn spawn_worker(
     })
 }
 
+/// Benchmark-derived ETA inputs for one entry (see `load_entry_costs`).
+#[derive(Debug, Clone, Copy)]
+struct EtaCosts {
+    /// Benchmark seconds per cell of this entry.
+    per_cell: f64,
+    /// Benchmark seconds for every entry after this one.
+    tail_secs: f64,
+}
+
 /// Polls the worker processes to completion, streaming per-shard
-/// `done/owned` progress (with an ETA estimated from the observed
-/// completion rate) to stderr whenever a count changes. With a stall
+/// `done/owned` progress — with each worker's heartbeat age (seconds
+/// since its store last grew) and an ETA estimated from the observed
+/// completion rate — to stderr whenever a count changes; a quiet worker
+/// re-prints its line every few seconds so a wedging shard is visible
+/// before any stall-timeout fires. With benchmark costs, the label
+/// adds a campaign-level remainder weighted by the later entries' cost
+/// (the per-entry cost model the linear estimate lacks). With a stall
 /// timeout, a still-running worker whose store has not grown for that
 /// long is killed (its kill-status lands it in the failed list, so the
 /// ordinary retry path reruns exactly the missing jobs). Returns the
 /// 0-based shard indices whose workers exited unsuccessfully.
+#[allow(clippy::too_many_arguments)]
 fn wait_with_progress(
     entry: &CatalogEntry,
     procs: &mut [WorkerProc],
@@ -300,6 +489,7 @@ fn wait_with_progress(
     owned: &[usize],
     n: usize,
     stall_timeout: Option<Duration>,
+    eta_costs: Option<EtaCosts>,
 ) -> Result<Vec<usize>, SbpError> {
     let start = Instant::now();
     let done0: usize = procs
@@ -314,6 +504,8 @@ fn wait_with_progress(
     // Per-worker heartbeat: the last time its store-line count grew (or
     // the spawn time before the first append).
     let mut last_growth: Vec<Instant> = vec![start; procs.len()];
+    // Last time a quiet (no-growth) worker's line was echoed anyway.
+    let mut last_echo: Vec<Instant> = vec![start; procs.len()];
     loop {
         let mut all_exited = true;
         for p in procs.iter_mut() {
@@ -337,22 +529,47 @@ fn wait_with_progress(
             .collect();
         if done != last_done {
             let total_done: usize = done.iter().sum();
-            let eta = eta_label(start, done0, total_done, owned_this_pass);
+            let eta = eta_label(start, done0, total_done, owned_this_pass, eta_costs);
             for ((i, p), d) in procs.iter().enumerate().zip(&done) {
                 if last_done[i] != *d {
                     last_growth[i] = Instant::now();
                 }
+                last_echo[i] = Instant::now();
                 eprintln!(
-                    "campaign[{}] shard {}/{n}: {d}/{} cells{eta}",
+                    "campaign[{}] shard {}/{n}: {d}/{} cells, hb {:.1}s{eta}",
                     entry.name,
                     p.shard + 1,
                     owned[p.shard],
+                    last_growth[i].elapsed().as_secs_f64(),
                 );
             }
             last_done = done;
         }
         if all_exited {
             break;
+        }
+        // A worker whose store is not growing prints nothing through the
+        // change-driven path above; echo its heartbeat age periodically
+        // so a wedging shard is visible before any stall-kill fires.
+        const QUIET_ECHO: Duration = Duration::from_secs(5);
+        for (i, p) in procs.iter().enumerate() {
+            let age = last_growth[i].elapsed();
+            if p.status.is_none() && age >= QUIET_ECHO && last_echo[i].elapsed() >= QUIET_ECHO {
+                last_echo[i] = Instant::now();
+                eprintln!(
+                    "campaign[{}] shard {}/{n}: {}/{} cells, hb {:.1}s — no store growth",
+                    entry.name,
+                    p.shard + 1,
+                    last_done.get(i).copied().unwrap_or(0),
+                    owned[p.shard],
+                    age.as_secs_f64(),
+                );
+                sbp_telemetry::control_gauge(
+                    "heartbeat_age_s",
+                    age.as_secs_f64(),
+                    &format!("shard {}/{n}", p.shard + 1),
+                );
+            }
         }
         if let Some(timeout) = stall_timeout {
             for (i, p) in procs.iter_mut().enumerate() {
@@ -365,6 +582,14 @@ fn wait_with_progress(
                         p.shard + 1,
                         stalled.as_secs_f64(),
                         timeout.as_secs_f64(),
+                    );
+                    sbp_telemetry::control_mark(
+                        "stall_kill",
+                        &format!(
+                            "shard {}/{n} after {:.1}s without store growth",
+                            p.shard + 1,
+                            stalled.as_secs_f64()
+                        ),
                     );
                     // A kill failure means the process already exited;
                     // the next try_wait round reaps it either way.
@@ -409,14 +634,40 @@ fn count_lines(path: &Path) -> usize {
 }
 
 /// `", ETA 12s"` once at least one cell completed this run, `""` before.
-fn eta_label(start: Instant, done0: usize, done: usize, total: usize) -> String {
+///
+/// With benchmark costs ([`EtaCosts`]), the label adds a campaign-level
+/// remainder: the observed per-cell pace calibrates the later entries'
+/// benchmark seconds (this machine vs. the benchmark machine), so
+/// `campaign 240s` means "this entry's remainder plus the cost-weighted
+/// tail of the catalog at the current pace".
+fn eta_label(
+    start: Instant,
+    done0: usize,
+    done: usize,
+    total: usize,
+    costs: Option<EtaCosts>,
+) -> String {
     let fresh = done.saturating_sub(done0);
     let remaining = total.saturating_sub(done);
     if fresh == 0 || remaining == 0 {
         return String::new();
     }
-    let secs = start.elapsed().as_secs_f64() * remaining as f64 / fresh as f64;
-    format!(", ETA {}s", secs.ceil() as u64)
+    let elapsed = start.elapsed().as_secs_f64();
+    let entry_secs = elapsed * remaining as f64 / fresh as f64;
+    match costs {
+        Some(c) if c.per_cell > 0.0 => {
+            // How much faster/slower this machine runs a cell than the
+            // benchmark that produced the per-entry costs.
+            let calibration = elapsed / (fresh as f64 * c.per_cell);
+            let campaign_secs = entry_secs + c.tail_secs * calibration;
+            format!(
+                ", ETA {}s (campaign {}s)",
+                entry_secs.ceil() as u64,
+                campaign_secs.ceil() as u64
+            )
+        }
+        _ => format!(", ETA {}s", entry_secs.ceil() as u64),
+    }
 }
 
 #[cfg(test)]
@@ -436,10 +687,30 @@ mod tests {
     #[test]
     fn eta_appears_only_once_cells_complete() {
         let t = Instant::now();
-        assert_eq!(eta_label(t, 3, 3, 10), "");
-        assert_eq!(eta_label(t, 0, 10, 10), "");
-        let label = eta_label(t, 2, 5, 10);
+        assert_eq!(eta_label(t, 3, 3, 10, None), "");
+        assert_eq!(eta_label(t, 0, 10, 10, None), "");
+        let label = eta_label(t, 2, 5, 10, None);
         assert!(label.starts_with(", ETA "), "{label}");
+        assert!(!label.contains("campaign"), "{label}");
+        let costs = Some(EtaCosts {
+            per_cell: 0.5,
+            tail_secs: 120.0,
+        });
+        let weighted = eta_label(t, 2, 5, 10, costs);
+        assert!(weighted.contains("(campaign "), "{weighted}");
+        // Degenerate benchmark (zero per-cell cost) falls back to the
+        // entry-only label instead of dividing by zero.
+        let degenerate = eta_label(
+            t,
+            2,
+            5,
+            10,
+            Some(EtaCosts {
+                per_cell: 0.0,
+                tail_secs: 120.0,
+            }),
+        );
+        assert!(!degenerate.contains("campaign"), "{degenerate}");
     }
 
     #[test]

@@ -39,10 +39,15 @@ pub mod catalog;
 pub mod coordinator;
 pub mod expect;
 pub mod manifest;
+pub mod report;
 pub mod worker;
 
 pub use catalog::{Catalog, CatalogEntry};
-pub use coordinator::{run_campaign, shard_store_path, CampaignOptions};
+pub use coordinator::{
+    finalize_telemetry, run_campaign, shard_store_path, telemetry_enabled, telemetry_sidecar_path,
+    CampaignOptions,
+};
 pub use expect::{check_entry, maybe_perturbed, Expectation, VerdictTable, PERTURB_ENV};
 pub use manifest::{parse_gap_mode, Manifest};
+pub use report::run_report;
 pub use worker::{run_worker, WorkerArgs, DIE_AFTER_ENV, DIE_EXIT_CODE, STALL_AFTER_ENV};

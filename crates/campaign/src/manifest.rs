@@ -79,9 +79,16 @@ pub struct Manifest {
     /// `n` threads per worker. Results are bit-identical at any width;
     /// `None` leaves the `SBP_WINDOW_THREADS` environment default.
     pub window_threads: Option<usize>,
+    /// Record a structured telemetry timeline (`"telemetry"`): workers
+    /// write sidecar `<entry>.telemetry.shard<k>of<n>.jsonl` streams and
+    /// the coordinator merges them into `<out_dir>/telemetry.jsonl`.
+    /// Observation-only: reports, stores and verdicts are byte-identical
+    /// with or without it. Also switched on by `--telemetry` or
+    /// `--trace-out`.
+    pub telemetry: bool,
 }
 
-const KNOWN_KEYS: [&str; 9] = [
+const KNOWN_KEYS: [&str; 10] = [
     "entries",
     "workers",
     "seeds",
@@ -91,6 +98,7 @@ const KNOWN_KEYS: [&str; 9] = [
     "sampling",
     "gap_mode",
     "window_threads",
+    "telemetry",
 ];
 
 impl Manifest {
@@ -190,6 +198,9 @@ impl Manifest {
                 SbpError::campaign(format!("manifest: \"window_threads\" {n} is out of range"))
             })?),
         };
+        let telemetry = json::opt_bool(obj, "telemetry")
+            .map_err(bad)?
+            .unwrap_or(false);
         Ok(Manifest {
             entries,
             workers,
@@ -200,6 +211,7 @@ impl Manifest {
             sampling,
             gap_mode,
             window_threads,
+            telemetry,
         })
     }
 
@@ -264,6 +276,17 @@ mod tests {
         assert!(m.sampling);
         assert_eq!(m.gap_mode, GapMode::FastForward);
         assert_eq!(m.window_threads, None);
+        assert!(!m.telemetry, "telemetry defaults off");
+    }
+
+    #[test]
+    fn telemetry_key_parses_and_validates() {
+        let m = Manifest::parse(r#"{"entries":["fig01"],"telemetry":true}"#).expect("parse");
+        assert!(m.telemetry);
+        assert!(
+            Manifest::parse(r#"{"entries":["fig01"],"telemetry":"on"}"#).is_err(),
+            "non-boolean telemetry is rejected"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use std::path::PathBuf;
 
 use sbp_sim::GapMode;
-use sbp_sweep::{plan, plan_fingerprints, run_job, RunOptions, Shard, SweepStore};
+use sbp_sweep::{
+    plan, plan_fingerprints, run_job_indexed, JobArena, RunOptions, Shard, SweepStore,
+};
 use sbp_types::SbpError;
 
 use crate::catalog::Catalog;
@@ -64,6 +66,11 @@ pub struct WorkerArgs {
     /// steady / event / exact measure) to stderr after the run
     /// (forwarded from the campaign's `--profile`).
     pub profile: bool,
+    /// Sidecar telemetry stream this worker appends its structured
+    /// events to (forwarded by the coordinator as `--telemetry PATH`);
+    /// `None` leaves telemetry off. Observation-only: the shard store
+    /// is byte-identical either way.
+    pub telemetry: Option<PathBuf>,
 }
 
 /// Runs one worker: resolves the catalog entry, executes the shard
@@ -90,6 +97,10 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
         sbp_sim::profile::set_enabled(true);
         sbp_sim::profile::reset();
     }
+    if let Some(path) = &args.telemetry {
+        // Worker lanes are 1-based; lane 0 is the coordinator's.
+        sbp_telemetry::enable(&args.entry, args.shard.index as u32 + 1, Some(path));
+    }
     if let Some(after) = fault_knob(DIE_AFTER_ENV)? {
         return run_fault_injected(&spec, args, after, FaultMode::Die);
     }
@@ -100,6 +111,7 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), SbpError> {
         store: Some(args.store.clone()),
         shard: Some(args.shard),
     })?;
+    sbp_telemetry::disable();
     if args.profile {
         print_profile(args);
     }
@@ -155,12 +167,16 @@ fn run_fault_injected(
     let mut store = SweepStore::open(&args.store)?;
     let skipped = fps.iter().filter(|fp| store.get(**fp).is_some()).count();
     let mut executed = 0usize;
-    for (i, job) in plan.jobs.iter().enumerate() {
-        if !args.shard.owns(fps[i]) || store.get(fps[i]).is_some() {
+    let mut arena = JobArena::new();
+    for (i, &fp) in fps.iter().enumerate() {
+        if !args.shard.owns(fp) || store.get(fp).is_some() {
             continue;
         }
-        let result = run_job(spec, &plan, job)?;
-        store.append(fps[i], &result)?;
+        // The indexed runner flushes each job's telemetry before the
+        // store append, so an injected death still leaves a sidecar
+        // covering every persisted cell.
+        let result = run_job_indexed(&mut arena, spec, &plan, i)?;
+        store.append(fp, &result)?;
         executed += 1;
         if executed == after {
             match mode {
@@ -188,6 +204,7 @@ fn run_fault_injected(
         }
     }
     let pending = fps.iter().filter(|fp| store.get(**fp).is_none()).count();
+    sbp_telemetry::disable();
     if args.profile {
         print_profile(args);
     }
@@ -228,6 +245,7 @@ mod tests {
             gap_mode: GapMode::FastForward,
             window_threads: None,
             profile: false,
+            telemetry: None,
         };
         assert!(matches!(
             run_worker(&args),
@@ -248,6 +266,7 @@ mod tests {
             gap_mode: GapMode::FastForward,
             window_threads: None,
             profile: false,
+            telemetry: None,
         };
         run_worker(&args).expect("first pass");
         let after_first = SweepStore::open(&store).expect("open").len();

@@ -399,6 +399,96 @@ fn campaign_rejects_unknown_entries_and_bad_manifests() {
 }
 
 #[test]
+fn telemetry_campaign_is_observation_only_and_its_timeline_reports() {
+    let dir = tmp_dir("telemetry");
+    let plain_stores = dir.join("plain");
+    let telemetry_stores = dir.join("telemetry");
+    let body = |stores: &Path, extra: &str| {
+        format!(
+            r#"{{"entries":["smoke_single","smoke_attack"],"workers":2,
+                "scale":0.02,"out_dir":"{}"{extra}}}"#,
+            stores.display()
+        )
+    };
+    let plain_manifest = dir.join("plain.json");
+    std::fs::write(&plain_manifest, body(&plain_stores, "")).expect("write manifest");
+    let telemetry_manifest = dir.join("telemetry.json");
+    std::fs::write(
+        &telemetry_manifest,
+        body(&telemetry_stores, r#","telemetry":true"#),
+    )
+    .expect("write manifest");
+    let trace = dir.join("trace.json");
+
+    // Observation-only: the telemetry campaign's stdout and canonical
+    // stores are byte-identical to the plain campaign's.
+    let plain = campaign(&[plain_manifest.to_str().expect("utf8")], None);
+    assert!(plain.status.success(), "{}", stderr_of(&plain));
+    let traced = campaign(
+        &[
+            "--trace-out",
+            trace.to_str().expect("utf8"),
+            telemetry_manifest.to_str().expect("utf8"),
+        ],
+        None,
+    );
+    assert!(traced.status.success(), "{}", stderr_of(&traced));
+    assert_eq!(
+        stdout_of(&traced),
+        stdout_of(&plain),
+        "telemetry changed the campaign's stdout"
+    );
+    for entry in ["smoke_single", "smoke_attack"] {
+        let plain_store =
+            std::fs::read(plain_stores.join(format!("{entry}.jsonl"))).expect("plain store");
+        let telemetry_store = std::fs::read(telemetry_stores.join(format!("{entry}.jsonl")))
+            .expect("telemetry store");
+        assert_eq!(
+            plain_store, telemetry_store,
+            "telemetry changed the canonical {entry} store"
+        );
+    }
+
+    // The merged timeline exists, validates, covers both entries and
+    // both worker lanes, and the Chrome trace export is well-formed.
+    let timeline = sbp_telemetry::read_events(&telemetry_stores.join("telemetry.jsonl"))
+        .expect("merged timeline readable");
+    let stats = sbp_telemetry::validate(&timeline).expect("merged timeline validates");
+    assert!(stats.spans > 0, "no spans in {stats:?}");
+    for entry in ["smoke_single", "smoke_attack"] {
+        assert!(
+            timeline.iter().any(|e| e.entry == entry && e.job.is_some()),
+            "no job-lane events for {entry}"
+        );
+    }
+    assert!(
+        stderr_of(&traced).contains("campaign telemetry:"),
+        "{}",
+        stderr_of(&traced)
+    );
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_text.contains("traceEvents"), "{trace_text:?}");
+
+    // `campaign report` summarizes the recorded out_dir.
+    let report = campaign(&["report", telemetry_stores.to_str().expect("utf8")], None);
+    assert!(report.status.success(), "{}", stderr_of(&report));
+    let report_out = stdout_of(&report);
+    for needle in ["events validated", "smoke_single", "smoke_attack"] {
+        assert!(report_out.contains(needle), "{report_out}");
+    }
+    // ... and demands a timeline when none was recorded.
+    let missing = campaign(&["report", plain_stores.to_str().expect("utf8")], None);
+    assert!(!missing.status.success());
+    assert!(
+        stderr_of(&missing).contains("--telemetry"),
+        "{}",
+        stderr_of(&missing)
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn list_mode_prints_the_whole_catalog() {
     let out = campaign(&["--list"], None);
     assert!(out.status.success());

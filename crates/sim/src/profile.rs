@@ -29,6 +29,20 @@ pub enum Phase {
     Measure = 4,
 }
 
+impl Phase {
+    /// Telemetry span name for this phase (the span taxonomy in
+    /// `docs/OBSERVABILITY.md`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::Warm => "warm",
+            Phase::Gap => "gap",
+            Phase::Steady => "steady_window",
+            Phase::Event => "event_window",
+            Phase::Measure => "measure",
+        }
+    }
+}
+
 const PHASES: usize = 5;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -63,6 +77,11 @@ pub fn reset() {
 /// a window helper is timed as [`Phase::Gap`], not double-counted).
 #[inline]
 pub fn time<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    // Phase boundaries are also where telemetry wants its spans:
+    // piggyback here so the simulators carry exactly one hook. The
+    // span is advisory (wall-clock payload) and inert — one relaxed
+    // atomic load — unless a telemetry job scope is active.
+    let _span = sbp_telemetry::span(phase.span_name(), false, "");
     if !enabled() {
         return f();
     }

@@ -195,9 +195,80 @@ where
 /// Returns the first unknown-workload or configuration error.
 pub fn execute(spec: &SweepSpec, plan: &SweepPlan) -> Result<Vec<RawResult>, SbpError> {
     let results = parallel_map_with(plan.jobs.len(), JobArena::new, |arena, j| {
-        run_job_in(arena, spec, plan, &plan.jobs[j])
+        run_job_indexed(arena, spec, plan, j)
     });
     results.into_iter().collect()
+}
+
+/// Human-readable identity of plan job `index` (telemetry span detail).
+pub fn job_label(spec: &SweepSpec, plan: &SweepPlan, index: usize) -> String {
+    match &plan.jobs[index] {
+        Job::Attack(a) => format!(
+            "attack={:?} mech={:?} predictor={:?} smt={} seed={}",
+            a.attack, a.mechanism, a.predictor, a.smt, a.seed_index
+        ),
+        Job::Sim { group, mechanism } => {
+            let g = &plan.groups[*group];
+            format!(
+                "case={} predictor={:?} mech={mechanism:?} interval={:?} seed={}",
+                spec.cases[g.case_index].id, g.predictor, g.interval, g.seed_index
+            )
+        }
+    }
+}
+
+/// [`run_job_in`] for plan job `index`, wrapped in a telemetry job
+/// scope: the job gets a deterministic `job` span plus result-derived
+/// counters/gauges, all keyed by the plan index so re-runs and shards
+/// assign identical span IDs. With telemetry disabled this is exactly
+/// [`run_job_in`] — results are bit-identical either way.
+///
+/// # Errors
+///
+/// Same as [`run_job`].
+pub fn run_job_indexed(
+    arena: &mut JobArena,
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    index: usize,
+) -> Result<RawResult, SbpError> {
+    sbp_telemetry::job_scope(index as u64, || {
+        let result = {
+            let _span = sbp_telemetry::span("job", true, &job_label(spec, plan, index));
+            let result = run_job_in(arena, spec, plan, &plan.jobs[index]);
+            if let Ok(r) = &result {
+                emit_result_events(r);
+            }
+            result
+        };
+        sbp_telemetry::gauge(
+            "arena_pooled_buffers",
+            arena.pooled_buffers() as f64,
+            false,
+            "",
+        );
+        result
+    })
+}
+
+/// Deterministic result-derived telemetry: every value here is a pure
+/// function of the job's (bit-exact) outcome, so the events survive
+/// into the canonical projection.
+fn emit_result_events(result: &RawResult) {
+    match result {
+        RawResult::Sim(run) => {
+            sbp_telemetry::counter("branches_stepped", run.stats.cond_branches as f64, true, "");
+            sbp_telemetry::counter("storm_events", run.stats.context_switches as f64, true, "");
+            sbp_telemetry::gauge("cycles", run.cycles, true, "");
+            if let Some(se) = run.stderr {
+                sbp_telemetry::gauge("cycles_stderr", se, true, "");
+            }
+        }
+        RawResult::Attack(out) => {
+            sbp_telemetry::counter("trials", out.trials as f64, true, "");
+            sbp_telemetry::gauge("success_rate", out.success_rate, true, "");
+        }
+    }
 }
 
 /// Executes one planned job (either payload kind). Exposed so external
@@ -338,10 +409,12 @@ fn warm_single(
     if let Some(WarmSim::Single(w)) = warm_cache().lock().get(&key) {
         if let Some(mut clone) = w.try_clone() {
             if clone.retarget_interval(group.interval) {
+                sbp_telemetry::counter("warm_cache_hit", 1.0, false, "");
                 return Ok((clone, true));
             }
         }
     }
+    sbp_telemetry::counter("warm_cache_miss", 1.0, false, "");
     let case = &spec.cases[group.case_index];
     let workloads: Vec<&str> = case.workloads.iter().map(String::as_str).collect();
     let mut sim = SingleCoreSim::new(
@@ -373,10 +446,12 @@ fn warm_smt(
     if let Some(WarmSim::Smt(w)) = warm_cache().lock().get(&key) {
         if let Some(mut clone) = w.try_clone() {
             if clone.retarget_interval(group.interval) {
+                sbp_telemetry::counter("warm_cache_hit", 1.0, false, "");
                 return Ok((clone, true));
             }
         }
     }
+    sbp_telemetry::counter("warm_cache_miss", 1.0, false, "");
     let case = &spec.cases[group.case_index];
     let workloads: Vec<&str> = case.workloads.iter().map(String::as_str).collect();
     let mut sim = SmtSim::new(
@@ -414,10 +489,17 @@ fn run_sampled_job(
     );
     let cached = window_cache().lock().get(&mkey).cloned();
     let m = match cached {
-        Some(m) => m,
+        Some(m) => {
+            sbp_telemetry::counter("window_cache_hit", 1.0, false, "");
+            m
+        }
         None => {
+            sbp_telemetry::counter("window_cache_miss", 1.0, false, "");
             let threads = window_threads();
             let windowed = threads > 1 && sampling.total_windows() > 1;
+            if windowed {
+                sbp_telemetry::gauge("window_threads", threads as f64, false, "");
+            }
             let m = match spec.mode {
                 SweepMode::SingleCore => {
                     let (mut sim, from_cache) = warm_single(arena, spec, group, mechanism)?;
@@ -450,6 +532,20 @@ fn run_sampled_job(
             m
         }
     };
+    // Per-window cycle gauges are deterministic: `m` is bit-identical
+    // whether it came from the cache, a serial run, or the window
+    // fan-out, so every job of the group emits the same sequence.
+    for (w, cycles) in m.steady_cycles.iter().enumerate() {
+        sbp_telemetry::gauge(
+            "steady_window_cycles",
+            *cycles,
+            true,
+            &format!("window {w}"),
+        );
+    }
+    for (w, cycles) in m.event_cycles.iter().enumerate() {
+        sbp_telemetry::gauge("event_window_cycles", *cycles, true, &format!("window {w}"));
+    }
     let est = estimate_cycles(&m, spec.budget.measure, group.interval);
     let mut stats = m.stats;
     stats.cycles = est.cycles as u64;

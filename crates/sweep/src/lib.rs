@@ -87,8 +87,8 @@ pub mod verdict;
 
 pub use build::{attack_cell_outcome, build_report};
 pub use exec::{
-    execute, parallel_map, parallel_map_with, run_job, run_job_in, set_window_threads,
-    window_threads, JobArena, RawResult, RawRun,
+    execute, job_label, parallel_map, parallel_map_with, run_job, run_job_in, run_job_indexed,
+    set_window_threads, window_threads, JobArena, RawResult, RawRun,
 };
 pub use plan::{plan, AttackJob, Job, JobGroup, SweepPlan};
 pub use run::{gc_store, merge_stores, RunOptions, Shard, SweepOutcome};

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use sbp_types::{SbpError, SweepReport};
 
-use crate::exec::{parallel_map, run_job, RawResult};
+use crate::exec::{parallel_map_with, run_job_indexed, JobArena, RawResult};
 use crate::spec::SweepSpec;
 use crate::store::{plan_fingerprints, SweepStore};
 
@@ -164,14 +164,15 @@ impl SweepSpec {
         let skipped = stored.iter().filter(|s| **s).count();
 
         let store = store.map(Mutex::new);
-        let fresh: Vec<Result<RawResult, SbpError>> = parallel_map(todo.len(), |k| {
-            let i = todo[k];
-            let result = run_job(self, &plan, &plan.jobs[i])?;
-            if let Some(s) = &store {
-                s.lock().append(fps[i], &result)?;
-            }
-            Ok(result)
-        });
+        let fresh: Vec<Result<RawResult, SbpError>> =
+            parallel_map_with(todo.len(), JobArena::new, |arena, k| {
+                let i = todo[k];
+                let result = run_job_indexed(arena, self, &plan, i)?;
+                if let Some(s) = &store {
+                    s.lock().append(fps[i], &result)?;
+                }
+                Ok(result)
+            });
         let store = store.map(Mutex::into_inner);
 
         let mut results: Vec<Option<RawResult>> = vec![None; plan.jobs.len()];

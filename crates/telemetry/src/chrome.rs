@@ -1,0 +1,112 @@
+//! Chrome `trace_event` export for chrome://tracing / Perfetto.
+//!
+//! The merged timeline maps naturally onto the trace-event JSON format:
+//! shards become processes (`pid`), job lanes become threads (`tid`,
+//! with the control lane on tid 0), spans become `B`/`E` duration
+//! events, counters and gauges become `C` counter tracks, and marks
+//! become thread-scoped instants.
+
+use std::fmt::Write as _;
+
+use crate::event::{escape_json, Event, Kind};
+
+/// Renders events as a Chrome `trace_event` JSON document
+/// (`{"traceEvents":[...]}`). Load the file via chrome://tracing or
+/// <https://ui.perfetto.dev> to get a per-shard flamegraph of the run.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        let ph = match e.kind {
+            Kind::Begin => "B",
+            Kind::End => "E",
+            Kind::Counter | Kind::Gauge => "C",
+            Kind::Mark => "i",
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = e.job.map(|j| j + 1).unwrap_or(0);
+        let cat = if e.det { "det" } else { "adv" };
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{},\"cat\":\"{}\"",
+            escape_json(&e.name),
+            ph,
+            e.ts_us,
+            e.shard,
+            tid,
+            cat,
+        );
+        match e.kind {
+            Kind::Counter | Kind::Gauge => {
+                let v = if e.value.is_finite() { e.value } else { 0.0 };
+                let _ = write!(out, ",\"args\":{{{}:{}}}", escape_json(&e.name), v);
+            }
+            Kind::Mark => {
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"entry\":{},\"detail\":{}}}",
+                    escape_json(&e.entry),
+                    escape_json(&e.detail),
+                );
+            }
+            Kind::Begin => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"entry\":{},\"detail\":{}}}",
+                    escape_json(&e.entry),
+                    escape_json(&e.detail),
+                );
+            }
+            Kind::End => {}
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::span_id;
+
+    #[test]
+    fn trace_export_contains_duration_and_counter_events() {
+        let begin = Event {
+            entry: "fig01".into(),
+            shard: 1,
+            job: Some(0),
+            seq: 0,
+            id: span_id(1, Some(0), 0),
+            det: true,
+            ts_us: 10,
+            kind: Kind::Begin,
+            name: "job".into(),
+            value: 0.0,
+            detail: "mech=cf".into(),
+        };
+        let mut end = begin.clone();
+        end.seq = 2;
+        end.kind = Kind::End;
+        end.ts_us = 50;
+        end.value = 40.0;
+        let mut ctr = begin.clone();
+        ctr.seq = 1;
+        ctr.id = 0;
+        ctr.kind = Kind::Counter;
+        ctr.name = "branches_stepped".into();
+        ctr.value = 1234.0;
+        let trace = to_chrome_trace(&[begin, ctr, end]);
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"ph\":\"E\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"branches_stepped\":1234"));
+        assert!(trace.contains("\"pid\":1"));
+        assert!(trace.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Reading sidecar streams and merging them into one campaign timeline.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::event::{lane_key, Event};
+
+/// Reads a JSONL event file. The file must exist and be readable;
+/// malformed lines (a worker killed mid-write can tear its last line)
+/// are skipped, mirroring the store's crash-healing reads.
+pub fn read_events(path: &Path) -> Result<Vec<Event>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(e) = Event::parse_line(line) {
+            events.push(e);
+        }
+    }
+    Ok(events)
+}
+
+/// Like [`read_events`], but treats a missing file as an empty stream
+/// (a worker that executed zero jobs never creates its sidecar).
+pub fn read_events_lenient(path: &Path) -> Vec<Event> {
+    if path.exists() {
+        read_events(path).unwrap_or_default()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Writes events as a JSONL file (one [`Event::to_line`] per line),
+/// replacing any previous content.
+pub fn write_events(path: &Path, events: &[Event]) -> Result<(), String> {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(parent);
+        }
+    }
+    let mut f =
+        fs::File::create(path).map_err(|e| format!("failed to create {}: {e}", path.display()))?;
+    f.write_all(out.as_bytes())
+        .map_err(|e| format!("failed to write {}: {e}", path.display()))
+}
+
+/// Merges per-worker/coordinator event streams into one timeline in
+/// deterministic lane order.
+///
+/// Two guarantees:
+///
+/// 1. **Retry dedup**: sidecars are append-only, so a retried (or
+///    re-run) worker appends a second run of the same lane. A lane
+///    "run" boundary is a sequence reset (seq not increasing); only the
+///    *last* run of each lane survives, matching the store semantics
+///    where the retry's rows are the ones that merged.
+/// 2. **Deterministic order**: job lanes first, sorted by
+///    (entry rank in `entry_order`, entry, shard, job) with events in
+///    sequence order inside each lane; control lanes after, sorted by
+///    (shard, entry rank, entry). No wall-clock anywhere in the sort.
+pub fn merge(streams: Vec<Vec<Event>>, entry_order: &[String]) -> Vec<Event> {
+    let rank: HashMap<&str, usize> = entry_order
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.as_str(), i))
+        .collect();
+    let rank_of = |entry: &str| *rank.get(entry).unwrap_or(&entry_order.len());
+
+    // Split every lane into runs, keeping only the last run.
+    let mut lanes: HashMap<(String, u32, Option<u64>), Vec<Event>> = HashMap::new();
+    for stream in streams {
+        for e in stream {
+            let lane = lanes.entry(lane_key(&e)).or_default();
+            match lane.last() {
+                Some(prev) if e.seq <= prev.seq => {
+                    // Sequence reset: a newer run of this lane begins.
+                    lane.clear();
+                    lane.push(e);
+                }
+                _ => lane.push(e),
+            }
+        }
+    }
+
+    type SortedLane<K> = (K, Vec<Event>);
+    let mut job_lanes: Vec<SortedLane<(usize, String, u32, u64)>> = Vec::new();
+    let mut control_lanes: Vec<SortedLane<(u32, usize, String)>> = Vec::new();
+    for ((entry, shard, job), events) in lanes {
+        match job {
+            Some(j) => job_lanes.push(((rank_of(&entry), entry, shard, j), events)),
+            None => control_lanes.push(((shard, rank_of(&entry), entry), events)),
+        }
+    }
+    job_lanes.sort_by(|a, b| a.0.cmp(&b.0));
+    control_lanes.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Vec::new();
+    for (_, events) in job_lanes {
+        out.extend(events);
+    }
+    for (_, events) in control_lanes {
+        out.extend(events);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{span_id, Kind};
+
+    fn ev(entry: &str, shard: u32, job: Option<u64>, seq: u32, name: &str) -> Event {
+        Event {
+            entry: entry.into(),
+            shard,
+            job,
+            seq,
+            id: 0,
+            det: true,
+            ts_us: 0,
+            kind: Kind::Mark,
+            name: name.into(),
+            value: 0.0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn merge_orders_lanes_deterministically() {
+        let order = vec!["b_entry".to_string(), "a_entry".to_string()];
+        // Streams supplied shard-2-first to prove sorting wins.
+        let merged = merge(
+            vec![
+                vec![
+                    ev("a_entry", 2, Some(0), 0, "m"),
+                    ev("a_entry", 2, None, 0, "c"),
+                ],
+                vec![
+                    ev("b_entry", 1, Some(1), 0, "m"),
+                    ev("b_entry", 1, Some(0), 0, "m"),
+                ],
+            ],
+            &order,
+        );
+        let lanes: Vec<(String, u32, Option<u64>)> = merged
+            .iter()
+            .map(|e| (e.entry.clone(), e.shard, e.job))
+            .collect();
+        assert_eq!(
+            lanes,
+            vec![
+                ("b_entry".into(), 1, Some(0)),
+                ("b_entry".into(), 1, Some(1)),
+                ("a_entry".into(), 2, Some(0)),
+                ("a_entry".into(), 2, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_keeps_last_run_after_seq_reset() {
+        // One lane appended twice (a retried worker): seqs 0,1 then 0,1,2.
+        let stream = vec![
+            ev("e", 1, Some(4), 0, "old"),
+            ev("e", 1, Some(4), 1, "old"),
+            ev("e", 1, Some(4), 0, "new"),
+            ev("e", 1, Some(4), 1, "new"),
+            ev("e", 1, Some(4), 2, "new"),
+        ];
+        let merged = merge(vec![stream], &["e".to_string()]);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(|e| e.name == "new"));
+    }
+
+    #[test]
+    fn file_round_trip_skips_torn_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "sbp-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut e = ev("fig01", 1, Some(0), 0, "job");
+        e.kind = Kind::Begin;
+        e.id = span_id(1, Some(0), 0);
+        write_events(&path, std::slice::from_ref(&e)).unwrap();
+        // Simulate a torn trailing line from a killed worker.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"entry\":\"fig01\",\"sha");
+        std::fs::write(&path, text).unwrap();
+        let back = read_events(&path).unwrap();
+        assert_eq!(back, vec![e]);
+        assert!(read_events(&dir.join("missing.jsonl")).is_err());
+        assert!(read_events_lenient(&dir.join("missing.jsonl")).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

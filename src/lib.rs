@@ -14,5 +14,6 @@ pub use sbp_hwcost as hwcost;
 pub use sbp_predictors as predictors;
 pub use sbp_sim as sim;
 pub use sbp_sweep as sweep;
+pub use sbp_telemetry as telemetry;
 pub use sbp_trace as trace;
 pub use sbp_types as types;

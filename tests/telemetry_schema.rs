@@ -1,0 +1,162 @@
+//! Property tests over the telemetry JSONL schema: every representable
+//! event must survive the `to_line` → `parse_line` round trip exactly
+//! (including escapes, unicode and extreme numbers), generated
+//! well-formed streams must validate, and the canonical projection must
+//! be idempotent — projecting twice changes nothing.
+
+use proptest::prelude::*;
+
+use secure_bp::telemetry::{canonical_projection, span_id, validate, Event, Kind};
+
+fn any_kind() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Begin),
+        Just(Kind::End),
+        Just(Kind::Counter),
+        Just(Kind::Gauge),
+        Just(Kind::Mark),
+    ]
+}
+
+/// Strings that exercise the escape paths: quotes, backslashes, control
+/// characters, multi-byte unicode and plain ASCII.
+fn any_text(min: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('9'),
+            Just('_'),
+            Just(' '),
+            Just('/'),
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('\t'),
+            Just('\u{8}'),
+            Just('µ'),
+            Just('中'),
+            Just('𝕊'),
+        ],
+        min..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Finite values only: the emitter collapses non-finite numbers to `0`,
+/// which is deliberately not a round trip.
+fn any_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<i64>().prop_map(|x| x as f64),
+        any::<i32>().prop_map(|x| f64::from(x) * 0.125),
+        Just(0.0),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn any_event() -> impl Strategy<Value = Event> {
+    (
+        (any_text(0), any::<u32>(), any::<Option<u64>>()),
+        (any::<u32>(), any::<u64>(), any::<bool>(), any::<u64>()),
+        (any_kind(), any_text(1), any_value(), any_text(0)),
+    )
+        .prop_map(
+            |((entry, shard, job), (seq, id, det, ts_us), (kind, name, value, detail))| Event {
+                entry,
+                shard,
+                job,
+                seq,
+                id,
+                det,
+                ts_us,
+                kind,
+                name,
+                value,
+                detail,
+            },
+        )
+}
+
+/// A well-formed single-lane stream: `names` become properly nested
+/// spans (opened in order, closed in reverse), `leaves` become
+/// counter/gauge/mark events inside the innermost span.
+fn well_formed_lane(
+    entry: String,
+    shard: u32,
+    job: Option<u64>,
+    names: Vec<String>,
+    leaves: Vec<(String, f64)>,
+) -> Vec<Event> {
+    let mut events: Vec<Event> = Vec::new();
+    let push = |events: &mut Vec<Event>, kind: Kind, id: u64, name: &str, value: f64| {
+        let seq = events.len() as u32;
+        events.push(Event {
+            entry: entry.clone(),
+            shard,
+            job,
+            seq,
+            id,
+            det: true,
+            ts_us: u64::from(seq) * 3,
+            kind,
+            name: name.to_string(),
+            value,
+            detail: String::new(),
+        });
+    };
+    let mut open = Vec::new();
+    for name in &names {
+        let id = span_id(shard, job, events.len() as u32);
+        push(&mut events, Kind::Begin, id, name, 0.0);
+        open.push((id, name.clone()));
+    }
+    for (i, (name, value)) in leaves.iter().enumerate() {
+        let kind = [Kind::Counter, Kind::Gauge, Kind::Mark][i % 3];
+        push(&mut events, kind, 0, name, *value);
+    }
+    while let Some((id, name)) = open.pop() {
+        push(&mut events, Kind::End, id, &name, 1.5);
+    }
+    events
+}
+
+proptest! {
+    #[test]
+    fn every_event_round_trips_through_its_line(event in any_event()) {
+        let line = event.to_line();
+        prop_assert!(!line.contains('\n'), "line breaks corrupt JSONL: {line:?}");
+        let parsed = Event::parse_line(&line);
+        prop_assert_eq!(parsed, Ok(event));
+    }
+
+    #[test]
+    fn well_formed_streams_validate_and_project_idempotently(
+        names in prop::collection::vec(any_text(1), 0..5),
+        leaves in prop::collection::vec((any_text(1), any_value()), 0..6),
+        shard in 0u32..5,
+        job in any::<Option<u64>>(),
+    ) {
+        let lane = well_formed_lane("entry".to_string(), shard, job, names, leaves);
+        let stats = validate(&lane);
+        prop_assert!(stats.is_ok(), "well-formed lane rejected: {stats:?}");
+
+        let projected = canonical_projection(&lane);
+        validate(&projected).expect("projection stays valid");
+        let twice = canonical_projection(&projected);
+        prop_assert_eq!(projected, twice, "projection is not idempotent");
+    }
+
+    #[test]
+    fn truncated_lines_never_parse(event in any_event()) {
+        let line = event.to_line();
+        // Any strict prefix is rejected, not silently defaulted.
+        for cut in 1..line.len().min(12) {
+            let end = line.len() - cut;
+            if line.is_char_boundary(end) {
+                let truncated = &line[..end];
+                prop_assert!(Event::parse_line(truncated).is_err(), "{truncated:?}");
+            }
+        }
+    }
+}
