@@ -43,6 +43,9 @@ fn run(args: &[String]) -> Result<(), SbpError> {
     if args.first().map(String::as_str) == Some("--worker") {
         return run_worker(&parse_worker_args(&args[1..])?);
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("report") {
         let [out_dir] = &args[1..] else {
             return Err(SbpError::campaign("usage: campaign report OUT_DIR"));
@@ -246,6 +249,65 @@ fn load_manifest(path: Option<&String>, usage: &str) -> Result<Manifest, SbpErro
     Ok(manifest)
 }
 
+/// `campaign trace ENTRY [--dir DIR] [--branches N] [--verify]`: record
+/// every `SBPT` file the entry's replay streams will open (see
+/// `sbp_campaign::recorder`), optionally proving the capture round-trips
+/// by running the replay spec and its generator twin and byte-comparing
+/// the reports.
+fn run_trace(args: &[String]) -> Result<(), SbpError> {
+    let mut entry_name: Option<String> = None;
+    let mut opts = sbp_campaign::TraceOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| SbpError::campaign(format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--dir" => opts.dir = Some(PathBuf::from(value("a directory")?)),
+            "--branches" => {
+                let raw = value("a count")?;
+                let parsed: u64 = raw
+                    .parse()
+                    .map_err(|e| SbpError::campaign(format!("--branches {raw:?}: {e}")))?;
+                if parsed == 0 {
+                    return Err(SbpError::campaign("--branches must be >= 1"));
+                }
+                opts.branches = Some(parsed);
+            }
+            "--verify" => opts.verify = true,
+            other if other.starts_with("--") => {
+                return Err(SbpError::campaign(format!(
+                    "unknown trace option {other:?}"
+                )))
+            }
+            name => {
+                if entry_name.replace(name.to_string()).is_some() {
+                    return Err(SbpError::campaign("more than one entry name given"));
+                }
+            }
+        }
+    }
+    let name = entry_name.ok_or_else(|| {
+        SbpError::campaign("usage: campaign trace ENTRY [--dir DIR] [--branches N] [--verify]")
+    })?;
+    let entry = Catalog::get(&name).ok_or_else(|| {
+        SbpError::campaign(format!(
+            "unknown catalog entry {name:?} (run `campaign --list` for the registry)"
+        ))
+    })?;
+    let recorded = sbp_campaign::record_entry(entry, &opts)?;
+    eprintln!(
+        "campaign trace[{}]: {} file(s) recorded",
+        entry.name,
+        recorded.len()
+    );
+    if opts.verify {
+        sbp_campaign::verify_entry(entry, &opts)?;
+    }
+    Ok(())
+}
+
 fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, SbpError> {
     let entry = args
         .first()
@@ -311,6 +373,11 @@ fn print_usage() {
     println!("       campaign --in-process MANIFEST.json   unsharded reference run (same stdout)");
     println!("       campaign --list                   print the spec catalog");
     println!("       campaign report OUT_DIR           summarize a recorded telemetry timeline");
+    println!("       campaign trace ENTRY [--dir DIR] [--branches N] [--verify]");
+    println!("                                         record the entry's replay trace files");
+    println!(
+        "                                         (--verify: byte-compare replay vs generator)"
+    );
     println!();
     println!("options:");
     println!("  --check               end every entry with its paper-expectation verdict");

@@ -165,6 +165,14 @@ static ENTRIES: &[CatalogEntry] = &[
     )
     .with_expectations(crate::expect::entries::fig08),
     CatalogEntry::new(
+        "fig08_replay",
+        "Figure 8 — trace-replay twin",
+        "{Enh-XOR-PHT,Noisy-XOR-PHT} x 8M x replayed gcc+calculix x 3 seeds, phase-clustered",
+        "fig08_replay.jsonl",
+        specs::fig08_replay,
+    )
+    .with_expectations(crate::expect::entries::fig08_replay),
+    CatalogEntry::new(
         "fig09",
         "Figure 9",
         "{XOR-BP,Noisy-XOR-BP} x {4M,8M,12M} x 12 single-core cases x 3 seeds",
@@ -196,6 +204,14 @@ static ENTRIES: &[CatalogEntry] = &[
         specs::tab01_pht,
     )
     .with_expectations(crate::expect::entries::tab01_pht),
+    CatalogEntry::new(
+        "tab01_pht_replay",
+        "Table 1 — PHT half (replay campaign)",
+        "{BranchScope,ref-variant} x 5 PHT mechanisms x {ST,SMT} x 1500 trials, replay rider",
+        "tab01_pht_replay.jsonl",
+        specs::tab01_pht_replay,
+    )
+    .with_expectations(crate::expect::entries::tab01_pht_replay),
     CatalogEntry::new(
         "tab01_predictors",
         "Table 1 — predictor-frontend extension",
@@ -311,6 +327,40 @@ mod specs {
             .with_seeds(FIG_SEEDS)
     }
 
+    /// Trace directory for the replay twin: `SBP_TRACE_DIR`, or the
+    /// default capture location the CI smoke job uses. Read per spec
+    /// build, like `SBP_SCALE` in the work budgets.
+    fn trace_dir() -> String {
+        std::env::var("SBP_TRACE_DIR").unwrap_or_else(|_| "traces/fig08".to_string())
+    }
+
+    /// Figure 8 over recorded traces: the same XOR-PHT mechanisms, but
+    /// every workload stream replays from an on-disk `SBPT` file and the
+    /// steady windows are phase-clustered representatives
+    /// (`sbp_trace::cluster_trace`) instead of the uniform schedule.
+    /// Capture the traces first: `campaign trace fig08_replay`.
+    pub(super) fn fig08_replay() -> SweepSpec {
+        let dir = trace_dir();
+        let plan = sbp_sim::SamplingPlan {
+            phase_windows: 4,
+            ..sbp_sim::SamplingPlan::single_hybrid()
+        };
+        SweepSpec::single("fig08_replay: XOR-PHT over replayed traces")
+            .with_cases(vec![CaseSpec::pair(
+                "gcc+calculix",
+                &format!("replay:gcc@{dir}"),
+                &format!("replay:calculix@{dir}"),
+            )])
+            .with_intervals(vec![SwitchInterval::M8])
+            .with_mechanisms(vec![
+                Mechanism::enhanced_xor_pht(),
+                Mechanism::noisy_xor_pht(),
+            ])
+            .with_sampling(Some(plan))
+            .with_master_seed(0xf168_0000)
+            .with_seeds(FIG_SEEDS)
+    }
+
     pub(super) fn fig09() -> SweepSpec {
         SweepSpec::single("fig09: XOR-BP single-core")
             .with_mechanisms(vec![Mechanism::xor_bp(), Mechanism::noisy_xor_bp()])
@@ -357,6 +407,26 @@ mod specs {
     /// both modes.
     pub(super) fn tab01_pht() -> SweepSpec {
         SweepSpec::attack("tab01: PHT security matrix")
+            .with_attacks(vec![
+                AttackKind::BranchScope,
+                AttackKind::ReferenceBranchScope,
+            ])
+            .with_mechanisms(vec![
+                Mechanism::CompleteFlush,
+                Mechanism::PreciseFlush,
+                Mechanism::xor_pht(),
+                Mechanism::enhanced_xor_pht(),
+                Mechanism::noisy_xor_pht(),
+            ])
+            .with_trials(TAB01_TRIALS)
+    }
+
+    /// `tab01_pht`'s rider on the replay campaign: attack jobs never
+    /// consume workload traces, so this slice exercises the
+    /// store/shard/merge/check spine alongside `fig08_replay` without a
+    /// capture of its own. Same grid and verdict matrix, distinct store.
+    pub(super) fn tab01_pht_replay() -> SweepSpec {
+        SweepSpec::attack("tab01_replay: PHT security matrix")
             .with_attacks(vec![
                 AttackKind::BranchScope,
                 AttackKind::ReferenceBranchScope,
@@ -491,7 +561,11 @@ mod tests {
             .iter()
             .filter(|e| e.name.starts_with("fig"))
             .collect();
-        assert_eq!(figs.len(), 8, "all eight figure grids are registered");
+        assert_eq!(
+            figs.len(),
+            9,
+            "all eight figure grids plus the replay twin are registered"
+        );
         for entry in figs {
             assert!(
                 entry.spec().seeds >= 3,
@@ -499,6 +573,22 @@ mod tests {
                 entry.name
             );
         }
+    }
+
+    #[test]
+    fn replay_twin_bakes_a_phase_clustered_replay_grid() {
+        let spec = Catalog::get("fig08_replay").expect("registered").spec();
+        let plan = spec.sampling.expect("baked-in sampling plan");
+        assert!(plan.phase_windows > 0, "steady windows are phase-clustered");
+        for case in &spec.cases {
+            for w in &case.workloads {
+                assert!(
+                    sbp_trace::parse_replay(w).is_some(),
+                    "{w}: replay twin workloads must be replay:<workload>@<dir>"
+                );
+            }
+        }
+        assert!(spec.validate().is_ok(), "valid without the traces on disk");
     }
 
     #[test]

@@ -183,6 +183,19 @@ pub(crate) mod entries {
         ]
     }
 
+    /// Figure 8, trace-replay twin — the standing XOR-PHT cost measured
+    /// over recorded streams with phase-clustered steady windows. The
+    /// weighted estimator lands near the uniform-schedule value, but the
+    /// window placement differs, so the twin carries direction bounds
+    /// rather than the calibrated mean.
+    pub(crate) fn fig08_replay() -> Vec<E> {
+        vec![
+            E::at_most("Enhanced-XOR-PHT", "Gshare", "8M", 0.10),
+            E::at_most("Noisy-XOR-PHT", "Gshare", "8M", 0.10),
+            E::at_least("Noisy-XOR-PHT", "Gshare", "8M", -0.05),
+        ]
+    }
+
     /// Figure 9 — the headline claim: Noisy-XOR-BP averages a small
     /// single-digit overhead (the paper reports < 1.3% on its FPGA core;
     /// this reproduction lands under 5%).
@@ -347,6 +360,13 @@ pub(crate) mod entries {
             "Defend",
         ));
         v
+    }
+
+    /// Table 1, PHT half, replay-campaign rider — attack trials never
+    /// touch workload traces, so the verdict matrix is identical to
+    /// [`tab01_pht`] by construction.
+    pub(crate) fn tab01_pht_replay() -> Vec<E> {
+        tab01_pht()
     }
 
     /// Table 1 predictor extension — the BTB verdicts are front-end

@@ -65,7 +65,8 @@ pub struct Manifest {
     /// Run every simulation entry with its mode's default
     /// [`sbp_sim::SamplingPlan`] (warm-checkpoint + stratified-window
     /// estimation) instead of exact full-budget measurement. Attack
-    /// entries are unaffected. Sampled and exact results live under
+    /// entries are unaffected, and entries whose catalog spec already
+    /// bakes a sampling plan (the replay twins) keep their own plan. Sampled and exact results live under
     /// different store fingerprints, so flipping this never corrupts an
     /// existing store.
     pub sampling: bool,
@@ -247,7 +248,10 @@ impl Manifest {
                 if let Some(seeds) = self.seeds {
                     spec = spec.with_seeds(seeds);
                 }
-                if self.sampling {
+                // Entries that bake their own plan (the replay twins'
+                // phase-clustered schedules) keep it — the knob only
+                // fills in a default where the catalog left none.
+                if self.sampling && spec.sampling.is_none() {
                     spec = spec.with_default_sampling_mode(self.gap_mode);
                 }
                 Ok((entry, spec))
@@ -395,6 +399,17 @@ mod tests {
         assert!(specs[2].1.is_attack(), "attack entries pass through");
         let exact = Manifest::parse(r#"{"entries":["fig01"]}"#).expect("parse");
         assert_eq!(exact.specs().expect("resolve")[0].1.sampling, None);
+    }
+
+    #[test]
+    fn sampling_never_clobbers_a_baked_in_plan() {
+        // fig08_replay carries its own phase-clustered plan; the
+        // campaign-wide sampling knob must not replace it with the
+        // (phase-free) mode default.
+        let m = Manifest::parse(r#"{"entries":["fig08_replay"],"sampling":true}"#).expect("parse");
+        let specs = m.specs().expect("resolve");
+        let plan = specs[0].1.sampling.expect("plan survives");
+        assert!(plan.phase_windows > 0, "baked-in phase plan kept");
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Trace capture for the replay catalog entries.
+//!
+//! `campaign trace ENTRY` records every `SBPT` file the entry's
+//! `replay:<workload>@<dir>` streams will open. It walks the entry's
+//! grid exactly like the sweep planner does (group seed =
+//! `derive(master_seed, case · S + replica)`, shared by every mechanism,
+//! interval and predictor), re-derives each context's code base and
+//! per-context seed with the simulators' own formulas, and streams the
+//! matching [`TraceGenerator`] into the canonical
+//! [`replay_trace_path`] file name. Because recorder and simulator share
+//! the derivations, a recorded campaign replays the byte-identical event
+//! streams the generator campaign would have drawn — [`verify_entry`]
+//! proves it in-process by running both specs and comparing the reports
+//! byte for byte.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use sbp_sweep::{SweepMode, SweepSpec};
+use sbp_trace::{
+    parse_replay, replay_trace_path, EventBuffer, TraceEvent, TraceGenerator, TraceInfo,
+    TraceWriter, WorkloadProfile,
+};
+use sbp_types::rng::SplitMix64;
+use sbp_types::SbpError;
+
+use crate::catalog::CatalogEntry;
+
+/// One trace file a replay entry will open, with everything needed to
+/// record it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceJob {
+    /// Underlying workload profile name ("gcc", ...).
+    pub workload: String,
+    /// The context's code-region base address.
+    pub base: u64,
+    /// The fully-derived per-context stream seed.
+    pub seed: u64,
+    /// Whether the owning spec runs the SMT core (SMT threads zero the
+    /// profile's syscall rate and draw a different seed stream).
+    pub smt: bool,
+    /// Destination file.
+    pub path: PathBuf,
+}
+
+/// Options for [`record_entry`] / [`verify_entry`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceOptions {
+    /// Capture directory override. Defaults to each workload's
+    /// `replay:...@<dir>` directory; required for entries whose
+    /// workloads are plain generator names.
+    pub dir: Option<PathBuf>,
+    /// Branch events per trace (default: [`default_branches`]).
+    pub branches: Option<u64>,
+    /// After recording, run the replay spec and its generator twin
+    /// in-process and byte-compare the reports.
+    pub verify: bool,
+}
+
+/// Result of one recorded file.
+#[derive(Debug)]
+pub struct RecordedTrace {
+    /// What was recorded and where.
+    pub job: TraceJob,
+    /// The finished container header (event count, checksum).
+    pub info: TraceInfo,
+}
+
+/// Enumerates the distinct trace files `spec`'s contexts will open,
+/// deterministic grid order.
+///
+/// # Errors
+///
+/// Rejects attack specs (no workload streams) and plain generator
+/// workloads when no `dir` override names a capture directory.
+pub fn trace_jobs(spec: &SweepSpec, dir: Option<&Path>) -> Result<Vec<TraceJob>, SbpError> {
+    if spec.is_attack() {
+        return Err(SbpError::campaign(
+            "attack entries have no workload streams to record",
+        ));
+    }
+    let smt = spec.mode == SweepMode::Smt;
+    let s_len = spec.seeds as usize;
+    let mut seen = BTreeSet::new();
+    let mut jobs = Vec::new();
+    for (case_index, case) in spec.cases.iter().enumerate() {
+        for seed_index in 0..s_len {
+            // The planner's group-seed rule (`sbp_sweep::plan`): one
+            // stream per (case, replica).
+            let group_seed =
+                SplitMix64::derive(spec.master_seed, (case_index * s_len + seed_index) as u64);
+            for (i, name) in case.workloads.iter().enumerate() {
+                let workload = parse_replay(name).map_or(name.as_str(), |(w, _)| w);
+                let target_dir = match (dir, parse_replay(name)) {
+                    (Some(d), _) => d.to_path_buf(),
+                    (None, Some((_, d))) => PathBuf::from(d),
+                    (None, None) => {
+                        return Err(SbpError::campaign(format!(
+                            "workload {name:?} is not a replay:<workload>@<dir> target; \
+                             pass --dir to choose a capture directory"
+                        )))
+                    }
+                };
+                // The simulators' per-context derivations
+                // (`SingleCoreSim::new` / `SmtSim::new`): fixed base
+                // ladder, per-context seed stream off the group seed.
+                let base = 0x1000_0000 + (i as u64) * 0x0800_0000;
+                let seed = if smt {
+                    SplitMix64::derive(group_seed, 100 + i as u64)
+                } else {
+                    SplitMix64::derive(group_seed, i as u64)
+                };
+                let path = replay_trace_path(&target_dir, workload, base, seed);
+                if seen.insert(path.clone()) {
+                    jobs.push(TraceJob {
+                        workload: workload.to_string(),
+                        base,
+                        seed,
+                        smt,
+                        path,
+                    });
+                }
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// A conservative per-context bound (in the budget's work units —
+/// branches on the single core, instructions on SMT, where it overbounds)
+/// covering every execution path the entry's simulations can drive a
+/// replayed stream through: exact runs, the uniform sampled schedule the
+/// `--verify` twin uses, and the phase-clustered schedule with its
+/// event-window tail reserve.
+pub fn default_branches(spec: &SweepSpec) -> u64 {
+    let slack = 8 * EventBuffer::DEFAULT_CAPACITY as u64;
+    match &spec.sampling {
+        None => spec.budget.warmup + spec.budget.measure + slack,
+        Some(p) => {
+            let uniform = p.steady_windows as u64 * (p.gap + p.rewarm + p.window);
+            // Enough complete intervals for the clusterer to see real
+            // phase structure, never fewer than the uniform schedule
+            // spans.
+            let intervals = 6 * u64::from(p.phase_windows.max(4));
+            let reserve =
+                u64::from(p.event_windows) * (p.gap + p.rewarm + p.event_window + p.burst);
+            spec.budget.warmup + uniform.max(intervals * p.window) + reserve + slack
+        }
+    }
+}
+
+/// Records every trace file `entry` needs (creating directories), in
+/// deterministic grid order.
+///
+/// # Errors
+///
+/// Propagates spec validation, unknown-workload and IO errors.
+pub fn record_entry(
+    entry: &CatalogEntry,
+    opts: &TraceOptions,
+) -> Result<Vec<RecordedTrace>, SbpError> {
+    record_spec(&entry.spec(), entry.name, opts)
+}
+
+/// [`record_entry`] for a free-standing spec (`label` tags the progress
+/// lines) — the building block tests capture ad-hoc grids with.
+///
+/// # Errors
+///
+/// Propagates spec validation, unknown-workload and IO errors.
+pub fn record_spec(
+    spec: &SweepSpec,
+    label: &str,
+    opts: &TraceOptions,
+) -> Result<Vec<RecordedTrace>, SbpError> {
+    spec.validate()?;
+    let branches = opts.branches.unwrap_or_else(|| default_branches(spec));
+    let jobs = trace_jobs(spec, opts.dir.as_deref())?;
+    let mut recorded = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if let Some(parent) = job.path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                SbpError::campaign(format!("cannot create {}: {e}", parent.display()))
+            })?;
+        }
+        let mut profile = WorkloadProfile::by_name(&job.workload)?;
+        if job.smt {
+            // SMT threads run gem5-SE style with syscalls disabled —
+            // mirror `SmtSim`'s stream exactly.
+            profile.syscalls_per_minstr = 0.0;
+        }
+        let mut gen = TraceGenerator::new(&profile, job.base, job.seed);
+        let info = record_branches(&mut gen, &job.workload, branches, &job.path)?;
+        eprintln!(
+            "campaign trace[{}]: {} ({} events / {} branches)",
+            label,
+            job.path.display(),
+            info.count,
+            branches,
+        );
+        recorded.push(RecordedTrace { job, info });
+    }
+    Ok(recorded)
+}
+
+/// Streams generator events to `path` until `branches` branch events have
+/// been written — privilege switches ride along, so the recorded stream
+/// covers the simulators' *branch*-denominated skips and windows.
+fn record_branches(
+    gen: &mut TraceGenerator,
+    workload: &str,
+    branches: u64,
+    path: &Path,
+) -> Result<TraceInfo, SbpError> {
+    let mut writer = TraceWriter::create(path, workload)?;
+    let mut left = branches;
+    while left > 0 {
+        let ev = gen.next_event();
+        if matches!(ev, TraceEvent::Branch(_)) {
+            left -= 1;
+        }
+        writer.write_event(&ev)?;
+    }
+    writer.finish()
+}
+
+/// The spec with every `replay:` workload swapped back to its plain
+/// generator name — the other half of the byte-identity comparison.
+///
+/// # Errors
+///
+/// Errors when the spec has no `replay:` workloads to swap.
+pub fn generator_twin(spec: &SweepSpec) -> Result<SweepSpec, SbpError> {
+    let mut twin = spec.clone();
+    let mut found = false;
+    for case in &mut twin.cases {
+        for w in &mut case.workloads {
+            if let Some((name, _)) = parse_replay(w) {
+                *w = name.to_string();
+                found = true;
+            }
+        }
+    }
+    if !found {
+        return Err(SbpError::campaign(
+            "entry has no replay: workloads to verify",
+        ));
+    }
+    Ok(twin)
+}
+
+/// Runs the recorded replay spec and its generator twin in-process and
+/// compares the report tables **byte for byte** — the round-trip
+/// guarantee the replay layer is built on. Phase clustering only exists
+/// over recorded traces, so both sides run under the uniform plan
+/// (`phase_windows` stripped); the streams they draw are identical
+/// either way.
+///
+/// # Errors
+///
+/// Propagates run errors and fails when the reports differ.
+pub fn verify_entry(entry: &CatalogEntry, opts: &TraceOptions) -> Result<(), SbpError> {
+    verify_spec(&entry.spec(), entry.name, opts)
+}
+
+/// [`verify_entry`] for a free-standing spec.
+///
+/// # Errors
+///
+/// Propagates run errors and fails when the reports differ.
+pub fn verify_spec(spec: &SweepSpec, label: &str, opts: &TraceOptions) -> Result<(), SbpError> {
+    let plan = spec.sampling.map(|p| sbp_sim::SamplingPlan {
+        phase_windows: 0,
+        ..p
+    });
+    let replay_spec = override_dir(spec, opts.dir.as_deref()).with_sampling(plan);
+    let twin = generator_twin(&replay_spec)?;
+    let replayed = replay_spec.run()?.to_table();
+    let generated = twin.run()?.to_table();
+    if replayed != generated {
+        return Err(SbpError::campaign(format!(
+            "trace-verify[{label}]: replay report differs from its generator twin — \
+             the capture is not stream-exact"
+        )));
+    }
+    println!(
+        "trace-verify[{label}]: replay report byte-identical to generator twin ({} bytes)",
+        replayed.len()
+    );
+    Ok(())
+}
+
+/// Rewrites every `replay:` workload's directory to `dir` (no-op without
+/// an override), so `--dir` captures and verifies the same files.
+fn override_dir(spec: &SweepSpec, dir: Option<&Path>) -> SweepSpec {
+    let Some(dir) = dir else {
+        return spec.clone();
+    };
+    let mut spec = spec.clone();
+    for case in &mut spec.cases {
+        for w in &mut case.workloads {
+            if let Some((name, _)) = parse_replay(w) {
+                *w = format!("replay:{name}@{}", dir.display());
+            }
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn jobs_follow_the_planner_seed_rule_and_dedupe_across_the_grid() {
+        let entry = Catalog::get("fig08_replay").expect("registered");
+        let spec = entry.spec();
+        let jobs = trace_jobs(&spec, None).expect("jobs");
+        // 1 case x 3 replicas x 2 contexts, every (base, seed) distinct;
+        // mechanisms and the baseline share the files.
+        assert_eq!(jobs.len(), 6);
+        let distinct: BTreeSet<(u64, u64)> = jobs.iter().map(|j| (j.base, j.seed)).collect();
+        assert_eq!(distinct.len(), 6);
+        for job in &jobs {
+            assert!(!job.smt);
+            assert!(job.path.to_string_lossy().ends_with(".sbpt"));
+        }
+        // Context 0 of replica 0 must match the exec layer's clustering
+        // path: base 0x1000_0000, seed stream 0 off the group seed.
+        let group0 = SplitMix64::derive(spec.master_seed, 0);
+        assert_eq!(jobs[0].base, 0x1000_0000);
+        assert_eq!(jobs[0].seed, SplitMix64::derive(group0, 0));
+    }
+
+    #[test]
+    fn plain_generator_workloads_need_an_explicit_directory() {
+        let spec = Catalog::get("smoke_single").expect("registered").spec();
+        assert!(trace_jobs(&spec, None).is_err(), "no replay dir to infer");
+        let jobs = trace_jobs(&spec, Some(Path::new("/tmp/t"))).expect("explicit dir");
+        assert!(!jobs.is_empty());
+        assert!(jobs.iter().all(|j| j.path.starts_with("/tmp/t")));
+    }
+
+    #[test]
+    fn attack_entries_are_rejected() {
+        let spec = Catalog::get("tab01_pht_replay").expect("registered").spec();
+        assert!(trace_jobs(&spec, None).is_err());
+    }
+
+    #[test]
+    fn default_branch_bound_covers_the_phased_schedule() {
+        let spec = Catalog::get("fig08_replay").expect("registered").spec();
+        let plan = spec.sampling.expect("plan");
+        let bound = default_branches(&spec);
+        let reserve = u64::from(plan.event_windows)
+            * (plan.gap + plan.rewarm + plan.event_window + plan.burst);
+        // Enough post-warmup intervals survive the tail reserve for the
+        // clusterer to pick phase_windows representatives.
+        let clusterable = (bound - spec.budget.warmup - reserve) / plan.window;
+        assert!(
+            clusterable >= u64::from(plan.phase_windows),
+            "{clusterable} intervals for {} picks",
+            plan.phase_windows
+        );
+    }
+
+    #[test]
+    fn generator_twin_strips_replay_prefixes() {
+        let spec = Catalog::get("fig08_replay").expect("registered").spec();
+        let twin = generator_twin(&spec).expect("twin");
+        for case in &twin.cases {
+            for w in &case.workloads {
+                assert!(parse_replay(w).is_none(), "{w} still a replay target");
+            }
+        }
+        assert_eq!(twin.cases[0].workloads, vec!["gcc", "calculix"]);
+        let plain = Catalog::get("smoke_single").expect("registered").spec();
+        assert!(generator_twin(&plain).is_err(), "nothing to swap");
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end replay pinning: a trace recorded from a `WorkloadProfile`
+//! and replayed through `TraceReplayer` produces reports **byte-identical**
+//! to running the generator directly, and the phase-clustered schedule is
+//! deterministic run to run.
+//!
+//! This integration binary owns its environment: the scale pin below runs
+//! before anything reads `SBP_SCALE` (the value is cached per process),
+//! keeping the recorded stream sizes test-friendly.
+
+use std::path::PathBuf;
+
+use sbp_campaign::{record_spec, verify_spec, Catalog, TraceOptions};
+use sbp_core::Mechanism;
+use sbp_sim::{SamplingPlan, SwitchInterval, WorkBudget};
+use sbp_sweep::{CaseSpec, SweepSpec};
+
+fn pin_scale() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("SBP_SCALE", "0.02"));
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbp-replay-it-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// A small replay grid over its own capture directory: one case, two
+/// mechanisms' worth of jobs, a quick budget, and a phase-clustered
+/// hybrid plan.
+fn phased_spec(dir: &std::path::Path) -> SweepSpec {
+    let dir = dir.display();
+    let plan = SamplingPlan {
+        phase_windows: 3,
+        ..SamplingPlan::quick_functional()
+    };
+    SweepSpec::single("it: phased replay")
+        .with_cases(vec![CaseSpec::pair(
+            "gcc+calculix",
+            &format!("replay:gcc@{dir}"),
+            &format!("replay:calculix@{dir}"),
+        )])
+        .with_intervals(vec![SwitchInterval::M8])
+        .with_mechanisms(vec![Mechanism::noisy_xor_pht()])
+        .with_budget(WorkBudget::quick())
+        .with_sampling(Some(plan))
+        .with_seeds(2)
+        .with_master_seed(0x7e57_0001)
+}
+
+#[test]
+fn recorded_traces_replay_byte_identically_to_the_generator() {
+    pin_scale();
+    let dir = tmp_dir("roundtrip");
+    let spec = phased_spec(&dir);
+    let opts = TraceOptions::default();
+    let recorded = record_spec(&spec, "it-roundtrip", &opts).expect("record");
+    assert_eq!(recorded.len(), 4, "1 case x 2 replicas x 2 contexts");
+    for r in &recorded {
+        assert!(r.job.path.exists());
+        assert!(r.info.count > 0);
+    }
+    // The pinned acceptance claim: replay report == generator report,
+    // byte for byte (uniform plan on both sides — see `verify_spec`).
+    verify_spec(&spec, "it-roundtrip", &opts).expect("byte-identical reports");
+}
+
+#[test]
+fn phase_clustered_replay_runs_are_deterministic() {
+    pin_scale();
+    let dir = tmp_dir("phased");
+    let spec = phased_spec(&dir);
+    record_spec(&spec, "it-phased", &TraceOptions::default()).expect("record");
+    let a = spec.run().expect("phased run").to_table();
+    let b = spec.run().expect("phased rerun").to_table();
+    assert_eq!(a, b, "phase-clustered replay must be byte-deterministic");
+    assert!(a.contains("gcc+calculix"), "report covers the replay case");
+}
+
+#[test]
+fn catalog_replay_twin_records_and_checks_under_a_dir_override() {
+    pin_scale();
+    let dir = tmp_dir("catalog");
+    let entry = Catalog::get("fig08_replay").expect("registered");
+    let opts = TraceOptions {
+        dir: Some(dir),
+        ..TraceOptions::default()
+    };
+    let recorded = sbp_campaign::record_entry(entry, &opts).expect("record");
+    assert_eq!(recorded.len(), 6, "1 case x 3 replicas x 2 contexts");
+    sbp_campaign::verify_entry(entry, &opts).expect("byte-identical reports");
+}

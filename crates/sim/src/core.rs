@@ -7,7 +7,10 @@
 
 use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
 use sbp_predictors::PredictorKind;
-use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
+use sbp_trace::{
+    EventBuffer, EventSource, PhaseSchedule, TraceEvent, TraceGenerator, TraceReplayer,
+    WorkloadProfile,
+};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
@@ -18,7 +21,7 @@ use crate::timing::{execute_branch, execute_branch_scalar, train_branch};
 /// One software context scheduled on the core.
 #[derive(Debug)]
 struct Context {
-    gen: TraceGenerator,
+    gen: EventSource,
     stats: PredictionStats,
     /// Batch of pre-generated events the run loop drains without calling
     /// back into the generator per event. Unconsumed events survive phase
@@ -93,14 +96,28 @@ impl SingleCoreSim {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let profile = WorkloadProfile::by_name(name)?;
                 let base = 0x1000_0000 + (i as u64) * 0x0800_0000;
+                let ctx_seed = sbp_types::rng::SplitMix64::derive(seed, i as u64);
+                // `replay:<workload>@<dir>` workloads stream a recorded
+                // trace; anything else synthesizes one. Identical draw
+                // sequences either way (see `sbp_trace::replay`).
+                let gen = match sbp_trace::parse_replay(name) {
+                    Some((workload, dir)) => {
+                        let path = sbp_trace::replay_trace_path(
+                            std::path::Path::new(dir),
+                            workload,
+                            base,
+                            ctx_seed,
+                        );
+                        EventSource::Replay(TraceReplayer::open(&path)?)
+                    }
+                    None => {
+                        let profile = WorkloadProfile::by_name(name)?;
+                        EventSource::Generator(TraceGenerator::new(&profile, base, ctx_seed))
+                    }
+                };
                 Ok(Context {
-                    gen: TraceGenerator::new(
-                        &profile,
-                        base,
-                        sbp_types::rng::SplitMix64::derive(seed, i as u64),
-                    ),
+                    gen,
                     stats: PredictionStats::new(),
                     buf: EventBuffer::default(),
                 })
@@ -387,6 +404,77 @@ impl SingleCoreSim {
             stats: agg,
             per_thread: Vec::new(),
             threads: 1,
+            steady_weights: Vec::new(),
+        }
+    }
+
+    /// Runs a *phase-clustered* sampled measurement from the current
+    /// (warm) state: instead of the plan's evenly spaced steady windows,
+    /// the steady windows are the schedule's representative intervals
+    /// (SimPoint-style, see [`sbp_trace::phases`]), each carrying its
+    /// phase's population weight into the stratified estimator. Event
+    /// windows still come from the plan, exactly as in
+    /// [`Self::run_sampled`].
+    ///
+    /// `schedule` indexes the **target's** branch stream with origin at
+    /// the current cursor — i.e. it must have been clustered with a
+    /// `skip` equal to the warm-up this simulator just ran.
+    ///
+    /// The gap strategy honours the plan's [`GapMode`]: fast-forward
+    /// skips to `rewarm` branches before each window and re-warms timed;
+    /// functional executes every gap through the timing-free trainer.
+    pub fn run_phased(
+        &mut self,
+        plan: &SamplingPlan,
+        schedule: &PhaseSchedule,
+    ) -> SampledMeasurement {
+        self.interval = u64::MAX;
+        self.next_switch = f64::INFINITY;
+        let mut steady_cycles = Vec::with_capacity(schedule.picks.len());
+        let mut steady_weights = Vec::with_capacity(schedule.picks.len());
+        let mut agg = PredictionStats::new();
+        // Target branches consumed since the schedule origin (the warm
+        // state this method starts from).
+        let mut pos = 0u64;
+        for pick in &schedule.picks {
+            let start = pick.index * schedule.interval;
+            debug_assert!(start >= pos, "picks must ascend");
+            let gap = start - pos;
+            profile::time(Phase::Gap, || match plan.gap_mode {
+                GapMode::FastForward => {
+                    let rewarm = plan.rewarm.min(gap);
+                    self.skip_target(gap - rewarm);
+                    self.run_phase(rewarm, false);
+                }
+                GapMode::Functional => {
+                    self.train_context_branches(gap);
+                }
+            });
+            let (cycles, w) = profile::time(Phase::Steady, || {
+                self.contexts[0].stats = PredictionStats::new();
+                let cycles = self.run_phase(schedule.interval, true);
+                let mut w = self.contexts[0].stats;
+                w.cycles = cycles as u64;
+                (cycles, w)
+            });
+            agg += w;
+            steady_cycles.push(cycles);
+            steady_weights.push(pick.weight);
+            pos = start + schedule.interval;
+        }
+        let mut event_cycles = Vec::with_capacity(plan.event_windows as usize);
+        for _ in 0..plan.event_windows {
+            event_cycles.push(self.sampled_event_window(plan));
+        }
+        SampledMeasurement {
+            steady_cycles,
+            steady_units: schedule.interval,
+            event_cycles,
+            event_units: plan.event_window,
+            stats: agg,
+            per_thread: Vec::new(),
+            threads: 1,
+            steady_weights,
         }
     }
 

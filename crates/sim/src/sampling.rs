@@ -95,6 +95,14 @@ pub struct SamplingPlan {
     /// [`GapMode::FastForward`], the pre-hybrid behaviour.
     #[serde(default)]
     pub gap_mode: GapMode,
+    /// When nonzero, steady windows are *phase-clustered*: the target
+    /// stream must be a recorded trace, and up to this many
+    /// representative windows (chosen by `sbp_trace::cluster_trace`,
+    /// weighted by phase share) replace the uniform
+    /// `steady_windows`-window schedule. Event windows still follow the
+    /// plan. Zero (the default) keeps the uniform schedule.
+    #[serde(default)]
+    pub phase_windows: u32,
 }
 
 impl SamplingPlan {
@@ -111,6 +119,7 @@ impl SamplingPlan {
             event_window: scaled(40_000, s, 2_000),
             burst: scaled(24_000, s, 1_000),
             gap_mode: GapMode::FastForward,
+            phase_windows: 0,
         }
     }
 
@@ -127,6 +136,7 @@ impl SamplingPlan {
             event_window: scaled(1_200_000, s, 40_000),
             burst: 0,
             gap_mode: GapMode::FastForward,
+            phase_windows: 0,
         }
     }
 
@@ -152,6 +162,7 @@ impl SamplingPlan {
             event_window: scaled(160_000, s, 2_000),
             burst: scaled(24_000, s, 1_000),
             gap_mode: GapMode::Functional,
+            phase_windows: 0,
         }
     }
 
@@ -175,6 +186,7 @@ impl SamplingPlan {
             event_window: scaled(1_000_000, s, 40_000),
             burst: 0,
             gap_mode: GapMode::Functional,
+            phase_windows: 0,
         }
     }
 
@@ -189,6 +201,7 @@ impl SamplingPlan {
             event_window: 4_000,
             burst: 3_000,
             gap_mode: GapMode::FastForward,
+            phase_windows: 0,
         }
     }
 
@@ -205,14 +218,20 @@ impl SamplingPlan {
     /// different windows must never collide in a sweep store. Legacy
     /// fast-forward plans keep their pre-[`GapMode`] strings byte-stable
     /// (existing stores stay valid); functional plans append a mode
-    /// token so the two paths never share cached results.
+    /// token so the two paths never share cached results, and
+    /// phase-clustered plans append a `p{k}` token for the same reason.
     pub fn fingerprint(&self) -> String {
         let mode = match self.gap_mode {
             GapMode::FastForward => "",
             GapMode::Functional => "mfunc",
         };
+        let phases = if self.phase_windows > 0 {
+            format!("p{}", self.phase_windows)
+        } else {
+            String::new()
+        };
         format!(
-            "s{}x{}g{}r{}e{}x{}b{}{mode}",
+            "s{}x{}g{}r{}e{}x{}b{}{mode}{phases}",
             self.steady_windows,
             self.window,
             self.gap,
@@ -287,6 +306,11 @@ pub struct SampledMeasurement {
     /// Hardware threads receiving timer interrupts (the `T` in the
     /// estimator); 1 on the single core.
     pub threads: u32,
+    /// Per-steady-window weights from phase clustering (summing to 1).
+    /// Empty for the uniform schedule, where every window carries equal
+    /// weight — the estimator reproduces the legacy unweighted
+    /// arithmetic bit-for-bit in that case.
+    pub steady_weights: Vec<f64>,
 }
 
 /// A weighted cycle estimate with its propagated standard error.
@@ -309,7 +333,11 @@ pub fn estimate_cycles(
     measure_units: u64,
     interval: SwitchInterval,
 ) -> SampledEstimate {
-    let (c_s, se_s) = per_unit(&m.steady_cycles, m.steady_units);
+    let (c_s, se_s) = if m.steady_weights.is_empty() {
+        per_unit(&m.steady_cycles, m.steady_units)
+    } else {
+        per_unit_weighted(&m.steady_cycles, m.steady_units, &m.steady_weights)
+    };
     let b = measure_units as f64;
     let no_events =
         m.event_cycles.is_empty() || m.event_units == 0 || interval.cycles() == u64::MAX;
@@ -351,6 +379,43 @@ fn per_unit(cycles: &[f64], units: u64) -> (f64, f64) {
     (mean, (var / n).sqrt())
 }
 
+/// [`per_unit`] for phase-weighted windows: the mean weights each
+/// window by its phase's share of the trace, and the standard error
+/// uses the reliability-weights estimator (weights are shares, not
+/// repeat counts). Falls back to the unweighted path when the weights
+/// are degenerate (non-positive sum).
+fn per_unit_weighted(cycles: &[f64], units: u64, weights: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(cycles.len(), weights.len(), "one weight per window");
+    if cycles.is_empty() || units == 0 {
+        return (0.0, 0.0);
+    }
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return per_unit(cycles, units);
+    }
+    let u = units as f64;
+    let xs: Vec<f64> = cycles.iter().map(|c| c / u).collect();
+    let ws: Vec<f64> = weights.iter().map(|w| w / wsum).collect();
+    let mean: f64 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum();
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    // Unbiased weighted variance under reliability weights, then the
+    // effective-sample-size shrink for the standard error of the mean.
+    let w2: f64 = ws.iter().map(|w| w * w).sum();
+    if w2 >= 1.0 {
+        // One window holds all the weight: no spread information.
+        return (mean, 0.0);
+    }
+    let var: f64 = xs
+        .iter()
+        .zip(&ws)
+        .map(|(x, w)| w * (x - mean).powi(2))
+        .sum::<f64>()
+        / (1.0 - w2);
+    (mean, (var * w2).sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +429,7 @@ mod tests {
             stats: PredictionStats::new(),
             per_thread: Vec::new(),
             threads: 1,
+            steady_weights: Vec::new(),
         }
     }
 
@@ -451,6 +517,56 @@ mod tests {
         let b = estimate_cycles(&loose, 1_000_000, SwitchInterval::M8);
         assert!(a.stderr > 0.0);
         assert!(b.stderr > 10.0 * a.stderr);
+    }
+
+    #[test]
+    fn phase_windows_extend_the_fingerprint_without_touching_legacy() {
+        let quick = SamplingPlan::quick();
+        assert_eq!(quick.fingerprint(), "s2x5000g8000r2000e1x4000b3000");
+        let mut phased = quick;
+        phased.phase_windows = 6;
+        assert_eq!(phased.fingerprint(), "s2x5000g8000r2000e1x4000b3000p6");
+        let mut func = phased;
+        func.gap_mode = GapMode::Functional;
+        assert!(func.fingerprint().ends_with("mfuncp6"));
+    }
+
+    #[test]
+    fn uniform_weights_match_the_unweighted_estimate() {
+        let unweighted = measurement(&[35_000.0, 36_000.0], &[60_000.0]);
+        let mut weighted = unweighted.clone();
+        weighted.steady_weights = vec![0.5, 0.5];
+        let a = estimate_cycles(&unweighted, 1_000_000, SwitchInterval::M8);
+        let b = estimate_cycles(&weighted, 1_000_000, SwitchInterval::M8);
+        assert!(
+            (a.cycles - b.cycles).abs() < 1e-6,
+            "{} vs {}",
+            a.cycles,
+            b.cycles
+        );
+        assert!(
+            (a.stderr - b.stderr).abs() < 1e-6,
+            "{} vs {}",
+            a.stderr,
+            b.stderr
+        );
+    }
+
+    #[test]
+    fn phase_weights_tilt_the_estimate_toward_heavy_phases() {
+        // The cheap window carries 90% of the trace: the weighted
+        // estimate must sit far below the uniform mean.
+        let mut m = measurement(&[30_000.0, 60_000.0], &[]);
+        m.steady_weights = vec![0.9, 0.1];
+        let est = estimate_cycles(&m, 1_000_000, SwitchInterval::Off);
+        // c_s = 0.9·3.0 + 0.1·6.0 = 3.3 cycles/branch.
+        assert!((est.cycles - 3.3e6).abs() < 1.0, "{}", est.cycles);
+        assert!(est.stderr > 0.0);
+        // A single all-weight window reports zero spread.
+        let mut solo = measurement(&[30_000.0], &[]);
+        solo.steady_weights = vec![1.0];
+        let est = estimate_cycles(&solo, 1_000_000, SwitchInterval::Off);
+        assert_eq!(est.stderr, 0.0);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use sbp_core::{FrontendConfig, Mechanism, SecureFrontend};
 use sbp_predictors::PredictorKind;
-use sbp_trace::{EventBuffer, TraceEvent, TraceGenerator, WorkloadProfile};
+use sbp_trace::{
+    EventBuffer, EventSource, TraceEvent, TraceGenerator, TraceReplayer, WorkloadProfile,
+};
 use sbp_types::{CoreEvent, PredictionStats, SbpError, ThreadId};
 
 use crate::config::{CoreConfig, SwitchInterval};
@@ -25,7 +27,7 @@ use crate::timing::{execute_branch, execute_branch_scalar, train_branch_clocked}
 
 #[derive(Debug)]
 struct SmtThread {
-    gen: TraceGenerator,
+    gen: EventSource,
     stats: PredictionStats,
     clock: f64,
     next_switch: f64,
@@ -114,15 +116,30 @@ impl SmtSim {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let mut profile = WorkloadProfile::by_name(name)?;
-                // gem5 SE mode: syscalls are emulated, never executed.
-                profile.syscalls_per_minstr = 0.0;
+                let base = 0x1000_0000 + (i as u64) * 0x0800_0000;
+                let thread_seed = sbp_types::rng::SplitMix64::derive(seed, 100 + i as u64);
+                let gen = match sbp_trace::parse_replay(name) {
+                    Some((workload, dir)) => {
+                        // Replayed traces must be recorded from the same
+                        // SE-mode (syscall-free) generator configuration;
+                        // the campaign recorder guarantees that.
+                        let path = sbp_trace::replay_trace_path(
+                            std::path::Path::new(dir),
+                            workload,
+                            base,
+                            thread_seed,
+                        );
+                        EventSource::Replay(TraceReplayer::open(&path)?)
+                    }
+                    None => {
+                        let mut profile = WorkloadProfile::by_name(name)?;
+                        // gem5 SE mode: syscalls are emulated, never executed.
+                        profile.syscalls_per_minstr = 0.0;
+                        EventSource::Generator(TraceGenerator::new(&profile, base, thread_seed))
+                    }
+                };
                 Ok(SmtThread {
-                    gen: TraceGenerator::new(
-                        &profile,
-                        0x1000_0000 + (i as u64) * 0x0800_0000,
-                        sbp_types::rng::SplitMix64::derive(seed, 100 + i as u64),
-                    ),
+                    gen,
                     stats: PredictionStats::new(),
                     clock: 0.0,
                     buf: EventBuffer::default(),
@@ -402,6 +419,7 @@ impl SmtSim {
             stats,
             per_thread: agg,
             threads: n as u32,
+            steady_weights: Vec::new(),
         }
     }
 

@@ -482,6 +482,9 @@ fn run_sampled_job(
     mechanism: Mechanism,
     sampling: &sbp_sim::SamplingPlan,
 ) -> Result<RawResult, SbpError> {
+    if sampling.phase_windows > 0 {
+        return run_phased_job(arena, spec, group, mechanism, sampling);
+    }
     let mkey = format!(
         "{}|sampling={}",
         warm_key(spec, group, mechanism),
@@ -532,9 +535,14 @@ fn run_sampled_job(
             m
         }
     };
-    // Per-window cycle gauges are deterministic: `m` is bit-identical
-    // whether it came from the cache, a serial run, or the window
-    // fan-out, so every job of the group emits the same sequence.
+    Ok(finish_sampled(m, spec, group))
+}
+
+/// Shared tail of the sampled paths: per-window telemetry gauges and the
+/// analytic full-budget estimate. The gauges are deterministic: `m` is
+/// bit-identical whether it came from the cache, a serial run, or the
+/// window fan-out, so every job of the group emits the same sequence.
+fn finish_sampled(m: SampledMeasurement, spec: &SweepSpec, group: &JobGroup) -> RawResult {
     for (w, cycles) in m.steady_cycles.iter().enumerate() {
         sbp_telemetry::gauge(
             "steady_window_cycles",
@@ -549,12 +557,108 @@ fn run_sampled_job(
     let est = estimate_cycles(&m, spec.budget.measure, group.interval);
     let mut stats = m.stats;
     stats.cycles = est.cycles as u64;
-    Ok(RawResult::Sim(RawRun {
+    RawResult::Sim(RawRun {
         cycles: est.cycles,
         stats,
         per_thread: m.per_thread,
         stderr: Some(est.stderr),
-    }))
+    })
+}
+
+fn phase_cache() -> &'static Mutex<HashMap<String, sbp_trace::PhaseSchedule>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, sbp_trace::PhaseSchedule>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Executes a sampled job whose steady windows are phase-clustered
+/// representatives of a recorded trace (`SamplingPlan::phase_windows`).
+/// The target workload must be a `replay:<workload>@<dir>` stream — the
+/// clusterer reads the same on-disk trace the simulator replays, skipping
+/// the warm-up prefix so schedule indices line up with the warm cursor.
+/// Schedules are cached per (trace, skip, interval, k); the measurement
+/// shares the ordinary window cache (the `p{k}` fingerprint token keeps
+/// it disjoint from uniform-schedule entries).
+fn run_phased_job(
+    arena: &mut JobArena,
+    spec: &SweepSpec,
+    group: &JobGroup,
+    mechanism: Mechanism,
+    sampling: &sbp_sim::SamplingPlan,
+) -> Result<RawResult, SbpError> {
+    if spec.mode != SweepMode::SingleCore {
+        return Err(SbpError::config(
+            "phase-clustered sampling (phase_windows > 0) is single-core only",
+        ));
+    }
+    let case = &spec.cases[group.case_index];
+    let target = case.workloads.first().map(String::as_str).unwrap_or("");
+    let Some((workload, dir)) = sbp_trace::parse_replay(target) else {
+        return Err(SbpError::config(format!(
+            "phase-clustered sampling needs a replay target \
+             (`replay:<workload>@<dir>`), got `{target}`",
+        )));
+    };
+    // Context 0 of the single-core sim: fixed base address, seed stream 0
+    // (must match `SingleCoreSim::new`'s derivation).
+    let path = sbp_trace::replay_trace_path(
+        std::path::Path::new(dir),
+        workload,
+        0x1000_0000,
+        sbp_types::rng::SplitMix64::derive(group.seed, 0),
+    );
+    // Branches the event-window stratum will consume after the last
+    // clustered interval, plus one batch-refill of slack (the replayer
+    // serves events in `EventBuffer` batches, so the simulator can pull
+    // up to a batch beyond what it executes).
+    let reserve = sampling.event_windows as u64
+        * (sampling.gap + sampling.rewarm + sampling.event_window)
+        + 2 * EventBuffer::DEFAULT_CAPACITY as u64;
+    let skey = format!(
+        "{}|skip={}|interval={}|k={}|reserve={}",
+        path.display(),
+        spec.budget.warmup,
+        sampling.window,
+        sampling.phase_windows,
+        reserve,
+    );
+    let cached = phase_cache().lock().get(&skey).cloned();
+    let schedule = match cached {
+        Some(s) => s,
+        None => {
+            let s = sbp_trace::cluster_trace(
+                &path,
+                spec.budget.warmup,
+                sampling.window,
+                sampling.phase_windows as usize,
+                reserve,
+            )?;
+            cache_insert(&mut phase_cache().lock(), skey, s.clone());
+            s
+        }
+    };
+    let mkey = format!(
+        "{}|sampling={}",
+        warm_key(spec, group, mechanism),
+        sampling.fingerprint()
+    );
+    let cached = window_cache().lock().get(&mkey).cloned();
+    let m = match cached {
+        Some(m) => {
+            sbp_telemetry::counter("window_cache_hit", 1.0, false, "");
+            m
+        }
+        None => {
+            sbp_telemetry::counter("window_cache_miss", 1.0, false, "");
+            let (mut sim, from_cache) = warm_single(arena, spec, group, mechanism)?;
+            let m = sim.run_phased(sampling, &schedule);
+            if !from_cache {
+                sim.release_buffers(&mut arena.buffers);
+            }
+            cache_insert(&mut window_cache().lock(), mkey, m.clone());
+            m
+        }
+    };
+    Ok(finish_sampled(m, spec, group))
 }
 
 /// Window fan-out for a single-core sampled cell: each of the plan's
@@ -602,6 +706,7 @@ fn run_single_windowed(
         stats: agg,
         per_thread: Vec::new(),
         threads: 1,
+        steady_weights: Vec::new(),
     })
 }
 
@@ -663,6 +768,7 @@ fn run_smt_windowed(
         stats,
         per_thread: agg,
         threads: hw_threads as u32,
+        steady_weights: Vec::new(),
     })
 }
 

@@ -448,6 +448,11 @@ impl SweepSpec {
                 }
                 if let Some(plan) = &self.sampling {
                     plan.validate()?;
+                    if plan.phase_windows > 0 && self.mode != SweepMode::SingleCore {
+                        return Err(SbpError::config(
+                            "phase-clustered sampling (phase_windows > 0) is single-core only",
+                        ));
+                    }
                 }
             }
         }
@@ -557,6 +562,21 @@ mod tests {
         });
         assert!(zero_measure.validate().is_err());
         assert!(SweepSpec::single("x").validate().is_ok());
+        let mut phased = SamplingPlan::smt_default();
+        phased.phase_windows = 4;
+        assert!(
+            SweepSpec::smt("x")
+                .with_sampling(Some(phased))
+                .validate()
+                .is_err(),
+            "phase-clustered sampling is single-core only"
+        );
+        let mut phased = SamplingPlan::single_default();
+        phased.phase_windows = 4;
+        assert!(SweepSpec::single("x")
+            .with_sampling(Some(phased))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -9,15 +9,27 @@
 //!   branch:      pc u64 | kind u8 | taken u8 | target u64 | gap u32
 //!   priv-switch: level u8 (0=user, 1=kernel)
 //! ```
+//!
+//! This module is the in-memory (version 1) codec; the on-disk container
+//! with its extended version-2 header lives in [`crate::file`] and shares
+//! the per-event encoding defined here.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 use sbp_types::{BranchKind, BranchRecord, Pc, Privilege, SbpError};
 
 use crate::generator::TraceEvent;
 
-const MAGIC: &[u8; 4] = b"SBPT";
+pub(crate) const MAGIC: &[u8; 4] = b"SBPT";
 const VERSION: u32 = 1;
+
+/// Encoded size of the smallest event (a privilege switch: tag + level).
+/// Decoder capacity hints derive from this, never from the untrusted
+/// header count alone.
+pub(crate) const MIN_EVENT_SIZE: usize = 2;
+
+/// Encoded size of a branch event (tag + pc + kind + taken + target + gap).
+pub(crate) const BRANCH_EVENT_SIZE: usize = 23;
 
 fn kind_to_u8(kind: BranchKind) -> u8 {
     match kind {
@@ -42,6 +54,82 @@ fn kind_from_u8(v: u8) -> Result<BranchKind, SbpError> {
     })
 }
 
+/// Encoded size of one event.
+pub fn event_encoded_len(ev: &TraceEvent) -> usize {
+    match ev {
+        TraceEvent::Branch(_) => BRANCH_EVENT_SIZE,
+        TraceEvent::PrivilegeSwitch(_) => MIN_EVENT_SIZE,
+    }
+}
+
+/// Exact encoded size of an event slice, header excluded. One cheap pass;
+/// the file writer uses the same per-event sizes for its running totals.
+pub fn events_encoded_len(events: &[TraceEvent]) -> usize {
+    events.iter().map(event_encoded_len).sum()
+}
+
+/// Appends one event's encoding to `out`.
+pub(crate) fn encode_event_into(out: &mut Vec<u8>, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Branch(r) => {
+            out.push(0);
+            out.extend_from_slice(&r.pc.addr().to_be_bytes());
+            out.push(kind_to_u8(r.kind));
+            out.push(r.taken as u8);
+            out.extend_from_slice(&r.target.addr().to_be_bytes());
+            out.extend_from_slice(&r.gap.to_be_bytes());
+        }
+        TraceEvent::PrivilegeSwitch(p) => {
+            out.push(1);
+            out.push(matches!(p, Privilege::Kernel) as u8);
+        }
+    }
+}
+
+/// Decodes one event from the front of `data`, consuming its bytes.
+///
+/// Returns `Ok(None)` — without consuming anything — when `data` holds
+/// only a prefix of the next event, so streaming readers can refill and
+/// retry; a tag byte that is no known event is an error.
+pub(crate) fn try_decode_event(data: &mut &[u8]) -> Result<Option<TraceEvent>, SbpError> {
+    let Some(&tag) = data.first() else {
+        return Ok(None);
+    };
+    match tag {
+        0 => {
+            if data.remaining() < BRANCH_EVENT_SIZE {
+                return Ok(None);
+            }
+            data.get_u8();
+            let pc = Pc::new(data.get_u64());
+            let kind = kind_from_u8(data.get_u8())?;
+            let taken = data.get_u8() != 0;
+            let target = Pc::new(data.get_u64());
+            let gap = data.get_u32();
+            Ok(Some(TraceEvent::Branch(BranchRecord {
+                pc,
+                kind,
+                taken,
+                target,
+                gap,
+            })))
+        }
+        1 => {
+            if data.remaining() < MIN_EVENT_SIZE {
+                return Ok(None);
+            }
+            data.get_u8();
+            let p = if data.get_u8() != 0 {
+                Privilege::Kernel
+            } else {
+                Privilege::User
+            };
+            Ok(Some(TraceEvent::PrivilegeSwitch(p)))
+        }
+        t => Err(SbpError::trace(format!("unknown event tag {t}"))),
+    }
+}
+
 /// Serializes events to the binary trace format.
 ///
 /// ```
@@ -59,27 +147,16 @@ fn kind_from_u8(v: u8) -> Result<BranchKind, SbpError> {
 /// # }
 /// ```
 pub fn encode_trace(events: &[TraceEvent]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + events.len() * 23);
-    buf.put_slice(MAGIC);
-    buf.put_u32(VERSION);
-    buf.put_u64(events.len() as u64);
+    // Exact capacity: switch events are 2 bytes, not 23, so estimating
+    // every event as a branch over-reserved ~10x on switch-heavy traces.
+    let mut buf = Vec::with_capacity(16 + events_encoded_len(events));
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&(events.len() as u64).to_be_bytes());
     for ev in events {
-        match ev {
-            TraceEvent::Branch(r) => {
-                buf.put_u8(0);
-                buf.put_u64(r.pc.addr());
-                buf.put_u8(kind_to_u8(r.kind));
-                buf.put_u8(r.taken as u8);
-                buf.put_u64(r.target.addr());
-                buf.put_u32(r.gap);
-            }
-            TraceEvent::PrivilegeSwitch(p) => {
-                buf.put_u8(1);
-                buf.put_u8(matches!(p, Privilege::Kernel) as u8);
-            }
-        }
+        encode_event_into(&mut buf, ev);
     }
-    buf.freeze()
+    Bytes::from(buf)
 }
 
 /// Deserializes a binary trace.
@@ -87,7 +164,9 @@ pub fn encode_trace(events: &[TraceEvent]) -> Bytes {
 /// # Errors
 ///
 /// Returns [`SbpError::TraceFormat`] on a bad magic, version, truncated
-/// input or unknown enum tag.
+/// input, unknown enum tag, or trailing bytes after the declared event
+/// count (a concatenated or corrupted trace must not "succeed" with data
+/// loss).
 pub fn decode_trace(mut data: &[u8]) -> Result<Vec<TraceEvent>, SbpError> {
     if data.remaining() < 16 {
         return Err(SbpError::trace("truncated header"));
@@ -102,42 +181,21 @@ pub fn decode_trace(mut data: &[u8]) -> Result<Vec<TraceEvent>, SbpError> {
         return Err(SbpError::trace(format!("unsupported version {version}")));
     }
     let count = data.get_u64() as usize;
-    let mut events = Vec::with_capacity(count.min(1 << 24));
+    // The header count is untrusted input: bound the allocation hint by
+    // what the body could possibly hold, so a crafted 16-byte file cannot
+    // demand a multi-hundred-MB reservation before the first body check.
+    let mut events = Vec::with_capacity(count.min(data.remaining() / MIN_EVENT_SIZE));
     for i in 0..count {
-        if data.remaining() < 1 {
-            return Err(SbpError::trace(format!("truncated at event {i}")));
+        match try_decode_event(&mut data)? {
+            Some(ev) => events.push(ev),
+            None => return Err(SbpError::trace(format!("truncated at event {i}"))),
         }
-        match data.get_u8() {
-            0 => {
-                if data.remaining() < 22 {
-                    return Err(SbpError::trace(format!("truncated branch at event {i}")));
-                }
-                let pc = Pc::new(data.get_u64());
-                let kind = kind_from_u8(data.get_u8())?;
-                let taken = data.get_u8() != 0;
-                let target = Pc::new(data.get_u64());
-                let gap = data.get_u32();
-                events.push(TraceEvent::Branch(BranchRecord {
-                    pc,
-                    kind,
-                    taken,
-                    target,
-                    gap,
-                }));
-            }
-            1 => {
-                if data.remaining() < 1 {
-                    return Err(SbpError::trace(format!("truncated switch at event {i}")));
-                }
-                let p = if data.get_u8() != 0 {
-                    Privilege::Kernel
-                } else {
-                    Privilege::User
-                };
-                events.push(TraceEvent::PrivilegeSwitch(p));
-            }
-            t => return Err(SbpError::trace(format!("unknown event tag {t}"))),
-        }
+    }
+    if data.remaining() > 0 {
+        return Err(SbpError::trace(format!(
+            "{} trailing bytes after {count} events",
+            data.remaining()
+        )));
     }
     Ok(events)
 }
@@ -206,5 +264,47 @@ mod tests {
         ])
         .collect();
         assert_eq!(decode_trace(&encode_trace(&events)).unwrap(), events);
+    }
+
+    #[test]
+    fn huge_header_count_with_empty_body_is_rejected_cheaply() {
+        // A 16-byte file whose header claims u64::MAX events must fail
+        // with a truncation error, not a giant up-front allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_be_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_be_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        assert!(err.to_string().contains("truncated at event 0"), "{err}");
+    }
+
+    #[test]
+    fn encode_capacity_estimate_is_exact() {
+        let events = vec![
+            TraceEvent::PrivilegeSwitch(Privilege::Kernel),
+            TraceEvent::Branch(BranchRecord::taken(
+                Pc::new(0x10),
+                BranchKind::Conditional,
+                Pc::new(0x20),
+                1,
+            )),
+            TraceEvent::PrivilegeSwitch(Privilege::User),
+        ];
+        assert_eq!(events_encoded_len(&events), 2 + 23 + 2);
+        assert_eq!(encode_trace(&events).len(), 16 + 2 + 23 + 2);
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let p = WorkloadProfile::by_name("gcc").unwrap();
+        let events: Vec<TraceEvent> = TraceGenerator::new(&p, 0x1000_0000, 2).take(20).collect();
+        let mut bytes = encode_trace(&events).to_vec();
+        // Append one whole extra event beyond the declared count.
+        encode_event_into(&mut bytes, &TraceEvent::PrivilegeSwitch(Privilege::Kernel));
+        let err = decode_trace(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("2 trailing bytes after 20 events"),
+            "{err}"
+        );
     }
 }

@@ -165,13 +165,7 @@ impl TraceGenerator {
     /// *which* events. Any events still unconsumed in `buf` are discarded,
     /// so callers refill only when the buffer is empty.
     pub fn fill(&mut self, buf: &mut EventBuffer) {
-        debug_assert!(buf.is_empty(), "refilling a non-empty buffer loses events");
-        buf.events.clear();
-        buf.pos = 0;
-        buf.events.reserve(buf.capacity);
-        for _ in 0..buf.capacity {
-            buf.events.push(self.next_event());
-        }
+        buf.refill_with(|| self.next_event());
     }
 }
 
@@ -248,6 +242,20 @@ impl EventBuffer {
         let ev = self.events.get(self.pos).copied();
         self.pos += (ev.is_some()) as usize;
         ev
+    }
+
+    /// Refills the buffer with `capacity` events drawn from `next` — the
+    /// one write path shared by every event source ([`TraceGenerator`],
+    /// [`crate::TraceReplayer`]), so batching semantics cannot diverge
+    /// between generated and replayed streams.
+    pub fn refill_with(&mut self, mut next: impl FnMut() -> TraceEvent) {
+        debug_assert!(self.is_empty(), "refilling a non-empty buffer loses events");
+        self.events.clear();
+        self.pos = 0;
+        self.events.reserve(self.capacity);
+        for _ in 0..self.capacity {
+            self.events.push(next());
+        }
     }
 }
 

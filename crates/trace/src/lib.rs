@@ -23,14 +23,22 @@
 //! ```
 
 pub mod behavior;
+pub mod file;
 pub mod format;
 pub mod generator;
+pub mod phases;
 pub mod profile;
 pub mod program;
+pub mod replay;
 
 pub use behavior::BranchBehavior;
+pub use file::{TraceInfo, TraceReader, TraceWriter};
 pub use generator::{EventBuffer, TraceEvent, TraceGenerator};
+pub use phases::{cluster_trace, PhasePick, PhaseSchedule};
 pub use profile::{
     cases_single, cases_smt2, cases_smt4, BehaviorMix, BenchmarkCase, WorkloadProfile,
 };
 pub use program::ProgramModel;
+pub use replay::{
+    parse_replay, record_trace, replay_trace_path, EventSource, TraceReplayer, TraceSource,
+};

@@ -1,0 +1,342 @@
+//! SimPoint-style phase clustering over recorded traces.
+//!
+//! Long traces are redundant: programs move through a small set of
+//! recurring *phases*, so simulating a few representative windows with
+//! weights reproduces the whole-trace average at a fraction of the cost.
+//! This module implements the classic pipeline over an `SBPT` file:
+//!
+//! 1. slice the branch stream into fixed-size intervals (`interval`
+//!    branches each, after a warm-up `skip`);
+//! 2. summarize each interval as a basic-block vector — branch PCs
+//!    hashed into a fixed number of dimensions, L1-normalized — so
+//!    intervals executing the same code look alike regardless of when
+//!    they run;
+//! 3. k-means with deterministic seeding (a seeded farthest-point
+//!    initialization; ties broken by lowest index) groups the intervals
+//!    into phases;
+//! 4. each cluster contributes one representative window (the member
+//!    closest to the centroid) weighted by the cluster's share of the
+//!    trace.
+//!
+//! The whole pass streams the file once in bounded chunks; only the
+//! per-interval vectors (a few doubles each) are kept.
+
+use std::path::Path;
+
+use sbp_types::rng::SplitMix64;
+use sbp_types::SbpError;
+
+use crate::file::TraceReader;
+use crate::generator::TraceEvent;
+
+/// Hashed basic-block-vector dimensionality. 64 buckets is plenty to
+/// separate the synthetic workloads' phase structure while keeping the
+/// k-means pass trivially cheap.
+const BBV_DIMS: usize = 64;
+
+/// k-means iteration cap; assignments converge in a handful of rounds on
+/// these vector counts, the cap just bounds pathological inputs.
+const KMEANS_ITERS: usize = 25;
+
+/// One representative measurement window chosen by the clusterer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePick {
+    /// Interval index (0 = the first interval after the skipped prefix).
+    /// The window covers branches `skip + index*interval ..
+    /// skip + (index+1)*interval` of the trace's target stream.
+    pub index: u64,
+    /// The phase's share of all clustered intervals (picks sum to 1).
+    pub weight: f64,
+}
+
+/// A weighted set of representative windows over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSchedule {
+    /// Branches per interval (window length).
+    pub interval: u64,
+    /// Representative windows, ascending by index.
+    pub picks: Vec<PhasePick>,
+}
+
+impl PhaseSchedule {
+    /// Number of intervals that were clustered (weights are shares of
+    /// this population).
+    pub fn weight_sum(&self) -> f64 {
+        self.picks.iter().map(|p| p.weight).sum()
+    }
+}
+
+/// Clusters the trace at `path` into at most `k` phases of
+/// `interval`-branch windows, ignoring the first `skip` branches (the
+/// simulator's warm-up prefix) and the last `reserve` branches (kept
+/// un-clustered so a replaying simulator can run post-schedule event
+/// windows without exhausting the trace).
+///
+/// Deterministic: same file + same parameters → same schedule, on every
+/// platform (fixed seeding, index-ordered tie-breaks, no ambient RNG).
+///
+/// # Errors
+///
+/// Fails on IO/format errors, `interval == 0`, `k == 0`, or a trace too
+/// short to yield even one complete interval after the skip and the
+/// reserved tail.
+pub fn cluster_trace(
+    path: &Path,
+    skip: u64,
+    interval: u64,
+    k: usize,
+    reserve: u64,
+) -> Result<PhaseSchedule, SbpError> {
+    if interval == 0 {
+        return Err(SbpError::trace("phase interval must be positive"));
+    }
+    if k == 0 {
+        return Err(SbpError::trace("phase count k must be positive"));
+    }
+    let (mut vectors, post_skip) = interval_vectors(path, skip, interval)?;
+    let usable = post_skip.saturating_sub(reserve);
+    vectors.truncate((usable / interval) as usize);
+    if vectors.is_empty() {
+        return Err(SbpError::trace(format!(
+            "{}: trace too short for phase clustering (needs > {} branches: \
+             {skip} skipped + at least one {interval}-branch interval \
+             + {reserve} reserved)",
+            path.display(),
+            skip + interval + reserve,
+        )));
+    }
+    let k = k.min(vectors.len());
+    let assignment = kmeans(&vectors, k);
+    let mut picks = representatives(&vectors, &assignment, k);
+    picks.sort_by_key(|p| p.index);
+    Ok(PhaseSchedule { interval, picks })
+}
+
+/// Streams the trace once, building one L1-normalized hashed-PC vector
+/// per complete interval. A trailing partial interval is dropped.
+/// Also returns the total branch count after the skipped prefix (the
+/// caller's tail-reserve arithmetic needs it).
+fn interval_vectors(
+    path: &Path,
+    skip: u64,
+    interval: u64,
+) -> Result<(Vec<[f64; BBV_DIMS]>, u64), SbpError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut vectors = Vec::new();
+    let mut current = [0f64; BBV_DIMS];
+    let mut skipped = 0u64;
+    let mut post_skip = 0u64;
+    let mut in_interval = 0u64;
+    while let Some(ev) = reader.next_event()? {
+        let TraceEvent::Branch(rec) = ev else {
+            continue;
+        };
+        if skipped < skip {
+            skipped += 1;
+            continue;
+        }
+        post_skip += 1;
+        current[bucket(rec.pc.addr())] += 1.0;
+        in_interval += 1;
+        if in_interval == interval {
+            for d in &mut current {
+                *d /= interval as f64;
+            }
+            vectors.push(current);
+            current = [0f64; BBV_DIMS];
+            in_interval = 0;
+        }
+    }
+    Ok((vectors, post_skip))
+}
+
+fn bucket(pc: u64) -> usize {
+    // A full 64-bit mix so nearby PCs don't collide into adjacent
+    // buckets; the constant is arbitrary but fixed (determinism).
+    (SplitMix64::derive(pc, 0xbb5e_c70f) % BBV_DIMS as u64) as usize
+}
+
+fn dist2(a: &[f64; BBV_DIMS], b: &[f64; BBV_DIMS]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Plain Lloyd's algorithm with seeded farthest-point initialization.
+/// Returns the per-vector cluster assignment.
+fn kmeans(vectors: &[[f64; BBV_DIMS]], k: usize) -> Vec<usize> {
+    let n = vectors.len();
+    // Seeded first centroid, then farthest-point: each next centroid is
+    // the vector maximizing its distance to the chosen set (ties →
+    // lowest index). Deterministic and spread-out without true RNG.
+    let mut centroid_idx = vec![(SplitMix64::derive(0x9a5e_5eed, n as u64) % n as u64) as usize];
+    while centroid_idx.len() < k {
+        let (mut best, mut best_d) = (0usize, -1.0f64);
+        for (i, v) in vectors.iter().enumerate() {
+            let d = centroid_idx
+                .iter()
+                .map(|&c| dist2(v, &vectors[c]))
+                .fold(f64::INFINITY, f64::min);
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        centroid_idx.push(best);
+    }
+    let mut centroids: Vec<[f64; BBV_DIMS]> = centroid_idx.iter().map(|&i| vectors[i]).collect();
+    let mut assignment = vec![0usize; n];
+    for _ in 0..KMEANS_ITERS {
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let (mut best, mut best_d) = (0usize, f64::INFINITY);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist2(v, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![[0f64; BBV_DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(v.iter()) {
+                *s += x;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (dst, s) in centroid.iter_mut().zip(sums[c].iter()) {
+                    *dst = s / counts[c] as f64;
+                }
+            }
+            // Empty clusters keep their old centroid; they simply end up
+            // with no representative.
+        }
+    }
+    assignment
+}
+
+/// One pick per non-empty cluster: the member closest to the centroid,
+/// weighted by the cluster's population share.
+fn representatives(vectors: &[[f64; BBV_DIMS]], assignment: &[usize], k: usize) -> Vec<PhasePick> {
+    let n = vectors.len();
+    let mut sums = vec![[0f64; BBV_DIMS]; k];
+    let mut counts = vec![0usize; k];
+    for (i, v) in vectors.iter().enumerate() {
+        let c = assignment[i];
+        counts[c] += 1;
+        for (s, x) in sums[c].iter_mut().zip(v.iter()) {
+            *s += x;
+        }
+    }
+    let mut picks = Vec::new();
+    for c in 0..k {
+        if counts[c] == 0 {
+            continue;
+        }
+        let mut centroid = [0f64; BBV_DIMS];
+        for (dst, s) in centroid.iter_mut().zip(sums[c].iter()) {
+            *dst = s / counts[c] as f64;
+        }
+        let (mut best, mut best_d) = (usize::MAX, f64::INFINITY);
+        for (i, v) in vectors.iter().enumerate() {
+            if assignment[i] != c {
+                continue;
+            }
+            let d = dist2(v, &centroid);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        picks.push(PhasePick {
+            index: best as u64,
+            weight: counts[c] as f64 / n as f64,
+        });
+    }
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+    use crate::replay::record_trace;
+    use crate::TraceGenerator;
+    use std::path::PathBuf;
+
+    fn recorded(name: &str, seed: u64, events: u64, file: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbpt-phase-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(file);
+        let p = WorkloadProfile::by_name(name).unwrap();
+        let mut gen = TraceGenerator::new(&p, 0x1000_0000, seed);
+        record_trace(&mut gen, name, events, &path).expect("record");
+        path
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_well_formed() {
+        let path = recorded("gcc", 7, 120_000, "det.sbpt");
+        let a = cluster_trace(&path, 5_000, 10_000, 4, 0).expect("cluster");
+        let b = cluster_trace(&path, 5_000, 10_000, 4, 0).expect("cluster");
+        assert_eq!(a, b, "clustering must be deterministic");
+        assert!(!a.picks.is_empty() && a.picks.len() <= 4);
+        assert!(
+            (a.weight_sum() - 1.0).abs() < 1e-9,
+            "weights sum to 1, got {}",
+            a.weight_sum()
+        );
+        // Picks ascend and stay within the interval population.
+        for w in a.picks.windows(2) {
+            assert!(w[0].index < w[1].index);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_interval_count_is_clamped() {
+        let path = recorded("libquantum", 3, 30_000, "clamp.sbpt");
+        // ~30k events ≈ at most 3 complete 8k-branch intervals after skip.
+        let s = cluster_trace(&path, 1_000, 8_000, 64, 0).expect("cluster");
+        assert!(s.picks.len() <= 3, "{} picks", s.picks.len());
+        assert!((s.weight_sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_short_trace_is_a_clean_error() {
+        let path = recorded("gcc", 9, 500, "short.sbpt");
+        let err = cluster_trace(&path, 400, 10_000, 4, 0).unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+    }
+
+    #[test]
+    fn reserve_excludes_the_trace_tail_from_clustering() {
+        let path = recorded("gcc", 21, 60_000, "reserve.sbpt");
+        let all = cluster_trace(&path, 1_000, 5_000, 64, 0).expect("cluster");
+        let reserved = cluster_trace(&path, 1_000, 5_000, 64, 12_000).expect("cluster");
+        let last = |s: &PhaseSchedule| s.picks.last().unwrap().index;
+        // The reserved tail (>= two intervals) removes at least its worth
+        // of clusterable intervals, so the last eligible index shrinks.
+        assert!(reserved.picks.len() < all.picks.len() || last(&reserved) < last(&all));
+        assert!((reserved.weight_sum() - 1.0).abs() < 1e-9);
+        // Reserving everything leaves nothing to cluster.
+        let err = cluster_trace(&path, 1_000, 5_000, 4, 60_000).unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected() {
+        let path = recorded("gcc", 9, 1_000, "zeros.sbpt");
+        assert!(cluster_trace(&path, 0, 0, 4, 0).is_err());
+        assert!(cluster_trace(&path, 0, 100, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Replaying recorded traces as a first-class simulation event source.
+//!
+//! [`TraceSource`] is the contract the simulators consume events
+//! through: [`TraceGenerator`] synthesizes the
+//! stream, [`TraceReplayer`] streams a recorded `SBPT` file back with the
+//! *same draw-sequence semantics* — `next_event`, buffered `fill`,
+//! `skip_branches`/`skip_instructions` all leave the cursor exactly where
+//! the generator equivalents would, so a simulation over a replayed trace
+//! is byte-identical to one over the generator that recorded it.
+//!
+//! [`EventSource`] is the closed enum the simulators actually hold (no
+//! dynamic dispatch in the hot loop). Replay workloads are named
+//! `replay:<workload>@<dir>`: the simulator resolves the trace file from
+//! the directory plus the context's code base and derived seed (see
+//! [`replay_trace_path`]), which is also how the recorder names the files
+//! it captures.
+
+use std::path::{Path, PathBuf};
+
+use sbp_types::{Privilege, SbpError};
+
+use crate::file::{TraceInfo, TraceReader, TraceWriter};
+use crate::generator::{EventBuffer, TraceEvent, TraceGenerator};
+
+/// A deterministic stream of [`TraceEvent`]s a simulator can run on.
+///
+/// Implementations must keep the draw sequence identical across access
+/// styles: consuming via [`TraceSource::fill`] batches or skipping via
+/// [`TraceSource::skip_branches`] leaves the cursor exactly where
+/// per-event [`TraceSource::next_event`] calls would.
+pub trait TraceSource {
+    /// Produces the next event. Infallible: replay sources surface IO or
+    /// exhaustion as panics with the trace path (a simulation cannot
+    /// meaningfully continue on a half-delivered stream).
+    fn next_event(&mut self) -> TraceEvent;
+
+    /// Instructions delivered so far (branch gaps + the branches).
+    fn instructions(&self) -> u64;
+
+    /// Current privilege mode.
+    fn mode(&self) -> Privilege;
+
+    /// Privilege switches delivered so far.
+    fn privilege_switches(&self) -> u64;
+
+    /// Refills `buf` with the next `buf.capacity()` events.
+    fn fill(&mut self, buf: &mut EventBuffer) {
+        buf.refill_with(|| self.next_event());
+    }
+
+    /// Advances past the next `branches` branch events without returning
+    /// them; returns the instructions spanned.
+    fn skip_branches(&mut self, branches: u64) -> u64 {
+        let before = self.instructions();
+        let mut left = branches;
+        while left > 0 {
+            if matches!(self.next_event(), TraceEvent::Branch(_)) {
+                left -= 1;
+            }
+        }
+        self.instructions() - before
+    }
+
+    /// Advances until at least `instructions` further instructions have
+    /// been delivered; returns the instructions actually spanned.
+    fn skip_instructions(&mut self, instructions: u64) -> u64 {
+        let before = self.instructions();
+        while self.instructions() - before < instructions {
+            let _ = self.next_event();
+        }
+        self.instructions() - before
+    }
+}
+
+impl TraceSource for TraceGenerator {
+    fn next_event(&mut self) -> TraceEvent {
+        TraceGenerator::next_event(self)
+    }
+
+    fn instructions(&self) -> u64 {
+        TraceGenerator::instructions(self)
+    }
+
+    fn mode(&self) -> Privilege {
+        TraceGenerator::mode(self)
+    }
+
+    fn privilege_switches(&self) -> u64 {
+        TraceGenerator::privilege_switches(self)
+    }
+
+    fn fill(&mut self, buf: &mut EventBuffer) {
+        TraceGenerator::fill(self, buf);
+    }
+
+    fn skip_branches(&mut self, branches: u64) -> u64 {
+        TraceGenerator::skip_branches(self, branches)
+    }
+
+    fn skip_instructions(&mut self, instructions: u64) -> u64 {
+        TraceGenerator::skip_instructions(self, instructions)
+    }
+}
+
+/// Streams a recorded `SBPT` file back through the [`TraceSource`]
+/// contract, tracking the same instruction/mode/switch counters the
+/// generator would have, so the simulators cannot tell the difference.
+#[derive(Debug)]
+pub struct TraceReplayer {
+    reader: TraceReader,
+    mode: Privilege,
+    instructions: u64,
+    privilege_switches: u64,
+}
+
+impl TraceReplayer {
+    /// Opens a recorded trace for replay.
+    ///
+    /// # Errors
+    ///
+    /// Fails on IO errors or a malformed container header.
+    pub fn open(path: &Path) -> Result<Self, SbpError> {
+        Ok(TraceReplayer {
+            reader: TraceReader::open(path)?,
+            mode: Privilege::User,
+            instructions: 0,
+            privilege_switches: 0,
+        })
+    }
+
+    /// The container header of the file being replayed.
+    pub fn info(&self) -> &TraceInfo {
+        self.reader.info()
+    }
+
+    /// Events replayed so far.
+    pub fn events_read(&self) -> u64 {
+        self.reader.events_read()
+    }
+
+    /// Produces the next recorded event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is exhausted or unreadable: the simulators'
+    /// event path is infallible, and a shorter-than-needed recording is a
+    /// capture-configuration bug, not a runtime condition to limp through.
+    /// The message names the file and how far replay got.
+    pub fn next_event(&mut self) -> TraceEvent {
+        match self.reader.next_event() {
+            Ok(Some(ev)) => {
+                match ev {
+                    TraceEvent::Branch(r) => self.instructions += r.instructions(),
+                    TraceEvent::PrivilegeSwitch(p) => {
+                        self.mode = p;
+                        self.privilege_switches += 1;
+                    }
+                }
+                ev
+            }
+            Ok(None) => panic!(
+                "trace {} exhausted after {} events — record a longer trace \
+                 (the simulation needs more events than were captured)",
+                self.reader.path().display(),
+                self.reader.info().count
+            ),
+            Err(e) => panic!(
+                "replaying trace {} failed at event {}: {e}",
+                self.reader.path().display(),
+                self.reader.events_read()
+            ),
+        }
+    }
+
+    /// Current privilege mode.
+    pub fn mode(&self) -> Privilege {
+        self.mode
+    }
+
+    /// Instructions replayed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Privilege switches replayed so far.
+    pub fn privilege_switches(&self) -> u64 {
+        self.privilege_switches
+    }
+}
+
+impl Clone for TraceReplayer {
+    /// Clones by reopening the file at the same event position with an
+    /// independent OS handle (see [`TraceReader::reopen`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file vanished or changed since open — `Clone` is
+    /// infallible and the warm-state snapshot machinery that clones
+    /// sources cannot proceed without the stream.
+    fn clone(&self) -> Self {
+        let reader = self.reader.reopen().unwrap_or_else(|e| {
+            panic!(
+                "cannot clone replayer for {}: {e}",
+                self.reader.path().display()
+            )
+        });
+        TraceReplayer {
+            reader,
+            mode: self.mode,
+            instructions: self.instructions,
+            privilege_switches: self.privilege_switches,
+        }
+    }
+}
+
+impl TraceSource for TraceReplayer {
+    fn next_event(&mut self) -> TraceEvent {
+        TraceReplayer::next_event(self)
+    }
+
+    fn instructions(&self) -> u64 {
+        TraceReplayer::instructions(self)
+    }
+
+    fn mode(&self) -> Privilege {
+        TraceReplayer::mode(self)
+    }
+
+    fn privilege_switches(&self) -> u64 {
+        TraceReplayer::privilege_switches(self)
+    }
+}
+
+/// The event source a simulator context holds: a synthetic generator or
+/// a file replayer, statically dispatched.
+//
+// The generator variant is much larger than the replayer, but one
+// `EventSource` exists per simulator context (a handful per job), and
+// boxing it would put a pointer chase on every hot-loop `fill`/`skip`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum EventSource {
+    /// Synthetic stream from a [`WorkloadProfile`](crate::WorkloadProfile).
+    Generator(TraceGenerator),
+    /// Recorded stream from an `SBPT` file.
+    Replay(TraceReplayer),
+}
+
+impl EventSource {
+    /// Produces the next event.
+    #[inline]
+    pub fn next_event(&mut self) -> TraceEvent {
+        match self {
+            EventSource::Generator(g) => g.next_event(),
+            EventSource::Replay(r) => r.next_event(),
+        }
+    }
+
+    /// Refills `buf` with the next `buf.capacity()` events.
+    pub fn fill(&mut self, buf: &mut EventBuffer) {
+        match self {
+            EventSource::Generator(g) => g.fill(buf),
+            EventSource::Replay(r) => TraceSource::fill(r, buf),
+        }
+    }
+
+    /// See [`TraceSource::skip_branches`].
+    pub fn skip_branches(&mut self, branches: u64) -> u64 {
+        match self {
+            EventSource::Generator(g) => g.skip_branches(branches),
+            EventSource::Replay(r) => TraceSource::skip_branches(r, branches),
+        }
+    }
+
+    /// See [`TraceSource::skip_instructions`].
+    pub fn skip_instructions(&mut self, instructions: u64) -> u64 {
+        match self {
+            EventSource::Generator(g) => g.skip_instructions(instructions),
+            EventSource::Replay(r) => TraceSource::skip_instructions(r, instructions),
+        }
+    }
+
+    /// Instructions delivered so far.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            EventSource::Generator(g) => g.instructions(),
+            EventSource::Replay(r) => r.instructions(),
+        }
+    }
+
+    /// Current privilege mode.
+    pub fn mode(&self) -> Privilege {
+        match self {
+            EventSource::Generator(g) => g.mode(),
+            EventSource::Replay(r) => r.mode(),
+        }
+    }
+
+    /// Privilege switches delivered so far.
+    pub fn privilege_switches(&self) -> u64 {
+        match self {
+            EventSource::Generator(g) => g.privilege_switches(),
+            EventSource::Replay(r) => r.privilege_switches(),
+        }
+    }
+}
+
+impl TraceSource for EventSource {
+    fn next_event(&mut self) -> TraceEvent {
+        EventSource::next_event(self)
+    }
+
+    fn instructions(&self) -> u64 {
+        EventSource::instructions(self)
+    }
+
+    fn mode(&self) -> Privilege {
+        EventSource::mode(self)
+    }
+
+    fn privilege_switches(&self) -> u64 {
+        EventSource::privilege_switches(self)
+    }
+
+    fn fill(&mut self, buf: &mut EventBuffer) {
+        EventSource::fill(self, buf);
+    }
+
+    fn skip_branches(&mut self, branches: u64) -> u64 {
+        EventSource::skip_branches(self, branches)
+    }
+
+    fn skip_instructions(&mut self, instructions: u64) -> u64 {
+        EventSource::skip_instructions(self, instructions)
+    }
+}
+
+/// Splits a `replay:<workload>@<dir>` workload name into its underlying
+/// workload and trace directory; `None` for plain (generated) workloads.
+///
+/// ```
+/// assert_eq!(
+///     sbp_trace::parse_replay("replay:gcc@traces/fig08"),
+///     Some(("gcc", "traces/fig08"))
+/// );
+/// assert_eq!(sbp_trace::parse_replay("gcc"), None);
+/// ```
+pub fn parse_replay(workload: &str) -> Option<(&str, &str)> {
+    let rest = workload.strip_prefix("replay:")?;
+    let (name, dir) = rest.split_once('@')?;
+    if name.is_empty() || dir.is_empty() {
+        return None;
+    }
+    Some((name, dir))
+}
+
+/// The canonical file name for one recorded context stream: the workload
+/// plus the two values that fully determine its event sequence — the
+/// context's code base and its *derived* per-context seed. Recorder and
+/// replayer both resolve paths through here, so they cannot disagree.
+pub fn replay_trace_path(dir: &Path, workload: &str, base: u64, seed: u64) -> PathBuf {
+    dir.join(format!("{workload}-b{base:x}-s{seed:016x}.sbpt"))
+}
+
+/// Records the next `events` events of `source` to `path` (v2 container,
+/// streaming — constant memory regardless of length).
+///
+/// # Errors
+///
+/// Fails on IO errors.
+pub fn record_trace(
+    source: &mut impl TraceSource,
+    workload: &str,
+    events: u64,
+    path: &Path,
+) -> Result<TraceInfo, SbpError> {
+    let mut writer = TraceWriter::create(path, workload)?;
+    for _ in 0..events {
+        writer.write_event(&source.next_event())?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbpt-replay-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    fn recorded(seed: u64, events: u64, file: &str) -> (PathBuf, TraceGenerator) {
+        let p = WorkloadProfile::by_name("povray").unwrap();
+        let mut gen = TraceGenerator::new(&p, 0x1000_0000, seed);
+        let path = tmp(file);
+        record_trace(&mut gen, "povray", events, &path).expect("record");
+        (path, TraceGenerator::new(&p, 0x1000_0000, seed))
+    }
+
+    #[test]
+    fn replayer_matches_generator_event_for_event() {
+        let (path, mut gen) = recorded(11, 30_000, "match.sbpt");
+        let mut rep = TraceReplayer::open(&path).expect("open");
+        for i in 0..30_000u64 {
+            let g = gen.next_event();
+            let r = rep.next_event();
+            assert_eq!(g, r, "event {i}");
+            assert_eq!(gen.instructions(), rep.instructions(), "instr at {i}");
+            assert_eq!(gen.mode(), rep.mode(), "mode at {i}");
+            assert_eq!(
+                gen.privilege_switches(),
+                rep.privilege_switches(),
+                "switches at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn replayer_fill_and_skip_match_generator_semantics() {
+        let (path, mut gen) = recorded(12, 40_000, "skip.sbpt");
+        let mut rep = TraceReplayer::open(&path).expect("open");
+        let mut gbuf = EventBuffer::new(256);
+        let mut rbuf = EventBuffer::new(256);
+        gen.fill(&mut gbuf);
+        TraceSource::fill(&mut rep, &mut rbuf);
+        while let (Some(a), Some(b)) = (gbuf.pop(), rbuf.pop()) {
+            assert_eq!(a, b);
+        }
+        let gs = gen.skip_branches(5_000);
+        let rs = TraceSource::skip_branches(&mut rep, 5_000);
+        assert_eq!(gs, rs, "skip_branches instruction spans");
+        let gi = gen.skip_instructions(10_000);
+        let ri = TraceSource::skip_instructions(&mut rep, 10_000);
+        assert_eq!(gi, ri, "skip_instructions spans");
+        // Cursors coincide afterwards.
+        for _ in 0..1_000 {
+            assert_eq!(gen.next_event(), rep.next_event());
+        }
+    }
+
+    #[test]
+    fn replayer_clone_resumes_at_position() {
+        let (path, _) = recorded(13, 10_000, "clone.sbpt");
+        let mut a = TraceReplayer::open(&path).expect("open");
+        for _ in 0..3_333 {
+            a.next_event();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.mode(), b.mode());
+        for _ in 0..5_000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_trace_panics_with_the_path() {
+        let (path, _) = recorded(14, 50, "short.sbpt");
+        let mut rep = TraceReplayer::open(&path).expect("open");
+        for _ in 0..51 {
+            rep.next_event();
+        }
+    }
+
+    #[test]
+    fn replay_names_parse_and_plain_names_pass_through() {
+        assert_eq!(
+            parse_replay("replay:gcc@traces/fig08"),
+            Some(("gcc", "traces/fig08"))
+        );
+        assert_eq!(parse_replay("replay:a@b@c"), Some(("a", "b@c")));
+        assert_eq!(parse_replay("gcc"), None);
+        assert_eq!(parse_replay("replay:gcc"), None);
+        assert_eq!(parse_replay("replay:@dir"), None);
+        assert_eq!(parse_replay("replay:gcc@"), None);
+    }
+
+    #[test]
+    fn trace_paths_are_stable() {
+        let p = replay_trace_path(Path::new("traces/fig08"), "gcc", 0x1000_0000, 0xabcd);
+        assert_eq!(
+            p,
+            PathBuf::from("traces/fig08/gcc-b10000000-s000000000000abcd.sbpt")
+        );
+    }
+}

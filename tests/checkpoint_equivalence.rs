@@ -121,6 +121,7 @@ fn single_core_functional_gap_execution_matches_timed_per_predictor_and_mechanis
         event_window: 0,
         burst: 0,
         gap_mode: GapMode::Functional,
+        phase_windows: 0,
     };
     for predictor in PredictorKind::ALL {
         for mechanism in mechanisms() {
@@ -176,6 +177,7 @@ fn smt_functional_gap_execution_matches_timed_per_predictor_and_mechanism() {
         event_window: 0,
         burst: 0,
         gap_mode: GapMode::Functional,
+        phase_windows: 0,
     };
     for predictor in PredictorKind::ALL {
         for mechanism in mechanisms() {

@@ -199,10 +199,11 @@ fn noisy_index_encoding_closes_the_smt_contention_hole() {
 
 #[test]
 fn every_catalog_entry_carries_expectations_and_they_resolve() {
-    // The acceptance bar: all 16 entries are machine-checkable, and a
-    // perturbed oracle still describes the same cells (no Missing rows
-    // masquerading as failures).
-    assert_eq!(Catalog::entries().len(), 16);
+    // The acceptance bar: all 16 paper entries plus the two trace-replay
+    // twins are machine-checkable, and a perturbed oracle still
+    // describes the same cells (no Missing rows masquerading as
+    // failures).
+    assert_eq!(Catalog::entries().len(), 18);
     for entry in Catalog::entries() {
         let exps = entry.expectations();
         assert!(!exps.is_empty(), "{} has no expectations", entry.name);

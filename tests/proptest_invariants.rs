@@ -109,6 +109,37 @@ proptest! {
         prop_assert_eq!(decode_trace(&bytes).unwrap(), events);
     }
 
+    /// Arbitrary single-byte corruption of a valid trace must decode to
+    /// *something* or error — never panic, and never allocate from a
+    /// lying header (the capacity hint is bounded by the body size).
+    #[test]
+    fn trace_format_mutations_never_panic(
+        events in prop::collection::vec(any_event(), 1..60),
+        offset in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = encode_trace(&events).to_vec();
+        let at = offset % bytes.len();
+        bytes[at] = byte;
+        if let Ok(decoded) = decode_trace(&bytes) {
+            // A surviving decode must account for every event the
+            // (possibly corrupted) header declares.
+            prop_assert!(decoded.len() <= events.len());
+        }
+    }
+
+    /// Arbitrary truncations of a valid trace error or decode — never
+    /// panic on a half-delivered event.
+    #[test]
+    fn trace_format_truncations_never_panic(
+        events in prop::collection::vec(any_event(), 1..60),
+        cut in any::<usize>(),
+    ) {
+        let bytes = encode_trace(&events);
+        let cut = cut % (bytes.len() + 1);
+        let _ = decode_trace(&bytes[..cut]);
+    }
+
     /// Unsigned saturating counters stay in range and are monotone.
     #[test]
     fn saturating_counter_invariants(width in 1u32..=8, ops in prop::collection::vec(any::<bool>(), 1..200)) {
